@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the word-level → CNF bit-blaster: encoding
+//! cost and solve cost of multiplier equivalence obligations at growing
+//! widths.
+
+use aqed_bitblast::BitBlaster;
+use aqed_expr::{ExprPool, VarKind};
+use aqed_sat::{SolveResult, Solver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Encode (x + y) * k and count clauses — pure encoding cost.
+fn encode_mul(width: u32) -> usize {
+    let mut p = ExprPool::new();
+    let x = p.var("x", width, VarKind::Input);
+    let y = p.var("y", width, VarKind::Input);
+    let xe = p.var_expr(x);
+    let ye = p.var_expr(y);
+    let sum = p.add(xe, ye);
+    let prod = p.mul(sum, ye);
+    let mut solver = Solver::new();
+    let mut bb = BitBlaster::new();
+    let _ = bb.blast(&p, prod, &mut solver);
+    solver.num_clauses()
+}
+
+/// Prove `x * 2 == x + x` at a given width (UNSAT of the negation).
+fn prove_mul2_is_add(width: u32) {
+    let mut p = ExprPool::new();
+    let x = p.var("x", width, VarKind::Input);
+    let xe = p.var_expr(x);
+    let two = p.lit(width, 2);
+    let lhs = p.mul(xe, two);
+    let rhs = p.add(xe, xe);
+    let ne = p.ne(lhs, rhs);
+    let mut solver = Solver::new();
+    let mut bb = BitBlaster::new();
+    bb.assert_true(&p, ne, &mut solver);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast/encode_mul");
+    for width in [16u32, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| encode_mul(w));
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast/prove_mul2_add");
+    for width in [8u32, 16, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| prove_mul2_is_add(w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion form of Table 2: end-to-end A-QED verification time on each
+//! HLS design's buggy variant.
+
+use aqed_core::AqedHarness;
+use aqed_designs::hls_cases;
+use aqed_expr::ExprPool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/aqed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for case in hls_cases() {
+        // Benchmark the BMC cost at a fixed shallow bound: deep-enough to
+        // exercise the full pipeline, cheap enough for Criterion's
+        // repeated sampling. The one-shot Table 2 regeneration (with the
+        // full catalogue bounds and bug assertions) is the `table2` bin.
+        let bench_bound = case.bmc_bound.min(8);
+        group.bench_with_input(BenchmarkId::from_parameter(case.id), &case, move |b, case| {
+            b.iter(|| {
+                let mut pool = ExprPool::new();
+                let lca = (case.build_buggy)(&mut pool);
+                let mut harness = AqedHarness::new(&lca);
+                if let Some(fc) = &case.fc {
+                    harness = harness.with_fc(fc.clone());
+                }
+                if let Some(rb) = &case.rb {
+                    harness = harness.with_rb(*rb);
+                }
+                let _report = harness.verify(&mut pool, bench_bound);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hls);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion form of Table 1: end-to-end A-QED verification time on
+//! representative memory-controller bugs, against the conventional
+//! simulation flow on the same bugs.
+
+use aqed_core::{AqedHarness, FcConfig};
+use aqed_designs::memctrl::{self, MemctrlBug};
+use aqed_expr::ExprPool;
+use aqed_sim::Testbench;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const REPRESENTATIVE: [MemctrlBug; 3] = [
+    MemctrlBug::FifoPtrWrapOffByOne,
+    MemctrlBug::DbSwapWithoutDrainCheck,
+    MemctrlBug::LbTapOffByOne,
+];
+
+fn bench_aqed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/aqed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for bug in REPRESENTATIVE {
+        group.bench_with_input(BenchmarkId::from_parameter(bug.id()), &bug, |b, &bug| {
+            b.iter(|| {
+                let mut pool = ExprPool::new();
+                let lca = memctrl::build(&mut pool, bug.config(), Some(bug));
+                // Fixed bound: a stable cost measurement whether or not
+                // the witness lands inside it (table1 asserts detection).
+                let report = AqedHarness::new(&lca)
+                    .with_fc(FcConfig::default())
+                    .with_rb(memctrl::recommended_rb(bug.config()))
+                    .verify(&mut pool, 12);
+                let _ = report;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_conventional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/conventional");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for bug in REPRESENTATIVE {
+        group.bench_with_input(BenchmarkId::from_parameter(bug.id()), &bug, |b, &bug| {
+            b.iter(|| {
+                let mut pool = ExprPool::new();
+                let lca = memctrl::build(&mut pool, bug.config(), Some(bug));
+                let outcome = Testbench::quick().run(&lca, &pool, memctrl::golden);
+                assert!(outcome.detected());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aqed, bench_conventional);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the CDCL SAT solver substrate: pigeonhole
+//! (UNSAT, conflict-analysis bound) and random 3-SAT near the phase
+//! transition (mixed SAT/UNSAT).
+
+use aqed_sat::{SolveResult, Solver, Var};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> SolveResult {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+    for row in &p {
+        s.add_clause(row.iter().map(|v| v.pos()));
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+            }
+        }
+    }
+    s.solve()
+}
+
+fn random_3sat(n: usize, m: usize, seed: u64) -> SolveResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    let vars = s.new_vars(n);
+    for _ in 0..m {
+        let mut c = Vec::with_capacity(3);
+        while c.len() < 3 {
+            let v = rng.gen_range(0..n);
+            if !c.iter().any(|&(u, _)| u == v) {
+                c.push((v, rng.gen::<bool>()));
+            }
+        }
+        s.add_clause(c.iter().map(|&(v, pos)| vars[v].lit(pos)));
+    }
+    s.solve()
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    for size in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &n| {
+            b.iter(|| {
+                assert_eq!(pigeonhole(n, n - 1), SolveResult::Unsat);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/random3sat");
+    group.sample_size(20);
+    for n in [100usize, 150] {
+        let m = (n as f64 * 4.2) as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let _ = random_3sat(n, m, seed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_random_3sat);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Developer tool: runs the conventional flow on the two A-QED-only
+//! corner-case bugs and prints the verdicts — used to validate that
+//! their data-dependent triggers genuinely escape the testbench.
+//!
+//! ```text
+//! cargo run --release -p aqed-bench --bin diag_corner
+//! ```
+
+use aqed_designs::memctrl::{build, golden, MemctrlBug, MemctrlConfig};
+use aqed_expr::ExprPool;
+use aqed_sim::Testbench;
+
+fn main() {
+    let mut p = ExprPool::new();
+    let lca = build(&mut p, MemctrlConfig::Fifo, Some(MemctrlBug::FifoRedundantWriteGlitch));
+    let outcome = Testbench::default().run(&lca, &p, golden);
+    println!("glitch: {outcome}");
+    let mut p2 = ExprPool::new();
+    let lca2 = build(&mut p2, MemctrlConfig::DoubleBuffer, Some(MemctrlBug::DbWriteCollision));
+    let outcome2 = Testbench::default().run(&lca2, &p2, golden);
+    println!("dbcoll: {outcome2}");
+}

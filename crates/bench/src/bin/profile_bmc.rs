@@ -1,0 +1,70 @@
+//! Developer tool: per-depth BMC profile of a catalogued case.
+//!
+//! ```text
+//! cargo run --release -p aqed-bench --bin profile_bmc -- <case-id> [max-bound]
+//! ```
+//!
+//! Prints, for every depth, the cumulative solver statistics and wall
+//! time — the data that guided the engine's performance tuning.
+
+use aqed_bmc::{Bmc, BmcOptions, BmcResult};
+use aqed_core::AqedHarness;
+use aqed_designs::all_cases;
+use aqed_expr::ExprPool;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let case_id = args.first().map(String::as_str).unwrap_or("motivating_clock_enable");
+    let max_bound: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let case = all_cases()
+        .into_iter()
+        .find(|c| c.id == case_id)
+        .unwrap_or_else(|| panic!("unknown case '{case_id}'"));
+
+    let mut pool = ExprPool::new();
+    let lca = (case.build_buggy)(&mut pool);
+    let mut harness = AqedHarness::new(&lca);
+    if let Some(fc) = &case.fc {
+        harness = harness.with_fc(fc.clone());
+    }
+    if let Some(rb) = &case.rb {
+        harness = harness.with_rb(*rb);
+    }
+    let (composed, _) = harness.build(&mut pool);
+    println!("case {case_id}: {composed}");
+    println!(
+        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>9}",
+        "depth", "time(s)", "clauses", "vars", "conflicts", "verdict"
+    );
+    // Run depth by depth so per-depth cost is visible.
+    let t0 = Instant::now();
+    for k in 0..=max_bound {
+        let mut bmc = Bmc::new(&composed, BmcOptions::default().with_max_bound(k));
+        let t = Instant::now();
+        let result = bmc.check(&composed, &mut pool);
+        let stats = bmc.stats();
+        let verdict = match &result {
+            BmcResult::Counterexample(c) => format!("CEX@{}", c.depth),
+            BmcResult::NoCounterexample { .. } => "clean".to_string(),
+            BmcResult::Unknown { .. } => "unknown".to_string(),
+        };
+        println!(
+            "{:>5} {:>9.2} {:>10} {:>10} {:>12} {:>9}",
+            k,
+            t.elapsed().as_secs_f64(),
+            stats.clauses,
+            stats.variables,
+            "-",
+            verdict
+        );
+        if matches!(result, BmcResult::Counterexample(_)) {
+            break;
+        }
+    }
+    println!("total: {:.2}s", t0.elapsed().as_secs_f64());
+    println!("note: depth k re-runs 0..=k (cumulative per line; incremental inside one run).");
+}

@@ -1,0 +1,389 @@
+//! Fixed-width bit-vector values with hardware wrap-around semantics.
+//!
+//! [`Bv`] models the value domain of synchronous RTL: a two's-complement
+//! bit-vector of a fixed width between 1 and 64 bits. All arithmetic wraps
+//! modulo `2^width`, exactly as hardware adders and multipliers do, and all
+//! operations keep the invariant that bits above `width` are zero.
+//!
+//! This crate is the concrete counterpart of the symbolic word-level IR in
+//! `aqed-expr`: the expression evaluator, the transition-system simulator and
+//! the bit-blaster's constant folder all compute in `Bv`.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqed_bitvec::Bv;
+//!
+//! let a = Bv::new(8, 0xF0);
+//! let b = Bv::new(8, 0x20);
+//! assert_eq!(a.add(b), Bv::new(8, 0x10)); // wraps modulo 2^8
+//! assert_eq!(a.concat(b), Bv::new(16, 0xF020));
+//! assert!(b.ult(a));
+//! assert!(a.slt(b)); // 0xF0 is negative as a signed 8-bit value
+//! ```
+
+mod ops;
+
+pub use ops::DivByZero;
+
+use std::fmt;
+
+/// A fixed-width bit-vector value (1 to 64 bits) with wrap-around semantics.
+///
+/// The representation stores the value in the low `width` bits of a `u64`;
+/// higher bits are always zero. Construction through [`Bv::new`] masks the
+/// supplied value, so every `Bv` is canonical and `==` is value equality.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_bitvec::Bv;
+/// let x = Bv::new(4, 0x1F); // masked to 4 bits
+/// assert_eq!(x.to_u64(), 0xF);
+/// assert_eq!(x.width(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bv {
+    width: u32,
+    val: u64,
+}
+
+impl Bv {
+    /// Maximum supported width in bits.
+    pub const MAX_WIDTH: u32 = 64;
+
+    /// Creates a bit-vector of `width` bits holding `val` truncated to that
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`Bv::MAX_WIDTH`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// assert_eq!(Bv::new(3, 9).to_u64(), 1); // 9 mod 8
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn new(width: u32, val: u64) -> Self {
+        assert!(
+            width >= 1 && width <= Self::MAX_WIDTH,
+            "bit-vector width must be in 1..=64, got {width}"
+        );
+        Self {
+            width,
+            val: val & Self::mask(width),
+        }
+    }
+
+    /// The all-zeros vector of the given width.
+    #[inline]
+    #[must_use]
+    pub fn zero(width: u32) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// The vector of the given width with value 1.
+    #[inline]
+    #[must_use]
+    pub fn one(width: u32) -> Self {
+        Self::new(width, 1)
+    }
+
+    /// The all-ones vector of the given width (i.e. `-1` as signed).
+    #[inline]
+    #[must_use]
+    pub fn ones(width: u32) -> Self {
+        Self::new(width, u64::MAX)
+    }
+
+    /// A 1-bit vector from a boolean: `true` → `1`, `false` → `0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// assert_eq!(Bv::from_bool(true), Bv::one(1));
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        Self::new(1, u64::from(b))
+    }
+
+    /// The most negative signed value of the given width (`100…0`).
+    #[inline]
+    #[must_use]
+    pub fn min_signed(width: u32) -> Self {
+        Self::new(width, 1u64 << (width - 1))
+    }
+
+    /// The most positive signed value of the given width (`011…1`).
+    #[inline]
+    #[must_use]
+    pub fn max_signed(width: u32) -> Self {
+        Self::new(width, Self::mask(width) >> 1)
+    }
+
+    /// The bit mask with the low `width` bits set.
+    #[inline]
+    #[must_use]
+    pub fn mask(width: u32) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Width of the vector in bits.
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The value zero-extended to `u64`.
+    #[inline]
+    #[must_use]
+    pub fn to_u64(&self) -> u64 {
+        self.val
+    }
+
+    /// The value interpreted as a two's-complement signed integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// assert_eq!(Bv::new(4, 0xF).to_i64(), -1);
+    /// assert_eq!(Bv::new(4, 0x7).to_i64(), 7);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn to_i64(&self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.val << shift) as i64) >> shift
+    }
+
+    /// Whether every bit is zero.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.val == 0
+    }
+
+    /// Whether every bit is one.
+    #[inline]
+    #[must_use]
+    pub fn is_ones(&self) -> bool {
+        self.val == Self::mask(self.width)
+    }
+
+    /// Whether this is a 1-bit vector holding 1 (hardware "true").
+    #[inline]
+    #[must_use]
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.val == 1
+    }
+
+    /// The most significant (sign) bit.
+    #[inline]
+    #[must_use]
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// The bit at position `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[inline]
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.val >> i) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn with_bit(&self, i: u32, b: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let cleared = self.val & !(1u64 << i);
+        Self {
+            width: self.width,
+            val: cleared | (u64::from(b) << i),
+        }
+    }
+
+    /// Number of one bits.
+    #[inline]
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.val.count_ones()
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bv({}'h{:x})", self.width, self.val)
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.val)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.val, f)
+    }
+}
+
+impl fmt::UpperHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.val, f)
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.val, f)
+    }
+}
+
+impl fmt::Octal for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.val, f)
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Self {
+        Self::from_bool(b)
+    }
+}
+
+impl From<u8> for Bv {
+    fn from(v: u8) -> Self {
+        Self::new(8, u64::from(v))
+    }
+}
+
+impl From<u16> for Bv {
+    fn from(v: u16) -> Self {
+        Self::new(16, u64::from(v))
+    }
+}
+
+impl From<u32> for Bv {
+    fn from(v: u32) -> Self {
+        Self::new(32, u64::from(v))
+    }
+}
+
+impl From<u64> for Bv {
+    fn from(v: u64) -> Self {
+        Self::new(64, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_masks_value() {
+        assert_eq!(Bv::new(4, 0xFF).to_u64(), 0xF);
+        assert_eq!(Bv::new(64, u64::MAX).to_u64(), u64::MAX);
+        assert_eq!(Bv::new(1, 2).to_u64(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_rejected() {
+        let _ = Bv::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn overwide_rejected() {
+        let _ = Bv::new(65, 0);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bv::zero(8).to_u64(), 0);
+        assert_eq!(Bv::one(8).to_u64(), 1);
+        assert_eq!(Bv::ones(8).to_u64(), 0xFF);
+        assert_eq!(Bv::min_signed(8).to_u64(), 0x80);
+        assert_eq!(Bv::max_signed(8).to_u64(), 0x7F);
+        assert_eq!(Bv::from_bool(true), Bv::new(1, 1));
+        assert_eq!(Bv::from_bool(false), Bv::new(1, 0));
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(Bv::new(8, 0x80).to_i64(), -128);
+        assert_eq!(Bv::new(8, 0xFF).to_i64(), -1);
+        assert_eq!(Bv::new(8, 0x7F).to_i64(), 127);
+        assert_eq!(Bv::new(64, u64::MAX).to_i64(), -1);
+        assert_eq!(Bv::new(1, 1).to_i64(), -1);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Bv::new(8, 0b1010_0001);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(7));
+        assert!(v.msb());
+        assert_eq!(v.with_bit(1, true).to_u64(), 0b1010_0011);
+        assert_eq!(v.with_bit(7, false).to_u64(), 0b0010_0001);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range() {
+        let _ = Bv::new(4, 0).bit(4);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Bv::zero(5).is_zero());
+        assert!(Bv::ones(5).is_ones());
+        assert!(Bv::one(1).is_true());
+        assert!(!Bv::one(2).is_true());
+        assert!(!Bv::zero(1).is_true());
+    }
+
+    #[test]
+    fn from_primitives() {
+        assert_eq!(Bv::from(0xABu8), Bv::new(8, 0xAB));
+        assert_eq!(Bv::from(0xABCDu16), Bv::new(16, 0xABCD));
+        assert_eq!(Bv::from(0xDEADBEEFu32), Bv::new(32, 0xDEAD_BEEF));
+        assert_eq!(Bv::from(1u64 << 63), Bv::new(64, 1 << 63));
+        assert_eq!(Bv::from(true), Bv::one(1));
+    }
+
+    #[test]
+    fn formatting() {
+        let v = Bv::new(12, 0xABC);
+        assert_eq!(format!("{v}"), "12'd2748");
+        assert_eq!(format!("{v:?}"), "Bv(12'habc)");
+        assert_eq!(format!("{v:x}"), "abc");
+        assert_eq!(format!("{v:X}"), "ABC");
+        assert_eq!(format!("{v:b}"), "101010111100");
+        assert_eq!(format!("{v:o}"), "5274");
+    }
+}

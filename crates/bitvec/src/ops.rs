@@ -1,0 +1,580 @@
+//! Arithmetic, bitwise, shift, comparison and structural operations on [`Bv`].
+//!
+//! All binary arithmetic and bitwise operations require both operands to have
+//! the same width and panic otherwise — width mismatches are programming
+//! errors in circuit construction, never data errors. Division by zero
+//! follows the SMT-LIB / BTOR2 convention (`udiv` by zero yields all-ones,
+//! `urem` by zero yields the dividend); a checked variant returning
+//! [`DivByZero`] is also provided.
+
+use crate::Bv;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the checked division operations when the divisor is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_bitvec::Bv;
+/// let x = Bv::new(8, 10);
+/// assert!(x.checked_udiv(Bv::zero(8)).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DivByZero;
+
+impl fmt::Display for DivByZero {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("bit-vector division by zero")
+    }
+}
+
+impl Error for DivByZero {}
+
+impl Bv {
+    #[inline]
+    fn check_same_width(self, rhs: Self, op: &str) {
+        assert!(
+            self.width() == rhs.width(),
+            "width mismatch in {op}: {} vs {}",
+            self.width(),
+            rhs.width()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (wrapping, i.e. modulo 2^width)
+    // ------------------------------------------------------------------
+
+    /// Wrapping addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "add");
+        Self::new(self.width(), self.to_u64().wrapping_add(rhs.to_u64()))
+    }
+
+    /// Wrapping subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "sub");
+        Self::new(self.width(), self.to_u64().wrapping_sub(rhs.to_u64()))
+    }
+
+    /// Wrapping multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "mul");
+        Self::new(self.width(), self.to_u64().wrapping_mul(rhs.to_u64()))
+    }
+
+    /// Two's-complement negation.
+    #[must_use]
+    pub fn neg(self) -> Self {
+        Self::new(self.width(), self.to_u64().wrapping_neg())
+    }
+
+    /// Unsigned division. Division by zero yields the all-ones vector
+    /// (SMT-LIB / BTOR2 convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn udiv(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "udiv");
+        if rhs.is_zero() {
+            Self::ones(self.width())
+        } else {
+            Self::new(self.width(), self.to_u64() / rhs.to_u64())
+        }
+    }
+
+    /// Unsigned remainder. Remainder by zero yields the dividend
+    /// (SMT-LIB / BTOR2 convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn urem(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "urem");
+        if rhs.is_zero() {
+            self
+        } else {
+            Self::new(self.width(), self.to_u64() % rhs.to_u64())
+        }
+    }
+
+    /// Unsigned division returning an error on a zero divisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivByZero`] if `rhs` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn checked_udiv(self, rhs: Self) -> Result<Self, DivByZero> {
+        self.check_same_width(rhs, "checked_udiv");
+        if rhs.is_zero() {
+            Err(DivByZero)
+        } else {
+            Ok(Self::new(self.width(), self.to_u64() / rhs.to_u64()))
+        }
+    }
+
+    /// Unsigned remainder returning an error on a zero divisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivByZero`] if `rhs` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn checked_urem(self, rhs: Self) -> Result<Self, DivByZero> {
+        self.check_same_width(rhs, "checked_urem");
+        if rhs.is_zero() {
+            Err(DivByZero)
+        } else {
+            Ok(Self::new(self.width(), self.to_u64() % rhs.to_u64()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise
+    // ------------------------------------------------------------------
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "and");
+        Self::new(self.width(), self.to_u64() & rhs.to_u64())
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn or(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "or");
+        Self::new(self.width(), self.to_u64() | rhs.to_u64())
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn xor(self, rhs: Self) -> Self {
+        self.check_same_width(rhs, "xor");
+        Self::new(self.width(), self.to_u64() ^ rhs.to_u64())
+    }
+
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(self) -> Self {
+        Self::new(self.width(), !self.to_u64())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions (produce 1-bit results)
+    // ------------------------------------------------------------------
+
+    /// OR-reduction: 1 iff any bit is set.
+    #[must_use]
+    pub fn redor(self) -> Self {
+        Self::from_bool(!self.is_zero())
+    }
+
+    /// AND-reduction: 1 iff all bits are set.
+    #[must_use]
+    pub fn redand(self) -> Self {
+        Self::from_bool(self.is_ones())
+    }
+
+    /// XOR-reduction: parity of the number of set bits.
+    #[must_use]
+    pub fn redxor(self) -> Self {
+        Self::from_bool(self.count_ones() % 2 == 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Shifts (shift amount is taken as an unsigned value; shifting by
+    // >= width produces 0, or the sign fill for `ashr`)
+    // ------------------------------------------------------------------
+
+    /// Logical shift left. Shift amounts of `width` or more yield zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn shl(self, amount: Self) -> Self {
+        self.check_same_width(amount, "shl");
+        let n = amount.to_u64();
+        if n >= u64::from(self.width()) {
+            Self::zero(self.width())
+        } else {
+            Self::new(self.width(), self.to_u64() << n)
+        }
+    }
+
+    /// Logical shift right. Shift amounts of `width` or more yield zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn lshr(self, amount: Self) -> Self {
+        self.check_same_width(amount, "lshr");
+        let n = amount.to_u64();
+        if n >= u64::from(self.width()) {
+            Self::zero(self.width())
+        } else {
+            Self::new(self.width(), self.to_u64() >> n)
+        }
+    }
+
+    /// Arithmetic shift right (sign-filling). Shift amounts of `width` or
+    /// more yield all-zeros or all-ones depending on the sign bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ashr(self, amount: Self) -> Self {
+        self.check_same_width(amount, "ashr");
+        let n = amount.to_u64();
+        if n >= u64::from(self.width()) {
+            if self.msb() {
+                Self::ones(self.width())
+            } else {
+                Self::zero(self.width())
+            }
+        } else {
+            Self::new(self.width(), ((self.to_i64()) >> n) as u64)
+        }
+    }
+
+    /// Rotate left by `amount mod width` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn rol(self, amount: Self) -> Self {
+        self.check_same_width(amount, "rol");
+        let w = u64::from(self.width());
+        let n = amount.to_u64() % w;
+        if n == 0 {
+            self
+        } else {
+            let v = self.to_u64();
+            Self::new(self.width(), (v << n) | (v >> (w - n)))
+        }
+    }
+
+    /// Rotate right by `amount mod width` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ror(self, amount: Self) -> Self {
+        self.check_same_width(amount, "ror");
+        let w = u64::from(self.width());
+        let n = amount.to_u64() % w;
+        if n == 0 {
+            self
+        } else {
+            let v = self.to_u64();
+            Self::new(self.width(), (v >> n) | (v << (w - n)))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons (return Rust bool; the expression IR wraps them into
+    // 1-bit vectors)
+    // ------------------------------------------------------------------
+
+    /// Unsigned less-than.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ult(self, rhs: Self) -> bool {
+        self.check_same_width(rhs, "ult");
+        self.to_u64() < rhs.to_u64()
+    }
+
+    /// Unsigned less-or-equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn ule(self, rhs: Self) -> bool {
+        self.check_same_width(rhs, "ule");
+        self.to_u64() <= rhs.to_u64()
+    }
+
+    /// Signed less-than.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn slt(self, rhs: Self) -> bool {
+        self.check_same_width(rhs, "slt");
+        self.to_i64() < rhs.to_i64()
+    }
+
+    /// Signed less-or-equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[must_use]
+    pub fn sle(self, rhs: Self) -> bool {
+        self.check_same_width(rhs, "sle");
+        self.to_i64() <= rhs.to_i64()
+    }
+
+    // ------------------------------------------------------------------
+    // Structural
+    // ------------------------------------------------------------------
+
+    /// Concatenation: `self` becomes the high bits, `rhs` the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`Bv::MAX_WIDTH`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// let hi = Bv::new(4, 0xA);
+    /// let lo = Bv::new(8, 0x5C);
+    /// assert_eq!(hi.concat(lo), Bv::new(12, 0xA5C));
+    /// ```
+    #[must_use]
+    pub fn concat(self, rhs: Self) -> Self {
+        let w = self.width() + rhs.width();
+        assert!(
+            w <= Self::MAX_WIDTH,
+            "concat result width {w} exceeds {}",
+            Self::MAX_WIDTH
+        );
+        Self::new(w, (self.to_u64() << rhs.width()) | rhs.to_u64())
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive) as a new vector of width
+    /// `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// assert_eq!(Bv::new(12, 0xA5C).extract(11, 8), Bv::new(4, 0xA));
+    /// ```
+    #[must_use]
+    pub fn extract(self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "extract hi {hi} < lo {lo}");
+        assert!(
+            hi < self.width(),
+            "extract hi {hi} out of range for width {}",
+            self.width()
+        );
+        Self::new(hi - lo + 1, self.to_u64() >> lo)
+    }
+
+    /// Zero-extends to `new_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the current width or exceeds
+    /// [`Bv::MAX_WIDTH`].
+    #[must_use]
+    pub fn zext(self, new_width: u32) -> Self {
+        assert!(
+            new_width >= self.width() && new_width <= Self::MAX_WIDTH,
+            "zext to {new_width} invalid from width {}",
+            self.width()
+        );
+        Self::new(new_width, self.to_u64())
+    }
+
+    /// Sign-extends to `new_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the current width or exceeds
+    /// [`Bv::MAX_WIDTH`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_bitvec::Bv;
+    /// assert_eq!(Bv::new(4, 0xF).sext(8), Bv::new(8, 0xFF));
+    /// assert_eq!(Bv::new(4, 0x7).sext(8), Bv::new(8, 0x07));
+    /// ```
+    #[must_use]
+    pub fn sext(self, new_width: u32) -> Self {
+        assert!(
+            new_width >= self.width() && new_width <= Self::MAX_WIDTH,
+            "sext to {new_width} invalid from width {}",
+            self.width()
+        );
+        Self::new(new_width, self.to_i64() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bv;
+
+    #[test]
+    fn arithmetic_wraps() {
+        let w = 8;
+        assert_eq!(Bv::new(w, 0xFF).add(Bv::one(w)), Bv::zero(w));
+        assert_eq!(Bv::zero(w).sub(Bv::one(w)), Bv::ones(w));
+        assert_eq!(Bv::new(w, 0x10).mul(Bv::new(w, 0x10)), Bv::zero(w));
+        assert_eq!(Bv::new(w, 1).neg(), Bv::ones(w));
+        assert_eq!(Bv::zero(w).neg(), Bv::zero(w));
+        assert_eq!(Bv::min_signed(w).neg(), Bv::min_signed(w));
+    }
+
+    #[test]
+    fn division_conventions() {
+        let w = 8;
+        assert_eq!(Bv::new(w, 100).udiv(Bv::new(w, 7)), Bv::new(w, 14));
+        assert_eq!(Bv::new(w, 100).urem(Bv::new(w, 7)), Bv::new(w, 2));
+        // div-by-zero: SMT-LIB semantics
+        assert_eq!(Bv::new(w, 100).udiv(Bv::zero(w)), Bv::ones(w));
+        assert_eq!(Bv::new(w, 100).urem(Bv::zero(w)), Bv::new(w, 100));
+        assert_eq!(Bv::new(w, 100).checked_udiv(Bv::new(w, 7)), Ok(Bv::new(w, 14)));
+        assert!(Bv::new(w, 100).checked_udiv(Bv::zero(w)).is_err());
+        assert!(Bv::new(w, 100).checked_urem(Bv::zero(w)).is_err());
+        let err = Bv::one(w).checked_udiv(Bv::zero(w)).unwrap_err();
+        assert_eq!(err.to_string(), "bit-vector division by zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = Bv::new(8, 1).add(Bv::new(9, 1));
+    }
+
+    #[test]
+    fn bitwise() {
+        let a = Bv::new(8, 0b1100_1010);
+        let b = Bv::new(8, 0b1010_0110);
+        assert_eq!(a.and(b), Bv::new(8, 0b1000_0010));
+        assert_eq!(a.or(b), Bv::new(8, 0b1110_1110));
+        assert_eq!(a.xor(b), Bv::new(8, 0b0110_1100));
+        assert_eq!(a.not(), Bv::new(8, 0b0011_0101));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bv::zero(8).redor(), Bv::from_bool(false));
+        assert_eq!(Bv::new(8, 4).redor(), Bv::from_bool(true));
+        assert_eq!(Bv::ones(8).redand(), Bv::from_bool(true));
+        assert_eq!(Bv::new(8, 0xFE).redand(), Bv::from_bool(false));
+        assert_eq!(Bv::new(8, 0b0110).redxor(), Bv::from_bool(false));
+        assert_eq!(Bv::new(8, 0b0111).redxor(), Bv::from_bool(true));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Bv::new(8, 0b1001_0001);
+        assert_eq!(v.shl(Bv::new(8, 2)), Bv::new(8, 0b0100_0100));
+        assert_eq!(v.lshr(Bv::new(8, 4)), Bv::new(8, 0b0000_1001));
+        assert_eq!(v.ashr(Bv::new(8, 4)), Bv::new(8, 0b1111_1001));
+        // Overshift
+        assert_eq!(v.shl(Bv::new(8, 8)), Bv::zero(8));
+        assert_eq!(v.lshr(Bv::new(8, 100)), Bv::zero(8));
+        assert_eq!(v.ashr(Bv::new(8, 100)), Bv::ones(8));
+        assert_eq!(Bv::new(8, 0x71).ashr(Bv::new(8, 100)), Bv::zero(8));
+    }
+
+    #[test]
+    fn rotates() {
+        let v = Bv::new(8, 0b1000_0001);
+        assert_eq!(v.rol(Bv::new(8, 1)), Bv::new(8, 0b0000_0011));
+        assert_eq!(v.ror(Bv::new(8, 1)), Bv::new(8, 0b1100_0000));
+        assert_eq!(v.rol(Bv::new(8, 8)), v);
+        assert_eq!(v.ror(Bv::new(8, 16)), v);
+        assert_eq!(v.rol(Bv::new(8, 9)), v.rol(Bv::new(8, 1)));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bv::new(8, 0x80); // -128 signed, 128 unsigned
+        let b = Bv::new(8, 0x01);
+        assert!(b.ult(a));
+        assert!(!a.ult(b));
+        assert!(a.slt(b));
+        assert!(!b.slt(a));
+        assert!(a.ule(a));
+        assert!(a.sle(a));
+    }
+
+    #[test]
+    fn concat_extract_roundtrip() {
+        let hi = Bv::new(7, 0x55);
+        let lo = Bv::new(9, 0x1AB);
+        let c = hi.concat(lo);
+        assert_eq!(c.width(), 16);
+        assert_eq!(c.extract(15, 9), hi);
+        assert_eq!(c.extract(8, 0), lo);
+        assert_eq!(c.extract(0, 0), Bv::from_bool(lo.bit(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn concat_too_wide() {
+        let _ = Bv::new(40, 0).concat(Bv::new(40, 0));
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(Bv::new(4, 0x9).zext(8), Bv::new(8, 0x09));
+        assert_eq!(Bv::new(4, 0x9).sext(8), Bv::new(8, 0xF9));
+        assert_eq!(Bv::new(4, 0x9).zext(4), Bv::new(4, 0x9));
+        assert_eq!(Bv::new(32, 0x8000_0000).sext(64).to_i64(), i64::from(i32::MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn zext_shrink_panics() {
+        let _ = Bv::new(8, 0).zext(4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for `Bv`: algebraic laws and consistency with
+//! native `u64` arithmetic.
+
+use aqed_bitvec::Bv;
+use proptest::prelude::*;
+
+fn bv_pair() -> impl Strategy<Value = (Bv, Bv)> {
+    (1u32..=64, any::<u64>(), any::<u64>())
+        .prop_map(|(w, a, b)| (Bv::new(w, a), Bv::new(w, b)))
+}
+
+fn bv_one() -> impl Strategy<Value = Bv> {
+    (1u32..=64, any::<u64>()).prop_map(|(w, a)| Bv::new(w, a))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in bv_pair()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+    }
+
+    #[test]
+    fn add_sub_inverse((a, b) in bv_pair()) {
+        prop_assert_eq!(a.add(b).sub(b), a);
+        prop_assert_eq!(a.sub(b).add(b), a);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero(a in bv_one()) {
+        prop_assert_eq!(a.neg(), Bv::zero(a.width()).sub(a));
+        prop_assert_eq!(a.neg().neg(), a);
+    }
+
+    #[test]
+    fn mul_matches_native((a, b) in bv_pair()) {
+        let expect = a.to_u64().wrapping_mul(b.to_u64()) & Bv::mask(a.width());
+        prop_assert_eq!(a.mul(b).to_u64(), expect);
+    }
+
+    #[test]
+    fn div_rem_reconstruct((a, b) in bv_pair()) {
+        prop_assume!(!b.is_zero());
+        let q = a.udiv(b);
+        let r = a.urem(b);
+        prop_assert!(r.ult(b));
+        prop_assert_eq!(q.mul(b).add(r), a);
+    }
+
+    #[test]
+    fn demorgan((a, b) in bv_pair()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+
+    #[test]
+    fn xor_self_is_zero(a in bv_one()) {
+        prop_assert_eq!(a.xor(a), Bv::zero(a.width()));
+        prop_assert_eq!(a.xor(Bv::zero(a.width())), a);
+    }
+
+    #[test]
+    fn shift_composition(a in bv_one(), s1 in 0u64..70, s2 in 0u64..70) {
+        // shl(s1) then shl(s2) equals a single shift by s1+s2 (zero once
+        // the total reaches the width), for any representable amounts.
+        let w = u64::from(a.width());
+        let m = Bv::mask(a.width());
+        let s1v = s1.min(m);
+        let s2v = s2.min(m);
+        let composed = a.shl(Bv::new(a.width(), s1v)).shl(Bv::new(a.width(), s2v));
+        let total = s1v.saturating_add(s2v);
+        let expect = if total >= w { 0 } else { (a.to_u64() << total) & m };
+        prop_assert_eq!(composed.to_u64(), expect);
+    }
+
+    #[test]
+    fn lshr_matches_native(a in bv_one(), s in 0u64..80) {
+        let w = a.width();
+        let got = a.lshr(Bv::new(w, s.min(Bv::mask(w))));
+        let amt = s.min(Bv::mask(w));
+        let expect = if amt >= u64::from(w) { 0 } else { a.to_u64() >> amt };
+        prop_assert_eq!(got.to_u64(), expect);
+    }
+
+    #[test]
+    fn rotate_roundtrip(a in bv_one(), s in 0u64..200) {
+        let w = a.width();
+        let amt = Bv::new(w, s & Bv::mask(w));
+        prop_assert_eq!(a.rol(amt).ror(amt), a);
+        prop_assert_eq!(a.rol(amt).count_ones(), a.count_ones());
+    }
+
+    #[test]
+    fn unsigned_order_total((a, b) in bv_pair()) {
+        let lt = a.ult(b);
+        let gt = b.ult(a);
+        let eq = a == b;
+        prop_assert_eq!(u32::from(lt) + u32::from(gt) + u32::from(eq), 1);
+    }
+
+    #[test]
+    fn signed_matches_i64((a, b) in bv_pair()) {
+        prop_assert_eq!(a.slt(b), a.to_i64() < b.to_i64());
+        prop_assert_eq!(a.sle(b), a.to_i64() <= b.to_i64());
+    }
+
+    #[test]
+    fn concat_extract_inverse(hi in (1u32..=32, any::<u64>()), lo in (1u32..=32, any::<u64>())) {
+        let h = Bv::new(hi.0, hi.1);
+        let l = Bv::new(lo.0, lo.1);
+        let c = h.concat(l);
+        prop_assert_eq!(c.extract(c.width() - 1, l.width()), h);
+        prop_assert_eq!(c.extract(l.width() - 1, 0), l);
+    }
+
+    #[test]
+    fn sext_preserves_signed_value(a in bv_one(), extra in 0u32..32) {
+        let nw = (a.width() + extra).min(64);
+        prop_assert_eq!(a.sext(nw).to_i64(), a.to_i64());
+        prop_assert_eq!(a.zext(nw).to_u64(), a.to_u64());
+    }
+
+    #[test]
+    fn to_i64_roundtrip(a in bv_one()) {
+        prop_assert_eq!(Bv::new(a.width(), a.to_i64() as u64), a);
+    }
+}

@@ -1,0 +1,342 @@
+//! k-induction: unbounded proofs on top of the bounded engine.
+//!
+//! BMC alone only ever certifies "no violation within `k` transitions".
+//! k-induction closes the gap for many properties: if
+//!
+//! 1. **base**: no violation is reachable within `k` steps from the
+//!    initial states, and
+//! 2. **step**: every path of `k+1` *arbitrary* (not necessarily
+//!    reachable) states satisfying the constraints, with the property
+//!    holding in the first `k` states, also satisfies it in state `k+1`,
+//!
+//! then the property holds in *all* reachable states. The step check
+//! optionally adds simple-path (state-distinctness) constraints, which
+//! makes the method complete for finite systems as `k` grows.
+//!
+//! This extends the paper's A-QED flow from bug hunting to outright
+//! proof for the designs whose monitors are inductive (the scalability
+//! direction listed in the paper's Sec. VII).
+
+use crate::{BmcOptions, BmcResult, Bmc};
+use aqed_bitblast::BitBlaster;
+use aqed_expr::{ExprPool, ExprRef, VarId, VarKind};
+use aqed_sat::{Lit, SolveResult, Solver};
+use aqed_tsys::TransitionSystem;
+use std::collections::HashMap;
+
+/// Outcome of a k-induction proof attempt.
+#[derive(Debug, Clone)]
+pub enum InductionResult {
+    /// The property holds in every reachable state: base and step both
+    /// succeeded at the returned depth.
+    Proved {
+        /// Induction depth at which the step succeeded.
+        k: usize,
+    },
+    /// A real counterexample was found by the base (BMC) check.
+    Counterexample(crate::Counterexample),
+    /// Neither proved nor refuted within `max_k` (the property may hold
+    /// but is not k-inductive at this depth, or budgets ran out).
+    Unknown {
+        /// The deepest induction depth attempted.
+        max_k: usize,
+    },
+}
+
+impl InductionResult {
+    /// Whether the property was proved for all reachable states.
+    #[must_use]
+    pub fn is_proved(&self) -> bool {
+        matches!(self, InductionResult::Proved { .. })
+    }
+}
+
+/// Configuration for [`prove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionOptions {
+    /// Maximum induction depth to attempt.
+    pub max_k: usize,
+    /// Add pairwise state-distinctness (simple-path) constraints to the
+    /// step case. Strengthens the method at quadratic encoding cost.
+    pub simple_path: bool,
+    /// Optional conflict budget per SAT query.
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for InductionOptions {
+    fn default() -> Self {
+        InductionOptions {
+            max_k: 10,
+            simple_path: true,
+            conflict_budget: None,
+        }
+    }
+}
+
+/// Attempts to prove every bad property of `ts` unreachable using
+/// k-induction, increasing `k` from 0 to `options.max_k`.
+///
+/// # Panics
+///
+/// Panics if the system fails validation or has no bad properties.
+#[must_use]
+pub fn prove(
+    ts: &TransitionSystem,
+    pool: &mut ExprPool,
+    options: &InductionOptions,
+) -> InductionResult {
+    ts.validate(pool).expect("system must be well-formed");
+    assert!(!ts.bads().is_empty(), "nothing to prove");
+    for k in 0..=options.max_k {
+        // Base: BMC up to depth k.
+        let mut bmc = Bmc::new(
+            ts,
+            BmcOptions::default()
+                .with_max_bound(k)
+                .with_conflict_budget(options.conflict_budget),
+        );
+        match bmc.check(ts, pool) {
+            BmcResult::Counterexample(cex) => return InductionResult::Counterexample(cex),
+            BmcResult::Unknown { .. } => return InductionResult::Unknown { max_k: k },
+            BmcResult::NoCounterexample { .. } => {}
+        }
+        // Step: arbitrary k+1-state path, property holds in first k
+        // states, violated in the last.
+        if step_case_holds(ts, pool, k, options) {
+            return InductionResult::Proved { k };
+        }
+    }
+    InductionResult::Unknown {
+        max_k: options.max_k,
+    }
+}
+
+/// Returns true when the induction step at depth `k` is valid (the
+/// "property can be violated after k clean arbitrary states" query is
+/// UNSAT).
+fn step_case_holds(
+    ts: &TransitionSystem,
+    pool: &mut ExprPool,
+    k: usize,
+    options: &InductionOptions,
+) -> bool {
+    let mut solver = Solver::new();
+    let mut blaster = BitBlaster::new();
+    solver.set_conflict_budget(options.conflict_budget);
+
+    // Frame 0 state: completely free.
+    let mut state_exprs: HashMap<VarId, ExprRef> = HashMap::new();
+    for s in ts.states() {
+        let w = pool.var_width(s.var);
+        let name = format!("{}@step0", pool.var_name(s.var));
+        let fv = pool.var(name, w, VarKind::Input);
+        state_exprs.insert(s.var, pool.var_expr(fv));
+    }
+
+    let mut frame_states: Vec<Vec<ExprRef>> = Vec::new();
+    let mut all_bads_clean: Vec<Lit> = Vec::new();
+    let mut last_bad_lits: Vec<Lit> = Vec::new();
+
+    for frame in 0..=k + 1 {
+        // Record this frame's state vector (for simple-path).
+        let state_vec: Vec<ExprRef> = ts
+            .states()
+            .iter()
+            .map(|s| state_exprs[&s.var])
+            .collect();
+        frame_states.push(state_vec);
+
+        // Fresh inputs.
+        let mut map = state_exprs.clone();
+        for &iv in ts.inputs() {
+            let w = pool.var_width(iv);
+            let name = format!("{}@step{frame}", pool.var_name(iv));
+            let fv = pool.var(name, w, VarKind::Input);
+            map.insert(iv, pool.var_expr(fv));
+        }
+        // Constraints hold in every frame.
+        for &c in ts.constraints() {
+            let ce = pool.substitute(c, &map);
+            blaster.assert_true(pool, ce, &mut solver);
+        }
+        // Bads.
+        let frame_bads: Vec<ExprRef> = ts
+            .bads()
+            .iter()
+            .map(|&(_, b)| pool.substitute(b, &map))
+            .collect();
+        if frame <= k {
+            // Property assumed to hold: all bads false.
+            for b in frame_bads {
+                let l = blaster.literal(pool, b, &mut solver);
+                all_bads_clean.push(!l);
+            }
+        } else {
+            // Final frame: some bad fires.
+            for b in frame_bads {
+                let l = blaster.literal(pool, b, &mut solver);
+                last_bad_lits.push(l);
+            }
+        }
+        if frame <= k {
+            // Advance.
+            let next_roots: Vec<ExprRef> = ts
+                .states()
+                .iter()
+                .map(|s| s.next.expect("validated"))
+                .collect();
+            let next_exprs = pool.substitute_all(&next_roots, &map);
+            for (s, e) in ts.states().iter().zip(next_exprs) {
+                state_exprs.insert(s.var, e);
+            }
+        }
+    }
+
+    // Assume cleanliness of the first k+1 frames.
+    for l in &all_bads_clean {
+        solver.add_clause([*l]);
+    }
+    // Simple-path: all state vectors pairwise distinct.
+    if options.simple_path {
+        for i in 0..frame_states.len() {
+            for j in (i + 1)..frame_states.len() {
+                // distinct(i, j): OR over state elements of inequality.
+                let mut any_diff: Vec<Lit> = Vec::new();
+                for (a, b) in frame_states[i].iter().zip(&frame_states[j]) {
+                    let ne = pool.ne(*a, *b);
+                    any_diff.push(blaster.literal(pool, ne, &mut solver));
+                }
+                solver.add_clause(any_diff);
+            }
+        }
+    }
+    // Violation in the final frame.
+    solver.add_clause(last_bad_lits);
+
+    matches!(solver.solve(), SolveResult::Unsat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Saturating counter: counts up to 10 and stays; bad if it exceeds
+    /// 12 — unreachable, and provable by induction with simple-path.
+    fn saturating_counter(pool: &mut ExprPool) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("sat_counter");
+        let en = ts.add_input(pool, "en", 1);
+        let c = ts.add_register(pool, "c", 4, 0);
+        let ce = pool.var_expr(c);
+        let ten = pool.lit(4, 10);
+        let at_max = pool.uge(ce, ten);
+        let one = pool.lit(4, 1);
+        let inc = pool.add(ce, one);
+        let bump = pool.ite(at_max, ce, inc);
+        let ene = pool.var_expr(en);
+        let next = pool.ite(ene, bump, ce);
+        ts.set_next(c, next);
+        let twelve = pool.lit(4, 12);
+        let bad = pool.ugt(ce, twelve);
+        ts.add_bad("exceeds_12", bad);
+        ts
+    }
+
+    #[test]
+    fn proves_saturating_counter_safe() {
+        let mut pool = ExprPool::new();
+        let ts = saturating_counter(&mut pool);
+        let result = prove(&ts, &mut pool, &InductionOptions::default());
+        assert!(result.is_proved(), "{result:?}");
+    }
+
+    #[test]
+    fn refutes_with_real_counterexample() {
+        let mut pool = ExprPool::new();
+        let mut ts = TransitionSystem::new("reaches");
+        let c = ts.add_register(&mut pool, "c", 4, 0);
+        let ce = pool.var_expr(c);
+        let one = pool.lit(4, 1);
+        let next = pool.add(ce, one);
+        ts.set_next(c, next);
+        let five = pool.lit(4, 5);
+        let bad = pool.eq(ce, five);
+        ts.add_bad("reaches_5", bad);
+        let result = prove(&ts, &mut pool, &InductionOptions::default());
+        match result {
+            InductionResult::Counterexample(cex) => {
+                assert_eq!(cex.depth, 5);
+                assert!(cex.replay(&ts, &pool));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_inductive_at_zero_needs_deeper_k() {
+        // Two-phase toggler: parity register and a counter that only
+        // moves every other cycle; bad needs the phase relation, which is
+        // not 0-inductive but provable at small k with simple-path.
+        let mut pool = ExprPool::new();
+        let mut ts = TransitionSystem::new("toggler");
+        let phase = ts.add_register(&mut pool, "phase", 1, 0);
+        let c = ts.add_register(&mut pool, "c", 2, 0);
+        let pe = pool.var_expr(phase);
+        let np = pool.not(pe);
+        ts.set_next(phase, np);
+        let ce = pool.var_expr(c);
+        let one = pool.lit(2, 1);
+        let inc = pool.add(ce, one);
+        let wrapped = {
+            let two = pool.lit(2, 2);
+            let at2 = pool.uge(ce, two);
+            let zero = pool.lit(2, 0);
+            pool.ite(at2, zero, inc)
+        };
+        let next_c = pool.ite(pe, wrapped, ce);
+        ts.set_next(c, next_c);
+        let three = pool.lit(2, 3);
+        let bad = pool.eq(ce, three);
+        ts.add_bad("c_is_3", bad);
+        let result = prove(&ts, &mut pool, &InductionOptions::default());
+        match result {
+            InductionResult::Proved { k } => assert!(k <= 6, "k = {k}"),
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_when_not_inductive_within_budget() {
+        // A counter that wraps through the full 4-bit space with the bad
+        // at an unreachable odd... actually make the bad reachable only
+        // from unreachable states: c increments by 2 from 0, bad at odd
+        // value 7. Without simple-path this is never k-inductive (the
+        // arbitrary start state can be odd); with simple-path it proves
+        // once paths exhaust. Use simple_path = false to get Unknown.
+        let mut pool = ExprPool::new();
+        let mut ts = TransitionSystem::new("even_counter");
+        let c = ts.add_register(&mut pool, "c", 4, 0);
+        let ce = pool.var_expr(c);
+        let two = pool.lit(4, 2);
+        let next = pool.add(ce, two);
+        ts.set_next(c, next);
+        let seven = pool.lit(4, 7);
+        let bad = pool.eq(ce, seven);
+        ts.add_bad("odd_reached", bad);
+        let opts = InductionOptions {
+            max_k: 3,
+            simple_path: false,
+            conflict_budget: None,
+        };
+        let result = prove(&ts, &mut pool, &opts);
+        assert!(matches!(result, InductionResult::Unknown { .. }), "{result:?}");
+        // With simple-path it proves (even states only, paths of length
+        // 8 exhaust the even subspace).
+        let opts = InductionOptions {
+            max_k: 10,
+            simple_path: true,
+            conflict_budget: None,
+        };
+        let result = prove(&ts, &mut pool, &opts);
+        assert!(result.is_proved(), "{result:?}");
+    }
+}

@@ -1,0 +1,805 @@
+//! Bounded model checking over transition systems.
+//!
+//! [`Bmc`] unrolls a [`TransitionSystem`] frame by frame, bit-blasts the
+//! unrolled circuit into one incremental SAT instance, and checks each
+//! *bad* property at every depth. Properties are activated through
+//! assumption literals, so one solver instance (with all its learned
+//! clauses) is reused across depths — the standard incremental-BMC
+//! architecture that the A-QED paper relies on ("progress in BMC tools").
+//!
+//! On a satisfiable query the engine extracts a [`Counterexample`]: the
+//! concrete per-cycle inputs and the initial values of uninitialised
+//! registers, expressed over the *original* system variables so the trace
+//! replays directly on the [`Simulator`](aqed_tsys::Simulator).
+//!
+//! # Examples
+//!
+//! A counter that must never reach 5 — BMC finds the shortest witness:
+//!
+//! ```
+//! use aqed_bmc::{Bmc, BmcOptions, BmcResult};
+//! use aqed_tsys::TransitionSystem;
+//! use aqed_expr::ExprPool;
+//!
+//! let mut p = ExprPool::new();
+//! let mut ts = TransitionSystem::new("counter");
+//! let en = ts.add_input(&mut p, "en", 1);
+//! let c = ts.add_register(&mut p, "c", 4, 0);
+//! let ce = p.var_expr(c);
+//! let one = p.lit(4, 1);
+//! let inc = p.add(ce, one);
+//! let ene = p.var_expr(en);
+//! let next = p.ite(ene, inc, ce);
+//! ts.set_next(c, next);
+//! let five = p.lit(4, 5);
+//! let hit = p.eq(ce, five);
+//! ts.add_bad("reaches_5", hit);
+//!
+//! let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(10));
+//! match bmc.check(&ts, &mut p) {
+//!     BmcResult::Counterexample(cex) => {
+//!         assert_eq!(cex.bad_name, "reaches_5");
+//!         assert_eq!(cex.depth, 5); // 5 enables needed
+//!     }
+//!     other => panic!("expected counterexample, got {other:?}"),
+//! }
+//! ```
+
+pub mod kind;
+mod witness;
+
+pub use witness::to_btor2_witness;
+
+use aqed_bitblast::BitBlaster;
+use aqed_bitvec::Bv;
+use aqed_expr::{ExprPool, ExprRef, VarId};
+use aqed_sat::{Lit, SolveResult, Solver};
+use aqed_tsys::{Simulator, Trace, TransitionSystem};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration for a BMC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BmcOptions {
+    /// Maximum unrolling depth (number of frames − 1). Frame `k` means
+    /// the bad is evaluated after `k` transitions.
+    pub max_bound: usize,
+    /// Reuse one solver across depths (true, default) or re-encode from
+    /// scratch per depth (false; ablation baseline).
+    pub incremental: bool,
+    /// Optional per-`check` conflict budget; exceeding it yields
+    /// [`BmcResult::Unknown`].
+    pub conflict_budget: Option<u64>,
+    /// After a depth is proven violation-free, permanently assert the
+    /// negation of that frame's bad literals. Sound; helps some
+    /// instances (the AES equivalence proofs) and hurts others — measure
+    /// per design.
+    pub prune_checked_bads: bool,
+}
+
+impl Default for BmcOptions {
+    fn default() -> Self {
+        BmcOptions {
+            max_bound: 30,
+            incremental: true,
+            conflict_budget: None,
+            prune_checked_bads: false,
+        }
+    }
+}
+
+impl BmcOptions {
+    /// Returns the options with the given maximum bound.
+    #[must_use]
+    pub fn with_max_bound(mut self, bound: usize) -> Self {
+        self.max_bound = bound;
+        self
+    }
+
+    /// Returns the options with incremental solving enabled or disabled.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Returns the options with a conflict budget.
+    #[must_use]
+    pub fn with_conflict_budget(mut self, budget: Option<u64>) -> Self {
+        self.conflict_budget = budget;
+        self
+    }
+
+    /// Returns the options with checked-bad pruning enabled or disabled.
+    #[must_use]
+    pub fn with_prune_checked_bads(mut self, prune: bool) -> Self {
+        self.prune_checked_bads = prune;
+        self
+    }
+}
+
+/// A concrete witness violating a bad property.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Name of the violated property.
+    pub bad_name: String,
+    /// Index of the violated property in [`TransitionSystem::bads`].
+    pub bad_index: usize,
+    /// Frame at which the property fired (0-based). The trace has
+    /// `depth + 1` cycles: the violating evaluation happens in the last
+    /// one.
+    pub depth: usize,
+    /// Per-cycle input assignments over the original input variables.
+    pub trace: Trace,
+    /// Concrete initial values chosen for uninitialised registers.
+    pub initial_state: HashMap<VarId, Bv>,
+}
+
+impl Counterexample {
+    /// Trace length in clock cycles (the paper's "CEX length").
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.depth + 1
+    }
+
+    /// Replays the counterexample on the concrete simulator and returns
+    /// whether the reported bad property indeed fires at `depth`.
+    /// A sound BMC engine always returns `true` here; the test suites use
+    /// this as an end-to-end cross-check.
+    #[must_use]
+    pub fn replay(&self, ts: &TransitionSystem, pool: &ExprPool) -> bool {
+        let mut sim = Simulator::with_state(ts, pool, &self.initial_state);
+        for k in 0..=self.depth {
+            let inputs: Vec<(VarId, Bv)> = self.trace.frame(k).to_vec();
+            let rec = sim.step_with(ts, pool, &inputs);
+            if k == self.depth {
+                return rec.violated_bads.contains(&self.bad_index);
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "counterexample to '{}' at depth {} ({} cycles)",
+            self.bad_name,
+            self.depth,
+            self.cycles()
+        )
+    }
+}
+
+/// Outcome of a BMC run.
+#[derive(Debug, Clone)]
+pub enum BmcResult {
+    /// A violation was found; the witness is the *shortest* within the
+    /// explored depths (depths are explored in increasing order).
+    Counterexample(Counterexample),
+    /// No violation exists within `bound` transitions.
+    NoCounterexample {
+        /// The deepest bound fully checked.
+        bound: usize,
+    },
+    /// The conflict budget was exhausted at the given depth.
+    Unknown {
+        /// The depth being explored when the budget ran out.
+        bound: usize,
+    },
+}
+
+impl BmcResult {
+    /// The counterexample, if any.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            BmcResult::Counterexample(cex) => Some(cex),
+            _ => None,
+        }
+    }
+
+    /// Whether the run proved the absence of violations up to its bound.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, BmcResult::NoCounterexample { .. })
+    }
+}
+
+/// Statistics of the most recent [`Bmc::check`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BmcStats {
+    /// Deepest frame encoded.
+    pub frames_encoded: usize,
+    /// Total SAT solver calls.
+    pub solver_calls: u64,
+    /// CNF clauses in the solver at the end of the run.
+    pub clauses: usize,
+    /// CNF variables in the solver at the end of the run.
+    pub variables: usize,
+    /// Wall-clock time of the whole check.
+    pub elapsed: Duration,
+}
+
+/// The bounded model checker. Create once per system with [`Bmc::new`],
+/// then call [`Bmc::check`].
+#[derive(Debug)]
+pub struct Bmc {
+    options: BmcOptions,
+    stats: BmcStats,
+    /// Selected bad indices; `None` = all bads of the system.
+    bad_filter: Option<Vec<usize>>,
+}
+
+impl Bmc {
+    /// Creates a checker for `ts` with the given options.
+    ///
+    /// The system reference is only used for upfront sanity checks; pass
+    /// the same system to [`Bmc::check`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no bad properties.
+    #[must_use]
+    pub fn new(ts: &TransitionSystem, options: BmcOptions) -> Self {
+        assert!(
+            !ts.bads().is_empty(),
+            "system '{}' has no bad properties to check",
+            ts.name()
+        );
+        Bmc {
+            options,
+            stats: BmcStats::default(),
+            bad_filter: None,
+        }
+    }
+
+    /// Restricts checking to the named properties (default: all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name does not exist in the system.
+    pub fn select_bads(&mut self, ts: &TransitionSystem, names: &[&str]) {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                ts.bad_index(n)
+                    .unwrap_or_else(|| panic!("no bad property named '{n}'"))
+            })
+            .collect();
+        self.bad_filter = Some(idx);
+    }
+
+    /// Statistics of the most recent check.
+    #[must_use]
+    pub fn stats(&self) -> BmcStats {
+        self.stats
+    }
+
+    /// Runs BMC on `ts` (which must be validated and identical to the one
+    /// passed to [`Bmc::new`]), exploring depths `0..=max_bound` in order
+    /// and returning at the first violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails validation (call
+    /// [`TransitionSystem::validate`] first for a proper error value).
+    pub fn check(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
+        let start = Instant::now();
+        ts.validate(pool).expect("system must be well-formed");
+        let result = if self.options.incremental {
+            self.check_incremental(ts, pool)
+        } else {
+            self.check_monolithic(ts, pool)
+        };
+        self.stats.elapsed = start.elapsed();
+        result
+    }
+
+    fn bad_indices(&self, ts: &TransitionSystem) -> Vec<usize> {
+        self.bad_filter
+            .clone()
+            .unwrap_or_else(|| (0..ts.bads().len()).collect())
+    }
+
+    fn check_incremental(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
+        let mut solver = Solver::new();
+        let mut blaster = BitBlaster::new();
+        solver.set_conflict_budget(self.options.conflict_budget);
+        let mut unroller = Unroller::new(ts, pool);
+        let bad_idx = self.bad_indices(ts);
+        self.stats = BmcStats::default();
+        for k in 0..=self.options.max_bound {
+            unroller.extend_to(ts, pool, k);
+            self.stats.frames_encoded = k;
+            // Assert this frame's constraints permanently.
+            for &c in &unroller.frames[k].constraints {
+                blaster.assert_true(pool, c, &mut solver);
+            }
+            // One activation literal per (bad, frame).
+            let mut frame_bad_lits: Vec<(usize, Lit)> = Vec::new();
+            for &bi in &bad_idx {
+                let bexpr = unroller.frames[k].bads[bi];
+                if pool.as_const(bexpr).is_some_and(|v| !v.is_true()) {
+                    continue; // statically false at this depth
+                }
+                let lit = blaster.literal(pool, bexpr, &mut solver);
+                frame_bad_lits.push((bi, lit));
+            }
+            if frame_bad_lits.is_empty() {
+                continue;
+            }
+            // Single query: any of this frame's bads.
+            let any = self.encode_disjunction(&frame_bad_lits, &mut solver);
+            self.stats.solver_calls += 1;
+            match solver.solve_with(&[any]) {
+                SolveResult::Sat => {
+                    let cex =
+                        unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
+                    self.finish_stats(&solver);
+                    return BmcResult::Counterexample(cex);
+                }
+                SolveResult::Unsat => {
+                    if self.options.prune_checked_bads {
+                        // This depth is proven violation-free: fix the
+                        // frame's bad literals to false permanently
+                        // (sound: they are unreachable).
+                        for &(_, lit) in &frame_bad_lits {
+                            solver.add_clause([!lit]);
+                        }
+                    }
+                }
+                SolveResult::Unknown => {
+                    self.finish_stats(&solver);
+                    return BmcResult::Unknown { bound: k };
+                }
+            }
+        }
+        self.finish_stats(&solver);
+        BmcResult::NoCounterexample {
+            bound: self.options.max_bound,
+        }
+    }
+
+    fn check_monolithic(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
+        let bad_idx = self.bad_indices(ts);
+        self.stats = BmcStats::default();
+        for k in 0..=self.options.max_bound {
+            // Fresh solver and blaster per depth: the ablation baseline.
+            let mut solver = Solver::new();
+            let mut blaster = BitBlaster::new();
+            solver.set_conflict_budget(self.options.conflict_budget);
+            let mut unroller = Unroller::new(ts, pool);
+            unroller.extend_to(ts, pool, k);
+            self.stats.frames_encoded = k;
+            for frame in &unroller.frames {
+                for &c in &frame.constraints {
+                    blaster.assert_true(pool, c, &mut solver);
+                }
+            }
+            let mut frame_bad_lits: Vec<(usize, Lit)> = Vec::new();
+            for &bi in &bad_idx {
+                let bexpr = unroller.frames[k].bads[bi];
+                if pool.as_const(bexpr).is_some_and(|v| !v.is_true()) {
+                    continue;
+                }
+                let lit = blaster.literal(pool, bexpr, &mut solver);
+                frame_bad_lits.push((bi, lit));
+            }
+            if frame_bad_lits.is_empty() {
+                continue;
+            }
+            let any = self.encode_disjunction(&frame_bad_lits, &mut solver);
+            self.stats.solver_calls += 1;
+            match solver.solve_with(&[any]) {
+                SolveResult::Sat => {
+                    let cex =
+                        unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
+                    self.finish_stats(&solver);
+                    return BmcResult::Counterexample(cex);
+                }
+                SolveResult::Unsat => {}
+                SolveResult::Unknown => {
+                    self.finish_stats(&solver);
+                    return BmcResult::Unknown { bound: k };
+                }
+            }
+            self.finish_stats(&solver);
+        }
+        BmcResult::NoCounterexample {
+            bound: self.options.max_bound,
+        }
+    }
+
+    /// Encodes `any = l1 ∨ l2 ∨ …` via an auxiliary variable usable as an
+    /// assumption.
+    fn encode_disjunction(&self, lits: &[(usize, Lit)], solver: &mut Solver) -> Lit {
+        if lits.len() == 1 {
+            return lits[0].1;
+        }
+        let any = solver.new_var().pos();
+        let mut clause: Vec<Lit> = vec![!any];
+        clause.extend(lits.iter().map(|&(_, l)| l));
+        solver.add_clause(clause);
+        any
+    }
+
+    fn finish_stats(&mut self, solver: &Solver) {
+        self.stats.clauses = solver.num_clauses();
+        self.stats.variables = solver.num_vars();
+    }
+}
+
+/// One unrolled frame: every system expression rewritten over frame-local
+/// input variables and the accumulated symbolic state.
+#[derive(Debug)]
+struct Frame {
+    /// Fresh variable per original input.
+    input_vars: HashMap<VarId, VarId>,
+    /// Constraint expressions of this frame.
+    constraints: Vec<ExprRef>,
+    /// Bad expressions of this frame (index-aligned with the system).
+    bads: Vec<ExprRef>,
+}
+
+#[derive(Debug)]
+struct Unroller {
+    frames: Vec<Frame>,
+    /// Symbolic state entering the *next* frame to be created.
+    state_exprs: HashMap<VarId, ExprRef>,
+    /// Fresh frame-0 variables standing in for uninitialised registers.
+    free_initials: HashMap<VarId, VarId>,
+}
+
+impl Unroller {
+    fn new(ts: &TransitionSystem, pool: &mut ExprPool) -> Self {
+        // Frame-0 state: init expression or a fresh free variable.
+        let mut state_exprs: HashMap<VarId, ExprRef> = HashMap::new();
+        let mut free_initials = HashMap::new();
+        // Fixpoint over init expressions that reference other states.
+        for s in ts.states() {
+            if s.init.is_none() {
+                let w = pool.var_width(s.var);
+                let name = format!("{}@init", pool.var_name(s.var));
+                let fv = pool.var(name, w, aqed_expr::VarKind::Input);
+                free_initials.insert(s.var, fv);
+                state_exprs.insert(s.var, pool.var_expr(fv));
+            }
+        }
+        let mut pending: Vec<(VarId, ExprRef)> = ts
+            .states()
+            .iter()
+            .filter_map(|s| s.init.map(|i| (s.var, i)))
+            .collect();
+        let mut progress = true;
+        while progress && !pending.is_empty() {
+            progress = false;
+            let mut remaining = Vec::new();
+            for (var, init) in pending {
+                let deps = pool.support(init);
+                if deps.iter().all(|d| state_exprs.contains_key(d)) {
+                    let e = pool.substitute(init, &state_exprs);
+                    state_exprs.insert(var, e);
+                    progress = true;
+                } else {
+                    remaining.push((var, init));
+                }
+            }
+            pending = remaining;
+        }
+        assert!(pending.is_empty(), "cyclic init expressions");
+        Unroller {
+            frames: Vec::new(),
+            state_exprs,
+            free_initials,
+        }
+    }
+
+    /// Ensures frames `0..=k` exist.
+    fn extend_to(&mut self, ts: &TransitionSystem, pool: &mut ExprPool, k: usize) {
+        while self.frames.len() <= k {
+            let fidx = self.frames.len();
+            // Fresh input variables for this frame.
+            let mut map = self.state_exprs.clone();
+            let mut input_vars = HashMap::new();
+            for &iv in ts.inputs() {
+                let w = pool.var_width(iv);
+                let name = format!("{}@{}", pool.var_name(iv), fidx);
+                let fv = pool.var(name, w, aqed_expr::VarKind::Input);
+                input_vars.insert(iv, fv);
+                map.insert(iv, pool.var_expr(fv));
+            }
+            let constraints: Vec<ExprRef> = ts
+                .constraints()
+                .iter()
+                .map(|&c| pool.substitute(c, &map))
+                .collect();
+            let bads: Vec<ExprRef> = ts
+                .bads()
+                .iter()
+                .map(|&(_, b)| pool.substitute(b, &map))
+                .collect();
+            // Advance symbolic state.
+            let next_roots: Vec<ExprRef> = ts
+                .states()
+                .iter()
+                .map(|s| s.next.expect("validated"))
+                .collect();
+            let next_exprs = pool.substitute_all(&next_roots, &map);
+            for (s, e) in ts.states().iter().zip(next_exprs) {
+                self.state_exprs.insert(s.var, e);
+            }
+            self.frames.push(Frame {
+                input_vars,
+                constraints,
+                bads,
+            });
+        }
+    }
+
+    fn extract_cex(
+        &self,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        blaster: &BitBlaster,
+        solver: &Solver,
+        depth: usize,
+        frame_bad_lits: &[(usize, Lit)],
+    ) -> Counterexample {
+        // Which bad fired? (At least one of the assumed disjuncts is true.)
+        let (bad_index, _) = frame_bad_lits
+            .iter()
+            .find(|&&(_, l)| solver.model_lit(l) == Some(true))
+            .copied()
+            .expect("SAT model satisfies at least one disjunct");
+        let bad_name = ts.bads()[bad_index].0.clone();
+        // Initial values of uninitialised registers.
+        let mut initial_state = HashMap::new();
+        for (&orig, &fv) in &self.free_initials {
+            let val = blaster
+                .model_var(pool, fv, solver)
+                .unwrap_or_else(|| Bv::zero(pool.var_width(orig)));
+            initial_state.insert(orig, val);
+        }
+        // Inputs per frame, mapped back to the original variables.
+        let mut trace = Trace::new();
+        for frame in self.frames.iter().take(depth + 1) {
+            let mut inputs: Vec<(VarId, Bv)> = ts
+                .inputs()
+                .iter()
+                .map(|&iv| {
+                    let fv = frame.input_vars[&iv];
+                    let val = blaster
+                        .model_var(pool, fv, solver)
+                        .unwrap_or_else(|| Bv::zero(pool.var_width(iv)));
+                    (iv, val)
+                })
+                .collect();
+            inputs.sort_by_key(|&(v, _)| v);
+            trace.push_frame(inputs);
+        }
+        Counterexample {
+            bad_name,
+            bad_index,
+            depth,
+            trace,
+            initial_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter with enable; bad when count reaches `target`.
+    fn counter_system(pool: &mut ExprPool, target: u64) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("counter");
+        let en = ts.add_input(pool, "en", 1);
+        let c = ts.add_register(pool, "c", 4, 0);
+        let ce = pool.var_expr(c);
+        let one = pool.lit(4, 1);
+        let inc = pool.add(ce, one);
+        let ene = pool.var_expr(en);
+        let next = pool.ite(ene, inc, ce);
+        ts.set_next(c, next);
+        let t = pool.lit(4, target);
+        let hit = pool.eq(ce, t);
+        ts.add_bad("reach_target", hit);
+        ts
+    }
+
+    #[test]
+    fn finds_shortest_counterexample() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(10));
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("must find");
+        assert_eq!(cex.depth, 3);
+        assert_eq!(cex.cycles(), 4);
+        assert!(cex.replay(&ts, &p), "counterexample must replay");
+        assert!(bmc.stats().solver_calls >= 1);
+        assert!(bmc.stats().clauses > 0);
+    }
+
+    #[test]
+    fn proves_bounded_safety() {
+        let mut p = ExprPool::new();
+        // Target 12 unreachable within bound 5.
+        let ts = counter_system(&mut p, 12);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(5));
+        let result = bmc.check(&ts, &mut p);
+        assert!(result.is_clean());
+        match result {
+            BmcResult::NoCounterexample { bound } => assert_eq!(bound, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monolithic_agrees_with_incremental() {
+        for target in [2u64, 6] {
+            let mut p1 = ExprPool::new();
+            let ts1 = counter_system(&mut p1, target);
+            let mut inc = Bmc::new(&ts1, BmcOptions::default().with_max_bound(10));
+            let r1 = inc.check(&ts1, &mut p1);
+
+            let mut p2 = ExprPool::new();
+            let ts2 = counter_system(&mut p2, target);
+            let mut mono = Bmc::new(
+                &ts2,
+                BmcOptions::default()
+                    .with_max_bound(10)
+                    .with_incremental(false),
+            );
+            let r2 = mono.check(&ts2, &mut p2);
+            let d1 = r1.counterexample().map(|c| c.depth);
+            let d2 = r2.counterexample().map(|c| c.depth);
+            assert_eq!(d1, d2);
+            assert_eq!(d1, Some(target as usize));
+        }
+    }
+
+    #[test]
+    fn constraints_restrict_inputs() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("constrained");
+        let en = ts.add_input(&mut p, "en", 1);
+        let c = ts.add_register(&mut p, "c", 4, 0);
+        let ce = p.var_expr(c);
+        let one = p.lit(4, 1);
+        let inc = p.add(ce, one);
+        let ene = p.var_expr(en);
+        let next = p.ite(ene, inc, ce);
+        ts.set_next(c, next);
+        // Environment never asserts enable → counter never moves.
+        let nen = p.not(ene);
+        ts.add_constraint(nen);
+        let t = p.lit(4, 1);
+        let hit = p.eq(ce, t);
+        ts.add_bad("reach_1", hit);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(8));
+        assert!(bmc.check(&ts, &mut p).is_clean());
+    }
+
+    #[test]
+    fn uninitialised_state_found_in_initial_frame() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("free_init");
+        let s = ts.add_state(&mut p, "s", 8); // no init: free power-on value
+        let se = p.var_expr(s);
+        ts.set_next(s, se); // holds forever
+        let k = p.lit(8, 0x5A);
+        let hit = p.eq(se, k);
+        ts.add_bad("s_is_5a", hit);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(3));
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("initial state can be 0x5A");
+        assert_eq!(cex.depth, 0);
+        assert_eq!(cex.initial_state[&s], Bv::new(8, 0x5A));
+        assert!(cex.replay(&ts, &p));
+    }
+
+    #[test]
+    fn multiple_bads_reports_first_reachable() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("multi");
+        let c = ts.add_register(&mut p, "c", 4, 0);
+        let ce = p.var_expr(c);
+        let one = p.lit(4, 1);
+        let next = p.add(ce, one);
+        ts.set_next(c, next);
+        let far = p.lit(4, 9);
+        let near = p.lit(4, 2);
+        let hit_far = p.eq(ce, far);
+        let hit_near = p.eq(ce, near);
+        ts.add_bad("far", hit_far);
+        ts.add_bad("near", hit_near);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(15));
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("finds near first");
+        assert_eq!(cex.bad_name, "near");
+        assert_eq!(cex.depth, 2);
+    }
+
+    #[test]
+    fn select_bads_filters() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("multi");
+        let c = ts.add_register(&mut p, "c", 4, 0);
+        let ce = p.var_expr(c);
+        let one = p.lit(4, 1);
+        let next = p.add(ce, one);
+        ts.set_next(c, next);
+        let far = p.lit(4, 9);
+        let near = p.lit(4, 2);
+        let hit_far = p.eq(ce, far);
+        let hit_near = p.eq(ce, near);
+        ts.add_bad("far", hit_far);
+        ts.add_bad("near", hit_near);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(15));
+        bmc.select_bads(&ts, &["far"]);
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("far reachable at 9");
+        assert_eq!(cex.bad_name, "far");
+        assert_eq!(cex.depth, 9);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A factoring-style instance (x * y == semiprime with both
+        // factors nontrivial) needs real search, so a 1-conflict budget
+        // cannot finish it.
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("hard");
+        let x = ts.add_input(&mut p, "x", 16);
+        let y = ts.add_input(&mut p, "y", 16);
+        let dummy = ts.add_register(&mut p, "dummy", 1, 0);
+        let de = p.var_expr(dummy);
+        ts.set_next(dummy, de);
+        let xe = p.var_expr(x);
+        let ye = p.var_expr(y);
+        let prod = p.mul(xe, ye);
+        let k = p.lit(16, 58_483); // 251 * 233
+        let one = p.lit(16, 1);
+        let hit = p.eq(prod, k);
+        let xg = p.ugt(xe, one);
+        let yg = p.ugt(ye, one);
+        let hard = p.and_all([hit, xg, yg]);
+        ts.add_bad("factorable", hard);
+        let mut bmc = Bmc::new(
+            &ts,
+            BmcOptions::default()
+                .with_max_bound(6)
+                .with_conflict_budget(Some(1)),
+        );
+        let result = bmc.check(&ts, &mut p);
+        assert!(matches!(result, BmcResult::Unknown { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no bad properties")]
+    fn rejects_system_without_bads() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("nothing");
+        let s = ts.add_register(&mut p, "s", 1, 0);
+        let se = p.var_expr(s);
+        ts.set_next(s, se);
+        let _ = Bmc::new(&ts, BmcOptions::default());
+    }
+
+    #[test]
+    fn cex_display_and_result_helpers() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 1);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(4));
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("found");
+        let text = cex.to_string();
+        assert!(text.contains("reach_target"));
+        assert!(!result.is_clean());
+    }
+}

@@ -1,0 +1,99 @@
+//! BTOR2 witness output for counterexamples.
+//!
+//! Pairs with [`aqed_tsys::to_btor2`]: a counterexample found by this
+//! engine can be written in the BTOR2 witness format understood by
+//! `btorsim` and friends, keyed by the same input/state declaration
+//! order the exporter emits.
+
+use crate::Counterexample;
+use aqed_expr::ExprPool;
+use aqed_tsys::TransitionSystem;
+use std::fmt::Write as _;
+
+/// Renders the counterexample in BTOR2 witness format.
+///
+/// The property index refers to the system's bad-property order; input
+/// and state indices refer to declaration order (matching
+/// [`aqed_tsys::to_btor2`]'s output).
+#[must_use]
+pub fn to_btor2_witness(
+    cex: &Counterexample,
+    ts: &TransitionSystem,
+    pool: &ExprPool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "sat");
+    let _ = writeln!(out, "b{}", cex.bad_index);
+    // Initial state assignments (only registers the engine chose freely).
+    let _ = writeln!(out, "#0");
+    for (idx, st) in ts.states().iter().enumerate() {
+        if let Some(v) = cex.initial_state.get(&st.var) {
+            let w = pool.var_width(st.var);
+            let _ = writeln!(
+                out,
+                "{idx} {:0width$b} {}#0",
+                v.to_u64(),
+                pool.var_name(st.var),
+                width = w as usize
+            );
+        }
+    }
+    // Inputs per frame.
+    for frame in 0..cex.trace.len() {
+        let _ = writeln!(out, "@{frame}");
+        for (idx, &iv) in ts.inputs().iter().enumerate() {
+            if let Some(v) = cex.trace.value(frame, iv) {
+                let w = pool.var_width(iv);
+                let _ = writeln!(
+                    out,
+                    "{idx} {:0width$b} {}@{frame}",
+                    v.to_u64(),
+                    pool.var_name(iv),
+                    width = w as usize
+                );
+            }
+        }
+    }
+    out.push_str(".\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bmc, BmcOptions, BmcResult};
+
+    #[test]
+    fn witness_has_expected_structure() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("w");
+        let en = ts.add_input(&mut p, "en", 1);
+        let c = ts.add_register(&mut p, "c", 4, 0);
+        let free = ts.add_state(&mut p, "free", 2); // uninitialised
+        let fe = p.var_expr(free);
+        ts.set_next(free, fe);
+        let ce = p.var_expr(c);
+        let one = p.lit(4, 1);
+        let inc = p.add(ce, one);
+        let ene = p.var_expr(en);
+        let next = p.ite(ene, inc, ce);
+        ts.set_next(c, next);
+        let three = p.lit(4, 3);
+        let hit = p.eq(ce, three);
+        ts.add_bad("reach3", hit);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(6));
+        let cex = match bmc.check(&ts, &mut p) {
+            BmcResult::Counterexample(c) => c,
+            other => panic!("{other:?}"),
+        };
+        let w = to_btor2_witness(&cex, &ts, &p);
+        assert!(w.starts_with("sat\nb0\n#0\n"));
+        assert!(w.contains("@0"));
+        assert!(w.contains("en@0"));
+        assert!(w.contains("free#0"), "free initial state recorded: {w}");
+        assert!(w.trim_end().ends_with('.'));
+        // One @frame section per trace cycle.
+        let frames = w.lines().filter(|l| l.starts_with('@')).count();
+        assert_eq!(frames, cex.trace.len());
+    }
+}

@@ -1,0 +1,499 @@
+//! Implementation of the `aqed` command-line tool.
+//!
+//! The CLI exposes the catalogued case studies to the shell:
+//!
+//! ```text
+//! aqed list                       # enumerate the bug cases
+//! aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
+//! aqed conventional <case>        # run the simulation baseline
+//! aqed hybrid <case>              # hybrid QED (monitor in simulation)
+//! aqed export-btor2 <case> [--monitor]
+//! ```
+//!
+//! Argument parsing is by hand (no external dependencies); the library
+//! portion is testable without spawning a process.
+
+use aqed_bmc::{to_btor2_witness, Bmc, BmcOptions, BmcResult};
+use aqed_core::{run_hybrid, AqedHarness, HybridConfig};
+use aqed_designs::{all_cases, BugCase};
+use aqed_expr::ExprPool;
+use aqed_sim::Testbench;
+use aqed_tsys::{to_btor2, to_vcd};
+use std::fmt;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `aqed list`
+    List,
+    /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]`
+    Verify {
+        /// Case id.
+        case: String,
+        /// Override the catalogue's BMC bound.
+        bound: Option<usize>,
+        /// Verify the healthy variant instead of the buggy one.
+        healthy: bool,
+        /// Write the counterexample as VCD to this path.
+        vcd: Option<String>,
+        /// Print the BTOR2 witness.
+        witness: bool,
+    },
+    /// `aqed conventional <case>`
+    Conventional {
+        /// Case id.
+        case: String,
+    },
+    /// `aqed hybrid <case>`
+    Hybrid {
+        /// Case id.
+        case: String,
+    },
+    /// `aqed export-btor2 <case> [--monitor]`
+    ExportBtor2 {
+        /// Case id.
+        case: String,
+        /// Export the composed design+monitor system instead of the bare
+        /// design.
+        monitor: bool,
+    },
+    /// `aqed help`
+    Help,
+}
+
+/// Error produced when the command line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError(pub String);
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseCommandError`] on unknown subcommands, missing
+/// operands or malformed flags.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCommandError> {
+    let args: Vec<String> = args.into_iter().collect();
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "verify" => {
+            let case = operand(&args, 1, "verify")?;
+            let mut bound = None;
+            let mut healthy = false;
+            let mut vcd = None;
+            let mut witness = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--bound" => {
+                        i += 1;
+                        let v = args.get(i).ok_or_else(|| {
+                            ParseCommandError("--bound needs a value".into())
+                        })?;
+                        bound = Some(v.parse().map_err(|_| {
+                            ParseCommandError(format!("invalid bound '{v}'"))
+                        })?);
+                    }
+                    "--healthy" => healthy = true,
+                    "--witness" => witness = true,
+                    "--vcd" => {
+                        i += 1;
+                        vcd = Some(
+                            args.get(i)
+                                .ok_or_else(|| ParseCommandError("--vcd needs a path".into()))?
+                                .clone(),
+                        );
+                    }
+                    other => {
+                        return Err(ParseCommandError(format!("unknown flag '{other}'")));
+                    }
+                }
+                i += 1;
+            }
+            Ok(Command::Verify {
+                case,
+                bound,
+                healthy,
+                vcd,
+                witness,
+            })
+        }
+        "conventional" => Ok(Command::Conventional {
+            case: operand(&args, 1, "conventional")?,
+        }),
+        "hybrid" => Ok(Command::Hybrid {
+            case: operand(&args, 1, "hybrid")?,
+        }),
+        "export-btor2" => {
+            let case = operand(&args, 1, "export-btor2")?;
+            let monitor = args.iter().any(|a| a == "--monitor");
+            Ok(Command::ExportBtor2 { case, monitor })
+        }
+        other => Err(ParseCommandError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn operand(args: &[String], idx: usize, cmd: &str) -> Result<String, ParseCommandError> {
+    args.get(idx)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .ok_or_else(|| ParseCommandError(format!("'{cmd}' needs a case id (try `aqed list`)")))
+}
+
+/// The usage text printed by `aqed help`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "aqed — A-QED verification of hardware accelerators (DAC 2020 reproduction)
+
+USAGE:
+  aqed list                            enumerate the catalogued bug cases
+  aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
+                                       run A-QED (BMC) on a case
+  aqed conventional <case>             run the conventional simulation flow
+  aqed hybrid <case>                   run hybrid QED (monitor in simulation)
+  aqed export-btor2 <case> [--monitor] print the design (or design+monitor) as BTOR2
+  aqed help                            this text
+"
+}
+
+fn find_case(id: &str) -> Result<BugCase, String> {
+    all_cases()
+        .into_iter()
+        .find(|c| c.id == id)
+        .ok_or_else(|| format!("unknown case '{id}'; try `aqed list`"))
+}
+
+/// Executes a parsed command, writing human-readable output through
+/// `out`. Returns the process exit code.
+///
+/// # Errors
+///
+/// I/O errors from the output sink are returned verbatim.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{}", usage())?;
+            Ok(0)
+        }
+        Command::List => {
+            writeln!(
+                out,
+                "{:<32} {:<12} {:<14} {:>5} {:>6} {:>13}",
+                "case", "design", "config", "prop", "bound", "conventional"
+            )?;
+            for case in all_cases() {
+                writeln!(
+                    out,
+                    "{:<32} {:<12} {:<14} {:>5} {:>6} {:>13}",
+                    case.id,
+                    case.design.to_string(),
+                    case.config,
+                    case.expected.to_string(),
+                    case.bmc_bound,
+                    if case.conventional_detectable {
+                        "detects"
+                    } else {
+                        "misses"
+                    }
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Verify {
+            case,
+            bound,
+            healthy,
+            vcd,
+            witness,
+        } => {
+            let case = match find_case(case) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let mut pool = ExprPool::new();
+            let lca = if *healthy {
+                (case.build_healthy)(&mut pool)
+            } else {
+                (case.build_buggy)(&mut pool)
+            };
+            let mut harness = AqedHarness::new(&lca);
+            if let Some(fc) = &case.fc {
+                harness = harness.with_fc(fc.clone());
+            }
+            if let Some(rb) = &case.rb {
+                harness = harness.with_rb(*rb);
+            }
+            // Build once and run BMC directly so the counterexample and
+            // the exported model share one variable space.
+            let (composed, _) = harness.build(&mut pool);
+            let b = bound.unwrap_or(case.bmc_bound);
+            let mut bmc = Bmc::new(&composed, BmcOptions::default().with_max_bound(b));
+            match bmc.check(&composed, &mut pool) {
+                BmcResult::Counterexample(cex) => {
+                    writeln!(
+                        out,
+                        "bug: {cex} ({:?}, {} clauses)",
+                        bmc.stats().elapsed,
+                        bmc.stats().clauses
+                    )?;
+                    writeln!(out, "\ninput trace:")?;
+                    writeln!(out, "{}", cex.trace.to_table(&pool))?;
+                    if *witness {
+                        writeln!(out, "BTOR2 witness:")?;
+                        write!(out, "{}", to_btor2_witness(&cex, &composed, &pool))?;
+                    }
+                    if let Some(path) = vcd {
+                        let dump =
+                            to_vcd(&composed, &pool, &cex.trace, &cex.initial_state);
+                        std::fs::write(path, dump)?;
+                        writeln!(out, "wrote VCD to {path}")?;
+                    }
+                    Ok(1) // bug found
+                }
+                BmcResult::NoCounterexample { bound } => {
+                    writeln!(
+                        out,
+                        "clean up to bound {bound} ({:?}, {} clauses)",
+                        bmc.stats().elapsed,
+                        bmc.stats().clauses
+                    )?;
+                    Ok(0)
+                }
+                BmcResult::Unknown { bound } => {
+                    writeln!(out, "inconclusive at bound {bound}")?;
+                    Ok(2)
+                }
+            }
+        }
+        Command::Conventional { case } => {
+            let case = match find_case(case) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let Some(golden) = case.golden else {
+                writeln!(
+                    out,
+                    "case '{}' has an interfering operation: no per-op golden model; \
+                     the conventional flow does not apply",
+                    case.id
+                )?;
+                return Ok(2);
+            };
+            let mut pool = ExprPool::new();
+            let lca = (case.build_buggy)(&mut pool);
+            let outcome = Testbench::default().run(&lca, &pool, golden);
+            writeln!(out, "{outcome}")?;
+            Ok(i32::from(outcome.detected()))
+        }
+        Command::Hybrid { case } => {
+            let case = match find_case(case) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let mut pool = ExprPool::new();
+            let lca = (case.build_buggy)(&mut pool);
+            let fc = case.fc.clone().unwrap_or_default();
+            let outcome = run_hybrid(
+                &lca,
+                &mut pool,
+                &fc,
+                case.rb.as_ref(),
+                &HybridConfig::default(),
+            );
+            match &outcome.violated {
+                Some(name) => writeln!(
+                    out,
+                    "hybrid QED detected '{name}' after {} cycles ({:?})",
+                    outcome.trace_cycles.unwrap_or(0),
+                    outcome.runtime
+                )?,
+                None => writeln!(
+                    out,
+                    "hybrid QED found nothing in {} cycles ({:?})",
+                    outcome.total_cycles, outcome.runtime
+                )?,
+            }
+            Ok(i32::from(outcome.detected()))
+        }
+        Command::ExportBtor2 { case, monitor } => {
+            let case = match find_case(case) {
+                Ok(c) => c,
+                Err(e) => {
+                    writeln!(out, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let mut pool = ExprPool::new();
+            let lca = (case.build_buggy)(&mut pool);
+            if *monitor {
+                let mut harness = AqedHarness::new(&lca);
+                if let Some(fc) = &case.fc {
+                    harness = harness.with_fc(fc.clone());
+                }
+                if let Some(rb) = &case.rb {
+                    harness = harness.with_rb(*rb);
+                }
+                let (composed, _) = harness.build(&mut pool);
+                write!(out, "{}", to_btor2(&composed, &pool))?;
+            } else {
+                write!(out, "{}", to_btor2(&lca.ts, &pool))?;
+            }
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseCommandError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_basic_commands() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+        assert_eq!(parse(&["list"]), Ok(Command::List));
+        assert_eq!(
+            parse(&["conventional", "aes_v1"]),
+            Ok(Command::Conventional {
+                case: "aes_v1".into()
+            })
+        );
+        assert_eq!(
+            parse(&["export-btor2", "aes_v1", "--monitor"]),
+            Ok(Command::ExportBtor2 {
+                case: "aes_v1".into(),
+                monitor: true
+            })
+        );
+    }
+
+    #[test]
+    fn parses_verify_flags() {
+        assert_eq!(
+            parse(&["verify", "aes_v1", "--bound", "12", "--healthy", "--witness"]),
+            Ok(Command::Verify {
+                case: "aes_v1".into(),
+                bound: Some(12),
+                healthy: true,
+                vcd: None,
+                witness: true
+            })
+        );
+        assert_eq!(
+            parse(&["verify", "x", "--vcd", "/tmp/x.vcd"]),
+            Ok(Command::Verify {
+                case: "x".into(),
+                bound: None,
+                healthy: false,
+                vcd: Some("/tmp/x.vcd".into()),
+                witness: false
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["verify"]).is_err());
+        assert!(parse(&["verify", "x", "--bound"]).is_err());
+        assert!(parse(&["verify", "x", "--bound", "abc"]).is_err());
+        assert!(parse(&["verify", "x", "--frob"]).is_err());
+        assert!(parse(&["conventional", "--healthy"]).is_err());
+    }
+
+    #[test]
+    fn list_prints_all_cases() {
+        let mut buf = Vec::new();
+        let code = run(&Command::List, &mut buf).expect("io");
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("aes_v1"));
+        assert!(text.contains("fifo_ptr_wrap_off_by_one"));
+        assert!(text.contains("misses"));
+        assert_eq!(text.lines().count(), 1 + 23);
+    }
+
+    #[test]
+    fn unknown_case_reports_cleanly() {
+        let mut buf = Vec::new();
+        let code = run(
+            &Command::Verify {
+                case: "nope".into(),
+                bound: None,
+                healthy: false,
+                vcd: None,
+                witness: false,
+            },
+            &mut buf,
+        )
+        .expect("io");
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(buf).unwrap().contains("unknown case"));
+    }
+
+    #[test]
+    fn verify_healthy_small_case_passes() {
+        let mut buf = Vec::new();
+        let code = run(
+            &Command::Verify {
+                case: "dataflow_fifo_sizing".into(),
+                bound: Some(6),
+                healthy: true,
+                vcd: None,
+                witness: false,
+            },
+            &mut buf,
+        )
+        .expect("io");
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&buf));
+    }
+
+    #[test]
+    fn export_btor2_produces_model() {
+        let mut buf = Vec::new();
+        let code = run(
+            &Command::ExportBtor2 {
+                case: "dataflow_fifo_sizing".into(),
+                monitor: false,
+            },
+            &mut buf,
+        )
+        .expect("io");
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("sort bitvec"));
+        assert!(text.contains("next"));
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["list", "verify", "conventional", "hybrid", "export-btor2"] {
+            assert!(u.contains(cmd), "{cmd}");
+        }
+    }
+}

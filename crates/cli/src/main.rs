@@ -1,0 +1,23 @@
+//! The `aqed` binary: thin wrapper around [`aqed_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match aqed_cli::parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", aqed_cli::usage());
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match aqed_cli::run(&cmd, &mut stdout) {
+        Ok(code) => ExitCode::from(u8::try_from(code.clamp(0, 255)).unwrap_or(255)),
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

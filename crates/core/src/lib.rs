@@ -1,0 +1,70 @@
+//! A-QED (Accelerator Quick Error Detection): specification-free formal
+//! verification of stand-alone hardware accelerators.
+//!
+//! This crate is the Rust realisation of the DAC 2020 paper's
+//! contribution. Given a loosely-coupled accelerator
+//! ([`Lca`](aqed_hls::Lca)) it automatically constructs the **A-QED
+//! module** — a monitor transition system composed with the design — and
+//! checks universal properties with bounded model checking:
+//!
+//! * **Functional Consistency (FC)**, Def. 2: the BMC engine
+//!   nondeterministically labels one captured input as the *original* and
+//!   a later equal `(action, data)` input as the *duplicate*; the outputs
+//!   delivered at the corresponding positions must match
+//!   (`dup_done → fc_check` in the paper's Fig. 4). The strengthened form
+//!   also flags any output delivered before its input was captured.
+//! * **Response Bound (RB)**, Def. 3: `rdin` must recur within a bound,
+//!   and once an input is captured its output must arrive within `τ`
+//!   host-ready cycles (`cnt_rdh ≥ τ ∧ cnt_in ≥ in_min → rdy_out`).
+//! * **Single-Action Correctness (SAC)**, Def. 7 (optional, needs a
+//!   [`SpecFn`]): the original input's output must equal `Spec(a, d)`.
+//!
+//! Together (Prop. 1) these imply total correctness for strongly
+//! connected accelerators — without ever writing a design-specific
+//! property for FC/RB.
+//!
+//! # Examples
+//!
+//! A healthy incrementer passes FC; injecting a forwarding bug makes
+//! A-QED produce a short counterexample:
+//!
+//! ```
+//! use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+//! use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+//! use aqed_expr::ExprPool;
+//!
+//! let mut p = ExprPool::new();
+//! let spec = AccelSpec::new("inc", 2, 4, 4);
+//! let buggy = SynthOptions { forwarding_bug: true, ..SynthOptions::default() };
+//! let lca = synthesize(&spec, &mut p, buggy, |pool, _a, d| {
+//!     let one = pool.lit(4, 1);
+//!     pool.add(d, one)
+//! });
+//! let report = AqedHarness::new(&lca)
+//!     .with_fc(FcConfig::default())
+//!     .verify(&mut p, 8);
+//! match report.outcome {
+//!     CheckOutcome::Bug { property, counterexample } => {
+//!         assert_eq!(property, PropertyKind::Fc);
+//!         assert!(counterexample.cycles() <= 8); // short CEX, as the paper reports
+//!     }
+//!     other => panic!("expected a bug, got {other:?}"),
+//! }
+//! ```
+
+mod hybrid;
+mod monitor;
+mod verify;
+
+pub use hybrid::{run_hybrid, HybridConfig, HybridOutcome};
+pub use monitor::{FcConfig, MonitorHandles, RbConfig, SacConfig};
+pub use verify::{AqedHarness, CheckOutcome, PropertyKind, VerifyReport};
+
+use aqed_expr::{ExprPool, ExprRef};
+
+/// A symbolic specification function `Spec: A × D → O` (paper Def. 4),
+/// given as an expression builder over the action and data inputs.
+///
+/// Used only for optional SAC checking — FC and RB need no specification,
+/// which is the point of A-QED.
+pub type SpecFn<'a> = &'a dyn Fn(&mut ExprPool, ExprRef, ExprRef) -> ExprRef;

@@ -1,0 +1,456 @@
+//! Construction of the A-QED monitor transition system (the paper's
+//! Fig. 4 `aqed_in` / `aqed_out` logic plus the RB counters), composed
+//! with the design under verification.
+
+use crate::SpecFn;
+use aqed_expr::{ExprPool, ExprRef, VarId};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Configuration of the Functional Consistency monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcConfig {
+    /// Width of the capture/delivery counters (bounds the observable
+    /// trace length to `2^counter_width − 1`; 8 is ample for BMC).
+    pub counter_width: u32,
+    /// Optional bit range `(hi, lo)` of the data input that must be equal
+    /// across *all* captured inputs — the paper's "common key across a
+    /// batch" customization used for the AES case study. Enforced as an
+    /// environment constraint.
+    pub common_field: Option<(u32, u32)>,
+    /// Also check the strengthened property that no output is delivered
+    /// before its corresponding input was captured (footnote 1 in the
+    /// paper). Enabled by default.
+    pub check_early_output: bool,
+}
+
+impl Default for FcConfig {
+    fn default() -> Self {
+        FcConfig {
+            counter_width: 8,
+            common_field: None,
+            check_early_output: true,
+        }
+    }
+}
+
+/// Configuration of the Response Bound monitor (paper Sec. IV.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbConfig {
+    /// `τ`: the design-specific maximum number of host-ready cycles the
+    /// accelerator may take to produce the output for a captured input.
+    pub tau: u64,
+    /// `in_min`: number of captured inputs the accelerator legitimately
+    /// needs before it produces any output (designs that batch internally).
+    pub in_min: u64,
+    /// Bound for part (1) of Def. 3: `rdin` may not stay low for this
+    /// many consecutive cycles.
+    pub rdin_bound: u64,
+    /// Counter width for the RB counters.
+    pub counter_width: u32,
+}
+
+impl Default for RbConfig {
+    fn default() -> Self {
+        RbConfig {
+            tau: 8,
+            in_min: 1,
+            rdin_bound: 8,
+            counter_width: 8,
+        }
+    }
+}
+
+/// Configuration of the Single-Action Correctness check.
+pub struct SacConfig<'a> {
+    /// The specification function `Spec(a, d)`.
+    pub spec: SpecFn<'a>,
+}
+
+impl std::fmt::Debug for SacConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SacConfig { spec: <fn> }")
+    }
+}
+
+/// Handles into the composed (design + monitor) system: the fresh monitor
+/// inputs and the names of the generated bad properties.
+#[derive(Debug, Clone)]
+pub struct MonitorHandles {
+    /// BMC-controlled label: "this captured input is the original".
+    pub is_orig: VarId,
+    /// BMC-controlled label: "this captured input is the duplicate".
+    pub is_dup: VarId,
+    /// Names of the bad properties added to the composed system.
+    pub bad_names: Vec<String>,
+    /// The monitor's `orig_done` expression (the paper's `rdy_out`).
+    pub orig_done: ExprRef,
+    /// The monitor's `dup_done` register expression.
+    pub dup_done: ExprRef,
+}
+
+/// Names of the generated properties.
+pub(crate) const BAD_FC: &str = "aqed_fc_violation";
+pub(crate) const BAD_FC_EARLY: &str = "aqed_fc_output_before_input";
+pub(crate) const BAD_RB_STARVATION: &str = "aqed_rb_rdin_starvation";
+pub(crate) const BAD_RB_NO_OUTPUT: &str = "aqed_rb_missing_output";
+pub(crate) const BAD_SAC: &str = "aqed_sac_mismatch";
+
+/// Builds the composed system `design ∥ A-QED monitor` with the selected
+/// checks. Called through [`AqedHarness`](crate::AqedHarness); exposed for
+/// tests and custom flows.
+///
+/// # Panics
+///
+/// Panics if `common_field` is out of range for the data width, or if the
+/// SAC spec returns the wrong width.
+pub fn attach_monitor(
+    lca: &Lca,
+    pool: &mut ExprPool,
+    fc: Option<&FcConfig>,
+    rb: Option<&RbConfig>,
+    sac: Option<&SacConfig<'_>>,
+) -> (TransitionSystem, MonitorHandles) {
+    let mut composed = lca.ts.clone();
+    let mut mon = TransitionSystem::new(format!("{}_aqed", lca.ts.name()));
+
+    let cw = fc.map(|c| c.counter_width).unwrap_or(8).max(
+        rb.map(|c| c.counter_width).unwrap_or(1),
+    );
+
+    let action_e = pool.var_expr(lca.action);
+    let data_e = pool.var_expr(lca.data);
+    let rdh_e = pool.var_expr(lca.rdh);
+    let cap = lca.captured;
+    let del = lca.delivered;
+    let out = lca.out;
+    let rdin = lca.rdin;
+
+    // --- BMC-controlled labels --------------------------------------
+    let is_orig = mon.add_input(pool, "aqed_is_orig", 1);
+    let is_dup = mon.add_input(pool, "aqed_is_dup", 1);
+    let is_orig_e = pool.var_expr(is_orig);
+    let is_dup_e = pool.var_expr(is_dup);
+
+    // --- Shared orig/dup labeling state (paper aqed_in) ---------------
+    let aw = pool.var_width(lca.action);
+    let dw = pool.var_width(lca.data);
+    let ow = pool.width(out);
+
+    let orig_labeled = mon.add_register(pool, "aqed_orig_labeled", 1, 0);
+    let dup_labeled = mon.add_register(pool, "aqed_dup_labeled", 1, 0);
+    let orig_action = mon.add_register(pool, "aqed_orig_action", aw, 0);
+    let orig_data = mon.add_register(pool, "aqed_orig_data", dw, 0);
+    let orig_out = mon.add_register(pool, "aqed_orig_out", ow, 0);
+    let orig_done = mon.add_register(pool, "aqed_orig_done", 1, 0);
+    let dup_done = mon.add_register(pool, "aqed_dup_done", 1, 0);
+    let in_ct = mon.add_register(pool, "aqed_in_ct", cw, 0);
+    let out_ct = mon.add_register(pool, "aqed_out_ct", cw, 0);
+    let orig_idx = mon.add_register(pool, "aqed_orig_idx", cw, 0);
+    let dup_idx = mon.add_register(pool, "aqed_dup_idx", cw, 0);
+
+    let orig_labeled_e = pool.var_expr(orig_labeled);
+    let dup_labeled_e = pool.var_expr(dup_labeled);
+    let orig_action_e = pool.var_expr(orig_action);
+    let orig_data_e = pool.var_expr(orig_data);
+    let orig_out_e = pool.var_expr(orig_out);
+    let orig_done_e = pool.var_expr(orig_done);
+    let dup_done_e = pool.var_expr(dup_done);
+    let in_ct_e = pool.var_expr(in_ct);
+    let out_ct_e = pool.var_expr(out_ct);
+    let orig_idx_e = pool.var_expr(orig_idx);
+    let dup_idx_e = pool.var_expr(dup_idx);
+
+    // label_orig: this capture is marked original.
+    let not_orig_labeled = pool.not(orig_labeled_e);
+    let label_orig = pool.and_all([cap, is_orig_e, not_orig_labeled]);
+
+    // label_dup: a later capture carrying the same (action, data).
+    let same_action = pool.eq(action_e, orig_action_e);
+    let same_data = pool.eq(data_e, orig_data_e);
+    let same_ad = pool.and(same_action, same_data);
+    let not_dup_labeled = pool.not(dup_labeled_e);
+    let not_label_orig = pool.not(label_orig);
+    let label_dup = pool.and_all([
+        cap,
+        is_dup_e,
+        orig_labeled_e,
+        not_dup_labeled,
+        same_ad,
+        not_label_orig,
+    ]);
+
+    // Register updates.
+    let next_orig_labeled = pool.or(orig_labeled_e, label_orig);
+    mon.set_next(orig_labeled, next_orig_labeled);
+    let next_dup_labeled = pool.or(dup_labeled_e, label_dup);
+    mon.set_next(dup_labeled, next_dup_labeled);
+    let na = pool.ite(label_orig, action_e, orig_action_e);
+    mon.set_next(orig_action, na);
+    let nd = pool.ite(label_orig, data_e, orig_data_e);
+    mon.set_next(orig_data, nd);
+    let noi = pool.ite(label_orig, in_ct_e, orig_idx_e);
+    mon.set_next(orig_idx, noi);
+    let ndi = pool.ite(label_dup, in_ct_e, dup_idx_e);
+    mon.set_next(dup_idx, ndi);
+
+    // Saturating counters of captured inputs and delivered outputs.
+    let ones_cw = pool.constant(aqed_bitvec::Bv::ones(cw));
+    let one_cw = pool.lit(cw, 1);
+    let in_sat = pool.eq(in_ct_e, ones_cw);
+    let in_inc = pool.add(in_ct_e, one_cw);
+    let in_bump = pool.ite(in_sat, in_ct_e, in_inc);
+    let next_in_ct = pool.ite(cap, in_bump, in_ct_e);
+    mon.set_next(in_ct, next_in_ct);
+    let out_sat = pool.eq(out_ct_e, ones_cw);
+    let out_inc = pool.add(out_ct_e, one_cw);
+    let out_bump = pool.ite(out_sat, out_ct_e, out_inc);
+    let next_out_ct = pool.ite(del, out_bump, out_ct_e);
+    mon.set_next(out_ct, next_out_ct);
+
+    // The orig's output is the ORIG_IDX-th delivered output (outputs are
+    // delivered in capture order for this accelerator class).
+    let at_orig_out = pool.eq(out_ct_e, orig_idx_e);
+    let orig_out_now = pool.and_all([del, orig_labeled_e, at_orig_out]);
+    let latch_orig_out = {
+        let nod = pool.not(orig_done_e);
+        pool.and(orig_out_now, nod)
+    };
+    let noo = pool.ite(latch_orig_out, out, orig_out_e);
+    mon.set_next(orig_out, noo);
+    let next_orig_done = pool.or(orig_done_e, orig_out_now);
+    mon.set_next(orig_done, next_orig_done);
+
+    // The duplicate's output arrives at DUP_IDX.
+    let at_dup_out = pool.eq(out_ct_e, dup_idx_e);
+    let dup_out_now = pool.and_all([del, dup_labeled_e, at_dup_out, orig_done_e]);
+    let next_dup_done = pool.or(dup_done_e, dup_out_now);
+    mon.set_next(dup_done, next_dup_done);
+
+    let mut bad_names = Vec::new();
+
+    // --- FC property --------------------------------------------------
+    if let Some(fc_cfg) = fc {
+        // Combinational check at the duplicate's delivery: matches the
+        // paper's `dup_done → fc_check` but fires in the delivery cycle
+        // for a minimal counterexample.
+        let outputs_differ = pool.ne(out, orig_out_e);
+        let fc_bad = pool.and(dup_out_now, outputs_differ);
+        composed_bad(&mut mon, BAD_FC, fc_bad, &mut bad_names);
+
+        if fc_cfg.check_early_output {
+            // Strengthened FC (paper footnote 1): delivering output #k
+            // requires at least k+1 captured inputs. Once the saturating
+            // counters peg at their maximum the comparison loses meaning
+            // (only relevant to concrete runs far longer than any BMC
+            // bound), so the check is gated on non-saturation.
+            let early = pool.uge(out_ct_e, in_ct_e);
+            let not_saturated = pool.not(in_sat);
+            let early_bad = pool.and_all([del, early, not_saturated]);
+            composed_bad(&mut mon, BAD_FC_EARLY, early_bad, &mut bad_names);
+        }
+
+        if let Some((hi, lo)) = fc_cfg.common_field {
+            assert!(
+                hi >= lo && hi < dw,
+                "common_field ({hi}, {lo}) out of range for data width {dw}"
+            );
+            // Environment constraint: the common field (e.g. an AES key)
+            // is identical across every captured input of the trace.
+            let field_w = hi - lo + 1;
+            let key_reg = mon.add_register(pool, "aqed_common_key", field_w, 0);
+            let key_seen = mon.add_register(pool, "aqed_common_key_seen", 1, 0);
+            let key_reg_e = pool.var_expr(key_reg);
+            let key_seen_e = pool.var_expr(key_seen);
+            let field = pool.extract(data_e, hi, lo);
+            let first = {
+                let ns = pool.not(key_seen_e);
+                pool.and(cap, ns)
+            };
+            let nk = pool.ite(first, field, key_reg_e);
+            mon.set_next(key_reg, nk);
+            let nseen = pool.or(key_seen_e, cap);
+            mon.set_next(key_seen, nseen);
+            // Constraint: a capture after the first must present the key.
+            let same_key = pool.eq(field, key_reg_e);
+            let relevant = pool.and(cap, key_seen_e);
+            let ok = pool.implies(relevant, same_key);
+            mon.add_constraint(ok);
+        }
+    }
+
+    // --- RB properties --------------------------------------------------
+    if let Some(rb_cfg) = rb {
+        let rcw = rb_cfg.counter_width;
+        // Part (1): rdin must not stay low for rdin_bound cycles.
+        let no_rdin = mon.add_register(pool, "aqed_no_rdin_ct", rcw, 0);
+        let no_rdin_e = pool.var_expr(no_rdin);
+        let one_r = pool.lit(rcw, 1);
+        let zero_r = pool.lit(rcw, 0);
+        let ones_r = pool.constant(aqed_bitvec::Bv::ones(rcw));
+        let sat = pool.eq(no_rdin_e, ones_r);
+        let inc = pool.add(no_rdin_e, one_r);
+        let bumped = pool.ite(sat, no_rdin_e, inc);
+        // Only count cycles where the host is ready to drain outputs:
+        // backpressure caused by a stalled host is not the accelerator's
+        // fault. A cycle with rdin high resets the counter; a host-stall
+        // cycle holds it.
+        let starving_now = {
+            let nr = pool.not(rdin);
+            let base = pool.and(nr, rdh_e);
+            // Cycles where the environment froze the clock don't count.
+            match lca.clock_enable {
+                Some(ce) => {
+                    let cee = pool.var_expr(ce);
+                    pool.and(base, cee)
+                }
+                None => base,
+            }
+        };
+        let counted = pool.ite(starving_now, bumped, no_rdin_e);
+        let nn = pool.ite(rdin, zero_r, counted);
+        mon.set_next(no_rdin, nn);
+        let bound = pool.lit(rcw, rb_cfg.rdin_bound);
+        let starved = pool.uge(no_rdin_e, bound);
+        composed_bad(&mut mon, BAD_RB_STARVATION, starved, &mut bad_names);
+
+        // Part (2): once the labeled input is captured, count host-ready
+        // cycles (cnt_rdh) and further captured inputs (cnt_in); after
+        // cnt_rdh ≥ τ and cnt_in ≥ in_min the output must have arrived.
+        let cnt_rdh = mon.add_register(pool, "aqed_cnt_rdh", rcw, 0);
+        let cnt_in = mon.add_register(pool, "aqed_cnt_in", rcw, 0);
+        let cnt_rdh_e = pool.var_expr(cnt_rdh);
+        let cnt_in_e = pool.var_expr(cnt_in);
+        let inmin_l = pool.lit(rcw, rb_cfg.in_min);
+        // The τ clock only starts once the accelerator has received the
+        // inputs it legitimately needs (`cnt_in ≥ in_min`): a slow
+        // *producer* must not be blamed on the accelerator.
+        let inputs_supplied = pool.uge(cnt_in_e, inmin_l);
+        let enabled_now = match lca.clock_enable {
+            Some(ce) => pool.var_expr(ce),
+            None => pool.true_(),
+        };
+        let tick_rdh = pool.and_all([orig_labeled_e, rdh_e, inputs_supplied, enabled_now]);
+        let rsat = pool.eq(cnt_rdh_e, ones_r);
+        let rinc = pool.add(cnt_rdh_e, one_r);
+        let rbump = pool.ite(rsat, cnt_rdh_e, rinc);
+        let nrdh = pool.ite(tick_rdh, rbump, cnt_rdh_e);
+        mon.set_next(cnt_rdh, nrdh);
+        let counts_in = pool.or(orig_labeled_e, label_orig);
+        let tick_in = pool.and(counts_in, cap);
+        let isat = pool.eq(cnt_in_e, ones_r);
+        let iinc = pool.add(cnt_in_e, one_r);
+        let ibump = pool.ite(isat, cnt_in_e, iinc);
+        let nin = pool.ite(tick_in, ibump, cnt_in_e);
+        mon.set_next(cnt_in, nin);
+
+        let tau_l = pool.lit(rcw, rb_cfg.tau);
+        let enough_rdh = pool.uge(cnt_rdh_e, tau_l);
+        let enough_in = inputs_supplied;
+        let not_done = pool.not(orig_done_e);
+        let unresponsive = pool.and_all([orig_labeled_e, enough_rdh, enough_in, not_done]);
+        composed_bad(&mut mon, BAD_RB_NO_OUTPUT, unresponsive, &mut bad_names);
+    }
+
+    // --- SAC property --------------------------------------------------
+    if let Some(sac_cfg) = sac {
+        let expected = (sac_cfg.spec)(pool, orig_action_e, orig_data_e);
+        assert!(
+            pool.width(expected) == ow,
+            "SAC spec returned width {} but output is {} bits",
+            pool.width(expected),
+            ow
+        );
+        let differs = pool.ne(out, expected);
+        let sac_bad = {
+            let nod = pool.not(orig_done_e);
+            pool.and_all([del, orig_labeled_e, at_orig_out, nod, differs])
+        };
+        composed_bad(&mut mon, BAD_SAC, sac_bad, &mut bad_names);
+    }
+
+    let handles = MonitorHandles {
+        is_orig,
+        is_dup,
+        bad_names,
+        orig_done: orig_done_e,
+        dup_done: dup_done_e,
+    };
+    composed.compose(&mon);
+    (composed, handles)
+}
+
+fn composed_bad(
+    mon: &mut TransitionSystem,
+    name: &str,
+    expr: ExprRef,
+    names: &mut Vec<String>,
+) {
+    mon.add_bad(name, expr);
+    names.push(name.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+
+    #[test]
+    fn monitor_composes_and_validates() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("id", 2, 8, 8);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
+        let fc = FcConfig::default();
+        let rb = RbConfig::default();
+        let spec_fn: crate::SpecFn = &|_pool: &mut ExprPool, _a, d| d;
+        let sac = SacConfig { spec: spec_fn };
+        let (composed, handles) =
+            attach_monitor(&lca, &mut p, Some(&fc), Some(&rb), Some(&sac));
+        composed.validate(&p).expect("composed system well-formed");
+        assert_eq!(handles.bad_names.len(), 5);
+        assert!(composed.bad_index(BAD_FC).is_some());
+        assert!(composed.bad_index(BAD_RB_NO_OUTPUT).is_some());
+        assert!(composed.bad_index(BAD_SAC).is_some());
+    }
+
+    #[test]
+    fn common_field_adds_constraint() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("keyed", 2, 16, 8);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |pool, _a, d| {
+            pool.extract(d, 7, 0)
+        });
+        let fc = FcConfig {
+            common_field: Some((15, 8)),
+            ..FcConfig::default()
+        };
+        let before = lca.ts.constraints().len();
+        let (composed, _) = attach_monitor(&lca, &mut p, Some(&fc), None, None);
+        composed.validate(&p).expect("valid");
+        assert_eq!(composed.constraints().len(), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn common_field_range_checked() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("keyed", 2, 8, 8);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
+        let fc = FcConfig {
+            common_field: Some((12, 8)),
+            ..FcConfig::default()
+        };
+        let _ = attach_monitor(&lca, &mut p, Some(&fc), None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "SAC spec returned width")]
+    fn sac_width_checked() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("id", 2, 8, 8);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
+        let bad_spec: crate::SpecFn = &|pool: &mut ExprPool, _a, _d| pool.lit(4, 0);
+        let sac = SacConfig { spec: bad_spec };
+        let _ = attach_monitor(&lca, &mut p, None, None, Some(&sac));
+    }
+}

@@ -1,0 +1,410 @@
+//! The one-call A-QED verification harness.
+
+use crate::monitor::{
+    attach_monitor, FcConfig, MonitorHandles, RbConfig, SacConfig, BAD_FC, BAD_FC_EARLY,
+    BAD_RB_NO_OUTPUT, BAD_RB_STARVATION, BAD_SAC,
+};
+use aqed_bmc::{Bmc, BmcOptions, BmcResult, Counterexample};
+use aqed_expr::ExprPool;
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+use std::fmt;
+use std::time::Duration;
+
+/// Which universal property a finding belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyKind {
+    /// Functional Consistency (Def. 2), including its strengthened
+    /// no-early-output form.
+    Fc,
+    /// Response Bound (Def. 3).
+    Rb,
+    /// Single-Action Correctness (Def. 7).
+    Sac,
+}
+
+impl PropertyKind {
+    fn of_bad(name: &str) -> PropertyKind {
+        match name {
+            BAD_FC | BAD_FC_EARLY => PropertyKind::Fc,
+            BAD_RB_STARVATION | BAD_RB_NO_OUTPUT => PropertyKind::Rb,
+            BAD_SAC => PropertyKind::Sac,
+            other => panic!("unknown A-QED property '{other}'"),
+        }
+    }
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PropertyKind::Fc => "FC",
+            PropertyKind::Rb => "RB",
+            PropertyKind::Sac => "SAC",
+        })
+    }
+}
+
+/// The verdict of an A-QED run.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// No property violated within the explored bound.
+    Clean {
+        /// Deepest bound fully explored.
+        bound: usize,
+    },
+    /// A property was violated; the witness replays on the simulator.
+    Bug {
+        /// Which universal property caught it.
+        property: PropertyKind,
+        /// The concrete witness.
+        counterexample: Counterexample,
+    },
+    /// The solver budget ran out.
+    Inconclusive {
+        /// Depth being explored when the budget ran out.
+        bound: usize,
+    },
+}
+
+/// The full report of one A-QED verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Verdict.
+    pub outcome: CheckOutcome,
+    /// Wall-clock runtime of the BMC run.
+    pub runtime: Duration,
+    /// CNF clauses at the end of the run (scale indicator).
+    pub clauses: usize,
+    /// SAT solver calls made.
+    pub solver_calls: u64,
+}
+
+impl VerifyReport {
+    /// The counterexample length in clock cycles, if a bug was found
+    /// (the paper's "CEX length" metric).
+    #[must_use]
+    pub fn cex_cycles(&self) -> Option<usize> {
+        match &self.outcome {
+            CheckOutcome::Bug {
+                counterexample, ..
+            } => Some(counterexample.cycles()),
+            _ => None,
+        }
+    }
+
+    /// Whether a bug was found.
+    #[must_use]
+    pub fn found_bug(&self) -> bool {
+        matches!(self.outcome, CheckOutcome::Bug { .. })
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            CheckOutcome::Clean { bound } => {
+                write!(f, "clean up to bound {bound} ({:?})", self.runtime)
+            }
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => write!(
+                f,
+                "{property} bug: {counterexample} ({:?})",
+                self.runtime
+            ),
+            CheckOutcome::Inconclusive { bound } => {
+                write!(f, "inconclusive at bound {bound} ({:?})", self.runtime)
+            }
+        }
+    }
+}
+
+/// Builder wiring an [`Lca`] to the A-QED monitor and the BMC engine.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_core::{AqedHarness, FcConfig, RbConfig};
+/// use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+/// use aqed_expr::ExprPool;
+///
+/// let mut p = ExprPool::new();
+/// let spec = AccelSpec::new("neg", 2, 8, 8);
+/// let lca = synthesize(&spec, &mut p, SynthOptions::default(), |pool, _a, d| {
+///     pool.neg(d)
+/// });
+/// let report = AqedHarness::new(&lca)
+///     .with_fc(FcConfig::default())
+///     .with_rb(RbConfig::default())
+///     .verify(&mut p, 6);
+/// assert!(!report.found_bug());
+/// ```
+pub struct AqedHarness<'a> {
+    lca: &'a Lca,
+    fc: Option<FcConfig>,
+    rb: Option<RbConfig>,
+    sac: Option<SacConfig<'a>>,
+    bmc_options: BmcOptions,
+}
+
+impl fmt::Debug for AqedHarness<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AqedHarness")
+            .field("design", &self.lca.ts.name())
+            .field("fc", &self.fc)
+            .field("rb", &self.rb)
+            .field("sac", &self.sac.is_some())
+            .finish()
+    }
+}
+
+impl<'a> AqedHarness<'a> {
+    /// Creates a harness for the given design with no checks enabled yet.
+    #[must_use]
+    pub fn new(lca: &'a Lca) -> Self {
+        AqedHarness {
+            lca,
+            fc: None,
+            rb: None,
+            sac: None,
+            bmc_options: BmcOptions::default(),
+        }
+    }
+
+    /// Enables Functional Consistency checking.
+    #[must_use]
+    pub fn with_fc(mut self, config: FcConfig) -> Self {
+        self.fc = Some(config);
+        self
+    }
+
+    /// Enables Response Bound checking.
+    #[must_use]
+    pub fn with_rb(mut self, config: RbConfig) -> Self {
+        self.rb = Some(config);
+        self
+    }
+
+    /// Enables Single-Action Correctness checking against a spec.
+    #[must_use]
+    pub fn with_sac(mut self, config: SacConfig<'a>) -> Self {
+        self.sac = Some(config);
+        self
+    }
+
+    /// Overrides the BMC options (incrementality, conflict budget). The
+    /// maximum bound is still taken from the `verify` argument.
+    #[must_use]
+    pub fn with_bmc_options(mut self, options: BmcOptions) -> Self {
+        self.bmc_options = options;
+        self
+    }
+
+    /// Builds the composed system without running BMC — for callers that
+    /// want to drive the model checker themselves or simulate the
+    /// monitored design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no check is enabled.
+    #[must_use]
+    pub fn build(&self, pool: &mut ExprPool) -> (TransitionSystem, MonitorHandles) {
+        assert!(
+            self.fc.is_some() || self.rb.is_some() || self.sac.is_some(),
+            "enable at least one of FC / RB / SAC before building"
+        );
+        attach_monitor(
+            self.lca,
+            pool,
+            self.fc.as_ref(),
+            self.rb.as_ref(),
+            self.sac.as_ref(),
+        )
+    }
+
+    /// Composes the monitor and runs BMC up to `max_bound` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no check is enabled or the composed system fails
+    /// validation (a bug in the design construction, not in the design's
+    /// behaviour).
+    #[must_use]
+    pub fn verify(&self, pool: &mut ExprPool, max_bound: usize) -> VerifyReport {
+        let (composed, _handles) = self.build(pool);
+        composed
+            .validate(pool)
+            .expect("composed system must be well-formed");
+        let options = self.bmc_options.clone().with_max_bound(max_bound);
+        let mut bmc = Bmc::new(&composed, options);
+        let result = bmc.check(&composed, pool);
+        let stats = bmc.stats();
+        let outcome = match result {
+            BmcResult::Counterexample(cex) => {
+                debug_assert!(
+                    cex.replay(&composed, pool),
+                    "BMC counterexample must replay on the simulator"
+                );
+                CheckOutcome::Bug {
+                    property: PropertyKind::of_bad(&cex.bad_name),
+                    counterexample: cex,
+                }
+            }
+            BmcResult::NoCounterexample { bound } => CheckOutcome::Clean { bound },
+            BmcResult::Unknown { bound } => CheckOutcome::Inconclusive { bound },
+        };
+        VerifyReport {
+            outcome,
+            runtime: stats.elapsed,
+            clauses: stats.clauses,
+            solver_calls: stats.solver_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+
+    fn identity_lca(p: &mut ExprPool, opts: SynthOptions) -> Lca {
+        let spec = AccelSpec::new("ident", 2, 6, 6).with_latency(2);
+        synthesize(&spec, p, opts, |_pool, _a, d| d)
+    }
+
+    #[test]
+    fn healthy_design_is_clean() {
+        let mut p = ExprPool::new();
+        let lca = identity_lca(&mut p, SynthOptions::default());
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_rb(RbConfig {
+                tau: 8,
+                in_min: 1,
+                rdin_bound: 8,
+                counter_width: 8,
+            })
+            .verify(&mut p, 8);
+        assert!(
+            matches!(report.outcome, CheckOutcome::Clean { bound: 8 }),
+            "got {report}"
+        );
+    }
+
+    #[test]
+    fn forwarding_bug_caught_by_fc() {
+        let mut p = ExprPool::new();
+        let lca = identity_lca(
+            &mut p,
+            SynthOptions {
+                forwarding_bug: true,
+                ..SynthOptions::default()
+            },
+        );
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 10);
+        match &report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(*property, PropertyKind::Fc);
+                // Short counterexample, as the paper reports (≈6 cycles).
+                assert!(
+                    counterexample.cycles() <= 8,
+                    "cex unexpectedly long: {}",
+                    counterexample.cycles()
+                );
+            }
+            other => panic!("expected FC bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_outputs_caught_by_rb() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("dropper", 2, 6, 6)
+            .with_latency(2)
+            .with_fifo_depth(1);
+        let lca = synthesize(
+            &spec,
+            &mut p,
+            SynthOptions {
+                skip_credit_check: true,
+                ..SynthOptions::default()
+            },
+            |_pool, _a, d| d,
+        );
+        let report = AqedHarness::new(&lca)
+            .with_rb(RbConfig {
+                tau: 6,
+                in_min: 1,
+                rdin_bound: 10,
+                counter_width: 8,
+            })
+            .verify(&mut p, 12);
+        match &report.outcome {
+            CheckOutcome::Bug { property, .. } => assert_eq!(*property, PropertyKind::Rb),
+            other => panic!("expected RB bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sac_catches_consistent_but_wrong_design() {
+        // A design that always computes d + 2 instead of d + 1: perfectly
+        // functionally consistent (FC passes) but violates the spec —
+        // exactly the gap Prop. 1 closes with SAC.
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("off_by_one", 2, 6, 6);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |pool, _a, d| {
+            let two = pool.lit(6, 2);
+            pool.add(d, two)
+        });
+        let fc_report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 6);
+        assert!(!fc_report.found_bug(), "FC alone cannot see this bug");
+
+        let spec_fn: crate::SpecFn = &|pool: &mut ExprPool, _a, d| {
+            let one = pool.lit(6, 1);
+            pool.add(d, one)
+        };
+        let sac_report = AqedHarness::new(&lca)
+            .with_sac(SacConfig { spec: spec_fn })
+            .verify(&mut p, 6);
+        match &sac_report.outcome {
+            CheckOutcome::Bug { property, .. } => assert_eq!(*property, PropertyKind::Sac),
+            other => panic!("expected SAC bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enable at least one")]
+    fn harness_requires_a_check() {
+        let mut p = ExprPool::new();
+        let lca = identity_lca(&mut p, SynthOptions::default());
+        let _ = AqedHarness::new(&lca).verify(&mut p, 4);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut p = ExprPool::new();
+        let lca = identity_lca(
+            &mut p,
+            SynthOptions {
+                forwarding_bug: true,
+                ..SynthOptions::default()
+            },
+        );
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 10);
+        assert!(report.found_bug());
+        assert!(report.cex_cycles().is_some());
+        assert!(report.clauses > 0);
+        assert!(report.solver_calls > 0);
+        assert!(report.to_string().contains("FC bug"));
+    }
+}

@@ -1,0 +1,646 @@
+//! The AES encryption case study (paper Table 2, designs AES v1–v4).
+//!
+//! The paper ran A-QED on *abstracted* AES accelerators for BMC
+//! scalability ("Abstracted versions in [RESULTS 20]"). This module does
+//! the same: a **small-scale AES** — 16-bit block (2×2 state of 4-bit
+//! cells), 4-bit S-box, 2 rounds — whose structure mirrors AES-128
+//! (SubBytes / ShiftRows / MixColumns over GF(2⁴) / AddRoundKey with an
+//! Rcon-based key schedule). The full-scale reference lives in
+//! [`crate::aes128`] and is used by the conventional simulation flow.
+//!
+//! The accelerator is an iterative core: one round per cycle, 2-cycle
+//! latency, single operation in flight. Its `data` input packs
+//! `key(31:16) ‖ pt(15:0)`; the A-QED run uses the paper's *common key
+//! across a batch* customization (`FcConfig::common_field` over the key
+//! bits).
+//!
+//! The four buggy variants v1–v4 are sequential-control defects (stale
+//! key reuse, round-counter reset races, idle-path corruption, key
+//! schedule wrap) — precisely the kind of bug that is invisible to a
+//! purely combinational check but caught by Functional Consistency,
+//! because the ciphertext then depends on *when* the operation runs, not
+//! only on its inputs.
+
+use aqed_core::RbConfig;
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// The 4-bit S-box (bijective).
+pub const SBOX4: [u64; 16] = [
+    0x6, 0xB, 0x5, 0x4, 0x2, 0xE, 0x7, 0xA, 0x9, 0xD, 0xF, 0xC, 0x3, 0x1, 0x0, 0x8,
+];
+
+/// Number of rounds. Two rounds keep the full SubBytes / ShiftRows /
+/// MixColumns / AddRoundKey structure while holding the BMC cost of the
+/// all-UNSAT functional-consistency proofs (a two-copy cipher
+/// equivalence at every depth) within a single-core budget — the same
+/// scalability abstraction the paper applied to its AES case study.
+pub const ROUNDS: u32 = 2;
+
+/// Buggy variants of the AES accelerator (paper Table 2: AES v1–v4, all
+/// caught by FC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesBug {
+    /// v1: a key-bank parity flop makes every second operation reuse the
+    /// *expanded* key left over from the previous operation instead of
+    /// loading the new one.
+    V1StaleKeyAlternate,
+    /// v2: the round counter is not reset when a new capture coincides
+    /// with the delivery of the previous result — the new operation runs
+    /// a single round.
+    V2RoundCounterResetRace,
+    /// v3: after three or more idle cycles, the capture path muxes a
+    /// stuck-at bit into the low state nibble (a latched idle flag leaks
+    /// into the datapath).
+    V3IdlePathCorruption,
+    /// v4: the key schedule's Rcon addition is skipped on every second
+    /// operation (the operation counter's LSB shares a comparator with
+    /// the round counter's enable term).
+    V4RconSkipOnWrap,
+}
+
+impl AesBug {
+    /// All variants in Table 2 order.
+    pub const ALL: [AesBug; 4] = [
+        AesBug::V1StaleKeyAlternate,
+        AesBug::V2RoundCounterResetRace,
+        AesBug::V3IdlePathCorruption,
+        AesBug::V4RconSkipOnWrap,
+    ];
+
+    /// Short identifier for reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            AesBug::V1StaleKeyAlternate => "aes_v1",
+            AesBug::V2RoundCounterResetRace => "aes_v2",
+            AesBug::V3IdlePathCorruption => "aes_v3",
+            AesBug::V4RconSkipOnWrap => "aes_v4",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pure-Rust small-scale AES (golden model)
+// ----------------------------------------------------------------------
+
+/// GF(2⁴) multiply-by-2 modulo `x⁴+x+1`.
+#[must_use]
+pub fn gf4_mul2(x: u64) -> u64 {
+    let shifted = (x << 1) & 0xF;
+    if x & 0x8 != 0 {
+        shifted ^ 0x3
+    } else {
+        shifted
+    }
+}
+
+/// GF(2⁴) multiply-by-3.
+#[must_use]
+pub fn gf4_mul3(x: u64) -> u64 {
+    gf4_mul2(x) ^ x
+}
+
+fn nibbles(v: u64) -> [u64; 4] {
+    [v & 0xF, (v >> 4) & 0xF, (v >> 8) & 0xF, (v >> 12) & 0xF]
+}
+
+fn pack(n: [u64; 4]) -> u64 {
+    n[0] | n[1] << 4 | n[2] << 8 | n[3] << 12
+}
+
+/// One key-schedule step: `rk_r` from `rk_{r-1}`.
+///
+/// Rotate the nibbles left by one, S-box the low nibble, and XOR the
+/// round constant `r` into the low nibble.
+#[must_use]
+pub fn key_step(rk: u64, round: u64) -> u64 {
+    let n = nibbles(rk);
+    let rot = [n[1], n[2], n[3], n[0]];
+    let sub0 = SBOX4[rot[0] as usize];
+    pack([sub0 ^ (round & 0xF), rot[1], rot[2], rot[3]])
+}
+
+/// One encryption round. `last` skips MixColumns (the final round, as in
+/// full AES).
+#[must_use]
+pub fn round(state: u64, rk: u64, last: bool) -> u64 {
+    let n = nibbles(state);
+    // SubBytes.
+    let s = [
+        SBOX4[n[0] as usize],
+        SBOX4[n[1] as usize],
+        SBOX4[n[2] as usize],
+        SBOX4[n[3] as usize],
+    ];
+    // State layout: column 0 = (n0, n1), column 1 = (n2, n3);
+    // row 0 = (n0, n2), row 1 = (n1, n3). ShiftRows rotates row 1.
+    let sr = [s[0], s[3], s[2], s[1]];
+    // MixColumns with the matrix [[2, 3], [3, 2]] over GF(2⁴).
+    let mixed = if last {
+        sr
+    } else {
+        [
+            gf4_mul2(sr[0]) ^ gf4_mul3(sr[1]),
+            gf4_mul3(sr[0]) ^ gf4_mul2(sr[1]),
+            gf4_mul2(sr[2]) ^ gf4_mul3(sr[3]),
+            gf4_mul3(sr[2]) ^ gf4_mul2(sr[3]),
+        ]
+    };
+    pack(mixed) ^ rk
+}
+
+/// Small-scale AES encryption: the golden model of the accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_designs::aes::encrypt;
+/// let ct = encrypt(0x1A2B, 0xC0DE);
+/// assert_ne!(ct, 0xC0DE);
+/// assert_eq!(ct, encrypt(0x1A2B, 0xC0DE)); // deterministic
+/// ```
+#[must_use]
+pub fn encrypt(key: u64, pt: u64) -> u64 {
+    let mut state = (pt ^ key) & 0xFFFF;
+    let mut rk = key & 0xFFFF;
+    for r in 1..=u64::from(ROUNDS) {
+        rk = key_step(rk, r);
+        state = round(state, rk, r == u64::from(ROUNDS));
+    }
+    state
+}
+
+/// Golden function in the accelerator's interface convention:
+/// `data = key(31:16) ‖ pt(15:0)`.
+#[must_use]
+pub fn golden(_action: u64, data: u64) -> u64 {
+    encrypt((data >> 16) & 0xFFFF, data & 0xFFFF)
+}
+
+// ----------------------------------------------------------------------
+// Symbolic small-scale AES (expression builders)
+// ----------------------------------------------------------------------
+
+fn sbox4_expr(pool: &mut ExprPool, x: ExprRef) -> ExprRef {
+    let options: Vec<ExprRef> = SBOX4.iter().map(|&v| pool.lit(4, v)).collect();
+    let default = pool.lit(4, 0);
+    pool.select(x, &options, default)
+}
+
+fn nibbles_expr(pool: &mut ExprPool, v: ExprRef) -> [ExprRef; 4] {
+    [
+        pool.extract(v, 3, 0),
+        pool.extract(v, 7, 4),
+        pool.extract(v, 11, 8),
+        pool.extract(v, 15, 12),
+    ]
+}
+
+fn pack_expr(pool: &mut ExprPool, n: [ExprRef; 4]) -> ExprRef {
+    let hi = pool.concat(n[3], n[2]);
+    let lo = pool.concat(n[1], n[0]);
+    pool.concat(hi, lo)
+}
+
+fn gf4_mul2_expr(pool: &mut ExprPool, x: ExprRef) -> ExprRef {
+    let one = pool.lit(4, 1);
+    let shifted = pool.shl(x, one);
+    let msb = pool.bit(x, 3);
+    let red = pool.lit(4, 0x3);
+    let zero = pool.lit(4, 0);
+    let fix = pool.ite(msb, red, zero);
+    pool.xor(shifted, fix)
+}
+
+fn gf4_mul3_expr(pool: &mut ExprPool, x: ExprRef) -> ExprRef {
+    let d = gf4_mul2_expr(pool, x);
+    pool.xor(d, x)
+}
+
+/// Symbolic key-schedule step (mirrors [`key_step`]). The `round`
+/// expression must be 4 bits.
+pub fn key_step_expr(pool: &mut ExprPool, rk: ExprRef, round: ExprRef) -> ExprRef {
+    let n = nibbles_expr(pool, rk);
+    let sub0 = sbox4_expr(pool, n[1]);
+    let low = pool.xor(sub0, round);
+    pack_expr(pool, [low, n[2], n[3], n[0]])
+}
+
+/// Symbolic encryption round (mirrors [`round`]).
+pub fn round_expr(pool: &mut ExprPool, state: ExprRef, rk: ExprRef, last: ExprRef) -> ExprRef {
+    let n = nibbles_expr(pool, state);
+    let s = [
+        sbox4_expr(pool, n[0]),
+        sbox4_expr(pool, n[1]),
+        sbox4_expr(pool, n[2]),
+        sbox4_expr(pool, n[3]),
+    ];
+    let sr = [s[0], s[3], s[2], s[1]];
+    let mixed = [
+        {
+            let a = gf4_mul2_expr(pool, sr[0]);
+            let b = gf4_mul3_expr(pool, sr[1]);
+            pool.xor(a, b)
+        },
+        {
+            let a = gf4_mul3_expr(pool, sr[0]);
+            let b = gf4_mul2_expr(pool, sr[1]);
+            pool.xor(a, b)
+        },
+        {
+            let a = gf4_mul2_expr(pool, sr[2]);
+            let b = gf4_mul3_expr(pool, sr[3]);
+            pool.xor(a, b)
+        },
+        {
+            let a = gf4_mul3_expr(pool, sr[2]);
+            let b = gf4_mul2_expr(pool, sr[3]);
+            pool.xor(a, b)
+        },
+    ];
+    let with_mix = pack_expr(pool, mixed);
+    let without_mix = pack_expr(pool, sr);
+    let pre_key = pool.ite(last, without_mix, with_mix);
+    pool.xor(pre_key, rk)
+}
+
+/// The recommended RB parameters for the AES core (τ covers the 4-round
+/// latency plus handshake slack).
+#[must_use]
+pub fn recommended_rb() -> RbConfig {
+    RbConfig {
+        tau: 8,
+        in_min: 1,
+        rdin_bound: 10,
+        counter_width: 8,
+    }
+}
+
+/// Builds the iterative small-scale AES accelerator, optionally with one
+/// of the v1–v4 bugs injected.
+///
+/// Interface: `action` (1 = encrypt), `data` = `key(31:16) ‖ pt(15:0)`,
+/// 16-bit ciphertext output; one operation in flight.
+#[must_use]
+pub fn build(pool: &mut ExprPool, bug: Option<AesBug>) -> Lca {
+    let name = match bug {
+        None => "aes_small".to_string(),
+        Some(b) => format!("aes_small_{}", b.id()),
+    };
+    let mut ts = TransitionSystem::new(name);
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", 32);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    let key_in = pool.extract(data_e, 31, 16);
+    let pt_in = pool.extract(data_e, 15, 0);
+
+    let busy = ts.add_register(pool, "aes_busy", 1, 0);
+    let round_ctr = ts.add_register(pool, "aes_round", 3, 0);
+    let state = ts.add_register(pool, "aes_state", 16, 0);
+    let rkey = ts.add_register(pool, "aes_rkey", 16, 0);
+    let out_reg = ts.add_register(pool, "aes_out", 16, 0);
+    let out_pending = ts.add_register(pool, "aes_out_pending", 1, 0);
+    // Auxiliary flops that host the bug triggers.
+    let op_parity = ts.add_register(pool, "aes_op_parity", 1, 0);
+    let op_count = ts.add_register(pool, "aes_op_count", 2, 0);
+    let idle_ctr = ts.add_register(pool, "aes_idle_ctr", 2, 0);
+
+    let busy_e = pool.var_expr(busy);
+    let round_e = pool.var_expr(round_ctr);
+    let state_e = pool.var_expr(state);
+    let rkey_e = pool.var_expr(rkey);
+    let out_reg_e = pool.var_expr(out_reg);
+    let out_pending_e = pool.var_expr(out_pending);
+    let op_parity_e = pool.var_expr(op_parity);
+    let op_count_e = pool.var_expr(op_count);
+    let idle_ctr_e = pool.var_expr(idle_ctr);
+
+    // Handshake.
+    let not_busy = pool.not(busy_e);
+    let not_pending = pool.not(out_pending_e);
+    let rdin = pool.and(not_busy, not_pending);
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+    let delivered = pool.and(out_pending_e, rdh_e);
+
+    // v2 trigger: capture coinciding with delivery of the previous result.
+    // (With the healthy handshake rdin blocks while pending, so the buggy
+    // variant widens rdin to accept during the delivery cycle — the
+    // "look-ahead ready" optimisation whose reset term was forgotten.)
+    let (rdin, captured) = if bug == Some(AesBug::V2RoundCounterResetRace) {
+        let accept_on_delivery = pool.and(not_busy, delivered);
+        let r = pool.or(rdin, accept_on_delivery);
+        let c = pool.and(r, act_valid);
+        (r, c)
+    } else {
+        (rdin, captured)
+    };
+
+    // v3 trigger: idle streak of 3+ cycles corrupts the captured state.
+    let idle_sat = {
+        let three = pool.lit(2, 3);
+        pool.uge(idle_ctr_e, three)
+    };
+    let mut init_state = pool.xor(pt_in, key_in);
+    if bug == Some(AesBug::V3IdlePathCorruption) {
+        let one16 = pool.lit(16, 1);
+        let corrupted = pool.xor(init_state, one16);
+        init_state = pool.ite(idle_sat, corrupted, init_state);
+    }
+
+    // v1 trigger: every second operation skips the key load.
+    let load_key = match bug {
+        Some(AesBug::V1StaleKeyAlternate) => pool.not(op_parity_e),
+        _ => pool.true_(),
+    };
+    let loaded_key = pool.ite(load_key, key_in, rkey_e);
+
+    // Round computation (runs while busy).
+    let one3 = pool.lit(3, 1);
+    let round_now = pool.add(round_e, one3); // round being executed this cycle
+    let round4 = pool.zext(round_now, 4);
+    let mut rk_next = key_step_expr(pool, rkey_e, round4);
+    if bug == Some(AesBug::V4RconSkipOnWrap) {
+        // On every second operation the Rcon XOR is dropped.
+        let wrap = pool.extract(op_count_e, 0, 0);
+        let zero4 = pool.lit(4, 0);
+        let rk_norcon = key_step_expr(pool, rkey_e, zero4);
+        rk_next = pool.ite(wrap, rk_norcon, rk_next);
+    }
+    let last_l = pool.lit(3, ROUNDS as u64);
+    // `>=` instead of `==`: a stale round counter (the v2 race) makes the
+    // new operation finish after a single round instead of looping the
+    // counter all the way around.
+    let is_last = pool.uge(round_now, last_l);
+    let state_next_round = round_expr(pool, state_e, rk_next, is_last);
+
+    // Register updates.
+    let finishing = pool.and(busy_e, is_last);
+    // busy.
+    let not_finishing = pool.not(finishing);
+    let busy_kept = pool.and(busy_e, not_finishing);
+    let next_busy = pool.or(busy_kept, captured);
+    ts.set_next(busy, next_busy);
+    // round counter: reset on capture (healthy), advance while busy.
+    let zero3 = pool.lit(3, 0);
+    let round_adv = pool.ite(busy_e, round_now, round_e);
+    let next_round = match bug {
+        Some(AesBug::V2RoundCounterResetRace) => {
+            // Reset only on captures that do NOT coincide with a delivery.
+            let clean_cap = {
+                let nd = pool.not(delivered);
+                pool.and(captured, nd)
+            };
+            let r = pool.ite(clean_cap, zero3, round_adv);
+            // A racy capture leaves the counter at its stale value — and
+            // because the previous op just finished, that value is 4,
+            // wrapping the counter mid-operation.
+            r
+        }
+        _ => pool.ite(captured, zero3, round_adv),
+    };
+    ts.set_next(round_ctr, next_round);
+    // state.
+    let state_busy = pool.ite(busy_e, state_next_round, state_e);
+    let next_state = pool.ite(captured, init_state, state_busy);
+    ts.set_next(state, next_state);
+    // round key.
+    let rkey_busy = pool.ite(busy_e, rk_next, rkey_e);
+    let next_rkey = pool.ite(captured, loaded_key, rkey_busy);
+    ts.set_next(rkey, next_rkey);
+    // output.
+    let next_out = pool.ite(finishing, state_next_round, out_reg_e);
+    ts.set_next(out_reg, next_out);
+    let not_delivered = pool.not(delivered);
+    let pend_kept = pool.and(out_pending_e, not_delivered);
+    let next_pending = pool.or(pend_kept, finishing);
+    ts.set_next(out_pending, next_pending);
+    // op parity / count (per capture).
+    let flip = pool.not(op_parity_e);
+    let next_parity = pool.ite(captured, flip, op_parity_e);
+    ts.set_next(op_parity, next_parity);
+    let one2 = pool.lit(2, 1);
+    let cnt_inc = pool.add(op_count_e, one2);
+    let next_count = pool.ite(captured, cnt_inc, op_count_e);
+    ts.set_next(op_count, next_count);
+    // idle counter: cycles without capture, saturating at 3.
+    let three2 = pool.lit(2, 3);
+    let at3 = pool.uge(idle_ctr_e, three2);
+    let idle_inc = pool.add(idle_ctr_e, one2);
+    let idle_bump = pool.ite(at3, idle_ctr_e, idle_inc);
+    let zero2 = pool.lit(2, 0);
+    let next_idle = pool.ite(captured, zero2, idle_bump);
+    ts.set_next(idle_ctr, next_idle);
+
+    let zero16 = pool.lit(16, 0);
+    let out = pool.ite(out_pending_e, out_reg_e, zero16);
+
+    ts.add_output("out", out);
+    ts.add_output("out_valid", out_pending_e);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: None,
+        out,
+        out_valid: out_pending_e,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    #[test]
+    fn cipher_is_bijective_per_key() {
+        for key in [0u64, 0x1234, 0xFFFF, 0xA5A5] {
+            let mut seen = vec![false; 1 << 16];
+            for pt in 0..(1u64 << 16) {
+                let ct = encrypt(key, pt) as usize;
+                assert!(!seen[ct], "collision at key {key:#x} pt {pt:#x}");
+                seen[ct] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cipher_diffuses() {
+        // Flipping one plaintext bit changes more than one output bit on
+        // average (weak avalanche sanity check).
+        let key = 0xBEEF;
+        let mut total_flips = 0u32;
+        for pt in 0..256u64 {
+            let a = encrypt(key, pt);
+            let b = encrypt(key, pt ^ 1);
+            total_flips += (a ^ b).count_ones();
+        }
+        assert!(total_flips > 256 * 3, "diffusion too weak: {total_flips}");
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        let mut p = ExprPool::new();
+        let key = p.var("key", 16, aqed_expr::VarKind::Input);
+        let pt = p.var("pt", 16, aqed_expr::VarKind::Input);
+        let key_e = p.var_expr(key);
+        let pt_e = p.var_expr(pt);
+        // Build the full 4-round encryption symbolically.
+        let mut state = p.xor(pt_e, key_e);
+        let mut rk = key_e;
+        for r in 1..=u64::from(ROUNDS) {
+            let rc = p.lit(4, r);
+            rk = key_step_expr(&mut p, rk, rc);
+            let last = if r == u64::from(ROUNDS) {
+                p.true_()
+            } else {
+                p.false_()
+            };
+            state = round_expr(&mut p, state, rk, last);
+        }
+        for (k, t) in [(0u64, 0u64), (0xFFFF, 0xFFFF), (0x1A2B, 0xC0DE), (0x5555, 0xAAAA)] {
+            let got = p.eval(state, &mut |v| {
+                if v == key {
+                    Bv::new(16, k)
+                } else {
+                    Bv::new(16, t)
+                }
+            });
+            assert_eq!(got.to_u64(), encrypt(k, t), "key {k:#x} pt {t:#x}");
+        }
+    }
+
+    fn run_op(lca: &Lca, p: &ExprPool, sim: &mut Simulator, key: u64, pt: u64) -> u64 {
+        // Submit and wait for delivery.
+        let data = key << 16 | pt;
+        let mut submitted = false;
+        for _ in 0..20 {
+            let a = u64::from(!submitted);
+            let iv = vec![
+                (lca.action, Bv::new(2, a)),
+                (lca.data, Bv::new(32, data)),
+                (lca.rdh, Bv::from_bool(true)),
+            ];
+            let cap = sim.peek(p, lca.captured, &iv).is_true();
+            let del = sim.peek(p, lca.delivered, &iv).is_true();
+            let out = sim.peek(p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, p, &iv);
+            if cap {
+                submitted = true;
+            }
+            if del {
+                return out;
+            }
+        }
+        panic!("no output within 20 cycles");
+    }
+
+    #[test]
+    fn accelerator_matches_golden_model() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        lca.ts.validate(&p).expect("valid");
+        let mut sim = Simulator::new(&lca.ts, &p);
+        for (k, t) in [(0x1A2Bu64, 0xC0DEu64), (0, 0), (0xFFFF, 0x0001), (0x4242, 0x4242)] {
+            let ct = run_op(&lca, &p, &mut sim, k, t);
+            assert_eq!(ct, encrypt(k, t), "key {k:#x} pt {t:#x}");
+        }
+    }
+
+    #[test]
+    fn v1_gives_position_dependent_ciphertexts() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(AesBug::V1StaleKeyAlternate));
+        let mut sim = Simulator::new(&lca.ts, &p);
+        let (k, t) = (0x1A2B, 0xC0DE);
+        let first = run_op(&lca, &p, &mut sim, k, t);
+        let second = run_op(&lca, &p, &mut sim, k, t);
+        assert_ne!(first, second, "same input, different position, different output");
+    }
+
+    fn aqed_fc_catches(bug: AesBug, bound: usize) -> usize {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(bug));
+        let fc = FcConfig {
+            common_field: Some((31, 16)), // common key across the batch
+            ..FcConfig::default()
+        };
+        let report = AqedHarness::new(&lca).with_fc(fc).verify(&mut p, bound);
+        match report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(property, PropertyKind::Fc, "{}", bug.id());
+                assert_eq!(
+                    counterexample.bad_name, "aqed_fc_violation",
+                    "{}: must be the genuine output-mismatch property",
+                    bug.id()
+                );
+                counterexample.cycles()
+            }
+            other => panic!("{}: expected FC bug, got {other:?}", bug.id()),
+        }
+    }
+
+    #[test]
+    fn aqed_catches_v1() {
+        let cycles = aqed_fc_catches(AesBug::V1StaleKeyAlternate, 12);
+        assert!(cycles <= 12);
+    }
+
+    #[test]
+    fn aqed_catches_v2() {
+        let cycles = aqed_fc_catches(AesBug::V2RoundCounterResetRace, 10);
+        assert!(cycles <= 10);
+    }
+
+    #[test]
+    fn aqed_catches_v3() {
+        let cycles = aqed_fc_catches(AesBug::V3IdlePathCorruption, 14);
+        assert!(cycles <= 14);
+    }
+
+    #[test]
+    fn aqed_catches_v4() {
+        let cycles = aqed_fc_catches(AesBug::V4RconSkipOnWrap, 12);
+        assert!(cycles <= 12);
+    }
+
+    #[test]
+    fn healthy_aes_clean() {
+        // Bound 9: covers a complete operation plus handshake slack.
+        // (Beyond ~12 the all-UNSAT FC query becomes a full two-copy
+        // cipher-equivalence proof — minutes of CDCL per depth; the
+        // bounded clean check here is a smoke test, the bug-finding
+        // tests above are the real coverage.)
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let fc = FcConfig {
+            common_field: Some((31, 16)),
+            ..FcConfig::default()
+        };
+        let report = AqedHarness::new(&lca)
+            .with_fc(fc)
+            .with_rb(recommended_rb())
+            .verify(&mut p, 9);
+        assert!(!report.found_bug(), "healthy AES must be clean: {report}");
+    }
+}

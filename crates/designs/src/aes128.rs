@@ -1,0 +1,260 @@
+//! A complete AES-128 encryption reference implementation (FIPS-197).
+//!
+//! The paper's AES case study ran BMC on *abstracted* versions of the
+//! accelerator for scalability and kept the full design for simulation.
+//! This module is our full-scale counterpart: a from-scratch, pure-Rust
+//! AES-128 used as the golden model of the conventional simulation flow
+//! and to document the abstraction gap against the BMC-friendly
+//! small-scale AES in [`crate::aes`].
+//!
+//! The S-box is derived programmatically from the GF(2⁸) inverse plus the
+//! affine map (no hand-typed tables to mistype) and validated against the
+//! FIPS-197 known-answer vector.
+
+/// GF(2⁸) multiplication modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+#[must_use]
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    for _ in 0..8 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// GF(2⁸) multiplicative inverse (0 maps to 0).
+#[must_use]
+pub fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 via square-and-multiply (the group has order 255).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+/// The AES S-box, computed from the field inverse and the affine
+/// transformation.
+#[must_use]
+pub fn sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let x = gf_inv(i as u8);
+        let mut y = x;
+        let mut out = 0x63u8; // affine constant
+        for r in 0..5u32 {
+            let _ = r;
+            out ^= y;
+            y = y.rotate_left(1);
+        }
+        *slot = out;
+    }
+    table
+}
+
+/// AES-128 state: 16 bytes in column-major order (as in FIPS-197).
+type State = [u8; 16];
+
+fn sub_bytes(state: &mut State, sb: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sb[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut State) {
+    // state[r + 4c] is row r, column c.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut State) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn add_round_key(state: &mut State, rk: &[u8]) {
+    for (b, k) in state.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+/// Expands a 16-byte key into the 11 round keys (176 bytes).
+#[must_use]
+pub fn key_expansion(key: &[u8; 16]) -> [u8; 176] {
+    let sb = sbox();
+    let mut w = [0u8; 176];
+    w[..16].copy_from_slice(key);
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = [
+            w[4 * (i - 1)],
+            w[4 * (i - 1) + 1],
+            w[4 * (i - 1) + 2],
+            w[4 * (i - 1) + 3],
+        ];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for t in temp.iter_mut() {
+                *t = sb[*t as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        }
+        for j in 0..4 {
+            w[4 * i + j] = w[4 * (i - 4) + j] ^ temp[j];
+        }
+    }
+    w
+}
+
+/// Encrypts one 16-byte block with AES-128.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_designs::aes128::encrypt_block;
+/// // FIPS-197 Appendix B known-answer test.
+/// let key = [
+///     0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+///     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+/// ];
+/// let pt = [
+///     0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+///     0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+/// ];
+/// let ct = encrypt_block(&key, &pt);
+/// assert_eq!(ct[..4], [0x39, 0x25, 0x84, 0x1d]);
+/// ```
+#[must_use]
+pub fn encrypt_block(key: &[u8; 16], plaintext: &[u8; 16]) -> [u8; 16] {
+    let sb = sbox();
+    let rks = key_expansion(key);
+    let mut state: State = *plaintext;
+    add_round_key(&mut state, &rks[..16]);
+    for round in 1..10 {
+        sub_bytes(&mut state, &sb);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &rks[16 * round..16 * (round + 1)]);
+    }
+    sub_bytes(&mut state, &sb);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rks[160..176]);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_mul_basics() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul(1, 0xAB), 0xAB);
+        assert_eq!(gf_mul(0, 0xFF), 0);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse of {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let sb = sbox();
+        assert_eq!(sb[0x00], 0x63);
+        assert_eq!(sb[0x01], 0x7C);
+        assert_eq!(sb[0x53], 0xED);
+        assert_eq!(sb[0xFF], 0x16);
+        // Bijective.
+        let mut seen = [false; 256];
+        for &v in sb.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+            0xcf, 0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
+            0x37, 0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+            0x6a, 0x0b, 0x32,
+        ];
+        assert_eq!(encrypt_block(&key, &pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) << 4 | i as u8);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+            0xb4, 0xc5, 0x5a,
+        ];
+        assert_eq!(encrypt_block(&key, &pt), expect);
+    }
+
+    #[test]
+    fn key_expansion_first_round_key() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+            0xcf, 0x4f, 0x3c,
+        ];
+        let rks = key_expansion(&key);
+        // w[4] from FIPS-197 Appendix A: a0 fa fe 17.
+        assert_eq!(&rks[16..20], &[0xa0, 0xfa, 0xfe, 0x17]);
+        // w[43] (last word): b6 63 0c a6.
+        assert_eq!(&rks[172..176], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn different_keys_different_ciphertexts() {
+        let pt = [0u8; 16];
+        let mut k1 = [0u8; 16];
+        let k2 = [0u8; 16];
+        k1[0] = 1;
+        assert_ne!(encrypt_block(&k1, &pt), encrypt_block(&k2, &pt));
+    }
+}

@@ -1,0 +1,293 @@
+//! The custom dataflow design (paper Table 2, "Custom design / Dataflow",
+//! caught by RB).
+//!
+//! Two streaming kernels connected by an intermediate FIFO — the shape of
+//! an HLS dataflow region:
+//!
+//! ```text
+//! in ──▶ [stage 1: f1] ──▶ (FIFO, 2 deep) ──▶ [stage 2: f2] ──▶ out
+//! ```
+//!
+//! with `f1(d) = d ⊕ (d << 1)` and `f2(x) = x + 5`.
+//!
+//! The bug variant reproduces the paper's "incorrect FIFO sizing" class:
+//! the producer's flow control assumes a 4-deep FIFO (the HLS pragma)
+//! while the instantiated hardware FIFO holds 2 entries — a word pushed
+//! into the full FIFO is dropped, so its output never arrives and the
+//! Response Bound check fires.
+
+use aqed_core::RbConfig;
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Bug variants of the dataflow design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataflowBug {
+    /// Producer flow control sized for a 4-deep FIFO, hardware FIFO is
+    /// 2 deep: overflow drops a word (RB).
+    FifoSizing,
+}
+
+/// Physical intermediate FIFO depth.
+pub const FIFO_DEPTH: usize = 2;
+
+/// The composed kernel function — the golden model.
+#[must_use]
+pub fn golden(_action: u64, data: u64) -> u64 {
+    let f1 = (data ^ (data << 1)) & 0xFF;
+    (f1 + 5) & 0xFF
+}
+
+/// Recommended RB parameters (τ covers both stages plus FIFO residency).
+#[must_use]
+pub fn recommended_rb() -> RbConfig {
+    RbConfig {
+        tau: 10,
+        in_min: 1,
+        rdin_bound: 12,
+        counter_width: 8,
+    }
+}
+
+/// Builds the dataflow accelerator, optionally with the FIFO sizing bug.
+#[must_use]
+pub fn build(pool: &mut ExprPool, bug: Option<DataflowBug>) -> Lca {
+    let name = match bug {
+        None => "dataflow",
+        Some(DataflowBug::FifoSizing) => "dataflow_fifo_sizing",
+    };
+    let mut ts = TransitionSystem::new(name);
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", 8);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    // Stage-1 holding register.
+    let s1_v = ts.add_register(pool, "df_s1_v", 1, 0);
+    let s1_d = ts.add_register(pool, "df_s1_d", 8, 0);
+    // Intermediate FIFO (2 entries, shift style).
+    let fifo: Vec<_> = (0..FIFO_DEPTH)
+        .map(|i| ts.add_register(pool, format!("df_fifo{i}"), 8, 0))
+        .collect();
+    let fifo_cnt = ts.add_register(pool, "df_fifo_cnt", 2, 0);
+    // Output slot.
+    let oval = ts.add_register(pool, "df_oval", 8, 0);
+    let ovalid = ts.add_register(pool, "df_ovalid", 1, 0);
+
+    let s1_v_e = pool.var_expr(s1_v);
+    let s1_d_e = pool.var_expr(s1_d);
+    let fifo_e: Vec<ExprRef> = fifo.iter().map(|&f| pool.var_expr(f)).collect();
+    let cnt_e = pool.var_expr(fifo_cnt);
+    let oval_e = pool.var_expr(oval);
+    let ovalid_e = pool.var_expr(ovalid);
+
+    // f1 computed at capture, f2 computed at stage-2 transfer.
+    let one8 = pool.lit(8, 1);
+    let dshift = pool.shl(data_e, one8);
+    let f1 = pool.xor(data_e, dshift);
+    let five = pool.lit(8, 5);
+    let head = fifo_e[0];
+    let f2 = pool.add(head, five);
+
+    // Handshake events.
+    let pop_out = pool.and(ovalid_e, rdh_e);
+    let zero2 = pool.lit(2, 0);
+    let fifo_nonempty = pool.ne(cnt_e, zero2);
+    // Stage 2 takes the FIFO head when the output slot is (or becomes)
+    // free this cycle.
+    let slot_free = {
+        let nv = pool.not(ovalid_e);
+        pool.or(nv, pop_out)
+    };
+    let s2_take = pool.and(fifo_nonempty, slot_free);
+
+    // Stage-1 push: depends on the *believed* FIFO capacity.
+    let believed_depth = match bug {
+        Some(DataflowBug::FifoSizing) => 4u64, // pragma says 4…
+        None => FIFO_DEPTH as u64,             // …hardware has 2
+    };
+    let one2 = pool.lit(2, 1);
+    let cnt_after_take = {
+        let dec = pool.sub(cnt_e, one2);
+        pool.ite(s2_take, dec, cnt_e)
+    };
+    let believed = pool.lit(2, believed_depth.min(3));
+    let has_space_believed = pool.ult(cnt_after_take, believed);
+    let s1_push = pool.and(s1_v_e, has_space_believed);
+    // Physical space: a push beyond the real depth is silently dropped
+    // (the overflow the sizing bug creates).
+    let real_depth = pool.lit(2, FIFO_DEPTH as u64);
+    let has_space_real = pool.ult(cnt_after_take, real_depth);
+    let push_effective = pool.and(s1_push, has_space_real);
+
+    // Capture: stage 1 free (after this cycle's push).
+    let s1_free = {
+        let nv = pool.not(s1_v_e);
+        pool.or(nv, s1_push)
+    };
+    let rdin = s1_free;
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    // Stage-1 registers.
+    let not_push = pool.not(s1_push);
+    let s1_kept = pool.and(s1_v_e, not_push);
+    let next_s1_v = pool.or(s1_kept, captured);
+    ts.set_next(s1_v, next_s1_v);
+    let next_s1_d = pool.ite(captured, f1, s1_d_e);
+    ts.set_next(s1_d, next_s1_d);
+
+    // FIFO count: +effective push, −take.
+    let next_cnt = {
+        let inc = pool.add(cnt_after_take, one2);
+        pool.ite(push_effective, inc, cnt_after_take)
+    };
+    ts.set_next(fifo_cnt, next_cnt);
+    // FIFO data (shift-down on take, write at tail).
+    for i in 0..FIFO_DEPTH {
+        let cur = fifo_e[i];
+        let from_above = if i + 1 < FIFO_DEPTH {
+            fifo_e[i + 1]
+        } else {
+            cur
+        };
+        let shifted = pool.ite(s2_take, from_above, cur);
+        let idx = pool.lit(2, i as u64);
+        let at_tail = pool.eq(cnt_after_take, idx);
+        let wr = pool.and(push_effective, at_tail);
+        let written = pool.ite(wr, s1_d_e, shifted);
+        ts.set_next(fifo[i], written);
+    }
+
+    // Output slot.
+    let next_oval = pool.ite(s2_take, f2, oval_e);
+    ts.set_next(oval, next_oval);
+    let not_pop = pool.not(pop_out);
+    let o_kept = pool.and(ovalid_e, not_pop);
+    let next_ovalid = pool.or(o_kept, s2_take);
+    ts.set_next(ovalid, next_ovalid);
+
+    let zero8 = pool.lit(8, 0);
+    let out = pool.ite(ovalid_e, oval_e, zero8);
+    let delivered = pop_out;
+
+    ts.add_output("out", out);
+    ts.add_output("out_valid", ovalid_e);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: None,
+        out,
+        out_valid: ovalid_e,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    fn run_stream(lca: &Lca, p: &ExprPool, inputs: &[u64], rdh_pattern: impl Fn(usize) -> bool) -> Vec<u64> {
+        let mut sim = Simulator::new(&lca.ts, p);
+        let mut sent = 0usize;
+        let mut outs = Vec::new();
+        for cycle in 0..300 {
+            let send = sent < inputs.len();
+            let d = if send { inputs[sent] } else { 0 };
+            let rdh = rdh_pattern(cycle);
+            let iv = vec![
+                (lca.action, Bv::new(2, u64::from(send))),
+                (lca.data, Bv::new(8, d)),
+                (lca.rdh, Bv::from_bool(rdh)),
+            ];
+            let cap = sim.peek(p, lca.captured, &iv).is_true();
+            let del = sim.peek(p, lca.delivered, &iv).is_true();
+            let out = sim.peek(p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, p, &iv);
+            if cap {
+                sent += 1;
+            }
+            if del {
+                outs.push(out);
+            }
+        }
+        outs
+    }
+
+    #[test]
+    fn healthy_pipeline_computes_composition() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        lca.ts.validate(&p).expect("valid");
+        let inputs = [1u64, 2, 3, 200, 255, 77];
+        let outs = run_stream(&lca, &p, &inputs, |_| true);
+        let expect: Vec<u64> = inputs.iter().map(|&d| golden(1, d)).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn healthy_pipeline_survives_backpressure() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let inputs = [9u64, 8, 7, 6, 5, 4, 3];
+        let outs = run_stream(&lca, &p, &inputs, |c| c % 3 == 0);
+        let expect: Vec<u64> = inputs.iter().map(|&d| golden(1, d)).collect();
+        assert_eq!(outs, expect, "stalling host must not lose data");
+    }
+
+    #[test]
+    fn sizing_bug_drops_words_under_backpressure() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(DataflowBug::FifoSizing));
+        let inputs = [9u64, 8, 7, 6, 5, 4, 3];
+        let outs = run_stream(&lca, &p, &inputs, |c| c > 30);
+        let expect: Vec<u64> = inputs.iter().map(|&d| golden(1, d)).collect();
+        assert_ne!(outs, expect, "overflow must drop data");
+        assert!(outs.len() < inputs.len(), "fewer outputs than inputs");
+    }
+
+    #[test]
+    fn aqed_rb_catches_sizing_bug() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(DataflowBug::FifoSizing));
+        let report = AqedHarness::new(&lca)
+            .with_rb(recommended_rb())
+            .verify(&mut p, 16);
+        match report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(property, PropertyKind::Rb);
+                assert!(counterexample.cycles() <= 16);
+            }
+            other => panic!("expected RB bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_clean_under_fc_and_rb() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_rb(recommended_rb())
+            .verify(&mut p, 10);
+        assert!(!report.found_bug(), "healthy dataflow must be clean: {report}");
+    }
+}

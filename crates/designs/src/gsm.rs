@@ -1,0 +1,325 @@
+//! The GSM case study (paper Table 2, "CHStone / GSM", caught by FC).
+//!
+//! An abstracted stage of the CHStone GSM LPC kernel: a weighted frame
+//! sum. One operation processes a frame of four 8-bit samples packed into
+//! the 32-bit `data` input and produces the 16-bit value
+//! `Σ wᵢ · sᵢ` with weights `w = [1, 2, 3, 4]`, computed iteratively —
+//! one multiply-accumulate per cycle, as HLS schedules it.
+//!
+//! The bug variant is an accumulator-reset race: a "look-ahead ready"
+//! optimisation lets a new frame start in the same cycle the previous
+//! result is delivered, but the accumulator-clear term was forgotten on
+//! that path, so the new frame's sum starts from the previous result —
+//! the value then depends on *when* the frame was submitted, which is
+//! precisely a Functional Consistency violation.
+
+use aqed_core::RbConfig;
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Bug variants of the GSM stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GsmBug {
+    /// The accumulator is not cleared when a capture coincides with the
+    /// delivery of the previous result (FC).
+    AccumulatorResetRace,
+}
+
+/// Samples per frame.
+pub const FRAME: usize = 4;
+
+/// Per-sample weights.
+pub const WEIGHTS: [u64; FRAME] = [1, 2, 3, 4];
+
+/// The frame function — golden model. `data` packs samples little-endian
+/// (`s0` in bits 7:0).
+#[must_use]
+pub fn golden(_action: u64, data: u64) -> u64 {
+    let mut acc = 0u64;
+    for (i, w) in WEIGHTS.iter().enumerate() {
+        let s = (data >> (8 * i)) & 0xFF;
+        acc = acc.wrapping_add(w * s);
+    }
+    acc & 0xFFFF
+}
+
+/// Recommended RB parameters (τ covers the 4-cycle MAC loop).
+#[must_use]
+pub fn recommended_rb() -> RbConfig {
+    RbConfig {
+        tau: 8,
+        in_min: 1,
+        rdin_bound: 10,
+        counter_width: 8,
+    }
+}
+
+/// Builds the GSM weighted-sum accelerator, optionally with the
+/// accumulator-reset race.
+#[must_use]
+pub fn build(pool: &mut ExprPool, bug: Option<GsmBug>) -> Lca {
+    let name = match bug {
+        None => "gsm_lpc",
+        Some(GsmBug::AccumulatorResetRace) => "gsm_lpc_acc_race",
+    };
+    let mut ts = TransitionSystem::new(name);
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", 32);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    let busy = ts.add_register(pool, "gsm_busy", 1, 0);
+    let step = ts.add_register(pool, "gsm_step", 3, 0);
+    let frame = ts.add_register(pool, "gsm_frame", 32, 0);
+    let acc = ts.add_register(pool, "gsm_acc", 16, 0);
+    let out_reg = ts.add_register(pool, "gsm_out", 16, 0);
+    let out_pending = ts.add_register(pool, "gsm_out_pending", 1, 0);
+
+    let busy_e = pool.var_expr(busy);
+    let step_e = pool.var_expr(step);
+    let frame_e = pool.var_expr(frame);
+    let acc_e = pool.var_expr(acc);
+    let out_reg_e = pool.var_expr(out_reg);
+    let out_pending_e = pool.var_expr(out_pending);
+
+    // Handshake.
+    let not_busy = pool.not(busy_e);
+    let not_pending = pool.not(out_pending_e);
+    let rdin_base = pool.and(not_busy, not_pending);
+    let delivered = pool.and(out_pending_e, rdh_e);
+    // The (buggy) look-ahead: also ready when the pending result leaves
+    // this very cycle.
+    let rdin = match bug {
+        Some(GsmBug::AccumulatorResetRace) => {
+            let look_ahead = pool.and(not_busy, delivered);
+            pool.or(rdin_base, look_ahead)
+        }
+        None => rdin_base,
+    };
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    // MAC datapath: sample `step` of the latched frame.
+    let samples: Vec<ExprRef> = (0..FRAME)
+        .map(|i| {
+            let lo = 8 * i as u32;
+            pool.extract(frame_e, lo + 7, lo)
+        })
+        .collect();
+    let sample = {
+        let opts = samples.clone();
+        let z = pool.lit(8, 0);
+        let idx = pool.extract(step_e, 1, 0);
+        pool.select(idx, &opts, z)
+    };
+    let weight = {
+        let opts: Vec<ExprRef> = WEIGHTS.iter().map(|&w| pool.lit(16, w)).collect();
+        let z = pool.lit(16, 0);
+        let idx = pool.extract(step_e, 1, 0);
+        pool.select(idx, &opts, z)
+    };
+    let sample16 = pool.zext(sample, 16);
+    let term = pool.mul(weight, sample16);
+    let acc_next_val = pool.add(acc_e, term);
+
+    let last_l = pool.lit(3, (FRAME - 1) as u64);
+    let at_last = pool.eq(step_e, last_l);
+    let finishing = pool.and(busy_e, at_last);
+
+    // busy.
+    let not_finishing = pool.not(finishing);
+    let busy_kept = pool.and(busy_e, not_finishing);
+    let next_busy = pool.or(busy_kept, captured);
+    ts.set_next(busy, next_busy);
+    // step.
+    let zero3 = pool.lit(3, 0);
+    let one3 = pool.lit(3, 1);
+    let step_inc = pool.add(step_e, one3);
+    let step_adv = pool.ite(busy_e, step_inc, step_e);
+    let next_step = pool.ite(captured, zero3, step_adv);
+    ts.set_next(step, next_step);
+    // frame latch.
+    let next_frame = pool.ite(captured, data_e, frame_e);
+    ts.set_next(frame, next_frame);
+    // accumulator: cleared at capture (except on the buggy race path),
+    // accumulates while busy.
+    let acc_busy = pool.ite(busy_e, acc_next_val, acc_e);
+    let clear_on_cap = match bug {
+        Some(GsmBug::AccumulatorResetRace) => {
+            let clean_cap = {
+                let nd = pool.not(delivered);
+                pool.and(captured, nd)
+            };
+            clean_cap
+        }
+        None => captured,
+    };
+    let zero16 = pool.lit(16, 0);
+    let next_acc = pool.ite(clear_on_cap, zero16, acc_busy);
+    ts.set_next(acc, next_acc);
+    // output.
+    let next_out = pool.ite(finishing, acc_next_val, out_reg_e);
+    ts.set_next(out_reg, next_out);
+    let not_delivered = pool.not(delivered);
+    let pend_kept = pool.and(out_pending_e, not_delivered);
+    let next_pending = pool.or(pend_kept, finishing);
+    ts.set_next(out_pending, next_pending);
+
+    let out = pool.ite(out_pending_e, out_reg_e, zero16);
+
+    ts.add_output("out", out);
+    ts.add_output("out_valid", out_pending_e);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: None,
+        out,
+        out_valid: out_pending_e,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    fn run_op(lca: &Lca, p: &ExprPool, sim: &mut Simulator, frame: u64) -> u64 {
+        let mut submitted = false;
+        for _ in 0..20 {
+            let a = u64::from(!submitted);
+            let iv = vec![
+                (lca.action, Bv::new(2, a)),
+                (lca.data, Bv::new(32, frame)),
+                (lca.rdh, Bv::from_bool(true)),
+            ];
+            let cap = sim.peek(p, lca.captured, &iv).is_true();
+            let del = sim.peek(p, lca.delivered, &iv).is_true();
+            let out = sim.peek(p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, p, &iv);
+            if cap {
+                submitted = true;
+            }
+            if del {
+                return out;
+            }
+        }
+        panic!("no output within 20 cycles");
+    }
+
+    #[test]
+    fn golden_model_weighted_sum() {
+        // s = [1, 2, 3, 4] → 1·1 + 2·2 + 3·3 + 4·4 = 30.
+        assert_eq!(golden(1, 0x04_03_02_01), 30);
+        assert_eq!(golden(1, 0), 0);
+        assert_eq!(golden(1, 0xFF), 255);
+        assert_eq!(golden(1, 0xFF << 24), 4 * 255);
+    }
+
+    #[test]
+    fn accelerator_matches_golden() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        lca.ts.validate(&p).expect("valid");
+        let mut sim = Simulator::new(&lca.ts, &p);
+        for frame in [0x04_03_02_01u64, 0, 0xFFFF_FFFF, 0x80_40_20_10, 0x01_00_00_FF] {
+            assert_eq!(run_op(&lca, &p, &mut sim, frame), golden(1, frame), "{frame:#x}");
+        }
+    }
+
+    #[test]
+    fn race_bug_corrupts_back_to_back_frames() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(GsmBug::AccumulatorResetRace));
+        let mut sim = Simulator::new(&lca.ts, &p);
+        // Submit a frame, then hold the next submission asserted so it is
+        // captured exactly on the delivery cycle.
+        let f1 = 0x04_03_02_01u64;
+        let f2 = 0x01_01_01_01u64;
+        // Submit f1 with the host stalled so its result stays pending,
+        // then offer f2 with the host ready: the look-ahead rdin captures
+        // f2 exactly on f1's delivery cycle, skipping the accumulator
+        // clear.
+        let mut outs = Vec::new();
+        let mut phase2 = false;
+        for cycle in 0..24 {
+            let (a, data, rdh) = if !phase2 {
+                (u64::from(cycle == 0), f1, false)
+            } else {
+                (1u64, f2, true)
+            };
+            let iv = vec![
+                (lca.action, Bv::new(2, a)),
+                (lca.data, Bv::new(32, data)),
+                (lca.rdh, Bv::from_bool(rdh)),
+            ];
+            let pending = sim
+                .peek(&p, lca.out_valid, &iv)
+                .is_true();
+            let cap = sim.peek(&p, lca.captured, &iv).is_true();
+            let del = sim.peek(&p, lca.delivered, &iv).is_true();
+            let out = sim.peek(&p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, &p, &iv);
+            if !phase2 && pending {
+                // f1's result is pending: from next cycle offer f2 with
+                // the host ready → racy capture on the delivery cycle.
+                phase2 = true;
+            }
+            let _ = cap;
+            if del {
+                outs.push(out);
+            }
+        }
+        // f2's result should be 10; with the race it is 30 + 10 = 40 —
+        // but only when captured on the delivery cycle. Either way, the
+        // healthy value must not appear for a racy capture.
+        assert!(
+            outs.contains(&((golden(1, f1) + golden(1, f2)) & 0xFFFF)),
+            "race must leak the previous sum: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn aqed_fc_catches_race() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(GsmBug::AccumulatorResetRace));
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 18);
+        match report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(property, PropertyKind::Fc);
+                assert!(counterexample.cycles() <= 18);
+            }
+            other => panic!("expected FC bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_clean_under_fc_and_rb() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_rb(recommended_rb())
+            .verify(&mut p, 9);
+        assert!(!report.found_bug(), "healthy GSM must be clean: {report}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Case-study accelerator designs with tracked bug variants — the
+//! workloads of the A-QED paper's evaluation (Sec. V).
+//!
+//! Every design is a loosely-coupled accelerator ([`Lca`](aqed_hls::Lca))
+//! built at the register-transfer level, together with a catalogue of
+//! *named, realistic* bug variants (no random mutation): clock-enable
+//! disconnects, pointer wrap errors, missing full/empty checks, swap
+//! glitches, stale-state reuse, FIFO sizing errors, deadlocks. Each bug is
+//! annotated with the universal property expected to catch it (FC or RB)
+//! and whether the conventional simulation flow's testbench is expected to
+//! find it within its cycle budget — reproducing the structure of the
+//! paper's Table 1, Table 2 and Fig. 5.
+//!
+//! Designs:
+//!
+//! * [`motivating`] — the paper's Fig. 2 four-buffer round-robin design
+//!   with the disconnected `clock_enable` bug,
+//! * [`memctrl`] — a CGRA memory-controller unit with FIFO, double-buffer
+//!   and line-buffer configurations (Table 1 / Fig. 5 case study),
+//! * [`aes`] — an iterative small-scale AES core (abstracted for BMC, as
+//!   the paper did) with buggy variants v1–v4, plus a full AES-128
+//!   reference implementation used as a simulation golden model,
+//! * [`dataflow`] — a two-stage kernel pipeline with an internal FIFO
+//!   sizing bug (RB),
+//! * [`optflow`] — an optical-flow-style window gradient pipeline (RB),
+//! * [`gsm`] — a GSM LPC-style weighted-sum stage (FC).
+//!
+//! The [`catalog`] module ties everything into one [`BugCase`] table the
+//! benchmark harness iterates over.
+
+pub mod aes;
+pub mod aes128;
+pub mod catalog;
+pub mod dataflow;
+pub mod gsm;
+pub mod memctrl;
+pub mod motivating;
+pub mod optflow;
+
+pub use catalog::{
+    all_cases, hls_cases, memctrl_cases, motivating_case, BugCase, DesignId, ExpectedProperty,
+};

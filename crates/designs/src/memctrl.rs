@@ -1,0 +1,885 @@
+//! The memory-controller unit case study (paper Sec. V.A, Table 1,
+//! Fig. 5).
+//!
+//! The paper's proprietary CGRA memory-controller RTL is reconstructed as
+//! three data-movement configurations, each a loosely-coupled accelerator
+//! moving 16-bit words: every captured word is eventually delivered
+//! unchanged and in order, so the *function* is the identity and the
+//! interesting behaviour is entirely in the buffering control logic —
+//! exactly the accelerator class where A-QED's Functional Consistency
+//! shines without any specification.
+//!
+//! * [`MemctrlConfig::Fifo`] — a depth-4 circular FIFO with read/write
+//!   pointers and an occupancy counter.
+//! * [`MemctrlConfig::DoubleBuffer`] — two 2-entry banks; one fills while
+//!   the other drains, swapping when the fill is complete and the drain
+//!   empty.
+//! * [`MemctrlConfig::LineBuffer`] — a 4-deep line (shift register);
+//!   words emerge after a 4-word warm-up (this is the configuration that
+//!   exercises the RB monitor's `in_min` parameter).
+//!
+//! Configurations with *interfering* operations (e.g. accumulation) are
+//! out of scope, mirroring the three configurations the paper excluded.
+//!
+//! The bug catalogue ([`MemctrlBug`]) contains fifteen named, realistic
+//! control-logic defects. Two of them (`FifoRedundantWriteGlitch`,
+//! `DbWriteCollision`) only trigger under a data-dependent address-decode
+//! aliasing coincidence — the "difficult corner-case scenarios" that the
+//! paper reports escaping the conventional flow (its 13% A-QED-only
+//! slice in Fig. 5).
+
+use aqed_core::RbConfig;
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Word width moved by every configuration.
+pub const DATA_W: u32 = 16;
+
+/// FIFO configuration depth.
+pub const FIFO_DEPTH: usize = 4;
+
+/// Double-buffer bank size (tile size).
+pub const DB_TILE: usize = 2;
+
+/// Line-buffer length (warm-up length).
+pub const LB_LEN: usize = 4;
+
+/// The memory-controller configurations (paper: "double buffer, line
+/// buffer, FIFO").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemctrlConfig {
+    /// Circular FIFO.
+    Fifo,
+    /// Ping-pong double buffer.
+    DoubleBuffer,
+    /// Line buffer (delay line).
+    LineBuffer,
+}
+
+impl MemctrlConfig {
+    /// All configurations.
+    pub const ALL: [MemctrlConfig; 3] = [
+        MemctrlConfig::Fifo,
+        MemctrlConfig::DoubleBuffer,
+        MemctrlConfig::LineBuffer,
+    ];
+}
+
+/// The tracked bug variants of the memory-controller unit.
+///
+/// Each bug is a *named control-logic defect* of the kind the paper's
+/// version-tracked repository recorded: pointer wrap errors, missing
+/// full/empty checks, swap glitches, stale-state reuse, deadlocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemctrlBug {
+    // ---- FIFO configuration ----
+    /// Write pointer wraps one slot early (at `depth-1`): slot 3 is never
+    /// written and stale data is eventually delivered. (FC)
+    FifoPtrWrapOffByOne,
+    /// `rdin` ignores the full flag: an overflow write overwrites the
+    /// oldest undelivered word. (FC)
+    FifoFullCheckMissing,
+    /// A sticky `was_full` flag is never cleared, holding `rdin` low
+    /// forever after the first full condition — a deadlock. (RB)
+    FifoStuckFullDeadlock,
+    /// The occupancy counter decrements on `rdh` even when the FIFO is
+    /// empty, underflowing and asserting `out_valid` on garbage. (FC)
+    FifoCountUnderflow,
+    /// Address-decode aliasing: when the write pointer wraps in the same
+    /// cycle as a read and *two* shared tag comparators alias
+    /// (`data == head ⊕ 0x8001` and `mem[rd+1] == head ⊕ 0x4002`), the
+    /// write is steered onto the read slot, corrupting an undelivered
+    /// word. A 32-bit data coincidence — escapes the conventional
+    /// testbench, trivial for BMC's symbolic data. (FC, A-QED-only)
+    FifoRedundantWriteGlitch,
+
+    // ---- Double-buffer configuration ----
+    /// The bank swap fires when the fill side is complete without
+    /// checking that the drain side is empty: undelivered words vanish.
+    /// (FC)
+    DbSwapWithoutDrainCheck,
+    /// The drain pointer is not reset on swap: the next tile drains from
+    /// the wrong offset. (FC)
+    DbDrainPtrNotReset,
+    /// `rdin` ignores the fill count: a third write to a 2-entry bank
+    /// overwrites the first. (FC)
+    DbRdinIgnoresFull,
+    /// Popping the last word of a tile advances the drain pointer twice,
+    /// skipping a word on the next tile. (FC)
+    DbDoubleDrain,
+    /// Address-decode aliasing on the swap cycle (reachable through the
+    /// look-ahead-ready path): a capture coinciding with a swap when two
+    /// shared tag comparators alias (`data == head ⊕ 0x8001` and
+    /// `second == head ⊕ 0x4002`) is steered into the drain bank,
+    /// corrupting a pending word. A 32-bit data coincidence — escapes
+    /// the conventional testbench. (FC, A-QED-only)
+    DbWriteCollision,
+
+    // ---- Line-buffer configuration ----
+    /// The output tap reads stage 2 instead of stage 3: every word is
+    /// delivered one position early. (FC)
+    LbTapOffByOne,
+    /// Warm-up ends one word early: the first delivered word is the
+    /// line's power-on value. (FC)
+    LbWarmupOffByOne,
+    /// The line shifts on `action` even when `rdin` is low: words that
+    /// were never captured enter the line and shift real data out. (FC)
+    LbShiftDuringStall,
+    /// `out_valid` is not cleared on delivery: the same word is delivered
+    /// repeatedly. (FC)
+    LbValidStuck,
+    /// Stage 2's enable is cross-wired to the warm-up counter's LSB: the
+    /// stage only shifts on alternate captures, tearing the line in a
+    /// position-dependent way. (FC)
+    LbStageEnableCrossWired,
+}
+
+impl MemctrlBug {
+    /// Every bug, in catalogue order.
+    pub const ALL: [MemctrlBug; 15] = [
+        MemctrlBug::FifoPtrWrapOffByOne,
+        MemctrlBug::FifoFullCheckMissing,
+        MemctrlBug::FifoStuckFullDeadlock,
+        MemctrlBug::FifoCountUnderflow,
+        MemctrlBug::FifoRedundantWriteGlitch,
+        MemctrlBug::DbSwapWithoutDrainCheck,
+        MemctrlBug::DbDrainPtrNotReset,
+        MemctrlBug::DbRdinIgnoresFull,
+        MemctrlBug::DbDoubleDrain,
+        MemctrlBug::DbWriteCollision,
+        MemctrlBug::LbTapOffByOne,
+        MemctrlBug::LbWarmupOffByOne,
+        MemctrlBug::LbShiftDuringStall,
+        MemctrlBug::LbValidStuck,
+        MemctrlBug::LbStageEnableCrossWired,
+    ];
+
+    /// The configuration this bug lives in.
+    #[must_use]
+    pub fn config(self) -> MemctrlConfig {
+        use MemctrlBug::*;
+        match self {
+            FifoPtrWrapOffByOne | FifoFullCheckMissing | FifoStuckFullDeadlock
+            | FifoCountUnderflow | FifoRedundantWriteGlitch => MemctrlConfig::Fifo,
+            DbSwapWithoutDrainCheck | DbDrainPtrNotReset | DbRdinIgnoresFull
+            | DbDoubleDrain | DbWriteCollision => MemctrlConfig::DoubleBuffer,
+            LbTapOffByOne | LbWarmupOffByOne | LbShiftDuringStall | LbValidStuck
+            | LbStageEnableCrossWired => MemctrlConfig::LineBuffer,
+        }
+    }
+
+    /// Whether this bug deadlocks the design (expected to be caught by
+    /// RB) rather than corrupting data (caught by FC).
+    #[must_use]
+    pub fn is_deadlock(self) -> bool {
+        self == MemctrlBug::FifoStuckFullDeadlock
+    }
+
+    /// Whether the trigger needs a data-dependent coincidence the
+    /// conventional flow's testbench realistically misses.
+    #[must_use]
+    pub fn is_corner_case(self) -> bool {
+        matches!(
+            self,
+            MemctrlBug::FifoRedundantWriteGlitch | MemctrlBug::DbWriteCollision
+        )
+    }
+
+    /// Short identifier for reports.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        use MemctrlBug::*;
+        match self {
+            FifoPtrWrapOffByOne => "fifo_ptr_wrap_off_by_one",
+            FifoFullCheckMissing => "fifo_full_check_missing",
+            FifoStuckFullDeadlock => "fifo_stuck_full_deadlock",
+            FifoCountUnderflow => "fifo_count_underflow",
+            FifoRedundantWriteGlitch => "fifo_redundant_write_glitch",
+            DbSwapWithoutDrainCheck => "db_swap_without_drain_check",
+            DbDrainPtrNotReset => "db_drain_ptr_not_reset",
+            DbRdinIgnoresFull => "db_rdin_ignores_full",
+            DbDoubleDrain => "db_double_drain",
+            DbWriteCollision => "db_write_collision",
+            LbTapOffByOne => "lb_tap_off_by_one",
+            LbWarmupOffByOne => "lb_warmup_off_by_one",
+            LbShiftDuringStall => "lb_shift_during_stall",
+            LbValidStuck => "lb_valid_stuck",
+            LbStageEnableCrossWired => "lb_stage_enable_cross_wired",
+        }
+    }
+}
+
+/// The golden function of every configuration: identity data movement.
+#[must_use]
+pub fn golden(_action: u64, data: u64) -> u64 {
+    data & 0xFFFF
+}
+
+/// The RB parameters appropriate for each configuration (`in_min` is
+/// where the line buffer differs: it legitimately needs a full warm-up
+/// before producing anything — the paper's Sec. IV.C customization).
+#[must_use]
+pub fn recommended_rb(config: MemctrlConfig) -> RbConfig {
+    match config {
+        MemctrlConfig::Fifo => RbConfig {
+            tau: 6,
+            in_min: 1,
+            rdin_bound: 10,
+            counter_width: 8,
+        },
+        MemctrlConfig::DoubleBuffer => RbConfig {
+            tau: 8,
+            in_min: DB_TILE as u64,
+            rdin_bound: 12,
+            counter_width: 8,
+        },
+        MemctrlConfig::LineBuffer => RbConfig {
+            tau: 8,
+            in_min: (LB_LEN + 1) as u64,
+            rdin_bound: 12,
+            counter_width: 8,
+        },
+    }
+}
+
+/// Builds a memory-controller configuration, optionally with one injected
+/// bug.
+///
+/// # Panics
+///
+/// Panics if `bug` does not belong to `config`.
+#[must_use]
+pub fn build(pool: &mut ExprPool, config: MemctrlConfig, bug: Option<MemctrlBug>) -> Lca {
+    if let Some(b) = bug {
+        assert!(
+            b.config() == config,
+            "bug {b:?} belongs to {:?}, not {config:?}",
+            b.config()
+        );
+    }
+    match config {
+        MemctrlConfig::Fifo => build_fifo(pool, bug),
+        MemctrlConfig::DoubleBuffer => build_double_buffer(pool, bug),
+        MemctrlConfig::LineBuffer => build_line_buffer(pool, bug),
+    }
+}
+
+fn lca_name(base: &str, bug: Option<MemctrlBug>) -> String {
+    match bug {
+        None => format!("memctrl_{base}"),
+        Some(b) => format!("memctrl_{base}_{}", b.id()),
+    }
+}
+
+// ----------------------------------------------------------------------
+// FIFO configuration
+// ----------------------------------------------------------------------
+
+fn build_fifo(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
+    let mut ts = TransitionSystem::new(lca_name("fifo", bug));
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", DATA_W);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    let mem: Vec<_> = (0..FIFO_DEPTH)
+        .map(|i| ts.add_register(pool, format!("fifo_mem{i}"), DATA_W, 0))
+        .collect();
+    let rd_ptr = ts.add_register(pool, "fifo_rd_ptr", 2, 0);
+    let wr_ptr = ts.add_register(pool, "fifo_wr_ptr", 2, 0);
+    let count = ts.add_register(pool, "fifo_count", 3, 0);
+    let was_full = ts.add_register(pool, "fifo_was_full", 1, 0);
+
+    let mem_e: Vec<ExprRef> = mem.iter().map(|&m| pool.var_expr(m)).collect();
+    let rd_e = pool.var_expr(rd_ptr);
+    let wr_e = pool.var_expr(wr_ptr);
+    let cnt_e = pool.var_expr(count);
+    let was_full_e = pool.var_expr(was_full);
+
+    let depth_l = pool.lit(3, FIFO_DEPTH as u64);
+    let full = pool.uge(cnt_e, depth_l);
+    let zero3 = pool.lit(3, 0);
+    let empty = pool.eq(cnt_e, zero3);
+
+    // rdin.
+    let not_full = pool.not(full);
+    let rdin = match bug {
+        Some(MemctrlBug::FifoFullCheckMissing) => pool.true_(),
+        Some(MemctrlBug::FifoStuckFullDeadlock) => {
+            // Deadlock: once full has been seen, rdin stays low forever.
+            let not_sticky = pool.not(was_full_e);
+            pool.and(not_full, not_sticky)
+        }
+        _ => not_full,
+    };
+    let sticky_next = pool.or(was_full_e, full);
+    ts.set_next(was_full, sticky_next);
+
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    // out side.
+    let out_valid = pool.not(empty);
+    let pop = pool.and(out_valid, rdh_e);
+
+    // Pointer updates.
+    let one2 = pool.lit(2, 1);
+    let wr_inc = match bug {
+        Some(MemctrlBug::FifoPtrWrapOffByOne) => {
+            // Wraps at depth-1: 0,1,2,0,…
+            let two2 = pool.lit(2, 2);
+            let at_wrap = pool.eq(wr_e, two2);
+            let zero2 = pool.lit(2, 0);
+            let plus = pool.add(wr_e, one2);
+            pool.ite(at_wrap, zero2, plus)
+        }
+        _ => pool.add(wr_e, one2),
+    };
+    let next_wr = pool.ite(captured, wr_inc, wr_e);
+    ts.set_next(wr_ptr, next_wr);
+    let rd_inc = pool.add(rd_e, one2);
+    let next_rd = pool.ite(pop, rd_inc, rd_e);
+    ts.set_next(rd_ptr, next_rd);
+
+    // Count.
+    let one3 = pool.lit(3, 1);
+    let dec_trigger = match bug {
+        // Decrements whenever the host is ready — even on an empty FIFO.
+        Some(MemctrlBug::FifoCountUnderflow) => rdh_e,
+        _ => pop,
+    };
+    let after_pop = {
+        let dec = pool.sub(cnt_e, one3);
+        pool.ite(dec_trigger, dec, cnt_e)
+    };
+    let next_cnt = {
+        let inc = pool.add(after_pop, one3);
+        pool.ite(captured, inc, after_pop)
+    };
+    ts.set_next(count, next_cnt);
+
+    // Memory writes.
+    for (i, &m) in mem.iter().enumerate() {
+        let idx = pool.lit(2, i as u64);
+        let at_wr = pool.eq(wr_e, idx);
+        let mut we = pool.and(captured, at_wr);
+        if bug == Some(MemctrlBug::FifoRedundantWriteGlitch) {
+            // Aliasing corner: write pointer wrapping (== 3) during a
+            // same-cycle pop, with the incoming word matching the head
+            // word's tag-complement pattern, steers the write onto the
+            // read slot.
+            let three2 = pool.lit(2, 3);
+            let wrapping = pool.eq(wr_e, three2);
+            let head = pool.select(rd_e, &mem_e, mem_e[0]);
+            let tag = pool.lit(DATA_W, 0x8001);
+            let pattern = pool.xor(head, tag);
+            let tag2 = pool.lit(DATA_W, 0x4002);
+            let one_rd = pool.lit(2, 1);
+            let rd_next = pool.add(rd_e, one_rd);
+            let second = pool.select(rd_next, &mem_e, mem_e[0]);
+            let pattern2 = pool.xor(head, tag2);
+            let a1 = pool.eq(data_e, pattern);
+            let a2 = pool.eq(second, pattern2);
+            let data_alias = pool.and(a1, a2);
+            let glitch = pool.and_all([captured, wrapping, pop, data_alias]);
+            let at_rd = pool.eq(rd_e, idx);
+            let misdirected = pool.and(glitch, at_rd);
+            let not_glitch = pool.not(glitch);
+            let normal = pool.and(we, not_glitch);
+            we = pool.or(normal, misdirected);
+        }
+        let cur = mem_e[i];
+        let next = pool.ite(we, data_e, cur);
+        ts.set_next(m, next);
+    }
+
+    let head = pool.select(rd_e, &mem_e, mem_e[0]);
+    let zero_d = pool.lit(DATA_W, 0);
+    let out = pool.ite(out_valid, head, zero_d);
+    let delivered = pop;
+
+    finish_lca(ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered)
+}
+
+// ----------------------------------------------------------------------
+// Double-buffer configuration
+// ----------------------------------------------------------------------
+
+fn build_double_buffer(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
+    let mut ts = TransitionSystem::new(lca_name("double_buffer", bug));
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", DATA_W);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    // Two banks of DB_TILE entries.
+    let bank: Vec<Vec<_>> = (0..2)
+        .map(|b| {
+            (0..DB_TILE)
+                .map(|i| ts.add_register(pool, format!("db_bank{b}_{i}"), DATA_W, 0))
+                .collect()
+        })
+        .collect();
+    let fill_sel = ts.add_register(pool, "db_fill_sel", 1, 0);
+    let fill_cnt = ts.add_register(pool, "db_fill_cnt", 2, 0);
+    let drain_cnt = ts.add_register(pool, "db_drain_cnt", 2, 0);
+    let drain_ptr = ts.add_register(pool, "db_drain_ptr", 2, 0);
+
+    let bank_e: Vec<Vec<ExprRef>> = bank
+        .iter()
+        .map(|regs| regs.iter().map(|&r| pool.var_expr(r)).collect())
+        .collect();
+    let fill_sel_e = pool.var_expr(fill_sel);
+    let fill_cnt_e = pool.var_expr(fill_cnt);
+    let drain_cnt_e = pool.var_expr(drain_cnt);
+    let drain_ptr_e = pool.var_expr(drain_ptr);
+
+    let tile_l = pool.lit(2, DB_TILE as u64);
+    let fill_full = pool.uge(fill_cnt_e, tile_l);
+    let zero2 = pool.lit(2, 0);
+    let drain_empty = pool.eq(drain_cnt_e, zero2);
+
+    // Drain side.
+    let out_valid = pool.not(drain_empty);
+    let pop = pool.and(out_valid, rdh_e);
+
+    // Swap condition.
+    let drain_done_after_pop = {
+        let one2 = pool.lit(2, 1);
+        let last = pool.eq(drain_cnt_e, one2);
+        let emptied = pool.and(pop, last);
+        pool.or(drain_empty, emptied)
+    };
+    let swap = match bug {
+        Some(MemctrlBug::DbSwapWithoutDrainCheck) => fill_full,
+        _ => pool.and(fill_full, drain_done_after_pop),
+    };
+
+    // rdin: space in the fill bank. The DbWriteCollision variant adds the
+    // "look-ahead ready" optimisation (a capture is also accepted on the
+    // swap cycle, since the swap frees the fill bank) — the very path
+    // whose address decode aliases.
+    let not_fill_full = pool.not(fill_full);
+    let rdin = match bug {
+        Some(MemctrlBug::DbRdinIgnoresFull) => pool.true_(),
+        Some(MemctrlBug::DbWriteCollision) => pool.or(not_fill_full, swap),
+        _ => not_fill_full,
+    };
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    // fill_sel flips on swap.
+    let nsel = pool.not(fill_sel_e);
+    let next_sel = pool.ite(swap, nsel, fill_sel_e);
+    ts.set_next(fill_sel, next_sel);
+
+    // fill_cnt: +1 on capture, reset on swap.
+    let one2 = pool.lit(2, 1);
+    let fc_inc = pool.add(fill_cnt_e, one2);
+    let fc_step = pool.ite(captured, fc_inc, fill_cnt_e);
+    // A capture on the swap cycle lands in the *new* fill bank: count 1.
+    let cap_on_swap = pool.and(captured, swap);
+    let next_fc = {
+        let reset_val = pool.ite(cap_on_swap, one2, zero2);
+        pool.ite(swap, reset_val, fc_step)
+    };
+    ts.set_next(fill_cnt, next_fc);
+
+    // drain_cnt: reloads to tile size on swap, else decrements on pop.
+    let dc_dec = pool.sub(drain_cnt_e, one2);
+    let dc_step = pool.ite(pop, dc_dec, drain_cnt_e);
+    let next_dc = pool.ite(swap, tile_l, dc_step);
+    ts.set_next(drain_cnt, next_dc);
+
+    // drain_ptr: resets on swap (unless buggy), advances on pop.
+    let dp_step = match bug {
+        Some(MemctrlBug::DbDoubleDrain) => {
+            // Advances by 2 on the last pop of a tile.
+            let last = pool.eq(drain_cnt_e, one2);
+            let two = pool.lit(2, 2);
+            let stride = pool.ite(last, two, one2);
+            let adv = pool.add(drain_ptr_e, stride);
+            pool.ite(pop, adv, drain_ptr_e)
+        }
+        _ => {
+            let adv = pool.add(drain_ptr_e, one2);
+            pool.ite(pop, adv, drain_ptr_e)
+        }
+    };
+    let next_dp = match bug {
+        Some(MemctrlBug::DbDrainPtrNotReset) | Some(MemctrlBug::DbDoubleDrain) => dp_step,
+        _ => pool.ite(swap, zero2, dp_step),
+    };
+    ts.set_next(drain_ptr, next_dp);
+
+    // Bank writes: capture goes to bank[fill_sel][fill_cnt] (or, on a
+    // swap cycle, slot 0 of the new fill bank).
+    let wr_slot = pool.ite(swap, zero2, fill_cnt_e);
+    for b in 0..2 {
+        let b_l = pool.lit(1, b as u64);
+        // Normal target bank: the fill side *after* this cycle's swap.
+        let eff_sel = pool.ite(swap, nsel, fill_sel_e);
+        let bank_hit = pool.eq(eff_sel, b_l);
+        for i in 0..DB_TILE {
+            let idx = pool.lit(2, i as u64);
+            let at = pool.eq(wr_slot, idx);
+            let mut we = pool.and_all([captured, bank_hit, at]);
+            if bug == Some(MemctrlBug::DbWriteCollision) {
+                // Aliasing corner: a capture on the swap cycle whose data
+                // equals the head of the bank about to drain is steered
+                // into that bank's slot 1, clobbering a pending word.
+                let drain_sel = fill_sel_e; // after swap, old fill bank drains
+                let head = pool.select(zero2, &bank_e[b], bank_e[b][0]);
+                let _ = head;
+                let drain_head = {
+                    // Head of the bank that will drain = old fill bank
+                    // slot 0.
+                    let b0 = bank_e[0][0];
+                    let b1 = bank_e[1][0];
+                    let sel_bit = drain_sel;
+                    pool.ite(sel_bit, b1, b0)
+                };
+                let tag = pool.lit(DATA_W, 0x8001);
+                let pattern = pool.xor(drain_head, tag);
+                let drain_second = {
+                    let b0 = bank_e[0][1];
+                    let b1 = bank_e[1][1];
+                    pool.ite(drain_sel, b1, b0)
+                };
+                let tag2 = pool.lit(DATA_W, 0x4002);
+                let pattern2 = pool.xor(drain_head, tag2);
+                let a1 = pool.eq(data_e, pattern);
+                let a2 = pool.eq(drain_second, pattern2);
+                let alias = pool.and(a1, a2);
+                let glitch = pool.and_all([captured, swap, alias]);
+                // Misdirect into the draining bank, slot 1.
+                let drain_bank_hit = pool.eq(drain_sel, b_l);
+                let one_idx = pool.lit(2, 1);
+                let at1 = pool.eq(one_idx, idx);
+                let misdirected = pool.and_all([glitch, drain_bank_hit, at1]);
+                let not_glitch = pool.not(glitch);
+                let normal = pool.and(we, not_glitch);
+                we = pool.or(normal, misdirected);
+            }
+            let cur = bank_e[b][i];
+            let next = pool.ite(we, data_e, cur);
+            ts.set_next(bank[b][i], next);
+        }
+    }
+
+    // Output: drain bank at drain_ptr.
+    let drain_sel = pool.not(fill_sel_e);
+    let zero_d = pool.lit(DATA_W, 0);
+    let read_b0 = pool.select(drain_ptr_e, &bank_e[0], zero_d);
+    let read_b1 = pool.select(drain_ptr_e, &bank_e[1], zero_d);
+    let head = pool.ite(drain_sel, read_b1, read_b0);
+    let out = pool.ite(out_valid, head, zero_d);
+    let delivered = pop;
+
+    finish_lca(ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered)
+}
+
+// ----------------------------------------------------------------------
+// Line-buffer configuration
+// ----------------------------------------------------------------------
+
+fn build_line_buffer(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
+    let mut ts = TransitionSystem::new(lca_name("line_buffer", bug));
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", DATA_W);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    let sr: Vec<_> = (0..LB_LEN)
+        .map(|i| ts.add_register(pool, format!("lb_sr{i}"), DATA_W, 0))
+        .collect();
+    let fill_cnt = ts.add_register(pool, "lb_fill_cnt", 3, 0);
+    let oval = ts.add_register(pool, "lb_oval", DATA_W, 0);
+    let ovalid = ts.add_register(pool, "lb_ovalid", 1, 0);
+
+    let sr_e: Vec<ExprRef> = sr.iter().map(|&r| pool.var_expr(r)).collect();
+    let fill_e = pool.var_expr(fill_cnt);
+    let oval_e = pool.var_expr(oval);
+    let ovalid_e = pool.var_expr(ovalid);
+
+    // rdin: stall while an undelivered output is pending.
+    let rdin = pool.not(ovalid_e);
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    let pop = pool.and(ovalid_e, rdh_e);
+
+    // Warm-up threshold.
+    let warm_at = match bug {
+        Some(MemctrlBug::LbWarmupOffByOne) => LB_LEN as u64 - 1,
+        _ => LB_LEN as u64,
+    };
+    let warm_l = pool.lit(3, warm_at);
+    let warm = pool.uge(fill_e, warm_l);
+
+    // Shift enable: captured — or, with the stall bug, raw `action`.
+    let shift = match bug {
+        Some(MemctrlBug::LbShiftDuringStall) => act_valid,
+        _ => captured,
+    };
+
+    // Output produced when a capture occurs while warm: the word leaving
+    // the line (pre-shift tap).
+    let tap = match bug {
+        Some(MemctrlBug::LbTapOffByOne) => sr_e[LB_LEN - 2],
+        _ => sr_e[LB_LEN - 1],
+    };
+    let produce = pool.and(captured, warm);
+
+    // Shift register.
+    for i in 0..LB_LEN {
+        let incoming = if i == 0 { data_e } else { sr_e[i - 1] };
+        let en = if i == 2 && bug == Some(MemctrlBug::LbStageEnableCrossWired) {
+            // Stage 2's enable is cross-wired to fill_cnt[0]: it shifts
+            // only on alternate captures.
+            let lsb = pool.bit(fill_e, 0);
+            pool.and(shift, lsb)
+        } else {
+            shift
+        };
+        let next = pool.ite(en, incoming, sr_e[i]);
+        ts.set_next(sr[i], next);
+    }
+
+    // Fill counter saturates at LB_LEN.
+    let one3 = pool.lit(3, 1);
+    let max_l = pool.lit(3, LB_LEN as u64);
+    let at_max = pool.uge(fill_e, max_l);
+    let inc = pool.add(fill_e, one3);
+    let bump = pool.ite(at_max, fill_e, inc);
+    let next_fill = pool.ite(captured, bump, fill_e);
+    ts.set_next(fill_cnt, next_fill);
+
+    // Output register.
+    let next_oval = pool.ite(produce, tap, oval_e);
+    ts.set_next(oval, next_oval);
+    let next_ovalid = match bug {
+        Some(MemctrlBug::LbValidStuck) => pool.or(ovalid_e, produce),
+        _ => {
+            let not_pop = pool.not(pop);
+            let kept = pool.and(ovalid_e, not_pop);
+            pool.or(kept, produce)
+        }
+    };
+    ts.set_next(ovalid, next_ovalid);
+
+    let zero_d = pool.lit(DATA_W, 0);
+    let out = pool.ite(ovalid_e, oval_e, zero_d);
+    let delivered = pop;
+
+    finish_lca(ts, pool, action, data, rdh, out, ovalid_e, rdin, captured, delivered)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_lca(
+    mut ts: TransitionSystem,
+    _pool: &mut ExprPool,
+    action: aqed_expr::VarId,
+    data: aqed_expr::VarId,
+    rdh: aqed_expr::VarId,
+    out: ExprRef,
+    out_valid: ExprRef,
+    rdin: ExprRef,
+    captured: ExprRef,
+    delivered: ExprRef,
+) -> Lca {
+    ts.add_output("out", out);
+    ts.add_output("out_valid", out_valid);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: None,
+        out,
+        out_valid,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    /// Drives a config with in-order traffic and checks identity delivery.
+    fn stream_identity(config: MemctrlConfig) {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, config, None);
+        lca.ts.validate(&p).expect("valid");
+        let mut sim = Simulator::new(&lca.ts, &p);
+        let inputs: Vec<u64> = (1..=10).map(|k| k * 0x101).collect();
+        let mut sent = 0usize;
+        let mut outs = Vec::new();
+        for cycle in 0..200 {
+            let send = sent < inputs.len();
+            let d = if send { inputs[sent] } else { 0 };
+            let rdh = cycle % 2 == 0; // host ready half the time
+            let iv = vec![
+                (lca.action, Bv::new(2, u64::from(send))),
+                (lca.data, Bv::new(DATA_W, d)),
+                (lca.rdh, Bv::from_bool(rdh)),
+            ];
+            let cap = sim.peek(&p, lca.captured, &iv).is_true();
+            let del = sim.peek(&p, lca.delivered, &iv).is_true();
+            let out_now = sim.peek(&p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, &p, &iv);
+            if cap {
+                sent += 1;
+            }
+            if del {
+                outs.push(out_now);
+            }
+            if outs.len() == inputs.len() {
+                break;
+            }
+        }
+        // The line buffer retains the last LB_LEN words; other configs
+        // deliver everything.
+        let expected_delivered = match config {
+            MemctrlConfig::LineBuffer => inputs.len() - LB_LEN,
+            _ => inputs.len(),
+        };
+        assert!(
+            outs.len() >= expected_delivered,
+            "{config:?}: delivered {} < {expected_delivered}",
+            outs.len()
+        );
+        assert_eq!(
+            outs[..expected_delivered],
+            inputs[..expected_delivered],
+            "{config:?} must move data in order"
+        );
+    }
+
+    #[test]
+    fn fifo_streams_identity() {
+        stream_identity(MemctrlConfig::Fifo);
+    }
+
+    #[test]
+    fn double_buffer_streams_identity() {
+        stream_identity(MemctrlConfig::DoubleBuffer);
+    }
+
+    #[test]
+    fn line_buffer_streams_identity() {
+        stream_identity(MemctrlConfig::LineBuffer);
+    }
+
+    /// Runs A-QED with the universal property relevant to the bug class
+    /// (FC for data corruption, RB for deadlocks) — one property per run
+    /// keeps the single-core BMC budget in bounds; the monitors are
+    /// independent, so this loses no coverage for the targeted class.
+    fn aqed_finds(bug: MemctrlBug, bound: usize) -> (PropertyKind, usize) {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, bug.config(), Some(bug));
+        let mut harness = AqedHarness::new(&lca);
+        if bug.is_deadlock() {
+            harness = harness.with_rb(recommended_rb(bug.config()));
+        } else {
+            harness = harness.with_fc(FcConfig::default());
+        }
+        let report = harness.verify(&mut p, bound);
+        match report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => (property, counterexample.cycles()),
+            other => panic!("{}: expected bug, got {other:?}", bug.id()),
+        }
+    }
+
+    #[test]
+    fn aqed_finds_all_fifo_bugs() {
+        for bug in MemctrlBug::ALL.iter().filter(|b| b.config() == MemctrlConfig::Fifo) {
+            let bound = if bug.is_deadlock() { 16 } else { 14 };
+            let (prop, cycles) = aqed_finds(*bug, bound);
+            if bug.is_deadlock() {
+                assert_eq!(prop, PropertyKind::Rb, "{}", bug.id());
+            }
+            assert!(cycles <= bound, "{}: cex {} cycles", bug.id(), cycles);
+        }
+    }
+
+    #[test]
+    fn aqed_finds_all_double_buffer_bugs() {
+        for bug in MemctrlBug::ALL
+            .iter()
+            .filter(|b| b.config() == MemctrlConfig::DoubleBuffer)
+        {
+            let (_prop, cycles) = aqed_finds(*bug, 14);
+            assert!(cycles <= 14, "{}: cex {} cycles", bug.id(), cycles);
+        }
+    }
+
+    #[test]
+    fn aqed_finds_all_line_buffer_bugs() {
+        for bug in MemctrlBug::ALL
+            .iter()
+            .filter(|b| b.config() == MemctrlConfig::LineBuffer)
+        {
+            let (_prop, cycles) = aqed_finds(*bug, 16);
+            assert!(cycles <= 16, "{}: cex {} cycles", bug.id(), cycles);
+        }
+    }
+
+    #[test]
+    fn healthy_configs_clean_under_aqed() {
+        for config in MemctrlConfig::ALL {
+            let mut p = ExprPool::new();
+            let lca = build(&mut p, config, None);
+            let report = AqedHarness::new(&lca)
+                .with_fc(FcConfig::default())
+                .with_rb(recommended_rb(config))
+                .verify(&mut p, 6);
+            assert!(
+                !report.found_bug(),
+                "{config:?} healthy must be clean: {report}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to")]
+    fn bug_config_mismatch_rejected() {
+        let mut p = ExprPool::new();
+        let _ = build(&mut p, MemctrlConfig::Fifo, Some(MemctrlBug::LbTapOffByOne));
+    }
+
+    #[test]
+    fn catalogue_metadata_consistent() {
+        assert_eq!(MemctrlBug::ALL.len(), 15);
+        let corner: Vec<_> = MemctrlBug::ALL.iter().filter(|b| b.is_corner_case()).collect();
+        assert_eq!(corner.len(), 2, "13% of 15 ≈ 2 A-QED-only bugs");
+        let deadlock: Vec<_> = MemctrlBug::ALL.iter().filter(|b| b.is_deadlock()).collect();
+        assert_eq!(deadlock.len(), 1, "one RB bug, as the paper reports");
+        // ids unique
+        let mut ids: Vec<_> = MemctrlBug::ALL.iter().map(|b| b.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 15);
+    }
+}

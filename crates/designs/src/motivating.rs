@@ -1,0 +1,370 @@
+//! The paper's motivating example (Fig. 2): four input buffers feed an
+//! execution unit round-robin, under a global `clock_enable`.
+//!
+//! In the buggy variant, `clock_enable` is disconnected from Buffer 4:
+//! when the design is paused exactly on Buffer 4's turn to shift out —
+//! with Buffer 4 full and the execution unit idle — Buffer 4 marks its
+//! entry as consumed while the (frozen) execution unit never captures it.
+//! The input is silently swallowed and every later output is misaligned,
+//! which A-QED's Functional Consistency check detects with a short trace.
+//!
+//! The execution unit computes `f(x) = x + 7`, fully pipelined (one
+//! operand per cycle).
+
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Bug variants of the motivating design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotivatingBug {
+    /// `clock_enable` is disconnected from Buffer 4's valid flag
+    /// (the paper's Fig. 2 defect).
+    ClockEnableDisconnected,
+}
+
+/// The function the execution unit implements, as plain Rust — the golden
+/// model for the conventional flow. Values are 4-bit (the paper's
+/// I1..I16 are abstract tokens; a narrow datapath keeps BMC lean while
+/// preserving every control path).
+#[must_use]
+pub fn golden(_action: u64, data: u64) -> u64 {
+    (data + 7) & 0xF
+}
+
+const NUM_BUFFERS: usize = 4;
+const OFIFO_DEPTH: usize = 4;
+
+/// Builds the four-buffer design; `bug` selects the buggy variant.
+///
+/// Interface: `action` (1 = submit), `data` (4-bit operand), `rdh`,
+/// `clock_enable`; output is `f(data)` in submission order.
+#[must_use]
+pub fn build(pool: &mut ExprPool, bug: Option<MotivatingBug>) -> Lca {
+    let name = match bug {
+        None => "motivating",
+        Some(MotivatingBug::ClockEnableDisconnected) => "motivating_ce_bug",
+    };
+    let mut ts = TransitionSystem::new(name);
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", 4);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let ce = ts.add_input(pool, "clock_enable", 1);
+
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+    let ce_e = pool.var_expr(ce);
+
+    // --- State ---------------------------------------------------------
+    let buf_data: Vec<_> = (0..NUM_BUFFERS)
+        .map(|i| ts.add_register(pool, format!("buf_d{i}"), 4, 0))
+        .collect();
+    let buf_valid: Vec<_> = (0..NUM_BUFFERS)
+        .map(|i| ts.add_register(pool, format!("buf_v{i}"), 1, 0))
+        .collect();
+    let wr_turn = ts.add_register(pool, "wr_turn", 2, 0);
+    let rd_turn = ts.add_register(pool, "rd_turn", 2, 0);
+    let exec_v = ts.add_register(pool, "exec_v", 1, 0);
+    let exec_val = ts.add_register(pool, "exec_val", 4, 0);
+    let ofifo: Vec<_> = (0..OFIFO_DEPTH)
+        .map(|i| ts.add_register(pool, format!("ofifo_d{i}"), 4, 0))
+        .collect();
+    let ofifo_cnt = ts.add_register(pool, "ofifo_cnt", 4, 0);
+
+    let wr_turn_e = pool.var_expr(wr_turn);
+    let rd_turn_e = pool.var_expr(rd_turn);
+    let exec_v_e = pool.var_expr(exec_v);
+    let exec_val_e = pool.var_expr(exec_val);
+    let ofifo_cnt_e = pool.var_expr(ofifo_cnt);
+    let buf_valid_e: Vec<ExprRef> = buf_valid.iter().map(|&v| pool.var_expr(v)).collect();
+    let buf_data_e: Vec<ExprRef> = buf_data.iter().map(|&v| pool.var_expr(v)).collect();
+
+    // --- Input side ------------------------------------------------------
+    // Credit: everything in flight eventually needs an output FIFO slot.
+    let cw = 4;
+    let mut inflight = ofifo_cnt_e;
+    for &v in &buf_valid_e {
+        let z = pool.zext(v, cw);
+        inflight = pool.add(inflight, z);
+    }
+    let exec_z = pool.zext(exec_v_e, cw);
+    inflight = pool.add(inflight, exec_z);
+    let depth_l = pool.lit(cw, OFIFO_DEPTH as u64);
+    let credit = pool.ult(inflight, depth_l);
+
+    let wr_slot_free = {
+        let cur = pool.select(wr_turn_e, &buf_valid_e, buf_valid_e[0]);
+        pool.not(cur)
+    };
+    let rdin = pool.and(wr_slot_free, credit);
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let cap_raw = pool.and(rdin, act_valid);
+    let captured = pool.and(cap_raw, ce_e);
+
+    // --- Shift-out to the (fully pipelined) execution unit ---------------
+    let shift_raw = pool.select(rd_turn_e, &buf_valid_e, buf_valid_e[0]);
+    let shift = pool.and(shift_raw, ce_e);
+
+    let rd_data = pool.select(rd_turn_e, &buf_data_e, buf_data_e[0]);
+    let seven = pool.lit(4, 7);
+    let f_result = pool.add(rd_data, seven);
+
+    // --- Buffer next-state -----------------------------------------------
+    for i in 0..NUM_BUFFERS {
+        let idx = pool.lit(2, i as u64);
+        let is_wr = pool.eq(wr_turn_e, idx);
+        let is_rd = pool.eq(rd_turn_e, idx);
+        let do_cap = pool.and(captured, is_wr);
+        // The consume signal for this buffer's valid flag. Buffer 4
+        // (index 3) with the bug uses the un-gated shift signal: it
+        // "shifts out" even while the rest of the design is frozen.
+        let consume_sig = if i == NUM_BUFFERS - 1
+            && bug == Some(MotivatingBug::ClockEnableDisconnected)
+        {
+            shift_raw
+        } else {
+            shift
+        };
+        let do_consume = pool.and(consume_sig, is_rd);
+        let cur_v = buf_valid_e[i];
+        let cur_d = buf_data_e[i];
+        // valid: set on capture, cleared on consume.
+        let not_consume = pool.not(do_consume);
+        let kept = pool.and(cur_v, not_consume);
+        let next_v = pool.or(kept, do_cap);
+        ts.set_next(buf_valid[i], next_v);
+        let next_d = pool.ite(do_cap, data_e, cur_d);
+        ts.set_next(buf_data[i], next_d);
+    }
+
+    // Turn counters advance with their events (2-bit wrap = mod 4).
+    let one2 = pool.lit(2, 1);
+    let wr_inc = pool.add(wr_turn_e, one2);
+    let next_wr = pool.ite(captured, wr_inc, wr_turn_e);
+    ts.set_next(wr_turn, next_wr);
+    let rd_inc = pool.add(rd_turn_e, one2);
+    let next_rd = pool.ite(shift, rd_inc, rd_turn_e);
+    ts.set_next(rd_turn, next_rd);
+
+    // --- Execution unit (single pipeline stage) ---------------------------
+    let next_exec_v = pool.ite(ce_e, shift, exec_v_e);
+    ts.set_next(exec_v, next_exec_v);
+    let shifted_val = pool.ite(shift, f_result, exec_val_e);
+    let next_val = pool.ite(ce_e, shifted_val, exec_val_e);
+    ts.set_next(exec_val, next_val);
+
+    // --- Output FIFO ---------------------------------------------------------
+    let push = pool.and(exec_v_e, ce_e);
+    let zero4 = pool.lit(cw, 0);
+    let out_valid = pool.ne(ofifo_cnt_e, zero4);
+    let pop = {
+        let t = pool.and(out_valid, rdh_e);
+        pool.and(t, ce_e)
+    };
+    let one4 = pool.lit(cw, 1);
+    let cnt_after_pop = {
+        let dec = pool.sub(ofifo_cnt_e, one4);
+        pool.ite(pop, dec, ofifo_cnt_e)
+    };
+    let cnt_next = {
+        let inc = pool.add(cnt_after_pop, one4);
+        pool.ite(push, inc, cnt_after_pop)
+    };
+    ts.set_next(ofifo_cnt, cnt_next);
+    for i in 0..OFIFO_DEPTH {
+        let cur = pool.var_expr(ofifo[i]);
+        let from_above = if i + 1 < OFIFO_DEPTH {
+            pool.var_expr(ofifo[i + 1])
+        } else {
+            cur
+        };
+        let shifted = pool.ite(pop, from_above, cur);
+        let idx = pool.lit(cw, i as u64);
+        let at_tail = pool.eq(cnt_after_pop, idx);
+        let wr = pool.and(push, at_tail);
+        let written = pool.ite(wr, exec_val_e, shifted);
+        ts.set_next(ofifo[i], written);
+    }
+
+    let head = pool.var_expr(ofifo[0]);
+    let zero4b = pool.lit(4, 0);
+    let out = pool.ite(out_valid, head, zero4b);
+    let delivered = pop;
+
+    ts.add_output("out", out);
+    ts.add_output("out_valid", out_valid);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: Some(ce),
+        out,
+        out_valid,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    fn step(
+        lca: &Lca,
+        pool: &ExprPool,
+        sim: &mut Simulator,
+        action: u64,
+        data: u64,
+        rdh: bool,
+        ce: bool,
+    ) -> Option<u64> {
+        let inputs = vec![
+            (lca.action, Bv::new(2, action)),
+            (lca.data, Bv::new(4, data)),
+            (lca.rdh, Bv::from_bool(rdh)),
+            (lca.clock_enable.expect("has ce"), Bv::from_bool(ce)),
+        ];
+        let rec = sim.step_with(&lca.ts, pool, &inputs);
+        let delivered = rec.output("out_valid").expect("ov").is_true() && rdh && ce;
+        delivered.then(|| rec.output("out").expect("out").to_u64())
+    }
+
+    #[test]
+    fn healthy_design_streams_in_order() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        lca.ts.validate(&p).expect("valid");
+        let mut sim = Simulator::new(&lca.ts, &p);
+        let mut outs = Vec::new();
+        let inputs = [3u64, 11, 12, 4, 9, 7];
+        let mut sent = 0;
+        for cycle in 0..60 {
+            let send = sent < inputs.len();
+            let d = if send { inputs[sent] } else { 0 };
+            // Peek rdin to know whether this submit lands.
+            let iv = vec![
+                (lca.action, Bv::new(2, u64::from(send))),
+                (lca.data, Bv::new(4, d)),
+                (lca.rdh, Bv::from_bool(true)),
+                (lca.clock_enable.unwrap(), Bv::from_bool(true)),
+            ];
+            let accepted = send && sim.peek(&p, lca.rdin, &iv).is_true();
+            if let Some(o) = step(&lca, &p, &mut sim, u64::from(send), d, true, true) {
+                outs.push(o);
+            }
+            if accepted {
+                sent += 1;
+            }
+            let _ = cycle;
+        }
+        let expect: Vec<u64> = inputs.iter().map(|&d| golden(1, d)).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn healthy_design_survives_clock_gating() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let mut sim = Simulator::new(&lca.ts, &p);
+        let mut outs = Vec::new();
+        // Submit 5 inputs while randomly toggling ce (deterministic pattern).
+        let inputs = [1u64, 2, 3, 4, 5];
+        let mut sent = 0;
+        for cycle in 0..120 {
+            let ce = cycle % 3 != 1; // gate every third cycle
+            let send = sent < inputs.len();
+            let d = if send { inputs[sent] } else { 0 };
+            let iv = vec![
+                (lca.action, Bv::new(2, u64::from(send))),
+                (lca.data, Bv::new(4, d)),
+                (lca.rdh, Bv::from_bool(true)),
+                (lca.clock_enable.unwrap(), Bv::from_bool(ce)),
+            ];
+            let accepted = send && ce && sim.peek(&p, lca.captured, &iv).is_true();
+            if let Some(o) = step(&lca, &p, &mut sim, u64::from(send), d, true, ce) {
+                outs.push(o);
+            }
+            if accepted {
+                sent += 1;
+            }
+        }
+        let expect: Vec<u64> = inputs.iter().map(|&d| golden(1, d)).collect();
+        assert_eq!(outs, expect, "clock gating must not change behaviour");
+    }
+
+    #[test]
+    fn buggy_design_swallows_input_on_frozen_turn() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(MotivatingBug::ClockEnableDisconnected));
+        let mut sim = Simulator::new(&lca.ts, &p);
+        // Fill all four buffers back-to-back with the exec unit busy, then
+        // freeze exactly when buffer 3's turn comes up.
+        let mut outs = Vec::new();
+        let mut sent = 0u64;
+        // Phase 1: submit 8 inputs, ce high, host stalled so the pipeline
+        // backs up and buffer 3 stays full.
+        for d in 1..=4u64 {
+            step(&lca, &p, &mut sim, 1, d, false, true);
+            sent += 1;
+        }
+        // Phase 2: alternate frozen cycles while buffer 3 waits its turn
+        // (freeze first, so some freeze lands exactly on buffer 3's turn).
+        for k in 0..16 {
+            let ce = k % 2 == 1;
+            if let Some(o) = step(&lca, &p, &mut sim, 0, 0, true, ce) {
+                outs.push(o);
+            }
+        }
+        for _ in 0..40 {
+            if let Some(o) = step(&lca, &p, &mut sim, 0, 0, true, true) {
+                outs.push(o);
+            }
+        }
+        let expect: Vec<u64> = (1..=sent).map(|d| golden(1, d)).collect();
+        assert_ne!(outs, expect, "bug must perturb the output stream");
+    }
+
+    #[test]
+    fn aqed_fc_catches_clock_enable_bug() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(MotivatingBug::ClockEnableDisconnected));
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 14);
+        match &report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(*property, PropertyKind::Fc);
+                assert!(
+                    counterexample.cycles() <= 14,
+                    "short counterexample expected, got {}",
+                    counterexample.cycles()
+                );
+            }
+            other => panic!("expected FC bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aqed_passes_healthy_design() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify(&mut p, 8);
+        assert!(!report.found_bug(), "healthy design must be clean: {report}");
+    }
+}

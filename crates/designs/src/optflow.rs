@@ -1,0 +1,275 @@
+//! The optical-flow case study (paper Table 2, "Rosetta / Optical Flow",
+//! caught by RB).
+//!
+//! An abstracted window pipeline from the Rosetta optical-flow kernel: a
+//! 3-pixel sliding window computes the x-gradient `p[i] − p[i−2]` for
+//! every incoming pixel once the window is warm. Results go through a
+//! 2-deep output FIFO with credit-based flow control.
+//!
+//! Because each result depends on *neighbouring* pixels, the per-pixel
+//! operation is **interfering** — Functional Consistency does not apply
+//! to it (the paper's model, Sec. II). A-QED therefore checks the
+//! Response Bound only, which is exactly how the paper classifies this
+//! design's bug (RB). The bug variant drops a result when a window
+//! output is produced in the same cycle as a delivery — a push/pop
+//! collision in the output FIFO's occupancy counter.
+
+use aqed_core::RbConfig;
+use aqed_expr::{ExprPool, ExprRef};
+use aqed_hls::Lca;
+use aqed_tsys::TransitionSystem;
+
+/// Bug variants of the optical-flow pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptflowBug {
+    /// The output FIFO's occupancy counter mishandles a simultaneous
+    /// push and pop: the push is forgotten and the produced gradient
+    /// vanishes (RB).
+    PushPopCollision,
+}
+
+/// Window length (warm-up).
+pub const WINDOW: usize = 3;
+
+/// Output FIFO depth.
+pub const OFIFO_DEPTH: usize = 2;
+
+/// The gradient the pipeline computes once warm, as plain Rust over the
+/// last three pixels (newest first: `p0` this cycle, `p2` two ago).
+#[must_use]
+pub fn gradient(p0: u64, p2: u64) -> u64 {
+    p0.wrapping_sub(p2) & 0xFF
+}
+
+/// Recommended RB parameters: the window needs [`WINDOW`] pixels before
+/// the first gradient (`in_min`).
+#[must_use]
+pub fn recommended_rb() -> RbConfig {
+    RbConfig {
+        tau: 6,
+        in_min: WINDOW as u64,
+        rdin_bound: 12,
+        counter_width: 8,
+    }
+}
+
+/// Builds the window-gradient pipeline, optionally with the push/pop
+/// collision bug.
+#[must_use]
+pub fn build(pool: &mut ExprPool, bug: Option<OptflowBug>) -> Lca {
+    let name = match bug {
+        None => "optflow",
+        Some(OptflowBug::PushPopCollision) => "optflow_pushpop",
+    };
+    let mut ts = TransitionSystem::new(name);
+    let action = ts.add_input(pool, "action", 2);
+    let data = ts.add_input(pool, "data", 8);
+    let rdh = ts.add_input(pool, "rdh", 1);
+    let action_e = pool.var_expr(action);
+    let data_e = pool.var_expr(data);
+    let rdh_e = pool.var_expr(rdh);
+
+    // Window shift registers (w0 = newest).
+    let win: Vec<_> = (0..WINDOW)
+        .map(|i| ts.add_register(pool, format!("of_win{i}"), 8, 0))
+        .collect();
+    let fill = ts.add_register(pool, "of_fill", 2, 0);
+    let ofifo: Vec<_> = (0..OFIFO_DEPTH)
+        .map(|i| ts.add_register(pool, format!("of_ofifo{i}"), 8, 0))
+        .collect();
+    let ocnt = ts.add_register(pool, "of_ocnt", 2, 0);
+
+    let win_e: Vec<ExprRef> = win.iter().map(|&w| pool.var_expr(w)).collect();
+    let fill_e = pool.var_expr(fill);
+    let ofifo_e: Vec<ExprRef> = ofifo.iter().map(|&f| pool.var_expr(f)).collect();
+    let ocnt_e = pool.var_expr(ocnt);
+
+    // Credit-based rdin: produced-but-undelivered results must fit.
+    let cw = 2;
+    let depth_l = pool.lit(cw, OFIFO_DEPTH as u64);
+    let has_credit = pool.ult(ocnt_e, depth_l);
+    let rdin = has_credit;
+    let zero_a = pool.lit(2, 0);
+    let act_valid = pool.ne(action_e, zero_a);
+    let captured = pool.and(rdin, act_valid);
+
+    // Warm when the window has seen WINDOW-1 pixels (this capture is the
+    // WINDOW-th): gradient = data − win[1] (pixel from two cycles ago).
+    let warm_l = pool.lit(2, (WINDOW - 1) as u64);
+    let warm = pool.uge(fill_e, warm_l);
+    let produce = pool.and(captured, warm);
+    let grad = pool.sub(data_e, win_e[1]);
+
+    // Window shift on capture.
+    for i in 0..WINDOW {
+        let incoming = if i == 0 { data_e } else { win_e[i - 1] };
+        let next = pool.ite(captured, incoming, win_e[i]);
+        ts.set_next(win[i], next);
+    }
+    // Fill counter saturates.
+    let one2 = pool.lit(2, 1);
+    let at_max = pool.uge(fill_e, warm_l);
+    let inc = pool.add(fill_e, one2);
+    let bump = pool.ite(at_max, fill_e, inc);
+    let next_fill = pool.ite(captured, bump, fill_e);
+    ts.set_next(fill, next_fill);
+
+    // Output FIFO.
+    let zero2 = pool.lit(cw, 0);
+    let out_valid = pool.ne(ocnt_e, zero2);
+    let pop = pool.and(out_valid, rdh_e);
+    let cnt_after_pop = {
+        let dec = pool.sub(ocnt_e, one2);
+        pool.ite(pop, dec, ocnt_e)
+    };
+    let next_cnt = match bug {
+        Some(OptflowBug::PushPopCollision) => {
+            // The counter's increment term is masked by a same-cycle pop.
+            let no_pop = pool.not(pop);
+            let push_counted = pool.and(produce, no_pop);
+            let inc = pool.add(cnt_after_pop, one2);
+            pool.ite(push_counted, inc, cnt_after_pop)
+        }
+        None => {
+            let inc = pool.add(cnt_after_pop, one2);
+            pool.ite(produce, inc, cnt_after_pop)
+        }
+    };
+    ts.set_next(ocnt, next_cnt);
+    for i in 0..OFIFO_DEPTH {
+        let cur = ofifo_e[i];
+        let from_above = if i + 1 < OFIFO_DEPTH {
+            ofifo_e[i + 1]
+        } else {
+            cur
+        };
+        let shifted = pool.ite(pop, from_above, cur);
+        let idx = pool.lit(cw, i as u64);
+        let at_tail = pool.eq(cnt_after_pop, idx);
+        let wr = pool.and(produce, at_tail);
+        let written = pool.ite(wr, grad, shifted);
+        ts.set_next(ofifo[i], written);
+    }
+
+    let zero8 = pool.lit(8, 0);
+    let out = pool.ite(out_valid, ofifo_e[0], zero8);
+    let delivered = pop;
+
+    ts.add_output("out", out);
+    ts.add_output("out_valid", out_valid);
+    ts.add_output("rdin", rdin);
+    ts.add_output("captured", captured);
+    ts.add_output("delivered", delivered);
+
+    Lca {
+        ts,
+        action,
+        data,
+        rdh,
+        clock_enable: None,
+        out,
+        out_valid,
+        rdin,
+        captured,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_bitvec::Bv;
+    use aqed_core::{AqedHarness, CheckOutcome, PropertyKind};
+    use aqed_tsys::Simulator;
+
+    fn run_stream(
+        lca: &Lca,
+        p: &ExprPool,
+        pixels: &[u64],
+        rdh_pattern: impl Fn(usize) -> bool,
+    ) -> (usize, Vec<u64>) {
+        let mut sim = Simulator::new(&lca.ts, p);
+        let mut sent = 0usize;
+        let mut outs = Vec::new();
+        for cycle in 0..300 {
+            let send = sent < pixels.len();
+            let d = if send { pixels[sent] } else { 0 };
+            let rdh = rdh_pattern(cycle);
+            let iv = vec![
+                (lca.action, Bv::new(2, u64::from(send))),
+                (lca.data, Bv::new(8, d)),
+                (lca.rdh, Bv::from_bool(rdh)),
+            ];
+            let cap = sim.peek(p, lca.captured, &iv).is_true();
+            let del = sim.peek(p, lca.delivered, &iv).is_true();
+            let out = sim.peek(p, lca.out, &iv).to_u64();
+            sim.step_with(&lca.ts, p, &iv);
+            if cap {
+                sent += 1;
+            }
+            if del {
+                outs.push(out);
+            }
+        }
+        (sent, outs)
+    }
+
+    #[test]
+    fn healthy_pipeline_emits_all_gradients() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        lca.ts.validate(&p).expect("valid");
+        let pixels = [10u64, 20, 35, 15, 90, 7];
+        let (sent, outs) = run_stream(&lca, &p, &pixels, |c| c % 2 == 0);
+        assert_eq!(sent, pixels.len());
+        let expect: Vec<u64> = (2..pixels.len())
+            .map(|i| gradient(pixels[i], pixels[i - 2]))
+            .collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn collision_bug_loses_gradients() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(OptflowBug::PushPopCollision));
+        let pixels = [10u64, 20, 35, 15, 90, 7, 66, 41];
+        // Host always ready: pops coincide with pushes often.
+        let (sent, outs) = run_stream(&lca, &p, &pixels, |_| true);
+        assert_eq!(sent, pixels.len());
+        assert!(
+            outs.len() < pixels.len() - 2,
+            "collision must lose results: got {} of {}",
+            outs.len(),
+            pixels.len() - 2
+        );
+    }
+
+    #[test]
+    fn aqed_rb_catches_collision() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, Some(OptflowBug::PushPopCollision));
+        let report = AqedHarness::new(&lca)
+            .with_rb(recommended_rb())
+            .verify(&mut p, 15);
+        match report.outcome {
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                assert_eq!(property, PropertyKind::Rb);
+                assert!(counterexample.cycles() <= 15);
+            }
+            other => panic!("expected RB bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_clean_under_rb() {
+        let mut p = ExprPool::new();
+        let lca = build(&mut p, None);
+        let report = AqedHarness::new(&lca)
+            .with_rb(recommended_rb())
+            .verify(&mut p, 12);
+        assert!(!report.found_bug(), "healthy optflow must be clean: {report}");
+    }
+}

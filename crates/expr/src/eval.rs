@@ -1,0 +1,311 @@
+//! Concrete evaluation of expression DAGs.
+//!
+//! Evaluation is iterative (explicit work list) so that unrolled circuits
+//! thousands of nodes deep cannot overflow the stack, and memoized per
+//! call so shared subgraphs are computed once.
+
+use crate::{BinOp, ExprPool, ExprRef, Node, UnOp, VarId};
+use aqed_bitvec::Bv;
+
+impl ExprPool {
+    /// Evaluates `root` under the variable assignment provided by `env`.
+    ///
+    /// `env` is invoked once per distinct variable in the support of
+    /// `root`; it must return a value of the variable's declared width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` returns a value whose width differs from the
+    /// variable's declared width, or if `root` is not from this pool.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_expr::{ExprPool, VarKind};
+    /// use aqed_bitvec::Bv;
+    ///
+    /// let mut p = ExprPool::new();
+    /// let a = p.var("a", 4, VarKind::Input);
+    /// let ae = p.var_expr(a);
+    /// let sq = p.mul(ae, ae);
+    /// let v = p.eval(sq, &mut |_| Bv::new(4, 5));
+    /// assert_eq!(v, Bv::new(4, 9)); // 25 mod 16
+    /// ```
+    pub fn eval(&self, root: ExprRef, env: &mut dyn FnMut(VarId) -> Bv) -> Bv {
+        let mut memo: Vec<Option<Bv>> = vec![None; self.len()];
+        self.eval_memo(root, env, &mut memo)
+    }
+
+    /// Evaluates several roots under one assignment, sharing the memo
+    /// table across them (cheaper than repeated [`ExprPool::eval`] when
+    /// the roots overlap, as transition-system next functions do).
+    pub fn eval_all(
+        &self,
+        roots: &[ExprRef],
+        env: &mut dyn FnMut(VarId) -> Bv,
+    ) -> Vec<Bv> {
+        let mut memo: Vec<Option<Bv>> = vec![None; self.len()];
+        roots
+            .iter()
+            .map(|&r| self.eval_memo(r, env, &mut memo))
+            .collect()
+    }
+
+    fn eval_memo(
+        &self,
+        root: ExprRef,
+        env: &mut dyn FnMut(VarId) -> Bv,
+        memo: &mut [Option<Bv>],
+    ) -> Bv {
+        if let Some(v) = memo[root.index()] {
+            return v;
+        }
+        // Work list of nodes to finish; a node is computed once all its
+        // children are memoized.
+        let mut stack = vec![root];
+        while let Some(&e) = stack.last() {
+            if memo[e.index()].is_some() {
+                stack.pop();
+                continue;
+            }
+            let mut pending = false;
+            let need = |c: ExprRef, stack: &mut Vec<ExprRef>, pending: &mut bool| {
+                if memo[c.index()].is_none() {
+                    stack.push(c);
+                    *pending = true;
+                }
+            };
+            let value = match *self.node(e) {
+                Node::Const(v) => Some(v),
+                Node::Var(v) => {
+                    let val = env(v);
+                    assert!(
+                        val.width() == self.var_width(v),
+                        "environment returned width {} for variable '{}' of width {}",
+                        val.width(),
+                        self.var_name(v),
+                        self.var_width(v)
+                    );
+                    Some(val)
+                }
+                Node::Unary(op, a) => {
+                    need(a, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let x = memo[a.index()].expect("child memoized");
+                        Some(match op {
+                            UnOp::Not => x.not(),
+                            UnOp::Neg => x.neg(),
+                            UnOp::RedOr => x.redor(),
+                            UnOp::RedAnd => x.redand(),
+                            UnOp::RedXor => x.redxor(),
+                        })
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    need(a, &mut stack, &mut pending);
+                    need(b, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let x = memo[a.index()].expect("child memoized");
+                        let y = memo[b.index()].expect("child memoized");
+                        Some(apply_binop(op, x, y))
+                    }
+                }
+                Node::Ite {
+                    cond,
+                    then_,
+                    else_,
+                } => {
+                    need(cond, &mut stack, &mut pending);
+                    need(then_, &mut stack, &mut pending);
+                    need(else_, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let c = memo[cond.index()].expect("child memoized");
+                        Some(if c.is_true() {
+                            memo[then_.index()].expect("child memoized")
+                        } else {
+                            memo[else_.index()].expect("child memoized")
+                        })
+                    }
+                }
+                Node::Extract { hi, lo, arg } => {
+                    need(arg, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        Some(memo[arg.index()].expect("child memoized").extract(hi, lo))
+                    }
+                }
+                Node::Extend {
+                    signed,
+                    width,
+                    arg,
+                } => {
+                    need(arg, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let x = memo[arg.index()].expect("child memoized");
+                        Some(if signed { x.sext(width) } else { x.zext(width) })
+                    }
+                }
+            };
+            if let Some(v) = value {
+                memo[e.index()] = Some(v);
+                stack.pop();
+            }
+        }
+        memo[root.index()].expect("root computed")
+    }
+}
+
+fn apply_binop(op: BinOp, x: Bv, y: Bv) -> Bv {
+    match op {
+        BinOp::And => x.and(y),
+        BinOp::Or => x.or(y),
+        BinOp::Xor => x.xor(y),
+        BinOp::Add => x.add(y),
+        BinOp::Sub => x.sub(y),
+        BinOp::Mul => x.mul(y),
+        BinOp::Udiv => x.udiv(y),
+        BinOp::Urem => x.urem(y),
+        BinOp::Shl => x.shl(y),
+        BinOp::Lshr => x.lshr(y),
+        BinOp::Ashr => x.ashr(y),
+        BinOp::Eq => Bv::from_bool(x == y),
+        BinOp::Ult => Bv::from_bool(x.ult(y)),
+        BinOp::Ule => Bv::from_bool(x.ule(y)),
+        BinOp::Slt => Bv::from_bool(x.slt(y)),
+        BinOp::Sle => Bv::from_bool(x.sle(y)),
+        BinOp::Concat => x.concat(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ExprPool, VarKind};
+    use aqed_bitvec::Bv;
+
+    #[test]
+    fn eval_arith_tree() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 8, VarKind::Input);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        // (a + b) * (a - b)
+        let sum = p.add(ae, be);
+        let diff = p.sub(ae, be);
+        let prod = p.mul(sum, diff);
+        let v = p.eval(prod, &mut |v| {
+            if v == a {
+                Bv::new(8, 9)
+            } else {
+                Bv::new(8, 4)
+            }
+        });
+        assert_eq!(v, Bv::new(8, 65)); // 13 * 5
+    }
+
+    #[test]
+    fn eval_ite_and_slices() {
+        let mut p = ExprPool::new();
+        let c = p.var("c", 1, VarKind::Input);
+        let x = p.var("x", 16, VarKind::Input);
+        let ce = p.var_expr(c);
+        let xe = p.var_expr(x);
+        let hi = p.extract(xe, 15, 8);
+        let lo = p.extract(xe, 7, 0);
+        let m = p.ite(ce, hi, lo);
+        let env_val = Bv::new(16, 0xAB12);
+        let v1 = p.eval(m, &mut |v| {
+            if v == c {
+                Bv::from_bool(true)
+            } else {
+                env_val
+            }
+        });
+        assert_eq!(v1, Bv::new(8, 0xAB));
+        let v0 = p.eval(m, &mut |v| {
+            if v == c {
+                Bv::from_bool(false)
+            } else {
+                env_val
+            }
+        });
+        assert_eq!(v0, Bv::new(8, 0x12));
+    }
+
+    #[test]
+    fn eval_deep_chain_no_stack_overflow() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 32, VarKind::Input);
+        let mut e = p.var_expr(x);
+        let one = p.lit(32, 1);
+        for _ in 0..200_000 {
+            e = p.add(e, one);
+        }
+        let v = p.eval(e, &mut |_| Bv::new(32, 42));
+        assert_eq!(v, Bv::new(32, 42 + 200_000));
+    }
+
+    #[test]
+    fn eval_all_shares_memo() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let sq = p.mul(xe, xe);
+        let cube = p.mul(sq, xe);
+        let mut calls = 0;
+        let vals = p.eval_all(&[sq, cube], &mut |_| {
+            calls += 1;
+            Bv::new(8, 3)
+        });
+        assert_eq!(vals, vec![Bv::new(8, 9), Bv::new(8, 27)]);
+        assert_eq!(calls, 1, "shared memo evaluates each var once");
+    }
+
+    #[test]
+    #[should_panic(expected = "environment returned width")]
+    fn eval_rejects_wrong_width_env() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let _ = p.eval(xe, &mut |_| Bv::new(4, 0));
+    }
+
+    #[test]
+    fn eval_matches_folding_on_random_trees() {
+        // Build a few structured expressions over constants and check the
+        // evaluator agrees with the pool's constant folder.
+        let mut p = ExprPool::new();
+        let a = p.lit(12, 0x8AB);
+        let b = p.lit(12, 0x123);
+        let exprs = [
+            p.add(a, b),
+            p.sub(a, b),
+            p.mul(a, b),
+            p.udiv(a, b),
+            p.urem(a, b),
+            p.and(a, b),
+            p.or(a, b),
+            p.xor(a, b),
+            p.shl(a, b),
+            p.lshr(a, b),
+            p.ashr(a, b),
+            p.eq(a, b),
+            p.ult(a, b),
+            p.sle(a, b),
+        ];
+        for e in exprs {
+            let folded = p.as_const(e).expect("constants fold");
+            let evaled = p.eval(e, &mut |_| unreachable!("no vars"));
+            assert_eq!(folded, evaled);
+        }
+    }
+}

@@ -1,0 +1,1168 @@
+//! Hash-consed word-level expression DAG — the RTL-level IR of the A-QED
+//! stack.
+//!
+//! An [`ExprPool`] owns a directed acyclic graph of bit-vector expressions
+//! (a BTOR2-like operator set: bitwise logic, wrap-around arithmetic,
+//! shifts, comparisons, if-then-else, extract/concat/extend). Nodes are
+//! *hash-consed*: structurally identical sub-expressions share one
+//! [`ExprRef`], so equality of references implies semantic equality of
+//! subgraphs (the converse holds up to the pool's local rewrites).
+//!
+//! Construction performs constant folding and a small set of sound local
+//! rewrites (`x & x → x`, `ite(1, a, b) → a`, …), which keeps the DAG that
+//! reaches the bit-blaster compact.
+//!
+//! Variables ([`VarId`]) are the symbolic leaves: transition-system state
+//! and input signals. Evaluation ([`ExprPool::eval`]) and substitution
+//! ([`ExprPool::substitute`]) are iterative (no recursion), so arbitrarily
+//! deep unrolled circuits are handled without stack overflow.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqed_expr::{ExprPool, VarKind};
+//! use aqed_bitvec::Bv;
+//!
+//! let mut p = ExprPool::new();
+//! let x = p.var("x", 8, VarKind::Input);
+//! let xe = p.var_expr(x);
+//! let one = p.constant(Bv::new(8, 1));
+//! let inc = p.add(xe, one);
+//! let v = p.eval(inc, &mut |var| {
+//!     assert_eq!(var, x);
+//!     Bv::new(8, 0xFF)
+//! });
+//! assert_eq!(v, Bv::new(8, 0)); // wraps
+//! ```
+
+mod eval;
+mod print;
+mod subst;
+
+pub use print::DisplayExpr;
+
+use aqed_bitvec::Bv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reference to a node inside an [`ExprPool`].
+///
+/// References are only meaningful for the pool that created them; using a
+/// reference with another pool is a logic error (and panics on
+/// out-of-bounds access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprRef(u32);
+
+impl ExprRef {
+    /// The raw index of the node in its pool.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a symbolic variable (a circuit input or state element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// The raw index of the variable in its pool.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a variable models. Purely informational — the pool treats all
+/// variables uniformly — but consumers (the transition system, the BMC
+/// unroller) use it for sanity checks and display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A primary input, free in every clock cycle.
+    Input,
+    /// A state-holding element (register); its value is produced by a next
+    /// function.
+    State,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// OR-reduction to 1 bit.
+    RedOr,
+    /// AND-reduction to 1 bit.
+    RedAnd,
+    /// XOR-reduction (parity) to 1 bit.
+    RedXor,
+}
+
+/// Binary operators. Comparison operators produce 1-bit results; all other
+/// operators require equal operand widths and produce that width, except
+/// [`BinOp::Concat`], which produces the sum of the operand widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (`x / 0 = all-ones`).
+    Udiv,
+    /// Unsigned remainder (`x % 0 = x`).
+    Urem,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Unsigned less-or-equal (1-bit result).
+    Ule,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Signed less-or-equal (1-bit result).
+    Sle,
+    /// Concatenation: left operand forms the high bits.
+    Concat,
+}
+
+impl BinOp {
+    /// Whether this operator produces a 1-bit (predicate) result.
+    #[must_use]
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
+    }
+
+    /// Whether the operator is commutative (used for hash-cons
+    /// normalization).
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Mul | BinOp::Eq
+        )
+    }
+}
+
+/// An expression node. Exposed read-only through [`ExprPool::node`] so
+/// that consumers (bit-blaster, simulator) can traverse the DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A constant bit-vector.
+    Const(Bv),
+    /// A symbolic variable.
+    Var(VarId),
+    /// A unary operation.
+    Unary(UnOp, ExprRef),
+    /// A binary operation.
+    Binary(BinOp, ExprRef, ExprRef),
+    /// If-then-else: `cond` must be 1 bit wide; branches must have equal
+    /// widths.
+    Ite {
+        /// 1-bit condition.
+        cond: ExprRef,
+        /// Value when `cond` is 1.
+        then_: ExprRef,
+        /// Value when `cond` is 0.
+        else_: ExprRef,
+    },
+    /// Bit-slice `arg[hi..=lo]`.
+    Extract {
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+        /// Operand.
+        arg: ExprRef,
+    },
+    /// Zero- or sign-extension to `width` bits.
+    Extend {
+        /// Extend with the sign bit instead of zeros.
+        signed: bool,
+        /// Result width.
+        width: u32,
+        /// Operand.
+        arg: ExprRef,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct VarData {
+    name: String,
+    width: u32,
+    kind: VarKind,
+}
+
+/// Arena owning a hash-consed expression DAG and its variables.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Debug, Clone, Default)]
+pub struct ExprPool {
+    nodes: Vec<Node>,
+    widths: Vec<u32>,
+    intern: HashMap<Node, ExprRef>,
+    vars: Vec<VarData>,
+}
+
+impl ExprPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool holds no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of declared variables.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not belong to this pool.
+    #[must_use]
+    pub fn node(&self, e: ExprRef) -> &Node {
+        &self.nodes[e.index()]
+    }
+
+    /// Width in bits of the expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not belong to this pool.
+    #[must_use]
+    pub fn width(&self, e: ExprRef) -> u32 {
+        self.widths[e.index()]
+    }
+
+    /// Declares a fresh variable. Two calls with the same name create two
+    /// *distinct* variables (names are for diagnostics only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn var(&mut self, name: impl Into<String>, width: u32, kind: VarKind) -> VarId {
+        assert!(
+            width >= 1 && width <= Bv::MAX_WIDTH,
+            "variable width must be in 1..=64, got {width}"
+        );
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(VarData {
+            name: name.into(),
+            width,
+            kind,
+        });
+        id
+    }
+
+    /// The diagnostic name of a variable.
+    #[must_use]
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// The width of a variable.
+    #[must_use]
+    pub fn var_width(&self, v: VarId) -> u32 {
+        self.vars[v.index()].width
+    }
+
+    /// The kind of a variable.
+    #[must_use]
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Iterates over all declared variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(|i| VarId(i as u32))
+    }
+
+    fn intern(&mut self, node: Node, width: u32) -> ExprRef {
+        if let Some(&e) = self.intern.get(&node) {
+            return e;
+        }
+        let e = ExprRef(u32::try_from(self.nodes.len()).expect("expression pool overflow"));
+        self.nodes.push(node.clone());
+        self.widths.push(width);
+        self.intern.insert(node, e);
+        e
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, value: Bv) -> ExprRef {
+        self.intern(Node::Const(value), value.width())
+    }
+
+    /// Shorthand for [`ExprPool::constant`] from a width and raw value.
+    pub fn lit(&mut self, width: u32, value: u64) -> ExprRef {
+        self.constant(Bv::new(width, value))
+    }
+
+    /// The 1-bit constant 1 ("true").
+    pub fn true_(&mut self) -> ExprRef {
+        self.constant(Bv::from_bool(true))
+    }
+
+    /// The 1-bit constant 0 ("false").
+    pub fn false_(&mut self) -> ExprRef {
+        self.constant(Bv::from_bool(false))
+    }
+
+    /// The expression referring to variable `v`.
+    pub fn var_expr(&mut self, v: VarId) -> ExprRef {
+        let w = self.var_width(v);
+        self.intern(Node::Var(v), w)
+    }
+
+    /// If the expression is a constant, returns its value.
+    #[must_use]
+    pub fn as_const(&self, e: ExprRef) -> Option<Bv> {
+        match self.node(e) {
+            Node::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// If the expression is a bare variable, returns its id.
+    #[must_use]
+    pub fn as_var(&self, e: ExprRef) -> Option<VarId> {
+        match self.node(e) {
+            Node::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Unary builders
+    // ------------------------------------------------------------------
+
+    /// Builds a unary operation (with constant folding and double-negation
+    /// elimination).
+    pub fn unary(&mut self, op: UnOp, a: ExprRef) -> ExprRef {
+        if let Some(v) = self.as_const(a) {
+            let folded = match op {
+                UnOp::Not => v.not(),
+                UnOp::Neg => v.neg(),
+                UnOp::RedOr => v.redor(),
+                UnOp::RedAnd => v.redand(),
+                UnOp::RedXor => v.redxor(),
+            };
+            return self.constant(folded);
+        }
+        if let Node::Unary(inner_op, inner) = *self.node(a) {
+            if (op == UnOp::Not && inner_op == UnOp::Not)
+                || (op == UnOp::Neg && inner_op == UnOp::Neg)
+            {
+                return inner;
+            }
+        }
+        if self.width(a) == 1 && matches!(op, UnOp::RedOr | UnOp::RedAnd | UnOp::RedXor) {
+            return a;
+        }
+        let w = match op {
+            UnOp::Not | UnOp::Neg => self.width(a),
+            UnOp::RedOr | UnOp::RedAnd | UnOp::RedXor => 1,
+        };
+        self.intern(Node::Unary(op, a), w)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: ExprRef) -> ExprRef {
+        self.unary(UnOp::Not, a)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: ExprRef) -> ExprRef {
+        self.unary(UnOp::Neg, a)
+    }
+
+    /// OR-reduction to one bit.
+    pub fn redor(&mut self, a: ExprRef) -> ExprRef {
+        self.unary(UnOp::RedOr, a)
+    }
+
+    /// AND-reduction to one bit.
+    pub fn redand(&mut self, a: ExprRef) -> ExprRef {
+        self.unary(UnOp::RedAnd, a)
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn redxor(&mut self, a: ExprRef) -> ExprRef {
+        self.unary(UnOp::RedXor, a)
+    }
+
+    // ------------------------------------------------------------------
+    // Binary builders
+    // ------------------------------------------------------------------
+
+    /// Builds a binary operation, applying constant folding and local
+    /// rewrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths are incompatible for `op`.
+    pub fn binary(&mut self, op: BinOp, mut a: ExprRef, mut b: ExprRef) -> ExprRef {
+        let (wa, wb) = (self.width(a), self.width(b));
+        if op == BinOp::Concat {
+            assert!(
+                wa + wb <= Bv::MAX_WIDTH,
+                "concat result width {} exceeds {}",
+                wa + wb,
+                Bv::MAX_WIDTH
+            );
+        } else {
+            assert!(wa == wb, "width mismatch in {op:?}: {wa} vs {wb}");
+        }
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            let folded = match op {
+                BinOp::And => x.and(y),
+                BinOp::Or => x.or(y),
+                BinOp::Xor => x.xor(y),
+                BinOp::Add => x.add(y),
+                BinOp::Sub => x.sub(y),
+                BinOp::Mul => x.mul(y),
+                BinOp::Udiv => x.udiv(y),
+                BinOp::Urem => x.urem(y),
+                BinOp::Shl => x.shl(y),
+                BinOp::Lshr => x.lshr(y),
+                BinOp::Ashr => x.ashr(y),
+                BinOp::Eq => Bv::from_bool(x == y),
+                BinOp::Ult => Bv::from_bool(x.ult(y)),
+                BinOp::Ule => Bv::from_bool(x.ule(y)),
+                BinOp::Slt => Bv::from_bool(x.slt(y)),
+                BinOp::Sle => Bv::from_bool(x.sle(y)),
+                BinOp::Concat => x.concat(y),
+            };
+            return self.constant(folded);
+        }
+        if op.is_commutative() && a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if let Some(e) = self.rewrite_binary(op, a, b) {
+            return e;
+        }
+        let w = if op.is_predicate() {
+            1
+        } else if op == BinOp::Concat {
+            wa + wb
+        } else {
+            wa
+        };
+        self.intern(Node::Binary(op, a, b), w)
+    }
+
+    /// Sound local rewrites (identity/absorbing elements, idempotence).
+    fn rewrite_binary(&mut self, op: BinOp, a: ExprRef, b: ExprRef) -> Option<ExprRef> {
+        let w = self.width(a);
+        let ca = self.as_const(a);
+        let cb = self.as_const(b);
+        let zero = |c: Option<Bv>| c.is_some_and(|v| v.is_zero());
+        let ones = |c: Option<Bv>| c.is_some_and(|v| v.is_ones());
+        let one = |c: Option<Bv>| c.is_some_and(|v| v.to_u64() == 1);
+        match op {
+            BinOp::And => {
+                if a == b {
+                    return Some(a);
+                }
+                if zero(ca) || zero(cb) {
+                    return Some(self.lit(w, 0));
+                }
+                if ones(ca) {
+                    return Some(b);
+                }
+                if ones(cb) {
+                    return Some(a);
+                }
+            }
+            BinOp::Or => {
+                if a == b {
+                    return Some(a);
+                }
+                if ones(ca) || ones(cb) {
+                    return Some(self.constant(Bv::ones(w)));
+                }
+                if zero(ca) {
+                    return Some(b);
+                }
+                if zero(cb) {
+                    return Some(a);
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    return Some(self.lit(w, 0));
+                }
+                if zero(ca) {
+                    return Some(b);
+                }
+                if zero(cb) {
+                    return Some(a);
+                }
+                if ones(ca) {
+                    return Some(self.not(b));
+                }
+                if ones(cb) {
+                    return Some(self.not(a));
+                }
+            }
+            BinOp::Add => {
+                if zero(ca) {
+                    return Some(b);
+                }
+                if zero(cb) {
+                    return Some(a);
+                }
+            }
+            BinOp::Sub => {
+                if zero(cb) {
+                    return Some(a);
+                }
+                if a == b {
+                    return Some(self.lit(w, 0));
+                }
+            }
+            BinOp::Mul => {
+                if zero(ca) || zero(cb) {
+                    return Some(self.lit(w, 0));
+                }
+                if one(ca) {
+                    return Some(b);
+                }
+                if one(cb) {
+                    return Some(a);
+                }
+            }
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                if zero(cb) {
+                    return Some(a);
+                }
+                if zero(ca) {
+                    return Some(self.lit(w, 0));
+                }
+            }
+            BinOp::Eq => {
+                if a == b {
+                    return Some(self.true_());
+                }
+                if w == 1 {
+                    if ones(cb) {
+                        return Some(a);
+                    }
+                    if zero(cb) {
+                        return Some(self.not(a));
+                    }
+                    if ones(ca) {
+                        return Some(b);
+                    }
+                    if zero(ca) {
+                        return Some(self.not(b));
+                    }
+                }
+            }
+            BinOp::Ult => {
+                if a == b || zero(cb) {
+                    return Some(self.false_());
+                }
+            }
+            BinOp::Ule => {
+                if a == b || zero(ca) {
+                    return Some(self.true_());
+                }
+            }
+            BinOp::Slt => {
+                if a == b {
+                    return Some(self.false_());
+                }
+            }
+            BinOp::Sle => {
+                if a == b {
+                    return Some(self.true_());
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+
+    /// Bitwise AND. See [`ExprPool::binary`] for panics.
+    pub fn and(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR. See [`ExprPool::binary`] for panics.
+    pub fn or(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR. See [`ExprPool::binary`] for panics.
+    pub fn xor(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// Wrapping addition. See [`ExprPool::binary`] for panics.
+    pub fn add(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction. See [`ExprPool::binary`] for panics.
+    pub fn sub(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication. See [`ExprPool::binary`] for panics.
+    pub fn mul(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Mul, a, b)
+    }
+
+    /// Unsigned division. See [`ExprPool::binary`] for panics.
+    pub fn udiv(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Udiv, a, b)
+    }
+
+    /// Unsigned remainder. See [`ExprPool::binary`] for panics.
+    pub fn urem(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Urem, a, b)
+    }
+
+    /// Logical shift left. See [`ExprPool::binary`] for panics.
+    pub fn shl(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Shl, a, b)
+    }
+
+    /// Logical shift right. See [`ExprPool::binary`] for panics.
+    pub fn lshr(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Lshr, a, b)
+    }
+
+    /// Arithmetic shift right. See [`ExprPool::binary`] for panics.
+    pub fn ashr(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Ashr, a, b)
+    }
+
+    /// Equality predicate (1-bit result). See [`ExprPool::binary`] for panics.
+    pub fn eq(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Eq, a, b)
+    }
+
+    /// Disequality predicate (1-bit result). See [`ExprPool::binary`] for panics.
+    pub fn ne(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than predicate. See [`ExprPool::binary`] for panics.
+    pub fn ult(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal predicate. See [`ExprPool::binary`] for panics.
+    pub fn ule(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Ule, a, b)
+    }
+
+    /// Unsigned greater-than predicate. See [`ExprPool::binary`] for panics.
+    pub fn ugt(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Ult, b, a)
+    }
+
+    /// Unsigned greater-or-equal predicate. See [`ExprPool::binary`] for panics.
+    pub fn uge(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Ule, b, a)
+    }
+
+    /// Signed less-than predicate. See [`ExprPool::binary`] for panics.
+    pub fn slt(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal predicate. See [`ExprPool::binary`] for panics.
+    pub fn sle(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Sle, a, b)
+    }
+
+    /// Concatenation (`a` high, `b` low). See [`ExprPool::binary`] for panics.
+    pub fn concat(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binary(BinOp::Concat, a, b)
+    }
+
+    /// Boolean implication over 1-bit values: `!a | b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 1 bit wide.
+    pub fn implies(&mut self, a: ExprRef, b: ExprRef) -> ExprRef {
+        assert!(
+            self.width(a) == 1 && self.width(b) == 1,
+            "implies requires 1-bit operands"
+        );
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    // ------------------------------------------------------------------
+    // Ternary and structural builders
+    // ------------------------------------------------------------------
+
+    /// If-then-else multiplexer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not 1 bit wide or the branch widths differ.
+    pub fn ite(&mut self, cond: ExprRef, then_: ExprRef, else_: ExprRef) -> ExprRef {
+        assert!(self.width(cond) == 1, "ite condition must be 1 bit");
+        let w = self.width(then_);
+        assert!(
+            w == self.width(else_),
+            "ite branch width mismatch: {} vs {}",
+            w,
+            self.width(else_)
+        );
+        if let Some(c) = self.as_const(cond) {
+            return if c.is_true() { then_ } else { else_ };
+        }
+        if then_ == else_ {
+            return then_;
+        }
+        if w == 1 {
+            if let (Some(t), Some(e)) = (self.as_const(then_), self.as_const(else_)) {
+                return match (t.is_true(), e.is_true()) {
+                    (true, false) => cond,
+                    (false, true) => self.not(cond),
+                    _ => unreachable!("equal branches already handled"),
+                };
+            }
+        }
+        self.intern(
+            Node::Ite {
+                cond,
+                then_,
+                else_,
+            },
+            w,
+        )
+    }
+
+    /// Bit-slice `arg[hi..=lo]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width(arg)`.
+    pub fn extract(&mut self, arg: ExprRef, hi: u32, lo: u32) -> ExprRef {
+        let w = self.width(arg);
+        assert!(hi >= lo, "extract hi {hi} < lo {lo}");
+        assert!(hi < w, "extract hi {hi} out of range for width {w}");
+        if lo == 0 && hi == w - 1 {
+            return arg;
+        }
+        if let Some(v) = self.as_const(arg) {
+            return self.constant(v.extract(hi, lo));
+        }
+        if let Node::Extract {
+            lo: ilo,
+            arg: inner,
+            ..
+        } = *self.node(arg)
+        {
+            return self.extract(inner, ilo + hi, ilo + lo);
+        }
+        self.intern(Node::Extract { hi, lo, arg }, hi - lo + 1)
+    }
+
+    /// The single bit `arg[i]` as a 1-bit expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width(arg)`.
+    pub fn bit(&mut self, arg: ExprRef, i: u32) -> ExprRef {
+        self.extract(arg, i, i)
+    }
+
+    /// Zero-extension to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the operand width or exceeds 64.
+    pub fn zext(&mut self, arg: ExprRef, width: u32) -> ExprRef {
+        self.extend_impl(arg, width, false)
+    }
+
+    /// Sign-extension to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the operand width or exceeds 64.
+    pub fn sext(&mut self, arg: ExprRef, width: u32) -> ExprRef {
+        self.extend_impl(arg, width, true)
+    }
+
+    fn extend_impl(&mut self, arg: ExprRef, width: u32, signed: bool) -> ExprRef {
+        let w = self.width(arg);
+        assert!(
+            width >= w && width <= Bv::MAX_WIDTH,
+            "extend to {width} invalid from width {w}"
+        );
+        if width == w {
+            return arg;
+        }
+        if let Some(v) = self.as_const(arg) {
+            return self.constant(if signed { v.sext(width) } else { v.zext(width) });
+        }
+        self.intern(
+            Node::Extend {
+                signed,
+                width,
+                arg,
+            },
+            width,
+        )
+    }
+
+    /// N-ary AND of 1-bit expressions; the empty conjunction is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not 1 bit wide.
+    pub fn and_all<I: IntoIterator<Item = ExprRef>>(&mut self, items: I) -> ExprRef {
+        let mut acc = self.true_();
+        for e in items {
+            assert!(self.width(e) == 1, "and_all requires 1-bit operands");
+            acc = self.and(acc, e);
+        }
+        acc
+    }
+
+    /// N-ary OR of 1-bit expressions; the empty disjunction is `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not 1 bit wide.
+    pub fn or_all<I: IntoIterator<Item = ExprRef>>(&mut self, items: I) -> ExprRef {
+        let mut acc = self.false_();
+        for e in items {
+            assert!(self.width(e) == 1, "or_all requires 1-bit operands");
+            acc = self.or(acc, e);
+        }
+        acc
+    }
+
+    /// Selects `options[index]` as a mux chain; index values past the end
+    /// of `options` yield `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if option widths differ from `default`'s width, or if an
+    /// option position does not fit in the index width.
+    pub fn select(&mut self, index: ExprRef, options: &[ExprRef], default: ExprRef) -> ExprRef {
+        let iw = self.width(index);
+        assert!(
+            (options.len() as u64) <= Bv::mask(iw).saturating_add(1),
+            "{} options do not fit in a {iw}-bit index",
+            options.len()
+        );
+        let mut acc = default;
+        for (i, &opt) in options.iter().enumerate().rev() {
+            let idx = self.lit(iw, i as u64);
+            let hit = self.eq(index, idx);
+            acc = self.ite(hit, opt, acc);
+        }
+        acc
+    }
+
+    /// Returns the set of variables the expression depends on, in
+    /// deterministic (id) order.
+    #[must_use]
+    pub fn support(&self, root: ExprRef) -> Vec<VarId> {
+        self.support_all(std::iter::once(root))
+    }
+
+    /// Returns the set of variables any of the given expressions depend
+    /// on, in deterministic (id) order.
+    #[must_use]
+    pub fn support_all<I: IntoIterator<Item = ExprRef>>(&self, roots: I) -> Vec<VarId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut vars = Vec::new();
+        let mut stack: Vec<ExprRef> = roots.into_iter().collect();
+        while let Some(e) = stack.pop() {
+            if seen[e.index()] {
+                continue;
+            }
+            seen[e.index()] = true;
+            match self.node(e) {
+                Node::Const(_) => {}
+                Node::Var(v) => vars.push(*v),
+                Node::Unary(_, a) => stack.push(*a),
+                Node::Binary(_, a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Ite {
+                    cond,
+                    then_,
+                    else_,
+                } => {
+                    stack.push(*cond);
+                    stack.push(*then_);
+                    stack.push(*else_);
+                }
+                Node::Extract { arg, .. } | Node::Extend { arg, .. } => stack.push(*arg),
+            }
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+impl fmt::Display for ExprPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ExprPool({} nodes, {} vars)",
+            self.nodes.len(),
+            self.vars.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let a = p.lit(8, 3);
+        let s1 = p.add(xe, a);
+        let s2 = p.add(xe, a);
+        assert_eq!(s1, s2);
+        let s3 = p.add(a, xe); // commutative normalization
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    fn distinct_vars_same_name() {
+        let mut p = ExprPool::new();
+        let a = p.var("x", 8, VarKind::Input);
+        let b = p.var("x", 8, VarKind::Input);
+        assert_ne!(a, b);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        assert_ne!(ae, be);
+        assert_eq!(p.var_name(a), "x");
+        assert_eq!(p.var_width(a), 8);
+        assert_eq!(p.var_kind(a), VarKind::Input);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = ExprPool::new();
+        let a = p.lit(8, 200);
+        let b = p.lit(8, 100);
+        let add = p.add(a, b);
+        assert_eq!(p.as_const(add).unwrap(), Bv::new(8, 44));
+        let lt = p.ult(b, a);
+        assert_eq!(p.as_const(lt).unwrap(), Bv::from_bool(true));
+        let cc = p.concat(a, b);
+        assert_eq!(p.as_const(cc).unwrap(), Bv::new(16, 200 << 8 | 100));
+    }
+
+    #[test]
+    fn rewrites() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let zero = p.lit(8, 0);
+        let ones = p.constant(Bv::ones(8));
+        assert_eq!(p.and(xe, xe), xe);
+        assert_eq!(p.and(xe, zero), zero);
+        assert_eq!(p.and(xe, ones), xe);
+        assert_eq!(p.or(xe, zero), xe);
+        assert_eq!(p.xor(xe, xe), zero);
+        assert_eq!(p.add(xe, zero), xe);
+        assert_eq!(p.sub(xe, xe), zero);
+        let t = p.true_();
+        let eq = p.eq(xe, xe);
+        assert_eq!(eq, t);
+        let n1 = p.not(xe);
+        let nn = p.not(n1);
+        assert_eq!(nn, xe);
+        let f = p.false_();
+        let ult = p.ult(xe, zero);
+        assert_eq!(ult, f);
+    }
+
+    #[test]
+    fn ite_simplification() {
+        let mut p = ExprPool::new();
+        let c = p.var("c", 1, VarKind::Input);
+        let ce = p.var_expr(c);
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let y = p.var("y", 8, VarKind::Input);
+        let ye = p.var_expr(y);
+        let t = p.true_();
+        let f = p.false_();
+        assert_eq!(p.ite(t, xe, ye), xe);
+        assert_eq!(p.ite(f, xe, ye), ye);
+        assert_eq!(p.ite(ce, xe, xe), xe);
+        assert_eq!(p.ite(ce, t, f), ce);
+        let nce = p.not(ce);
+        assert_eq!(p.ite(ce, f, t), nce);
+    }
+
+    #[test]
+    fn extract_composition() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 16, VarKind::Input);
+        let xe = p.var_expr(x);
+        let mid = p.extract(xe, 11, 4); // 8 bits
+        let low = p.extract(mid, 3, 0); // bits 7..4 of x
+        let direct = p.extract(xe, 7, 4);
+        assert_eq!(low, direct);
+        assert_eq!(p.extract(xe, 15, 0), xe);
+        assert_eq!(p.width(mid), 8);
+    }
+
+    #[test]
+    fn extension_identities() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        assert_eq!(p.zext(xe, 8), xe);
+        let z16 = p.zext(xe, 16);
+        assert_eq!(p.width(z16), 16);
+        let c = p.lit(4, 0x9);
+        let sc = p.sext(c, 8);
+        assert_eq!(p.as_const(sc).unwrap(), Bv::new(8, 0xF9));
+    }
+
+    #[test]
+    fn nary_helpers() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 1, VarKind::Input);
+        let ae = p.var_expr(a);
+        let t = p.true_();
+        let f = p.false_();
+        assert_eq!(p.and_all([]), t);
+        assert_eq!(p.or_all([]), f);
+        assert_eq!(p.and_all([ae, t]), ae);
+        assert_eq!(p.or_all([ae, f]), ae);
+        assert_eq!(p.and_all([ae, f]), f);
+    }
+
+    #[test]
+    fn select_builds_mux() {
+        let mut p = ExprPool::new();
+        let idx = p.var("i", 2, VarKind::Input);
+        let ie = p.var_expr(idx);
+        let opts: Vec<_> = (0..3u64).map(|v| p.lit(8, v * 10)).collect();
+        let def = p.lit(8, 0xFF);
+        let sel = p.select(ie, &opts, def);
+        for (i, want) in [(0u64, 0u64), (1, 10), (2, 20), (3, 0xFF)] {
+            let got = p.eval(sel, &mut |_| Bv::new(2, i));
+            assert_eq!(got, Bv::new(8, want), "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn select_index_too_narrow() {
+        let mut p = ExprPool::new();
+        let idx = p.var("i", 1, VarKind::Input);
+        let ie = p.var_expr(idx);
+        let opts: Vec<_> = (0..3u64).map(|v| p.lit(8, v)).collect();
+        let def = p.lit(8, 0);
+        let _ = p.select(ie, &opts, def);
+    }
+
+    #[test]
+    fn support_reports_vars() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 8, VarKind::State);
+        let c = p.var("c", 8, VarKind::Input);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        let sum = p.add(ae, be);
+        assert_eq!(p.support(sum), vec![a, b]);
+        let ce = p.var_expr(c);
+        let full = p.mul(sum, ce);
+        assert_eq!(p.support(full), vec![a, b, c]);
+        let k = p.lit(8, 5);
+        assert!(p.support(k).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn binary_width_mismatch() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 4, VarKind::Input);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        let _ = p.add(ae, be);
+    }
+
+    #[test]
+    fn predicate_widths() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 8, VarKind::Input);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        let eq = p.eq(ae, be);
+        assert_eq!(p.width(eq), 1);
+        let lt = p.ult(ae, be);
+        assert_eq!(p.width(lt), 1);
+        let cc = p.concat(ae, be);
+        assert_eq!(p.width(cc), 16);
+        let gt = p.ugt(ae, be);
+        let lt2 = p.ult(be, ae);
+        assert_eq!(gt, lt2);
+    }
+
+    #[test]
+    fn reduction_of_one_bit_is_identity() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 1, VarKind::Input);
+        let ae = p.var_expr(a);
+        assert_eq!(p.redor(ae), ae);
+        assert_eq!(p.redand(ae), ae);
+        assert_eq!(p.redxor(ae), ae);
+    }
+}

@@ -1,0 +1,163 @@
+//! Human-readable rendering of expressions for diagnostics and
+//! counterexample reports.
+
+use crate::{BinOp, ExprPool, ExprRef, Node, UnOp};
+use std::fmt;
+
+/// Adapter that renders an expression as an S-expression via `Display`.
+///
+/// Obtained from [`ExprPool::display`].
+///
+/// # Examples
+///
+/// ```
+/// use aqed_expr::{ExprPool, VarKind};
+///
+/// let mut p = ExprPool::new();
+/// let x = p.var("x", 8, VarKind::Input);
+/// let xe = p.var_expr(x);
+/// let one = p.lit(8, 1);
+/// let e = p.add(xe, one);
+/// assert_eq!(p.display(e).to_string(), "(add x 8'd1)");
+/// ```
+#[derive(Debug)]
+pub struct DisplayExpr<'a> {
+    pool: &'a ExprPool,
+    root: ExprRef,
+}
+
+impl ExprPool {
+    /// Returns a displayable S-expression view of `e`.
+    #[must_use]
+    pub fn display(&self, e: ExprRef) -> DisplayExpr<'_> {
+        DisplayExpr {
+            pool: self,
+            root: e,
+        }
+    }
+}
+
+fn op_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Udiv => "udiv",
+        BinOp::Urem => "urem",
+        BinOp::Shl => "shl",
+        BinOp::Lshr => "lshr",
+        BinOp::Ashr => "ashr",
+        BinOp::Eq => "eq",
+        BinOp::Ult => "ult",
+        BinOp::Ule => "ule",
+        BinOp::Slt => "slt",
+        BinOp::Sle => "sle",
+        BinOp::Concat => "concat",
+    }
+}
+
+fn unop_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "not",
+        UnOp::Neg => "neg",
+        UnOp::RedOr => "redor",
+        UnOp::RedAnd => "redand",
+        UnOp::RedXor => "redxor",
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Iterative rendering with an instruction stack (mixed node /
+        // literal-text items) so deep DAGs do not overflow the call stack.
+        enum Item {
+            Node(ExprRef),
+            Text(&'static str),
+        }
+        let mut stack = vec![Item::Node(self.root)];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Text(t) => f.write_str(t)?,
+                Item::Node(e) => match *self.pool.node(e) {
+                    Node::Const(v) => write!(f, "{v}")?,
+                    Node::Var(v) => f.write_str(self.pool.var_name(v))?,
+                    Node::Unary(op, a) => {
+                        write!(f, "({} ", unop_name(op))?;
+                        stack.push(Item::Text(")"));
+                        stack.push(Item::Node(a));
+                    }
+                    Node::Binary(op, a, b) => {
+                        write!(f, "({} ", op_name(op))?;
+                        stack.push(Item::Text(")"));
+                        stack.push(Item::Node(b));
+                        stack.push(Item::Text(" "));
+                        stack.push(Item::Node(a));
+                    }
+                    Node::Ite {
+                        cond,
+                        then_,
+                        else_,
+                    } => {
+                        f.write_str("(ite ")?;
+                        stack.push(Item::Text(")"));
+                        stack.push(Item::Node(else_));
+                        stack.push(Item::Text(" "));
+                        stack.push(Item::Node(then_));
+                        stack.push(Item::Text(" "));
+                        stack.push(Item::Node(cond));
+                    }
+                    Node::Extract { hi, lo, arg } => {
+                        write!(f, "(extract {hi} {lo} ")?;
+                        stack.push(Item::Text(")"));
+                        stack.push(Item::Node(arg));
+                    }
+                    Node::Extend {
+                        signed,
+                        width,
+                        arg,
+                    } => {
+                        write!(f, "({} {width} ", if signed { "sext" } else { "zext" })?;
+                        stack.push(Item::Text(")"));
+                        stack.push(Item::Node(arg));
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ExprPool, VarKind};
+
+    #[test]
+    fn renders_sexpr() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 8, VarKind::Input);
+        let c = p.var("sel", 1, VarKind::Input);
+        let ae = p.var_expr(a);
+        let be = p.var_expr(b);
+        let ce = p.var_expr(c);
+        let sum = p.add(ae, be);
+        let pick = p.ite(ce, sum, ae);
+        let s = p.display(pick).to_string();
+        assert_eq!(s, "(ite sel (add a b) a)");
+    }
+
+    #[test]
+    fn renders_slices_and_extends() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 16, VarKind::Input);
+        let xe = p.var_expr(x);
+        let lo = p.extract(xe, 7, 0);
+        let z = p.zext(lo, 12);
+        assert_eq!(p.display(z).to_string(), "(zext 12 (extract 7 0 x))");
+        let n = p.not(xe);
+        assert_eq!(p.display(n).to_string(), "(not x)");
+    }
+}

@@ -1,0 +1,263 @@
+//! Variable substitution — the primitive the BMC unroller is built on.
+//!
+//! [`ExprPool::substitute`] rewrites an expression, replacing variables
+//! according to a map while preserving (and re-running) the pool's local
+//! simplifications. Like evaluation, it is iterative and memoized.
+
+use crate::{ExprPool, ExprRef, Node, VarId};
+use std::collections::HashMap;
+
+impl ExprPool {
+    /// Returns `root` with every variable `v` in `map` replaced by
+    /// `map[v]`; variables not in the map are left symbolic.
+    ///
+    /// Replacement expressions must have the same width as the variable
+    /// they replace. Because the result is rebuilt through the pool's
+    /// constructors, constant folding applies: substituting constants for
+    /// all variables fully evaluates the expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replacement's width differs from its variable's width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqed_expr::{ExprPool, VarKind};
+    /// use std::collections::HashMap;
+    ///
+    /// let mut p = ExprPool::new();
+    /// let x = p.var("x", 8, VarKind::State);
+    /// let xe = p.var_expr(x);
+    /// let one = p.lit(8, 1);
+    /// let next = p.add(xe, one); // x + 1
+    /// let five = p.lit(8, 5);
+    /// let map = HashMap::from([(x, five)]);
+    /// let result = p.substitute(next, &map);
+    /// assert_eq!(p.as_const(result), Some(aqed_bitvec::Bv::new(8, 6)));
+    /// ```
+    pub fn substitute(&mut self, root: ExprRef, map: &HashMap<VarId, ExprRef>) -> ExprRef {
+        let mut memo: HashMap<ExprRef, ExprRef> = HashMap::new();
+        self.substitute_memo(root, map, &mut memo)
+    }
+
+    /// Substitutes several roots under one map, sharing the rewrite memo
+    /// across them. This is what the BMC unroller calls once per frame.
+    pub fn substitute_all(
+        &mut self,
+        roots: &[ExprRef],
+        map: &HashMap<VarId, ExprRef>,
+    ) -> Vec<ExprRef> {
+        let mut memo: HashMap<ExprRef, ExprRef> = HashMap::new();
+        roots
+            .iter()
+            .map(|&r| self.substitute_memo(r, map, &mut memo))
+            .collect()
+    }
+
+    fn substitute_memo(
+        &mut self,
+        root: ExprRef,
+        map: &HashMap<VarId, ExprRef>,
+        memo: &mut HashMap<ExprRef, ExprRef>,
+    ) -> ExprRef {
+        if let Some(&r) = memo.get(&root) {
+            return r;
+        }
+        let mut stack = vec![root];
+        while let Some(&e) = stack.last() {
+            if memo.contains_key(&e) {
+                stack.pop();
+                continue;
+            }
+            let node = self.node(e).clone();
+            let mut pending = false;
+            let need = |c: ExprRef, stack: &mut Vec<ExprRef>, pending: &mut bool| {
+                if !memo.contains_key(&c) {
+                    stack.push(c);
+                    *pending = true;
+                }
+            };
+            let rebuilt = match node {
+                Node::Const(_) => Some(e),
+                Node::Var(v) => Some(match map.get(&v) {
+                    Some(&rep) => {
+                        assert!(
+                            self.width(rep) == self.var_width(v),
+                            "substitution width mismatch for variable '{}': {} vs {}",
+                            self.var_name(v),
+                            self.width(rep),
+                            self.var_width(v)
+                        );
+                        rep
+                    }
+                    None => e,
+                }),
+                Node::Unary(op, a) => {
+                    need(a, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let na = memo[&a];
+                        Some(self.unary(op, na))
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    need(a, &mut stack, &mut pending);
+                    need(b, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let na = memo[&a];
+                        let nb = memo[&b];
+                        Some(self.binary(op, na, nb))
+                    }
+                }
+                Node::Ite {
+                    cond,
+                    then_,
+                    else_,
+                } => {
+                    need(cond, &mut stack, &mut pending);
+                    need(then_, &mut stack, &mut pending);
+                    need(else_, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let nc = memo[&cond];
+                        let nt = memo[&then_];
+                        let ne = memo[&else_];
+                        Some(self.ite(nc, nt, ne))
+                    }
+                }
+                Node::Extract { hi, lo, arg } => {
+                    need(arg, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let na = memo[&arg];
+                        Some(self.extract(na, hi, lo))
+                    }
+                }
+                Node::Extend {
+                    signed,
+                    width,
+                    arg,
+                } => {
+                    need(arg, &mut stack, &mut pending);
+                    if pending {
+                        None
+                    } else {
+                        let na = memo[&arg];
+                        Some(if signed {
+                            self.sext(na, width)
+                        } else {
+                            self.zext(na, width)
+                        })
+                    }
+                }
+            };
+            if let Some(r) = rebuilt {
+                memo.insert(e, r);
+                stack.pop();
+            }
+        }
+        memo[&root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ExprPool, VarKind};
+    use aqed_bitvec::Bv;
+    use std::collections::HashMap;
+
+    #[test]
+    fn substitute_identity_without_map_entry() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let y = p.var("y", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let ye = p.var_expr(y);
+        let sum = p.add(xe, ye);
+        let c = p.lit(8, 7);
+        let map = HashMap::from([(x, c)]);
+        let r = p.substitute(sum, &map);
+        // y stays symbolic, x became 7
+        assert_eq!(p.support(r), vec![y]);
+        let v = p.eval(r, &mut |_| Bv::new(8, 3));
+        assert_eq!(v, Bv::new(8, 10));
+    }
+
+    #[test]
+    fn substitute_var_with_expr_chain() {
+        let mut p = ExprPool::new();
+        let s = p.var("s", 8, VarKind::State);
+        let i = p.var("i", 8, VarKind::Input);
+        let se = p.var_expr(s);
+        let ie = p.var_expr(i);
+        let next = p.add(se, ie); // s' = s + i
+        // Unroll 3 frames: s3 = ((s0 + i) + i) + i with i fixed symbolic
+        let mut frame = p.lit(8, 0);
+        let mut map = HashMap::new();
+        for _ in 0..3 {
+            map.insert(s, frame);
+            frame = p.substitute(next, &map);
+        }
+        let v = p.eval(frame, &mut |_| Bv::new(8, 5));
+        assert_eq!(v, Bv::new(8, 15));
+    }
+
+    #[test]
+    fn substitute_folds_constants() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 4, VarKind::Input);
+        let xe = p.var_expr(x);
+        let sq = p.mul(xe, xe);
+        let three = p.lit(4, 3);
+        let map = HashMap::from([(x, three)]);
+        let r = p.substitute(sq, &map);
+        assert_eq!(p.as_const(r), Some(Bv::new(4, 9)));
+    }
+
+    #[test]
+    fn substitute_all_consistent() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let one = p.lit(8, 1);
+        let a = p.add(xe, one);
+        let b = p.mul(a, xe);
+        let k = p.lit(8, 4);
+        let map = HashMap::from([(x, k)]);
+        let rs = p.substitute_all(&[a, b], &map);
+        assert_eq!(p.as_const(rs[0]), Some(Bv::new(8, 5)));
+        assert_eq!(p.as_const(rs[1]), Some(Bv::new(8, 20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "substitution width mismatch")]
+    fn substitute_rejects_width_mismatch() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 8, VarKind::Input);
+        let xe = p.var_expr(x);
+        let narrow = p.lit(4, 1);
+        let map = HashMap::from([(x, narrow)]);
+        let _ = p.substitute(xe, &map);
+    }
+
+    #[test]
+    fn substitute_deep_chain() {
+        let mut p = ExprPool::new();
+        let x = p.var("x", 16, VarKind::Input);
+        let mut e = p.var_expr(x);
+        let one = p.lit(16, 1);
+        for _ in 0..100_000 {
+            e = p.add(e, one);
+        }
+        let zero = p.lit(16, 0);
+        let map = HashMap::from([(x, zero)]);
+        let r = p.substitute(e, &map);
+        assert_eq!(p.as_const(r), Some(Bv::new(16, 100_000 % 65_536)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property test of the HLS-lite synthesis: for arbitrary pipeline
+//! geometry and traffic patterns, a healthy synthesized accelerator is
+//! observationally a FIFO of function applications — every captured
+//! input's result is delivered exactly once, in capture order, with no
+//! spurious outputs.
+
+use aqed_bitvec::Bv;
+use aqed_expr::ExprPool;
+use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+use aqed_tsys::Simulator;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct Cycle {
+    send: bool,
+    data: u64,
+    rdh: bool,
+}
+
+fn traffic() -> impl Strategy<Value = Vec<Cycle>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..256, prop::bool::weighted(0.6)),
+        10..120,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(send, data, rdh)| Cycle { send, data, rdh })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesized_design_is_an_ordered_function_fifo(
+        traffic in traffic(),
+        latency in 1usize..5,
+        ii in 1usize..3,
+        depth in 1usize..4,
+    ) {
+        let f = |d: u64| (d.wrapping_mul(3) ^ 0x2A) & 0xFF;
+        let mut pool = ExprPool::new();
+        let spec = AccelSpec::new("prop_hls", 2, 8, 8)
+            .with_latency(latency)
+            .with_initiation_interval(ii)
+            .with_fifo_depth(depth);
+        let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |p, _a, d| {
+            let three = p.lit(8, 3);
+            let mask = p.lit(8, 0x2A);
+            let m = p.mul(d, three);
+            p.xor(m, mask)
+        });
+        lca.ts.validate(&pool).expect("valid");
+        let mut sim = Simulator::new(&lca.ts, &pool);
+        let mut expected: VecDeque<u64> = VecDeque::new();
+        let mut captured_count = 0u64;
+        let mut delivered_count = 0u64;
+        for c in &traffic {
+            let inputs = [
+                (lca.action, Bv::new(2, u64::from(c.send))),
+                (lca.data, Bv::new(8, c.data)),
+                (lca.rdh, Bv::from_bool(c.rdh)),
+            ];
+            let cap = sim.peek(&pool, lca.captured, &inputs).is_true();
+            let del = sim.peek(&pool, lca.delivered, &inputs).is_true();
+            let out = sim.peek(&pool, lca.out, &inputs).to_u64();
+            sim.step_with(&lca.ts, &pool, &inputs);
+            if cap {
+                prop_assert!(c.send, "capture only when an op was offered");
+                expected.push_back(f(c.data));
+                captured_count += 1;
+            }
+            if del {
+                let want = expected.pop_front();
+                prop_assert_eq!(Some(out), want, "in-order delivery");
+                delivered_count += 1;
+            }
+        }
+        // Drain: everything captured must eventually come out.
+        for _ in 0..(traffic.len() + latency * 4 + 16) {
+            let inputs = [
+                (lca.action, Bv::new(2, 0)),
+                (lca.data, Bv::new(8, 0)),
+                (lca.rdh, Bv::from_bool(true)),
+            ];
+            let del = sim.peek(&pool, lca.delivered, &inputs).is_true();
+            let out = sim.peek(&pool, lca.out, &inputs).to_u64();
+            sim.step_with(&lca.ts, &pool, &inputs);
+            if del {
+                let want = expected.pop_front();
+                prop_assert_eq!(Some(out), want, "in-order delivery during drain");
+                delivered_count += 1;
+            }
+        }
+        prop_assert!(expected.is_empty(), "no output lost (RB in concrete form)");
+        prop_assert_eq!(captured_count, delivered_count);
+    }
+
+    #[test]
+    fn initiation_interval_limits_throughput(
+        ii in 1usize..5,
+        cycles in 20usize..60,
+    ) {
+        let mut pool = ExprPool::new();
+        let spec = AccelSpec::new("ii_prop", 2, 8, 8)
+            .with_initiation_interval(ii)
+            .with_fifo_depth(4);
+        let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |_p, _a, d| d);
+        let mut sim = Simulator::new(&lca.ts, &pool);
+        let mut captures = 0usize;
+        for _ in 0..cycles {
+            let inputs = [
+                (lca.action, Bv::new(2, 1)),
+                (lca.data, Bv::new(8, 7)),
+                (lca.rdh, Bv::from_bool(true)),
+            ];
+            let cap = sim.peek(&pool, lca.captured, &inputs).is_true();
+            sim.step_with(&lca.ts, &pool, &inputs);
+            captures += usize::from(cap);
+        }
+        prop_assert!(captures <= cycles / ii + 1, "II must throttle: {captures} in {cycles}");
+    }
+}

@@ -1,0 +1,120 @@
+//! A minimal DIMACS CNF parser, used by the test suite and the SAT
+//! benchmark harness to load textual instances.
+
+use crate::{Lit, Solver, Var};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text, adding its variables and clauses to `solver`.
+///
+/// Returns the variables created (index 0 is DIMACS variable 1). The
+/// `p cnf` header is optional; comment lines (`c …`) are skipped. Clauses
+/// may span lines and are terminated by `0`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed tokens or literals that
+/// reference variable 0.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_sat::{parse_dimacs, SolveResult, Solver};
+///
+/// # fn main() -> Result<(), aqed_sat::ParseDimacsError> {
+/// let mut s = Solver::new();
+/// let vars = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n", &mut s)?;
+/// assert_eq!(vars.len(), 2);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs(text: &str, solver: &mut Solver) -> Result<Vec<Var>, ParseDimacsError> {
+    let mut vars: Vec<Var> = Vec::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_ascii_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno + 1,
+                message: format!("invalid literal token '{tok}'"),
+            })?;
+            if n == 0 {
+                solver.add_clause(clause.drain(..));
+                continue;
+            }
+            let idx = usize::try_from(n.unsigned_abs()).expect("fits") - 1;
+            while vars.len() <= idx {
+                vars.push(solver.new_var());
+            }
+            clause.push(vars[idx].lit(n > 0));
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(clause.drain(..));
+    }
+    Ok(vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_simple_instance() {
+        let mut s = Solver::new();
+        let vars = parse_dimacs("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n", &mut s)
+            .expect("parses");
+        assert_eq!(vars.len(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(vars[2]), Some(false));
+        assert_eq!(s.model_value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let mut s = Solver::new();
+        parse_dimacs("1 2\n3 0", &mut s).expect("parses");
+        assert_eq!(s.num_clauses(), 1);
+    }
+
+    #[test]
+    fn trailing_clause_without_zero() {
+        let mut s = Solver::new();
+        parse_dimacs("1 -2", &mut s).expect("parses");
+        assert_eq!(s.num_clauses(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut s = Solver::new();
+        let err = parse_dimacs("1 x 0", &mut s).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let mut s = Solver::new();
+        parse_dimacs("1 0\n-1 0\n", &mut s).expect("parses");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,220 @@
+//! Indexed binary max-heap ordered by variable activity, used for VSIDS
+//! decision selection.
+//!
+//! The heap stores variable indices and supports `decrease`-free
+//! *increase-key* (activity only ever grows between rescales) plus removal
+//! of the maximum and arbitrary re-insertion, all `O(log n)`.
+
+/// Max-heap over `usize` keys ordered by an external activity array.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ActivityHeap {
+    /// Heap array of variable indices.
+    heap: Vec<usize>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl ActivityHeap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the position table to cover variable `n - 1`.
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: usize) -> bool {
+        self.pos.get(v).copied().unwrap_or(ABSENT) != ABSENT
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `v` (no-op if already present).
+    pub(crate) fn insert(&mut self, v: usize, activity: &[f64]) {
+        self.grow(v + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        self.pos[v] = self.heap.len() - 1;
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order around `v` after its activity increased.
+    pub(crate) fn update(&mut self, v: usize, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap after a global activity rescale (order is
+    /// preserved by uniform scaling, so this is only needed if relative
+    /// order could have changed; kept for robustness).
+    pub(crate) fn rebuild(&mut self, activity: &[f64]) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.heap[parent];
+            if activity[pv] >= activity[v] {
+                break;
+            }
+            self.heap[i] = pv;
+            self.pos[pv] = i;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v] = i;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n && activity[self.heap[right]] > activity[self.heap[left]] {
+                right
+            } else {
+                left
+            };
+            let cv = self.heap[child];
+            if activity[v] >= activity[cv] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.pos[cv] = i;
+            i = child;
+        }
+        self.heap[i] = v;
+        self.pos[v] = i;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                activity[self.heap[parent]] >= activity[self.heap[i]],
+                "heap property violated at {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v], i, "position table out of sync");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        let mut h = ActivityHeap::new();
+        for v in 0..activity.len() {
+            h.insert(v, &activity);
+            h.check_invariants(&activity);
+        }
+        assert_eq!(h.len(), 6);
+        let mut order = Vec::new();
+        while let Some(v) = h.pop_max(&activity) {
+            order.push(v);
+            h.check_invariants(&activity);
+        }
+        assert_eq!(order, vec![4, 2, 0, 5, 3, 1]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn double_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &activity);
+        h.insert(0, &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..3 {
+            h.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        h.update(0, &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![5.0, 1.0];
+        let mut h = ActivityHeap::new();
+        h.insert(0, &activity);
+        h.insert(1, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert!(!h.contains(0));
+        assert!(h.contains(1));
+        h.insert(0, &activity);
+        assert_eq!(h.pop_max(&activity), Some(0));
+        assert_eq!(h.pop_max(&activity), Some(1));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn rebuild_keeps_validity() {
+        let mut activity = vec![1.0, 5.0, 3.0, 2.0];
+        let mut h = ActivityHeap::new();
+        for v in 0..4 {
+            h.insert(v, &activity);
+        }
+        for a in activity.iter_mut() {
+            *a *= 1e-100;
+        }
+        h.rebuild(&activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(1));
+    }
+}

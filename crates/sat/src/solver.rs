@@ -1,0 +1,987 @@
+//! The CDCL search engine.
+
+use crate::heap::ActivityHeap;
+use crate::{ClauseRef, LBool, Lit, Var};
+use std::fmt;
+
+const VAR_RESCALE_LIMIT: f64 = 1e100;
+const VAR_RESCALE_FACTOR: f64 = 1e-100;
+const CLA_RESCALE_LIMIT: f64 = 1e20;
+const CLA_RESCALE_FACTOR: f64 = 1e-20;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Cumulative solver statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learnts: u64,
+    /// Number of learned clauses deleted by database reduction.
+    pub deleted: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnts,
+            self.deleted
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    removed: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Incremental CDCL SAT solver.
+///
+/// See the [crate-level documentation](crate) for the feature list and a
+/// usage example. A single instance can be reused across many
+/// [`Solver::solve_with`] calls with different assumptions; clauses may be
+/// added between calls (the intended BMC workflow).
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    free_slots: Vec<usize>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    var_decay: f64,
+    heap: ActivityHeap,
+    phase: Vec<bool>,
+    cla_inc: f64,
+    cla_decay: f64,
+    ok: bool,
+    model: Vec<bool>,
+    has_model: bool,
+    seen: Vec<bool>,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+    restarts_enabled: bool,
+    decision_heuristic: bool,
+    stats: SolverStats,
+    num_learnts: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            free_slots: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            var_decay: 0.95,
+            heap: ActivityHeap::new(),
+            phase: Vec::new(),
+            cla_inc: 1.0,
+            cla_decay: 0.999,
+            ok: true,
+            model: Vec::new(),
+            has_model: false,
+            seen: Vec::new(),
+            max_learnts: 0.0,
+            conflict_budget: None,
+            restarts_enabled: true,
+            decision_heuristic: true,
+            stats: SolverStats::default(),
+            num_learnts: 0,
+        }
+    }
+
+    /// Number of variables created so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses currently in the database (original + learned,
+    /// excluding deleted).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len() - self.free_slots.len()
+    }
+
+    /// Cumulative search statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next [`Solver::solve`]/[`Solver::solve_with`] call to at
+    /// most `budget` conflicts; `None` removes the limit. When the budget
+    /// is exhausted the call returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Enables or disables Luby restarts (ablation hook; enabled by
+    /// default).
+    pub fn set_restarts_enabled(&mut self, enabled: bool) {
+        self.restarts_enabled = enabled;
+    }
+
+    /// Enables or disables the VSIDS decision heuristic (ablation hook;
+    /// enabled by default). When disabled, decisions pick the lowest
+    /// unassigned variable index.
+    pub fn set_decision_heuristic(&mut self, enabled: bool) {
+        self.decision_heuristic = enabled;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(u32::try_from(self.assigns.len()).expect("too many variables"));
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.model.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Creates `n` fresh variables and returns them in order.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause. Returns `false` if the solver is now known
+    /// unsatisfiable at the top level (the clause or its unit consequences
+    /// contradict previously added clauses).
+    ///
+    /// Duplicate literals are removed, tautologies are ignored, and
+    /// literals already false at level 0 are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level 0
+    /// (i.e. from inside a search callback — not possible through the
+    /// public API) or if a literal's variable was not created by this
+    /// solver.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        for &l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} uses an unknown variable"
+            );
+        }
+        ls.sort_unstable();
+        ls.dedup();
+        // Tautology / level-0 simplification.
+        let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // l ∨ ¬l: tautology
+            }
+            match self.value_lit(l) {
+                LBool::True if self.level[l.var().index()] == 0 => return true,
+                LBool::False if self.level[l.var().index()] == 0 => {}
+                _ => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.alloc_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let clause = Clause {
+            lits,
+            learnt,
+            removed: false,
+            activity: 0.0,
+        };
+        let cref = if let Some(slot) = self.free_slots.pop() {
+            self.clauses[slot] = clause;
+            ClauseRef::new(slot)
+        } else {
+            self.clauses.push(clause);
+            ClauseRef::new(self.clauses.len() - 1)
+        };
+        self.attach(cref);
+        if learnt {
+            self.num_learnts += 1;
+            self.stats.learnts = self.num_learnts;
+        }
+        cref
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = &self.clauses[cref.index()];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).index()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).index()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = &self.clauses[cref.index()];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            'watchers: while i < self.watches[p.index()].len() {
+                let Watcher { cref, blocker } = self.watches[p.index()][i];
+                // Fast path: blocker already true.
+                if self.value_lit(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                // Normalize: ensure false_lit is at position 1.
+                {
+                    let c = &mut self.clauses[cref.index()];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref.index()].lits[0];
+                if first != blocker && self.value_lit(first) == LBool::True {
+                    // Clause satisfied; update blocker.
+                    self.watches[p.index()][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref.index()].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref.index()].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[cref.index()].lits.swap(1, k);
+                        self.watches[p.index()].swap_remove(i);
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > VAR_RESCALE_LIMIT {
+            for a in self.activity.iter_mut() {
+                *a *= VAR_RESCALE_FACTOR;
+            }
+            self.var_inc *= VAR_RESCALE_FACTOR;
+            self.heap.rebuild(&self.activity);
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.var_decay;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > CLA_RESCALE_LIMIT {
+            for cl in self.clauses.iter_mut() {
+                if cl.learnt {
+                    cl.activity *= CLA_RESCALE_FACTOR;
+                }
+            }
+            self.cla_inc *= CLA_RESCALE_FACTOR;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= self.cla_decay;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+
+        loop {
+            self.bump_clause(cref);
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[cref.index()].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            cref = self.reason[v].expect("non-decision literal has a reason");
+            p = Some(lit);
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.literal_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find backjump level: the max level among non-asserting literals.
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, bt)
+    }
+
+    /// Local redundancy check: a literal is redundant if it has a reason
+    /// clause all of whose other literals are already in the learned
+    /// clause (seen) or assigned at level 0.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let v = l.var().index();
+        let Some(r) = self.reason[v] else {
+            return false;
+        };
+        self.clauses[r.index()].lits.iter().all(|&q| {
+            q.var() == l.var()
+                || self.seen[q.var().index()]
+                || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.assigns[v] = LBool::Undef;
+            self.phase[v] = l.is_positive();
+            self.reason[v] = None;
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        if self.decision_heuristic {
+            while let Some(v) = self.heap.pop_max(&self.activity) {
+                if self.assigns[v] == LBool::Undef {
+                    return Some(Var(v as u32));
+                }
+            }
+            None
+        } else {
+            (0..self.num_vars())
+                .find(|&v| self.assigns[v] == LBool::Undef)
+                .map(|v| Var(v as u32))
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt clause refs sorted by activity (ascending).
+        let mut learnts: Vec<(f64, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.removed && c.lits.len() > 2)
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        learnts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut locked = vec![false; self.clauses.len()];
+        for r in self.reason.iter().flatten() {
+            locked[r.index()] = true;
+        }
+        let target = learnts.len() / 2;
+        let mut removed = 0usize;
+        for &(_, idx) in learnts.iter().take(target) {
+            let cref = ClauseRef::new(idx);
+            if locked[idx] {
+                continue;
+            }
+            self.detach(cref);
+            self.clauses[idx].removed = true;
+            self.clauses[idx].lits.clear();
+            self.free_slots.push(idx);
+            removed += 1;
+        }
+        self.num_learnts -= removed as u64;
+        self.stats.deleted += removed as u64;
+        self.stats.learnts = self.num_learnts;
+    }
+
+    /// Solves the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves the current formula under the given assumption literals.
+    ///
+    /// Assumptions are enforced as pseudo-decisions: a result of
+    /// [`SolveResult::Unsat`] means the formula is unsatisfiable *under
+    /// these assumptions* (the formula itself may still be satisfiable).
+    /// The solver always returns at decision level 0, ready for more
+    /// clauses or another call.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.has_model = false;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption {a} uses an unknown variable"
+            );
+        }
+        // Track the growing clause database (incremental BMC keeps adding
+        // frames): the learnt budget must scale with it or the solver
+        // thrashes in back-to-back reductions.
+        self.max_learnts = self
+            .max_learnts
+            .max((self.num_clauses() as f64 / 3.0).max(100.0));
+        let budget_start = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let result = loop {
+            let conflicts_allowed = if self.restarts_enabled {
+                100 * luby(2.0, restart_count) as u64
+            } else {
+                u64::MAX
+            };
+            match self.search(conflicts_allowed, assumptions, budget_start) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+                SearchOutcome::Restart => {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        };
+        if result == SolveResult::Sat {
+            for v in 0..self.num_vars() {
+                self.model[v] = self.assigns[v] == LBool::True;
+            }
+            self.has_model = true;
+        }
+        self.backtrack_to(0);
+        result
+    }
+
+    fn search(
+        &mut self,
+        conflicts_allowed: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(conflict);
+                self.backtrack_to(bt_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.alloc_clause(learnt.clone(), true);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        self.backtrack_to(0);
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+            } else {
+                if conflicts_here >= conflicts_allowed {
+                    self.backtrack_to(0);
+                    return SearchOutcome::Restart;
+                }
+                if self.num_learnts as f64 > self.max_learnts + self.trail.len() as f64 {
+                    self.reduce_db();
+                    self.max_learnts *= 1.1;
+                }
+                // Re-assert assumptions as pseudo-decisions.
+                let mut next_decision: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // Already implied; open an empty decision level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Conflicts with current forced assignment.
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            next_decision = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next_decision {
+                    Some(a) => a,
+                    None => match self.pick_branch_var() {
+                        Some(v) => v.lit(self.phase[v.index()]),
+                        None => return SearchOutcome::Sat,
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, None);
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying assignment, or
+    /// `None` if the last solve did not return [`SolveResult::Sat`].
+    #[must_use]
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        if self.has_model {
+            Some(self.model[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// The value of literal `l` in the most recent satisfying assignment.
+    #[must_use]
+    pub fn model_lit(&self, l: Lit) -> Option<bool> {
+        self.model_value(l.var())
+            .map(|b| b == l.is_positive())
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
+fn luby(y: f64, mut x: u64) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        s.new_vars(n)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause([v[0].pos()]));
+        assert!(s.add_clause([v[1].neg()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[1]), Some(false));
+        assert_eq!(s.model_lit(v[1].neg()), Some(true));
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause([v[0].pos()]));
+        assert!(!s.add_clause([v[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause([v[0].pos(), v[0].neg()]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_clause([v[0].pos(), v[0].pos(), v[1].pos()]));
+        assert!(s.add_clause([v[0].neg()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 ∧ (x_i → x_{i+1}) forces all true.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 20);
+        assert!(s.add_clause([v[0].pos()]));
+        for i in 0..19 {
+            assert!(s.add_clause([v[i].neg(), v[i + 1].pos()]));
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for x in &v {
+            assert_eq!(s.model_value(*x), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_constraints_unsat() {
+        // a ⊕ b, b ⊕ c, a ⊕ c is UNSAT (odd cycle).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let xor = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause([a.pos(), b.pos()]);
+            s.add_clause([a.neg(), b.neg()]);
+        };
+        xor(&mut s, v[0], v[1]);
+        xor(&mut s, v[1], v[2]);
+        xor(&mut s, v[0], v[2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        // PHP(4,3): 4 pigeons in 3 holes — classically hard for resolution
+        // at large sizes, easy at this size, and a good conflict-analysis
+        // exerciser.
+        let (pigeons, holes) = (4usize, 3usize);
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var(0); holes]; pigeons];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn php_5_4_unsat() {
+        let (pigeons, holes) = (5usize, 4usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_basic() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0].neg(), v[1].pos()]); // a → b
+        assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+        assert_eq!(s.solve_with(&[v[0].pos(), v[1].neg()]), SolveResult::Unsat);
+        // Solver remains usable and the formula itself is still SAT.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_conflicting_pair() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert_eq!(s.solve_with(&[v[0].pos(), v[0].neg()]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_adding_between_solves() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([v[0].pos(), v[1].pos(), v[2].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([v[0].neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([v[1].neg()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+        s.add_clause([v[2].neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Once globally UNSAT, stays UNSAT.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A PHP instance large enough to need > 1 conflict.
+        let (pigeons, holes) = (6usize, 5usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for h in 0..holes {
+            for i in 0..pigeons {
+                for j in (i + 1)..pigeons {
+                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn ablation_switches_do_not_change_answers() {
+        for (restarts, heuristic) in [(true, false), (false, true), (false, false)] {
+            let mut s = Solver::new();
+            s.set_restarts_enabled(restarts);
+            s.set_decision_heuristic(heuristic);
+            let p: Vec<Vec<Var>> = (0..4).map(|_| s.new_vars(3)).collect();
+            for row in &p {
+                s.add_clause(row.iter().map(|v| v.pos()));
+            }
+            for h in 0..3 {
+                for i in 0..4 {
+                    for j in (i + 1)..4 {
+                        s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<f64> = (0..9).map(|i| luby(2.0, i)).collect();
+        assert_eq!(got, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = Solver::new();
+        let text = s.stats().to_string();
+        assert!(text.contains("decisions=0"));
+        assert!(text.contains("conflicts=0"));
+    }
+}

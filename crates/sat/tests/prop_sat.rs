@@ -1,0 +1,138 @@
+//! Randomized cross-validation of the CDCL solver against brute force on
+//! small formulas, plus model checking on satisfiable instances.
+
+use aqed_sat::{SolveResult, Solver, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force satisfiability over `n <= 16` variables.
+fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
+    'outer: for m in 0u32..(1 << n) {
+        for c in clauses {
+            let sat = c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                let val = (m >> v) & 1 == 1;
+                if l > 0 { val } else { !val }
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn run_solver(n: usize, clauses: &[Vec<i32>]) -> (SolveResult, Vec<bool>, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(n);
+    for c in clauses {
+        s.add_clause(c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)));
+    }
+    let r = s.solve();
+    let model = vars
+        .iter()
+        .map(|&v| s.model_value(v).unwrap_or(false))
+        .collect();
+    (r, model, vars)
+}
+
+fn model_satisfies(clauses: &[Vec<i32>], model: &[bool]) -> bool {
+    clauses.iter().all(|c| {
+        c.iter().any(|&l| {
+            let val = model[(l.unsigned_abs() - 1) as usize];
+            if l > 0 { val } else { !val }
+        })
+    })
+}
+
+fn clause_strategy(n: usize) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec((1..=n as i32, any::<bool>()), 1..=4)
+        .prop_map(|lits| lits.into_iter().map(|(v, s)| if s { v } else { -v }).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn agrees_with_brute_force(
+        n in 2usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..30),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let expect = brute_force_sat(n, &clauses);
+        let (got, model, _) = run_solver(n, &clauses);
+        prop_assert_eq!(got, if expect { SolveResult::Sat } else { SolveResult::Unsat });
+        if got == SolveResult::Sat {
+            prop_assert!(model_satisfies(&clauses, &model), "model must satisfy all clauses");
+        }
+    }
+}
+
+#[test]
+fn random_3sat_near_threshold() {
+    // 60 variables at clause ratio ~4.2: exercises restarts/learning; the
+    // model (when SAT) must check out.
+    let mut rng = StdRng::seed_from_u64(0xA9ED);
+    for round in 0..20 {
+        let n = 60;
+        let m = 252;
+        let mut clauses = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut c = Vec::with_capacity(3);
+            while c.len() < 3 {
+                let v = rng.gen_range(1..=n as i32);
+                if !c.contains(&v) && !c.contains(&-v) {
+                    c.push(if rng.gen() { v } else { -v });
+                }
+            }
+            clauses.push(c);
+        }
+        let (r, model, _) = run_solver(n, &clauses);
+        match r {
+            SolveResult::Sat => assert!(model_satisfies(&clauses, &model), "round {round}"),
+            SolveResult::Unsat => {}
+            SolveResult::Unknown => panic!("no budget set"),
+        }
+    }
+}
+
+#[test]
+fn incremental_assumption_sweep_matches_oneshot() {
+    // Solve the same formula under each single-literal assumption both
+    // incrementally (one solver) and from scratch; answers must match.
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 12;
+    let m = 40;
+    let mut clauses = Vec::new();
+    for _ in 0..m {
+        let mut c = Vec::new();
+        while c.len() < 3 {
+            let v = rng.gen_range(1..=n as i32);
+            if !c.contains(&v) && !c.contains(&-v) {
+                c.push(if rng.gen() { v } else { -v });
+            }
+        }
+        clauses.push(c);
+    }
+    let mut inc = Solver::new();
+    let vars = inc.new_vars(n);
+    for c in &clauses {
+        inc.add_clause(c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)));
+    }
+    for i in 0..n {
+        for polarity in [true, false] {
+            let inc_result = inc.solve_with(&[vars[i].lit(polarity)]);
+            // From scratch with the assumption as a unit clause.
+            let mut fresh_clauses = clauses.clone();
+            fresh_clauses.push(vec![if polarity { (i + 1) as i32 } else { -((i + 1) as i32) }]);
+            let (fresh_result, _, _) = run_solver(n, &fresh_clauses);
+            assert_eq!(inc_result, fresh_result, "var {i} polarity {polarity}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Small memories modelled as banks of registers.
+//!
+//! The expression IR deliberately has no array theory: a memory of `N`
+//! words is `N` registers with a mux-tree read port and a demux write
+//! port. This keeps bit-blasting simple and is faithful to how small
+//! accelerator-local SRAMs and FIFOs are synthesized.
+
+use crate::TransitionSystem;
+use aqed_expr::{ExprPool, ExprRef, VarId};
+
+/// A register-bank memory attached to a [`TransitionSystem`].
+///
+/// Create with [`Mem::new`], read combinationally with [`Mem::read`], and
+/// derive the registers' next-state expressions for a synchronous write
+/// port with [`Mem::write_port`].
+///
+/// # Examples
+///
+/// ```
+/// use aqed_tsys::{Mem, Simulator, TransitionSystem};
+/// use aqed_expr::ExprPool;
+/// use aqed_bitvec::Bv;
+///
+/// let mut p = ExprPool::new();
+/// let mut ts = TransitionSystem::new("ram");
+/// let we = ts.add_input(&mut p, "we", 1);
+/// let addr = ts.add_input(&mut p, "addr", 2);
+/// let data = ts.add_input(&mut p, "data", 8);
+/// let mem = Mem::new(&mut ts, &mut p, "m", 4, 8);
+/// let addr_e = p.var_expr(addr);
+/// let data_e = p.var_expr(data);
+/// let we_e = p.var_expr(we);
+/// mem.write_port(&mut ts, &mut p, we_e, addr_e, data_e);
+/// let rdata = mem.read(&mut p, addr_e);
+/// ts.add_output("rdata", rdata);
+/// ts.validate(&p).expect("well-formed");
+///
+/// let mut sim = Simulator::new(&ts, &p);
+/// // Write 0xAB to address 2, then read it back.
+/// sim.step_with(&ts, &p, &[(we, Bv::from_bool(true)), (addr, Bv::new(2, 2)), (data, Bv::new(8, 0xAB))]);
+/// let r = sim.step_with(&ts, &p, &[(we, Bv::from_bool(false)), (addr, Bv::new(2, 2)), (data, Bv::new(8, 0))]);
+/// assert_eq!(r.output("rdata"), Some(Bv::new(8, 0xAB)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mem {
+    words: Vec<VarId>,
+    addr_width: u32,
+    data_width: u32,
+}
+
+impl Mem {
+    /// Creates a memory of `depth` words of `width` bits, all initialised
+    /// to zero, registering one state variable per word on `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or does not fit a 16-bit address.
+    #[must_use]
+    pub fn new(
+        ts: &mut TransitionSystem,
+        pool: &mut ExprPool,
+        name: &str,
+        depth: usize,
+        width: u32,
+    ) -> Self {
+        assert!(depth >= 1 && depth <= 1 << 16, "unsupported memory depth {depth}");
+        let words: Vec<VarId> = (0..depth)
+            .map(|i| ts.add_register(pool, format!("{name}[{i}]"), width, 0))
+            .collect();
+        // Address width: enough bits to index every word (min 1).
+        let addr_width = (usize::BITS - (depth - 1).leading_zeros()).max(1);
+        Mem {
+            words,
+            addr_width,
+            data_width: width,
+        }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn data_width(&self) -> u32 {
+        self.data_width
+    }
+
+    /// Minimum address width in bits.
+    #[must_use]
+    pub fn addr_width(&self) -> u32 {
+        self.addr_width
+    }
+
+    /// The state variable backing word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn word(&self, i: usize) -> VarId {
+        self.words[i]
+    }
+
+    /// Combinational read port: the value at `addr` (out-of-range
+    /// addresses read zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is narrower than [`Mem::addr_width`].
+    #[must_use]
+    pub fn read(&self, pool: &mut ExprPool, addr: ExprRef) -> ExprRef {
+        assert!(
+            pool.width(addr) >= self.addr_width,
+            "address width {} too narrow for depth {}",
+            pool.width(addr),
+            self.depth()
+        );
+        let options: Vec<ExprRef> = self.words.iter().map(|&w| pool.var_expr(w)).collect();
+        let default = pool.lit(self.data_width, 0);
+        pool.select(addr, &options, default)
+    }
+
+    /// Synchronous write port: sets each word's next-state expression to
+    /// `we && addr == i ? data : word[i]`. Call at most once per memory;
+    /// for multiple write ports build the next expressions manually from
+    /// [`Mem::word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn write_port(
+        &self,
+        ts: &mut TransitionSystem,
+        pool: &mut ExprPool,
+        we: ExprRef,
+        addr: ExprRef,
+        data: ExprRef,
+    ) {
+        assert_eq!(pool.width(we), 1, "write enable must be 1 bit");
+        assert_eq!(
+            pool.width(data),
+            self.data_width,
+            "write data width mismatch"
+        );
+        let aw = pool.width(addr);
+        for (i, &w) in self.words.iter().enumerate() {
+            let idx = pool.lit(aw, i as u64);
+            let hit = pool.eq(addr, idx);
+            let sel = pool.and(we, hit);
+            let cur = pool.var_expr(w);
+            let next = pool.ite(sel, data, cur);
+            ts.set_next(w, next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use aqed_bitvec::Bv;
+
+    fn ram(depth: usize, width: u32) -> (ExprPool, TransitionSystem, Mem, [VarId; 3]) {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("ram");
+        let we = ts.add_input(&mut p, "we", 1);
+        let addr = ts.add_input(&mut p, "addr", 4);
+        let data = ts.add_input(&mut p, "data", width);
+        let mem = Mem::new(&mut ts, &mut p, "m", depth, width);
+        let addr_e = p.var_expr(addr);
+        let data_e = p.var_expr(data);
+        let we_e = p.var_expr(we);
+        mem.write_port(&mut ts, &mut p, we_e, addr_e, data_e);
+        let rdata = mem.read(&mut p, addr_e);
+        ts.add_output("rdata", rdata);
+        ts.validate(&p).expect("well-formed");
+        (p, ts, mem, [we, addr, data])
+    }
+
+    #[test]
+    fn write_then_read_every_cell() {
+        let (p, ts, _mem, [we, addr, data]) = ram(8, 8);
+        let mut sim = Simulator::new(&ts, &p);
+        for i in 0..8u64 {
+            sim.step_with(
+                &ts,
+                &p,
+                &[
+                    (we, Bv::from_bool(true)),
+                    (addr, Bv::new(4, i)),
+                    (data, Bv::new(8, 0x10 + i)),
+                ],
+            );
+        }
+        for i in 0..8u64 {
+            let r = sim.step_with(
+                &ts,
+                &p,
+                &[
+                    (we, Bv::from_bool(false)),
+                    (addr, Bv::new(4, i)),
+                    (data, Bv::new(8, 0)),
+                ],
+            );
+            assert_eq!(r.output("rdata"), Some(Bv::new(8, 0x10 + i)), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn read_during_write_returns_old_value() {
+        let (p, ts, _mem, [we, addr, data]) = ram(4, 8);
+        let mut sim = Simulator::new(&ts, &p);
+        let r = sim.step_with(
+            &ts,
+            &p,
+            &[
+                (we, Bv::from_bool(true)),
+                (addr, Bv::new(4, 1)),
+                (data, Bv::new(8, 0x7F)),
+            ],
+        );
+        // Synchronous RAM: the read sees the pre-write contents.
+        assert_eq!(r.output("rdata"), Some(Bv::new(8, 0)));
+    }
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let (p, ts, _mem, [we, addr, data]) = ram(3, 8);
+        let mut sim = Simulator::new(&ts, &p);
+        let r = sim.step_with(
+            &ts,
+            &p,
+            &[
+                (we, Bv::from_bool(false)),
+                (addr, Bv::new(4, 7)),
+                (data, Bv::new(8, 0)),
+            ],
+        );
+        assert_eq!(r.output("rdata"), Some(Bv::new(8, 0)));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let (_, _, mem, _) = ram(5, 12);
+        assert_eq!(mem.depth(), 5);
+        assert_eq!(mem.data_width(), 12);
+        assert_eq!(mem.addr_width(), 3);
+    }
+
+    #[test]
+    fn depth_one_memory() {
+        let (p, ts, mem, [we, addr, data]) = ram(1, 8);
+        assert_eq!(mem.addr_width(), 1);
+        let mut sim = Simulator::new(&ts, &p);
+        sim.step_with(
+            &ts,
+            &p,
+            &[
+                (we, Bv::from_bool(true)),
+                (addr, Bv::new(4, 0)),
+                (data, Bv::new(8, 0x42)),
+            ],
+        );
+        assert_eq!(sim.state(mem.word(0)), Bv::new(8, 0x42));
+    }
+}

@@ -1,0 +1,340 @@
+//! Concrete cycle-accurate simulation of transition systems.
+
+use crate::{Trace, TransitionSystem};
+use aqed_bitvec::Bv;
+use aqed_expr::{ExprPool, ExprRef, VarId};
+use std::collections::HashMap;
+
+/// Everything observed in one simulated cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Cycle number (0-based).
+    pub cycle: usize,
+    /// Values of the named outputs, in declaration order.
+    pub outputs: Vec<(String, Bv)>,
+    /// Indices (into [`TransitionSystem::bads`]) of properties violated
+    /// this cycle.
+    pub violated_bads: Vec<usize>,
+    /// Whether all environment constraints held this cycle. Cycles that
+    /// break constraints are outside the verified input space; the
+    /// simulator reports rather than forbids them.
+    pub constraints_ok: bool,
+}
+
+impl StepRecord {
+    /// Looks up an output value by name.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<Bv> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Cycle-accurate interpreter for a [`TransitionSystem`].
+///
+/// Registers with no init expression start at zero (use
+/// [`Simulator::with_state`] to model arbitrary power-on values).
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    state: HashMap<VarId, Bv>,
+    cycle: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator positioned at cycle 0 in the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an init expression references an input variable.
+    #[must_use]
+    pub fn new(ts: &TransitionSystem, pool: &ExprPool) -> Self {
+        let mut state = HashMap::new();
+        // Two passes: inits may reference other states' initial values.
+        for s in ts.states() {
+            if s.init.is_none() {
+                state.insert(s.var, Bv::zero(pool.var_width(s.var)));
+            }
+        }
+        // Constant-ish inits first, then expression inits reading them.
+        let mut pending: Vec<(VarId, ExprRef)> =
+            ts.states().iter().filter_map(|s| s.init.map(|i| (s.var, i))).collect();
+        // Resolve in dependency-friendly order: repeat until fixpoint.
+        let mut progress = true;
+        while progress && !pending.is_empty() {
+            progress = false;
+            pending.retain(|&(var, init)| {
+                let deps = pool.support(init);
+                if deps.iter().all(|d| state.contains_key(d)) {
+                    let v = pool.eval(init, &mut |d| state[&d]);
+                    state.insert(var, v);
+                    progress = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        assert!(
+            pending.is_empty(),
+            "cyclic or input-dependent init expressions in '{}'",
+            ts.name()
+        );
+        Simulator { state, cycle: 0 }
+    }
+
+    /// Creates a simulator with explicit initial values overriding (or
+    /// complementing) the declared inits — used to replay BMC
+    /// counterexamples whose uninitialised registers got concrete values.
+    #[must_use]
+    pub fn with_state(
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        overrides: &HashMap<VarId, Bv>,
+    ) -> Self {
+        let mut sim = Self::new(ts, pool);
+        for (&v, &val) in overrides {
+            assert!(ts.is_state(v), "override for non-state variable");
+            sim.state.insert(v, val);
+        }
+        sim
+    }
+
+    /// The current cycle number (number of [`Simulator::step`] calls so
+    /// far).
+    #[must_use]
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The current value of state variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a state of the simulated system.
+    #[must_use]
+    pub fn state(&self, v: VarId) -> Bv {
+        self.state[&v]
+    }
+
+    /// Evaluates an arbitrary expression against the current state and the
+    /// given input values (useful for peeking at internal signals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references an input not present in
+    /// `inputs`.
+    #[must_use]
+    pub fn peek(&self, pool: &ExprPool, e: ExprRef, inputs: &[(VarId, Bv)]) -> Bv {
+        let imap: HashMap<VarId, Bv> = inputs.iter().copied().collect();
+        pool.eval(e, &mut |v| {
+            self.state.get(&v).copied().unwrap_or_else(|| {
+                *imap
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("no value for variable '{}'", pool.var_name(v)))
+            })
+        })
+    }
+
+    /// Advances one clock cycle against `ts` (must be the system the
+    /// simulator was created from). Returns observations of this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an expression references an input missing from `inputs`.
+    pub fn step_with(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        inputs: &[(VarId, Bv)],
+    ) -> StepRecord {
+        let imap: HashMap<VarId, Bv> = inputs.iter().copied().collect();
+        let lookup = |state: &HashMap<VarId, Bv>, v: VarId| -> Bv {
+            if let Some(&val) = state.get(&v) {
+                val
+            } else {
+                *imap
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("no value for input '{}'", pool.var_name(v)))
+            }
+        };
+
+        // Observe outputs / constraints / bads in the current cycle.
+        let mut roots: Vec<ExprRef> = Vec::new();
+        roots.extend(ts.outputs().iter().map(|&(_, e)| e));
+        roots.extend(ts.constraints().iter().copied());
+        roots.extend(ts.bads().iter().map(|&(_, e)| e));
+        let state_snapshot = self.state.clone();
+        let values = pool.eval_all(&roots, &mut |v| lookup(&state_snapshot, v));
+        let n_out = ts.outputs().len();
+        let n_con = ts.constraints().len();
+        let outputs: Vec<(String, Bv)> = ts
+            .outputs()
+            .iter()
+            .zip(&values[..n_out])
+            .map(|((name, _), &v)| (name.clone(), v))
+            .collect();
+        let constraints_ok = values[n_out..n_out + n_con].iter().all(|v| v.is_true());
+        let violated_bads: Vec<usize> = values[n_out + n_con..]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_true())
+            .map(|(i, _)| i)
+            .collect();
+
+        // Clock edge: compute all next values from the *old* state.
+        let next_roots: Vec<ExprRef> = ts
+            .states()
+            .iter()
+            .map(|s| s.next.expect("validated system"))
+            .collect();
+        let next_values = pool.eval_all(&next_roots, &mut |v| lookup(&state_snapshot, v));
+        for (s, v) in ts.states().iter().zip(next_values) {
+            self.state.insert(s.var, v);
+        }
+
+        let rec = StepRecord {
+            cycle: self.cycle,
+            outputs,
+            violated_bads,
+            constraints_ok,
+        };
+        self.cycle += 1;
+        rec
+    }
+
+    /// Runs a whole input trace, returning one record per cycle.
+    pub fn run(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        trace: &Trace,
+    ) -> Vec<StepRecord> {
+        (0..trace.len())
+            .map(|k| {
+                let inputs: Vec<(VarId, Bv)> = trace.frame(k).to_vec();
+                self.step_with(ts, pool, &inputs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitionSystem;
+
+    /// Two-register system: a counter and a shadow register delayed by one
+    /// cycle, with a bad tracking "shadow == 3".
+    fn system(pool: &mut ExprPool) -> (TransitionSystem, VarId) {
+        let mut ts = TransitionSystem::new("pair");
+        let en = ts.add_input(pool, "en", 1);
+        let c = ts.add_register(pool, "c", 4, 0);
+        let sh = ts.add_register(pool, "sh", 4, 0);
+        let ce = pool.var_expr(c);
+        let ene = pool.var_expr(en);
+        let one = pool.lit(4, 1);
+        let inc = pool.add(ce, one);
+        let cn = pool.ite(ene, inc, ce);
+        ts.set_next(c, cn);
+        ts.set_next(sh, ce);
+        let she = pool.var_expr(sh);
+        ts.add_output("shadow", she);
+        ts.add_output("count", ce);
+        let three = pool.lit(4, 3);
+        let hit = pool.eq(she, three);
+        ts.add_bad("shadow_is_3", hit);
+        let en_bit = pool.var_expr(en);
+        ts.add_constraint(en_bit); // environment always asserts enable
+        (ts, en)
+    }
+
+    #[test]
+    fn observes_before_clock_edge() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        ts.validate(&p).expect("valid");
+        let mut sim = Simulator::new(&ts, &p);
+        let t = Bv::from_bool(true);
+        let r0 = sim.step_with(&ts, &p, &[(en, t)]);
+        assert_eq!(r0.output("count"), Some(Bv::new(4, 0)));
+        assert_eq!(r0.output("shadow"), Some(Bv::new(4, 0)));
+        assert!(r0.constraints_ok);
+        assert!(r0.violated_bads.is_empty());
+        let r1 = sim.step_with(&ts, &p, &[(en, t)]);
+        assert_eq!(r1.output("count"), Some(Bv::new(4, 1)));
+        assert_eq!(r1.output("shadow"), Some(Bv::new(4, 0)));
+    }
+
+    #[test]
+    fn bad_fires_at_right_cycle() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        let mut sim = Simulator::new(&ts, &p);
+        let t = Bv::from_bool(true);
+        let mut fired_at = None;
+        for k in 0..10 {
+            let r = sim.step_with(&ts, &p, &[(en, t)]);
+            if !r.violated_bads.is_empty() {
+                fired_at = Some(k);
+                break;
+            }
+        }
+        // shadow == 3 when count was 3 last cycle: cycles 0..: count=k,
+        // shadow=k-1 → shadow==3 at cycle 4.
+        assert_eq!(fired_at, Some(4));
+    }
+
+    #[test]
+    fn constraint_violation_reported() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        let mut sim = Simulator::new(&ts, &p);
+        let r = sim.step_with(&ts, &p, &[(en, Bv::from_bool(false))]);
+        assert!(!r.constraints_ok);
+    }
+
+    #[test]
+    fn with_state_overrides() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        let c = ts.states()[0].var;
+        let overrides = HashMap::from([(c, Bv::new(4, 9))]);
+        let mut sim = Simulator::with_state(&ts, &p, &overrides);
+        assert_eq!(sim.state(c), Bv::new(4, 9));
+        sim.step_with(&ts, &p, &[(en, Bv::from_bool(true))]);
+        assert_eq!(sim.state(c), Bv::new(4, 10));
+    }
+
+    #[test]
+    fn peek_reads_internal_expression() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        let c = ts.states()[0].var;
+        let ce = p.var_expr(c);
+        let sq = p.mul(ce, ce);
+        let sim = Simulator::new(&ts, &p);
+        let v = sim.peek(&p, sq, &[(en, Bv::from_bool(true))]);
+        assert_eq!(v, Bv::new(4, 0));
+    }
+
+    #[test]
+    fn run_replays_trace() {
+        let mut p = ExprPool::new();
+        let (ts, en) = system(&mut p);
+        let mut trace = Trace::new();
+        for _ in 0..6 {
+            trace.push_frame(vec![(en, Bv::from_bool(true))]);
+        }
+        let mut sim = Simulator::new(&ts, &p);
+        let recs = sim.run(&ts, &p, &trace);
+        assert_eq!(recs.len(), 6);
+        assert_eq!(recs[5].output("count"), Some(Bv::new(4, 5)));
+        assert_eq!(recs[4].violated_bads, vec![0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Input traces: recorded stimulus for replay and counterexample display.
+
+use aqed_bitvec::Bv;
+use aqed_expr::{ExprPool, VarId};
+use std::fmt::Write as _;
+
+/// A sequence of per-cycle input assignments.
+///
+/// Produced by the BMC engine as a counterexample witness and consumed by
+/// the simulator for replay; also handy for scripted testbenches.
+///
+/// # Examples
+///
+/// ```
+/// use aqed_tsys::Trace;
+/// use aqed_expr::{ExprPool, VarKind};
+/// use aqed_bitvec::Bv;
+///
+/// let mut p = ExprPool::new();
+/// let x = p.var("x", 8, VarKind::Input);
+/// let mut t = Trace::new();
+/// t.push_frame(vec![(x, Bv::new(8, 5))]);
+/// t.push_frame(vec![(x, Bv::new(8, 9))]);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.value(1, x), Some(Bv::new(8, 9)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    frames: Vec<Vec<(VarId, Bv)>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace has no cycles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Appends one cycle of input assignments.
+    pub fn push_frame(&mut self, inputs: Vec<(VarId, Bv)>) {
+        self.frames.push(inputs);
+    }
+
+    /// The input assignments of cycle `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    #[must_use]
+    pub fn frame(&self, k: usize) -> &[(VarId, Bv)] {
+        &self.frames[k]
+    }
+
+    /// The value of input `v` at cycle `k`, if recorded.
+    #[must_use]
+    pub fn value(&self, k: usize, v: VarId) -> Option<Bv> {
+        self.frames
+            .get(k)?
+            .iter()
+            .find(|(var, _)| *var == v)
+            .map(|&(_, val)| val)
+    }
+
+    /// Renders the trace as an aligned text table (cycles as rows, inputs
+    /// as columns) using the pool's variable names.
+    #[must_use]
+    pub fn to_table(&self, pool: &ExprPool) -> String {
+        let mut vars: Vec<VarId> = Vec::new();
+        for f in &self.frames {
+            for &(v, _) in f {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let headers: Vec<String> = vars.iter().map(|&v| pool.var_name(v).to_string()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len().max(4)).collect();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (k, _) in self.frames.iter().enumerate() {
+            let row: Vec<String> = vars
+                .iter()
+                .map(|&v| {
+                    self.value(k, v)
+                        .map(|b| format!("{:x}", b))
+                        .unwrap_or_else(|| "-".to_string())
+                })
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            rows.push(row);
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:>5} ", "cycle");
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:>w$}");
+        }
+        out.push('\n');
+        for (k, row) in rows.iter().enumerate() {
+            let _ = write!(out, "{k:>5} ");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, " {cell:>w$}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<Vec<(VarId, Bv)>> for Trace {
+    fn from_iter<T: IntoIterator<Item = Vec<(VarId, Bv)>>>(iter: T) -> Self {
+        Trace {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Vec<(VarId, Bv)>> for Trace {
+    fn extend<T: IntoIterator<Item = Vec<(VarId, Bv)>>>(&mut self, iter: T) {
+        self.frames.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_expr::VarKind;
+
+    #[test]
+    fn build_and_query() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 8, VarKind::Input);
+        let b = p.var("b", 1, VarKind::Input);
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push_frame(vec![(a, Bv::new(8, 1)), (b, Bv::from_bool(true))]);
+        t.push_frame(vec![(a, Bv::new(8, 2))]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, b), Some(Bv::from_bool(true)));
+        assert_eq!(t.value(1, b), None);
+        assert_eq!(t.frame(1), &[(a, Bv::new(8, 2))]);
+        assert_eq!(t.value(5, a), None);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let mut p = ExprPool::new();
+        let a = p.var("a", 4, VarKind::Input);
+        let t: Trace = (0..3u64).map(|k| vec![(a, Bv::new(4, k))]).collect();
+        assert_eq!(t.len(), 3);
+        let mut t2 = Trace::new();
+        t2.extend((0..2u64).map(|k| vec![(a, Bv::new(4, k))]));
+        assert_eq!(t2.len(), 2);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut p = ExprPool::new();
+        let a = p.var("data", 8, VarKind::Input);
+        let b = p.var("v", 1, VarKind::Input);
+        let mut t = Trace::new();
+        t.push_frame(vec![(a, Bv::new(8, 0xAB)), (b, Bv::from_bool(true))]);
+        t.push_frame(vec![(a, Bv::new(8, 0x01))]);
+        let table = t.to_table(&p);
+        assert!(table.contains("data"));
+        assert!(table.contains("ab"));
+        assert!(table.lines().count() == 3);
+        // Missing value rendered as '-'.
+        assert!(table.lines().last().unwrap().contains('-'));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the transition-system simulator: determinism,
+//! composition invariance, and memory behaviour against a HashMap model.
+
+use aqed_bitvec::Bv;
+use aqed_expr::ExprPool;
+use aqed_tsys::{Mem, Simulator, TransitionSystem};
+use proptest::prelude::*;
+
+// A reference model check: the register-bank memory behaves like a map.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mem_matches_hashmap_model(ops in prop::collection::vec((any::<bool>(), 0u64..8, 0u64..256), 1..40)) {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("ram");
+        let we = ts.add_input(&mut p, "we", 1);
+        let addr = ts.add_input(&mut p, "addr", 3);
+        let data = ts.add_input(&mut p, "data", 8);
+        let mem = Mem::new(&mut ts, &mut p, "m", 8, 8);
+        let addr_e = p.var_expr(addr);
+        let data_e = p.var_expr(data);
+        let we_e = p.var_expr(we);
+        mem.write_port(&mut ts, &mut p, we_e, addr_e, data_e);
+        let rdata = mem.read(&mut p, addr_e);
+        ts.add_output("rdata", rdata);
+        ts.validate(&p).expect("valid");
+
+        let mut sim = Simulator::new(&ts, &p);
+        let mut model = [0u64; 8];
+        for (w, a, d) in ops {
+            let inputs = [
+                (we, Bv::from_bool(w)),
+                (addr, Bv::new(3, a)),
+                (data, Bv::new(8, d)),
+            ];
+            let rec = sim.step_with(&ts, &p, &inputs);
+            // Synchronous read: pre-write contents.
+            prop_assert_eq!(rec.output("rdata"), Some(Bv::new(8, model[a as usize])));
+            if w {
+                model[a as usize] = d;
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(seq in prop::collection::vec((any::<bool>(), 0u64..16), 1..30)) {
+        let build = |p: &mut ExprPool| {
+            let mut ts = TransitionSystem::new("lfsr");
+            let en = ts.add_input(p, "en", 1);
+            let din = ts.add_input(p, "din", 4);
+            let s = ts.add_register(p, "s", 4, 1);
+            let se = p.var_expr(s);
+            let dine = p.var_expr(din);
+            let x = p.xor(se, dine);
+            let one = p.lit(4, 1);
+            let rot = {
+                let hi = p.extract(x, 3, 1);
+                let lo = p.extract(x, 0, 0);
+                p.concat(lo, hi)
+            };
+            let nx = p.add(rot, one);
+            let ene = p.var_expr(en);
+            let next = p.ite(ene, nx, se);
+            ts.set_next(s, next);
+            ts.add_output("s", se);
+            (ts, en, din, s)
+        };
+        let mut p1 = ExprPool::new();
+        let (ts1, en1, din1, s1) = build(&mut p1);
+        let mut p2 = ExprPool::new();
+        let (ts2, en2, din2, s2) = build(&mut p2);
+        let mut sim1 = Simulator::new(&ts1, &p1);
+        let mut sim2 = Simulator::new(&ts2, &p2);
+        for &(e, d) in &seq {
+            sim1.step_with(&ts1, &p1, &[(en1, Bv::from_bool(e)), (din1, Bv::new(4, d))]);
+            sim2.step_with(&ts2, &p2, &[(en2, Bv::from_bool(e)), (din2, Bv::new(4, d))]);
+            prop_assert_eq!(sim1.state(s1), sim2.state(s2));
+        }
+    }
+
+    #[test]
+    fn compose_preserves_component_behaviour(seq in prop::collection::vec(0u64..16, 1..25)) {
+        // A counter simulated alone must behave identically after a
+        // monitor system is composed alongside it.
+        let build_counter = |p: &mut ExprPool, ts: &mut TransitionSystem| {
+            let d = ts.add_input(p, "d", 4);
+            let c = ts.add_register(p, "c", 4, 0);
+            let ce = p.var_expr(c);
+            let de = p.var_expr(d);
+            let next = p.add(ce, de);
+            ts.set_next(c, next);
+            (d, c)
+        };
+        let mut p1 = ExprPool::new();
+        let mut alone = TransitionSystem::new("alone");
+        let (d1, c1) = build_counter(&mut p1, &mut alone);
+        alone.validate(&p1).expect("valid");
+
+        let mut p2 = ExprPool::new();
+        let mut host = TransitionSystem::new("host");
+        let (d2, c2) = build_counter(&mut p2, &mut host);
+        let mut monitor = TransitionSystem::new("mon");
+        let seen = monitor.add_register(&mut p2, "seen", 1, 0);
+        let c2e = p2.var_expr(c2);
+        let lim = p2.lit(4, 9);
+        let hit = p2.uge(c2e, lim);
+        let seen_e = p2.var_expr(seen);
+        let nx = p2.or(seen_e, hit);
+        monitor.set_next(seen, nx);
+        monitor.add_bad("hits9", hit);
+        host.compose(&monitor);
+        host.validate(&p2).expect("composed valid");
+
+        let mut s1 = Simulator::new(&alone, &p1);
+        let mut s2 = Simulator::new(&host, &p2);
+        for &d in &seq {
+            s1.step_with(&alone, &p1, &[(d1, Bv::new(4, d))]);
+            s2.step_with(&host, &p2, &[(d2, Bv::new(4, d))]);
+            prop_assert_eq!(s1.state(c1), s2.state(c2), "composition must not alter the design");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Response Bound in action: FIFO sizing overflow and a ready-signal
+//! deadlock, both caught without any design-specific property.
+//!
+//! ```text
+//! cargo run --release --example deadlock_rb
+//! ```
+
+use aqed::core::{AqedHarness, CheckOutcome, PropertyKind};
+use aqed::designs::dataflow::{self, DataflowBug};
+use aqed::designs::memctrl::{self, MemctrlBug, MemctrlConfig};
+use aqed::expr::ExprPool;
+
+fn main() {
+    // 1. The dataflow design whose producer believes the intermediate
+    //    FIFO is deeper than the hardware instantiates: an overflowed
+    //    word is dropped and its output never arrives (RB part 2:
+    //    cnt_rdh ≥ τ ∧ cnt_in ≥ in_min → rdy_out).
+    let mut pool = ExprPool::new();
+    let lca = dataflow::build(&mut pool, Some(DataflowBug::FifoSizing));
+    let report = AqedHarness::new(&lca)
+        .with_rb(dataflow::recommended_rb())
+        .verify(&mut pool, 16);
+    match &report.outcome {
+        CheckOutcome::Bug {
+            property,
+            counterexample,
+        } => {
+            assert_eq!(*property, PropertyKind::Rb);
+            println!(
+                "dataflow FIFO sizing : RB violation '{}' in {} cycles ({:?})",
+                counterexample.bad_name,
+                counterexample.cycles(),
+                report.runtime
+            );
+        }
+        other => panic!("expected RB bug, got {other:?}"),
+    }
+
+    // 2. The memory controller whose sticky full flag never clears: rdin
+    //    stays low forever — host starvation (RB part 1).
+    let mut pool = ExprPool::new();
+    let lca = memctrl::build(
+        &mut pool,
+        MemctrlConfig::Fifo,
+        Some(MemctrlBug::FifoStuckFullDeadlock),
+    );
+    let report = AqedHarness::new(&lca)
+        .with_rb(memctrl::recommended_rb(MemctrlConfig::Fifo))
+        .verify(&mut pool, 16);
+    match &report.outcome {
+        CheckOutcome::Bug {
+            property,
+            counterexample,
+        } => {
+            assert_eq!(*property, PropertyKind::Rb);
+            println!(
+                "FIFO sticky deadlock : RB violation '{}' in {} cycles ({:?})",
+                counterexample.bad_name,
+                counterexample.cycles(),
+                report.runtime
+            );
+            println!("\ndeadlock witness inputs:");
+            println!("{}", counterexample.trace.to_table(&pool));
+        }
+        other => panic!("expected RB bug, got {other:?}"),
+    }
+
+    // 3. Healthy designs sail through the same checks.
+    let mut pool = ExprPool::new();
+    let lca = dataflow::build(&mut pool, None);
+    let report = AqedHarness::new(&lca)
+        .with_rb(dataflow::recommended_rb())
+        .verify(&mut pool, 12);
+    println!("healthy dataflow    : {report}");
+    assert!(!report.found_bug());
+}

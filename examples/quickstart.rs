@@ -1,0 +1,67 @@
+//! Quickstart: describe an accelerator, inject a bug, let A-QED find it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The accelerator computes `f(x) = x² + 1` behind a standard ready-valid
+//! handshake (synthesized by the HLS-lite layer). We build it twice: once
+//! healthy and once with a forwarding bug that corrupts a result when a
+//! delivery coincides with a new capture. A-QED needs *no specification*
+//! to catch the bug — only the universal Functional Consistency property.
+
+use aqed::core::{AqedHarness, CheckOutcome, FcConfig};
+use aqed::expr::ExprPool;
+use aqed::hls::{synthesize, AccelSpec, SynthOptions};
+
+fn main() {
+    // 1. Describe the accelerator: 2-bit action, 8-bit data in/out,
+    //    2-cycle latency.
+    let spec = AccelSpec::new("square_plus_one", 2, 8, 8).with_latency(2);
+
+    // 2. The datapath: a word-level expression of the operation.
+    let datapath = |pool: &mut ExprPool, _action, data| {
+        let sq = pool.mul(data, data);
+        let one = pool.lit(8, 1);
+        pool.add(sq, one)
+    };
+
+    // 3. Verify the healthy design.
+    let mut pool = ExprPool::new();
+    let healthy = synthesize(&spec, &mut pool, SynthOptions::default(), datapath);
+    let report = AqedHarness::new(&healthy)
+        .with_fc(FcConfig::default())
+        .verify(&mut pool, 10);
+    println!("healthy design : {report}");
+
+    // 4. Verify the buggy design (forwarding-path defect).
+    let buggy_opts = SynthOptions {
+        forwarding_bug: true,
+        ..SynthOptions::default()
+    };
+    let mut pool = ExprPool::new();
+    let buggy = synthesize(&spec, &mut pool, buggy_opts, datapath);
+    let report = AqedHarness::new(&buggy)
+        .with_fc(FcConfig::default())
+        .verify(&mut pool, 10);
+    println!("buggy design   : {report}");
+
+    // 5. Inspect the counterexample: a concrete input trace that makes
+    //    the same input produce two different outputs.
+    match report.outcome {
+        CheckOutcome::Bug { counterexample, .. } => {
+            println!(
+                "\ncounterexample trace ({} cycles, property '{}'):",
+                counterexample.cycles(),
+                counterexample.bad_name
+            );
+            println!("{}", counterexample.trace.to_table(&pool));
+            assert!(
+                counterexample.replay(&buggy.ts, &pool),
+                "the trace replays on the cycle-accurate simulator"
+            );
+            println!("replayed on the simulator: the violation is real.");
+        }
+        other => panic!("expected a bug, got {other:?}"),
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper into results/.
+# Uses the dev profile: the workspace pins opt-level 3 for every aqed
+# crate, so this is release-speed without a second full compile.
+set -e
+mkdir -p results
+echo "== table1 =="; cargo run -p aqed-bench --bin table1 | tee results/table1.txt
+echo "== fig5 ==";   cargo run -p aqed-bench --bin fig5   | tee results/fig5.txt
+echo "== table2 =="; cargo run -p aqed-bench --bin table2 | tee results/table2.txt

@@ -1,0 +1,30 @@
+//! # A-QED — Accelerator Quick Error Detection
+//!
+//! Umbrella crate re-exporting the full A-QED verification stack, a Rust
+//! reproduction of *"A-QED Verification of Hardware Accelerators"* (DAC
+//! 2020). See [`core`] for the A-QED harness itself and `DESIGN.md` in the
+//! repository for the system inventory.
+//!
+//! The stack, bottom-up:
+//!
+//! * [`bitvec`] — fixed-width bit-vector values,
+//! * [`expr`] — hash-consed word-level expression IR,
+//! * [`sat`] — CDCL SAT solver,
+//! * [`bitblast`] — word-level → CNF encoding,
+//! * [`tsys`] — transition systems (paper Def. 1) and a simulator,
+//! * [`bmc`] — incremental bounded model checking,
+//! * [`hls`] — HLS-lite accelerator synthesis,
+//! * [`core`] — A-QED FC/RB/SAC monitors and the one-call verifier,
+//! * [`designs`] — case-study accelerators with tracked bug variants,
+//! * [`sim`] — the conventional-verification baseline flow.
+
+pub use aqed_bitblast as bitblast;
+pub use aqed_bitvec as bitvec;
+pub use aqed_bmc as bmc;
+pub use aqed_core as core;
+pub use aqed_designs as designs;
+pub use aqed_expr as expr;
+pub use aqed_hls as hls;
+pub use aqed_sat as sat;
+pub use aqed_sim as sim;
+pub use aqed_tsys as tsys;

@@ -1,0 +1,80 @@
+//! Structural fidelity tests: the evaluation artifacts this repository
+//! generates have the same shape as the paper's tables and figures.
+
+use aqed::designs::{all_cases, hls_cases, memctrl_cases, DesignId, ExpectedProperty};
+
+#[test]
+fn table1_suite_shape() {
+    // Table 1 aggregates over the memory-controller bug suite.
+    let cases = memctrl_cases();
+    assert_eq!(cases.len(), 15);
+    // Three configurations, five bugs each.
+    for config in ["fifo", "double_buffer", "line_buffer"] {
+        assert_eq!(
+            cases.iter().filter(|c| c.config == config).count(),
+            5,
+            "{config}"
+        );
+    }
+    // Exactly one bug is caught via RB (the paper: "A-QED detected one
+    // bug using RB and the remaining using FC").
+    assert_eq!(
+        cases
+            .iter()
+            .filter(|c| c.expected == ExpectedProperty::Rb)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn fig5_split_shape() {
+    // Fig. 5: a 13% A-QED-only slice — 2 of 15.
+    let cases = memctrl_cases();
+    let aqed_only = cases.iter().filter(|c| !c.conventional_detectable).count();
+    assert_eq!(aqed_only, 2);
+    let pct = 100.0 * aqed_only as f64 / cases.len() as f64;
+    assert!((pct - 13.3).abs() < 1.0, "{pct}% ≈ 13%");
+}
+
+#[test]
+fn table2_rows_shape() {
+    // Table 2: AES v1–v4 (FC), dataflow (RB), optical flow (RB), GSM (FC).
+    let cases = hls_cases();
+    assert_eq!(cases.len(), 7);
+    let aes: Vec<_> = cases.iter().filter(|c| c.design == DesignId::Aes).collect();
+    assert_eq!(aes.len(), 4);
+    assert!(aes.iter().all(|c| c.expected == ExpectedProperty::Fc));
+    let rb: Vec<_> = cases
+        .iter()
+        .filter(|c| c.expected == ExpectedProperty::Rb)
+        .map(|c| c.design)
+        .collect();
+    assert_eq!(rb, vec![DesignId::Dataflow, DesignId::Optflow]);
+    let gsm = cases.iter().find(|c| c.design == DesignId::Gsm).expect("gsm");
+    assert_eq!(gsm.expected, ExpectedProperty::Fc);
+    // Optical flow's per-pixel operation is interfering: FC must be off.
+    let of = cases.iter().find(|c| c.design == DesignId::Optflow).expect("of");
+    assert!(of.fc.is_none());
+    assert!(of.golden.is_none());
+}
+
+#[test]
+fn full_catalogue_consistency() {
+    let cases = all_cases();
+    assert_eq!(cases.len(), 23);
+    for case in &cases {
+        assert!(
+            case.fc.is_some() || case.rb.is_some(),
+            "{}: at least one check",
+            case.id
+        );
+        assert!(case.bmc_bound >= 8, "{}: sensible bound", case.id);
+        // The conventional flow needs a golden model whenever we claim
+        // it can detect the bug by value comparison (RB-only designs can
+        // be detected by the watchdog instead).
+        if case.conventional_detectable && case.expected == ExpectedProperty::Fc {
+            assert!(case.golden.is_some(), "{}", case.id);
+        }
+    }
+}
