@@ -69,9 +69,10 @@ fn pigeonhole_with(heuristic: bool, restarts: bool) {
         s.add_clause(row.iter().map(|v| v.pos()));
     }
     for h in 0..holes {
-        for i in 0..pigeons {
-            for j in (i + 1)..pigeons {
-                s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+        let col: Vec<Var> = p.iter().map(|row| row[h]).collect();
+        for (i, &a) in col.iter().enumerate() {
+            for &b in &col[i + 1..] {
+                s.add_clause([a.neg(), b.neg()]);
             }
         }
     }

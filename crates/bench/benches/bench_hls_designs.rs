@@ -16,20 +16,24 @@ fn bench_hls(c: &mut Criterion) {
         // repeated sampling. The one-shot Table 2 regeneration (with the
         // full catalogue bounds and bug assertions) is the `table2` bin.
         let bench_bound = case.bmc_bound.min(8);
-        group.bench_with_input(BenchmarkId::from_parameter(case.id), &case, move |b, case| {
-            b.iter(|| {
-                let mut pool = ExprPool::new();
-                let lca = (case.build_buggy)(&mut pool);
-                let mut harness = AqedHarness::new(&lca);
-                if let Some(fc) = &case.fc {
-                    harness = harness.with_fc(fc.clone());
-                }
-                if let Some(rb) = &case.rb {
-                    harness = harness.with_rb(*rb);
-                }
-                let _report = harness.verify(&mut pool, bench_bound);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(case.id),
+            &case,
+            move |b, case| {
+                b.iter(|| {
+                    let mut pool = ExprPool::new();
+                    let lca = (case.build_buggy)(&mut pool);
+                    let mut harness = AqedHarness::new(&lca);
+                    if let Some(fc) = &case.fc {
+                        harness = harness.with_fc(fc.clone());
+                    }
+                    if let Some(rb) = &case.rb {
+                        harness = harness.with_rb(*rb);
+                    }
+                    let _report = harness.verify(&mut pool, bench_bound);
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,10 @@
 //! Criterion benchmarks of the CDCL SAT solver substrate: pigeonhole
-//! (UNSAT, conflict-analysis bound) and random 3-SAT near the phase
-//! transition (mixed SAT/UNSAT).
+//! (UNSAT, conflict-analysis bound), random 3-SAT near the phase
+//! transition (mixed SAT/UNSAT), and pure unit-propagation microbenches
+//! (dense binary-clause chains vs. padded long clauses) that track the
+//! clause-arena binary fast path.
 
-use aqed_sat::{SolveResult, Solver, Var};
+use aqed_sat::{Lit, SolveResult, Solver, Var};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,9 +16,10 @@ fn pigeonhole(pigeons: usize, holes: usize) -> SolveResult {
         s.add_clause(row.iter().map(|v| v.pos()));
     }
     for h in 0..holes {
-        for i in 0..pigeons {
-            for j in (i + 1)..pigeons {
-                s.add_clause([p[i][h].neg(), p[j][h].neg()]);
+        let col: Vec<Var> = p.iter().map(|row| row[h]).collect();
+        for (i, &a) in col.iter().enumerate() {
+            for &b in &col[i + 1..] {
+                s.add_clause([a.neg(), b.neg()]);
             }
         }
     }
@@ -68,5 +71,81 @@ fn bench_random_3sat(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pigeonhole, bench_random_3sat);
+/// Deterministic Fisher–Yates shuffle of `0..n`. The chain benches add
+/// their clauses in shuffled order so clause *storage* is not laid out
+/// in propagation order — on real instances the propagation-order walk
+/// over clause memory is scattered, and a sequential layout would let
+/// the prefetcher hide exactly the clause-access cost these benches are
+/// meant to expose.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Propagation microbench: an implication chain v0 → v1 → … → vn built
+/// purely from binary clauses. Each `solve_with([v0])` call propagates
+/// the whole chain at decision level 1 and backtracks; no conflicts, so
+/// the measurement isolates watch-list traversal.
+fn bench_prop_binary_chain(group: &mut criterion::BenchmarkGroup<'_>, n: usize) {
+    let mut s = Solver::new();
+    // Decisions after the chain has propagated would pop the whole VSIDS
+    // heap (O(n log n)), drowning the watch-list traversal this bench is
+    // after; the index-scan fallback keeps the measurement on propagation.
+    s.set_decision_heuristic(false);
+    let vars = s.new_vars(n);
+    for i in shuffled_indices(n - 1, 0xB1A5) {
+        assert!(s.add_clause([vars[i].neg(), vars[i + 1].pos()]));
+    }
+    let trigger = vars[0].pos();
+    group.bench_with_input(BenchmarkId::new("binary_chain", n), &n, |b, _| {
+        b.iter(|| {
+            assert_eq!(s.solve_with(&[trigger]), SolveResult::Sat);
+        });
+    });
+}
+
+/// The same implication chain, but every clause is padded with 6 filler
+/// literals that are only falsified by assumptions (so clause-database
+/// simplification cannot strip them). Propagation must scan the padding
+/// in every clause — the long-clause contrast to the binary fast path.
+fn bench_prop_long_chain(group: &mut criterion::BenchmarkGroup<'_>, n: usize) {
+    let mut s = Solver::new();
+    s.set_decision_heuristic(false);
+    let vars = s.new_vars(n);
+    let pads = s.new_vars(6);
+    for i in shuffled_indices(n - 1, 0x10C5) {
+        let mut clause: Vec<Lit> = vec![vars[i].neg(), vars[i + 1].pos()];
+        clause.extend(pads.iter().map(|p| p.pos()));
+        assert!(s.add_clause(clause));
+    }
+    let mut assumptions: Vec<Lit> = pads.iter().map(|p| p.neg()).collect();
+    assumptions.push(vars[0].pos());
+    group.bench_with_input(BenchmarkId::new("long_chain", n), &n, |b, _| {
+        b.iter(|| {
+            assert_eq!(s.solve_with(&assumptions), SolveResult::Sat);
+        });
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/propagation");
+    group.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        bench_prop_binary_chain(&mut group, n);
+        bench_prop_long_chain(&mut group, n);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_random_3sat,
+    bench_propagation
+);
 criterion_main!(benches);

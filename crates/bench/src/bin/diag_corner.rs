@@ -12,11 +12,19 @@ use aqed_sim::Testbench;
 
 fn main() {
     let mut p = ExprPool::new();
-    let lca = build(&mut p, MemctrlConfig::Fifo, Some(MemctrlBug::FifoRedundantWriteGlitch));
+    let lca = build(
+        &mut p,
+        MemctrlConfig::Fifo,
+        Some(MemctrlBug::FifoRedundantWriteGlitch),
+    );
     let outcome = Testbench::default().run(&lca, &p, golden);
     println!("glitch: {outcome}");
     let mut p2 = ExprPool::new();
-    let lca2 = build(&mut p2, MemctrlConfig::DoubleBuffer, Some(MemctrlBug::DbWriteCollision));
+    let lca2 = build(
+        &mut p2,
+        MemctrlConfig::DoubleBuffer,
+        Some(MemctrlBug::DbWriteCollision),
+    );
     let outcome2 = Testbench::default().run(&lca2, &p2, golden);
     println!("dbcoll: {outcome2}");
 }

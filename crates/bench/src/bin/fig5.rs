@@ -18,10 +18,7 @@ fn cached_detection() -> Option<std::collections::HashMap<String, (bool, bool)>>
     for line in text.lines().skip(1) {
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() == 5 {
-            map.insert(
-                cols[0].to_string(),
-                (cols[3] == "true", cols[4] == "true"),
-            );
+            map.insert(cols[0].to_string(), (cols[3] == "true", cols[4] == "true"));
         }
     }
     (map.len() == memctrl_cases().len()).then_some(map)

@@ -15,11 +15,11 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let case_id = args.first().map(String::as_str).unwrap_or("motivating_clock_enable");
-    let max_bound: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(14);
+    let case_id = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("motivating_clock_enable");
+    let max_bound: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(14);
     let case = all_cases()
         .into_iter()
         .find(|c| c.id == case_id)
@@ -37,8 +37,16 @@ fn main() {
     let (composed, _) = harness.build(&mut pool);
     println!("case {case_id}: {composed}");
     println!(
-        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>9}",
-        "depth", "time(s)", "clauses", "vars", "conflicts", "verdict"
+        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>4} {:>9}",
+        "depth",
+        "time(s)",
+        "clauses",
+        "vars",
+        "conflicts",
+        "binprops",
+        "arena(KB)",
+        "gc",
+        "verdict"
     );
     // Run depth by depth so per-depth cost is visible.
     let t0 = Instant::now();
@@ -53,12 +61,15 @@ fn main() {
             BmcResult::Unknown { .. } => "unknown".to_string(),
         };
         println!(
-            "{:>5} {:>9.2} {:>10} {:>10} {:>12} {:>9}",
+            "{:>5} {:>9.2} {:>10} {:>10} {:>12} {:>12} {:>10} {:>4} {:>9}",
             k,
             t.elapsed().as_secs_f64(),
             stats.clauses,
             stats.variables,
-            "-",
+            stats.solver.conflicts,
+            stats.solver.binary_props,
+            stats.solver.arena_bytes / 1024,
+            stats.solver.gc_runs,
             verdict
         );
         if matches!(result, BmcResult::Counterexample(_)) {

@@ -15,7 +15,10 @@ use std::fmt::Write as _;
 fn main() {
     let cases = memctrl_cases();
     println!("Table 1: A-QED results for the memory-controller unit");
-    println!("({} tracked bug variants across FIFO / double-buffer / line-buffer configurations)\n", cases.len());
+    println!(
+        "({} tracked bug variants across FIFO / double-buffer / line-buffer configurations)\n",
+        cases.len()
+    );
 
     let mut aqed_runtimes = Vec::new();
     let mut aqed_traces = Vec::new();

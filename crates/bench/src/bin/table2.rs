@@ -46,7 +46,11 @@ fn main() {
             ExpectedProperty::Fc => "FC",
             ExpectedProperty::Rb => "RB",
         };
-        assert_eq!(prop, expected, "{}: property class must match the paper", case.id);
+        assert_eq!(
+            prop, expected,
+            "{}: property class must match the paper",
+            case.id
+        );
         println!(
             "{:<12} {:<14} {:>5} {:>12} {:>14}",
             source,

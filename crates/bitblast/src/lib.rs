@@ -130,11 +130,7 @@ impl BitBlaster {
                         need(a);
                         need(b);
                     }
-                    Node::Ite {
-                        cond,
-                        then_,
-                        else_,
-                    } => {
+                    Node::Ite { cond, then_, else_ } => {
                         need(cond);
                         need(then_);
                         need(else_);
@@ -235,9 +231,12 @@ impl BitBlaster {
             return self.lit_false(solver);
         }
         let c = solver.new_var().pos();
-        solver.add_clause([!a, !b, c]);
-        solver.add_clause([a, !c]);
-        solver.add_clause([b, !c]);
+        // Tseitin clauses go through the small-clause fast paths: no
+        // intermediate Vec, and the two-literal clauses land directly in
+        // the solver's inlined binary watch lists.
+        solver.add_ternary(!a, !b, c);
+        solver.add_binary(a, !c);
+        solver.add_binary(b, !c);
         c
     }
 
@@ -266,10 +265,10 @@ impl BitBlaster {
             return self.lit_true(solver);
         }
         let c = solver.new_var().pos();
-        solver.add_clause([!a, !b, !c]);
-        solver.add_clause([a, b, !c]);
-        solver.add_clause([a, !b, c]);
-        solver.add_clause([!a, b, c]);
+        solver.add_ternary(!a, !b, !c);
+        solver.add_ternary(a, b, !c);
+        solver.add_ternary(a, !b, c);
+        solver.add_ternary(!a, b, c);
         c
     }
 
@@ -285,10 +284,10 @@ impl BitBlaster {
             return a;
         }
         let c = solver.new_var().pos();
-        solver.add_clause([!s, !a, c]);
-        solver.add_clause([!s, a, !c]);
-        solver.add_clause([s, !b, c]);
-        solver.add_clause([s, b, !c]);
+        solver.add_ternary(!s, !a, c);
+        solver.add_ternary(!s, a, !c);
+        solver.add_ternary(s, !b, c);
+        solver.add_ternary(s, b, !c);
         c
     }
 
@@ -402,7 +401,7 @@ impl BitBlaster {
         // including the `dist >= w` case within the staged range.
         let mut overflow = self.lit_false(solver);
         for (s, &hb) in amount.iter().enumerate() {
-            if (s < 63 && (1u64 << s) >= w as u64) || s >= 63 {
+            if s >= 63 || (1u64 << s) >= w as u64 {
                 overflow = self.gate_or(overflow, hb, solver);
             }
         }
@@ -560,11 +559,7 @@ impl BitBlaster {
                     }
                 }
             }
-            Node::Ite {
-                cond,
-                then_,
-                else_,
-            } => {
+            Node::Ite { cond, then_, else_ } => {
                 let c = self.cache[&cond][0];
                 let tb = self.cache[&then_].clone();
                 let eb = self.cache[&else_].clone();
@@ -574,11 +569,7 @@ impl BitBlaster {
                 let ab = &self.cache[&arg];
                 ab[lo as usize..=hi as usize].to_vec()
             }
-            Node::Extend {
-                signed,
-                width,
-                arg,
-            } => {
+            Node::Extend { signed, width, arg } => {
                 let ab = self.cache[&arg].clone();
                 let fill = if signed {
                     *ab.last().expect("nonempty")
@@ -781,7 +772,10 @@ mod tests {
         // Second blast reuses the multiplier: only the adder is new, which
         // is far smaller than the multiplier.
         let added = solver.num_clauses() - clauses_first;
-        assert!(added < clauses_first / 2, "added {added} vs {clauses_first}");
+        assert!(
+            added < clauses_first / 2,
+            "added {added} vs {clauses_first}"
+        );
     }
 
     #[test]

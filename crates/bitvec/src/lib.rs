@@ -69,7 +69,7 @@ impl Bv {
     #[must_use]
     pub fn new(width: u32, val: u64) -> Self {
         assert!(
-            width >= 1 && width <= Self::MAX_WIDTH,
+            (1..=Self::MAX_WIDTH).contains(&width),
             "bit-vector width must be in 1..=64, got {width}"
         );
         Self {
@@ -204,7 +204,11 @@ impl Bv {
     #[inline]
     #[must_use]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.val >> i) & 1 == 1
     }
 
@@ -215,7 +219,11 @@ impl Bv {
     /// Panics if `i >= self.width()`.
     #[must_use]
     pub fn with_bit(&self, i: u32, b: bool) -> Self {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let cleared = self.val & !(1u64 << i);
         Self {
             width: self.width,

@@ -32,6 +32,10 @@ impl fmt::Display for DivByZero {
 
 impl Error for DivByZero {}
 
+// The word-level operations are deliberately named methods rather than
+// `std::ops` impls: they panic on width mismatch, which operator syntax
+// would hide.
+#[allow(clippy::should_implement_trait)]
 impl Bv {
     #[inline]
     fn check_same_width(self, rhs: Self, op: &str) {
@@ -479,7 +483,10 @@ mod tests {
         // div-by-zero: SMT-LIB semantics
         assert_eq!(Bv::new(w, 100).udiv(Bv::zero(w)), Bv::ones(w));
         assert_eq!(Bv::new(w, 100).urem(Bv::zero(w)), Bv::new(w, 100));
-        assert_eq!(Bv::new(w, 100).checked_udiv(Bv::new(w, 7)), Ok(Bv::new(w, 14)));
+        assert_eq!(
+            Bv::new(w, 100).checked_udiv(Bv::new(w, 7)),
+            Ok(Bv::new(w, 14))
+        );
         assert!(Bv::new(w, 100).checked_udiv(Bv::zero(w)).is_err());
         assert!(Bv::new(w, 100).checked_urem(Bv::zero(w)).is_err());
         let err = Bv::one(w).checked_udiv(Bv::zero(w)).unwrap_err();
@@ -569,7 +576,10 @@ mod tests {
         assert_eq!(Bv::new(4, 0x9).zext(8), Bv::new(8, 0x09));
         assert_eq!(Bv::new(4, 0x9).sext(8), Bv::new(8, 0xF9));
         assert_eq!(Bv::new(4, 0x9).zext(4), Bv::new(4, 0x9));
-        assert_eq!(Bv::new(32, 0x8000_0000).sext(64).to_i64(), i64::from(i32::MIN));
+        assert_eq!(
+            Bv::new(32, 0x8000_0000).sext(64).to_i64(),
+            i64::from(i32::MIN)
+        );
     }
 
     #[test]

@@ -5,8 +5,7 @@ use aqed_bitvec::Bv;
 use proptest::prelude::*;
 
 fn bv_pair() -> impl Strategy<Value = (Bv, Bv)> {
-    (1u32..=64, any::<u64>(), any::<u64>())
-        .prop_map(|(w, a, b)| (Bv::new(w, a), Bv::new(w, b)))
+    (1u32..=64, any::<u64>(), any::<u64>()).prop_map(|(w, a, b)| (Bv::new(w, a), Bv::new(w, b)))
 }
 
 fn bv_one() -> impl Strategy<Value = Bv> {

@@ -17,7 +17,7 @@
 //! proof for the designs whose monitors are inductive (the scalability
 //! direction listed in the paper's Sec. VII).
 
-use crate::{BmcOptions, BmcResult, Bmc};
+use crate::{Bmc, BmcOptions, BmcResult};
 use aqed_bitblast::BitBlaster;
 use aqed_expr::{ExprPool, ExprRef, VarId, VarKind};
 use aqed_sat::{Lit, SolveResult, Solver};
@@ -139,11 +139,7 @@ fn step_case_holds(
 
     for frame in 0..=k + 1 {
         // Record this frame's state vector (for simple-path).
-        let state_vec: Vec<ExprRef> = ts
-            .states()
-            .iter()
-            .map(|s| state_exprs[&s.var])
-            .collect();
+        let state_vec: Vec<ExprRef> = ts.states().iter().map(|s| state_exprs[&s.var]).collect();
         frame_states.push(state_vec);
 
         // Fresh inputs.
@@ -328,7 +324,10 @@ mod tests {
             conflict_budget: None,
         };
         let result = prove(&ts, &mut pool, &opts);
-        assert!(matches!(result, InductionResult::Unknown { .. }), "{result:?}");
+        assert!(
+            matches!(result, InductionResult::Unknown { .. }),
+            "{result:?}"
+        );
         // With simple-path it proves (even states only, paths of length
         // 8 exhaust the even subspace).
         let opts = InductionOptions {

@@ -53,7 +53,7 @@ pub use witness::to_btor2_witness;
 use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
-use aqed_sat::{Lit, SolveResult, Solver};
+use aqed_sat::{Lit, SolveResult, Solver, SolverStats};
 use aqed_tsys::{Simulator, Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
@@ -221,6 +221,10 @@ pub struct BmcStats {
     pub variables: usize,
     /// Wall-clock time of the whole check.
     pub elapsed: Duration,
+    /// Cumulative statistics of the underlying SAT solver (conflicts,
+    /// propagations, arena bytes, GC runs, …). For monolithic runs this
+    /// reflects the last per-depth solver only.
+    pub solver: SolverStats,
 }
 
 /// The bounded model checker. Create once per system with [`Bmc::new`],
@@ -336,8 +340,7 @@ impl Bmc {
             self.stats.solver_calls += 1;
             match solver.solve_with(&[any]) {
                 SolveResult::Sat => {
-                    let cex =
-                        unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
+                    let cex = unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
                     self.finish_stats(&solver);
                     return BmcResult::Counterexample(cex);
                 }
@@ -395,8 +398,7 @@ impl Bmc {
             self.stats.solver_calls += 1;
             match solver.solve_with(&[any]) {
                 SolveResult::Sat => {
-                    let cex =
-                        unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
+                    let cex = unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
                     self.finish_stats(&solver);
                     return BmcResult::Counterexample(cex);
                 }
@@ -429,6 +431,7 @@ impl Bmc {
     fn finish_stats(&mut self, solver: &Solver) {
         self.stats.clauses = solver.num_clauses();
         self.stats.variables = solver.num_vars();
+        self.stats.solver = solver.stats();
     }
 }
 

@@ -16,11 +16,7 @@ use std::fmt::Write as _;
 /// and state indices refer to declaration order (matching
 /// [`aqed_tsys::to_btor2`]'s output).
 #[must_use]
-pub fn to_btor2_witness(
-    cex: &Counterexample,
-    ts: &TransitionSystem,
-    pool: &ExprPool,
-) -> String {
+pub fn to_btor2_witness(cex: &Counterexample, ts: &TransitionSystem, pool: &ExprPool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "sat");
     let _ = writeln!(out, "b{}", cex.bad_index);

@@ -98,12 +98,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 match args[i].as_str() {
                     "--bound" => {
                         i += 1;
-                        let v = args.get(i).ok_or_else(|| {
-                            ParseCommandError("--bound needs a value".into())
-                        })?;
-                        bound = Some(v.parse().map_err(|_| {
-                            ParseCommandError(format!("invalid bound '{v}'"))
-                        })?);
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| ParseCommandError("--bound needs a value".into()))?;
+                        bound = Some(
+                            v.parse()
+                                .map_err(|_| ParseCommandError(format!("invalid bound '{v}'")))?,
+                        );
                     }
                     "--healthy" => healthy = true,
                     "--witness" => witness = true,
@@ -257,8 +258,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                         write!(out, "{}", to_btor2_witness(&cex, &composed, &pool))?;
                     }
                     if let Some(path) = vcd {
-                        let dump =
-                            to_vcd(&composed, &pool, &cex.trace, &cex.initial_state);
+                        let dump = to_vcd(&composed, &pool, &cex.trace, &cex.initial_state);
                         std::fs::write(path, dump)?;
                         writeln!(out, "wrote VCD to {path}")?;
                     }
@@ -394,7 +394,14 @@ mod tests {
     #[test]
     fn parses_verify_flags() {
         assert_eq!(
-            parse(&["verify", "aes_v1", "--bound", "12", "--healthy", "--witness"]),
+            parse(&[
+                "verify",
+                "aes_v1",
+                "--bound",
+                "12",
+                "--healthy",
+                "--witness"
+            ]),
             Ok(Command::Verify {
                 case: "aes_v1".into(),
                 bound: Some(12),

@@ -79,7 +79,9 @@ pub fn run_hybrid(
 ) -> HybridOutcome {
     let start = Instant::now();
     let (composed, handles) = attach_monitor(lca, pool, Some(fc), rb, None);
-    composed.validate(pool).expect("composed system well-formed");
+    composed
+        .validate(pool)
+        .expect("composed system well-formed");
     let data_w = pool.var_width(lca.data);
     let action_w = pool.var_width(lca.action);
     let mut total_cycles = 0u64;
@@ -204,7 +206,7 @@ mod tests {
             None,
             &HybridConfig {
                 cycles_per_seed: 4_000,
-                seeds: 4,
+                seeds: 16,
                 send_percent: 90,
                 rdh_percent: 90,
             },

@@ -114,9 +114,10 @@ pub fn attach_monitor(
     let mut composed = lca.ts.clone();
     let mut mon = TransitionSystem::new(format!("{}_aqed", lca.ts.name()));
 
-    let cw = fc.map(|c| c.counter_width).unwrap_or(8).max(
-        rb.map(|c| c.counter_width).unwrap_or(1),
-    );
+    let cw = fc
+        .map(|c| c.counter_width)
+        .unwrap_or(8)
+        .max(rb.map(|c| c.counter_width).unwrap_or(1));
 
     let action_e = pool.var_expr(lca.action);
     let data_e = pool.var_expr(lca.data);
@@ -380,12 +381,7 @@ pub fn attach_monitor(
     (composed, handles)
 }
 
-fn composed_bad(
-    mon: &mut TransitionSystem,
-    name: &str,
-    expr: ExprRef,
-    names: &mut Vec<String>,
-) {
+fn composed_bad(mon: &mut TransitionSystem, name: &str, expr: ExprRef, names: &mut Vec<String>) {
     mon.add_bad(name, expr);
     names.push(name.to_string());
 }
@@ -404,8 +400,7 @@ mod tests {
         let rb = RbConfig::default();
         let spec_fn: crate::SpecFn = &|_pool: &mut ExprPool, _a, d| d;
         let sac = SacConfig { spec: spec_fn };
-        let (composed, handles) =
-            attach_monitor(&lca, &mut p, Some(&fc), Some(&rb), Some(&sac));
+        let (composed, handles) = attach_monitor(&lca, &mut p, Some(&fc), Some(&rb), Some(&sac));
         composed.validate(&p).expect("composed system well-formed");
         assert_eq!(handles.bad_names.len(), 5);
         assert!(composed.bad_index(BAD_FC).is_some());

@@ -85,9 +85,7 @@ impl VerifyReport {
     #[must_use]
     pub fn cex_cycles(&self) -> Option<usize> {
         match &self.outcome {
-            CheckOutcome::Bug {
-                counterexample, ..
-            } => Some(counterexample.cycles()),
+            CheckOutcome::Bug { counterexample, .. } => Some(counterexample.cycles()),
             _ => None,
         }
     }
@@ -108,11 +106,7 @@ impl fmt::Display for VerifyReport {
             CheckOutcome::Bug {
                 property,
                 counterexample,
-            } => write!(
-                f,
-                "{property} bug: {counterexample} ({:?})",
-                self.runtime
-            ),
+            } => write!(f, "{property} bug: {counterexample} ({:?})", self.runtime),
             CheckOutcome::Inconclusive { bound } => {
                 write!(f, "inconclusive at bound {bound} ({:?})", self.runtime)
             }

@@ -16,14 +16,7 @@ struct Driver {
     is_dup: VarId,
 }
 
-fn setup(
-    bug: SynthOptions,
-) -> (
-    ExprPool,
-    aqed_tsys::TransitionSystem,
-    Driver,
-    Vec<String>,
-) {
+fn setup(bug: SynthOptions) -> (ExprPool, aqed_tsys::TransitionSystem, Driver, Vec<String>) {
     let mut pool = ExprPool::new();
     let spec = AccelSpec::new("mon_test", 2, 8, 8).with_latency(1);
     let lca = synthesize(&spec, &mut pool, bug, |p, _a, d| {
@@ -50,6 +43,8 @@ fn setup(
     (pool, composed, driver, handles.bad_names)
 }
 
+// A flat per-cycle stimulus signature keeps the test call sites readable.
+#[allow(clippy::too_many_arguments)]
 fn step(
     sim: &mut Simulator,
     ts: &aqed_tsys::TransitionSystem,
@@ -103,11 +98,11 @@ fn forwarding_bug_trips_fc_bad_concretely() {
     // delivery cycle (the forwarding clash corrupts the original's
     // output); a clean duplicate afterwards exposes the mismatch.
     let script: &[(u64, u64, bool, bool)] = &[
-        (1, 0x42, true, false),  // original
+        (1, 0x42, true, false), // original
         (0, 0, false, false),
         (1, 0x11, false, false), // clashes with the original's delivery
         (0, 0, false, false),
-        (1, 0x42, false, true),  // duplicate (clean)
+        (1, 0x42, false, true), // duplicate (clean)
         (0, 0, false, false),
         (0, 0, false, false),
         (0, 0, false, false),
@@ -183,7 +178,9 @@ fn monitor_counters_saturate_not_wrap() {
     // With 2-bit monitor counters, more than 3 operations must not wrap
     // the counters back to 0 (which would re-pair outputs incorrectly).
     let mut pool = ExprPool::new();
-    let spec = AccelSpec::new("sat_test", 2, 4, 4).with_latency(1).with_fifo_depth(2);
+    let spec = AccelSpec::new("sat_test", 2, 4, 4)
+        .with_latency(1)
+        .with_fifo_depth(2);
     let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |_p, _a, d| d);
     let fc = FcConfig {
         counter_width: 2,

@@ -40,12 +40,7 @@ fn stim_strategy() -> impl Strategy<Value = Stim> {
         })
 }
 
-fn run_healthy(
-    latency: usize,
-    fifo_depth: usize,
-    clock_enable: bool,
-    stimulus: &[Stim],
-) {
+fn run_healthy(latency: usize, fifo_depth: usize, clock_enable: bool, stimulus: &[Stim]) {
     let mut pool = ExprPool::new();
     let mut spec = AccelSpec::new("prop_mon", 2, 6, 6)
         .with_latency(latency)

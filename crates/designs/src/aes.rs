@@ -515,7 +515,12 @@ mod tests {
             };
             state = round_expr(&mut p, state, rk, last);
         }
-        for (k, t) in [(0u64, 0u64), (0xFFFF, 0xFFFF), (0x1A2B, 0xC0DE), (0x5555, 0xAAAA)] {
+        for (k, t) in [
+            (0u64, 0u64),
+            (0xFFFF, 0xFFFF),
+            (0x1A2B, 0xC0DE),
+            (0x5555, 0xAAAA),
+        ] {
             let got = p.eval(state, &mut |v| {
                 if v == key {
                     Bv::new(16, k)
@@ -558,7 +563,12 @@ mod tests {
         let lca = build(&mut p, None);
         lca.ts.validate(&p).expect("valid");
         let mut sim = Simulator::new(&lca.ts, &p);
-        for (k, t) in [(0x1A2Bu64, 0xC0DEu64), (0, 0), (0xFFFF, 0x0001), (0x4242, 0x4242)] {
+        for (k, t) in [
+            (0x1A2Bu64, 0xC0DEu64),
+            (0, 0),
+            (0xFFFF, 0x0001),
+            (0x4242, 0x4242),
+        ] {
             let ct = run_op(&lca, &p, &mut sim, k, t);
             assert_eq!(ct, encrypt(k, t), "key {k:#x} pt {t:#x}");
         }
@@ -572,7 +582,10 @@ mod tests {
         let (k, t) = (0x1A2B, 0xC0DE);
         let first = run_op(&lca, &p, &mut sim, k, t);
         let second = run_op(&lca, &p, &mut sim, k, t);
-        assert_ne!(first, second, "same input, different position, different output");
+        assert_ne!(
+            first, second,
+            "same input, different position, different output"
+        );
     }
 
     fn aqed_fc_catches(bug: AesBug, bound: usize) -> usize {
@@ -590,7 +603,8 @@ mod tests {
             } => {
                 assert_eq!(property, PropertyKind::Fc, "{}", bug.id());
                 assert_eq!(
-                    counterexample.bad_name, "aqed_fc_violation",
+                    counterexample.bad_name,
+                    "aqed_fc_violation",
                     "{}: must be the genuine output-mismatch property",
                     bug.id()
                 );

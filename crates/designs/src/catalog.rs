@@ -253,13 +253,18 @@ mod tests {
         let aqed_only = mc.iter().filter(|c| !c.conventional_detectable).count();
         assert_eq!(aqed_only, 2);
         // Table 1: one RB bug among the memctrl cases.
-        let rb = mc.iter().filter(|c| c.expected == ExpectedProperty::Rb).count();
+        let rb = mc
+            .iter()
+            .filter(|c| c.expected == ExpectedProperty::Rb)
+            .count();
         assert_eq!(rb, 1);
         // Table 2 rows: AES v1..v4 FC, dataflow RB, optflow RB, gsm FC.
         let hls = hls_cases();
         assert_eq!(hls.len(), 7);
         assert_eq!(
-            hls.iter().filter(|c| c.expected == ExpectedProperty::Rb).count(),
+            hls.iter()
+                .filter(|c| c.expected == ExpectedProperty::Rb)
+                .count(),
             2
         );
     }
@@ -279,7 +284,10 @@ mod tests {
         for case in all_cases() {
             let mut p = ExprPool::new();
             let buggy = (case.build_buggy)(&mut p);
-            buggy.ts.validate(&p).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+            buggy
+                .ts
+                .validate(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.id));
             let mut p2 = ExprPool::new();
             let healthy = (case.build_healthy)(&mut p2);
             healthy

@@ -202,7 +202,12 @@ mod tests {
     use aqed_core::{AqedHarness, CheckOutcome, FcConfig, PropertyKind};
     use aqed_tsys::Simulator;
 
-    fn run_stream(lca: &Lca, p: &ExprPool, inputs: &[u64], rdh_pattern: impl Fn(usize) -> bool) -> Vec<u64> {
+    fn run_stream(
+        lca: &Lca,
+        p: &ExprPool,
+        inputs: &[u64],
+        rdh_pattern: impl Fn(usize) -> bool,
+    ) -> Vec<u64> {
         let mut sim = Simulator::new(&lca.ts, p);
         let mut sent = 0usize;
         let mut outs = Vec::new();
@@ -288,6 +293,9 @@ mod tests {
             .with_fc(FcConfig::default())
             .with_rb(recommended_rb())
             .verify(&mut p, 10);
-        assert!(!report.found_bug(), "healthy dataflow must be clean: {report}");
+        assert!(
+            !report.found_bug(),
+            "healthy dataflow must be clean: {report}"
+        );
     }
 }

@@ -150,11 +150,8 @@ pub fn build(pool: &mut ExprPool, bug: Option<GsmBug>) -> Lca {
     let acc_busy = pool.ite(busy_e, acc_next_val, acc_e);
     let clear_on_cap = match bug {
         Some(GsmBug::AccumulatorResetRace) => {
-            let clean_cap = {
-                let nd = pool.not(delivered);
-                pool.and(captured, nd)
-            };
-            clean_cap
+            let nd = pool.not(delivered);
+            pool.and(captured, nd)
         }
         None => captured,
     };
@@ -236,8 +233,18 @@ mod tests {
         let lca = build(&mut p, None);
         lca.ts.validate(&p).expect("valid");
         let mut sim = Simulator::new(&lca.ts, &p);
-        for frame in [0x04_03_02_01u64, 0, 0xFFFF_FFFF, 0x80_40_20_10, 0x01_00_00_FF] {
-            assert_eq!(run_op(&lca, &p, &mut sim, frame), golden(1, frame), "{frame:#x}");
+        for frame in [
+            0x04_03_02_01u64,
+            0,
+            0xFFFF_FFFF,
+            0x80_40_20_10,
+            0x01_00_00_FF,
+        ] {
+            assert_eq!(
+                run_op(&lca, &p, &mut sim, frame),
+                golden(1, frame),
+                "{frame:#x}"
+            );
         }
     }
 
@@ -267,9 +274,7 @@ mod tests {
                 (lca.data, Bv::new(32, data)),
                 (lca.rdh, Bv::from_bool(rdh)),
             ];
-            let pending = sim
-                .peek(&p, lca.out_valid, &iv)
-                .is_true();
+            let pending = sim.peek(&p, lca.out_valid, &iv).is_true();
             let cap = sim.peek(&p, lca.captured, &iv).is_true();
             let del = sim.peek(&p, lca.delivered, &iv).is_true();
             let out = sim.peek(&p, lca.out, &iv).to_u64();

@@ -160,11 +160,20 @@ impl MemctrlBug {
     pub fn config(self) -> MemctrlConfig {
         use MemctrlBug::*;
         match self {
-            FifoPtrWrapOffByOne | FifoFullCheckMissing | FifoStuckFullDeadlock
-            | FifoCountUnderflow | FifoRedundantWriteGlitch => MemctrlConfig::Fifo,
-            DbSwapWithoutDrainCheck | DbDrainPtrNotReset | DbRdinIgnoresFull
-            | DbDoubleDrain | DbWriteCollision => MemctrlConfig::DoubleBuffer,
-            LbTapOffByOne | LbWarmupOffByOne | LbShiftDuringStall | LbValidStuck
+            FifoPtrWrapOffByOne
+            | FifoFullCheckMissing
+            | FifoStuckFullDeadlock
+            | FifoCountUnderflow
+            | FifoRedundantWriteGlitch => MemctrlConfig::Fifo,
+            DbSwapWithoutDrainCheck
+            | DbDrainPtrNotReset
+            | DbRdinIgnoresFull
+            | DbDoubleDrain
+            | DbWriteCollision => MemctrlConfig::DoubleBuffer,
+            LbTapOffByOne
+            | LbWarmupOffByOne
+            | LbShiftDuringStall
+            | LbValidStuck
             | LbStageEnableCrossWired => MemctrlConfig::LineBuffer,
         }
     }
@@ -402,7 +411,9 @@ fn build_fifo(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
     let out = pool.ite(out_valid, head, zero_d);
     let delivered = pop;
 
-    finish_lca(ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered)
+    finish_lca(
+        ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered,
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -583,7 +594,9 @@ fn build_double_buffer(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
     let out = pool.ite(out_valid, head, zero_d);
     let delivered = pop;
 
-    finish_lca(ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered)
+    finish_lca(
+        ts, pool, action, data, rdh, out, out_valid, rdin, captured, delivered,
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -682,7 +695,9 @@ fn build_line_buffer(pool: &mut ExprPool, bug: Option<MemctrlBug>) -> Lca {
     let out = pool.ite(ovalid_e, oval_e, zero_d);
     let delivered = pop;
 
-    finish_lca(ts, pool, action, data, rdh, out, ovalid_e, rdin, captured, delivered)
+    finish_lca(
+        ts, pool, action, data, rdh, out, ovalid_e, rdin, captured, delivered,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -814,7 +829,10 @@ mod tests {
 
     #[test]
     fn aqed_finds_all_fifo_bugs() {
-        for bug in MemctrlBug::ALL.iter().filter(|b| b.config() == MemctrlConfig::Fifo) {
+        for bug in MemctrlBug::ALL
+            .iter()
+            .filter(|b| b.config() == MemctrlConfig::Fifo)
+        {
             let bound = if bug.is_deadlock() { 16 } else { 14 };
             let (prop, cycles) = aqed_finds(*bug, bound);
             if bug.is_deadlock() {
@@ -872,7 +890,10 @@ mod tests {
     #[test]
     fn catalogue_metadata_consistent() {
         assert_eq!(MemctrlBug::ALL.len(), 15);
-        let corner: Vec<_> = MemctrlBug::ALL.iter().filter(|b| b.is_corner_case()).collect();
+        let corner: Vec<_> = MemctrlBug::ALL
+            .iter()
+            .filter(|b| b.is_corner_case())
+            .collect();
         assert_eq!(corner.len(), 2, "13% of 15 ≈ 2 A-QED-only bugs");
         let deadlock: Vec<_> = MemctrlBug::ALL.iter().filter(|b| b.is_deadlock()).collect();
         assert_eq!(deadlock.len(), 1, "one RB bug, as the paper reports");

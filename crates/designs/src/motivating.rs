@@ -120,13 +120,12 @@ pub fn build(pool: &mut ExprPool, bug: Option<MotivatingBug>) -> Lca {
         // The consume signal for this buffer's valid flag. Buffer 4
         // (index 3) with the bug uses the un-gated shift signal: it
         // "shifts out" even while the rest of the design is frozen.
-        let consume_sig = if i == NUM_BUFFERS - 1
-            && bug == Some(MotivatingBug::ClockEnableDisconnected)
-        {
-            shift_raw
-        } else {
-            shift
-        };
+        let consume_sig =
+            if i == NUM_BUFFERS - 1 && bug == Some(MotivatingBug::ClockEnableDisconnected) {
+                shift_raw
+            } else {
+                shift
+            };
         let do_consume = pool.and(consume_sig, is_rd);
         let cur_v = buf_valid_e[i];
         let cur_d = buf_data_e[i];
@@ -365,6 +364,9 @@ mod tests {
         let report = AqedHarness::new(&lca)
             .with_fc(FcConfig::default())
             .verify(&mut p, 8);
-        assert!(!report.found_bug(), "healthy design must be clean: {report}");
+        assert!(
+            !report.found_bug(),
+            "healthy design must be clean: {report}"
+        );
     }
 }

@@ -270,6 +270,9 @@ mod tests {
         let report = AqedHarness::new(&lca)
             .with_rb(recommended_rb())
             .verify(&mut p, 12);
-        assert!(!report.found_bug(), "healthy optflow must be clean: {report}");
+        assert!(
+            !report.found_bug(),
+            "healthy optflow must be clean: {report}"
+        );
     }
 }

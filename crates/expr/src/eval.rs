@@ -39,11 +39,7 @@ impl ExprPool {
     /// Evaluates several roots under one assignment, sharing the memo
     /// table across them (cheaper than repeated [`ExprPool::eval`] when
     /// the roots overlap, as transition-system next functions do).
-    pub fn eval_all(
-        &self,
-        roots: &[ExprRef],
-        env: &mut dyn FnMut(VarId) -> Bv,
-    ) -> Vec<Bv> {
+    pub fn eval_all(&self, roots: &[ExprRef], env: &mut dyn FnMut(VarId) -> Bv) -> Vec<Bv> {
         let mut memo: Vec<Option<Bv>> = vec![None; self.len()];
         roots
             .iter()
@@ -114,11 +110,7 @@ impl ExprPool {
                         Some(apply_binop(op, x, y))
                     }
                 }
-                Node::Ite {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Node::Ite { cond, then_, else_ } => {
                     need(cond, &mut stack, &mut pending);
                     need(then_, &mut stack, &mut pending);
                     need(else_, &mut stack, &mut pending);
@@ -141,11 +133,7 @@ impl ExprPool {
                         Some(memo[arg.index()].expect("child memoized").extract(hi, lo))
                     }
                 }
-                Node::Extend {
-                    signed,
-                    width,
-                    arg,
-                } => {
+                Node::Extend { signed, width, arg } => {
                     need(arg, &mut stack, &mut pending);
                     if pending {
                         None

@@ -275,7 +275,7 @@ impl ExprPool {
     /// Panics if `width` is 0 or greater than 64.
     pub fn var(&mut self, name: impl Into<String>, width: u32, kind: VarKind) -> VarId {
         assert!(
-            width >= 1 && width <= Bv::MAX_WIDTH,
+            (1..=Bv::MAX_WIDTH).contains(&width),
             "variable width must be in 1..=64, got {width}"
         );
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
@@ -592,26 +592,10 @@ impl ExprPool {
                     }
                 }
             }
-            BinOp::Ult => {
-                if a == b || zero(cb) {
-                    return Some(self.false_());
-                }
-            }
-            BinOp::Ule => {
-                if a == b || zero(ca) {
-                    return Some(self.true_());
-                }
-            }
-            BinOp::Slt => {
-                if a == b {
-                    return Some(self.false_());
-                }
-            }
-            BinOp::Sle => {
-                if a == b {
-                    return Some(self.true_());
-                }
-            }
+            BinOp::Ult if a == b || zero(cb) => return Some(self.false_()),
+            BinOp::Ule if a == b || zero(ca) => return Some(self.true_()),
+            BinOp::Slt if a == b => return Some(self.false_()),
+            BinOp::Sle if a == b => return Some(self.true_()),
             _ => {}
         }
         None
@@ -765,14 +749,7 @@ impl ExprPool {
                 };
             }
         }
-        self.intern(
-            Node::Ite {
-                cond,
-                then_,
-                else_,
-            },
-            w,
-        )
+        self.intern(Node::Ite { cond, then_, else_ }, w)
     }
 
     /// Bit-slice `arg[hi..=lo]`.
@@ -840,14 +817,7 @@ impl ExprPool {
         if let Some(v) = self.as_const(arg) {
             return self.constant(if signed { v.sext(width) } else { v.zext(width) });
         }
-        self.intern(
-            Node::Extend {
-                signed,
-                width,
-                arg,
-            },
-            width,
-        )
+        self.intern(Node::Extend { signed, width, arg }, width)
     }
 
     /// N-ary AND of 1-bit expressions; the empty conjunction is `true`.
@@ -928,11 +898,7 @@ impl ExprPool {
                     stack.push(*a);
                     stack.push(*b);
                 }
-                Node::Ite {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Node::Ite { cond, then_, else_ } => {
                     stack.push(*cond);
                     stack.push(*then_);
                     stack.push(*else_);

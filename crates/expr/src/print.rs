@@ -96,11 +96,7 @@ impl fmt::Display for DisplayExpr<'_> {
                         stack.push(Item::Text(" "));
                         stack.push(Item::Node(a));
                     }
-                    Node::Ite {
-                        cond,
-                        then_,
-                        else_,
-                    } => {
+                    Node::Ite { cond, then_, else_ } => {
                         f.write_str("(ite ")?;
                         stack.push(Item::Text(")"));
                         stack.push(Item::Node(else_));
@@ -114,11 +110,7 @@ impl fmt::Display for DisplayExpr<'_> {
                         stack.push(Item::Text(")"));
                         stack.push(Item::Node(arg));
                     }
-                    Node::Extend {
-                        signed,
-                        width,
-                        arg,
-                    } => {
+                    Node::Extend { signed, width, arg } => {
                         write!(f, "({} {width} ", if signed { "sext" } else { "zext" })?;
                         stack.push(Item::Text(")"));
                         stack.push(Item::Node(arg));

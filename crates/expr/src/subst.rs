@@ -113,11 +113,7 @@ impl ExprPool {
                         Some(self.binary(op, na, nb))
                     }
                 }
-                Node::Ite {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Node::Ite { cond, then_, else_ } => {
                     need(cond, &mut stack, &mut pending);
                     need(then_, &mut stack, &mut pending);
                     need(else_, &mut stack, &mut pending);
@@ -139,11 +135,7 @@ impl ExprPool {
                         Some(self.extract(na, hi, lo))
                     }
                 }
-                Node::Extend {
-                    signed,
-                    width,
-                    arg,
-                } => {
+                Node::Extend { signed, width, arg } => {
                     need(arg, &mut stack, &mut pending);
                     if pending {
                         None
@@ -197,7 +189,7 @@ mod tests {
         let se = p.var_expr(s);
         let ie = p.var_expr(i);
         let next = p.add(se, ie); // s' = s + i
-        // Unroll 3 frames: s3 = ((s0 + i) + i) + i with i fixed symbolic
+                                  // Unroll 3 frames: s3 = ((s0 + i) + i) + i with i fixed symbolic
         let mut frame = p.lit(8, 0);
         let mut map = HashMap::new();
         for _ in 0..3 {

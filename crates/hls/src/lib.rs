@@ -88,7 +88,12 @@ impl AccelSpec {
     /// Creates a spec with the given interface widths, latency 1,
     /// initiation interval 1, FIFO depth 2 and no clock enable.
     #[must_use]
-    pub fn new(name: impl Into<String>, action_width: u32, data_width: u32, out_width: u32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        action_width: u32,
+        data_width: u32,
+        out_width: u32,
+    ) -> Self {
         AccelSpec {
             name: name.into(),
             action_width,
@@ -223,7 +228,9 @@ pub fn synthesize(
     let action = ts.add_input(pool, "action", spec.action_width);
     let data = ts.add_input(pool, "data", spec.data_width);
     let rdh = ts.add_input(pool, "rdh", 1);
-    let clock_enable = spec.has_clock_enable.then(|| ts.add_input(pool, "clock_enable", 1));
+    let clock_enable = spec
+        .has_clock_enable
+        .then(|| ts.add_input(pool, "clock_enable", 1));
 
     let action_e = pool.var_expr(action);
     let data_e = pool.var_expr(data);
@@ -491,7 +498,9 @@ mod tests {
     #[test]
     fn outputs_in_capture_order() {
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("dbl", 2, 8, 8).with_latency(2).with_fifo_depth(4);
+        let spec = AccelSpec::new("dbl", 2, 8, 8)
+            .with_latency(2)
+            .with_fifo_depth(4);
         let lca = synthesize(&spec, &mut p, SynthOptions::default(), |pool, _a, d| {
             pool.add(d, d)
         });
@@ -516,7 +525,9 @@ mod tests {
     #[test]
     fn backpressure_stalls_rdin() {
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("idly", 2, 8, 8).with_latency(1).with_fifo_depth(2);
+        let spec = AccelSpec::new("idly", 2, 8, 8)
+            .with_latency(1)
+            .with_fifo_depth(2);
         let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
         let mut sim = Simulator::new(&lca.ts, &p);
         // Host never ready: after filling pipeline + fifo, rdin must drop.
@@ -542,7 +553,9 @@ mod tests {
     fn no_output_loss_under_random_traffic() {
         use std::collections::VecDeque;
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("xor55", 2, 8, 8).with_latency(2).with_fifo_depth(2);
+        let spec = AccelSpec::new("xor55", 2, 8, 8)
+            .with_latency(2)
+            .with_fifo_depth(2);
         let lca = synthesize(&spec, &mut p, SynthOptions::default(), |pool, _a, d| {
             let k = pool.lit(8, 0x55);
             pool.xor(d, k)
@@ -552,7 +565,9 @@ mod tests {
         let mut sent = 0u64;
         let mut lcg: u64 = 12345;
         let mut next_rand = || {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             lcg >> 33
         };
         for _ in 0..300 {
@@ -617,7 +632,9 @@ mod tests {
     #[test]
     fn clock_enable_freezes_design() {
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("frozen", 2, 8, 8).with_latency(2).with_clock_enable();
+        let spec = AccelSpec::new("frozen", 2, 8, 8)
+            .with_latency(2)
+            .with_clock_enable();
         let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
         let mut sim = Simulator::new(&lca.ts, &p);
         drive(&lca, &p, &mut sim, 1, 9, true, true);
@@ -643,7 +660,9 @@ mod tests {
         // With stage 0 ignoring clock_enable, freezing the design right
         // after a capture lets the pipeline swallow the in-flight result.
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("ce_bug", 2, 8, 8).with_latency(2).with_clock_enable();
+        let spec = AccelSpec::new("ce_bug", 2, 8, 8)
+            .with_latency(2)
+            .with_clock_enable();
         let opts = SynthOptions {
             broken_ce_stage: Some(1),
             ..SynthOptions::default()
@@ -669,7 +688,9 @@ mod tests {
     #[test]
     fn skip_credit_check_drops_outputs() {
         let mut p = ExprPool::new();
-        let spec = AccelSpec::new("overflow", 2, 8, 8).with_latency(2).with_fifo_depth(1);
+        let spec = AccelSpec::new("overflow", 2, 8, 8)
+            .with_latency(2)
+            .with_fifo_depth(1);
         let opts = SynthOptions {
             skip_credit_check: true,
             ..SynthOptions::default()
@@ -695,7 +716,10 @@ mod tests {
             let (_, delivered, _) = drive(&lca, &p, &mut sim, 0, 0, true, true);
             outs += u64::from(delivered);
         }
-        assert!(accepted > outs, "accepted {accepted} inputs but delivered {outs}: outputs dropped");
+        assert!(
+            accepted > outs,
+            "accepted {accepted} inputs but delivered {outs}: outputs dropped"
+        );
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Arena clause allocator.
+//!
+//! All non-binary clauses live in one flat `Vec<u32>`; a [`ClauseRef`] is
+//! an offset into that arena (stored `+1` so `Option<ClauseRef>` stays
+//! four bytes). Clause layout:
+//!
+//! ```text
+//! [ header ] [ activity (learnt only) ] [ lit 0 ] [ lit 1 ] ...
+//! ```
+//!
+//! The header packs the literal count with three flags:
+//!
+//! * `learnt`  — clause carries an activity word and may be deleted by
+//!   database reduction,
+//! * `deleted` — clause was freed; its watchers are dropped lazily the
+//!   next time propagation or garbage collection walks over them,
+//! * `reloc`   — clause was copied to a new arena during garbage
+//!   collection; the word after the header holds the forwarding offset.
+//!
+//! Freeing a clause only sets the `deleted` bit and books the clause's
+//! words as wasted. When the wasted fraction crosses
+//! [`ClauseAllocator::should_collect`]'s threshold, the solver copies all
+//! live clauses into a fresh arena ([`ClauseAllocator::reloc`]) and
+//! rewrites every stored reference (watch lists, reasons, clause lists).
+//!
+//! Binary clauses never enter the arena at all — the solver inlines them
+//! into the watch lists (see `Watcher` in `solver.rs`).
+
+use crate::{ClauseRef, Lit};
+
+const LEARNT_BIT: u32 = 1 << 0;
+const DELETED_BIT: u32 = 1 << 1;
+const RELOC_BIT: u32 = 1 << 2;
+const SIZE_SHIFT: u32 = 3;
+
+/// Fraction of wasted words that triggers garbage collection.
+const GARBAGE_FRAC: f64 = 0.20;
+
+/// Flat arena holding every clause of three or more literals.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClauseAllocator {
+    data: Vec<u32>,
+    wasted: usize,
+}
+
+impl ClauseAllocator {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn with_capacity(words: usize) -> Self {
+        ClauseAllocator {
+            data: Vec::with_capacity(words),
+            wasted: 0,
+        }
+    }
+
+    /// Arena size in bytes (live + wasted).
+    pub(crate) fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Words currently booked as wasted by freed clauses.
+    pub(crate) fn wasted_words(&self) -> usize {
+        self.wasted
+    }
+
+    /// Total arena length in words (live + wasted).
+    pub(crate) fn len_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether enough of the arena is dead to be worth compacting.
+    pub(crate) fn should_collect(&self) -> bool {
+        self.wasted as f64 > self.data.len() as f64 * GARBAGE_FRAC
+    }
+
+    /// Allocates a clause and returns its reference. Binary clauses are
+    /// watcher-inlined by the solver and must not be allocated here.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 3, "binary clauses are watcher-inlined");
+        let size = u32::try_from(lits.len()).expect("clause too large");
+        debug_assert!(size < (1 << (32 - SIZE_SHIFT)));
+        let offset = self.data.len();
+        self.data.push(size << SIZE_SHIFT | u32::from(learnt));
+        if learnt {
+            self.data.push(0f32.to_bits());
+        }
+        self.data.extend(lits.iter().map(|l| l.0));
+        ClauseRef::new(offset)
+    }
+
+    /// Marks a clause deleted. Watchers still referencing it are dropped
+    /// lazily; the words are reclaimed at the next garbage collection.
+    pub(crate) fn free(&mut self, cref: ClauseRef) {
+        let idx = cref.index();
+        let header = self.data[idx];
+        debug_assert_eq!(header & (DELETED_BIT | RELOC_BIT), 0);
+        self.data[idx] = header | DELETED_BIT;
+        self.wasted += clause_words(header);
+    }
+
+    #[inline]
+    pub(crate) fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.data[cref.index()] & DELETED_BIT != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.data[cref.index()] & LEARNT_BIT != 0
+    }
+
+    #[inline]
+    pub(crate) fn size(&self, cref: ClauseRef) -> usize {
+        (self.data[cref.index()] >> SIZE_SHIFT) as usize
+    }
+
+    /// The `k`-th literal of the clause.
+    #[inline]
+    pub(crate) fn lit(&self, cref: ClauseRef, k: usize) -> Lit {
+        let idx = cref.index();
+        let start = idx + 1 + (self.data[idx] & LEARNT_BIT) as usize;
+        Lit(self.data[start + k])
+    }
+
+    /// The clause's literals as a slice.
+    #[inline]
+    pub(crate) fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let idx = cref.index();
+        let header = self.data[idx];
+        let start = idx + 1 + (header & LEARNT_BIT) as usize;
+        let words = &self.data[start..start + (header >> SIZE_SHIFT) as usize];
+        // SAFETY: `Lit` is `repr(transparent)` over `u32`.
+        unsafe { &*(words as *const [u32] as *const [Lit]) }
+    }
+
+    /// The clause's literals as a mutable slice (watch-position swaps).
+    #[inline]
+    pub(crate) fn lits_mut(&mut self, cref: ClauseRef) -> &mut [Lit] {
+        let idx = cref.index();
+        let header = self.data[idx];
+        let start = idx + 1 + (header & LEARNT_BIT) as usize;
+        let words = &mut self.data[start..start + (header >> SIZE_SHIFT) as usize];
+        // SAFETY: `Lit` is `repr(transparent)` over `u32`.
+        unsafe { &mut *(words as *mut [u32] as *mut [Lit]) }
+    }
+
+    /// Activity of a learnt clause.
+    #[inline]
+    pub(crate) fn activity(&self, cref: ClauseRef) -> f32 {
+        debug_assert!(self.is_learnt(cref));
+        f32::from_bits(self.data[cref.index() + 1])
+    }
+
+    #[inline]
+    pub(crate) fn set_activity(&mut self, cref: ClauseRef, activity: f32) {
+        debug_assert!(self.is_learnt(cref));
+        self.data[cref.index() + 1] = activity.to_bits();
+    }
+
+    /// Moves the clause into arena `to` (if not already moved) and
+    /// returns its new reference. The old slot keeps a forwarding offset
+    /// so every alias of the reference relocates consistently.
+    pub(crate) fn reloc(&mut self, cref: ClauseRef, to: &mut ClauseAllocator) -> ClauseRef {
+        let idx = cref.index();
+        let header = self.data[idx];
+        if header & RELOC_BIT != 0 {
+            return ClauseRef::new(self.data[idx + 1] as usize);
+        }
+        debug_assert_eq!(header & DELETED_BIT, 0, "deleted clauses are not relocated");
+        let words = clause_words(header);
+        let offset = to.data.len();
+        to.data.extend_from_slice(&self.data[idx..idx + words]);
+        self.data[idx] = header | RELOC_BIT;
+        self.data[idx + 1] = u32::try_from(offset).expect("clause arena overflow");
+        ClauseRef::new(offset)
+    }
+}
+
+/// Total words occupied by a clause with the given header.
+fn clause_words(header: u32) -> usize {
+    1 + (header & LEARNT_BIT) as usize + (header >> SIZE_SHIFT) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lits(ls: &[(u32, bool)]) -> Vec<Lit> {
+        ls.iter().map(|&(v, pos)| Var(v).lit(pos)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut ca = ClauseAllocator::new();
+        let a = lits(&[(0, true), (1, false), (2, true)]);
+        let b = lits(&[(3, true), (4, true), (5, false), (6, true)]);
+        let ra = ca.alloc(&a, false);
+        let rb = ca.alloc(&b, true);
+        assert_eq!(ca.lits(ra), &a[..]);
+        assert_eq!(ca.lits(rb), &b[..]);
+        assert_eq!(ca.size(ra), 3);
+        assert_eq!(ca.size(rb), 4);
+        assert!(!ca.is_learnt(ra));
+        assert!(ca.is_learnt(rb));
+        assert_eq!(ca.activity(rb), 0.0);
+        ca.set_activity(rb, 2.5);
+        assert_eq!(ca.activity(rb), 2.5);
+        assert_eq!(
+            ca.lits(rb),
+            &b[..],
+            "activity write must not clobber literals"
+        );
+    }
+
+    #[test]
+    fn free_books_waste_and_collection_threshold() {
+        let mut ca = ClauseAllocator::new();
+        let a = ca.alloc(&lits(&[(0, true), (1, true), (2, true)]), false);
+        let _b = ca.alloc(&lits(&[(3, true), (4, true), (5, true)]), false);
+        assert!(!ca.should_collect());
+        ca.free(a);
+        assert!(ca.is_deleted(a));
+        assert_eq!(ca.wasted_words(), 4);
+        assert!(ca.should_collect(), "half the arena is dead");
+    }
+
+    #[test]
+    fn reloc_forwards_aliases() {
+        let mut ca = ClauseAllocator::new();
+        let a = lits(&[(0, true), (1, true), (2, false)]);
+        let b = lits(&[(3, false), (4, true), (5, true)]);
+        let ra = ca.alloc(&a, false);
+        let rb = ca.alloc(&b, true);
+        ca.free(ra);
+        ca.set_activity(rb, 7.0);
+        let mut to = ClauseAllocator::with_capacity(8);
+        let rb1 = ca.reloc(rb, &mut to);
+        let rb2 = ca.reloc(rb, &mut to);
+        assert_eq!(rb1, rb2, "second reloc must follow the forwarding offset");
+        assert_eq!(to.lits(rb1), &b[..]);
+        assert!(to.is_learnt(rb1));
+        assert_eq!(to.activity(rb1), 7.0);
+        assert_eq!(to.wasted_words(), 0);
+        assert!(to.bytes() < ca.bytes());
+    }
+}

@@ -14,7 +14,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -82,8 +86,8 @@ mod tests {
     #[test]
     fn parses_simple_instance() {
         let mut s = Solver::new();
-        let vars = parse_dimacs("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n", &mut s)
-            .expect("parses");
+        let vars =
+            parse_dimacs("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n", &mut s).expect("parses");
         assert_eq!(vars.len(), 3);
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.model_value(vars[2]), Some(false));

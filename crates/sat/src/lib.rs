@@ -4,6 +4,9 @@
 //! The solver implements the standard modern architecture:
 //!
 //! * two-watched-literal propagation with blocker literals,
+//! * flat-arena clause storage with copying garbage collection, and
+//!   binary clauses inlined into the watch lists (propagation of a
+//!   two-literal clause never touches clause memory),
 //! * first-UIP conflict analysis with learned-clause minimization,
 //! * EVSIDS variable activities on an indexed binary max-heap,
 //! * phase saving,
@@ -28,6 +31,7 @@
 //! assert_eq!(s.solve(), SolveResult::Unsat);
 //! ```
 
+mod alloc;
 mod dimacs;
 mod heap;
 mod solver;
@@ -56,6 +60,10 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    ///
+    /// Deliberately a named method (MiniSat-style `v.neg()`), not
+    /// `std::ops::Neg`: negating a *variable* yields a *literal*.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn neg(self) -> Lit {
         Lit::new(self, false)
@@ -77,8 +85,10 @@ impl fmt::Display for Var {
 /// A literal: a variable or its negation.
 ///
 /// Encoded as `var << 1 | sign` where `sign == 1` means negated, so
-/// literals index watch lists directly.
+/// literals index watch lists directly. `repr(transparent)` over `u32`
+/// lets the clause arena reinterpret its raw words as literal slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Lit(pub(crate) u32);
 
 impl Lit {

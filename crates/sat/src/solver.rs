@@ -1,5 +1,14 @@
 //! The CDCL search engine.
+//!
+//! Clause storage is a flat arena ([`crate::alloc::ClauseAllocator`]):
+//! every clause of three or more literals lives at a `u32` offset in one
+//! contiguous buffer, and freed clauses are compacted away by a copying
+//! garbage collector once a fifth of the arena is dead. Two-literal
+//! clauses never touch the arena — they are inlined into the watch
+//! lists, so binary propagation (the bulk of Tseitin-encoded problems)
+//! resolves from the watcher alone without a single clause lookup.
 
+use crate::alloc::ClauseAllocator;
 use crate::heap::ActivityHeap;
 use crate::{ClauseRef, LBool, Lit, Var};
 use std::fmt;
@@ -36,35 +45,63 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Number of learned clauses deleted by database reduction.
     pub deleted: u64,
+    /// Number of propagations resolved by the inline binary-clause fast
+    /// path (no arena access).
+    pub binary_props: u64,
+    /// Number of arena garbage collections performed.
+    pub gc_runs: u64,
+    /// Current clause-arena size in bytes (live + not-yet-collected).
+    pub arena_bytes: u64,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={}",
+            "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={} \
+             binary_props={} gc_runs={} arena_bytes={}",
             self.decisions,
             self.propagations,
             self.conflicts,
             self.restarts,
             self.learnts,
-            self.deleted
+            self.deleted,
+            self.binary_props,
+            self.gc_runs,
+            self.arena_bytes
         )
     }
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    removed: bool,
-    activity: f64,
+/// Why a variable is assigned: the antecedent of a propagation.
+///
+/// Binary clauses propagate straight from the watch lists, so their
+/// antecedent is the one other literal rather than an arena reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// Implied by an arena clause (the implied literal is at position 0).
+    Clause(ClauseRef),
+    /// Implied by the binary clause `(implied ∨ other)`; `other` is false.
+    Binary(Lit),
 }
 
+/// A conflicting clause found by propagation.
+#[derive(Debug, Clone, Copy)]
+enum Conflict {
+    Clause(ClauseRef),
+    Binary(Lit, Lit),
+}
+
+/// One entry of a watch list.
+///
+/// `cref == None` marks an inlined binary clause `(¬watched ∨ blocker)`:
+/// the watcher carries the whole clause, so propagation never reads the
+/// arena for it. For longer clauses `blocker` is a cached literal whose
+/// truth proves the clause satisfied without loading it.
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
-    cref: ClauseRef,
     blocker: Lit,
+    cref: Option<ClauseRef>,
 }
 
 /// Incremental CDCL SAT solver.
@@ -75,12 +112,17 @@ struct Watcher {
 /// added between calls (the intended BMC workflow).
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    free_slots: Vec<usize>,
+    ca: ClauseAllocator,
+    /// Live irredundant arena clauses (for GC relocation).
+    clauses: Vec<ClauseRef>,
+    /// Live learnt arena clauses (reduction candidates).
+    learnts: Vec<ClauseRef>,
+    /// Binary clauses attached so far (they live only in watch lists).
+    num_binary: usize,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     level: Vec<u32>,
-    reason: Vec<Option<ClauseRef>>,
+    reason: Vec<Option<Reason>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
@@ -109,13 +151,38 @@ impl Default for Solver {
     }
 }
 
+/// Truth value of `l` under the current assignment (free function so
+/// propagation can hold a clause borrow at the same time).
+#[inline]
+fn lit_value(assigns: &[LBool], l: Lit) -> LBool {
+    match assigns[l.var().index()] {
+        LBool::Undef => LBool::Undef,
+        LBool::True => {
+            if l.is_positive() {
+                LBool::True
+            } else {
+                LBool::False
+            }
+        }
+        LBool::False => {
+            if l.is_positive() {
+                LBool::False
+            } else {
+                LBool::True
+            }
+        }
+    }
+}
+
 impl Solver {
     /// Creates an empty solver.
     #[must_use]
     pub fn new() -> Self {
         Solver {
+            ca: ClauseAllocator::new(),
             clauses: Vec::new(),
-            free_slots: Vec::new(),
+            learnts: Vec::new(),
+            num_binary: 0,
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -150,16 +217,18 @@ impl Solver {
     }
 
     /// Number of clauses currently in the database (original + learned,
-    /// excluding deleted).
+    /// excluding deleted; binary clauses included).
     #[must_use]
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len() - self.free_slots.len()
+        self.clauses.len() + self.learnts.len() + self.num_binary
     }
 
     /// Cumulative search statistics.
     #[must_use]
     pub fn stats(&self) -> SolverStats {
-        self.stats
+        let mut s = self.stats;
+        s.arena_bytes = self.ca.bytes() as u64;
+        s
     }
 
     /// Limits the next [`Solver::solve`]/[`Solver::solve_with`] call to at
@@ -206,23 +275,7 @@ impl Solver {
 
     #[inline]
     fn value_lit(&self, l: Lit) -> LBool {
-        match self.assigns[l.var().index()] {
-            LBool::Undef => LBool::Undef,
-            LBool::True => {
-                if l.is_positive() {
-                    LBool::True
-                } else {
-                    LBool::False
-                }
-            }
-            LBool::False => {
-                if l.is_positive() {
-                    LBool::False
-                } else {
-                    LBool::True
-                }
-            }
-        }
+        lit_value(&self.assigns, l)
     }
 
     #[inline]
@@ -269,6 +322,72 @@ impl Solver {
                 _ => out.push(l),
             }
         }
+        self.commit_simplified(&out)
+    }
+
+    /// Adds a two-literal clause without heap allocation — the dominant
+    /// clause shape emitted by Tseitin bit-blasting. Semantics are
+    /// identical to [`Solver::add_clause`] on the same literals.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Solver::add_clause`].
+    pub fn add_binary(&mut self, a: Lit, b: Lit) -> bool {
+        self.add_small(&mut [a, b])
+    }
+
+    /// Adds a three-literal clause without heap allocation (the other
+    /// clause shape of Tseitin gate encodings). Semantics are identical
+    /// to [`Solver::add_clause`] on the same literals.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Solver::add_clause`].
+    pub fn add_ternary(&mut self, a: Lit, b: Lit, c: Lit) -> bool {
+        self.add_small(&mut [a, b, c])
+    }
+
+    /// Shared allocation-free path for 2- and 3-literal clauses:
+    /// simplifies on the stack, then dispatches to the right store.
+    fn add_small(&mut self, lits: &mut [Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        for &l in lits.iter() {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} uses an unknown variable"
+            );
+        }
+        lits.sort_unstable();
+        let mut out = [Lit(0); 3];
+        let mut n = 0usize;
+        for i in 0..lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() {
+                if lits[i + 1] == l {
+                    continue; // duplicate
+                }
+                if lits[i + 1] == !l {
+                    return true; // l ∨ ¬l: tautology (adjacent when sorted)
+                }
+            }
+            match self.value_lit(l) {
+                LBool::True if self.level[l.var().index()] == 0 => return true,
+                LBool::False if self.level[l.var().index()] == 0 => {}
+                _ => {
+                    out[n] = l;
+                    n += 1;
+                }
+            }
+        }
+        self.commit_simplified(&out[..n])
+    }
+
+    /// Stores an already-simplified clause (no duplicates, tautologies,
+    /// or level-0-false literals).
+    fn commit_simplified(&mut self, out: &[Lit]) -> bool {
         match out.len() {
             0 => {
                 self.ok = false;
@@ -279,6 +398,10 @@ impl Solver {
                 self.ok = self.propagate().is_none();
                 self.ok
             }
+            2 => {
+                self.attach_binary(out[0], out[1], false);
+                true
+            }
             _ => {
                 self.alloc_clause(out, false);
                 true
@@ -286,54 +409,56 @@ impl Solver {
         }
     }
 
-    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
-        debug_assert!(lits.len() >= 2);
-        let clause = Clause {
-            lits,
-            learnt,
-            removed: false,
-            activity: 0.0,
-        };
-        let cref = if let Some(slot) = self.free_slots.pop() {
-            self.clauses[slot] = clause;
-            ClauseRef::new(slot)
+    /// Allocates an arena clause (three or more literals) and attaches
+    /// its watchers.
+    fn alloc_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 3);
+        let cref = self.ca.alloc(lits, learnt);
+        if learnt {
+            self.learnts.push(cref);
+            self.num_learnts += 1;
+            self.stats.learnts = self.num_learnts;
         } else {
-            self.clauses.push(clause);
-            ClauseRef::new(self.clauses.len() - 1)
-        };
+            self.clauses.push(cref);
+        }
         self.attach(cref);
+        cref
+    }
+
+    /// Attaches a binary clause `(a ∨ b)` by inlining it into both watch
+    /// lists; no arena storage is used.
+    fn attach_binary(&mut self, a: Lit, b: Lit, learnt: bool) {
+        self.watches[(!a).index()].push(Watcher {
+            blocker: b,
+            cref: None,
+        });
+        self.watches[(!b).index()].push(Watcher {
+            blocker: a,
+            cref: None,
+        });
+        self.num_binary += 1;
         if learnt {
             self.num_learnts += 1;
             self.stats.learnts = self.num_learnts;
         }
-        cref
     }
 
     fn attach(&mut self, cref: ClauseRef) {
         let (l0, l1) = {
-            let c = &self.clauses[cref.index()];
-            (c.lits[0], c.lits[1])
+            let lits = self.ca.lits(cref);
+            (lits[0], lits[1])
         };
         self.watches[(!l0).index()].push(Watcher {
-            cref,
             blocker: l1,
+            cref: Some(cref),
         });
         self.watches[(!l1).index()].push(Watcher {
-            cref,
             blocker: l0,
+            cref: Some(cref),
         });
     }
 
-    fn detach(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
-            let c = &self.clauses[cref.index()];
-            (c.lits[0], c.lits[1])
-        };
-        self.watches[(!l0).index()].retain(|w| w.cref != cref);
-        self.watches[(!l1).index()].retain(|w| w.cref != cref);
-    }
-
-    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<Reason>) {
         debug_assert_eq!(self.value_lit(l), LBool::Undef);
         let v = l.var().index();
         self.assigns[v] = LBool::from_bool(l.is_positive());
@@ -343,56 +468,107 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    ///
+    /// Watch lists are traversed in place: kept watchers are never
+    /// rewritten, clauses that migrate to a new watch are removed with an
+    /// O(1) `swap_remove` (watch-list order is irrelevant), and
+    /// lazily-detached (deleted) clauses drop their watchers the same way.
+    fn propagate(&mut self) -> Option<Conflict> {
+        // Outcome of inspecting one non-binary clause, computed under a
+        // single arena borrow per visit.
+        enum Visit {
+            Satisfied(Lit),
+            Moved(Lit, Lit),
+            Unit(Lit),
+            Conflicting,
+        }
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let false_lit = !p;
+            let pi = p.index();
             let mut i = 0;
-            'watchers: while i < self.watches[p.index()].len() {
-                let Watcher { cref, blocker } = self.watches[p.index()][i];
+            while i < self.watches[pi].len() {
+                let w = self.watches[pi][i];
+                let Some(cref) = w.cref else {
+                    // Binary fast path: the whole clause is
+                    // (false_lit ∨ blocker), carried by the watcher.
+                    match lit_value(&self.assigns, w.blocker) {
+                        LBool::True => {}
+                        LBool::Undef => {
+                            self.stats.binary_props += 1;
+                            self.unchecked_enqueue(w.blocker, Some(Reason::Binary(false_lit)));
+                        }
+                        LBool::False => {
+                            self.qhead = self.trail.len();
+                            return Some(Conflict::Binary(false_lit, w.blocker));
+                        }
+                    }
+                    i += 1;
+                    continue;
+                };
+                if self.ca.is_deleted(cref) {
+                    self.watches[pi].swap_remove(i); // lazily detached
+                    continue;
+                }
                 // Fast path: blocker already true.
-                if self.value_lit(blocker) == LBool::True {
+                if lit_value(&self.assigns, w.blocker) == LBool::True {
                     i += 1;
                     continue;
                 }
-                let false_lit = !p;
-                // Normalize: ensure false_lit is at position 1.
-                {
-                    let c = &mut self.clauses[cref.index()];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                let visit = {
+                    let assigns = &self.assigns;
+                    let lits = self.ca.lits_mut(cref);
+                    // Normalize: ensure false_lit is at position 1.
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                }
-                let first = self.clauses[cref.index()].lits[0];
-                if first != blocker && self.value_lit(first) == LBool::True {
-                    // Clause satisfied; update blocker.
-                    self.watches[p.index()][i].blocker = first;
-                    i += 1;
-                    continue;
-                }
-                // Look for a new literal to watch.
-                let len = self.clauses[cref.index()].lits.len();
-                for k in 2..len {
-                    let lk = self.clauses[cref.index()].lits[k];
-                    if self.value_lit(lk) != LBool::False {
-                        self.clauses[cref.index()].lits.swap(1, k);
-                        self.watches[p.index()].swap_remove(i);
+                    debug_assert_eq!(lits[1], false_lit);
+                    let first = lits[0];
+                    if first != w.blocker && lit_value(assigns, first) == LBool::True {
+                        Visit::Satisfied(first)
+                    } else {
+                        // Look for a new literal to watch.
+                        let mut moved = None;
+                        for k in 2..lits.len() {
+                            if lit_value(assigns, lits[k]) != LBool::False {
+                                lits.swap(1, k);
+                                moved = Some(lits[1]);
+                                break;
+                            }
+                        }
+                        match moved {
+                            Some(lk) => Visit::Moved(lk, first),
+                            // No new watch: clause is unit or conflicting.
+                            None if lit_value(assigns, first) == LBool::False => Visit::Conflicting,
+                            None => Visit::Unit(first),
+                        }
+                    }
+                };
+                match visit {
+                    Visit::Satisfied(first) => {
+                        self.watches[pi][i].blocker = first;
+                        i += 1;
+                    }
+                    Visit::Moved(lk, first) => {
+                        // `lk` is non-false while `false_lit` is false, so
+                        // the push never lands back on p's own list.
+                        self.watches[pi].swap_remove(i);
                         self.watches[(!lk).index()].push(Watcher {
-                            cref,
                             blocker: first,
+                            cref: Some(cref),
                         });
-                        continue 'watchers;
+                    }
+                    Visit::Unit(first) => {
+                        self.unchecked_enqueue(first, Some(Reason::Clause(cref)));
+                        i += 1;
+                    }
+                    Visit::Conflicting => {
+                        self.qhead = self.trail.len();
+                        return Some(Conflict::Clause(cref));
                     }
                 }
-                // No new watch: clause is unit or conflicting.
-                if self.value_lit(first) == LBool::False {
-                    self.qhead = self.trail.len();
-                    return Some(cref);
-                }
-                self.unchecked_enqueue(first, Some(cref));
-                i += 1;
             }
         }
         None
@@ -415,16 +591,16 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref.index()];
-        if !c.learnt {
+        if !self.ca.is_learnt(cref) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > CLA_RESCALE_LIMIT {
-            for cl in self.clauses.iter_mut() {
-                if cl.learnt {
-                    cl.activity *= CLA_RESCALE_FACTOR;
-                }
+        let bumped = self.ca.activity(cref) + self.cla_inc as f32;
+        self.ca.set_activity(cref, bumped);
+        if f64::from(bumped) > CLA_RESCALE_LIMIT {
+            for idx in 0..self.learnts.len() {
+                let c = self.learnts[idx];
+                let a = self.ca.activity(c);
+                self.ca.set_activity(c, a * CLA_RESCALE_FACTOR as f32);
             }
             self.cla_inc *= CLA_RESCALE_FACTOR;
         }
@@ -434,31 +610,42 @@ impl Solver {
         self.cla_inc /= self.cla_decay;
     }
 
+    /// Processes one literal of a conflict-side clause during analysis.
+    fn analyze_visit(&mut self, q: Lit, learnt: &mut Vec<Lit>, counter: &mut usize) {
+        let v = q.var().index();
+        if !self.seen[v] && self.level[v] > 0 {
+            self.seen[v] = true;
+            self.bump_var(v);
+            if self.level[v] >= self.decision_level() {
+                *counter += 1;
+            } else {
+                learnt.push(q);
+            }
+        }
+    }
+
     /// First-UIP conflict analysis. Returns the learned clause (asserting
     /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
         let mut counter = 0usize;
-        let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut cref = conflict;
 
-        loop {
-            self.bump_clause(cref);
-            let start = usize::from(p.is_some());
-            let lits: Vec<Lit> = self.clauses[cref.index()].lits[start..].to_vec();
-            for q in lits {
-                let v = q.var().index();
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.bump_var(v);
-                    if self.level[v] >= self.decision_level() {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
+        match conflict {
+            Conflict::Clause(cref) => {
+                self.bump_clause(cref);
+                for k in 0..self.ca.size(cref) {
+                    let q = self.ca.lit(cref, k);
+                    self.analyze_visit(q, &mut learnt, &mut counter);
                 }
             }
+            Conflict::Binary(a, b) => {
+                self.analyze_visit(a, &mut learnt, &mut counter);
+                self.analyze_visit(b, &mut learnt, &mut counter);
+            }
+        }
+
+        let uip = loop {
             // Walk the trail backwards to the next marked literal.
             loop {
                 index -= 1;
@@ -471,12 +658,21 @@ impl Solver {
             self.seen[v] = false;
             counter -= 1;
             if counter == 0 {
-                learnt[0] = !lit;
-                break;
+                break lit;
             }
-            cref = self.reason[v].expect("non-decision literal has a reason");
-            p = Some(lit);
-        }
+            match self.reason[v].expect("non-decision literal has a reason") {
+                Reason::Clause(cref) => {
+                    self.bump_clause(cref);
+                    // Position 0 is the implied literal (`lit`): skip it.
+                    for k in 1..self.ca.size(cref) {
+                        let q = self.ca.lit(cref, k);
+                        self.analyze_visit(q, &mut learnt, &mut counter);
+                    }
+                }
+                Reason::Binary(other) => self.analyze_visit(other, &mut learnt, &mut counter),
+            }
+        };
+        learnt[0] = !uip;
 
         // Clause minimization: drop literals implied by the rest.
         let mut minimized = vec![learnt[0]];
@@ -513,14 +709,15 @@ impl Solver {
     /// clause (seen) or assigned at level 0.
     fn literal_redundant(&self, l: Lit) -> bool {
         let v = l.var().index();
-        let Some(r) = self.reason[v] else {
-            return false;
-        };
-        self.clauses[r.index()].lits.iter().all(|&q| {
-            q.var() == l.var()
-                || self.seen[q.var().index()]
-                || self.level[q.var().index()] == 0
-        })
+        match self.reason[v] {
+            None => false,
+            Some(Reason::Binary(other)) => {
+                self.seen[other.var().index()] || self.level[other.var().index()] == 0
+            }
+            Some(Reason::Clause(cref)) => self.ca.lits(cref).iter().all(|&q| {
+                q.var() == l.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -558,36 +755,88 @@ impl Solver {
         }
     }
 
+    /// Whether the clause is the reason of its first literal's
+    /// assignment (such clauses must survive database reduction).
+    /// Position 0 stays the implied literal for as long as the clause is
+    /// a reason — propagation only swaps it away once it is unassigned.
+    fn locked(&self, cref: ClauseRef) -> bool {
+        let l0 = self.ca.lit(cref, 0);
+        lit_value(&self.assigns, l0) == LBool::True
+            && self.reason[l0.var().index()] == Some(Reason::Clause(cref))
+    }
+
+    /// Deletes the lowest-activity half of the learnt arena clauses.
+    /// Deleted clauses are only marked (lazy detachment: their watchers
+    /// fall out during propagation or garbage collection), so reduction
+    /// is linear in the learnt count rather than in watch-list lengths.
     fn reduce_db(&mut self) {
-        // Collect learnt clause refs sorted by activity (ascending).
-        let mut learnts: Vec<(f64, usize)> = self
-            .clauses
+        let mut ranked: Vec<(f32, ClauseRef)> = self
+            .learnts
             .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && !c.removed && c.lits.len() > 2)
-            .map(|(i, c)| (c.activity, i))
+            .map(|&c| (self.ca.activity(c), c))
             .collect();
-        learnts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut locked = vec![false; self.clauses.len()];
-        for r in self.reason.iter().flatten() {
-            locked[r.index()] = true;
-        }
-        let target = learnts.len() / 2;
-        let mut removed = 0usize;
-        for &(_, idx) in learnts.iter().take(target) {
-            let cref = ClauseRef::new(idx);
-            if locked[idx] {
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let target = ranked.len() / 2;
+        let mut removed = 0u64;
+        for &(_, cref) in ranked.iter().take(target) {
+            if self.locked(cref) {
                 continue;
             }
-            self.detach(cref);
-            self.clauses[idx].removed = true;
-            self.clauses[idx].lits.clear();
-            self.free_slots.push(idx);
+            self.ca.free(cref);
             removed += 1;
         }
-        self.num_learnts -= removed as u64;
-        self.stats.deleted += removed as u64;
-        self.stats.learnts = self.num_learnts;
+        if removed > 0 {
+            let ca = &self.ca;
+            self.learnts.retain(|&c| !ca.is_deleted(c));
+            self.num_learnts -= removed;
+            self.stats.deleted += removed;
+            self.stats.learnts = self.num_learnts;
+        }
+        if self.ca.should_collect() {
+            self.garbage_collect();
+        }
+    }
+
+    /// Copies all live clauses into a fresh arena and rewrites every
+    /// stored reference (watch lists, reasons, clause lists). Also drops
+    /// the watchers of lazily-detached clauses.
+    fn garbage_collect(&mut self) {
+        let mut to = ClauseAllocator::with_capacity(self.ca.len_words() - self.ca.wasted_words());
+        let ca = &mut self.ca;
+        for list in &mut self.watches {
+            list.retain_mut(|w| match w.cref {
+                None => true, // inlined binary: nothing to relocate
+                Some(cref) => {
+                    if ca.is_deleted(cref) {
+                        false
+                    } else {
+                        w.cref = Some(ca.reloc(cref, &mut to));
+                        true
+                    }
+                }
+            });
+        }
+        // Only assigned variables can hold reasons, and reduce_db never
+        // frees locked clauses, so every reason clause is live.
+        for &l in &self.trail {
+            let v = l.var().index();
+            if let Some(Reason::Clause(cref)) = self.reason[v] {
+                self.reason[v] = Some(Reason::Clause(ca.reloc(cref, &mut to)));
+            }
+        }
+        for cref in self.clauses.iter_mut().chain(self.learnts.iter_mut()) {
+            *cref = ca.reloc(*cref, &mut to);
+        }
+        self.ca = to;
+        self.stats.gc_runs += 1;
+    }
+
+    /// Forces an arena compaction regardless of the wasted fraction.
+    /// Useful after large clause deletions (and for tests exercising
+    /// reference relocation); the solver also collects automatically once
+    /// a fifth of the arena is dead.
+    pub fn reclaim_memory(&mut self) {
+        self.garbage_collect();
     }
 
     /// Solves the current formula with no assumptions.
@@ -664,11 +913,16 @@ impl Solver {
                 }
                 let (learnt, bt_level) = self.analyze(conflict);
                 self.backtrack_to(bt_level);
-                if learnt.len() == 1 {
-                    self.unchecked_enqueue(learnt[0], None);
-                } else {
-                    let cref = self.alloc_clause(learnt.clone(), true);
-                    self.unchecked_enqueue(learnt[0], Some(cref));
+                match learnt.len() {
+                    1 => self.unchecked_enqueue(learnt[0], None),
+                    2 => {
+                        self.attach_binary(learnt[0], learnt[1], true);
+                        self.unchecked_enqueue(learnt[0], Some(Reason::Binary(learnt[1])));
+                    }
+                    _ => {
+                        let cref = self.alloc_clause(&learnt, true);
+                        self.unchecked_enqueue(learnt[0], Some(Reason::Clause(cref)));
+                    }
                 }
                 self.decay_var_activity();
                 self.decay_clause_activity();
@@ -734,8 +988,7 @@ impl Solver {
     /// The value of literal `l` in the most recent satisfying assignment.
     #[must_use]
     pub fn model_lit(&self, l: Lit) -> Option<bool> {
-        self.model_value(l.var())
-            .map(|b| b == l.is_positive())
+        self.model_value(l.var()).map(|b| b == l.is_positive())
     }
 }
 
@@ -768,6 +1021,19 @@ mod tests {
 
     fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
         s.new_vars(n)
+    }
+
+    /// At-most-one-pigeon-per-hole clauses of a PHP instance, added
+    /// hole-major (hole, then pigeon pair).
+    fn php_exclusivity(s: &mut Solver, p: &[Vec<Var>]) {
+        for h in 0..p[0].len() {
+            let col: Vec<Var> = p.iter().map(|row| row[h]).collect();
+            for (i, &a) in col.iter().enumerate() {
+                for &b in &col[i + 1..] {
+                    s.add_clause([a.neg(), b.neg()]);
+                }
+            }
+        }
     }
 
     #[test]
@@ -832,6 +1098,20 @@ mod tests {
     }
 
     #[test]
+    fn binary_fast_path_counts_propagations() {
+        // Trigger the chain with an assumption (not a unit clause) so the
+        // binaries survive level-0 simplification and propagate through
+        // the watcher-inlined fast path.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 10);
+        for i in 0..9 {
+            assert!(s.add_binary(v[i].neg(), v[i + 1].pos()));
+        }
+        assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
+        assert!(s.stats().binary_props >= 9);
+    }
+
+    #[test]
     fn xor_constraints_unsat() {
         // a ⊕ b, b ⊕ c, a ⊕ c is UNSAT (odd cycle).
         let mut s = Solver::new();
@@ -862,13 +1142,7 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.pos()));
         }
-        for h in 0..holes {
-            for i in 0..pigeons {
-                for j in (i + 1)..pigeons {
-                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
-                }
-            }
-        }
+        php_exclusivity(&mut s, &p);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -881,13 +1155,7 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.pos()));
         }
-        for h in 0..holes {
-            for i in 0..pigeons {
-                for j in (i + 1)..pigeons {
-                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
-                }
-            }
-        }
+        php_exclusivity(&mut s, &p);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
@@ -937,13 +1205,7 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.pos()));
         }
-        for h in 0..holes {
-            for i in 0..pigeons {
-                for j in (i + 1)..pigeons {
-                    s.add_clause([p[i][h].neg(), p[j][h].neg()]);
-                }
-            }
-        }
+        php_exclusivity(&mut s, &p);
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
@@ -960,13 +1222,7 @@ mod tests {
             for row in &p {
                 s.add_clause(row.iter().map(|v| v.pos()));
             }
-            for h in 0..3 {
-                for i in 0..4 {
-                    for j in (i + 1)..4 {
-                        s.add_clause([p[i][h].neg(), p[j][h].neg()]);
-                    }
-                }
-            }
+            php_exclusivity(&mut s, &p);
             assert_eq!(s.solve(), SolveResult::Unsat);
         }
     }
@@ -983,5 +1239,82 @@ mod tests {
         let text = s.stats().to_string();
         assert!(text.contains("decisions=0"));
         assert!(text.contains("conflicts=0"));
+        assert!(text.contains("binary_props=0"));
+        assert!(text.contains("gc_runs=0"));
+    }
+
+    #[test]
+    fn small_clause_fast_paths_simplify() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        // Tautology and duplicate handling.
+        assert!(s.add_binary(v[0].pos(), v[0].neg()));
+        assert!(s.add_ternary(v[0].pos(), v[1].pos(), v[0].neg()));
+        assert_eq!(s.num_clauses(), 0);
+        // Duplicate literal collapses a ternary to a binary.
+        assert!(s.add_ternary(v[0].pos(), v[0].pos(), v[1].pos()));
+        assert_eq!(s.num_clauses(), 1);
+        // Level-0 false literals are dropped at add time.
+        assert!(s.add_binary(v[0].neg(), v[2].neg()));
+        assert!(s.add_clause([v[0].pos()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[2]), Some(false));
+        // Contradicting units through the fast path flag UNSAT.
+        assert!(!s.add_binary(v[2].pos(), v[2].pos()));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn binary_conflict_and_learning() {
+        // All-binary UNSAT instance: conflicts must flow through the
+        // watcher-inlined representation (Conflict::Binary / Reason::Binary).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_binary(v[0].pos(), v[1].pos());
+        s.add_binary(v[0].pos(), v[1].neg());
+        s.add_binary(v[0].neg(), v[2].pos());
+        s.add_binary(v[0].neg(), v[2].neg());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn forced_gc_preserves_state() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 30);
+        for i in 0..28 {
+            assert!(s.add_ternary(v[i].neg(), v[i + 1].pos(), v[i + 2].pos()));
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let before = s.num_clauses();
+        let bytes_before = s.stats().arena_bytes;
+        s.reclaim_memory();
+        assert_eq!(s.stats().gc_runs, 1);
+        assert_eq!(s.num_clauses(), before);
+        assert!(s.stats().arena_bytes <= bytes_before);
+        // Solver stays fully usable across the relocation, including
+        // incremental additions and assumption solving.
+        assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
+        assert!(s.add_clause([v[0].pos()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn reduction_and_gc_under_heavy_search() {
+        // PHP(7,6) generates enough learnt clauses to trigger database
+        // reduction; force collection afterwards and keep solving.
+        let (pigeons, holes) = (7usize, 6usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        php_exclusivity(&mut s, &p);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.reclaim_memory();
+        assert!(s.stats().gc_runs >= 1);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 }

@@ -13,7 +13,11 @@ fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
             let sat = c.iter().any(|&l| {
                 let v = (l.unsigned_abs() - 1) as usize;
                 let val = (m >> v) & 1 == 1;
-                if l > 0 { val } else { !val }
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
             });
             if !sat {
                 continue 'outer;
@@ -28,7 +32,10 @@ fn run_solver(n: usize, clauses: &[Vec<i32>]) -> (SolveResult, Vec<bool>, Vec<Va
     let mut s = Solver::new();
     let vars = s.new_vars(n);
     for c in clauses {
-        s.add_clause(c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)));
+        s.add_clause(
+            c.iter()
+                .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+        );
     }
     let r = s.solve();
     let model = vars
@@ -42,14 +49,21 @@ fn model_satisfies(clauses: &[Vec<i32>], model: &[bool]) -> bool {
     clauses.iter().all(|c| {
         c.iter().any(|&l| {
             let val = model[(l.unsigned_abs() - 1) as usize];
-            if l > 0 { val } else { !val }
+            if l > 0 {
+                val
+            } else {
+                !val
+            }
         })
     })
 }
 
 fn clause_strategy(n: usize) -> impl Strategy<Value = Vec<i32>> {
-    prop::collection::vec((1..=n as i32, any::<bool>()), 1..=4)
-        .prop_map(|lits| lits.into_iter().map(|(v, s)| if s { v } else { -v }).collect())
+    prop::collection::vec((1..=n as i32, any::<bool>()), 1..=4).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, s)| if s { v } else { -v })
+            .collect()
+    })
 }
 
 proptest! {
@@ -71,6 +85,68 @@ proptest! {
         if got == SolveResult::Sat {
             prop_assert!(model_satisfies(&clauses, &model), "model must satisfy all clauses");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Incremental solving across clause-arena compactions: clauses are
+    /// added in batches, each batch is solved under random assumptions,
+    /// and a forced garbage collection runs between batches so every
+    /// later solve works on relocated clause references. Each answer is
+    /// cross-checked against brute force on the clauses added so far
+    /// plus the assumptions as units.
+    #[test]
+    fn incremental_sequence_with_gc_agrees_with_brute_force(
+        n in 4usize..10,
+        batches in prop::collection::vec(
+            prop::collection::vec(clause_strategy(9), 1..8),
+            2..5,
+        ),
+        assumption_seed in any::<u64>(),
+    ) {
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        let mut rng = StdRng::seed_from_u64(assumption_seed);
+        let mut so_far: Vec<Vec<i32>> = Vec::new();
+        for batch in batches {
+            for c in batch {
+                let c: Vec<i32> = c
+                    .into_iter()
+                    .filter(|l| l.unsigned_abs() as usize <= n)
+                    .collect();
+                if c.is_empty() {
+                    continue;
+                }
+                s.add_clause(
+                    c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+                );
+                so_far.push(c);
+            }
+            let assumed: Vec<i32> = (0..rng.gen_range(0..3usize))
+                .map(|_| {
+                    let v = rng.gen_range(1..=n as i32);
+                    if rng.gen() { v } else { -v }
+                })
+                .collect();
+            let lits: Vec<_> = assumed
+                .iter()
+                .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                .collect();
+            let got = s.solve_with(&lits);
+            let mut check = so_far.clone();
+            check.extend(assumed.iter().map(|&l| vec![l]));
+            let expect = brute_force_sat(n, &check);
+            prop_assert_eq!(
+                got,
+                if expect { SolveResult::Sat } else { SolveResult::Unsat }
+            );
+            // Compact the arena so the next batch's solves run on
+            // relocated clause references.
+            s.reclaim_memory();
+        }
+        prop_assert!(s.stats().gc_runs >= 2, "sequence must exercise GC");
     }
 }
 
@@ -123,14 +199,21 @@ fn incremental_assumption_sweep_matches_oneshot() {
     let mut inc = Solver::new();
     let vars = inc.new_vars(n);
     for c in &clauses {
-        inc.add_clause(c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)));
+        inc.add_clause(
+            c.iter()
+                .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+        );
     }
-    for i in 0..n {
+    for (i, v) in vars.iter().enumerate() {
         for polarity in [true, false] {
-            let inc_result = inc.solve_with(&[vars[i].lit(polarity)]);
+            let inc_result = inc.solve_with(&[v.lit(polarity)]);
             // From scratch with the assumption as a unit clause.
             let mut fresh_clauses = clauses.clone();
-            fresh_clauses.push(vec![if polarity { (i + 1) as i32 } else { -((i + 1) as i32) }]);
+            fresh_clauses.push(vec![if polarity {
+                (i + 1) as i32
+            } else {
+                -((i + 1) as i32)
+            }]);
             let (fresh_result, _, _) = run_solver(n, &fresh_clauses);
             assert_eq!(inc_result, fresh_result, "var {i} polarity {polarity}");
         }

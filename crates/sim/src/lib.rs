@@ -192,12 +192,7 @@ impl Testbench {
     ///
     /// `golden` is the design's functional model `(action, data) → out`.
     #[must_use]
-    pub fn run(
-        &self,
-        lca: &Lca,
-        pool: &ExprPool,
-        golden: fn(u64, u64) -> u64,
-    ) -> SimOutcome {
+    pub fn run(&self, lca: &Lca, pool: &ExprPool, golden: fn(u64, u64) -> u64) -> SimOutcome {
         let start = Instant::now();
         let mut total_cycles = 0u64;
         for &profile in &self.profiles {
@@ -295,10 +290,7 @@ impl Testbench {
                         }
                     }
                     None => {
-                        return (
-                            Some((DetectionKind::SpuriousOutput, cycle + 1)),
-                            cycle + 1,
-                        );
+                        return (Some((DetectionKind::SpuriousOutput, cycle + 1)), cycle + 1);
                     }
                 }
             }
@@ -320,6 +312,16 @@ impl Testbench {
     }
 }
 
+fn profile_salt(profile: StimulusProfile) -> u64 {
+    match profile {
+        StimulusProfile::IncrementingStream => 0x1111,
+        StimulusProfile::WalkingOnesBursts => 0x2222,
+        StimulusProfile::ConstrainedRandom => 0x3333,
+        StimulusProfile::BackpressureStress => 0x4444,
+        StimulusProfile::ClockGating => 0x5555,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,10 +334,7 @@ mod tests {
             let mut p = ExprPool::new();
             let lca = memctrl::build(&mut p, config, None);
             let outcome = Testbench::quick().run(&lca, &p, memctrl::golden);
-            assert!(
-                !outcome.detected(),
-                "{config:?} healthy flagged: {outcome}"
-            );
+            assert!(!outcome.detected(), "{config:?} healthy flagged: {outcome}");
         }
     }
 
@@ -368,7 +367,10 @@ mod tests {
 
     #[test]
     fn conventional_misses_corner_case_bugs() {
-        for bug in [MemctrlBug::FifoRedundantWriteGlitch, MemctrlBug::DbWriteCollision] {
+        for bug in [
+            MemctrlBug::FifoRedundantWriteGlitch,
+            MemctrlBug::DbWriteCollision,
+        ] {
             let mut p = ExprPool::new();
             let lca = memctrl::build(&mut p, bug.config(), Some(bug));
             let outcome = Testbench::default().run(&lca, &p, memctrl::golden);
@@ -419,15 +421,5 @@ mod tests {
         assert!(outcome.to_string().contains("passed"));
         assert!(outcome.trace_cycles().is_none());
         assert!(outcome.total_cycles > 0);
-    }
-}
-
-fn profile_salt(profile: StimulusProfile) -> u64 {
-    match profile {
-        StimulusProfile::IncrementingStream => 0x1111,
-        StimulusProfile::WalkingOnesBursts => 0x2222,
-        StimulusProfile::ConstrainedRandom => 0x3333,
-        StimulusProfile::BackpressureStress => 0x4444,
-        StimulusProfile::ClockGating => 0x5555,
     }
 }

@@ -93,11 +93,7 @@ pub fn to_btor2(ts: &TransitionSystem, pool: &ExprPool) -> String {
                     need(a, &mut stack, &mut pending);
                     need(b, &mut stack, &mut pending);
                 }
-                Node::Ite {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Node::Ite { cond, then_, else_ } => {
                     need(cond, &mut stack, &mut pending);
                     need(then_, &mut stack, &mut pending);
                     need(else_, &mut stack, &mut pending);
@@ -170,11 +166,7 @@ pub fn to_btor2(ts: &TransitionSystem, pool: &ExprPool) -> String {
                     };
                     let _ = writeln!(out, "{id} {name} {sid} {an} {bn}");
                 }
-                Node::Ite {
-                    cond,
-                    then_,
-                    else_,
-                } => {
+                Node::Ite { cond, then_, else_ } => {
                     let cn = nodes[&cond];
                     let tn = nodes[&then_];
                     let en = nodes[&else_];
@@ -184,11 +176,7 @@ pub fn to_btor2(ts: &TransitionSystem, pool: &ExprPool) -> String {
                     let an = nodes[&arg];
                     let _ = writeln!(out, "{id} slice {sid} {an} {hi} {lo}");
                 }
-                Node::Extend {
-                    signed,
-                    width,
-                    arg,
-                } => {
+                Node::Extend { signed, width, arg } => {
                     let an = nodes[&arg];
                     let ext = width - pool.width(arg);
                     let name = if signed { "sext" } else { "uext" };
@@ -205,33 +193,73 @@ pub fn to_btor2(ts: &TransitionSystem, pool: &ExprPool) -> String {
     for st in ts.states() {
         let w = pool.var_width(st.var);
         if let Some(init) = st.init {
-            let en = emit(init, pool, &mut out, &mut next_id, &mut sorts, &mut nodes, &vars);
+            let en = emit(
+                init,
+                pool,
+                &mut out,
+                &mut next_id,
+                &mut sorts,
+                &mut nodes,
+                &vars,
+            );
             let sid = sorts[&w];
             let id = next_id;
             next_id += 1;
             let _ = writeln!(out, "{id} init {sid} {} {en}", vars[&st.var]);
         }
         let next = st.next.expect("validated");
-        let en = emit(next, pool, &mut out, &mut next_id, &mut sorts, &mut nodes, &vars);
+        let en = emit(
+            next,
+            pool,
+            &mut out,
+            &mut next_id,
+            &mut sorts,
+            &mut nodes,
+            &vars,
+        );
         let sid = sorts[&w];
         let id = next_id;
         next_id += 1;
         let _ = writeln!(out, "{id} next {sid} {} {en}", vars[&st.var]);
     }
     for &c in ts.constraints() {
-        let en = emit(c, pool, &mut out, &mut next_id, &mut sorts, &mut nodes, &vars);
+        let en = emit(
+            c,
+            pool,
+            &mut out,
+            &mut next_id,
+            &mut sorts,
+            &mut nodes,
+            &vars,
+        );
         let id = next_id;
         next_id += 1;
         let _ = writeln!(out, "{id} constraint {en}");
     }
     for (name, b) in ts.bads() {
-        let en = emit(*b, pool, &mut out, &mut next_id, &mut sorts, &mut nodes, &vars);
+        let en = emit(
+            *b,
+            pool,
+            &mut out,
+            &mut next_id,
+            &mut sorts,
+            &mut nodes,
+            &vars,
+        );
         let id = next_id;
         next_id += 1;
         let _ = writeln!(out, "{id} bad {en} {}", sanitize(name));
     }
     for (name, o) in ts.outputs() {
-        let en = emit(*o, pool, &mut out, &mut next_id, &mut sorts, &mut nodes, &vars);
+        let en = emit(
+            *o,
+            pool,
+            &mut out,
+            &mut next_id,
+            &mut sorts,
+            &mut nodes,
+            &vars,
+        );
         let id = next_id;
         next_id += 1;
         let _ = writeln!(out, "{id} output {en} {}", sanitize(name));
@@ -241,7 +269,13 @@ pub fn to_btor2(ts: &TransitionSystem, pool: &ExprPool) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -433,7 +467,9 @@ mod tests {
         let red = p.redxor(se);
         ts.add_bad("parity", red);
         let text = to_btor2(&ts, &p);
-        for op in ["add", "mul", "srl", "slt", "sext", "slice", "uext", "xor", "neg", "redxor"] {
+        for op in [
+            "add", "mul", "srl", "slt", "sext", "slice", "uext", "xor", "neg", "redxor",
+        ] {
             assert!(text.contains(&format!(" {op} ")), "missing {op}\n{text}");
         }
         btor2_check(&text).expect("well-formed");

@@ -318,9 +318,9 @@ impl TransitionSystem {
         for s in &self.states {
             let w = pool.var_width(s.var);
             let name = pool.var_name(s.var).to_string();
-            let next = s.next.ok_or(ValidateSystemError::MissingNext {
-                name: name.clone(),
-            })?;
+            let next = s
+                .next
+                .ok_or(ValidateSystemError::MissingNext { name: name.clone() })?;
             if pool.width(next) != w {
                 return Err(ValidateSystemError::WidthMismatch {
                     context: format!("next({name})"),

@@ -63,7 +63,10 @@ impl Mem {
         depth: usize,
         width: u32,
     ) -> Self {
-        assert!(depth >= 1 && depth <= 1 << 16, "unsupported memory depth {depth}");
+        assert!(
+            (1..=1 << 16).contains(&depth),
+            "unsupported memory depth {depth}"
+        );
         let words: Vec<VarId> = (0..depth)
             .map(|i| ts.add_register(pool, format!("{name}[{i}]"), width, 0))
             .collect();

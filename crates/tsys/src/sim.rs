@@ -62,8 +62,11 @@ impl Simulator {
             }
         }
         // Constant-ish inits first, then expression inits reading them.
-        let mut pending: Vec<(VarId, ExprRef)> =
-            ts.states().iter().filter_map(|s| s.init.map(|i| (s.var, i))).collect();
+        let mut pending: Vec<(VarId, ExprRef)> = ts
+            .states()
+            .iter()
+            .filter_map(|s| s.init.map(|i| (s.var, i)))
+            .collect();
         // Resolve in dependency-friendly order: repeat until fixpoint.
         let mut progress = true;
         while progress && !pending.is_empty() {

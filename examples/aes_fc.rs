@@ -18,15 +18,18 @@ use aqed::expr::ExprPool;
 fn main() {
     // Full-scale AES-128 sanity (the simulation-side golden model).
     let key = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
     let pt = [
-        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
-        0x07, 0x34,
+        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
+        0x34,
     ];
     let ct = aes128::encrypt_block(&key, &pt);
-    println!("AES-128 FIPS-197 vector: {:02x}{:02x}{:02x}{:02x}…  ✔", ct[0], ct[1], ct[2], ct[3]);
+    println!(
+        "AES-128 FIPS-197 vector: {:02x}{:02x}{:02x}{:02x}…  ✔",
+        ct[0], ct[1], ct[2], ct[3]
+    );
 
     // Small-scale AES golden model.
     println!(
@@ -44,7 +47,9 @@ fn main() {
     // Healthy core is clean.
     let mut pool = ExprPool::new();
     let healthy = build(&mut pool, None);
-    let report = AqedHarness::new(&healthy).with_fc(fc.clone()).verify(&mut pool, 12);
+    let report = AqedHarness::new(&healthy)
+        .with_fc(fc.clone())
+        .verify(&mut pool, 12);
     println!("\nAES (healthy) : {report}");
     assert!(!report.found_bug());
 
@@ -57,7 +62,9 @@ fn main() {
         };
         let mut pool = ExprPool::new();
         let lca = build(&mut pool, Some(bug));
-        let report = AqedHarness::new(&lca).with_fc(fc.clone()).verify(&mut pool, bound);
+        let report = AqedHarness::new(&lca)
+            .with_fc(fc.clone())
+            .verify(&mut pool, bound);
         match &report.outcome {
             CheckOutcome::Bug {
                 property,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/ci.sh            # run everything
+#
+# Mirrors what reviewers run before merging; keep it green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -27,7 +27,10 @@ fn run_case_and_replay(case: &BugCase) {
     // Replay happens inside verify() as a debug assertion; here we do it
     // explicitly against the composed system.
     let (composed, _) = harness.build(&mut pool);
-    let mut bmc = Bmc::new(&composed, BmcOptions::default().with_max_bound(case.bmc_bound));
+    let mut bmc = Bmc::new(
+        &composed,
+        BmcOptions::default().with_max_bound(case.bmc_bound),
+    );
     match bmc.check(&composed, &mut pool) {
         BmcResult::Counterexample(cex) => {
             assert!(

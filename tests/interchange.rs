@@ -19,7 +19,10 @@ fn composed_system_exports_to_btor2() {
     let stats = btor2_stats(&text);
     // Design inputs + the two monitor labels.
     assert_eq!(stats.inputs, lca.ts.inputs().len() + 2);
-    assert!(stats.states > lca.ts.states().len(), "monitor registers present");
+    assert!(
+        stats.states > lca.ts.states().len(),
+        "monitor registers present"
+    );
     assert_eq!(stats.bads, handles.bad_names.len());
     assert!(stats.ops > 50, "nontrivial logic exported");
     let lines = btor2_check(&text).expect("referential integrity");

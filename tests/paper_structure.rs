@@ -51,10 +51,16 @@ fn table2_rows_shape() {
         .map(|c| c.design)
         .collect();
     assert_eq!(rb, vec![DesignId::Dataflow, DesignId::Optflow]);
-    let gsm = cases.iter().find(|c| c.design == DesignId::Gsm).expect("gsm");
+    let gsm = cases
+        .iter()
+        .find(|c| c.design == DesignId::Gsm)
+        .expect("gsm");
     assert_eq!(gsm.expected, ExpectedProperty::Fc);
     // Optical flow's per-pixel operation is interfering: FC must be off.
-    let of = cases.iter().find(|c| c.design == DesignId::Optflow).expect("of");
+    let of = cases
+        .iter()
+        .find(|c| c.design == DesignId::Optflow)
+        .expect("of");
     assert!(of.fc.is_none());
     assert!(of.golden.is_none());
 }

@@ -13,7 +13,11 @@ use aqed::hls::{synthesize, AccelSpec, SynthOptions};
 use aqed::tsys::Simulator;
 use aqed_bitvec::Bv;
 
-fn spec_neg_plus_three(pool: &mut ExprPool, _a: aqed_expr::ExprRef, d: aqed_expr::ExprRef) -> aqed_expr::ExprRef {
+fn spec_neg_plus_three(
+    pool: &mut ExprPool,
+    _a: aqed_expr::ExprRef,
+    d: aqed_expr::ExprRef,
+) -> aqed_expr::ExprRef {
     let neg = pool.neg(d);
     let three = pool.lit(6, 3);
     pool.add(neg, three)
@@ -52,8 +56,12 @@ fn strong_connectedness_holds_concretely() {
     // no new inputs — the synthesized micro-architecture must return to
     // its all-idle initial state.
     let mut pool = ExprPool::new();
-    let spec = AccelSpec::new("sc", 2, 6, 6).with_latency(3).with_fifo_depth(2);
-    let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |p, _a, d| p.not(d));
+    let spec = AccelSpec::new("sc", 2, 6, 6)
+        .with_latency(3)
+        .with_fifo_depth(2);
+    let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |p, _a, d| {
+        p.not(d)
+    });
     let mut sim = Simulator::new(&lca.ts, &pool);
     let initial: Vec<(aqed_expr::VarId, Bv)> = lca
         .ts
