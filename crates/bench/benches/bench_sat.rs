@@ -142,10 +142,39 @@ fn bench_propagation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Arena-GC microbench: `reclaim_memory` forces a full compaction on a
+/// formula shaped like a bit-blasted netlist — watch lists dominated by
+/// inlined binary clauses (4 per variable) plus a block of 8-literal
+/// clauses living in the arena. Compaction cost should track the arena
+/// clauses only; the binary watchers carry no arena reference and must
+/// survive the watch-list rebuild untouched.
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/gc");
+    group.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let mut s = Solver::new();
+        let vars = s.new_vars(n);
+        for i in 0..n {
+            for j in 1..=4usize {
+                assert!(s.add_clause([vars[i].neg(), vars[(i + j) % n].pos()]));
+            }
+        }
+        for i in 0..n / 8 {
+            let clause: Vec<Lit> = (0..8).map(|j| vars[(i * 11 + j * 17) % n].pos()).collect();
+            assert!(s.add_clause(clause));
+        }
+        group.bench_with_input(BenchmarkId::new("reclaim", n), &n, |b, _| {
+            b.iter(|| s.reclaim_memory());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pigeonhole,
     bench_random_3sat,
-    bench_propagation
+    bench_propagation,
+    bench_gc
 );
 criterion_main!(benches);

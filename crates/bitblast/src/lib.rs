@@ -10,8 +10,11 @@
 //! ripple-carry adders, shift-and-add multipliers, restoring dividers,
 //! logarithmic barrel shifters, and borrow-chain comparators.
 //!
-//! A blaster is tied to one [`Solver`] instance: pass the same solver to
-//! every call (a fresh solver with an old blaster produces invalid CNF).
+//! Every method is generic over [`SatBackend`], so the same encoder
+//! drives the in-tree CDCL solver, the DIMACS-logging backend, or any
+//! future implementation. A blaster is tied to one backend instance: pass
+//! the same backend to every call (a fresh backend with an old blaster
+//! produces invalid CNF).
 //!
 //! # Examples
 //!
@@ -41,7 +44,7 @@
 
 use aqed_bitvec::Bv;
 use aqed_expr::{BinOp, ExprPool, ExprRef, Node, UnOp, VarId};
-use aqed_sat::{Lit, Solver};
+use aqed_sat::{Lit, SatBackend};
 use std::collections::HashMap;
 
 /// Compiles word-level expressions to CNF, caching every encoded node.
@@ -68,12 +71,12 @@ impl BitBlaster {
     }
 
     /// A literal constrained to be true (created on first use).
-    pub fn lit_true(&mut self, solver: &mut Solver) -> Lit {
+    pub fn lit_true<B: SatBackend>(&mut self, solver: &mut B) -> Lit {
         match self.const_true {
             Some(l) => l,
             None => {
                 let v = solver.new_var();
-                solver.add_clause([v.pos()]);
+                solver.add_clause(&[v.pos()]);
                 self.const_true = Some(v.pos());
                 v.pos()
             }
@@ -81,13 +84,18 @@ impl BitBlaster {
     }
 
     /// A literal constrained to be false.
-    pub fn lit_false(&mut self, solver: &mut Solver) -> Lit {
+    pub fn lit_false<B: SatBackend>(&mut self, solver: &mut B) -> Lit {
         !self.lit_true(solver)
     }
 
     /// The solver literals backing variable `v` (LSB first), allocating
     /// them on first use.
-    pub fn var_lits(&mut self, pool: &ExprPool, v: VarId, solver: &mut Solver) -> Vec<Lit> {
+    pub fn var_lits<B: SatBackend>(
+        &mut self,
+        pool: &ExprPool,
+        v: VarId,
+        solver: &mut B,
+    ) -> Vec<Lit> {
         if let Some(bits) = self.var_bits.get(&v) {
             return bits.clone();
         }
@@ -104,7 +112,12 @@ impl BitBlaster {
     /// # Panics
     ///
     /// Panics if `e` is not from `pool`.
-    pub fn blast(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut Solver) -> Vec<Lit> {
+    pub fn blast<B: SatBackend>(
+        &mut self,
+        pool: &ExprPool,
+        e: ExprRef,
+        solver: &mut B,
+    ) -> Vec<Lit> {
         if let Some(bits) = self.cache.get(&e) {
             return bits.clone();
         }
@@ -155,10 +168,10 @@ impl BitBlaster {
     /// # Panics
     ///
     /// Panics if `e` is not 1 bit wide.
-    pub fn assert_true(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut Solver) {
+    pub fn assert_true<B: SatBackend>(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut B) {
         assert_eq!(pool.width(e), 1, "assert_true requires a 1-bit expression");
         let bits = self.blast(pool, e, solver);
-        solver.add_clause([bits[0]]);
+        solver.add_clause(&[bits[0]]);
     }
 
     /// Encodes the 1-bit expression `e` and returns the literal
@@ -167,7 +180,7 @@ impl BitBlaster {
     /// # Panics
     ///
     /// Panics if `e` is not 1 bit wide.
-    pub fn literal(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut Solver) -> Lit {
+    pub fn literal<B: SatBackend>(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut B) -> Lit {
         assert_eq!(pool.width(e), 1, "literal requires a 1-bit expression");
         self.blast(pool, e, solver)[0]
     }
@@ -176,11 +189,16 @@ impl BitBlaster {
     /// solver's current model. Returns `None` if the solver holds no model
     /// or `e` was never blasted.
     #[must_use]
-    pub fn model_value(&self, pool: &ExprPool, e: ExprRef, solver: &Solver) -> Option<Bv> {
+    pub fn model_value<B: SatBackend>(
+        &self,
+        pool: &ExprPool,
+        e: ExprRef,
+        solver: &B,
+    ) -> Option<Bv> {
         let bits = self.cache.get(&e)?;
         let mut val = 0u64;
         for (i, &b) in bits.iter().enumerate() {
-            if solver.model_lit(b)? {
+            if solver.value(b)? {
                 val |= 1 << i;
             }
         }
@@ -191,11 +209,11 @@ impl BitBlaster {
     /// Returns `None` if no model is available or the variable was never
     /// allocated.
     #[must_use]
-    pub fn model_var(&self, pool: &ExprPool, v: VarId, solver: &Solver) -> Option<Bv> {
+    pub fn model_var<B: SatBackend>(&self, pool: &ExprPool, v: VarId, solver: &B) -> Option<Bv> {
         let bits = self.var_bits.get(&v)?;
         let mut val = 0u64;
         for (i, &b) in bits.iter().enumerate() {
-            if solver.model_lit(b)? {
+            if solver.value(b)? {
                 val |= 1 << i;
             }
         }
@@ -214,7 +232,7 @@ impl BitBlaster {
         self.const_true == Some(!l)
     }
 
-    fn gate_and(&mut self, a: Lit, b: Lit, solver: &mut Solver) -> Lit {
+    fn gate_and<B: SatBackend>(&mut self, a: Lit, b: Lit, solver: &mut B) -> Lit {
         if self.is_const_false(a) || self.is_const_false(b) {
             return self.lit_false(solver);
         }
@@ -240,12 +258,12 @@ impl BitBlaster {
         c
     }
 
-    fn gate_or(&mut self, a: Lit, b: Lit, solver: &mut Solver) -> Lit {
+    fn gate_or<B: SatBackend>(&mut self, a: Lit, b: Lit, solver: &mut B) -> Lit {
         let n = self.gate_and(!a, !b, solver);
         !n
     }
 
-    fn gate_xor(&mut self, a: Lit, b: Lit, solver: &mut Solver) -> Lit {
+    fn gate_xor<B: SatBackend>(&mut self, a: Lit, b: Lit, solver: &mut B) -> Lit {
         if self.is_const_false(a) {
             return b;
         }
@@ -273,7 +291,7 @@ impl BitBlaster {
     }
 
     /// `s ? a : b`
-    fn gate_mux(&mut self, s: Lit, a: Lit, b: Lit, solver: &mut Solver) -> Lit {
+    fn gate_mux<B: SatBackend>(&mut self, s: Lit, a: Lit, b: Lit, solver: &mut B) -> Lit {
         if self.is_const_true(s) {
             return a;
         }
@@ -292,7 +310,13 @@ impl BitBlaster {
     }
 
     /// Full adder returning (sum, carry-out).
-    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit, solver: &mut Solver) -> (Lit, Lit) {
+    fn full_adder<B: SatBackend>(
+        &mut self,
+        a: Lit,
+        b: Lit,
+        cin: Lit,
+        solver: &mut B,
+    ) -> (Lit, Lit) {
         let axb = self.gate_xor(a, b, solver);
         let sum = self.gate_xor(axb, cin, solver);
         let ab = self.gate_and(a, b, solver);
@@ -301,7 +325,13 @@ impl BitBlaster {
         (sum, cout)
     }
 
-    fn ripple_add(&mut self, a: &[Lit], b: &[Lit], cin: Lit, solver: &mut Solver) -> Vec<Lit> {
+    fn ripple_add<B: SatBackend>(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        cin: Lit,
+        solver: &mut B,
+    ) -> Vec<Lit> {
         let mut out = Vec::with_capacity(a.len());
         let mut carry = cin;
         for i in 0..a.len() {
@@ -312,14 +342,14 @@ impl BitBlaster {
         out
     }
 
-    fn negate(&mut self, a: &[Lit], solver: &mut Solver) -> Vec<Lit> {
+    fn negate<B: SatBackend>(&mut self, a: &[Lit], solver: &mut B) -> Vec<Lit> {
         let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
         let zero: Vec<Lit> = vec![self.lit_false(solver); a.len()];
         let one = self.lit_true(solver);
         self.ripple_add(&inv, &zero, one, solver)
     }
 
-    fn const_bits(&mut self, v: Bv, solver: &mut Solver) -> Vec<Lit> {
+    fn const_bits<B: SatBackend>(&mut self, v: Bv, solver: &mut B) -> Vec<Lit> {
         let t = self.lit_true(solver);
         (0..v.width())
             .map(|i| if v.bit(i) { t } else { !t })
@@ -327,7 +357,7 @@ impl BitBlaster {
     }
 
     /// Unsigned `a < b` via a priority chain from LSB to MSB.
-    fn cmp_ult(&mut self, a: &[Lit], b: &[Lit], solver: &mut Solver) -> Lit {
+    fn cmp_ult<B: SatBackend>(&mut self, a: &[Lit], b: &[Lit], solver: &mut B) -> Lit {
         let mut lt = self.lit_false(solver);
         for i in 0..a.len() {
             // lt_i = (¬a_i ∧ b_i) ∨ ((a_i == b_i) ∧ lt_{i-1})
@@ -339,7 +369,7 @@ impl BitBlaster {
         lt
     }
 
-    fn cmp_eq(&mut self, a: &[Lit], b: &[Lit], solver: &mut Solver) -> Lit {
+    fn cmp_eq<B: SatBackend>(&mut self, a: &[Lit], b: &[Lit], solver: &mut B) -> Lit {
         let mut acc = self.lit_true(solver);
         for i in 0..a.len() {
             let x = self.gate_xor(a[i], b[i], solver);
@@ -348,7 +378,13 @@ impl BitBlaster {
         acc
     }
 
-    fn mux_word(&mut self, s: Lit, a: &[Lit], b: &[Lit], solver: &mut Solver) -> Vec<Lit> {
+    fn mux_word<B: SatBackend>(
+        &mut self,
+        s: Lit,
+        a: &[Lit],
+        b: &[Lit],
+        solver: &mut B,
+    ) -> Vec<Lit> {
         a.iter()
             .zip(b)
             .map(|(&x, &y)| self.gate_mux(s, x, y, solver))
@@ -356,12 +392,12 @@ impl BitBlaster {
     }
 
     /// Barrel shifter. `kind`: 0 = shl, 1 = lshr, 2 = ashr.
-    fn barrel_shift(
+    fn barrel_shift<B: SatBackend>(
         &mut self,
         a: &[Lit],
         amount: &[Lit],
         kind: u8,
-        solver: &mut Solver,
+        solver: &mut B,
     ) -> Vec<Lit> {
         let w = a.len();
         let fill = match kind {
@@ -410,7 +446,7 @@ impl BitBlaster {
     }
 
     /// Shift-and-add multiplier truncated to the operand width.
-    fn multiply(&mut self, a: &[Lit], b: &[Lit], solver: &mut Solver) -> Vec<Lit> {
+    fn multiply<B: SatBackend>(&mut self, a: &[Lit], b: &[Lit], solver: &mut B) -> Vec<Lit> {
         let w = a.len();
         let f = self.lit_false(solver);
         let mut acc = vec![f; w];
@@ -432,7 +468,12 @@ impl BitBlaster {
 
     /// Restoring division. Returns (quotient, remainder) with the
     /// SMT-LIB zero-divisor convention.
-    fn divide(&mut self, a: &[Lit], b: &[Lit], solver: &mut Solver) -> (Vec<Lit>, Vec<Lit>) {
+    fn divide<B: SatBackend>(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        solver: &mut B,
+    ) -> (Vec<Lit>, Vec<Lit>) {
         let w = a.len();
         let f = self.lit_false(solver);
         let t = self.lit_true(solver);
@@ -461,7 +502,12 @@ impl BitBlaster {
         (quo, rem)
     }
 
-    fn encode_node(&mut self, pool: &ExprPool, e: ExprRef, solver: &mut Solver) -> Vec<Lit> {
+    fn encode_node<B: SatBackend>(
+        &mut self,
+        pool: &ExprPool,
+        e: ExprRef,
+        solver: &mut B,
+    ) -> Vec<Lit> {
         match *pool.node(e) {
             Node::Const(v) => self.const_bits(v, solver),
             Node::Var(v) => self.var_lits(pool, v, solver),
@@ -588,7 +634,7 @@ impl BitBlaster {
 mod tests {
     use super::*;
     use aqed_expr::VarKind;
-    use aqed_sat::SolveResult;
+    use aqed_sat::{SolveResult, Solver};
 
     /// Checks that a blasted binary operation agrees with `Bv` semantics
     /// for all pairs of `width`-bit inputs.

@@ -20,7 +20,7 @@
 use crate::{Bmc, BmcOptions, BmcResult};
 use aqed_bitblast::BitBlaster;
 use aqed_expr::{ExprPool, ExprRef, VarId, VarKind};
-use aqed_sat::{Lit, SolveResult, Solver};
+use aqed_sat::{Lit, SatBackend, SolveResult, Solver};
 use aqed_tsys::TransitionSystem;
 use std::collections::HashMap;
 
@@ -85,11 +85,27 @@ pub fn prove(
     pool: &mut ExprPool,
     options: &InductionOptions,
 ) -> InductionResult {
+    prove_with::<Solver>(ts, pool, options)
+}
+
+/// [`prove`] generic over the SAT backend: base checks run through
+/// [`Bmc::with_backend`] and the step case builds its own `B::default()`
+/// instance per depth.
+///
+/// # Panics
+///
+/// Panics if the system fails validation or has no bad properties.
+#[must_use]
+pub fn prove_with<B: SatBackend + Default>(
+    ts: &TransitionSystem,
+    pool: &mut ExprPool,
+    options: &InductionOptions,
+) -> InductionResult {
     ts.validate(pool).expect("system must be well-formed");
     assert!(!ts.bads().is_empty(), "nothing to prove");
     for k in 0..=options.max_k {
         // Base: BMC up to depth k.
-        let mut bmc = Bmc::new(
+        let mut bmc: Bmc<B> = Bmc::with_backend(
             ts,
             BmcOptions::default()
                 .with_max_bound(k)
@@ -102,7 +118,7 @@ pub fn prove(
         }
         // Step: arbitrary k+1-state path, property holds in first k
         // states, violated in the last.
-        if step_case_holds(ts, pool, k, options) {
+        if step_case_holds::<B>(ts, pool, k, options) {
             return InductionResult::Proved { k };
         }
     }
@@ -114,13 +130,13 @@ pub fn prove(
 /// Returns true when the induction step at depth `k` is valid (the
 /// "property can be violated after k clean arbitrary states" query is
 /// UNSAT).
-fn step_case_holds(
+fn step_case_holds<B: SatBackend + Default>(
     ts: &TransitionSystem,
     pool: &mut ExprPool,
     k: usize,
     options: &InductionOptions,
 ) -> bool {
-    let mut solver = Solver::new();
+    let mut solver = B::default();
     let mut blaster = BitBlaster::new();
     solver.set_conflict_budget(options.conflict_budget);
 
@@ -190,7 +206,7 @@ fn step_case_holds(
 
     // Assume cleanliness of the first k+1 frames.
     for l in &all_bads_clean {
-        solver.add_clause([*l]);
+        solver.add_clause(&[*l]);
     }
     // Simple-path: all state vectors pairwise distinct.
     if options.simple_path {
@@ -202,14 +218,14 @@ fn step_case_holds(
                     let ne = pool.ne(*a, *b);
                     any_diff.push(blaster.literal(pool, ne, &mut solver));
                 }
-                solver.add_clause(any_diff);
+                solver.add_clause(&any_diff);
             }
         }
     }
     // Violation in the final frame.
-    solver.add_clause(last_bad_lits);
+    solver.add_clause(&last_bad_lits);
 
-    matches!(solver.solve(), SolveResult::Unsat)
+    matches!(solver.solve_under(&[]), SolveResult::Unsat)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! On a satisfiable query the engine extracts a [`Counterexample`]: the
 //! concrete per-cycle inputs and the initial values of uninitialised
 //! registers, expressed over the *original* system variables so the trace
-//! replays directly on the [`Simulator`](aqed_tsys::Simulator).
+//! replays directly on the [`Simulator`].
 //!
 //! # Examples
 //!
@@ -53,10 +53,11 @@ pub use witness::to_btor2_witness;
 use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
-use aqed_sat::{Lit, SolveResult, Solver, SolverStats};
+use aqed_sat::{Lit, SatBackend, SolveResult, Solver, SolverStats};
 use aqed_tsys::{Simulator, Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
+use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
 /// Configuration for a BMC run.
@@ -227,18 +228,35 @@ pub struct BmcStats {
     pub solver: SolverStats,
 }
 
-/// The bounded model checker. Create once per system with [`Bmc::new`],
-/// then call [`Bmc::check`].
+impl BmcStats {
+    /// Folds another run's statistics into this one. Used when several
+    /// per-obligation checks report as a single aggregate: counters add
+    /// up, `frames_encoded` takes the deepest run, and `elapsed` becomes
+    /// total solver time (which exceeds wall-clock under parallelism).
+    pub fn absorb(&mut self, other: &BmcStats) {
+        self.frames_encoded = self.frames_encoded.max(other.frames_encoded);
+        self.solver_calls += other.solver_calls;
+        self.clauses += other.clauses;
+        self.variables += other.variables;
+        self.elapsed += other.elapsed;
+        self.solver.absorb(&other.solver);
+    }
+}
+
+/// The bounded model checker, generic over the SAT backend it drives.
+/// Create once per system with [`Bmc::new`] (CDCL backend) or
+/// [`Bmc::with_backend`] (any [`SatBackend`]), then call [`Bmc::check`].
 #[derive(Debug)]
-pub struct Bmc {
+pub struct Bmc<B: SatBackend = Solver> {
     options: BmcOptions,
     stats: BmcStats,
     /// Selected bad indices; `None` = all bads of the system.
     bad_filter: Option<Vec<usize>>,
+    backend: PhantomData<fn() -> B>,
 }
 
-impl Bmc {
-    /// Creates a checker for `ts` with the given options.
+impl Bmc<Solver> {
+    /// Creates a checker for `ts` backed by the in-process CDCL solver.
     ///
     /// The system reference is only used for upfront sanity checks; pass
     /// the same system to [`Bmc::check`].
@@ -248,6 +266,19 @@ impl Bmc {
     /// Panics if the system has no bad properties.
     #[must_use]
     pub fn new(ts: &TransitionSystem, options: BmcOptions) -> Self {
+        Bmc::with_backend(ts, options)
+    }
+}
+
+impl<B: SatBackend> Bmc<B> {
+    /// Creates a checker for `ts` using backend `B` (one fresh instance
+    /// per encoding session, via `B::default()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no bad properties.
+    #[must_use]
+    pub fn with_backend(ts: &TransitionSystem, options: BmcOptions) -> Self {
         assert!(
             !ts.bads().is_empty(),
             "system '{}' has no bad properties to check",
@@ -257,6 +288,7 @@ impl Bmc {
             options,
             stats: BmcStats::default(),
             bad_filter: None,
+            backend: PhantomData,
         }
     }
 
@@ -276,15 +308,41 @@ impl Bmc {
         self.bad_filter = Some(idx);
     }
 
+    /// Restricts checking to the given bad indices (default: all). The
+    /// obligation scheduler uses this to split a system's properties into
+    /// independent jobs without going through names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn select_bad_indices(&mut self, ts: &TransitionSystem, indices: &[usize]) {
+        for &i in indices {
+            assert!(
+                i < ts.bads().len(),
+                "bad index {i} out of range (system has {})",
+                ts.bads().len()
+            );
+        }
+        self.bad_filter = Some(indices.to_vec());
+    }
+
     /// Statistics of the most recent check.
     #[must_use]
     pub fn stats(&self) -> BmcStats {
         self.stats
     }
 
+    fn bad_indices(&self, ts: &TransitionSystem) -> Vec<usize> {
+        self.bad_filter
+            .clone()
+            .unwrap_or_else(|| (0..ts.bads().len()).collect())
+    }
+}
+
+impl<B: SatBackend + Default> Bmc<B> {
     /// Runs BMC on `ts` (which must be validated and identical to the one
-    /// passed to [`Bmc::new`]), exploring depths `0..=max_bound` in order
-    /// and returning at the first violation.
+    /// passed to the constructor), exploring depths `0..=max_bound` in
+    /// order and returning at the first violation.
     ///
     /// # Panics
     ///
@@ -293,145 +351,205 @@ impl Bmc {
     pub fn check(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
         let start = Instant::now();
         ts.validate(pool).expect("system must be well-formed");
+        self.stats = BmcStats::default();
+        let bad_idx = self.bad_indices(ts);
         let result = if self.options.incremental {
-            self.check_incremental(ts, pool)
+            self.run_incremental(ts, pool, &bad_idx)
         } else {
-            self.check_monolithic(ts, pool)
+            self.run_monolithic(ts, pool, &bad_idx)
         };
         self.stats.elapsed = start.elapsed();
         result
     }
 
-    fn bad_indices(&self, ts: &TransitionSystem) -> Vec<usize> {
-        self.bad_filter
-            .clone()
-            .unwrap_or_else(|| (0..ts.bads().len()).collect())
-    }
-
-    fn check_incremental(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
-        let mut solver = Solver::new();
-        let mut blaster = BitBlaster::new();
-        solver.set_conflict_budget(self.options.conflict_budget);
-        let mut unroller = Unroller::new(ts, pool);
-        let bad_idx = self.bad_indices(ts);
-        self.stats = BmcStats::default();
+    /// Incremental mode: one session for the whole run; each depth adds
+    /// one frame to the live encoding.
+    fn run_incremental(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        bad_idx: &[usize],
+    ) -> BmcResult {
+        let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget);
+        let prune = self.options.prune_checked_bads;
         for k in 0..=self.options.max_bound {
-            unroller.extend_to(ts, pool, k);
             self.stats.frames_encoded = k;
-            // Assert this frame's constraints permanently.
-            for &c in &unroller.frames[k].constraints {
-                blaster.assert_true(pool, c, &mut solver);
-            }
-            // One activation literal per (bad, frame).
-            let mut frame_bad_lits: Vec<(usize, Lit)> = Vec::new();
-            for &bi in &bad_idx {
-                let bexpr = unroller.frames[k].bads[bi];
-                if pool.as_const(bexpr).is_some_and(|v| !v.is_true()) {
-                    continue; // statically false at this depth
-                }
-                let lit = blaster.literal(pool, bexpr, &mut solver);
-                frame_bad_lits.push((bi, lit));
-            }
-            if frame_bad_lits.is_empty() {
-                continue;
-            }
-            // Single query: any of this frame's bads.
-            let any = self.encode_disjunction(&frame_bad_lits, &mut solver);
-            self.stats.solver_calls += 1;
-            match solver.solve_with(&[any]) {
-                SolveResult::Sat => {
-                    let cex = unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
-                    self.finish_stats(&solver);
+            session.encode_frame(ts, pool, k);
+            match self.check_frame(&mut session, ts, pool, k, bad_idx, prune) {
+                FrameOutcome::Clean => {}
+                FrameOutcome::Cex(cex) => {
+                    session.export_stats(&mut self.stats);
                     return BmcResult::Counterexample(cex);
                 }
-                SolveResult::Unsat => {
-                    if self.options.prune_checked_bads {
-                        // This depth is proven violation-free: fix the
-                        // frame's bad literals to false permanently
-                        // (sound: they are unreachable).
-                        for &(_, lit) in &frame_bad_lits {
-                            solver.add_clause([!lit]);
-                        }
+                FrameOutcome::Unknown => {
+                    session.export_stats(&mut self.stats);
+                    return BmcResult::Unknown { bound: k };
+                }
+            }
+        }
+        session.export_stats(&mut self.stats);
+        BmcResult::NoCounterexample {
+            bound: self.options.max_bound,
+        }
+    }
+
+    /// Monolithic mode: fresh session per depth, re-encoding frames
+    /// `0..=k` from scratch — the ablation baseline.
+    fn run_monolithic(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        bad_idx: &[usize],
+    ) -> BmcResult {
+        for k in 0..=self.options.max_bound {
+            let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget);
+            self.stats.frames_encoded = k;
+            for j in 0..=k {
+                session.encode_frame(ts, pool, j);
+            }
+            // No pruning: the session is dropped after this one query.
+            let outcome = self.check_frame(&mut session, ts, pool, k, bad_idx, false);
+            session.export_stats(&mut self.stats);
+            match outcome {
+                FrameOutcome::Clean => {}
+                FrameOutcome::Cex(cex) => return BmcResult::Counterexample(cex),
+                FrameOutcome::Unknown => return BmcResult::Unknown { bound: k },
+            }
+        }
+        BmcResult::NoCounterexample {
+            bound: self.options.max_bound,
+        }
+    }
+
+    /// Encodes and solves the "any selected bad fires at frame `k`"
+    /// query, counting the solver call.
+    fn check_frame(
+        &mut self,
+        session: &mut Session<B>,
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        k: usize,
+        bad_idx: &[usize],
+        prune: bool,
+    ) -> FrameOutcome {
+        let frame_bad_lits = session.frame_bad_lits(pool, k, bad_idx);
+        if frame_bad_lits.is_empty() {
+            return FrameOutcome::Clean; // every bad statically false here
+        }
+        self.stats.solver_calls += 1;
+        session.solve_frame(ts, pool, k, &frame_bad_lits, prune)
+    }
+}
+
+/// Outcome of one per-frame query inside a session.
+enum FrameOutcome {
+    Cex(Counterexample),
+    Clean,
+    Unknown,
+}
+
+/// One SAT encoding session: a backend plus the bit-blaster and unroller
+/// feeding it. Both BMC modes and the k-induction engine drive their
+/// encodings through this single path.
+#[derive(Debug)]
+struct Session<B: SatBackend> {
+    backend: B,
+    blaster: BitBlaster,
+    unroller: Unroller,
+}
+
+impl<B: SatBackend + Default> Session<B> {
+    fn new(ts: &TransitionSystem, pool: &mut ExprPool, budget: Option<u64>) -> Self {
+        let mut backend = B::default();
+        backend.set_conflict_budget(budget);
+        Session {
+            backend,
+            blaster: BitBlaster::new(),
+            unroller: Unroller::new(ts, pool),
+        }
+    }
+}
+
+impl<B: SatBackend> Session<B> {
+    /// Unrolls to frame `k` and permanently asserts its constraints.
+    fn encode_frame(&mut self, ts: &TransitionSystem, pool: &mut ExprPool, k: usize) {
+        self.unroller.extend_to(ts, pool, k);
+        for &c in &self.unroller.frames[k].constraints {
+            self.blaster.assert_true(pool, c, &mut self.backend);
+        }
+    }
+
+    /// Bit-blasts the selected bads of frame `k` into one activation
+    /// literal per property, skipping statically-false bads.
+    fn frame_bad_lits(
+        &mut self,
+        pool: &mut ExprPool,
+        k: usize,
+        bad_idx: &[usize],
+    ) -> Vec<(usize, Lit)> {
+        let mut lits: Vec<(usize, Lit)> = Vec::new();
+        for &bi in bad_idx {
+            let bexpr = self.unroller.frames[k].bads[bi];
+            if pool.as_const(bexpr).is_some_and(|v| !v.is_true()) {
+                continue; // statically false at this depth
+            }
+            let lit = self.blaster.literal(pool, bexpr, &mut self.backend);
+            lits.push((bi, lit));
+        }
+        lits
+    }
+
+    /// Solves "any of this frame's bads" under a single assumption.
+    fn solve_frame(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        k: usize,
+        frame_bad_lits: &[(usize, Lit)],
+        prune: bool,
+    ) -> FrameOutcome {
+        let any = self.encode_disjunction(frame_bad_lits);
+        match self.backend.solve_under(&[any]) {
+            SolveResult::Sat => FrameOutcome::Cex(self.unroller.extract_cex(
+                ts,
+                pool,
+                &self.blaster,
+                &self.backend,
+                k,
+                frame_bad_lits,
+            )),
+            SolveResult::Unsat => {
+                if prune {
+                    // This depth is proven violation-free: fix the
+                    // frame's bad literals to false permanently (sound:
+                    // they are unreachable).
+                    for &(_, lit) in frame_bad_lits {
+                        self.backend.add_clause(&[!lit]);
                     }
                 }
-                SolveResult::Unknown => {
-                    self.finish_stats(&solver);
-                    return BmcResult::Unknown { bound: k };
-                }
+                FrameOutcome::Clean
             }
-        }
-        self.finish_stats(&solver);
-        BmcResult::NoCounterexample {
-            bound: self.options.max_bound,
-        }
-    }
-
-    fn check_monolithic(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
-        let bad_idx = self.bad_indices(ts);
-        self.stats = BmcStats::default();
-        for k in 0..=self.options.max_bound {
-            // Fresh solver and blaster per depth: the ablation baseline.
-            let mut solver = Solver::new();
-            let mut blaster = BitBlaster::new();
-            solver.set_conflict_budget(self.options.conflict_budget);
-            let mut unroller = Unroller::new(ts, pool);
-            unroller.extend_to(ts, pool, k);
-            self.stats.frames_encoded = k;
-            for frame in &unroller.frames {
-                for &c in &frame.constraints {
-                    blaster.assert_true(pool, c, &mut solver);
-                }
-            }
-            let mut frame_bad_lits: Vec<(usize, Lit)> = Vec::new();
-            for &bi in &bad_idx {
-                let bexpr = unroller.frames[k].bads[bi];
-                if pool.as_const(bexpr).is_some_and(|v| !v.is_true()) {
-                    continue;
-                }
-                let lit = blaster.literal(pool, bexpr, &mut solver);
-                frame_bad_lits.push((bi, lit));
-            }
-            if frame_bad_lits.is_empty() {
-                continue;
-            }
-            let any = self.encode_disjunction(&frame_bad_lits, &mut solver);
-            self.stats.solver_calls += 1;
-            match solver.solve_with(&[any]) {
-                SolveResult::Sat => {
-                    let cex = unroller.extract_cex(ts, pool, &blaster, &solver, k, &frame_bad_lits);
-                    self.finish_stats(&solver);
-                    return BmcResult::Counterexample(cex);
-                }
-                SolveResult::Unsat => {}
-                SolveResult::Unknown => {
-                    self.finish_stats(&solver);
-                    return BmcResult::Unknown { bound: k };
-                }
-            }
-            self.finish_stats(&solver);
-        }
-        BmcResult::NoCounterexample {
-            bound: self.options.max_bound,
+            SolveResult::Unknown => FrameOutcome::Unknown,
         }
     }
 
     /// Encodes `any = l1 ∨ l2 ∨ …` via an auxiliary variable usable as an
     /// assumption.
-    fn encode_disjunction(&self, lits: &[(usize, Lit)], solver: &mut Solver) -> Lit {
+    fn encode_disjunction(&mut self, lits: &[(usize, Lit)]) -> Lit {
         if lits.len() == 1 {
             return lits[0].1;
         }
-        let any = solver.new_var().pos();
+        let any = self.backend.new_var().pos();
         let mut clause: Vec<Lit> = vec![!any];
         clause.extend(lits.iter().map(|&(_, l)| l));
-        solver.add_clause(clause);
+        self.backend.add_clause(&clause);
         any
     }
 
-    fn finish_stats(&mut self, solver: &Solver) {
-        self.stats.clauses = solver.num_clauses();
-        self.stats.variables = solver.num_vars();
-        self.stats.solver = solver.stats();
+    fn export_stats(&self, stats: &mut BmcStats) {
+        stats.clauses = self.backend.num_clauses();
+        stats.variables = self.backend.num_vars();
+        stats.solver = self.backend.stats();
     }
 }
 
@@ -542,19 +660,19 @@ impl Unroller {
         }
     }
 
-    fn extract_cex(
+    fn extract_cex<B: SatBackend>(
         &self,
         ts: &TransitionSystem,
         pool: &ExprPool,
         blaster: &BitBlaster,
-        solver: &Solver,
+        solver: &B,
         depth: usize,
         frame_bad_lits: &[(usize, Lit)],
     ) -> Counterexample {
         // Which bad fired? (At least one of the assumed disjuncts is true.)
         let (bad_index, _) = frame_bad_lits
             .iter()
-            .find(|&&(_, l)| solver.model_lit(l) == Some(true))
+            .find(|&&(_, l)| solver.value(l) == Some(true))
             .copied()
             .expect("SAT model satisfies at least one disjunct");
         let bad_name = ts.bads()[bad_index].0.clone();
@@ -663,6 +781,32 @@ mod tests {
             let d2 = r2.counterexample().map(|c| c.depth);
             assert_eq!(d1, d2);
             assert_eq!(d1, Some(target as usize));
+        }
+    }
+
+    #[test]
+    fn dimacs_backend_agrees_with_cdcl() {
+        for target in [3u64, 12] {
+            let mut p1 = ExprPool::new();
+            let ts1 = counter_system(&mut p1, target);
+            let mut cdcl = Bmc::new(&ts1, BmcOptions::default().with_max_bound(8));
+            let r1 = cdcl.check(&ts1, &mut p1);
+
+            let mut p2 = ExprPool::new();
+            let ts2 = counter_system(&mut p2, target);
+            let mut logged: Bmc<aqed_sat::DimacsBackend> =
+                Bmc::with_backend(&ts2, BmcOptions::default().with_max_bound(8));
+            let r2 = logged.check(&ts2, &mut p2);
+
+            assert_eq!(r1.is_clean(), r2.is_clean(), "target {target}");
+            assert_eq!(
+                r1.counterexample().map(|c| c.depth),
+                r2.counterexample().map(|c| c.depth),
+                "target {target}"
+            );
+            if let Some(cex) = r2.counterexample() {
+                assert!(cex.replay(&ts2, &p2));
+            }
         }
     }
 

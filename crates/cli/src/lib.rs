@@ -13,20 +13,58 @@
 //! Argument parsing is by hand (no external dependencies); the library
 //! portion is testable without spawning a process.
 
-use aqed_bmc::{to_btor2_witness, Bmc, BmcOptions, BmcResult};
-use aqed_core::{run_hybrid, AqedHarness, HybridConfig};
+use aqed_bmc::{to_btor2_witness, BmcOptions};
+use aqed_core::{
+    run_hybrid, verify_obligations_with, AqedHarness, CheckOutcome, HybridConfig,
+    ParallelVerifyReport,
+};
 use aqed_designs::{all_cases, BugCase};
 use aqed_expr::ExprPool;
+use aqed_sat::{DimacsBackend, Solver};
 use aqed_sim::Testbench;
 use aqed_tsys::{to_btor2, to_vcd};
 use std::fmt;
+
+/// Which SAT backend `aqed verify` drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The in-process CDCL solver.
+    #[default]
+    Cdcl,
+    /// The CDCL solver wrapped in an iCNF (incremental DIMACS) logger.
+    Dimacs,
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Cdcl => "cdcl",
+            BackendChoice::Dimacs => "dimacs",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = ParseCommandError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cdcl" => Ok(BackendChoice::Cdcl),
+            "dimacs" => Ok(BackendChoice::Dimacs),
+            other => Err(ParseCommandError(format!(
+                "unknown backend '{other}' (expected 'cdcl' or 'dimacs')"
+            ))),
+        }
+    }
+}
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `aqed list`
     List,
-    /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]`
+    /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE]
+    /// [--witness] [--jobs N] [--backend NAME]`
     Verify {
         /// Case id.
         case: String,
@@ -38,6 +76,10 @@ pub enum Command {
         vcd: Option<String>,
         /// Print the BTOR2 witness.
         witness: bool,
+        /// Worker threads for the obligation scheduler.
+        jobs: usize,
+        /// SAT backend to drive.
+        backend: BackendChoice,
     },
     /// `aqed conventional <case>`
     Conventional {
@@ -93,6 +135,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut healthy = false;
             let mut vcd = None;
             let mut witness = false;
+            let mut jobs = 1;
+            let mut backend = BackendChoice::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -116,6 +160,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                                 .clone(),
                         );
                     }
+                    "--jobs" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| ParseCommandError("--jobs needs a value".into()))?;
+                        jobs =
+                            v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                                ParseCommandError(format!("invalid job count '{v}'"))
+                            })?;
+                    }
+                    "--backend" => {
+                        i += 1;
+                        backend = args
+                            .get(i)
+                            .ok_or_else(|| ParseCommandError("--backend needs a name".into()))?
+                            .parse()?;
+                    }
                     other => {
                         return Err(ParseCommandError(format!("unknown flag '{other}'")));
                     }
@@ -128,6 +189,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 healthy,
                 vcd,
                 witness,
+                jobs,
+                backend,
             })
         }
         "conventional" => Ok(Command::Conventional {
@@ -160,12 +223,49 @@ pub fn usage() -> &'static str {
 USAGE:
   aqed list                            enumerate the catalogued bug cases
   aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
-                                       run A-QED (BMC) on a case
+                     [--jobs N] [--backend cdcl|dimacs]
+                                       run A-QED (BMC) on a case; each FC/RB/SAC
+                                       property is an independent obligation,
+                                       checked on N worker threads (default 1)
   aqed conventional <case>             run the conventional simulation flow
   aqed hybrid <case>                   run hybrid QED (monitor in simulation)
   aqed export-btor2 <case> [--monitor] print the design (or design+monitor) as BTOR2
   aqed help                            this text
 "
+}
+
+/// Writes the per-obligation breakdown that precedes the final verdict.
+fn print_obligation_stats(
+    out: &mut dyn std::io::Write,
+    report: &ParallelVerifyReport,
+    backend: BackendChoice,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{} obligation(s) on {} job(s), backend {}:",
+        report.obligations.len(),
+        report.jobs,
+        backend
+    )?;
+    for r in &report.obligations {
+        let verdict = match &r.outcome {
+            CheckOutcome::Clean { bound } => format!("clean to {bound}"),
+            CheckOutcome::Bug { counterexample, .. } => {
+                format!("bug at depth {}", counterexample.depth)
+            }
+            CheckOutcome::Inconclusive { bound } => format!("inconclusive at {bound}"),
+        };
+        writeln!(
+            out,
+            "  {:<30} {:<20} {:>4} calls {:>9} conflicts  {:?}",
+            r.obligation.bad_name,
+            verdict,
+            r.stats.solver_calls,
+            r.stats.solver.conflicts,
+            r.stats.elapsed
+        )?;
+    }
+    Ok(())
 }
 
 fn find_case(id: &str) -> Result<BugCase, String> {
@@ -217,6 +317,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             healthy,
             vcd,
             witness,
+            jobs,
+            backend,
         } => {
             let case = match find_case(case) {
                 Ok(c) => c,
@@ -238,24 +340,36 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             if let Some(rb) = &case.rb {
                 harness = harness.with_rb(*rb);
             }
-            // Build once and run BMC directly so the counterexample and
-            // the exported model share one variable space.
+            // Build once so the counterexample and the exported model
+            // share one variable space, then run the obligation
+            // scheduler against the composed system.
             let (composed, _) = harness.build(&mut pool);
             let b = bound.unwrap_or(case.bmc_bound);
-            let mut bmc = Bmc::new(&composed, BmcOptions::default().with_max_bound(b));
-            match bmc.check(&composed, &mut pool) {
-                BmcResult::Counterexample(cex) => {
+            let options = BmcOptions::default().with_max_bound(b);
+            let report = match backend {
+                BackendChoice::Cdcl => {
+                    verify_obligations_with::<Solver>(&composed, &pool, &options, *jobs)
+                }
+                BackendChoice::Dimacs => {
+                    verify_obligations_with::<DimacsBackend>(&composed, &pool, &options, *jobs)
+                }
+            };
+            print_obligation_stats(out, &report, *backend)?;
+            match &report.outcome {
+                CheckOutcome::Bug {
+                    counterexample: cex,
+                    ..
+                } => {
                     writeln!(
                         out,
                         "bug: {cex} ({:?}, {} clauses)",
-                        bmc.stats().elapsed,
-                        bmc.stats().clauses
+                        report.runtime, report.aggregate.clauses
                     )?;
                     writeln!(out, "\ninput trace:")?;
                     writeln!(out, "{}", cex.trace.to_table(&pool))?;
                     if *witness {
                         writeln!(out, "BTOR2 witness:")?;
-                        write!(out, "{}", to_btor2_witness(&cex, &composed, &pool))?;
+                        write!(out, "{}", to_btor2_witness(cex, &composed, &pool))?;
                     }
                     if let Some(path) = vcd {
                         let dump = to_vcd(&composed, &pool, &cex.trace, &cex.initial_state);
@@ -264,16 +378,15 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                     }
                     Ok(1) // bug found
                 }
-                BmcResult::NoCounterexample { bound } => {
+                CheckOutcome::Clean { bound } => {
                     writeln!(
                         out,
                         "clean up to bound {bound} ({:?}, {} clauses)",
-                        bmc.stats().elapsed,
-                        bmc.stats().clauses
+                        report.runtime, report.aggregate.clauses
                     )?;
                     Ok(0)
                 }
-                BmcResult::Unknown { bound } => {
+                CheckOutcome::Inconclusive { bound } => {
                     writeln!(out, "inconclusive at bound {bound}")?;
                     Ok(2)
                 }
@@ -407,7 +520,9 @@ mod tests {
                 bound: Some(12),
                 healthy: true,
                 vcd: None,
-                witness: true
+                witness: true,
+                jobs: 1,
+                backend: BackendChoice::Cdcl
             })
         );
         assert_eq!(
@@ -417,7 +532,21 @@ mod tests {
                 bound: None,
                 healthy: false,
                 vcd: Some("/tmp/x.vcd".into()),
-                witness: false
+                witness: false,
+                jobs: 1,
+                backend: BackendChoice::Cdcl
+            })
+        );
+        assert_eq!(
+            parse(&["verify", "x", "--jobs", "4", "--backend", "dimacs"]),
+            Ok(Command::Verify {
+                case: "x".into(),
+                bound: None,
+                healthy: false,
+                vcd: None,
+                witness: false,
+                jobs: 4,
+                backend: BackendChoice::Dimacs
             })
         );
     }
@@ -429,6 +558,10 @@ mod tests {
         assert!(parse(&["verify", "x", "--bound"]).is_err());
         assert!(parse(&["verify", "x", "--bound", "abc"]).is_err());
         assert!(parse(&["verify", "x", "--frob"]).is_err());
+        assert!(parse(&["verify", "x", "--jobs"]).is_err());
+        assert!(parse(&["verify", "x", "--jobs", "0"]).is_err());
+        assert!(parse(&["verify", "x", "--jobs", "many"]).is_err());
+        assert!(parse(&["verify", "x", "--backend", "z4"]).is_err());
         assert!(parse(&["conventional", "--healthy"]).is_err());
     }
 
@@ -454,6 +587,8 @@ mod tests {
                 healthy: false,
                 vcd: None,
                 witness: false,
+                jobs: 1,
+                backend: BackendChoice::Cdcl,
             },
             &mut buf,
         )
@@ -472,11 +607,16 @@ mod tests {
                 healthy: true,
                 vcd: None,
                 witness: false,
+                jobs: 1,
+                backend: BackendChoice::Cdcl,
             },
             &mut buf,
         )
         .expect("io");
         assert_eq!(code, 0, "{}", String::from_utf8_lossy(&buf));
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("obligation(s)"), "{text}");
+        assert!(text.contains("clean up to bound 6"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! End-to-end determinism of the obligation scheduler: across the whole
+//! design catalog, `--jobs 1` and `--jobs 4` must produce identical
+//! A-QED verdicts, and the aggregate statistics must account for every
+//! per-obligation run.
+
+use aqed_bmc::BmcOptions;
+use aqed_core::{verify_obligations, AqedHarness, CheckOutcome};
+use aqed_designs::all_cases;
+use aqed_expr::ExprPool;
+
+/// Everything that must match between runs: verdict kind, violated
+/// property, counterexample depth, explored bound.
+fn verdict_key(outcome: &CheckOutcome) -> (u8, Option<String>, Option<usize>, Option<usize>) {
+    match outcome {
+        CheckOutcome::Clean { bound } => (0, None, None, Some(*bound)),
+        CheckOutcome::Bug { counterexample, .. } => (
+            1,
+            Some(counterexample.bad_name.clone()),
+            Some(counterexample.depth),
+            None,
+        ),
+        CheckOutcome::Inconclusive { bound } => (2, None, None, Some(*bound)),
+    }
+}
+
+#[test]
+fn catalog_verdicts_identical_for_jobs_1_and_4() {
+    for case in all_cases() {
+        // Cap the bound: the verdict identity is about scheduling, not
+        // depth, and the full catalog runs twice in this test.
+        let bound = case.bmc_bound.min(10);
+        let mut keys = Vec::new();
+        for jobs in [1usize, 4] {
+            let mut pool = ExprPool::new();
+            let lca = (case.build_buggy)(&mut pool);
+            let mut harness = AqedHarness::new(&lca);
+            if let Some(fc) = &case.fc {
+                harness = harness.with_fc(fc.clone());
+            }
+            if let Some(rb) = &case.rb {
+                harness = harness.with_rb(*rb);
+            }
+            let (composed, _) = harness.build(&mut pool);
+            let options = BmcOptions::default().with_max_bound(bound);
+            let report = verify_obligations(&composed, &pool, &options, jobs);
+
+            assert_eq!(
+                report.obligations.len(),
+                composed.bads().len(),
+                "case {}: every bad must become an obligation",
+                case.id
+            );
+            let call_sum: u64 = report
+                .obligations
+                .iter()
+                .map(|r| r.stats.solver_calls)
+                .sum();
+            assert_eq!(
+                report.aggregate.solver_calls, call_sum,
+                "case {}: aggregate must sum per-obligation stats",
+                case.id
+            );
+            keys.push(verdict_key(&report.outcome));
+        }
+        assert_eq!(keys[0], keys[1], "case {}: jobs=1 vs jobs=4", case.id);
+    }
+}

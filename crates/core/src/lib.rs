@@ -54,10 +54,17 @@
 
 mod hybrid;
 mod monitor;
+mod parallel;
 mod verify;
 
 pub use hybrid::{run_hybrid, HybridConfig, HybridOutcome};
-pub use monitor::{FcConfig, MonitorHandles, RbConfig, SacConfig};
+pub use monitor::{
+    FcConfig, MonitorHandles, RbConfig, SacConfig, BAD_FC, BAD_FC_EARLY, BAD_RB_NO_OUTPUT,
+    BAD_RB_STARVATION, BAD_SAC,
+};
+pub use parallel::{
+    verify_obligations, verify_obligations_with, Obligation, ObligationReport, ParallelVerifyReport,
+};
 pub use verify::{AqedHarness, CheckOutcome, PropertyKind, VerifyReport};
 
 use aqed_expr::{ExprPool, ExprRef};

@@ -89,12 +89,16 @@ pub struct MonitorHandles {
     pub dup_done: ExprRef,
 }
 
-/// Names of the generated properties.
-pub(crate) const BAD_FC: &str = "aqed_fc_violation";
-pub(crate) const BAD_FC_EARLY: &str = "aqed_fc_output_before_input";
-pub(crate) const BAD_RB_STARVATION: &str = "aqed_rb_rdin_starvation";
-pub(crate) const BAD_RB_NO_OUTPUT: &str = "aqed_rb_missing_output";
-pub(crate) const BAD_SAC: &str = "aqed_sac_mismatch";
+/// Name of the Functional Consistency violation property (Def. 2).
+pub const BAD_FC: &str = "aqed_fc_violation";
+/// Name of the strengthened "output before input captured" FC property.
+pub const BAD_FC_EARLY: &str = "aqed_fc_output_before_input";
+/// Name of the Response Bound `rdin`-starvation property (Def. 3, part 1).
+pub const BAD_RB_STARVATION: &str = "aqed_rb_rdin_starvation";
+/// Name of the Response Bound missing-output property (Def. 3, part 2).
+pub const BAD_RB_NO_OUTPUT: &str = "aqed_rb_missing_output";
+/// Name of the Single-Action Correctness mismatch property (Def. 7).
+pub const BAD_SAC: &str = "aqed_sac_mismatch";
 
 /// Builds the composed system `design ∥ A-QED monitor` with the selected
 /// checks. Called through [`AqedHarness`](crate::AqedHarness); exposed for

@@ -1,0 +1,364 @@
+//! Obligation-level orchestration of A-QED checks.
+//!
+//! The A-QED² observation is that many small independent checks beat one
+//! monolithic "any property, any depth" query. This module materializes
+//! each bad property of the composed design+monitor system as an
+//! [`Obligation`] and runs the obligations as independent BMC jobs on a
+//! scoped thread pool ([`std::thread::scope`] — no runtime dependency).
+//!
+//! The merged verdict is deterministic: it depends only on the
+//! per-obligation results, never on thread scheduling, so `jobs = 1` and
+//! `jobs = N` always agree.
+
+use crate::verify::{CheckOutcome, PropertyKind};
+use aqed_bmc::{Bmc, BmcOptions, BmcResult, BmcStats, Counterexample};
+use aqed_expr::ExprPool;
+use aqed_sat::{SatBackend, Solver};
+use aqed_tsys::TransitionSystem;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One independent proof obligation: a single bad property of the
+/// composed design+monitor system, checked in isolation.
+#[derive(Debug, Clone)]
+pub struct Obligation {
+    /// Index of the property in the composed system's bad list.
+    pub bad_index: usize,
+    /// Name of the bad property.
+    pub bad_name: String,
+    /// Which universal property the bad belongs to.
+    pub property: PropertyKind,
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({})",
+            self.bad_index, self.bad_name, self.property
+        )
+    }
+}
+
+/// Verdict and statistics of one obligation's BMC run.
+#[derive(Debug, Clone)]
+pub struct ObligationReport {
+    /// The obligation that was checked.
+    pub obligation: Obligation,
+    /// Verdict for this property alone.
+    pub outcome: CheckOutcome,
+    /// Solver statistics of this job's run.
+    pub stats: BmcStats,
+}
+
+/// Aggregate report of an obligation-scheduled verification run.
+#[derive(Debug, Clone)]
+pub struct ParallelVerifyReport {
+    /// Merged verdict; identical for every `jobs` value.
+    pub outcome: CheckOutcome,
+    /// Per-obligation reports, in bad-index order.
+    pub obligations: Vec<ObligationReport>,
+    /// Statistics folded over all obligations with [`BmcStats::absorb`]:
+    /// counters add up, `elapsed` is total solver time (exceeds
+    /// wall-clock when jobs overlap).
+    pub aggregate: BmcStats,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole run.
+    pub runtime: Duration,
+}
+
+impl ParallelVerifyReport {
+    /// Whether the merged verdict is a bug.
+    #[must_use]
+    pub fn found_bug(&self) -> bool {
+        matches!(self.outcome, CheckOutcome::Bug { .. })
+    }
+
+    /// The merged counterexample, if the verdict is a bug.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.outcome {
+            CheckOutcome::Bug { counterexample, .. } => Some(counterexample),
+            _ => None,
+        }
+    }
+
+    /// The counterexample length in clock cycles, if a bug was found.
+    #[must_use]
+    pub fn cex_cycles(&self) -> Option<usize> {
+        self.counterexample().map(Counterexample::cycles)
+    }
+}
+
+impl fmt::Display for ParallelVerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            CheckOutcome::Clean { bound } => write!(f, "clean up to bound {bound}")?,
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => write!(f, "{property} bug: {counterexample}")?,
+            CheckOutcome::Inconclusive { bound } => write!(f, "inconclusive at bound {bound}")?,
+        }
+        write!(
+            f,
+            " ({} obligations, {} jobs, {:?})",
+            self.obligations.len(),
+            self.jobs,
+            self.runtime
+        )
+    }
+}
+
+/// Runs every bad property of `composed` as an independent BMC obligation
+/// on up to `jobs` worker threads, using the default CDCL backend.
+///
+/// See [`verify_obligations_with`] for the backend-generic form and the
+/// merge semantics.
+#[must_use]
+pub fn verify_obligations(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    jobs: usize,
+) -> ParallelVerifyReport {
+    verify_obligations_with::<Solver>(composed, pool, options, jobs)
+}
+
+/// Runs every bad property of `composed` as an independent BMC obligation
+/// on up to `jobs` worker threads, each job building its own backend `B`.
+///
+/// Each job clones the expression pool (unrolling allocates fresh
+/// expressions), but counterexamples only reference the system's original
+/// variables, so they remain valid against the caller's pool — e.g. for
+/// VCD export or simulator replay.
+///
+/// Merge semantics, independent of scheduling order: the bug with the
+/// smallest `(depth, bad_index)` wins; otherwise the shallowest
+/// inconclusive bound; otherwise clean at `options.max_bound`.
+///
+/// # Panics
+///
+/// Panics if `composed` has no bad properties, a bad name is not one of
+/// the A-QED monitor's, or a worker thread panics.
+#[must_use]
+pub fn verify_obligations_with<B: SatBackend + Default>(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    jobs: usize,
+) -> ParallelVerifyReport {
+    let start = Instant::now();
+    let obligations: Vec<Obligation> = composed
+        .bads()
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| Obligation {
+            bad_index: i,
+            bad_name: name.clone(),
+            property: PropertyKind::of_bad(name),
+        })
+        .collect();
+    assert!(
+        !obligations.is_empty(),
+        "system '{}' has no bad properties to check",
+        composed.name()
+    );
+    let workers = jobs.clamp(1, obligations.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, ObligationReport)>> =
+        Mutex::new(Vec::with_capacity(obligations.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(ob) = obligations.get(idx) else {
+                    break;
+                };
+                let report = check_obligation::<B>(composed, pool, options, ob);
+                results
+                    .lock()
+                    .expect("result sink poisoned")
+                    .push((idx, report));
+            });
+        }
+    });
+    let mut ranked = results.into_inner().expect("result sink poisoned");
+    ranked.sort_by_key(|&(i, _)| i);
+    let reports: Vec<ObligationReport> = ranked.into_iter().map(|(_, r)| r).collect();
+    let mut aggregate = BmcStats::default();
+    for r in &reports {
+        aggregate.absorb(&r.stats);
+    }
+    let outcome = merge_outcome(&reports, options.max_bound);
+    ParallelVerifyReport {
+        outcome,
+        obligations: reports,
+        aggregate,
+        jobs: workers,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Runs one obligation to completion on its own pool clone and backend.
+fn check_obligation<B: SatBackend + Default>(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    ob: &Obligation,
+) -> ObligationReport {
+    let mut local_pool = pool.clone();
+    let mut bmc: Bmc<B> = Bmc::with_backend(composed, options.clone());
+    bmc.select_bad_indices(composed, &[ob.bad_index]);
+    let result = bmc.check(composed, &mut local_pool);
+    let stats = bmc.stats();
+    let outcome = match result {
+        BmcResult::Counterexample(cex) => {
+            debug_assert!(
+                cex.replay(composed, &local_pool),
+                "BMC counterexample must replay on the simulator"
+            );
+            CheckOutcome::Bug {
+                property: ob.property,
+                counterexample: cex,
+            }
+        }
+        BmcResult::NoCounterexample { bound } => CheckOutcome::Clean { bound },
+        BmcResult::Unknown { bound } => CheckOutcome::Inconclusive { bound },
+    };
+    ObligationReport {
+        obligation: ob.clone(),
+        outcome,
+        stats,
+    }
+}
+
+/// Deterministic verdict merge: bug with minimal `(depth, bad_index)`,
+/// else shallowest inconclusive bound, else clean at the full bound.
+fn merge_outcome(reports: &[ObligationReport], max_bound: usize) -> CheckOutcome {
+    let mut bug: Option<(usize, usize)> = None; // (depth, report index)
+    for (i, r) in reports.iter().enumerate() {
+        if let CheckOutcome::Bug { counterexample, .. } = &r.outcome {
+            let key = (counterexample.depth, i);
+            if bug.is_none_or(|b| key < b) {
+                bug = Some(key);
+            }
+        }
+    }
+    if let Some((_, i)) = bug {
+        return reports[i].outcome.clone();
+    }
+    let mut inconclusive: Option<usize> = None;
+    for r in reports {
+        if let CheckOutcome::Inconclusive { bound } = r.outcome {
+            inconclusive = Some(inconclusive.map_or(bound, |b| b.min(bound)));
+        }
+    }
+    match inconclusive {
+        Some(bound) => CheckOutcome::Inconclusive { bound },
+        None => CheckOutcome::Clean { bound: max_bound },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{FcConfig, RbConfig};
+    use crate::AqedHarness;
+    use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+    use aqed_sat::DimacsBackend;
+
+    fn buggy_harness_report(jobs: usize) -> ParallelVerifyReport {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("inc", 2, 6, 6);
+        let lca = synthesize(
+            &spec,
+            &mut p,
+            SynthOptions {
+                forwarding_bug: true,
+                ..SynthOptions::default()
+            },
+            |pool, _a, d| {
+                let one = pool.lit(6, 1);
+                pool.add(d, one)
+            },
+        );
+        AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_rb(RbConfig::default())
+            .verify_parallel(&mut p, 8, jobs)
+    }
+
+    #[test]
+    fn jobs_one_and_four_agree() {
+        let seq = buggy_harness_report(1);
+        let par = buggy_harness_report(4);
+        assert!(seq.found_bug() && par.found_bug());
+        let (s, p) = (seq.counterexample().unwrap(), par.counterexample().unwrap());
+        assert_eq!(s.bad_name, p.bad_name);
+        assert_eq!(s.depth, p.depth);
+        assert_eq!(seq.obligations.len(), par.obligations.len());
+    }
+
+    #[test]
+    fn aggregate_sums_per_obligation_stats() {
+        let report = buggy_harness_report(2);
+        assert!(report.obligations.len() > 1);
+        let call_sum: u64 = report
+            .obligations
+            .iter()
+            .map(|r| r.stats.solver_calls)
+            .sum();
+        assert_eq!(report.aggregate.solver_calls, call_sum);
+        let conflict_sum: u64 = report
+            .obligations
+            .iter()
+            .map(|r| r.stats.solver.conflicts)
+            .sum();
+        assert_eq!(report.aggregate.solver.conflicts, conflict_sum);
+        assert!(report.to_string().contains("obligations"));
+    }
+
+    #[test]
+    fn clean_design_clean_under_parallel_dimacs_backend() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("ident", 2, 6, 6).with_latency(2);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify_parallel_with::<DimacsBackend>(&mut p, 6, 3);
+        assert!(
+            matches!(report.outcome, CheckOutcome::Clean { bound: 6 }),
+            "{report}"
+        );
+        for r in &report.obligations {
+            assert!(matches!(r.outcome, CheckOutcome::Clean { .. }));
+        }
+    }
+
+    #[test]
+    fn merge_prefers_shallowest_bug() {
+        // Synthetic reports: a deep bug on obligation 0, shallow on 1.
+        let mut deep = buggy_harness_report(1);
+        assert!(deep.obligations.len() >= 2);
+        let cex = deep.counterexample().unwrap().clone();
+        let mut shallow_cex = cex.clone();
+        shallow_cex.depth = 0;
+        deep.obligations[0].outcome = CheckOutcome::Bug {
+            property: PropertyKind::Fc,
+            counterexample: cex,
+        };
+        deep.obligations[1].outcome = CheckOutcome::Bug {
+            property: PropertyKind::Fc,
+            counterexample: shallow_cex,
+        };
+        let merged = merge_outcome(&deep.obligations, 8);
+        match merged {
+            CheckOutcome::Bug { counterexample, .. } => assert_eq!(counterexample.depth, 0),
+            other => panic!("expected bug, got {other:?}"),
+        }
+    }
+}

@@ -24,13 +24,21 @@ pub enum PropertyKind {
 }
 
 impl PropertyKind {
-    fn of_bad(name: &str) -> PropertyKind {
+    /// Maps a generated bad-property name (see the `BAD_*` constants
+    /// such as [`crate::BAD_FC`]) to its universal property, or `None`
+    /// for names the A-QED monitor did not generate.
+    #[must_use]
+    pub fn of_bad_name(name: &str) -> Option<PropertyKind> {
         match name {
-            BAD_FC | BAD_FC_EARLY => PropertyKind::Fc,
-            BAD_RB_STARVATION | BAD_RB_NO_OUTPUT => PropertyKind::Rb,
-            BAD_SAC => PropertyKind::Sac,
-            other => panic!("unknown A-QED property '{other}'"),
+            BAD_FC | BAD_FC_EARLY => Some(PropertyKind::Fc),
+            BAD_RB_STARVATION | BAD_RB_NO_OUTPUT => Some(PropertyKind::Rb),
+            BAD_SAC => Some(PropertyKind::Sac),
+            _ => None,
         }
+    }
+
+    pub(crate) fn of_bad(name: &str) -> PropertyKind {
+        PropertyKind::of_bad_name(name).unwrap_or_else(|| panic!("unknown A-QED property '{name}'"))
     }
 }
 
@@ -254,6 +262,49 @@ impl<'a> AqedHarness<'a> {
             clauses: stats.clauses,
             solver_calls: stats.solver_calls,
         }
+    }
+
+    /// Composes the monitor and checks each property as an independent
+    /// BMC obligation on up to `jobs` worker threads (CDCL backend).
+    ///
+    /// The merged verdict is deterministic — identical for every `jobs`
+    /// value — per the rules of
+    /// [`verify_obligations_with`](crate::verify_obligations_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no check is enabled or the composed system fails
+    /// validation.
+    #[must_use]
+    pub fn verify_parallel(
+        &self,
+        pool: &mut ExprPool,
+        max_bound: usize,
+        jobs: usize,
+    ) -> crate::ParallelVerifyReport {
+        self.verify_parallel_with::<aqed_sat::Solver>(pool, max_bound, jobs)
+    }
+
+    /// [`AqedHarness::verify_parallel`] generic over the SAT backend:
+    /// every obligation job builds its own `B::default()` instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no check is enabled or the composed system fails
+    /// validation.
+    #[must_use]
+    pub fn verify_parallel_with<B: aqed_sat::SatBackend + Default>(
+        &self,
+        pool: &mut ExprPool,
+        max_bound: usize,
+        jobs: usize,
+    ) -> crate::ParallelVerifyReport {
+        let (composed, _handles) = self.build(pool);
+        composed
+            .validate(pool)
+            .expect("composed system must be well-formed");
+        let options = self.bmc_options.clone().with_max_bound(max_bound);
+        crate::parallel::verify_obligations_with::<B>(&composed, pool, &options, jobs)
     }
 }
 

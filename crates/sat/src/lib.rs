@@ -15,6 +15,10 @@
 //! * incremental solving under assumptions (the BMC engine re-uses one
 //!   solver instance across unrolling depths).
 //!
+//! Consumers access solving through the [`SatBackend`] trait, which
+//! [`Solver`] implements alongside the logging/replay [`DimacsBackend`];
+//! the bit-blaster and both model checkers are generic over it.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,10 +36,12 @@
 //! ```
 
 mod alloc;
+mod backend;
 mod dimacs;
 mod heap;
 mod solver;
 
+pub use backend::{DimacsBackend, ReplayError, SatBackend};
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use solver::{SolveResult, Solver, SolverStats};
 

@@ -54,6 +54,23 @@ pub struct SolverStats {
     pub arena_bytes: u64,
 }
 
+impl SolverStats {
+    /// Folds another solver's statistics into this one. Counters add up;
+    /// `arena_bytes` (a point-in-time gauge) takes the maximum. Used to
+    /// aggregate per-obligation solver runs into one report.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnts += other.learnts;
+        self.deleted += other.deleted;
+        self.binary_props += other.binary_props;
+        self.gc_runs += other.gc_runs;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+    }
+}
+
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -769,21 +786,29 @@ impl Solver {
     /// Deleted clauses are only marked (lazy detachment: their watchers
     /// fall out during propagation or garbage collection), so reduction
     /// is linear in the learnt count rather than in watch-list lengths.
+    ///
+    /// The victims are found with a median-of-activity partition
+    /// (MiniSat's `reduceDB` trick) instead of a full sort: expected O(n)
+    /// rather than O(n log n) on large learnt sets, and no side vector of
+    /// (activity, clause) pairs.
     fn reduce_db(&mut self) {
-        let mut ranked: Vec<(f32, ClauseRef)> = self
-            .learnts
-            .iter()
-            .map(|&c| (self.ca.activity(c), c))
-            .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let target = ranked.len() / 2;
+        let target = self.learnts.len() / 2;
         let mut removed = 0u64;
-        for &(_, cref) in ranked.iter().take(target) {
-            if self.locked(cref) {
-                continue;
+        if target > 0 {
+            let ca = &self.ca;
+            let (low, _, _) = self.learnts.select_nth_unstable_by(target, |&a, &b| {
+                ca.activity(a)
+                    .partial_cmp(&ca.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let victims: Vec<ClauseRef> = low.to_vec();
+            for cref in victims {
+                if self.locked(cref) {
+                    continue;
+                }
+                self.ca.free(cref);
+                removed += 1;
             }
-            self.ca.free(cref);
-            removed += 1;
         }
         if removed > 0 {
             let ca = &self.ca;
@@ -800,34 +825,42 @@ impl Solver {
     /// Copies all live clauses into a fresh arena and rewrites every
     /// stored reference (watch lists, reasons, clause lists). Also drops
     /// the watchers of lazily-detached clauses.
+    ///
+    /// Watch lists are *rebuilt* from the clause arrays rather than
+    /// relocated watcher by watcher: each list is first stripped to its
+    /// inlined binary clauses (empty and binary-only lists — the common
+    /// case on bit-blasted instances — cost nothing), then every live
+    /// clause re-attaches its two watchers from its own literals. This
+    /// relocates each clause exactly once from a sequential scan of the
+    /// clause arrays instead of chasing arena forwarding pointers from
+    /// scattered watch-list entries.
     fn garbage_collect(&mut self) {
         let mut to = ClauseAllocator::with_capacity(self.ca.len_words() - self.ca.wasted_words());
-        let ca = &mut self.ca;
         for list in &mut self.watches {
-            list.retain_mut(|w| match w.cref {
-                None => true, // inlined binary: nothing to relocate
-                Some(cref) => {
-                    if ca.is_deleted(cref) {
-                        false
-                    } else {
-                        w.cref = Some(ca.reloc(cref, &mut to));
-                        true
-                    }
-                }
-            });
+            // Keep only the watcher-inlined binaries; long-clause watchers
+            // (including those of lazily-detached clauses) are rebuilt.
+            list.retain(|w| w.cref.is_none());
+        }
+        let ca = &mut self.ca;
+        for cref in self.clauses.iter_mut().chain(self.learnts.iter_mut()) {
+            *cref = ca.reloc(*cref, &mut to);
         }
         // Only assigned variables can hold reasons, and reduce_db never
-        // frees locked clauses, so every reason clause is live.
+        // frees locked clauses, so every reason clause is live (and was
+        // just relocated through its clause-list entry).
         for &l in &self.trail {
             let v = l.var().index();
             if let Some(Reason::Clause(cref)) = self.reason[v] {
                 self.reason[v] = Some(Reason::Clause(ca.reloc(cref, &mut to)));
             }
         }
-        for cref in self.clauses.iter_mut().chain(self.learnts.iter_mut()) {
-            *cref = ca.reloc(*cref, &mut to);
-        }
         self.ca = to;
+        for i in 0..self.clauses.len() {
+            self.attach(self.clauses[i]);
+        }
+        for i in 0..self.learnts.len() {
+            self.attach(self.learnts[i]);
+        }
         self.stats.gc_runs += 1;
     }
 

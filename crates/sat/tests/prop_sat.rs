@@ -1,7 +1,7 @@
 //! Randomized cross-validation of the CDCL solver against brute force on
 //! small formulas, plus model checking on satisfiable instances.
 
-use aqed_sat::{SolveResult, Solver, Var};
+use aqed_sat::{DimacsBackend, SatBackend, SolveResult, Solver, Var};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,6 +147,73 @@ proptest! {
             s.reclaim_memory();
         }
         prop_assert!(s.stats().gc_runs >= 2, "sequence must exercise GC");
+    }
+}
+
+/// Feeds `clauses` through the [`SatBackend`] trait — the same path the
+/// bit-blaster and model checkers use — and solves under `assumptions`.
+/// Returns the verdict and the model restricted to the problem variables.
+fn run_backend<B: SatBackend + Default>(
+    n: usize,
+    clauses: &[Vec<i32>],
+    assumptions: &[i32],
+) -> (SolveResult, Vec<bool>) {
+    let mut backend = B::default();
+    let vars: Vec<Var> = (0..n).map(|_| backend.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<_> = c
+            .iter()
+            .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+            .collect();
+        backend.add_clause(&lits);
+    }
+    let assumed: Vec<_> = assumptions
+        .iter()
+        .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+        .collect();
+    let r = backend.solve_under(&assumed);
+    let model = vars
+        .iter()
+        .map(|&v| backend.value(v.pos()).unwrap_or(false))
+        .collect();
+    (r, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Every [`SatBackend`] implementation must produce the same verdict
+    /// on the same formula and assumptions, with a model that satisfies
+    /// the clauses when SAT, and both must agree with brute force.
+    #[test]
+    fn all_backends_agree_on_verdicts(
+        n in 2usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..30),
+        raw_assumptions in prop::collection::vec((1..=9i32, any::<bool>()), 0..3),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let assumptions: Vec<i32> = raw_assumptions
+            .into_iter()
+            .filter(|&(v, _)| v as usize <= n)
+            .map(|(v, s)| if s { v } else { -v })
+            .collect();
+
+        let (cdcl, cdcl_model) = run_backend::<Solver>(n, &clauses, &assumptions);
+        let (logged, logged_model) = run_backend::<DimacsBackend>(n, &clauses, &assumptions);
+        prop_assert_eq!(cdcl, logged, "cdcl and dimacs backends disagree");
+
+        let mut check = clauses.clone();
+        check.extend(assumptions.iter().map(|&l| vec![l]));
+        let expect = brute_force_sat(n, &check);
+        prop_assert_eq!(cdcl, if expect { SolveResult::Sat } else { SolveResult::Unsat });
+        if cdcl == SolveResult::Sat {
+            prop_assert!(model_satisfies(&check, &cdcl_model), "cdcl model must satisfy");
+            prop_assert!(model_satisfies(&check, &logged_model), "dimacs model must satisfy");
+        }
     }
 }
 

@@ -108,8 +108,8 @@ impl Simulator {
         sim
     }
 
-    /// The current cycle number (number of [`Simulator::step`] calls so
-    /// far).
+    /// The current cycle number (number of [`Simulator::step_with`]
+    /// calls so far).
     #[must_use]
     pub fn cycle(&self) -> usize {
         self.cycle
