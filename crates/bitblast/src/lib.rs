@@ -14,7 +14,10 @@
 //! drives the in-tree CDCL solver, the DIMACS-logging backend, or any
 //! future implementation. A blaster is tied to one backend instance: pass
 //! the same backend to every call (a fresh backend with an old blaster
-//! produces invalid CNF).
+//! produces invalid CNF). The encoding survives budget-interrupted
+//! solves — a backend that returns [`SolveResult::Unknown`](aqed_sat::SolveResult)
+//! under a resource budget can be re-solved with a fresh budget without
+//! re-blasting anything.
 //!
 //! # Examples
 //!
@@ -884,6 +887,49 @@ mod tests {
         let xv = bb.model_var(&p, x, &solver).expect("model").to_u64();
         let yv = bb.model_var(&p, y, &solver).expect("model").to_u64();
         assert_eq!(xv * yv, 143);
+        assert!(xv > 1 && yv > 1);
+    }
+
+    #[test]
+    fn interrupted_solve_leaves_encoding_reusable() {
+        use aqed_sat::{ArmedBudget, Budget};
+        // A budget-interrupted solve must not invalidate the shared
+        // blaster/solver encoding: the solver returns at level 0, so the
+        // same instance can be re-solved once the governor relents. This
+        // is what lets the obligation scheduler retry with an escalated
+        // budget without re-blasting.
+        let mut p = ExprPool::new();
+        let x = p.var("x", 16, VarKind::Input);
+        let y = p.var("y", 16, VarKind::Input);
+        let xe = p.var_expr(x);
+        let ye = p.var_expr(y);
+        let xz = p.zext(xe, 32);
+        let yz = p.zext(ye, 32);
+        let prod = p.mul(xz, yz);
+        // 1009 * 1013: large enough that the solver cannot decide it
+        // within a single conflict, small enough to decide unbudgeted.
+        let semiprime = p.lit(32, 1009 * 1013);
+        let one = p.lit(16, 1);
+        let eq = p.eq(prod, semiprime);
+        let xg = p.ugt(xe, one);
+        let yg = p.ugt(ye, one);
+        let all = p.and_all([eq, xg, yg]);
+        let mut solver = Solver::new();
+        let mut bb = BitBlaster::new();
+        bb.assert_true(&p, all, &mut solver);
+        let nodes_encoded = bb.cached_nodes();
+
+        solver.set_budget(ArmedBudget::arm(&Budget::unlimited().with_max_conflicts(1)));
+        assert_eq!(solver.solve(), SolveResult::Unknown);
+        assert!(solver.stop_reason().is_some());
+
+        // Lift the budget: same blaster, same solver, no re-encoding.
+        solver.set_budget(ArmedBudget::unlimited());
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(bb.cached_nodes(), nodes_encoded);
+        let xv = bb.model_var(&p, x, &solver).expect("model").to_u64();
+        let yv = bb.model_var(&p, y, &solver).expect("model").to_u64();
+        assert_eq!(xv * yv, 1009 * 1013);
         assert!(xv > 1 && yv > 1);
     }
 }

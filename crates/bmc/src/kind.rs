@@ -20,7 +20,7 @@
 use crate::{Bmc, BmcOptions, BmcResult};
 use aqed_bitblast::BitBlaster;
 use aqed_expr::{ExprPool, ExprRef, VarId, VarKind};
-use aqed_sat::{Lit, SatBackend, SolveResult, Solver};
+use aqed_sat::{ArmedBudget, Budget, Lit, SatBackend, SolveResult, Solver};
 use aqed_tsys::TransitionSystem;
 use std::collections::HashMap;
 
@@ -61,6 +61,9 @@ pub struct InductionOptions {
     pub simple_path: bool,
     /// Optional conflict budget per SAT query.
     pub conflict_budget: Option<u64>,
+    /// Resource budget (deadline, effort caps) shared by the whole
+    /// proof attempt — base checks and step cases alike.
+    pub budget: Budget,
 }
 
 impl Default for InductionOptions {
@@ -69,6 +72,7 @@ impl Default for InductionOptions {
             max_k: 10,
             simple_path: true,
             conflict_budget: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -103,7 +107,13 @@ pub fn prove_with<B: SatBackend + Default>(
 ) -> InductionResult {
     ts.validate(pool).expect("system must be well-formed");
     assert!(!ts.bads().is_empty(), "nothing to prove");
+    // One armed budget for the whole attempt: the deadline spans every
+    // base check and step case rather than restarting per depth.
+    let armed = ArmedBudget::arm(&options.budget);
     for k in 0..=options.max_k {
+        if armed.poll().is_some() {
+            return InductionResult::Unknown { max_k: k };
+        }
         // Base: BMC up to depth k.
         let mut bmc: Bmc<B> = Bmc::with_backend(
             ts,
@@ -111,15 +121,20 @@ pub fn prove_with<B: SatBackend + Default>(
                 .with_max_bound(k)
                 .with_conflict_budget(options.conflict_budget),
         );
-        match bmc.check(ts, pool) {
+        match bmc.check_under(ts, pool, &armed) {
             BmcResult::Counterexample(cex) => return InductionResult::Counterexample(cex),
             BmcResult::Unknown { .. } => return InductionResult::Unknown { max_k: k },
             BmcResult::NoCounterexample { .. } => {}
         }
         // Step: arbitrary k+1-state path, property holds in first k
         // states, violated in the last.
-        if step_case_holds::<B>(ts, pool, k, options) {
-            return InductionResult::Proved { k };
+        match step_case::<B>(ts, pool, k, options, &armed) {
+            StepOutcome::Holds => return InductionResult::Proved { k },
+            StepOutcome::Fails => {}
+            // A budgeted-out step cannot distinguish "not inductive yet"
+            // from "inductive but unproven" — stop instead of burning the
+            // remaining budget on ever-deeper step cases.
+            StepOutcome::Unknown => return InductionResult::Unknown { max_k: k },
         }
     }
     InductionResult::Unknown {
@@ -127,18 +142,30 @@ pub fn prove_with<B: SatBackend + Default>(
     }
 }
 
+/// Result of one induction step query.
+enum StepOutcome {
+    /// The step case is valid (query UNSAT): the property is k-inductive.
+    Holds,
+    /// A (possibly spurious) step counterexample exists; try deeper k.
+    Fails,
+    /// A resource limit stopped the query.
+    Unknown,
+}
+
 /// Returns true when the induction step at depth `k` is valid (the
 /// "property can be violated after k clean arbitrary states" query is
 /// UNSAT).
-fn step_case_holds<B: SatBackend + Default>(
+fn step_case<B: SatBackend + Default>(
     ts: &TransitionSystem,
     pool: &mut ExprPool,
     k: usize,
     options: &InductionOptions,
-) -> bool {
+    armed: &ArmedBudget,
+) -> StepOutcome {
     let mut solver = B::default();
     let mut blaster = BitBlaster::new();
     solver.set_conflict_budget(options.conflict_budget);
+    solver.set_budget(armed.clone());
 
     // Frame 0 state: completely free.
     let mut state_exprs: HashMap<VarId, ExprRef> = HashMap::new();
@@ -225,7 +252,11 @@ fn step_case_holds<B: SatBackend + Default>(
     // Violation in the final frame.
     solver.add_clause(&last_bad_lits);
 
-    matches!(solver.solve_under(&[]), SolveResult::Unsat)
+    match solver.solve_under(&[]) {
+        SolveResult::Unsat => StepOutcome::Holds,
+        SolveResult::Sat => StepOutcome::Fails,
+        SolveResult::Unknown => StepOutcome::Unknown,
+    }
 }
 
 #[cfg(test)]
@@ -337,7 +368,7 @@ mod tests {
         let opts = InductionOptions {
             max_k: 3,
             simple_path: false,
-            conflict_budget: None,
+            ..InductionOptions::default()
         };
         let result = prove(&ts, &mut pool, &opts);
         assert!(
@@ -349,9 +380,24 @@ mod tests {
         let opts = InductionOptions {
             max_k: 10,
             simple_path: true,
-            conflict_budget: None,
+            ..InductionOptions::default()
         };
         let result = prove(&ts, &mut pool, &opts);
         assert!(result.is_proved(), "{result:?}");
+    }
+
+    #[test]
+    fn expired_deadline_stops_proof_attempt() {
+        let mut pool = ExprPool::new();
+        let ts = saturating_counter(&mut pool);
+        let opts = InductionOptions {
+            budget: Budget::unlimited().with_timeout(std::time::Duration::ZERO),
+            ..InductionOptions::default()
+        };
+        let result = prove(&ts, &mut pool, &opts);
+        assert!(
+            matches!(result, InductionResult::Unknown { .. }),
+            "{result:?}"
+        );
     }
 }

@@ -50,6 +50,10 @@ mod witness;
 
 pub use witness::to_btor2_witness;
 
+// Re-exported so downstream crates can set budgets without a direct
+// `aqed-sat` dependency.
+pub use aqed_sat::{ArmedBudget, Budget, StopHandle, StopReason};
+
 use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
@@ -72,6 +76,11 @@ pub struct BmcOptions {
     /// Optional per-`check` conflict budget; exceeding it yields
     /// [`BmcResult::Unknown`].
     pub conflict_budget: Option<u64>,
+    /// Resource budget (wall-clock deadline, effort caps) governing the
+    /// whole run. Unlimited by default; armed when `check` starts. An
+    /// externally armed budget (shared deadline, cancellation) can be
+    /// passed to [`Bmc::check_under`] instead.
+    pub budget: Budget,
     /// After a depth is proven violation-free, permanently assert the
     /// negation of that frame's bad literals. Sound; helps some
     /// instances (the AES equivalence proofs) and hurts others — measure
@@ -85,6 +94,7 @@ impl Default for BmcOptions {
             max_bound: 30,
             incremental: true,
             conflict_budget: None,
+            budget: Budget::unlimited(),
             prune_checked_bads: false,
         }
     }
@@ -109,6 +119,13 @@ impl BmcOptions {
     #[must_use]
     pub fn with_conflict_budget(mut self, budget: Option<u64>) -> Self {
         self.conflict_budget = budget;
+        self
+    }
+
+    /// Returns the options with a resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -185,10 +202,12 @@ pub enum BmcResult {
         /// The deepest bound fully checked.
         bound: usize,
     },
-    /// The conflict budget was exhausted at the given depth.
+    /// A resource limit stopped the run at the given depth.
     Unknown {
         /// The depth being explored when the budget ran out.
         bound: usize,
+        /// Which limit stopped the run.
+        reason: StopReason,
     },
 }
 
@@ -349,14 +368,33 @@ impl<B: SatBackend + Default> Bmc<B> {
     /// Panics if the system fails validation (call
     /// [`TransitionSystem::validate`] first for a proper error value).
     pub fn check(&mut self, ts: &TransitionSystem, pool: &mut ExprPool) -> BmcResult {
+        let armed = ArmedBudget::arm(&self.options.budget);
+        self.check_under(ts, pool, &armed)
+    }
+
+    /// Like [`Bmc::check`], but governed by an externally armed budget —
+    /// the deadline keeps running across calls and cancellation through
+    /// the budget's [`StopHandle`] is observed between and inside solver
+    /// queries. The obligation scheduler uses this to share one deadline
+    /// across many per-property runs.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Bmc::check`].
+    pub fn check_under(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        armed: &ArmedBudget,
+    ) -> BmcResult {
         let start = Instant::now();
         ts.validate(pool).expect("system must be well-formed");
         self.stats = BmcStats::default();
         let bad_idx = self.bad_indices(ts);
         let result = if self.options.incremental {
-            self.run_incremental(ts, pool, &bad_idx)
+            self.run_incremental(ts, pool, &bad_idx, armed)
         } else {
-            self.run_monolithic(ts, pool, &bad_idx)
+            self.run_monolithic(ts, pool, &bad_idx, armed)
         };
         self.stats.elapsed = start.elapsed();
         result
@@ -369,10 +407,15 @@ impl<B: SatBackend + Default> Bmc<B> {
         ts: &TransitionSystem,
         pool: &mut ExprPool,
         bad_idx: &[usize],
+        armed: &ArmedBudget,
     ) -> BmcResult {
-        let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget);
+        let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget, armed);
         let prune = self.options.prune_checked_bads;
         for k in 0..=self.options.max_bound {
+            if let Some(reason) = armed.poll() {
+                session.export_stats(&mut self.stats);
+                return BmcResult::Unknown { bound: k, reason };
+            }
             self.stats.frames_encoded = k;
             session.encode_frame(ts, pool, k);
             match self.check_frame(&mut session, ts, pool, k, bad_idx, prune) {
@@ -381,9 +424,9 @@ impl<B: SatBackend + Default> Bmc<B> {
                     session.export_stats(&mut self.stats);
                     return BmcResult::Counterexample(cex);
                 }
-                FrameOutcome::Unknown => {
+                FrameOutcome::Unknown(reason) => {
                     session.export_stats(&mut self.stats);
-                    return BmcResult::Unknown { bound: k };
+                    return BmcResult::Unknown { bound: k, reason };
                 }
             }
         }
@@ -400,9 +443,14 @@ impl<B: SatBackend + Default> Bmc<B> {
         ts: &TransitionSystem,
         pool: &mut ExprPool,
         bad_idx: &[usize],
+        armed: &ArmedBudget,
     ) -> BmcResult {
         for k in 0..=self.options.max_bound {
-            let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget);
+            if let Some(reason) = armed.poll() {
+                return BmcResult::Unknown { bound: k, reason };
+            }
+            let mut session: Session<B> =
+                Session::new(ts, pool, self.options.conflict_budget, armed);
             self.stats.frames_encoded = k;
             for j in 0..=k {
                 session.encode_frame(ts, pool, j);
@@ -413,7 +461,7 @@ impl<B: SatBackend + Default> Bmc<B> {
             match outcome {
                 FrameOutcome::Clean => {}
                 FrameOutcome::Cex(cex) => return BmcResult::Counterexample(cex),
-                FrameOutcome::Unknown => return BmcResult::Unknown { bound: k },
+                FrameOutcome::Unknown(reason) => return BmcResult::Unknown { bound: k, reason },
             }
         }
         BmcResult::NoCounterexample {
@@ -445,7 +493,7 @@ impl<B: SatBackend + Default> Bmc<B> {
 enum FrameOutcome {
     Cex(Counterexample),
     Clean,
-    Unknown,
+    Unknown(StopReason),
 }
 
 /// One SAT encoding session: a backend plus the bit-blaster and unroller
@@ -459,9 +507,15 @@ struct Session<B: SatBackend> {
 }
 
 impl<B: SatBackend + Default> Session<B> {
-    fn new(ts: &TransitionSystem, pool: &mut ExprPool, budget: Option<u64>) -> Self {
+    fn new(
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        budget: Option<u64>,
+        armed: &ArmedBudget,
+    ) -> Self {
         let mut backend = B::default();
         backend.set_conflict_budget(budget);
+        backend.set_budget(armed.clone());
         Session {
             backend,
             blaster: BitBlaster::new(),
@@ -529,7 +583,11 @@ impl<B: SatBackend> Session<B> {
                 }
                 FrameOutcome::Clean
             }
-            SolveResult::Unknown => FrameOutcome::Unknown,
+            // Backends predating budget support report no reason; the
+            // only limit they can hit is the legacy conflict budget.
+            SolveResult::Unknown => {
+                FrameOutcome::Unknown(self.backend.stop_reason().unwrap_or(StopReason::Conflicts))
+            }
         }
     }
 
@@ -924,7 +982,72 @@ mod tests {
                 .with_conflict_budget(Some(1)),
         );
         let result = bmc.check(&ts, &mut p);
-        assert!(matches!(result, BmcResult::Unknown { .. }));
+        assert!(matches!(
+            result,
+            BmcResult::Unknown {
+                reason: StopReason::Conflicts,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_with_reason() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        let mut bmc = Bmc::new(
+            &ts,
+            BmcOptions::default()
+                .with_max_bound(10)
+                .with_budget(Budget::unlimited().with_timeout(Duration::ZERO)),
+        );
+        match bmc.check(&ts, &mut p) {
+            BmcResult::Unknown { bound, reason } => {
+                assert_eq!(reason, StopReason::Deadline);
+                assert_eq!(bound, 0);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_shared_budget_stops_check_under() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        let armed = ArmedBudget::unlimited();
+        armed.cancel();
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(10));
+        match bmc.check_under(&ts, &mut p, &armed) {
+            BmcResult::Unknown { reason, .. } => assert_eq!(reason, StopReason::Cancelled),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_verdicts() {
+        for target in [3u64, 12] {
+            let mut p1 = ExprPool::new();
+            let ts1 = counter_system(&mut p1, target);
+            let mut plain = Bmc::new(&ts1, BmcOptions::default().with_max_bound(8));
+            let r1 = plain.check(&ts1, &mut p1);
+
+            let mut p2 = ExprPool::new();
+            let ts2 = counter_system(&mut p2, target);
+            let mut governed = Bmc::new(
+                &ts2,
+                BmcOptions::default().with_max_bound(8).with_budget(
+                    Budget::unlimited()
+                        .with_timeout(Duration::from_secs(600))
+                        .with_max_conflicts(u64::MAX / 2),
+                ),
+            );
+            let r2 = governed.check(&ts2, &mut p2);
+            assert_eq!(r1.is_clean(), r2.is_clean());
+            assert_eq!(
+                r1.counterexample().map(|c| c.depth),
+                r2.counterexample().map(|c| c.depth)
+            );
+        }
     }
 
     #[test]

@@ -15,8 +15,8 @@
 
 use aqed_bmc::{to_btor2_witness, BmcOptions};
 use aqed_core::{
-    run_hybrid, verify_obligations_with, AqedHarness, CheckOutcome, HybridConfig,
-    ParallelVerifyReport,
+    run_hybrid, verify_obligations_scheduled, AqedHarness, Budget, CheckOutcome, HybridConfig,
+    ParallelVerifyReport, ScheduleOptions,
 };
 use aqed_designs::{all_cases, BugCase};
 use aqed_expr::ExprPool;
@@ -64,7 +64,8 @@ pub enum Command {
     /// `aqed list`
     List,
     /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE]
-    /// [--witness] [--jobs N] [--backend NAME]`
+    /// [--witness] [--jobs N] [--backend NAME] [--timeout SECS]
+    /// [--conflict-budget N] [--fail-fast]`
     Verify {
         /// Case id.
         case: String,
@@ -80,6 +81,13 @@ pub enum Command {
         jobs: usize,
         /// SAT backend to drive.
         backend: BackendChoice,
+        /// Wall-clock deadline in seconds for the whole run.
+        timeout: Option<u64>,
+        /// Conflict budget per solver call (retried with doubled budget
+        /// up to the scheduler's attempt cap).
+        conflict_budget: Option<u64>,
+        /// Cancel remaining obligations once one finds a bug.
+        fail_fast: bool,
     },
     /// `aqed conventional <case>`
     Conventional {
@@ -137,6 +145,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut witness = false;
             let mut jobs = 1;
             let mut backend = BackendChoice::default();
+            let mut timeout = None;
+            let mut conflict_budget = None;
+            let mut fail_fast = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -177,6 +188,27 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             .ok_or_else(|| ParseCommandError("--backend needs a name".into()))?
                             .parse()?;
                     }
+                    "--timeout" => {
+                        i += 1;
+                        let v = args.get(i).ok_or_else(|| {
+                            ParseCommandError("--timeout needs a value in seconds".into())
+                        })?;
+                        timeout =
+                            Some(v.parse().ok().filter(|&n: &u64| n >= 1).ok_or_else(|| {
+                                ParseCommandError(format!("invalid timeout '{v}'"))
+                            })?);
+                    }
+                    "--conflict-budget" => {
+                        i += 1;
+                        let v = args.get(i).ok_or_else(|| {
+                            ParseCommandError("--conflict-budget needs a value".into())
+                        })?;
+                        conflict_budget =
+                            Some(v.parse().ok().filter(|&n: &u64| n >= 1).ok_or_else(|| {
+                                ParseCommandError(format!("invalid conflict budget '{v}'"))
+                            })?);
+                    }
+                    "--fail-fast" => fail_fast = true,
                     other => {
                         return Err(ParseCommandError(format!("unknown flag '{other}'")));
                     }
@@ -191,6 +223,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 witness,
                 jobs,
                 backend,
+                timeout,
+                conflict_budget,
+                fail_fast,
             })
         }
         "conventional" => Ok(Command::Conventional {
@@ -224,9 +259,17 @@ USAGE:
   aqed list                            enumerate the catalogued bug cases
   aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
                      [--jobs N] [--backend cdcl|dimacs]
+                     [--timeout SECS] [--conflict-budget N] [--fail-fast]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
-                                       checked on N worker threads (default 1)
+                                       checked on N worker threads (default 1).
+                                       --timeout bounds the whole run's wall
+                                       clock; --conflict-budget caps solver
+                                       effort per call (doubled on retry);
+                                       --fail-fast cancels siblings after the
+                                       first bug.
+                                       exit codes: 0 clean, 1 bug found,
+                                       2 inconclusive, degraded, or usage error
   aqed conventional <case>             run the conventional simulation flow
   aqed hybrid <case>                   run hybrid QED (monitor in simulation)
   aqed export-btor2 <case> [--monitor] print the design (or design+monitor) as BTOR2
@@ -253,16 +296,33 @@ fn print_obligation_stats(
             CheckOutcome::Bug { counterexample, .. } => {
                 format!("bug at depth {}", counterexample.depth)
             }
-            CheckOutcome::Inconclusive { bound } => format!("inconclusive at {bound}"),
+            CheckOutcome::Inconclusive { bound, reason } => {
+                format!("inconclusive at {bound} ({reason})")
+            }
+            CheckOutcome::Errored { message } => format!("errored: {message}"),
         };
         writeln!(
             out,
-            "  {:<30} {:<20} {:>4} calls {:>9} conflicts  {:?}",
+            "  {:<30} {:<28} {:>4} calls {:>9} conflicts  {:?}",
             r.obligation.bad_name,
             verdict,
             r.stats.solver_calls,
             r.stats.solver.conflicts,
             r.stats.elapsed
+        )?;
+    }
+    if report.degraded {
+        writeln!(
+            out,
+            "warning: run degraded — at least one obligation errored; \
+             clean verdicts above still hold but coverage is incomplete"
+        )?;
+    }
+    if report.watchdog_trips > 0 {
+        writeln!(
+            out,
+            "warning: watchdog cancelled {} stuck job(s)",
+            report.watchdog_trips
         )?;
     }
     Ok(())
@@ -319,6 +379,9 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             witness,
             jobs,
             backend,
+            timeout,
+            conflict_budget,
+            fail_fast,
         } => {
             let case = match find_case(case) {
                 Ok(c) => c,
@@ -345,14 +408,22 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             // scheduler against the composed system.
             let (composed, _) = harness.build(&mut pool);
             let b = bound.unwrap_or(case.bmc_bound);
-            let options = BmcOptions::default().with_max_bound(b);
+            let mut budget = Budget::unlimited();
+            if let Some(secs) = timeout {
+                budget = budget.with_timeout(std::time::Duration::from_secs(*secs));
+            }
+            let mut options = BmcOptions::default().with_max_bound(b).with_budget(budget);
+            options.conflict_budget = *conflict_budget;
+            let sched = ScheduleOptions::default()
+                .with_jobs(*jobs)
+                .with_fail_fast(*fail_fast);
             let report = match backend {
                 BackendChoice::Cdcl => {
-                    verify_obligations_with::<Solver>(&composed, &pool, &options, *jobs)
+                    verify_obligations_scheduled::<Solver>(&composed, &pool, &options, &sched)
                 }
-                BackendChoice::Dimacs => {
-                    verify_obligations_with::<DimacsBackend>(&composed, &pool, &options, *jobs)
-                }
+                BackendChoice::Dimacs => verify_obligations_scheduled::<DimacsBackend>(
+                    &composed, &pool, &options, &sched,
+                ),
             };
             print_obligation_stats(out, &report, *backend)?;
             match &report.outcome {
@@ -384,10 +455,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                         "clean up to bound {bound} ({:?}, {} clauses)",
                         report.runtime, report.aggregate.clauses
                     )?;
-                    Ok(0)
+                    // A degraded run cannot vouch for full coverage even
+                    // when every surviving obligation came back clean.
+                    Ok(if report.degraded { 2 } else { 0 })
                 }
-                CheckOutcome::Inconclusive { bound } => {
-                    writeln!(out, "inconclusive at bound {bound}")?;
+                CheckOutcome::Inconclusive { bound, reason } => {
+                    writeln!(out, "inconclusive at bound {bound} ({reason})")?;
+                    Ok(2)
+                }
+                CheckOutcome::Errored { message } => {
+                    writeln!(out, "error: {message}")?;
                     Ok(2)
                 }
             }
@@ -522,7 +599,10 @@ mod tests {
                 vcd: None,
                 witness: true,
                 jobs: 1,
-                backend: BackendChoice::Cdcl
+                backend: BackendChoice::Cdcl,
+                timeout: None,
+                conflict_budget: None,
+                fail_fast: false
             })
         );
         assert_eq!(
@@ -534,7 +614,10 @@ mod tests {
                 vcd: Some("/tmp/x.vcd".into()),
                 witness: false,
                 jobs: 1,
-                backend: BackendChoice::Cdcl
+                backend: BackendChoice::Cdcl,
+                timeout: None,
+                conflict_budget: None,
+                fail_fast: false
             })
         );
         assert_eq!(
@@ -546,9 +629,45 @@ mod tests {
                 vcd: None,
                 witness: false,
                 jobs: 4,
-                backend: BackendChoice::Dimacs
+                backend: BackendChoice::Dimacs,
+                timeout: None,
+                conflict_budget: None,
+                fail_fast: false
             })
         );
+    }
+
+    #[test]
+    fn parses_governance_flags() {
+        assert_eq!(
+            parse(&[
+                "verify",
+                "x",
+                "--timeout",
+                "30",
+                "--conflict-budget",
+                "5000",
+                "--fail-fast"
+            ]),
+            Ok(Command::Verify {
+                case: "x".into(),
+                bound: None,
+                healthy: false,
+                vcd: None,
+                witness: false,
+                jobs: 1,
+                backend: BackendChoice::Cdcl,
+                timeout: Some(30),
+                conflict_budget: Some(5000),
+                fail_fast: true
+            })
+        );
+        assert!(parse(&["verify", "x", "--timeout"]).is_err());
+        assert!(parse(&["verify", "x", "--timeout", "0"]).is_err());
+        assert!(parse(&["verify", "x", "--timeout", "soon"]).is_err());
+        assert!(parse(&["verify", "x", "--conflict-budget"]).is_err());
+        assert!(parse(&["verify", "x", "--conflict-budget", "0"]).is_err());
+        assert!(parse(&["verify", "x", "--conflict-budget", "lots"]).is_err());
     }
 
     #[test]
@@ -589,6 +708,9 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                timeout: None,
+                conflict_budget: None,
+                fail_fast: false,
             },
             &mut buf,
         )
@@ -609,6 +731,9 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                timeout: None,
+                conflict_budget: None,
+                fail_fast: false,
             },
             &mut buf,
         )
@@ -617,6 +742,59 @@ mod tests {
         let text = String::from_utf8_lossy(&buf);
         assert!(text.contains("obligation(s)"), "{text}");
         assert!(text.contains("clean up to bound 6"), "{text}");
+    }
+
+    #[test]
+    fn starved_conflict_budget_exits_inconclusive() {
+        // Healthy AES at bound 8 needs >100k conflicts to close; a
+        // budget of 1 (doubled to 4 by the scheduler's retries) cannot
+        // decide it, so the run must end inconclusive with exit code 2 —
+        // never a false "clean".
+        let mut buf = Vec::new();
+        let code = run(
+            &Command::Verify {
+                case: "aes_v1".into(),
+                bound: Some(8),
+                healthy: true,
+                vcd: None,
+                witness: false,
+                jobs: 2,
+                backend: BackendChoice::Cdcl,
+                timeout: None,
+                conflict_budget: Some(1),
+                fail_fast: false,
+            },
+            &mut buf,
+        )
+        .expect("io");
+        let text = String::from_utf8_lossy(&buf);
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("inconclusive"), "{text}");
+        assert!(text.contains("conflict budget"), "{text}");
+    }
+
+    #[test]
+    fn generous_timeout_still_finds_bug_with_exit_one() {
+        let mut buf = Vec::new();
+        let code = run(
+            &Command::Verify {
+                case: "dataflow_fifo_sizing".into(),
+                bound: None,
+                healthy: false,
+                vcd: None,
+                witness: false,
+                jobs: 2,
+                backend: BackendChoice::Cdcl,
+                timeout: Some(600),
+                conflict_budget: None,
+                fail_fast: true,
+            },
+            &mut buf,
+        )
+        .expect("io");
+        let text = String::from_utf8_lossy(&buf);
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("bug:"), "{text}");
     }
 
     #[test]

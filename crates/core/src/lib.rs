@@ -63,9 +63,12 @@ pub use monitor::{
     BAD_RB_STARVATION, BAD_SAC,
 };
 pub use parallel::{
-    verify_obligations, verify_obligations_with, Obligation, ObligationReport, ParallelVerifyReport,
+    verify_obligations, verify_obligations_scheduled, verify_obligations_with, Obligation,
+    ObligationReport, ParallelVerifyReport, ScheduleOptions,
 };
 pub use verify::{AqedHarness, CheckOutcome, PropertyKind, VerifyReport};
+
+pub use aqed_sat::{ArmedBudget, Budget, StopHandle, StopReason};
 
 use aqed_expr::{ExprPool, ExprRef};
 

@@ -8,16 +8,47 @@
 //!
 //! The merged verdict is deterministic: it depends only on the
 //! per-obligation results, never on thread scheduling, so `jobs = 1` and
-//! `jobs = N` always agree.
+//! `jobs = N` always agree (fail-fast mode deliberately trades this for
+//! latency — see [`ScheduleOptions::fail_fast`]).
+//!
+//! # Resource governance and fault tolerance
+//!
+//! [`verify_obligations_scheduled`] layers a governance regime over the
+//! plain pool:
+//!
+//! * **Shared deadline** — `options.budget` is armed once for the whole
+//!   run; every job solves under a child of that armed budget, so the
+//!   wall clock keeps running across obligations and a single deadline
+//!   bounds the run.
+//! * **Cooperative cancellation** — in fail-fast mode the first
+//!   validated bug cancels the root budget; running solvers notice at
+//!   their next budget poll and drain, queued obligations return
+//!   immediately as `Inconclusive {reason: Cancelled}`.
+//! * **Watchdog** — a monitor thread escalates jobs that exceed
+//!   [`ScheduleOptions::obligation_timeout`] by tripping their private
+//!   stop handle, and enforces the global deadline even against backends
+//!   that ignore budgets.
+//! * **Panic isolation** — each obligation runs under
+//!   [`std::panic::catch_unwind`]; a dying worker degrades only its own
+//!   obligation to [`CheckOutcome::Errored`] and sets the report's
+//!   `degraded` flag instead of aborting the run.
+//! * **Retry escalation** — an obligation stopped by its conflict budget
+//!   is retried with the budget doubled, up to
+//!   [`ScheduleOptions::max_attempts`].
+//! * **Witness self-validation** — every SAT verdict is replayed on the
+//!   concrete simulator before being reported; a mismatch becomes a loud
+//!   `UnsoundWitness` error, never a silently trusted bug report.
 
-use crate::verify::{CheckOutcome, PropertyKind};
-use aqed_bmc::{Bmc, BmcOptions, BmcResult, BmcStats, Counterexample};
+use crate::verify::{validated_bug, CheckOutcome, PropertyKind};
+use aqed_bmc::{ArmedBudget, Bmc, BmcOptions, BmcResult, BmcStats, Counterexample, StopReason};
 use aqed_expr::ExprPool;
-use aqed_sat::{SatBackend, Solver};
+use aqed_sat::{SatBackend, Solver, StopHandle};
 use aqed_tsys::TransitionSystem;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One independent proof obligation: a single bad property of the
@@ -42,6 +73,68 @@ impl fmt::Display for Obligation {
     }
 }
 
+/// Scheduling policy for an obligation-scheduled verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOptions {
+    /// Maximum worker threads (clamped to the obligation count; minimum 1).
+    pub jobs: usize,
+    /// Cancel the remaining obligations as soon as one finds a validated
+    /// counterexample. Lowers latency to first bug but makes sibling
+    /// verdicts scheduling-dependent (cancelled jobs report
+    /// `Inconclusive {reason: Cancelled}`).
+    pub fail_fast: bool,
+    /// Maximum solve attempts per obligation. After an attempt stops on
+    /// its conflict budget, the budget is doubled and the obligation
+    /// retried, up to this many attempts total.
+    pub max_attempts: u32,
+    /// Per-obligation wall-clock limit, enforced by the watchdog thread:
+    /// a job running longer has its private stop handle tripped and
+    /// reports `Inconclusive {reason: Cancelled}`.
+    pub obligation_timeout: Option<Duration>,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            jobs: 1,
+            fail_fast: false,
+            max_attempts: 3,
+            obligation_timeout: None,
+        }
+    }
+}
+
+impl ScheduleOptions {
+    /// Returns the options with the given worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Returns the options with fail-fast cancellation enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Returns the options with the given retry cap.
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Returns the options with a per-obligation watchdog timeout.
+    #[must_use]
+    pub fn with_obligation_timeout(mut self, timeout: Duration) -> Self {
+        self.obligation_timeout = Some(timeout);
+        self
+    }
+}
+
 /// Verdict and statistics of one obligation's BMC run.
 #[derive(Debug, Clone)]
 pub struct ObligationReport {
@@ -49,14 +142,18 @@ pub struct ObligationReport {
     pub obligation: Obligation,
     /// Verdict for this property alone.
     pub outcome: CheckOutcome,
-    /// Solver statistics of this job's run.
+    /// Solver statistics of this job's run (summed over retries).
     pub stats: BmcStats,
+    /// Solve attempts made (> 1 when conflict-budget retries escalated;
+    /// 0 when the job was cancelled before it started).
+    pub attempts: u32,
 }
 
 /// Aggregate report of an obligation-scheduled verification run.
 #[derive(Debug, Clone)]
 pub struct ParallelVerifyReport {
-    /// Merged verdict; identical for every `jobs` value.
+    /// Merged verdict; identical for every `jobs` value (except under
+    /// fail-fast, which is scheduling-dependent by design).
     pub outcome: CheckOutcome,
     /// Per-obligation reports, in bad-index order.
     pub obligations: Vec<ObligationReport>,
@@ -68,6 +165,12 @@ pub struct ParallelVerifyReport {
     pub jobs: usize,
     /// Wall-clock time of the whole run.
     pub runtime: Duration,
+    /// Whether any obligation degraded to [`CheckOutcome::Errored`]
+    /// (worker panic or unsound witness). A degraded run's clean
+    /// verdicts still hold, but coverage is incomplete.
+    pub degraded: bool,
+    /// How many stuck jobs the watchdog cancelled.
+    pub watchdog_trips: u64,
 }
 
 impl ParallelVerifyReport {
@@ -101,15 +204,22 @@ impl fmt::Display for ParallelVerifyReport {
                 property,
                 counterexample,
             } => write!(f, "{property} bug: {counterexample}")?,
-            CheckOutcome::Inconclusive { bound } => write!(f, "inconclusive at bound {bound}")?,
+            CheckOutcome::Inconclusive { bound, reason } => {
+                write!(f, "inconclusive at bound {bound} ({reason})")?;
+            }
+            CheckOutcome::Errored { message } => write!(f, "errored: {message}")?,
         }
         write!(
             f,
-            " ({} obligations, {} jobs, {:?})",
+            " ({} obligations, {} jobs, {:?}",
             self.obligations.len(),
             self.jobs,
             self.runtime
-        )
+        )?;
+        if self.degraded {
+            write!(f, ", degraded")?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -131,25 +241,55 @@ pub fn verify_obligations(
 /// Runs every bad property of `composed` as an independent BMC obligation
 /// on up to `jobs` worker threads, each job building its own backend `B`.
 ///
+/// Equivalent to [`verify_obligations_scheduled`] with the default
+/// [`ScheduleOptions`] at the given worker count: no fail-fast, no
+/// per-obligation timeout, conflict-budget retries enabled.
+///
 /// Each job clones the expression pool (unrolling allocates fresh
 /// expressions), but counterexamples only reference the system's original
 /// variables, so they remain valid against the caller's pool — e.g. for
 /// VCD export or simulator replay.
 ///
 /// Merge semantics, independent of scheduling order: the bug with the
-/// smallest `(depth, bad_index)` wins; otherwise the shallowest
-/// inconclusive bound; otherwise clean at `options.max_bound`.
+/// smallest `(depth, bad_index)` wins; otherwise the first errored
+/// obligation; otherwise the shallowest inconclusive bound; otherwise
+/// clean at `options.max_bound`.
 ///
 /// # Panics
 ///
-/// Panics if `composed` has no bad properties, a bad name is not one of
-/// the A-QED monitor's, or a worker thread panics.
+/// Panics if `composed` has no bad properties or a bad name is not one
+/// of the A-QED monitor's. Worker panics do *not* propagate: they
+/// degrade their own obligation to [`CheckOutcome::Errored`].
 #[must_use]
 pub fn verify_obligations_with<B: SatBackend + Default>(
     composed: &TransitionSystem,
     pool: &ExprPool,
     options: &BmcOptions,
     jobs: usize,
+) -> ParallelVerifyReport {
+    let sched = ScheduleOptions::default().with_jobs(jobs);
+    verify_obligations_scheduled::<B>(composed, pool, options, &sched)
+}
+
+/// The fully governed obligation scheduler: shared deadline, cooperative
+/// cancellation, watchdog escalation, panic isolation, retry escalation,
+/// and witness self-validation (detailed at the top of this module's
+/// source).
+///
+/// `options.budget` is armed once when the run starts; its deadline and
+/// caps govern every job through child budgets.
+///
+/// # Panics
+///
+/// Panics if `composed` has no bad properties or a bad name is not one
+/// of the A-QED monitor's. Worker panics degrade their obligation
+/// instead of propagating.
+#[must_use]
+pub fn verify_obligations_scheduled<B: SatBackend + Default>(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    sched: &ScheduleOptions,
 ) -> ParallelVerifyReport {
     let start = Instant::now();
     let obligations: Vec<Obligation> = composed
@@ -167,26 +307,90 @@ pub fn verify_obligations_with<B: SatBackend + Default>(
         "system '{}' has no bad properties to check",
         composed.name()
     );
-    let workers = jobs.clamp(1, obligations.len());
+    let total = obligations.len();
+    let workers = sched.jobs.clamp(1, total);
+    let armed = ArmedBudget::arm(&options.budget);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, ObligationReport)>> =
-        Mutex::new(Vec::with_capacity(obligations.len()));
+    let completed = AtomicUsize::new(0);
+    let watchdog_trips = AtomicU64::new(0);
+    let results: Mutex<Vec<(usize, ObligationReport)>> = Mutex::new(Vec::with_capacity(total));
+    /// Watchdog bookkeeping: when each in-flight job started and the
+    /// private stop handle to trip if it overstays.
+    type ActiveJobs = Mutex<HashMap<usize, (Instant, StopHandle)>>;
+    let active: ActiveJobs = Mutex::new(HashMap::new());
     std::thread::scope(|scope| {
+        // The watchdog enforces wall-clock limits even against backends
+        // that never poll their budget: it trips stop handles, which the
+        // CDCL solver honours at its next coarse check, and which the
+        // pre-claim poll honours for not-yet-started obligations. Only
+        // spawned when some wall-clock limit exists.
+        if sched.obligation_timeout.is_some() || options.budget.timeout.is_some() {
+            scope.spawn(|| {
+                while completed.load(Ordering::Acquire) < total {
+                    std::thread::sleep(Duration::from_millis(2));
+                    if armed.poll() == Some(StopReason::Deadline) {
+                        armed.cancel();
+                    }
+                    if let Some(limit) = sched.obligation_timeout {
+                        let now = Instant::now();
+                        for (started, stop) in lock_unpoisoned(&active).values() {
+                            if now.duration_since(*started) > limit && !stop.is_requested() {
+                                stop.request_stop();
+                                watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(ob) = obligations.get(idx) else {
                     break;
                 };
-                let report = check_obligation::<B>(composed, pool, options, ob);
-                results
-                    .lock()
-                    .expect("result sink poisoned")
-                    .push((idx, report));
+                let report = if let Some(reason) = armed.poll() {
+                    // Deadline already passed or the run was cancelled:
+                    // drain the queue without solving so every obligation
+                    // still gets a report.
+                    ObligationReport {
+                        obligation: ob.clone(),
+                        outcome: CheckOutcome::Inconclusive { bound: 0, reason },
+                        stats: BmcStats::default(),
+                        attempts: 0,
+                    }
+                } else {
+                    let job = armed.child();
+                    lock_unpoisoned(&active)
+                        .insert(idx, (Instant::now(), job.stop_handle().clone()));
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        check_obligation::<B>(composed, pool, options, ob, &job, sched)
+                    }));
+                    lock_unpoisoned(&active).remove(&idx);
+                    match caught {
+                        Ok(r) => r,
+                        Err(payload) => ObligationReport {
+                            obligation: ob.clone(),
+                            outcome: CheckOutcome::Errored {
+                                message: format!(
+                                    "worker panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            },
+                            stats: BmcStats::default(),
+                            attempts: 1,
+                        },
+                    }
+                };
+                if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
+                    armed.cancel();
+                }
+                lock_unpoisoned(&results).push((idx, report));
+                completed.fetch_add(1, Ordering::Release);
             });
         }
     });
-    let mut ranked = results.into_inner().expect("result sink poisoned");
+    let mut ranked = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     ranked.sort_by_key(|&(i, _)| i);
     let reports: Vec<ObligationReport> = ranked.into_iter().map(|(_, r)| r).collect();
     let mut aggregate = BmcStats::default();
@@ -194,50 +398,94 @@ pub fn verify_obligations_with<B: SatBackend + Default>(
         aggregate.absorb(&r.stats);
     }
     let outcome = merge_outcome(&reports, options.max_bound);
+    let degraded = reports
+        .iter()
+        .any(|r| matches!(r.outcome, CheckOutcome::Errored { .. }));
     ParallelVerifyReport {
         outcome,
         obligations: reports,
         aggregate,
         jobs: workers,
         runtime: start.elapsed(),
+        degraded,
+        watchdog_trips: watchdog_trips.load(Ordering::Relaxed),
     }
 }
 
-/// Runs one obligation to completion on its own pool clone and backend.
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Sink pushes and map inserts are single complete operations, so the
+/// data is never half-written; one dead worker must not take down the
+/// merge.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Runs one obligation to completion on its own pool clone and backend,
+/// retrying with doubled conflict budgets while the schedule allows.
 fn check_obligation<B: SatBackend + Default>(
     composed: &TransitionSystem,
     pool: &ExprPool,
     options: &BmcOptions,
     ob: &Obligation,
+    armed: &ArmedBudget,
+    sched: &ScheduleOptions,
 ) -> ObligationReport {
     let mut local_pool = pool.clone();
-    let mut bmc: Bmc<B> = Bmc::with_backend(composed, options.clone());
-    bmc.select_bad_indices(composed, &[ob.bad_index]);
-    let result = bmc.check(composed, &mut local_pool);
-    let stats = bmc.stats();
-    let outcome = match result {
-        BmcResult::Counterexample(cex) => {
-            debug_assert!(
-                cex.replay(composed, &local_pool),
-                "BMC counterexample must replay on the simulator"
-            );
-            CheckOutcome::Bug {
-                property: ob.property,
-                counterexample: cex,
+    let mut stats = BmcStats::default();
+    let mut attempts = 0u32;
+    let mut conflict_budget = options.conflict_budget;
+    loop {
+        attempts += 1;
+        let mut attempt_options = options.clone();
+        attempt_options.conflict_budget = conflict_budget;
+        let mut bmc: Bmc<B> = Bmc::with_backend(composed, attempt_options);
+        bmc.select_bad_indices(composed, &[ob.bad_index]);
+        let result = bmc.check_under(composed, &mut local_pool, armed);
+        stats.absorb(&bmc.stats());
+        let outcome = match result {
+            BmcResult::Counterexample(cex) => {
+                validated_bug(composed, &local_pool, ob.property, cex)
             }
-        }
-        BmcResult::NoCounterexample { bound } => CheckOutcome::Clean { bound },
-        BmcResult::Unknown { bound } => CheckOutcome::Inconclusive { bound },
-    };
-    ObligationReport {
-        obligation: ob.clone(),
-        outcome,
-        stats,
+            BmcResult::NoCounterexample { bound } => CheckOutcome::Clean { bound },
+            BmcResult::Unknown { bound, reason } => {
+                // Escalate: a conflict-budgeted stop is worth retrying
+                // with doubled effort, as long as the global budget is
+                // still alive and attempts remain.
+                if reason == StopReason::Conflicts
+                    && conflict_budget.is_some()
+                    && attempts < sched.max_attempts
+                    && armed.poll().is_none()
+                {
+                    conflict_budget = conflict_budget.map(|b| b.saturating_mul(2));
+                    continue;
+                }
+                CheckOutcome::Inconclusive { bound, reason }
+            }
+        };
+        return ObligationReport {
+            obligation: ob.clone(),
+            outcome,
+            stats,
+            attempts,
+        };
     }
 }
 
 /// Deterministic verdict merge: bug with minimal `(depth, bad_index)`,
-/// else shallowest inconclusive bound, else clean at the full bound.
+/// else the first errored obligation (degradation is louder than a mere
+/// budget stop), else the shallowest inconclusive bound, else clean at
+/// the full bound.
 fn merge_outcome(reports: &[ObligationReport], max_bound: usize) -> CheckOutcome {
     let mut bug: Option<(usize, usize)> = None; // (depth, report index)
     for (i, r) in reports.iter().enumerate() {
@@ -251,14 +499,23 @@ fn merge_outcome(reports: &[ObligationReport], max_bound: usize) -> CheckOutcome
     if let Some((_, i)) = bug {
         return reports[i].outcome.clone();
     }
-    let mut inconclusive: Option<usize> = None;
-    for r in reports {
-        if let CheckOutcome::Inconclusive { bound } = r.outcome {
-            inconclusive = Some(inconclusive.map_or(bound, |b| b.min(bound)));
+    if let Some(errored) = reports
+        .iter()
+        .find(|r| matches!(r.outcome, CheckOutcome::Errored { .. }))
+    {
+        return errored.outcome.clone();
+    }
+    let mut inconclusive: Option<(usize, usize)> = None; // (bound, report index)
+    for (i, r) in reports.iter().enumerate() {
+        if let CheckOutcome::Inconclusive { bound, .. } = r.outcome {
+            let key = (bound, i);
+            if inconclusive.is_none_or(|b| key < b) {
+                inconclusive = Some(key);
+            }
         }
     }
     match inconclusive {
-        Some(bound) => CheckOutcome::Inconclusive { bound },
+        Some((_, i)) => reports[i].outcome.clone(),
         None => CheckOutcome::Clean { bound: max_bound },
     }
 }
@@ -301,6 +558,7 @@ mod tests {
         assert_eq!(s.bad_name, p.bad_name);
         assert_eq!(s.depth, p.depth);
         assert_eq!(seq.obligations.len(), par.obligations.len());
+        assert!(!seq.degraded && !par.degraded);
     }
 
     #[test]
@@ -320,6 +578,8 @@ mod tests {
             .sum();
         assert_eq!(report.aggregate.solver.conflicts, conflict_sum);
         assert!(report.to_string().contains("obligations"));
+        // Every completed obligation records at least one attempt.
+        assert!(report.obligations.iter().all(|r| r.attempts >= 1));
     }
 
     #[test]
@@ -336,6 +596,43 @@ mod tests {
         );
         for r in &report.obligations {
             assert!(matches!(r.outcome, CheckOutcome::Clean { .. }));
+        }
+        assert!(!report.degraded);
+        assert_eq!(report.watchdog_trips, 0);
+    }
+
+    #[test]
+    fn fail_fast_still_reports_every_obligation() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("inc", 2, 6, 6);
+        let lca = synthesize(
+            &spec,
+            &mut p,
+            SynthOptions {
+                forwarding_bug: true,
+                ..SynthOptions::default()
+            },
+            |pool, _a, d| {
+                let one = pool.lit(6, 1);
+                pool.add(d, one)
+            },
+        );
+        let sched = ScheduleOptions::default().with_jobs(4).with_fail_fast(true);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_rb(RbConfig::default())
+            .verify_parallel_scheduled::<Solver>(&mut p, 8, &sched);
+        // The bug is found and validated; siblings either finished or
+        // were cancelled, but every obligation has a report.
+        assert!(report.found_bug(), "{report}");
+        assert!(!report.degraded);
+        assert_eq!(report.obligations.len(), 4);
+        for r in &report.obligations {
+            assert!(
+                !matches!(r.outcome, CheckOutcome::Errored { .. }),
+                "fail-fast must not degrade obligations: {:?}",
+                r.outcome
+            );
         }
     }
 
@@ -359,6 +656,34 @@ mod tests {
         match merged {
             CheckOutcome::Bug { counterexample, .. } => assert_eq!(counterexample.depth, 0),
             other => panic!("expected bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_ranks_errored_above_inconclusive() {
+        let mut report = buggy_harness_report(1);
+        for r in &mut report.obligations {
+            r.outcome = CheckOutcome::Clean { bound: 8 };
+        }
+        report.obligations[0].outcome = CheckOutcome::Inconclusive {
+            bound: 3,
+            reason: StopReason::Conflicts,
+        };
+        report.obligations[1].outcome = CheckOutcome::Errored {
+            message: "worker panicked: test".into(),
+        };
+        let merged = merge_outcome(&report.obligations, 8);
+        assert!(matches!(merged, CheckOutcome::Errored { .. }), "{merged:?}");
+        // Without the errored entry, the inconclusive (with its reason)
+        // surfaces instead.
+        report.obligations[1].outcome = CheckOutcome::Clean { bound: 8 };
+        let merged = merge_outcome(&report.obligations, 8);
+        match merged {
+            CheckOutcome::Inconclusive { bound, reason } => {
+                assert_eq!(bound, 3);
+                assert_eq!(reason, StopReason::Conflicts);
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
         }
     }
 }

@@ -4,7 +4,7 @@ use crate::monitor::{
     attach_monitor, FcConfig, MonitorHandles, RbConfig, SacConfig, BAD_FC, BAD_FC_EARLY,
     BAD_RB_NO_OUTPUT, BAD_RB_STARVATION, BAD_SAC,
 };
-use aqed_bmc::{Bmc, BmcOptions, BmcResult, Counterexample};
+use aqed_bmc::{Bmc, BmcOptions, BmcResult, Counterexample, StopReason};
 use aqed_expr::ExprPool;
 use aqed_hls::Lca;
 use aqed_tsys::TransitionSystem;
@@ -67,11 +67,52 @@ pub enum CheckOutcome {
         /// The concrete witness.
         counterexample: Counterexample,
     },
-    /// The solver budget ran out.
+    /// A resource limit stopped the run before a verdict.
     Inconclusive {
         /// Depth being explored when the budget ran out.
         bound: usize,
+        /// Which limit stopped the run.
+        reason: StopReason,
     },
+    /// The check itself failed: the worker died or the backend produced
+    /// an unsound witness. The result says nothing about the design.
+    Errored {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// The loud error message for a witness that fails simulator replay —
+/// shared by the sequential and scheduled verification paths so the
+/// failure is recognisable wherever it surfaces.
+pub(crate) fn unsound_witness_message(cex: &Counterexample) -> String {
+    format!(
+        "UnsoundWitness: counterexample for '{}' at depth {} does not replay on the \
+         concrete simulator",
+        cex.bad_name, cex.depth
+    )
+}
+
+/// Validates a BMC witness by replaying it on the concrete simulator:
+/// a genuine counterexample becomes a [`CheckOutcome::Bug`], a bogus
+/// model becomes a loud [`CheckOutcome::Errored`] instead of a silently
+/// trusted bug report.
+pub(crate) fn validated_bug(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    property: PropertyKind,
+    cex: Counterexample,
+) -> CheckOutcome {
+    if cex.replay(composed, pool) {
+        CheckOutcome::Bug {
+            property,
+            counterexample: cex,
+        }
+    } else {
+        CheckOutcome::Errored {
+            message: unsound_witness_message(&cex),
+        }
+    }
 }
 
 /// The full report of one A-QED verification run.
@@ -115,8 +156,15 @@ impl fmt::Display for VerifyReport {
                 property,
                 counterexample,
             } => write!(f, "{property} bug: {counterexample} ({:?})", self.runtime),
-            CheckOutcome::Inconclusive { bound } => {
-                write!(f, "inconclusive at bound {bound} ({:?})", self.runtime)
+            CheckOutcome::Inconclusive { bound, reason } => {
+                write!(
+                    f,
+                    "inconclusive at bound {bound} ({reason}) ({:?})",
+                    self.runtime
+                )
+            }
+            CheckOutcome::Errored { message } => {
+                write!(f, "errored: {message} ({:?})", self.runtime)
             }
         }
     }
@@ -244,17 +292,11 @@ impl<'a> AqedHarness<'a> {
         let stats = bmc.stats();
         let outcome = match result {
             BmcResult::Counterexample(cex) => {
-                debug_assert!(
-                    cex.replay(&composed, pool),
-                    "BMC counterexample must replay on the simulator"
-                );
-                CheckOutcome::Bug {
-                    property: PropertyKind::of_bad(&cex.bad_name),
-                    counterexample: cex,
-                }
+                let property = PropertyKind::of_bad(&cex.bad_name);
+                validated_bug(&composed, pool, property, cex)
             }
             BmcResult::NoCounterexample { bound } => CheckOutcome::Clean { bound },
-            BmcResult::Unknown { bound } => CheckOutcome::Inconclusive { bound },
+            BmcResult::Unknown { bound, reason } => CheckOutcome::Inconclusive { bound, reason },
         };
         VerifyReport {
             outcome,
@@ -305,6 +347,30 @@ impl<'a> AqedHarness<'a> {
             .expect("composed system must be well-formed");
         let options = self.bmc_options.clone().with_max_bound(max_bound);
         crate::parallel::verify_obligations_with::<B>(&composed, pool, &options, jobs)
+    }
+
+    /// Obligation-scheduled verification with full resource governance:
+    /// fail-fast cancellation, per-obligation watchdog timeouts, panic
+    /// isolation, and budget-escalating retries — see
+    /// [`ScheduleOptions`](crate::ScheduleOptions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no check is enabled or the composed system fails
+    /// validation.
+    #[must_use]
+    pub fn verify_parallel_scheduled<B: aqed_sat::SatBackend + Default>(
+        &self,
+        pool: &mut ExprPool,
+        max_bound: usize,
+        sched: &crate::ScheduleOptions,
+    ) -> crate::ParallelVerifyReport {
+        let (composed, _handles) = self.build(pool);
+        composed
+            .validate(pool)
+            .expect("composed system must be well-formed");
+        let options = self.bmc_options.clone().with_max_bound(max_bound);
+        crate::parallel::verify_obligations_scheduled::<B>(&composed, pool, &options, sched)
     }
 }
 
@@ -423,6 +489,26 @@ mod tests {
             CheckOutcome::Bug { property, .. } => assert_eq!(*property, PropertyKind::Sac),
             other => panic!("expected SAC bug, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_budget_reports_inconclusive_with_reason() {
+        use aqed_bmc::Budget;
+        let mut p = ExprPool::new();
+        let lca = identity_lca(&mut p, SynthOptions::default());
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .with_bmc_options(
+                BmcOptions::default().with_budget(Budget::unlimited().with_timeout(Duration::ZERO)),
+            )
+            .verify(&mut p, 8);
+        match report.outcome {
+            CheckOutcome::Inconclusive { reason, .. } => {
+                assert_eq!(reason, StopReason::Deadline);
+            }
+            ref other => panic!("expected Inconclusive, got {other:?}"),
+        }
+        assert!(report.to_string().contains("deadline"));
     }
 
     #[test]

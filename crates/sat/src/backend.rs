@@ -38,6 +38,7 @@
 //! assert!(logging.log().contains("1 2 0"));
 //! ```
 
+use crate::budget::{ArmedBudget, StopReason};
 use crate::{Lit, SolveResult, Solver, SolverStats, Var};
 use std::fmt::Write as _;
 
@@ -91,6 +92,23 @@ pub trait SatBackend {
     /// (`None` removes the limit); exhausting it yields
     /// [`SolveResult::Unknown`].
     fn set_conflict_budget(&mut self, budget: Option<u64>);
+
+    /// Installs an armed resource budget (deadline, effort caps,
+    /// cancellation) governing all following solve calls.
+    ///
+    /// The default implementation ignores the budget: such a backend
+    /// simply never stops early, which is sound (it can only return more
+    /// decided verdicts) but forfeits resource governance.
+    fn set_budget(&mut self, budget: ArmedBudget) {
+        let _ = budget;
+    }
+
+    /// Why the most recent solve returned [`SolveResult::Unknown`], or
+    /// `None` if it reached a verdict. Backends without budget support
+    /// return `None`.
+    fn stop_reason(&self) -> Option<StopReason> {
+        None
+    }
 }
 
 impl SatBackend for Solver {
@@ -136,6 +154,14 @@ impl SatBackend for Solver {
 
     fn set_conflict_budget(&mut self, budget: Option<u64>) {
         Solver::set_conflict_budget(self, budget);
+    }
+
+    fn set_budget(&mut self, budget: ArmedBudget) {
+        Solver::set_budget(self, budget);
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        Solver::stop_reason(self)
     }
 }
 
@@ -297,6 +323,14 @@ impl SatBackend for DimacsBackend {
     fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.inner.set_conflict_budget(budget);
     }
+
+    fn set_budget(&mut self, budget: ArmedBudget) {
+        self.inner.set_budget(budget);
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        self.inner.stop_reason()
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +418,25 @@ mod tests {
         }
         d.set_conflict_budget(Some(1));
         assert_eq!(d.solve_under(&[]), SolveResult::Unknown);
+        assert_eq!(d.stop_reason(), Some(StopReason::Conflicts));
         d.set_conflict_budget(None);
         assert_eq!(d.solve_under(&[]), SolveResult::Unsat);
+        assert_eq!(d.stop_reason(), None);
+    }
+
+    #[test]
+    fn armed_budget_flows_through_backend() {
+        use crate::budget::Budget;
+        use std::time::Duration;
+        let mut d = DimacsBackend::new();
+        let v = d.new_var();
+        d.add_clause(&[v.pos()]);
+        d.set_budget(ArmedBudget::arm(
+            &Budget::unlimited().with_timeout(Duration::ZERO),
+        ));
+        assert_eq!(d.solve_under(&[]), SolveResult::Unknown);
+        assert_eq!(d.stop_reason(), Some(StopReason::Deadline));
+        d.set_budget(ArmedBudget::unlimited());
+        assert_eq!(d.solve_under(&[]), SolveResult::Sat);
     }
 }

@@ -37,11 +37,13 @@
 
 mod alloc;
 mod backend;
+mod budget;
 mod dimacs;
 mod heap;
 mod solver;
 
 pub use backend::{DimacsBackend, ReplayError, SatBackend};
+pub use budget::{ArmedBudget, Budget, StopHandle, StopReason};
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use solver::{SolveResult, Solver, SolverStats};
 

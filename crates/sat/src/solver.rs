@@ -9,6 +9,7 @@
 //! resolves from the watcher alone without a single clause lookup.
 
 use crate::alloc::ClauseAllocator;
+use crate::budget::{ArmedBudget, StopReason};
 use crate::heap::ActivityHeap;
 use crate::{ClauseRef, LBool, Lit, Var};
 use std::fmt;
@@ -26,7 +27,9 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a decision was reached.
+    /// A resource limit (conflicts, wall clock, propagations, memory) was
+    /// exhausted or the solve was cancelled before a verdict was reached;
+    /// [`Solver::stop_reason`] says which.
     Unknown,
 }
 
@@ -156,11 +159,24 @@ pub struct Solver {
     seen: Vec<bool>,
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    armed: ArmedBudget,
+    stop_reason: Option<StopReason>,
+    /// Coarse step counter: the armed budget is only inspected every
+    /// [`BUDGET_CHECK_INTERVAL`] conflicts/decisions so `Instant::now()`
+    /// stays off the propagation hot path.
+    tick: u64,
+    /// `(conflicts, propagations)` at the start of the current solve
+    /// call; effort caps are enforced per call, not cumulatively.
+    solve_base: (u64, u64),
     restarts_enabled: bool,
     decision_heuristic: bool,
     stats: SolverStats,
     num_learnts: u64,
 }
+
+/// How many search steps (conflicts + decisions) pass between armed
+/// budget inspections.
+const BUDGET_CHECK_INTERVAL: u64 = 64;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -220,6 +236,10 @@ impl Solver {
             seen: Vec::new(),
             max_learnts: 0.0,
             conflict_budget: None,
+            armed: ArmedBudget::unlimited(),
+            stop_reason: None,
+            tick: 0,
+            solve_base: (0, 0),
             restarts_enabled: true,
             decision_heuristic: true,
             stats: SolverStats::default(),
@@ -253,6 +273,29 @@ impl Solver {
     /// is exhausted the call returns [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs an armed resource budget governing all following solve
+    /// calls. The search loop polls it at a coarse interval; tripping any
+    /// limit (deadline, caps, cancellation) makes the solve return
+    /// [`SolveResult::Unknown`] with [`Solver::stop_reason`] set.
+    pub fn set_budget(&mut self, armed: ArmedBudget) {
+        self.armed = armed;
+    }
+
+    /// Why the most recent solve call returned [`SolveResult::Unknown`],
+    /// or `None` if it reached a verdict (or no solve has run yet).
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stop_reason
+    }
+
+    /// Checks the armed budget against this call's effort counters.
+    fn check_armed(&self) -> Option<StopReason> {
+        let conflicts = self.stats.conflicts - self.solve_base.0;
+        let propagations = self.stats.propagations - self.solve_base.1;
+        self.armed
+            .check(conflicts, propagations, self.ca.bytes() as u64)
     }
 
     /// Enables or disables Luby restarts (ablation hook; enabled by
@@ -886,6 +929,16 @@ impl Solver {
     /// clauses or another call.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.has_model = false;
+        self.stop_reason = None;
+        self.solve_base = (self.stats.conflicts, self.stats.propagations);
+        // A budget already spent (deadline passed, cancellation pending,
+        // arena over cap) fails the call before any search happens — even
+        // a trivially-unsat formula reports Unknown, so "cancelled run ⇒
+        // no verdict" holds unconditionally for the scheduler.
+        if let Some(reason) = self.check_armed() {
+            self.stop_reason = Some(reason);
+            return SolveResult::Unknown;
+        }
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -912,7 +965,10 @@ impl Solver {
             match self.search(conflicts_allowed, assumptions, budget_start) {
                 SearchOutcome::Sat => break SolveResult::Sat,
                 SearchOutcome::Unsat => break SolveResult::Unsat,
-                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+                SearchOutcome::Interrupted(reason) => {
+                    self.stop_reason = Some(reason);
+                    break SolveResult::Unknown;
+                }
                 SearchOutcome::Restart => {
                     restart_count += 1;
                     self.stats.restarts += 1;
@@ -962,10 +1018,24 @@ impl Solver {
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
                         self.backtrack_to(0);
-                        return SearchOutcome::BudgetExhausted;
+                        return SearchOutcome::Interrupted(StopReason::Conflicts);
+                    }
+                }
+                self.tick += 1;
+                if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+                    if let Some(reason) = self.check_armed() {
+                        self.backtrack_to(0);
+                        return SearchOutcome::Interrupted(reason);
                     }
                 }
             } else {
+                self.tick += 1;
+                if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+                    if let Some(reason) = self.check_armed() {
+                        self.backtrack_to(0);
+                        return SearchOutcome::Interrupted(reason);
+                    }
+                }
                 if conflicts_here >= conflicts_allowed {
                     self.backtrack_to(0);
                     return SearchOutcome::Restart;
@@ -1029,7 +1099,7 @@ enum SearchOutcome {
     Sat,
     Unsat,
     Restart,
-    BudgetExhausted,
+    Interrupted(StopReason),
 }
 
 /// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
@@ -1242,6 +1312,71 @@ mod tests {
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_sets_stop_reason() {
+        let (pigeons, holes) = (6usize, 5usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        php_exclusivity(&mut s, &p);
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Conflicts));
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.stop_reason(), None);
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_with_reason() {
+        use crate::budget::Budget;
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([v[0].pos(), v[1].pos()]);
+        s.set_budget(ArmedBudget::arm(
+            &Budget::unlimited().with_timeout(std::time::Duration::ZERO),
+        ));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Deadline));
+        // Removing the budget restores normal operation.
+        s.set_budget(ArmedBudget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cancelled_budget_reports_cancelled() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause([v[0].pos()]);
+        let armed = ArmedBudget::unlimited();
+        armed.cancel();
+        s.set_budget(armed);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn armed_conflict_cap_interrupts_search() {
+        use crate::budget::Budget;
+        // PHP(8,7) needs well over the check interval of conflicts.
+        let (pigeons, holes) = (8usize, 7usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..pigeons).map(|_| s.new_vars(holes)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        php_exclusivity(&mut s, &p);
+        s.set_budget(ArmedBudget::arm(&Budget::unlimited().with_max_conflicts(1)));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(StopReason::Conflicts));
+        // The coarse check interval bounds the overshoot.
+        assert!(s.stats().conflicts <= 2 * BUDGET_CHECK_INTERVAL);
+        s.set_budget(ArmedBudget::unlimited());
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 

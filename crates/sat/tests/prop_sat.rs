@@ -1,10 +1,13 @@
 //! Randomized cross-validation of the CDCL solver against brute force on
 //! small formulas, plus model checking on satisfiable instances.
 
-use aqed_sat::{DimacsBackend, SatBackend, SolveResult, Solver, Var};
+use aqed_sat::{
+    ArmedBudget, Budget, DimacsBackend, SatBackend, SolveResult, Solver, StopReason, Var,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Brute-force satisfiability over `n <= 16` variables.
 fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
@@ -214,6 +217,109 @@ proptest! {
             prop_assert!(model_satisfies(&check, &cdcl_model), "cdcl model must satisfy");
             prop_assert!(model_satisfies(&check, &logged_model), "dimacs model must satisfy");
         }
+    }
+}
+
+/// Builds a solver holding `clauses`, optionally governed by `armed`.
+fn budgeted_solver(
+    n: usize,
+    clauses: &[Vec<i32>],
+    armed: Option<ArmedBudget>,
+) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = s.new_vars(n);
+    for c in clauses {
+        s.add_clause(
+            c.iter()
+                .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+        );
+    }
+    if let Some(a) = armed {
+        s.set_budget(a);
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// A budget generous enough to never trigger must not change any
+    /// verdict: governance may only *withhold* an answer (Unknown), never
+    /// fabricate or flip one.
+    #[test]
+    fn generous_budget_never_flips_verdict(
+        n in 2usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..30),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let unbudgeted = budgeted_solver(n, &clauses, None).0.solve();
+        let budget = Budget::unlimited()
+            .with_timeout(Duration::from_secs(600))
+            .with_max_conflicts(1_000_000)
+            .with_max_propagations(1_000_000_000);
+        let (mut governed, _) = budgeted_solver(n, &clauses, Some(ArmedBudget::arm(&budget)));
+        let got = governed.solve();
+        prop_assert_eq!(got, unbudgeted);
+        prop_assert_eq!(governed.stop_reason(), None);
+    }
+
+    /// A starved budget is *sound*: the solver either still decides the
+    /// formula (and must agree with the unbudgeted verdict) or returns
+    /// Unknown with the stop reason recorded — it never reports a wrong
+    /// Sat/Unsat.
+    #[test]
+    fn starved_budget_is_sound(
+        n in 2usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..30),
+        cap in 0u64..4,
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let unbudgeted = budgeted_solver(n, &clauses, None).0.solve();
+        let budget = Budget::unlimited().with_max_conflicts(cap);
+        let (mut governed, vars) = budgeted_solver(n, &clauses, Some(ArmedBudget::arm(&budget)));
+        match governed.solve() {
+            SolveResult::Unknown => {
+                prop_assert!(governed.stop_reason().is_some());
+            }
+            decided => {
+                prop_assert_eq!(decided, unbudgeted);
+                if decided == SolveResult::Sat {
+                    // The model must still be real despite the governor.
+                    let model: Vec<bool> = vars
+                        .iter()
+                        .map(|&v| governed.model_value(v).unwrap_or(false))
+                        .collect();
+                    prop_assert!(model_satisfies(&clauses, &model));
+                }
+            }
+        }
+    }
+
+    /// A budget cancelled before the solve starts always yields Unknown
+    /// with the Cancelled reason, regardless of the formula.
+    #[test]
+    fn pre_cancelled_budget_yields_unknown(
+        n in 2usize..8,
+        clauses in prop::collection::vec(clause_strategy(7), 1..20),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let armed = ArmedBudget::arm(&Budget::unlimited());
+        armed.cancel();
+        let (mut governed, _) = budgeted_solver(n, &clauses, Some(armed));
+        prop_assert_eq!(governed.solve(), SolveResult::Unknown);
+        prop_assert_eq!(governed.stop_reason(), Some(StopReason::Cancelled));
     }
 }
 

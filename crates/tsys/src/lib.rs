@@ -51,12 +51,14 @@
 
 mod btor2;
 mod mem;
+mod mutate;
 mod sim;
 mod trace;
 mod vcd;
 
 pub use btor2::{btor2_check, btor2_stats, to_btor2, Btor2Stats};
 pub use mem::Mem;
+pub use mutate::{enumerate_mutants, Mutant, Mutator};
 pub use sim::{Simulator, StepRecord};
 pub use trace::Trace;
 pub use vcd::to_vcd;

@@ -1,0 +1,330 @@
+//! Systematic fault injection for transition systems.
+//!
+//! The A-QED paper evaluates the methodology by seeding accelerator RTL
+//! with realistic logic bugs (operand mix-ups, off-by-one constants,
+//! dropped register updates) and checking that the specification-free
+//! properties still catch them. This module reproduces that experiment
+//! programmatically: [`enumerate_mutants`] walks a design's next-state
+//! logic and yields one mutated copy of the system per injection site.
+//!
+//! Mutations rewrite only next-state expressions — the paper's bug
+//! classes are all sequential-logic bugs — and every mutant still
+//! [`validate`](TransitionSystem::validate)s, so it can go straight into
+//! the A-QED harness. The original system and its expression pool are
+//! shared: mutants reference new expressions hash-consed into the same
+//! pool.
+
+use crate::TransitionSystem;
+use aqed_bitvec::Bv;
+use aqed_expr::{ExprPool, ExprRef, Node};
+use std::collections::HashMap;
+
+/// A paper-style RTL bug class to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutator {
+    /// Swap the operands of a non-commutative binary operator
+    /// (`a - b` → `b - a`, `a << b` → `b << a`, …) — the classic
+    /// wrong-operand wiring bug.
+    OperandSwap,
+    /// Increment a constant by one (wrapping at its width) — off-by-one
+    /// thresholds, wrong reset values, mis-sized comparisons.
+    OffByOneConstant,
+    /// Replace a register's next-state function with the register itself,
+    /// so the latch never updates — a dropped enable or missing
+    /// assignment.
+    DroppedLatchUpdate,
+}
+
+impl std::fmt::Display for Mutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mutator::OperandSwap => "operand-swap",
+            Mutator::OffByOneConstant => "off-by-one-constant",
+            Mutator::DroppedLatchUpdate => "dropped-latch-update",
+        })
+    }
+}
+
+/// One injected bug: a mutated copy of the design plus a human-readable
+/// description of what was broken where.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The mutated system (shares the caller's expression pool).
+    pub ts: TransitionSystem,
+    /// Which mutator produced this mutant.
+    pub mutator: Mutator,
+    /// What was changed, e.g. `"operand-swap of Sub in next(count)"`.
+    pub description: String,
+}
+
+/// Enumerates every applicable injection site of `mutator` in the
+/// next-state logic of `ts`, returning one mutant per site.
+///
+/// Sites whose mutation is a no-op after hash-consing (e.g. swapping
+/// syntactically equal operands) are skipped, so every returned mutant
+/// is structurally different from the original design. The list can be
+/// large for big designs; callers typically sample it.
+#[must_use]
+pub fn enumerate_mutants(
+    ts: &TransitionSystem,
+    pool: &mut ExprPool,
+    mutator: Mutator,
+) -> Vec<Mutant> {
+    let mut mutants = Vec::new();
+    let states: Vec<_> = ts.states().to_vec();
+    for sv in &states {
+        let Some(next) = sv.next else { continue };
+        let reg = pool.var_name(sv.var).to_string();
+        match mutator {
+            Mutator::DroppedLatchUpdate => {
+                let hold = pool.var_expr(sv.var);
+                if hold == next {
+                    continue; // the register already never updates
+                }
+                let mut mutated = ts.clone();
+                mutated.set_next(sv.var, hold);
+                mutants.push(Mutant {
+                    ts: mutated,
+                    mutator,
+                    description: format!("dropped update of register '{reg}'"),
+                });
+            }
+            Mutator::OperandSwap | Mutator::OffByOneConstant => {
+                for site in collect_sites(pool, next, mutator) {
+                    let (replacement, what) = match *pool.node(site) {
+                        Node::Binary(op, a, b) => (pool.binary(op, b, a), format!("{op:?}")),
+                        Node::Const(bv) => {
+                            let bumped = Bv::new(bv.width(), bv.to_u64().wrapping_add(1));
+                            (pool.constant(bumped), format!("constant {bv}"))
+                        }
+                        _ => continue,
+                    };
+                    if replacement == site {
+                        continue;
+                    }
+                    let mutated_next = replace_expr(pool, next, site, replacement);
+                    if mutated_next == next {
+                        continue;
+                    }
+                    let mut mutated = ts.clone();
+                    mutated.set_next(sv.var, mutated_next);
+                    mutants.push(Mutant {
+                        ts: mutated,
+                        mutator,
+                        description: format!("{mutator} of {what} in next('{reg}')"),
+                    });
+                }
+            }
+        }
+    }
+    mutants
+}
+
+/// Collects the injection sites of `mutator` in `root`, in deterministic
+/// first-visit order (each shared node reported once).
+fn collect_sites(pool: &ExprPool, root: ExprRef, mutator: Mutator) -> Vec<ExprRef> {
+    let mut sites = Vec::new();
+    let mut seen = vec![false; pool.len()];
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        if std::mem::replace(&mut seen[e.index()], true) {
+            continue;
+        }
+        match *pool.node(e) {
+            Node::Const(_) => {
+                if mutator == Mutator::OffByOneConstant {
+                    sites.push(e);
+                }
+            }
+            Node::Var(_) => {}
+            Node::Unary(_, a) => stack.push(a),
+            Node::Binary(op, a, b) => {
+                if mutator == Mutator::OperandSwap && !op.is_commutative() && a != b {
+                    sites.push(e);
+                }
+                stack.push(a);
+                stack.push(b);
+            }
+            Node::Ite { cond, then_, else_ } => {
+                stack.push(cond);
+                stack.push(then_);
+                stack.push(else_);
+            }
+            Node::Extract { arg, .. } | Node::Extend { arg, .. } => stack.push(arg),
+        }
+    }
+    sites
+}
+
+/// Rebuilds `root` with the subtree at `target` replaced by `with`,
+/// sharing every untouched node. Iterative with an explicit stack — the
+/// DAG can be deep — and memoized so shared subtrees rewrite once.
+fn replace_expr(pool: &mut ExprPool, root: ExprRef, target: ExprRef, with: ExprRef) -> ExprRef {
+    let mut memo: HashMap<ExprRef, ExprRef> = HashMap::new();
+    memo.insert(target, with);
+    let mut stack = vec![root];
+    while let Some(&e) = stack.last() {
+        if memo.contains_key(&e) {
+            stack.pop();
+            continue;
+        }
+        let node = pool.node(e).clone();
+        let children: Vec<ExprRef> = match node {
+            Node::Const(_) | Node::Var(_) => Vec::new(),
+            Node::Unary(_, a) => vec![a],
+            Node::Binary(_, a, b) => vec![a, b],
+            Node::Ite { cond, then_, else_ } => vec![cond, then_, else_],
+            Node::Extract { arg, .. } | Node::Extend { arg, .. } => vec![arg],
+        };
+        let pending: Vec<ExprRef> = children
+            .iter()
+            .copied()
+            .filter(|c| !memo.contains_key(c))
+            .collect();
+        if !pending.is_empty() {
+            stack.extend(pending);
+            continue;
+        }
+        stack.pop();
+        let rebuilt = match node {
+            Node::Const(_) | Node::Var(_) => e,
+            Node::Unary(op, a) => {
+                let a2 = memo[&a];
+                if a2 == a {
+                    e
+                } else {
+                    pool.unary(op, a2)
+                }
+            }
+            Node::Binary(op, a, b) => {
+                let (a2, b2) = (memo[&a], memo[&b]);
+                if a2 == a && b2 == b {
+                    e
+                } else {
+                    pool.binary(op, a2, b2)
+                }
+            }
+            Node::Ite { cond, then_, else_ } => {
+                let (c2, t2, e2) = (memo[&cond], memo[&then_], memo[&else_]);
+                if c2 == cond && t2 == then_ && e2 == else_ {
+                    e
+                } else {
+                    pool.ite(c2, t2, e2)
+                }
+            }
+            Node::Extract { hi, lo, arg } => {
+                let a2 = memo[&arg];
+                if a2 == arg {
+                    e
+                } else {
+                    pool.extract(a2, hi, lo)
+                }
+            }
+            Node::Extend { signed, width, arg } => {
+                let a2 = memo[&arg];
+                if a2 == arg {
+                    e
+                } else if signed {
+                    pool.sext(a2, width)
+                } else {
+                    pool.zext(a2, width)
+                }
+            }
+        };
+        memo.insert(e, rebuilt);
+    }
+    memo[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_expr::VarKind;
+
+    /// A 4-bit saturating down-counter: `count' = load ? limit : count - 1
+    /// (floored at 0)`.
+    fn counter(pool: &mut ExprPool) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("counter");
+        let load = ts.add_input(pool, "load", 1);
+        let count = ts.add_state(pool, "count", 4);
+        ts.set_init_const(pool, count, 0);
+        let count_e = pool.var_expr(count);
+        let load_e = pool.var_expr(load);
+        let limit = pool.lit(4, 9);
+        let one = pool.lit(4, 1);
+        let zero = pool.lit(4, 0);
+        let dec = pool.sub(count_e, one);
+        let at_zero = pool.eq(count_e, zero);
+        let held = pool.ite(at_zero, zero, dec);
+        let next = pool.ite(load_e, limit, held);
+        ts.set_next(count, next);
+        ts
+    }
+
+    #[test]
+    fn operand_swap_finds_noncommutative_sites() {
+        let mut pool = ExprPool::new();
+        let ts = counter(&mut pool);
+        let mutants = enumerate_mutants(&ts, &mut pool, Mutator::OperandSwap);
+        // `count - 1` is the only non-commutative site (Eq is commutative).
+        assert_eq!(mutants.len(), 1, "{mutants:?}");
+        assert!(mutants[0].description.contains("Sub"), "{mutants:?}");
+        mutants[0].ts.validate(&pool).expect("mutant must validate");
+        // The mutated next-state function differs from the original.
+        assert_ne!(mutants[0].ts.states()[0].next, ts.states()[0].next);
+    }
+
+    #[test]
+    fn off_by_one_bumps_each_constant() {
+        let mut pool = ExprPool::new();
+        let ts = counter(&mut pool);
+        let mutants = enumerate_mutants(&ts, &mut pool, Mutator::OffByOneConstant);
+        // Constants 9, 1 and 0 (0 is shared by the comparison and the
+        // floor but is one hash-consed site).
+        assert_eq!(mutants.len(), 3, "{mutants:?}");
+        for m in &mutants {
+            m.ts.validate(&pool).expect("mutant must validate");
+            assert_ne!(m.ts.states()[0].next, ts.states()[0].next);
+        }
+    }
+
+    #[test]
+    fn dropped_latch_freezes_register() {
+        let mut pool = ExprPool::new();
+        let ts = counter(&mut pool);
+        let mutants = enumerate_mutants(&ts, &mut pool, Mutator::DroppedLatchUpdate);
+        assert_eq!(mutants.len(), 1);
+        let count = ts.states()[0].var;
+        let held = pool.var_expr(count);
+        assert_eq!(mutants[0].ts.states()[0].next, Some(held));
+    }
+
+    #[test]
+    fn already_frozen_register_yields_no_dropped_latch_mutant() {
+        let mut pool = ExprPool::new();
+        let mut ts = TransitionSystem::new("frozen");
+        let s = ts.add_state(&mut pool, "s", 2);
+        ts.set_init_const(&mut pool, s, 1);
+        let hold = pool.var_expr(s);
+        ts.set_next(s, hold);
+        let mutants = enumerate_mutants(&ts, &mut pool, Mutator::DroppedLatchUpdate);
+        assert!(mutants.is_empty());
+    }
+
+    #[test]
+    fn replace_preserves_unrelated_structure() {
+        let mut pool = ExprPool::new();
+        let x = pool.var("x", 4, VarKind::Input);
+        let xe = pool.var_expr(x);
+        let one = pool.lit(4, 1);
+        let two = pool.lit(4, 2);
+        let sum = pool.add(xe, one);
+        let root = pool.mul(sum, sum);
+        let swapped = replace_expr(&mut pool, root, one, two);
+        let expected_sum = pool.add(xe, two);
+        let expected = pool.mul(expected_sum, expected_sum);
+        assert_eq!(swapped, expected);
+        // Untouched roots are returned as-is.
+        assert_eq!(replace_expr(&mut pool, root, two, one), root);
+    }
+}

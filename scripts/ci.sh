@@ -4,8 +4,14 @@
 #   scripts/ci.sh            # run everything
 #
 # Mirrors what reviewers run before merging; keep it green.
+#
+# Test phases run under a hard wall-clock timeout (CI_TEST_TIMEOUT
+# seconds, default 1800): a verification hang is a bug in the resource
+# governor, and the gate must fail loudly instead of wedging the queue.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CI_TEST_TIMEOUT="${CI_TEST_TIMEOUT:-1800}"
 
 echo "== cargo fmt --check"
 cargo fmt --check
@@ -16,7 +22,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (workspace, no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== cargo test (workspace)"
-cargo test -q --workspace
+echo "== cargo test (workspace, ${CI_TEST_TIMEOUT}s hard timeout)"
+timeout --kill-after=30 "$CI_TEST_TIMEOUT" cargo test -q --workspace
+
+echo "== jobs-identity sweep under fail-fast cancellation"
+timeout --kill-after=30 "$CI_TEST_TIMEOUT" \
+    env AQED_FAIL_FAST=1 cargo test -q -p aqed-cli --test jobs_identity
 
 echo "CI OK"
