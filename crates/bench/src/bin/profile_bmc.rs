@@ -5,13 +5,25 @@
 //! ```
 //!
 //! Prints, for every depth, the cumulative solver statistics and wall
-//! time — the data that guided the engine's performance tuning.
+//! time — the data that guided the engine's performance tuning. Honours
+//! `AQED_NO_COI=1` / `AQED_NO_PREPROCESS=1` so the simplification
+//! pipeline can be ablated without recompiling.
+//!
+//! After the sweep, if a counterexample was found, the tool re-runs the
+//! final bound incrementally and replays the satisfying model through
+//! bare unit propagation (`replay_model_propagation`) — measuring the
+//! cost of `propagate()` alone, with no search, restarts or clause
+//! learning in the way.
 
-use aqed_bmc::{Bmc, BmcOptions, BmcResult};
+use aqed_bmc::{ArmedBudget, Bmc, BmcOptions, BmcResult};
 use aqed_core::AqedHarness;
 use aqed_designs::all_cases;
 use aqed_expr::ExprPool;
 use std::time::Instant;
+
+fn env_disabled(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +37,9 @@ fn main() {
         .find(|c| c.id == case_id)
         .unwrap_or_else(|| panic!("unknown case '{case_id}'"));
 
+    let coi = !env_disabled("AQED_NO_COI");
+    let preprocess = !env_disabled("AQED_NO_PREPROCESS");
+
     let mut pool = ExprPool::new();
     let lca = (case.build_buggy)(&mut pool);
     let mut harness = AqedHarness::new(&lca);
@@ -36,22 +51,31 @@ fn main() {
     }
     let (composed, _) = harness.build(&mut pool);
     println!("case {case_id}: {composed}");
+    println!("pipeline: coi={coi} preprocess={preprocess}");
     println!(
-        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>4} {:>9}",
+        "{:>5} {:>9} {:>10} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9} {:>9}",
         "depth",
         "time(s)",
         "clauses",
         "vars",
         "conflicts",
         "binprops",
-        "arena(KB)",
-        "gc",
+        "subsumed",
+        "elim",
+        "pp(ms)",
+        "coi k/d",
         "verdict"
     );
+    let options = || {
+        BmcOptions::default()
+            .with_coi(coi)
+            .with_preprocess(preprocess)
+    };
     // Run depth by depth so per-depth cost is visible.
     let t0 = Instant::now();
+    let mut cex_depth = None;
     for k in 0..=max_bound {
-        let mut bmc = Bmc::new(&composed, BmcOptions::default().with_max_bound(k));
+        let mut bmc = Bmc::new(&composed, options().with_max_bound(k));
         let t = Instant::now();
         let result = bmc.check(&composed, &mut pool);
         let stats = bmc.stats();
@@ -61,21 +85,54 @@ fn main() {
             BmcResult::Unknown { .. } => "unknown".to_string(),
         };
         println!(
-            "{:>5} {:>9.2} {:>10} {:>10} {:>12} {:>12} {:>10} {:>4} {:>9}",
+            "{:>5} {:>9.2} {:>10} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9} {:>9}",
             k,
             t.elapsed().as_secs_f64(),
             stats.clauses,
             stats.variables,
             stats.solver.conflicts,
             stats.solver.binary_props,
-            stats.solver.arena_bytes / 1024,
-            stats.solver.gc_runs,
+            stats.solver.subsumed,
+            stats.solver.eliminated_vars,
+            stats.solver.preprocess_micros / 1000,
+            format!("{}/{}", stats.coi_latches_kept, stats.coi_latches_dropped),
             verdict
         );
-        if matches!(result, BmcResult::Counterexample(_)) {
+        if let BmcResult::Counterexample(c) = &result {
+            cex_depth = Some(c.depth);
             break;
         }
     }
     println!("total: {:.2}s", t0.elapsed().as_secs_f64());
     println!("note: depth k re-runs 0..=k (cumulative per line; incremental inside one run).");
+
+    // Trail-replay harness: re-run the CEX bound on one live session and
+    // replay the satisfying model through bare unit propagation. The
+    // enqueue/propagation counts isolate BCP cost from search overhead.
+    let Some(depth) = cex_depth else {
+        println!("no counterexample up to bound {max_bound}; skipping trail replay");
+        return;
+    };
+    let mut bmc = Bmc::new(&composed, options().with_max_bound(depth));
+    let armed = ArmedBudget::arm(&options().budget);
+    let mut replay = None;
+    let mut replay_time = None;
+    let result = bmc.check_inspecting(&composed, &mut pool, &armed, |solver| {
+        let t = Instant::now();
+        replay = solver.replay_model_propagation();
+        replay_time = Some(t.elapsed());
+    });
+    match (result, replay) {
+        (BmcResult::Counterexample(_), Some(r)) => {
+            let micros = replay_time.unwrap_or_default().as_micros();
+            println!(
+                "trail replay @ depth {depth}: {} enqueued, {} propagations, conflicted={} ({micros} µs)",
+                r.enqueued, r.propagated, r.conflicted
+            );
+        }
+        (BmcResult::Counterexample(_), None) => {
+            println!("trail replay @ depth {depth}: no model on final solver (unexpected)");
+        }
+        (other, _) => println!("trail replay skipped: re-run returned {other:?}"),
+    }
 }

@@ -3,22 +3,32 @@
 //! effort, runtime [min, avg, max] and trace length [min, avg, max] —
 //! plus Observation 3's trace-length ratio.
 //!
-//! Run with `cargo run --release -p aqed-bench --bin table1`.
+//! Run with `cargo run --release -p aqed-bench --bin table1`. Honours
+//! `AQED_NO_COI=1` / `AQED_NO_PREPROCESS=1` to ablate the simplification
+//! pipeline stages.
 
 use aqed_bench::{fmt_secs, rule, Summary};
+use aqed_bmc::BmcOptions;
 use aqed_core::AqedHarness;
 use aqed_designs::memctrl_cases;
 use aqed_expr::ExprPool;
 use aqed_sim::Testbench;
 use std::fmt::Write as _;
 
+fn env_disabled(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
 fn main() {
     let cases = memctrl_cases();
+    let coi = !env_disabled("AQED_NO_COI");
+    let preprocess = !env_disabled("AQED_NO_PREPROCESS");
     println!("Table 1: A-QED results for the memory-controller unit");
     println!(
-        "({} tracked bug variants across FIFO / double-buffer / line-buffer configurations)\n",
+        "({} tracked bug variants across FIFO / double-buffer / line-buffer configurations)",
         cases.len()
     );
+    println!("simplification pipeline: coi={coi} preprocess={preprocess}\n");
 
     let mut aqed_runtimes = Vec::new();
     let mut aqed_traces = Vec::new();
@@ -44,6 +54,11 @@ fn main() {
         if let Some(rb) = &case.rb {
             harness = harness.with_rb(*rb);
         }
+        harness = harness.with_bmc_options(
+            BmcOptions::default()
+                .with_coi(coi)
+                .with_preprocess(preprocess),
+        );
         let report = harness.verify(&mut pool, case.bmc_bound);
         let (prop, cex_cycles) = match &report.outcome {
             aqed_core::CheckOutcome::Bug {

@@ -73,6 +73,16 @@ impl BitBlaster {
         self.cache.len()
     }
 
+    /// The bits already encoded for `e` (LSB first), or `None` if the
+    /// expression has not been blasted yet. Unlike [`BitBlaster::blast`]
+    /// this never adds clauses — callers use it to enumerate a known
+    /// interface (e.g. the BMC frame boundary, which a preprocessing
+    /// solver must keep intact).
+    #[must_use]
+    pub fn cached_bits(&self, e: ExprRef) -> Option<&[Lit]> {
+        self.cache.get(&e).map(Vec::as_slice)
+    }
+
     /// A literal constrained to be true (created on first use).
     pub fn lit_true<B: SatBackend>(&mut self, solver: &mut B) -> Lit {
         match self.const_true {

@@ -58,7 +58,7 @@ use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
 use aqed_sat::{Lit, SatBackend, SolveResult, Solver, SolverStats};
-use aqed_tsys::{Simulator, Trace, TransitionSystem};
+use aqed_tsys::{coi_slice, CoiSlice, Simulator, Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
@@ -86,6 +86,15 @@ pub struct BmcOptions {
     /// instances (the AES equivalence proofs) and hurts others — measure
     /// per design.
     pub prune_checked_bads: bool,
+    /// Slice the system to the cone of influence of the selected bads
+    /// (plus all constraints) before unrolling (default true). Verdicts
+    /// are unchanged; counterexamples are widened back to the full input
+    /// set with zero values for sliced-away inputs.
+    pub coi: bool,
+    /// Ask the SAT backend to preprocess the CNF (subsumption, bounded
+    /// variable elimination) before searching (default true). Backends
+    /// without a preprocessor ignore the request.
+    pub preprocess: bool,
 }
 
 impl Default for BmcOptions {
@@ -96,6 +105,8 @@ impl Default for BmcOptions {
             conflict_budget: None,
             budget: Budget::unlimited(),
             prune_checked_bads: false,
+            coi: true,
+            preprocess: true,
         }
     }
 }
@@ -133,6 +144,21 @@ impl BmcOptions {
     #[must_use]
     pub fn with_prune_checked_bads(mut self, prune: bool) -> Self {
         self.prune_checked_bads = prune;
+        self
+    }
+
+    /// Returns the options with cone-of-influence reduction enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_coi(mut self, coi: bool) -> Self {
+        self.coi = coi;
+        self
+    }
+
+    /// Returns the options with CNF preprocessing enabled or disabled.
+    #[must_use]
+    pub fn with_preprocess(mut self, preprocess: bool) -> Self {
+        self.preprocess = preprocess;
         self
     }
 }
@@ -245,6 +271,11 @@ pub struct BmcStats {
     /// propagations, arena bytes, GC runs, …). For monolithic runs this
     /// reflects the last per-depth solver only.
     pub solver: SolverStats,
+    /// State variables kept by cone-of-influence reduction (all of them
+    /// when COI is disabled).
+    pub coi_latches_kept: usize,
+    /// State variables sliced away by cone-of-influence reduction.
+    pub coi_latches_dropped: usize,
 }
 
 impl BmcStats {
@@ -259,6 +290,8 @@ impl BmcStats {
         self.variables += other.variables;
         self.elapsed += other.elapsed;
         self.solver.absorb(&other.solver);
+        self.coi_latches_kept += other.coi_latches_kept;
+        self.coi_latches_dropped += other.coi_latches_dropped;
     }
 }
 
@@ -387,53 +420,111 @@ impl<B: SatBackend + Default> Bmc<B> {
         pool: &mut ExprPool,
         armed: &ArmedBudget,
     ) -> BmcResult {
+        self.check_inspecting(ts, pool, armed, |_| {})
+    }
+
+    /// Like [`Bmc::check_under`], with a hook that receives the live SAT
+    /// backend after the run finishes but before the encoding session is
+    /// dropped. The profiling harness uses this to replay the final model
+    /// through bare propagation. In monolithic mode (a fresh session per
+    /// depth) the hook is not called.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Bmc::check`].
+    pub fn check_inspecting<F: FnOnce(&mut B)>(
+        &mut self,
+        ts: &TransitionSystem,
+        pool: &mut ExprPool,
+        armed: &ArmedBudget,
+        inspect: F,
+    ) -> BmcResult {
         let start = Instant::now();
         ts.validate(pool).expect("system must be well-formed");
         self.stats = BmcStats::default();
         let bad_idx = self.bad_indices(ts);
-        let result = if self.options.incremental {
-            self.run_incremental(ts, pool, &bad_idx, armed)
-        } else {
-            self.run_monolithic(ts, pool, &bad_idx, armed)
+        // Word-level stage of the simplification pipeline: slice the
+        // system to the cone of influence of the selected bads before a
+        // single frame is unrolled. The run below then works on the
+        // slice, whose bads are re-indexed 0..n.
+        let slice: Option<CoiSlice> = self.options.coi.then(|| coi_slice(ts, pool, &bad_idx));
+        let (work_ts, work_idx): (&TransitionSystem, Vec<usize>) = match &slice {
+            Some(s) => {
+                self.stats.coi_latches_kept = s.latches_kept;
+                self.stats.coi_latches_dropped = s.latches_dropped;
+                (&s.system, (0..s.bad_map.len()).collect())
+            }
+            None => {
+                self.stats.coi_latches_kept = ts.states().len();
+                (ts, bad_idx)
+            }
         };
+        let mut result = if self.options.incremental {
+            self.run_incremental(work_ts, pool, &work_idx, armed, inspect)
+        } else {
+            self.run_monolithic(work_ts, pool, &work_idx, armed)
+        };
+        if let (Some(s), BmcResult::Counterexample(cex)) = (&slice, &mut result) {
+            // Map the witness back onto the original system: restore the
+            // original bad index and widen the trace with zero values for
+            // the sliced-away inputs (sound: they lie outside every kept
+            // cone, so their values cannot affect the violation).
+            cex.bad_index = s.bad_map[cex.bad_index];
+            let extra: Vec<(VarId, Bv)> = ts
+                .inputs()
+                .iter()
+                .filter(|v| !s.system.inputs().contains(v))
+                .map(|&v| (v, Bv::zero(pool.var_width(v))))
+                .collect();
+            cex.trace.pad_frames(&extra);
+            // Sliced-away uninitialised registers get a zero power-on
+            // value so the witness stays complete.
+            for st in ts.states() {
+                if st.init.is_none() && !s.system.is_state(st.var) {
+                    cex.initial_state
+                        .insert(st.var, Bv::zero(pool.var_width(st.var)));
+                }
+            }
+        }
         self.stats.elapsed = start.elapsed();
         result
     }
 
     /// Incremental mode: one session for the whole run; each depth adds
-    /// one frame to the live encoding.
-    fn run_incremental(
+    /// one frame to the live encoding. `inspect` sees the backend after
+    /// the last query.
+    fn run_incremental<F: FnOnce(&mut B)>(
         &mut self,
         ts: &TransitionSystem,
         pool: &mut ExprPool,
         bad_idx: &[usize],
         armed: &ArmedBudget,
+        inspect: F,
     ) -> BmcResult {
-        let mut session: Session<B> = Session::new(ts, pool, self.options.conflict_budget, armed);
+        let mut session: Session<B> = Session::new(ts, pool, &self.options, armed);
         let prune = self.options.prune_checked_bads;
-        for k in 0..=self.options.max_bound {
-            if let Some(reason) = armed.poll() {
-                session.export_stats(&mut self.stats);
-                return BmcResult::Unknown { bound: k, reason };
-            }
-            self.stats.frames_encoded = k;
-            session.encode_frame(ts, pool, k);
-            match self.check_frame(&mut session, ts, pool, k, bad_idx, prune) {
-                FrameOutcome::Clean => {}
-                FrameOutcome::Cex(cex) => {
-                    session.export_stats(&mut self.stats);
-                    return BmcResult::Counterexample(cex);
+        let result = 'run: {
+            for k in 0..=self.options.max_bound {
+                if let Some(reason) = armed.poll() {
+                    break 'run BmcResult::Unknown { bound: k, reason };
                 }
-                FrameOutcome::Unknown(reason) => {
-                    session.export_stats(&mut self.stats);
-                    return BmcResult::Unknown { bound: k, reason };
+                self.stats.frames_encoded = k;
+                session.encode_frame(ts, pool, k);
+                match self.check_frame(&mut session, ts, pool, k, bad_idx, prune) {
+                    FrameOutcome::Clean => {}
+                    FrameOutcome::Cex(cex) => break 'run BmcResult::Counterexample(cex),
+                    FrameOutcome::Unknown(reason) => {
+                        break 'run BmcResult::Unknown { bound: k, reason };
+                    }
                 }
             }
-        }
+            BmcResult::NoCounterexample {
+                bound: self.options.max_bound,
+            }
+        };
+        inspect(&mut session.backend);
         session.export_stats(&mut self.stats);
-        BmcResult::NoCounterexample {
-            bound: self.options.max_bound,
-        }
+        result
     }
 
     /// Monolithic mode: fresh session per depth, re-encoding frames
@@ -449,8 +540,7 @@ impl<B: SatBackend + Default> Bmc<B> {
             if let Some(reason) = armed.poll() {
                 return BmcResult::Unknown { bound: k, reason };
             }
-            let mut session: Session<B> =
-                Session::new(ts, pool, self.options.conflict_budget, armed);
+            let mut session: Session<B> = Session::new(ts, pool, &self.options, armed);
             self.stats.frames_encoded = k;
             for j in 0..=k {
                 session.encode_frame(ts, pool, j);
@@ -504,22 +594,26 @@ struct Session<B: SatBackend> {
     backend: B,
     blaster: BitBlaster,
     unroller: Unroller,
+    /// Whether the backend preprocesses; gates interface freezing.
+    preprocess: bool,
 }
 
 impl<B: SatBackend + Default> Session<B> {
     fn new(
         ts: &TransitionSystem,
         pool: &mut ExprPool,
-        budget: Option<u64>,
+        options: &BmcOptions,
         armed: &ArmedBudget,
     ) -> Self {
         let mut backend = B::default();
-        backend.set_conflict_budget(budget);
+        backend.set_conflict_budget(options.conflict_budget);
         backend.set_budget(armed.clone());
+        backend.set_preprocessing(options.preprocess);
         Session {
             backend,
             blaster: BitBlaster::new(),
             unroller: Unroller::new(ts, pool),
+            preprocess: options.preprocess,
         }
     }
 }
@@ -562,6 +656,9 @@ impl<B: SatBackend> Session<B> {
         frame_bad_lits: &[(usize, Lit)],
         prune: bool,
     ) -> FrameOutcome {
+        if self.preprocess {
+            self.freeze_interface(frame_bad_lits);
+        }
         let any = self.encode_disjunction(frame_bad_lits);
         match self.backend.solve_under(&[any]) {
             SolveResult::Sat => FrameOutcome::Cex(self.unroller.extract_cex(
@@ -588,6 +685,26 @@ impl<B: SatBackend> Session<B> {
             SolveResult::Unknown => {
                 FrameOutcome::Unknown(self.backend.stop_reason().unwrap_or(StopReason::Conflicts))
             }
+        }
+    }
+
+    /// Freezes the frame interface ahead of a preprocessing solve: every
+    /// already-encoded bit of the symbolic state entering the next frame,
+    /// plus this query's bad literals (pruning may assert their negation
+    /// later). Eliminating these would be sound — the solver reactivates
+    /// an eliminated variable when a new clause or assumption touches it —
+    /// but each reactivation re-adds stored clauses, so freezing the
+    /// variables known to be re-referenced avoids the churn.
+    fn freeze_interface(&mut self, frame_bad_lits: &[(usize, Lit)]) {
+        for &e in self.unroller.state_exprs.values() {
+            if let Some(bits) = self.blaster.cached_bits(e) {
+                for &l in bits {
+                    self.backend.freeze_var(l.var());
+                }
+            }
+        }
+        for &(_, l) in frame_bad_lits {
+            self.backend.freeze_var(l.var());
         }
     }
 
@@ -801,7 +918,9 @@ mod tests {
         assert_eq!(cex.cycles(), 4);
         assert!(cex.replay(&ts, &p), "counterexample must replay");
         assert!(bmc.stats().solver_calls >= 1);
-        assert!(bmc.stats().clauses > 0);
+        // The simplification pipeline may shrink the final clause count
+        // to zero on a toy system; variables always remain.
+        assert!(bmc.stats().variables > 0);
     }
 
     #[test]
@@ -1059,6 +1178,113 @@ mod tests {
         let se = p.var_expr(s);
         ts.set_next(s, se);
         let _ = Bmc::new(&ts, BmcOptions::default());
+    }
+
+    /// Two independent counters (distinct widths so targets differ); one
+    /// bad property per counter.
+    fn twin_counter_system(pool: &mut ExprPool) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("twins");
+        let ena = ts.add_input(pool, "ena", 1);
+        let enb = ts.add_input(pool, "enb", 1);
+        let a = ts.add_register(pool, "a", 4, 0);
+        let b = ts.add_register(pool, "b", 4, 0);
+        for (reg, en) in [(a, ena), (b, enb)] {
+            let re = pool.var_expr(reg);
+            let one = pool.lit(4, 1);
+            let inc = pool.add(re, one);
+            let ene = pool.var_expr(en);
+            let next = pool.ite(ene, inc, re);
+            ts.set_next(reg, next);
+        }
+        let ae = pool.var_expr(a);
+        let be = pool.var_expr(b);
+        let two = pool.lit(4, 2);
+        let four = pool.lit(4, 4);
+        let a2 = pool.eq(ae, two);
+        let b4 = pool.eq(be, four);
+        ts.add_bad("a_hits_2", a2);
+        ts.add_bad("b_hits_4", b4);
+        ts
+    }
+
+    #[test]
+    fn coi_slices_per_obligation_and_remaps_witness() {
+        let mut p = ExprPool::new();
+        let ts = twin_counter_system(&mut p);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(10));
+        bmc.select_bad_indices(&ts, &[1]);
+        let result = bmc.check(&ts, &mut p);
+        let cex = result.counterexample().expect("b reaches 4");
+        // The witness speaks the original system's language: original bad
+        // index, all original inputs present in every frame.
+        assert_eq!(cex.bad_index, 1);
+        assert_eq!(cex.bad_name, "b_hits_4");
+        assert_eq!(cex.depth, 4);
+        let ena = ts.inputs()[0];
+        for k in 0..=cex.depth {
+            assert!(cex.trace.value(k, ena).is_some(), "ena padded at cycle {k}");
+        }
+        assert!(cex.replay(&ts, &p), "padded witness replays on original");
+        // Half the design was sliced away.
+        assert_eq!(bmc.stats().coi_latches_kept, 1);
+        assert_eq!(bmc.stats().coi_latches_dropped, 1);
+    }
+
+    #[test]
+    fn coi_off_matches_coi_on() {
+        for idx in [0usize, 1] {
+            let mut p1 = ExprPool::new();
+            let ts1 = twin_counter_system(&mut p1);
+            let mut on = Bmc::new(&ts1, BmcOptions::default().with_max_bound(10));
+            on.select_bad_indices(&ts1, &[idx]);
+            let r1 = on.check(&ts1, &mut p1);
+
+            let mut p2 = ExprPool::new();
+            let ts2 = twin_counter_system(&mut p2);
+            let mut off = Bmc::new(
+                &ts2,
+                BmcOptions::default().with_max_bound(10).with_coi(false),
+            );
+            off.select_bad_indices(&ts2, &[idx]);
+            let r2 = off.check(&ts2, &mut p2);
+
+            assert_eq!(
+                r1.counterexample().map(|c| (c.depth, c.bad_index)),
+                r2.counterexample().map(|c| (c.depth, c.bad_index)),
+                "bad {idx}"
+            );
+            assert_eq!(off.stats().coi_latches_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_disabled_still_finds_counterexamples() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        let mut bmc = Bmc::new(
+            &ts,
+            BmcOptions::default()
+                .with_max_bound(10)
+                .with_coi(false)
+                .with_preprocess(false),
+        );
+        let cex = bmc.check(&ts, &mut p);
+        assert_eq!(cex.counterexample().map(|c| c.depth), Some(3));
+    }
+
+    #[test]
+    fn inspect_hook_sees_live_backend() {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(10));
+        let armed = ArmedBudget::unlimited();
+        let mut seen_vars = 0usize;
+        let result = bmc.check_inspecting(&ts, &mut p, &armed, |backend| {
+            seen_vars = backend.num_vars();
+        });
+        assert!(result.counterexample().is_some());
+        assert_eq!(seen_vars, bmc.stats().variables);
+        assert!(seen_vars > 0);
     }
 
     #[test]

@@ -88,6 +88,54 @@ proptest! {
         }
     }
 
+    /// The simplification pipeline (COI slicing + CNF preprocessing) must
+    /// never change a BMC verdict. The machine carries a decoy register
+    /// and decoy input outside the bad's cone so COI has something real
+    /// to drop, and any counterexample must still replay on the
+    /// *original* (unsliced) system.
+    #[test]
+    fn pipeline_never_changes_verdict(
+        step in 0u64..16,
+        mask in 0u64..16,
+        target in 0u64..16,
+        decoy_step in 1u64..16,
+    ) {
+        const MAX: usize = 8;
+        let mut pool = ExprPool::new();
+        let (mut ts, _, _) = machine(&mut pool, step, mask, target);
+        // Decoy state: d' = d + (dEn ? decoy_step : 0), referenced by no bad.
+        let den = ts.add_input(&mut pool, "dEn", 1);
+        let d = ts.add_register(&mut pool, "d", 4, 0);
+        let de = pool.var_expr(d);
+        let dene = pool.var_expr(den);
+        let stepl = pool.lit(4, decoy_step);
+        let zero = pool.lit(4, 0);
+        let add = pool.ite(dene, stepl, zero);
+        let dnext = pool.add(de, add);
+        ts.set_next(d, dnext);
+
+        let run = |ts: &TransitionSystem, pool: &mut ExprPool, coi: bool, pre: bool| {
+            let opts = BmcOptions::default()
+                .with_max_bound(MAX)
+                .with_coi(coi)
+                .with_preprocess(pre);
+            let mut bmc = Bmc::new(ts, opts);
+            bmc.check(ts, pool)
+        };
+        let on = run(&ts, &mut pool, true, true);
+        let off = run(&ts, &mut pool, false, false);
+        match (&on, &off) {
+            (BmcResult::Counterexample(a), BmcResult::Counterexample(b)) => {
+                prop_assert_eq!(a.depth, b.depth, "witness depth must match");
+                prop_assert!(a.replay(&ts, &pool), "pipeline witness must replay on the original system");
+            }
+            (BmcResult::NoCounterexample { bound: a }, BmcResult::NoCounterexample { bound: b }) => {
+                prop_assert_eq!(a, b);
+            }
+            other => prop_assert!(false, "verdicts diverge: {:?}", other),
+        }
+    }
+
     #[test]
     fn cex_replay_follows_trace(step in 1u64..16, target in 1u64..16) {
         let mut pool = ExprPool::new();

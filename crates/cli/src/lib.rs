@@ -65,7 +65,7 @@ pub enum Command {
     List,
     /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE]
     /// [--witness] [--jobs N] [--backend NAME] [--timeout SECS]
-    /// [--conflict-budget N] [--fail-fast]`
+    /// [--conflict-budget N] [--fail-fast] [--no-preprocess] [--no-coi]`
     Verify {
         /// Case id.
         case: String,
@@ -88,6 +88,10 @@ pub enum Command {
         conflict_budget: Option<u64>,
         /// Cancel remaining obligations once one finds a bug.
         fail_fast: bool,
+        /// Run SatELite-style CNF preprocessing before each solver call.
+        preprocess: bool,
+        /// Slice each obligation to the cone of influence of its bad.
+        coi: bool,
     },
     /// `aqed conventional <case>`
     Conventional {
@@ -148,6 +152,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut timeout = None;
             let mut conflict_budget = None;
             let mut fail_fast = false;
+            let mut preprocess = true;
+            let mut coi = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -209,6 +215,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             })?);
                     }
                     "--fail-fast" => fail_fast = true,
+                    "--preprocess" => preprocess = true,
+                    "--no-preprocess" => preprocess = false,
+                    "--coi" => coi = true,
+                    "--no-coi" => coi = false,
                     other => {
                         return Err(ParseCommandError(format!("unknown flag '{other}'")));
                     }
@@ -226,6 +236,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 timeout,
                 conflict_budget,
                 fail_fast,
+                preprocess,
+                coi,
             })
         }
         "conventional" => Ok(Command::Conventional {
@@ -260,6 +272,7 @@ USAGE:
   aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
                      [--jobs N] [--backend cdcl|dimacs]
                      [--timeout SECS] [--conflict-budget N] [--fail-fast]
+                     [--no-preprocess] [--no-coi]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
                                        checked on N worker threads (default 1).
@@ -267,7 +280,11 @@ USAGE:
                                        clock; --conflict-budget caps solver
                                        effort per call (doubled on retry);
                                        --fail-fast cancels siblings after the
-                                       first bug.
+                                       first bug. The simplification pipeline
+                                       (cone-of-influence slicing + SatELite-
+                                       style CNF preprocessing) is on by
+                                       default; --no-coi / --no-preprocess
+                                       disable its two stages.
                                        exit codes: 0 clean, 1 bug found,
                                        2 inconclusive, degraded, or usage error
   aqed conventional <case>             run the conventional simulation flow
@@ -382,6 +399,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             timeout,
             conflict_budget,
             fail_fast,
+            preprocess,
+            coi,
         } => {
             let case = match find_case(case) {
                 Ok(c) => c,
@@ -412,7 +431,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             if let Some(secs) = timeout {
                 budget = budget.with_timeout(std::time::Duration::from_secs(*secs));
             }
-            let mut options = BmcOptions::default().with_max_bound(b).with_budget(budget);
+            let mut options = BmcOptions::default()
+                .with_max_bound(b)
+                .with_budget(budget)
+                .with_preprocess(*preprocess)
+                .with_coi(*coi);
             options.conflict_budget = *conflict_budget;
             let sched = ScheduleOptions::default()
                 .with_jobs(*jobs)
@@ -602,7 +625,9 @@ mod tests {
                 backend: BackendChoice::Cdcl,
                 timeout: None,
                 conflict_budget: None,
-                fail_fast: false
+                fail_fast: false,
+                preprocess: true,
+                coi: true
             })
         );
         assert_eq!(
@@ -617,7 +642,9 @@ mod tests {
                 backend: BackendChoice::Cdcl,
                 timeout: None,
                 conflict_budget: None,
-                fail_fast: false
+                fail_fast: false,
+                preprocess: true,
+                coi: true
             })
         );
         assert_eq!(
@@ -632,7 +659,9 @@ mod tests {
                 backend: BackendChoice::Dimacs,
                 timeout: None,
                 conflict_budget: None,
-                fail_fast: false
+                fail_fast: false,
+                preprocess: true,
+                coi: true
             })
         );
     }
@@ -659,7 +688,9 @@ mod tests {
                 backend: BackendChoice::Cdcl,
                 timeout: Some(30),
                 conflict_budget: Some(5000),
-                fail_fast: true
+                fail_fast: true,
+                preprocess: true,
+                coi: true
             })
         );
         assert!(parse(&["verify", "x", "--timeout"]).is_err());
@@ -668,6 +699,31 @@ mod tests {
         assert!(parse(&["verify", "x", "--conflict-budget"]).is_err());
         assert!(parse(&["verify", "x", "--conflict-budget", "0"]).is_err());
         assert!(parse(&["verify", "x", "--conflict-budget", "lots"]).is_err());
+    }
+
+    #[test]
+    fn parses_pipeline_flags() {
+        let both_off = parse(&["verify", "x", "--no-preprocess", "--no-coi"]).expect("parse");
+        match both_off {
+            Command::Verify {
+                preprocess, coi, ..
+            } => {
+                assert!(!preprocess);
+                assert!(!coi);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The positive spellings are accepted and can re-enable a stage.
+        let re_enabled = parse(&["verify", "x", "--no-preprocess", "--preprocess", "--coi"]);
+        match re_enabled.expect("parse") {
+            Command::Verify {
+                preprocess, coi, ..
+            } => {
+                assert!(preprocess);
+                assert!(coi);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -711,6 +767,8 @@ mod tests {
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
+                preprocess: true,
+                coi: true,
             },
             &mut buf,
         )
@@ -734,6 +792,8 @@ mod tests {
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
+                preprocess: true,
+                coi: true,
             },
             &mut buf,
         )
@@ -763,6 +823,8 @@ mod tests {
                 timeout: None,
                 conflict_budget: Some(1),
                 fail_fast: false,
+                preprocess: true,
+                coi: true,
             },
             &mut buf,
         )
@@ -788,6 +850,8 @@ mod tests {
                 timeout: Some(600),
                 conflict_budget: None,
                 fail_fast: true,
+                preprocess: true,
+                coi: true,
             },
             &mut buf,
         )

@@ -11,6 +11,12 @@
 //! `jobs = N` always agree (fail-fast mode deliberately trades this for
 //! latency — see [`ScheduleOptions::fail_fast`]).
 //!
+//! Cone-of-influence slicing happens *per obligation* inside
+//! `Bmc::check_under` (each job selects one bad, so each gets its own
+//! slice of the composed system); the scheduler itself is structurally
+//! unchanged by the simplification pipeline and merely aggregates the
+//! per-job `coi_latches_kept`/`coi_latches_dropped` counters.
+//!
 //! # Resource governance and fault tolerance
 //!
 //! [`verify_obligations_scheduled`] layers a governance regime over the

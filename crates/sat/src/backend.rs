@@ -109,6 +109,22 @@ pub trait SatBackend {
     fn stop_reason(&self) -> Option<StopReason> {
         None
     }
+
+    /// Enables or disables in-solver CNF preprocessing (subsumption and
+    /// bounded variable elimination before search). The default
+    /// implementation ignores the request: a backend without a
+    /// preprocessor just searches the unsimplified formula, which is
+    /// always sound.
+    fn set_preprocessing(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Exempts `v` from variable elimination in backends that preprocess.
+    /// Callers freeze their live interface (e.g. BMC frame boundaries);
+    /// backends without a preprocessor have nothing to protect.
+    fn freeze_var(&mut self, v: Var) {
+        let _ = v;
+    }
 }
 
 impl SatBackend for Solver {
@@ -162,6 +178,14 @@ impl SatBackend for Solver {
 
     fn stop_reason(&self) -> Option<StopReason> {
         Solver::stop_reason(self)
+    }
+
+    fn set_preprocessing(&mut self, enabled: bool) {
+        Solver::set_preprocessing(self, enabled);
+    }
+
+    fn freeze_var(&mut self, v: Var) {
+        Solver::freeze_var(self, v);
     }
 }
 
@@ -330,6 +354,14 @@ impl SatBackend for DimacsBackend {
 
     fn stop_reason(&self) -> Option<StopReason> {
         self.inner.stop_reason()
+    }
+
+    fn set_preprocessing(&mut self, enabled: bool) {
+        self.inner.set_preprocessing(enabled);
+    }
+
+    fn freeze_var(&mut self, v: Var) {
+        self.inner.freeze_var(v);
     }
 }
 

@@ -40,12 +40,13 @@ mod backend;
 mod budget;
 mod dimacs;
 mod heap;
+mod preprocess;
 mod solver;
 
 pub use backend::{DimacsBackend, ReplayError, SatBackend};
 pub use budget::{ArmedBudget, Budget, StopHandle, StopReason};
 pub use dimacs::{parse_dimacs, ParseDimacsError};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{PropagationReplay, SolveResult, Solver, SolverStats};
 
 use std::fmt;
 use std::num::NonZeroU32;

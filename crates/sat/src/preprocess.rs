@@ -1,0 +1,536 @@
+//! SatELite-style CNF preprocessing: occurrence-list-based backward
+//! subsumption, self-subsuming resolution, and bounded variable
+//! elimination.
+//!
+//! The preprocessor operates on an extracted copy of the solver's
+//! irredundant clauses (see `Solver::preprocess` for the extract/rebuild
+//! protocol). Unit clauses need no special pass: a unit `{l}` in the
+//! subsumption queue deletes every clause containing `l` and strengthens
+//! every clause containing `¬l`, which *is* boolean constraint
+//! propagation, and afterwards `l`'s variable is pure and falls to
+//! variable elimination with the unit stored in its record.
+//!
+//! Every eliminated variable leaves an [`ElimRecord`] holding the clauses
+//! it was resolved out of. Model reconstruction walks the records in
+//! reverse elimination order and flips the pivot wherever a stored clause
+//! is unsatisfied — the MiniSat `extendModel` scheme — so witnesses stay
+//! valid over the *original* clause set even though search never saw the
+//! eliminated variables.
+//!
+//! *Frozen* variables (assumptions of the current solve call, the BMC
+//! frame interface, variables already assigned at level 0) are never
+//! eliminated; they may reappear in later clauses or queries, which the
+//! solver handles by reactivating eliminated variables on contact.
+
+use crate::budget::ArmedBudget;
+use crate::{Lit, Var};
+use std::collections::VecDeque;
+
+/// A variable eliminated by resolution, with the clauses it was resolved
+/// out of (needed to extend a model of the reduced formula back to the
+/// original one).
+#[derive(Debug, Clone)]
+pub(crate) struct ElimRecord {
+    pub var: Var,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Result of one preprocessing run.
+#[derive(Debug, Default)]
+pub(crate) struct PreprocessOutcome {
+    /// The simplified irredundant clause set (sorted, deduplicated
+    /// literals; may contain units the rebuild must enqueue).
+    pub clauses: Vec<Vec<Lit>>,
+    /// Eliminated variables in elimination order.
+    pub eliminated: Vec<ElimRecord>,
+    /// Clauses deleted by subsumption plus literals removed by
+    /// self-subsuming resolution.
+    pub subsumed: u64,
+    /// The empty clause was derived: the formula is unsatisfiable.
+    pub unsat: bool,
+}
+
+/// Skip variable elimination when either polarity occurs more often than
+/// this (resolving dense variables explodes quadratically and they are
+/// rarely worth removing). Pure literals (one side empty) are exempt.
+const ELIM_OCC_LIMIT: usize = 12;
+/// Never produce a resolvent longer than this.
+const RESOLVENT_LEN_LIMIT: usize = 20;
+/// Budget-poll granularity, in candidate inspections.
+const POLL_INTERVAL: u64 = 8192;
+
+struct PClause {
+    lits: Vec<Lit>,
+    sig: u64,
+    deleted: bool,
+}
+
+fn lit_bit(l: Lit) -> u64 {
+    1u64 << (l.0 % 64)
+}
+
+fn signature(lits: &[Lit]) -> u64 {
+    lits.iter().fold(0, |s, &l| s | lit_bit(l))
+}
+
+enum SubRes {
+    No,
+    Subsumed,
+    /// `C \ {l} ⊆ D` and `¬l ∈ D`: remove the returned literal (`¬l`)
+    /// from `D`.
+    Strengthen(Lit),
+}
+
+/// Subset check of sorted, duplicate-free clauses allowing at most one
+/// polarity flip.
+fn subsume_check(c: &[Lit], d: &[Lit]) -> SubRes {
+    debug_assert!(c.len() <= d.len());
+    let mut flipped: Option<Lit> = None;
+    let mut j = 0;
+    'outer: for &cl in c {
+        while j < d.len() {
+            let dl = d[j];
+            if dl.var() == cl.var() {
+                j += 1;
+                if dl == cl {
+                    continue 'outer;
+                }
+                if flipped.is_some() {
+                    return SubRes::No;
+                }
+                flipped = Some(dl);
+                continue 'outer;
+            }
+            if dl.var() > cl.var() {
+                return SubRes::No;
+            }
+            j += 1;
+        }
+        return SubRes::No;
+    }
+    match flipped {
+        None => SubRes::Subsumed,
+        Some(l) => SubRes::Strengthen(l),
+    }
+}
+
+/// Resolvent of sorted clauses `a` (containing the pivot positively) and
+/// `b` (negatively) on `pivot`; `None` if it is a tautology.
+fn resolve(a: &[Lit], b: &[Lit], pivot: Var) -> Option<Vec<Lit>> {
+    let mut out: Vec<Lit> = Vec::with_capacity(a.len() + b.len() - 2);
+    let mut ia = a.iter().copied().filter(|l| l.var() != pivot).peekable();
+    let mut ib = b.iter().copied().filter(|l| l.var() != pivot).peekable();
+    loop {
+        match (ia.peek().copied(), ib.peek().copied()) {
+            (None, None) => break,
+            (Some(x), None) => {
+                out.push(x);
+                ia.next();
+            }
+            (None, Some(y)) => {
+                out.push(y);
+                ib.next();
+            }
+            (Some(x), Some(y)) => {
+                if x == y {
+                    out.push(x);
+                    ia.next();
+                    ib.next();
+                } else if x.var() == y.var() {
+                    return None; // x ∨ ¬x: tautology
+                } else if x < y {
+                    out.push(x);
+                    ia.next();
+                } else {
+                    out.push(y);
+                    ib.next();
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+pub(crate) struct Preprocessor {
+    clauses: Vec<PClause>,
+    /// Clause indices per literal index; kept exact (entries are removed
+    /// on clause deletion/strengthening) so BVE occurrence counts are
+    /// trustworthy.
+    occ: Vec<Vec<u32>>,
+    /// Never eliminate these (assumptions, frame interface, level-0
+    /// assigned, already-eliminated). Eliminated pivots are added as the
+    /// run progresses.
+    frozen: Vec<bool>,
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    records: Vec<ElimRecord>,
+    subsumed: u64,
+    unsat: bool,
+    steps: u64,
+}
+
+impl Preprocessor {
+    pub(crate) fn new(num_vars: usize, cnf: Vec<Vec<Lit>>, frozen: Vec<bool>) -> Self {
+        debug_assert_eq!(frozen.len(), num_vars);
+        let mut pp = Preprocessor {
+            clauses: Vec::with_capacity(cnf.len()),
+            occ: vec![Vec::new(); 2 * num_vars],
+            frozen,
+            queue: VecDeque::with_capacity(cnf.len()),
+            in_queue: Vec::with_capacity(cnf.len()),
+            records: Vec::new(),
+            subsumed: 0,
+            unsat: false,
+            steps: 0,
+        };
+        for mut lits in cnf {
+            lits.sort_unstable();
+            lits.dedup();
+            pp.insert_clause(lits);
+        }
+        pp
+    }
+
+    /// Runs subsumption + self-subsuming resolution to fixpoint, then one
+    /// ordered bounded-variable-elimination pass (each elimination feeds
+    /// its resolvents back through subsumption). Polls `armed` at a
+    /// coarse interval; on a tripped budget the partial simplification is
+    /// returned — every transformation is individually sound, so stopping
+    /// anywhere is safe.
+    pub(crate) fn run(mut self, armed: &ArmedBudget) -> PreprocessOutcome {
+        if !self.subsumption_fixpoint(armed) {
+            return self.finish();
+        }
+        if self.unsat {
+            return self.finish();
+        }
+        self.eliminate_variables(armed);
+        self.finish()
+    }
+
+    fn insert_clause(&mut self, lits: Vec<Lit>) {
+        if lits.is_empty() {
+            self.unsat = true;
+            return;
+        }
+        // Tautologies never help any later step; drop them up front.
+        if lits.windows(2).any(|w| w[1] == !w[0]) {
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        for &l in &lits {
+            self.occ[l.index()].push(ci);
+        }
+        self.clauses.push(PClause {
+            sig: signature(&lits),
+            lits,
+            deleted: false,
+        });
+        self.in_queue.push(true);
+        self.queue.push_back(ci);
+    }
+
+    fn delete_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.deleted = true;
+        let lits = std::mem::take(&mut c.lits);
+        for &l in &lits {
+            let list = &mut self.occ[l.index()];
+            if let Some(p) = list.iter().position(|&x| x == ci) {
+                list.swap_remove(p);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, ci: u32) {
+        if !self.in_queue[ci as usize] {
+            self.in_queue[ci as usize] = true;
+            self.queue.push_back(ci);
+        }
+    }
+
+    /// Drains the subsumption queue. Returns `false` if the armed budget
+    /// tripped mid-way.
+    fn subsumption_fixpoint(&mut self, armed: &ArmedBudget) -> bool {
+        while let Some(ci) = self.queue.pop_front() {
+            self.in_queue[ci as usize] = false;
+            if self.clauses[ci as usize].deleted || self.unsat {
+                continue;
+            }
+            if !self.poll(armed) {
+                return false;
+            }
+            // Scan the occurrence lists of the least-occurring variable of
+            // C: any D with C ⊆ D contains every literal of C, and any D
+            // strengthenable by C on flip-literal l contains either a
+            // literal of C or its negation — both polarities are scanned.
+            let best = self.clauses[ci as usize]
+                .lits
+                .iter()
+                .copied()
+                .min_by_key(|&l| self.occ[l.index()].len() + self.occ[(!l).index()].len())
+                .expect("clauses are never empty here");
+            let mut candidates: Vec<u32> = self.occ[best.index()].clone();
+            candidates.extend_from_slice(&self.occ[(!best).index()]);
+            for di in candidates {
+                if di == ci
+                    || self.clauses[di as usize].deleted
+                    || self.clauses[ci as usize].deleted
+                {
+                    continue;
+                }
+                self.steps += 1;
+                let (c, d) = (&self.clauses[ci as usize], &self.clauses[di as usize]);
+                if d.lits.len() < c.lits.len() || (c.sig & !d.sig).count_ones() > 1 {
+                    continue;
+                }
+                match subsume_check(&c.lits, &d.lits) {
+                    SubRes::No => {}
+                    SubRes::Subsumed => {
+                        self.delete_clause(di);
+                        self.subsumed += 1;
+                    }
+                    SubRes::Strengthen(dl) => {
+                        self.strengthen(di, dl);
+                        if self.unsat {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes `dl` from clause `di` (self-subsuming resolution step).
+    fn strengthen(&mut self, di: u32, dl: Lit) {
+        let c = &mut self.clauses[di as usize];
+        let p = c
+            .lits
+            .iter()
+            .position(|&x| x == dl)
+            .expect("literal present");
+        c.lits.remove(p);
+        c.sig = signature(&c.lits);
+        self.subsumed += 1;
+        let list = &mut self.occ[dl.index()];
+        if let Some(p) = list.iter().position(|&x| x == di) {
+            list.swap_remove(p);
+        }
+        if self.clauses[di as usize].lits.is_empty() {
+            self.unsat = true;
+            return;
+        }
+        self.enqueue(di);
+    }
+
+    /// One bounded-variable-elimination pass in ascending occurrence
+    /// order, with a subsumption fixpoint after each elimination.
+    fn eliminate_variables(&mut self, armed: &ArmedBudget) {
+        let num_vars = self.frozen.len();
+        let mut order: Vec<u32> = (0..num_vars as u32)
+            .filter(|&v| !self.frozen[v as usize])
+            .collect();
+        order.sort_by_key(|&v| {
+            let var = Var(v);
+            self.occ[var.pos().index()].len() * self.occ[var.neg().index()].len()
+        });
+        for v in order {
+            if self.unsat || self.frozen[v as usize] {
+                continue;
+            }
+            if !self.poll(armed) {
+                return;
+            }
+            let var = Var(v);
+            let pos = self.occ[var.pos().index()].clone();
+            let neg = self.occ[var.neg().index()].clone();
+            if pos.is_empty() && neg.is_empty() {
+                continue; // unconstrained: nothing to eliminate
+            }
+            let pure = pos.is_empty() || neg.is_empty();
+            if !pure && (pos.len() > ELIM_OCC_LIMIT || neg.len() > ELIM_OCC_LIMIT) {
+                continue;
+            }
+            // Gather resolvents; bail if elimination would grow the
+            // clause set.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut acceptable = true;
+            'pairs: for &pi in &pos {
+                for &ni in &neg {
+                    self.steps += 1;
+                    if let Some(r) = resolve(
+                        &self.clauses[pi as usize].lits,
+                        &self.clauses[ni as usize].lits,
+                        var,
+                    ) {
+                        if r.len() > RESOLVENT_LEN_LIMIT
+                            || resolvents.len() >= pos.len() + neg.len()
+                        {
+                            acceptable = false;
+                            break 'pairs;
+                        }
+                        resolvents.push(r);
+                    }
+                }
+            }
+            if !acceptable {
+                continue;
+            }
+            // Commit: record and remove the pivot's clauses, add the
+            // resolvents, and re-run subsumption over them.
+            let mut record = ElimRecord {
+                var,
+                clauses: Vec::with_capacity(pos.len() + neg.len()),
+            };
+            for &ci in pos.iter().chain(neg.iter()) {
+                record.clauses.push(self.clauses[ci as usize].lits.clone());
+                self.delete_clause(ci);
+            }
+            self.frozen[v as usize] = true; // pivot is gone for this run
+            self.records.push(record);
+            for r in resolvents {
+                self.insert_clause(r);
+                if self.unsat {
+                    return;
+                }
+            }
+            if !self.subsumption_fixpoint(armed) {
+                return;
+            }
+        }
+    }
+
+    fn poll(&mut self, armed: &ArmedBudget) -> bool {
+        self.steps += 1;
+        if self.steps.is_multiple_of(POLL_INTERVAL) && armed.poll().is_some() {
+            return false;
+        }
+        true
+    }
+
+    fn finish(self) -> PreprocessOutcome {
+        let clauses = self
+            .clauses
+            .into_iter()
+            .filter(|c| !c.deleted)
+            .map(|c| c.lits)
+            .collect();
+        PreprocessOutcome {
+            clauses,
+            eliminated: self.records,
+            subsumed: self.subsumed,
+            unsat: self.unsat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| Var(x.unsigned_abs() - 1).lit(x > 0))
+            .collect()
+    }
+
+    fn run(num_vars: usize, cnf: &[&[i32]], frozen: &[u32]) -> PreprocessOutcome {
+        let mut fr = vec![false; num_vars];
+        for &v in frozen {
+            fr[v as usize - 1] = true;
+        }
+        let cnf: Vec<Vec<Lit>> = cnf.iter().map(|c| lits(c)).collect();
+        Preprocessor::new(num_vars, cnf, fr).run(&ArmedBudget::unlimited())
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let out = run(3, &[&[1, 2], &[1, 2, 3], &[1, 2, -3]], &[1, 2, 3]);
+        assert!(!out.unsat);
+        assert!(out.subsumed >= 2);
+        assert_eq!(out.clauses, vec![lits(&[1, 2])]);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (1 ∨ 2) strengthens (1 ∨ ¬2 ∨ 3) to (1 ∨ 3).
+        let out = run(3, &[&[1, 2], &[1, -2, 3]], &[1, 2, 3]);
+        assert!(out.clauses.contains(&lits(&[1, 3])));
+    }
+
+    #[test]
+    fn unit_performs_bcp_and_elimination() {
+        // Unit 1 satisfies (1 ∨ 2), strengthens (¬1 ∨ 3) to (3); with
+        // nothing frozen both pivots are then eliminated.
+        let out = run(3, &[&[1], &[1, 2], &[-1, 3]], &[]);
+        assert!(!out.unsat);
+        assert!(out.clauses.is_empty());
+        let pivots: Vec<Var> = out.eliminated.iter().map(|r| r.var).collect();
+        assert!(pivots.contains(&Var(0)));
+        assert!(pivots.contains(&Var(2)));
+    }
+
+    #[test]
+    fn contradicting_units_are_unsat() {
+        let out = run(1, &[&[1], &[-1]], &[]);
+        assert!(out.unsat);
+    }
+
+    #[test]
+    fn variable_elimination_records_clauses() {
+        // Eliminate 2 from (1 ∨ 2)(¬2 ∨ 3): resolvent (1 ∨ 3).
+        let out = run(3, &[&[1, 2], &[-2, 3]], &[1, 3]);
+        assert!(!out.unsat);
+        assert_eq!(out.eliminated.len(), 1);
+        assert_eq!(out.eliminated[0].var, Var(1));
+        assert_eq!(out.eliminated[0].clauses.len(), 2);
+        assert_eq!(out.clauses, vec![lits(&[1, 3])]);
+    }
+
+    #[test]
+    fn frozen_variables_survive() {
+        let out = run(3, &[&[1, 2], &[-2, 3]], &[1, 2, 3]);
+        assert!(out.eliminated.is_empty());
+        assert_eq!(out.clauses.len(), 2);
+    }
+
+    #[test]
+    fn tautological_resolvents_vanish() {
+        // Eliminating 2 from (1 ∨ 2)(¬2 ∨ ¬1) yields only the tautology
+        // (1 ∨ ¬1) → no clauses remain mentioning either variable, and 1
+        // is then pure.
+        let out = run(2, &[&[1, 2], &[-2, -1]], &[]);
+        assert!(!out.unsat);
+        assert!(out.clauses.is_empty());
+    }
+
+    #[test]
+    fn resolve_merges_and_detects_tautologies() {
+        let a = lits(&[1, 2, 5]);
+        let b = lits(&[-2, 3, 5]);
+        assert_eq!(resolve(&a, &b, Var(1)), Some(lits(&[1, 3, 5])));
+        let c = lits(&[-2, -1]);
+        assert_eq!(resolve(&a, &c, Var(1)), None);
+    }
+
+    #[test]
+    fn subsume_check_variants() {
+        assert!(matches!(
+            subsume_check(&lits(&[1, 2]), &lits(&[1, 2, 3])),
+            SubRes::Subsumed
+        ));
+        assert!(matches!(
+            subsume_check(&lits(&[1, 2]), &lits(&[1, -2, 3])),
+            SubRes::Strengthen(l) if l == Var(1).neg()
+        ));
+        assert!(matches!(
+            subsume_check(&lits(&[1, 4]), &lits(&[1, 2, 3])),
+            SubRes::No
+        ));
+        assert!(matches!(
+            subsume_check(&lits(&[1, -2]), &lits(&[-1, 2, 3])),
+            SubRes::No
+        ));
+    }
+}

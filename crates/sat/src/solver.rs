@@ -11,6 +11,7 @@
 use crate::alloc::ClauseAllocator;
 use crate::budget::{ArmedBudget, StopReason};
 use crate::heap::ActivityHeap;
+use crate::preprocess::{ElimRecord, PreprocessOutcome, Preprocessor};
 use crate::{ClauseRef, LBool, Lit, Var};
 use std::fmt;
 
@@ -55,6 +56,14 @@ pub struct SolverStats {
     pub gc_runs: u64,
     /// Current clause-arena size in bytes (live + not-yet-collected).
     pub arena_bytes: u64,
+    /// Clauses removed by subsumption plus literals removed by
+    /// self-subsuming resolution during preprocessing.
+    pub subsumed: u64,
+    /// Variables removed by bounded variable elimination (cumulative;
+    /// reactivated variables are not subtracted).
+    pub eliminated_vars: u64,
+    /// Total time spent inside the CNF preprocessor, in microseconds.
+    pub preprocess_micros: u64,
 }
 
 impl SolverStats {
@@ -71,6 +80,9 @@ impl SolverStats {
         self.binary_props += other.binary_props;
         self.gc_runs += other.gc_runs;
         self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.subsumed += other.subsumed;
+        self.eliminated_vars += other.eliminated_vars;
+        self.preprocess_micros += other.preprocess_micros;
     }
 }
 
@@ -79,7 +91,8 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={} \
-             binary_props={} gc_runs={} arena_bytes={}",
+             binary_props={} gc_runs={} arena_bytes={} subsumed={} eliminated_vars={} \
+             preprocess_micros={}",
             self.decisions,
             self.propagations,
             self.conflicts,
@@ -88,7 +101,10 @@ impl fmt::Display for SolverStats {
             self.deleted,
             self.binary_props,
             self.gc_runs,
-            self.arena_bytes
+            self.arena_bytes,
+            self.subsumed,
+            self.eliminated_vars,
+            self.preprocess_micros
         )
     }
 }
@@ -172,6 +188,24 @@ pub struct Solver {
     decision_heuristic: bool,
     stats: SolverStats,
     num_learnts: u64,
+    /// Whether [`Solver::preprocess`] runs inside solve calls.
+    preprocess_enabled: bool,
+    /// Variables the preprocessor must never eliminate (external
+    /// interface: assumption carriers, frame boundaries).
+    frozen: Vec<bool>,
+    /// Variables currently eliminated by the preprocessor. They carry no
+    /// clauses; their model values are reconstructed by
+    /// [`Solver::extend_model`], and adding a clause over one transparently
+    /// reactivates it.
+    eliminated: Vec<bool>,
+    /// For an eliminated variable, its index into `elim_stack`.
+    elim_index: Vec<u32>,
+    /// Elimination records in elimination order (model reconstruction
+    /// walks it in reverse).
+    elim_stack: Vec<ElimRecord>,
+    /// Clause count right after the last preprocessor run; gates when the
+    /// next run is worthwhile.
+    last_simp_clauses: usize,
 }
 
 /// How many search steps (conflicts + decisions) pass between armed
@@ -244,6 +278,12 @@ impl Solver {
             decision_heuristic: true,
             stats: SolverStats::default(),
             num_learnts: 0,
+            preprocess_enabled: false,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_index: Vec::new(),
+            elim_stack: Vec::new(),
+            last_simp_clauses: 0,
         }
     }
 
@@ -323,6 +363,9 @@ impl Solver {
         self.model.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.elim_index.push(u32::MAX);
         self.heap.grow(self.assigns.len());
         self.heap.insert(v.index(), &self.activity);
         v
@@ -361,13 +404,26 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        let ls: Vec<Lit> = lits.into_iter().collect();
         for &l in &ls {
             assert!(
                 l.var().index() < self.num_vars(),
                 "literal {l} uses an unknown variable"
             );
         }
+        self.reactivate_touched(&ls);
+        if !self.ok {
+            return false;
+        }
+        self.add_clause_vec(ls)
+    }
+
+    /// [`Solver::add_clause`] after the external checks: simplifies
+    /// against the level-0 trail and commits. Must not contain eliminated
+    /// variables (callers reactivate first); this is also the re-entry
+    /// path reactivation and rebuilding use, so it must not reactivate
+    /// itself.
+    fn add_clause_vec(&mut self, mut ls: Vec<Lit>) -> bool {
         ls.sort_unstable();
         ls.dedup();
         // Tautology / level-0 simplification.
@@ -419,6 +475,10 @@ impl Solver {
                 l.var().index() < self.num_vars(),
                 "literal {l} uses an unknown variable"
             );
+        }
+        self.reactivate_touched(lits);
+        if !self.ok {
+            return false;
         }
         lits.sort_unstable();
         let mut out = [Lit(0); 3];
@@ -948,6 +1008,22 @@ impl Solver {
                 "assumption {a} uses an unknown variable"
             );
         }
+        // An assumption over an eliminated variable forces it back into
+        // the clause database before search can branch on it.
+        self.reactivate_touched(assumptions);
+        if self.preprocess_enabled && self.ok {
+            // Growth gate: run on the first solve, then again only after
+            // the clause database has grown by half (incremental BMC adds
+            // a frame's worth of clauses between calls).
+            let n = self.num_clauses();
+            if n > 0 && 2 * n >= 3 * self.last_simp_clauses {
+                self.preprocess(assumptions);
+            }
+        }
+        if !self.ok {
+            // Reactivation or preprocessing derived level-0 unsatisfiability.
+            return SolveResult::Unsat;
+        }
         // Track the growing clause database (incremental BMC keeps adding
         // frames): the learnt budget must scale with it or the solver
         // thrashes in back-to-back reductions.
@@ -979,6 +1055,7 @@ impl Solver {
             for v in 0..self.num_vars() {
                 self.model[v] = self.assigns[v] == LBool::True;
             }
+            self.extend_model();
             self.has_model = true;
         }
         self.backtrack_to(0);
@@ -1093,6 +1170,335 @@ impl Solver {
     pub fn model_lit(&self, l: Lit) -> Option<bool> {
         self.model_value(l.var()).map(|b| b == l.is_positive())
     }
+
+    // ----- pre-search simplification (SatELite-style) -----
+
+    /// Enables or disables CNF preprocessing (subsumption, self-subsuming
+    /// resolution, bounded variable elimination) inside solve calls. Off
+    /// by default. Eliminated variables stay fully usable from outside:
+    /// model queries reconstruct their values, and a later clause or
+    /// assumption over one transparently reactivates it — freezing
+    /// ([`Solver::freeze_var`]) is a throughput measure for variables
+    /// known to be re-constrained soon, not a correctness requirement.
+    pub fn set_preprocessing(&mut self, enabled: bool) {
+        self.preprocess_enabled = enabled;
+    }
+
+    /// Marks `v` as permanently exempt from variable elimination. Callers
+    /// freeze their live interface (frame-boundary variables in
+    /// incremental BMC): eliminating those would only trigger a
+    /// reactivate-and-re-add cycle when the next frame constrains them.
+    pub fn freeze_var(&mut self, v: Var) {
+        self.frozen[v.index()] = true;
+    }
+
+    /// Brings eliminated variables referenced by `lits` back to life:
+    /// their stored original clauses are re-added, cascading into any
+    /// further eliminated variable those clauses mention. Sound because
+    /// the resolvents an elimination left behind are consequences of the
+    /// originals, so originals and resolvents can coexist.
+    fn reactivate_touched(&mut self, lits: &[Lit]) {
+        if self.elim_stack.is_empty() {
+            return;
+        }
+        let mut work: Vec<Var> = lits
+            .iter()
+            .map(|l| l.var())
+            .filter(|v| self.eliminated[v.index()])
+            .collect();
+        if work.is_empty() {
+            return;
+        }
+        let mut to_add: Vec<Vec<Lit>> = Vec::new();
+        while let Some(v) = work.pop() {
+            let vi = v.index();
+            if !self.eliminated[vi] {
+                continue;
+            }
+            self.eliminated[vi] = false;
+            let idx = self.elim_index[vi] as usize;
+            self.elim_index[vi] = u32::MAX;
+            debug_assert_eq!(self.elim_stack[idx].var, v);
+            // The record stays on the stack (model extension skips it via
+            // the `eliminated` check) but gives up its clauses.
+            let clauses = std::mem::take(&mut self.elim_stack[idx].clauses);
+            for c in &clauses {
+                for &l in c {
+                    if self.eliminated[l.var().index()] {
+                        work.push(l.var());
+                    }
+                }
+            }
+            to_add.extend(clauses);
+        }
+        for c in to_add {
+            if !self.ok {
+                return;
+            }
+            self.add_clause_vec(c);
+        }
+    }
+
+    /// Runs the SatELite-style preprocessor over the irredundant clauses
+    /// and rebuilds the solver from the simplified set. Frozen variables,
+    /// this call's assumption variables, level-0-assigned variables, and
+    /// already-eliminated variables are exempt from elimination. Long
+    /// learnt clauses ride along untouched unless they mention a newly
+    /// eliminated variable (dropping a learnt is always sound); binary
+    /// learnts are indistinguishable in the watch lists and fold into the
+    /// irredundant set.
+    fn preprocess(&mut self, assumptions: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let start = std::time::Instant::now();
+        let mut frozen = self.frozen.clone();
+        for &a in assumptions {
+            frozen[a.var().index()] = true;
+        }
+        for (v, f) in frozen.iter_mut().enumerate() {
+            // A level-0 assignment must keep its variable: eliminating it
+            // (with an empty record, since it has no unsatisfied clauses)
+            // would let model extension overwrite the forced value. An
+            // already-eliminated variable owns a stack record; the
+            // preprocessor must not create a second one.
+            if self.assigns[v] != LBool::Undef || self.eliminated[v] {
+                *f = true;
+            }
+        }
+        let mut cnf: Vec<Vec<Lit>> = Vec::with_capacity(self.clauses.len() + self.num_binary);
+        for i in 0..self.watches.len() {
+            // Inlined binaries appear in both watch lists as
+            // (¬watched ∨ blocker); take the copy where the implicit
+            // literal is the smaller one.
+            let implicit = !Lit(i as u32);
+            for wi in 0..self.watches[i].len() {
+                let w = self.watches[i][wi];
+                if w.cref.is_some() || implicit >= w.blocker {
+                    continue;
+                }
+                if let Some(c) = self.simplified_lits(&[implicit, w.blocker]) {
+                    cnf.push(c);
+                }
+            }
+        }
+        for idx in 0..self.clauses.len() {
+            let cref = self.clauses[idx];
+            if self.ca.is_deleted(cref) {
+                continue;
+            }
+            let lits: Vec<Lit> = self.ca.lits(cref).to_vec();
+            if let Some(c) = self.simplified_lits(&lits) {
+                cnf.push(c);
+            }
+        }
+        let mut learnt_keep: Vec<Vec<Lit>> = Vec::new();
+        for idx in 0..self.learnts.len() {
+            let cref = self.learnts[idx];
+            if self.ca.is_deleted(cref) {
+                continue;
+            }
+            let lits: Vec<Lit> = self.ca.lits(cref).to_vec();
+            if let Some(c) = self.simplified_lits(&lits) {
+                learnt_keep.push(c);
+            }
+        }
+        let armed = self.armed.clone();
+        let outcome = Preprocessor::new(self.num_vars(), cnf, frozen).run(&armed);
+        self.rebuild(outcome, learnt_keep);
+        self.stats.preprocess_micros += start.elapsed().as_micros() as u64;
+        self.last_simp_clauses = self.num_clauses().max(1);
+    }
+
+    /// The clause restricted to the level-0 trail: `None` if satisfied,
+    /// otherwise its unassigned literals. Only called at decision level 0,
+    /// where every assignment is a root-level fact.
+    fn simplified_lits(&self, lits: &[Lit]) -> Option<Vec<Lit>> {
+        let mut out = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.value_lit(l) {
+                LBool::True => return None,
+                LBool::False => {}
+                LBool::Undef => out.push(l),
+            }
+        }
+        Some(out)
+    }
+
+    /// Replaces the entire clause database with the preprocessor's
+    /// output: fresh arena, rebuilt watch lists, newly registered
+    /// eliminations. The level-0 trail survives (its variables were
+    /// frozen), but its reason references into the discarded arena are
+    /// cleared — level-0 literals never need antecedents, conflict
+    /// analysis stops above them.
+    fn rebuild(&mut self, outcome: PreprocessOutcome, learnt_keep: Vec<Vec<Lit>>) {
+        self.ca = ClauseAllocator::new();
+        self.clauses.clear();
+        self.learnts.clear();
+        self.num_binary = 0;
+        self.num_learnts = 0;
+        self.stats.learnts = 0;
+        for list in &mut self.watches {
+            list.clear();
+        }
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = None;
+        }
+        self.qhead = self.trail.len();
+        for rec in outcome.eliminated {
+            let vi = rec.var.index();
+            debug_assert!(!self.frozen[vi] && !self.eliminated[vi]);
+            self.eliminated[vi] = true;
+            self.elim_index[vi] =
+                u32::try_from(self.elim_stack.len()).expect("elimination stack fits in u32");
+            self.stats.eliminated_vars += 1;
+            self.elim_stack.push(rec);
+        }
+        self.stats.subsumed += outcome.subsumed;
+        if outcome.unsat {
+            self.ok = false;
+            return;
+        }
+        // Re-add through the normal level-0 path: units found by the
+        // preprocessor enqueue and propagate here, so later clauses
+        // simplify against them.
+        for c in outcome.clauses {
+            if !self.ok {
+                return;
+            }
+            self.add_clause_vec(c);
+        }
+        for c in learnt_keep {
+            if !self.ok {
+                return;
+            }
+            if c.iter().any(|&l| self.eliminated[l.var().index()]) {
+                continue;
+            }
+            self.add_learnt_vec(c);
+        }
+    }
+
+    /// Re-attaches a held-aside learnt clause after a rebuild,
+    /// re-simplifying it against the (possibly extended) level-0 trail.
+    /// Learnt clauses are implied, so a unit or empty result is a sound
+    /// root-level derivation.
+    fn add_learnt_vec(&mut self, mut ls: Vec<Lit>) {
+        ls.sort_unstable();
+        ls.dedup();
+        let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return;
+            }
+            match self.value_lit(l) {
+                LBool::True => return,
+                LBool::False => {}
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+            }
+            2 => self.attach_binary(out[0], out[1], true),
+            _ => {
+                self.alloc_clause(&out, true);
+            }
+        }
+    }
+
+    /// Completes the model with values for eliminated variables, walking
+    /// the elimination stack newest-first. For each still-eliminated
+    /// variable, if any stored original clause is unsatisfied by the
+    /// model over the other variables, that clause's pivot polarity fixes
+    /// the value — all unsatisfied stored clauses agree, since a
+    /// positive-pivot and a negative-pivot clause both unsatisfied would
+    /// leave their (satisfied) resolvent unsatisfied. Otherwise the
+    /// search-time value stands.
+    fn extend_model(&mut self) {
+        for idx in (0..self.elim_stack.len()).rev() {
+            let (v, forced) = {
+                let rec = &self.elim_stack[idx];
+                if !self.eliminated[rec.var.index()] {
+                    continue;
+                }
+                let mut forced: Option<bool> = None;
+                for clause in &rec.clauses {
+                    let mut satisfied = false;
+                    let mut pivot_pos = true;
+                    for &l in clause {
+                        if l.var() == rec.var {
+                            pivot_pos = l.is_positive();
+                        } else if self.model[l.var().index()] == l.is_positive() {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                    if !satisfied {
+                        forced = Some(pivot_pos);
+                        break;
+                    }
+                }
+                (rec.var, forced)
+            };
+            if let Some(b) = forced {
+                self.model[v.index()] = b;
+            }
+        }
+    }
+
+    /// Replays the most recent model through unit propagation alone:
+    /// every model literal is enqueued as a pseudo-decision on one
+    /// scratch decision level and propagated, then the trail is restored.
+    /// This exercises `propagate()` over the live clause database with no
+    /// search overhead — the benchmark harness's propagation microscope.
+    /// The propagations performed accrue to [`SolverStats`].
+    ///
+    /// Returns `None` if no model is available. `conflicted` can only
+    /// become `true` when clauses were added after the model was found
+    /// (propagation from a subset of a model stays within the model).
+    pub fn replay_model_propagation(&mut self) -> Option<PropagationReplay> {
+        if !self.has_model {
+            return None;
+        }
+        assert_eq!(self.decision_level(), 0, "replay must start at level 0");
+        let base = self.stats.propagations;
+        self.trail_lim.push(self.trail.len());
+        let mut enqueued = 0usize;
+        let mut conflicted = false;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] != LBool::Undef || self.eliminated[v] {
+                continue;
+            }
+            let l = Var(v as u32).lit(self.model[v]);
+            self.unchecked_enqueue(l, None);
+            enqueued += 1;
+            if self.propagate().is_some() {
+                conflicted = true;
+                break;
+            }
+        }
+        let propagated = self.stats.propagations - base;
+        self.backtrack_to(0);
+        Some(PropagationReplay {
+            enqueued,
+            propagated,
+            conflicted,
+        })
+    }
+}
+
+/// Outcome of [`Solver::replay_model_propagation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropagationReplay {
+    /// Model literals enqueued as pseudo-decisions (variables that were
+    /// unassigned and not eliminated).
+    pub enqueued: usize,
+    /// Unit propagations performed during the replay.
+    pub propagated: u64,
+    /// Whether the replay hit a conflict (stale model only).
+    pub conflicted: bool,
 }
 
 enum SearchOutcome {
@@ -1484,5 +1890,133 @@ mod tests {
         s.reclaim_memory();
         assert!(s.stats().gc_runs >= 1);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// A chain x0 → x1 → … → xn as implications. Variable elimination
+    /// can collapse every interior variable.
+    fn chain_clauses(s: &mut Solver, n: usize) -> Vec<Var> {
+        let v = s.new_vars(n);
+        for w in v.windows(2) {
+            s.add_clause([w[0].neg(), w[1].pos()]);
+        }
+        v
+    }
+
+    #[test]
+    fn preprocessing_eliminates_and_reconstructs_models() {
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let v = chain_clauses(&mut s, 8);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Interior chain variables are eliminated (each sits in exactly
+        // two clauses), yet the reconstructed model must satisfy every
+        // original implication.
+        assert!(s.stats().eliminated_vars > 0);
+        for w in v.windows(2) {
+            let a = s.model_value(w[0]).unwrap();
+            let b = s.model_value(w[1]).unwrap();
+            assert!(!a || b, "implication {:?} -> {:?} violated", w[0], w[1]);
+        }
+        // Forcing the head true must force the (eliminated, then
+        // reactivated) tail true as well.
+        assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[7]), Some(true));
+    }
+
+    #[test]
+    fn preprocessing_matches_plain_solver_on_assumptions() {
+        // Same incremental session on a preprocessing and a plain solver;
+        // results must agree call for call.
+        let build = |pre: bool| {
+            let mut s = Solver::new();
+            s.set_preprocessing(pre);
+            let v = s.new_vars(6);
+            s.add_clause([v[0].pos(), v[1].pos(), v[2].pos()]);
+            s.add_clause([v[0].neg(), v[3].pos()]);
+            s.add_clause([v[3].neg(), v[4].pos()]);
+            s.add_clause([v[1].neg(), v[4].neg()]);
+            let r1 = s.solve_with(&[v[0].pos(), v[1].pos()]);
+            s.add_clause([v[4].pos(), v[5].pos()]);
+            let r2 = s.solve_with(&[v[5].neg()]);
+            let r3 = s.solve_with(&[v[0].pos(), v[4].neg()]);
+            (r1, r2, r3)
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn eliminated_variable_reactivates_on_new_clause() {
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let v = chain_clauses(&mut s, 6);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().eliminated_vars > 0);
+        // Constraining an eliminated interior variable through new unit
+        // clauses must bring its original clauses back: head true plus
+        // interior false contradicts the chain.
+        assert!(s.add_clause([v[0].pos()]));
+        let added = s.add_clause([v[3].neg()]);
+        assert!(!added || s.solve() == SolveResult::Unsat);
+    }
+
+    #[test]
+    fn frozen_variables_are_never_eliminated() {
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let v = chain_clauses(&mut s, 6);
+        for &x in &v {
+            s.freeze_var(x);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().eliminated_vars, 0);
+    }
+
+    #[test]
+    fn preprocessing_detects_top_level_unsat() {
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let v = chain_clauses(&mut s, 4);
+        s.add_clause([v[0].pos()]);
+        s.add_clause([v[3].neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_replay_propagates_without_conflict() {
+        let mut s = Solver::new();
+        assert_eq!(s.replay_model_propagation(), None);
+        let v = s.new_vars(5);
+        s.add_clause([v[0].pos(), v[1].pos()]);
+        s.add_clause([v[1].neg(), v[2].pos()]);
+        s.add_clause([v[2].neg(), v[3].pos(), v[4].pos()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let replay = s.replay_model_propagation().expect("model exists");
+        assert!(!replay.conflicted);
+        assert!(replay.enqueued > 0);
+        // The solver is untouched: still at level 0 and solvable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn preprocessing_survives_many_incremental_rounds() {
+        // Stress the reactivate/re-eliminate cycle: repeatedly constrain
+        // and release chain variables via assumptions.
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let v = chain_clauses(&mut s, 12);
+        for round in 0..6 {
+            // An eliminated interior variable shows up as an assumption:
+            // it must reactivate, and the chain semantics must hold.
+            let x = v[2 + round];
+            let sat = s.solve_with(&[v[0].pos(), x.pos()]);
+            assert_eq!(sat, SolveResult::Sat, "round {round}");
+            let unsat = s.solve_with(&[v[0].pos(), x.neg()]);
+            assert_eq!(unsat, SolveResult::Unsat, "round {round}");
+        }
+        assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
+        for &x in &v {
+            assert_eq!(s.model_value(x), Some(true));
+        }
     }
 }

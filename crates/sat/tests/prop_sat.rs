@@ -323,6 +323,117 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// SatELite-style preprocessing (subsumption + bounded variable
+    /// elimination) must preserve satisfiability, and the model handed
+    /// back after elimination-record reconstruction must satisfy the
+    /// *original* clauses — including ones whose variables were
+    /// eliminated and never reached the search.
+    #[test]
+    fn preprocessing_preserves_satisfiability_and_models(
+        n in 2usize..10,
+        clauses in prop::collection::vec(clause_strategy(9), 1..30),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let expect = brute_force_sat(n, &clauses);
+
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let vars = s.new_vars(n);
+        for c in &clauses {
+            s.add_clause(
+                c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+            );
+        }
+        let got = s.solve();
+        prop_assert_eq!(got, if expect { SolveResult::Sat } else { SolveResult::Unsat });
+        if got == SolveResult::Sat {
+            let model: Vec<bool> = vars
+                .iter()
+                .map(|&v| s.model_value(v).unwrap_or(false))
+                .collect();
+            prop_assert!(
+                model_satisfies(&clauses, &model),
+                "reconstructed model must satisfy the original clauses"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Incremental use with preprocessing on: clauses arrive in batches
+    /// and each batch is solved under random assumptions. Later batches
+    /// may mention variables a previous preprocessing pass eliminated,
+    /// forcing the reactivation cascade; every verdict is cross-checked
+    /// against brute force and every Sat model against all clauses so far.
+    #[test]
+    fn preprocessing_incremental_batches_agree_with_brute_force(
+        n in 4usize..10,
+        batches in prop::collection::vec(
+            prop::collection::vec(clause_strategy(9), 1..8),
+            2..5,
+        ),
+        assumption_seed in any::<u64>(),
+    ) {
+        let mut s = Solver::new();
+        s.set_preprocessing(true);
+        let vars = s.new_vars(n);
+        let mut rng = StdRng::seed_from_u64(assumption_seed);
+        let mut so_far: Vec<Vec<i32>> = Vec::new();
+        for batch in batches {
+            for c in batch {
+                let c: Vec<i32> = c
+                    .into_iter()
+                    .filter(|l| l.unsigned_abs() as usize <= n)
+                    .collect();
+                if c.is_empty() {
+                    continue;
+                }
+                s.add_clause(
+                    c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+                );
+                so_far.push(c);
+            }
+            let assumed: Vec<i32> = (0..rng.gen_range(0..3usize))
+                .map(|_| {
+                    let v = rng.gen_range(1..=n as i32);
+                    if rng.gen() { v } else { -v }
+                })
+                .collect();
+            let lits: Vec<_> = assumed
+                .iter()
+                .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                .collect();
+            let got = s.solve_with(&lits);
+            let mut check = so_far.clone();
+            check.extend(assumed.iter().map(|&l| vec![l]));
+            let expect = brute_force_sat(n, &check);
+            prop_assert_eq!(
+                got,
+                if expect { SolveResult::Sat } else { SolveResult::Unsat }
+            );
+            if got == SolveResult::Sat {
+                let model: Vec<bool> = vars
+                    .iter()
+                    .map(|&v| s.model_value(v).unwrap_or(false))
+                    .collect();
+                prop_assert!(
+                    model_satisfies(&check, &model),
+                    "model must satisfy all clauses and assumptions so far"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn random_3sat_near_threshold() {
     // 60 variables at clause ratio ~4.2: exercises restarts/learning; the

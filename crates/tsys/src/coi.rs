@@ -1,0 +1,221 @@
+//! Cone-of-influence reduction.
+//!
+//! Per-obligation slicing of a [`TransitionSystem`]: given the indices of
+//! the bad properties one BMC run actually checks, [`coi_slice`] keeps
+//! only the inputs and registers that can influence those properties (or
+//! any environment constraint) and drops everything else before the
+//! system is ever unrolled. An FC obligation on a composed A-QED system
+//! then never pays for the RB monitor's counters, and vice versa — the
+//! word-level half of the pre-search simplification pipeline.
+//!
+//! The cone is the least fixpoint of variable support: it is seeded with
+//! the support of every selected bad *and every constraint* (a constraint
+//! over unrelated variables can still be unsatisfiable, which legitimately
+//! discharges any property — dropping it would be unsound), and closed
+//! under the `next`/`init` expressions of every state variable already in
+//! the cone.
+
+use crate::{StateVar, TransitionSystem};
+use aqed_expr::{ExprPool, ExprRef, VarId};
+use std::collections::HashSet;
+
+/// Result of [`coi_slice`]: the reduced system plus the bookkeeping
+/// needed to map a verdict on the slice back onto the original system.
+#[derive(Debug, Clone)]
+pub struct CoiSlice {
+    /// The sliced system. Shares the original's [`ExprPool`] and
+    /// `VarId`s; inputs and states appear in their original declaration
+    /// order, all constraints are retained, and the bads are exactly the
+    /// selected ones.
+    pub system: TransitionSystem,
+    /// `bad_map[i]` is the original index of the slice's bad `i`.
+    pub bad_map: Vec<usize>,
+    /// State variables retained in the cone.
+    pub latches_kept: usize,
+    /// State variables sliced away.
+    pub latches_dropped: usize,
+    /// Inputs retained in the cone.
+    pub inputs_kept: usize,
+    /// Inputs sliced away.
+    pub inputs_dropped: usize,
+}
+
+/// Slices `ts` to the cone of influence of the bads at `bad_indices`
+/// (plus every constraint).
+///
+/// Outputs are retained only when their full support lies inside the
+/// cone, keeping the slice valid without growing it.
+///
+/// # Panics
+///
+/// Panics if a bad index is out of range.
+#[must_use]
+pub fn coi_slice(ts: &TransitionSystem, pool: &ExprPool, bad_indices: &[usize]) -> CoiSlice {
+    let roots: Vec<ExprRef> = bad_indices
+        .iter()
+        .map(|&i| ts.bads()[i].1)
+        .chain(ts.constraints().iter().copied())
+        .collect();
+    let mut cone: HashSet<VarId> = pool
+        .support_all(roots.iter().copied())
+        .into_iter()
+        .collect();
+    // Close under next/init of state variables already in the cone.
+    let mut frontier: Vec<VarId> = cone.iter().copied().collect();
+    while let Some(v) = frontier.pop() {
+        let Some(s) = state_of(ts, v) else { continue };
+        for root in [s.next, s.init].into_iter().flatten() {
+            for d in pool.support(root) {
+                if cone.insert(d) {
+                    frontier.push(d);
+                }
+            }
+        }
+    }
+
+    let mut sliced = TransitionSystem::new(format!("{}#coi", ts.name()));
+    sliced.inputs = ts
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|v| cone.contains(v))
+        .collect();
+    for s in ts.states() {
+        if cone.contains(&s.var) {
+            sliced.state_index.insert(s.var, sliced.states.len());
+            sliced.states.push(*s);
+        }
+    }
+    sliced.constraints = ts.constraints().to_vec();
+    sliced.bads = bad_indices.iter().map(|&i| ts.bads()[i].clone()).collect();
+    sliced.outputs = ts
+        .outputs()
+        .iter()
+        .filter(|(_, e)| pool.support(*e).iter().all(|v| cone.contains(v)))
+        .cloned()
+        .collect();
+
+    CoiSlice {
+        latches_kept: sliced.states.len(),
+        latches_dropped: ts.states().len() - sliced.states.len(),
+        inputs_kept: sliced.inputs.len(),
+        inputs_dropped: ts.inputs().len() - sliced.inputs.len(),
+        system: sliced,
+        bad_map: bad_indices.to_vec(),
+    }
+}
+
+fn state_of(ts: &TransitionSystem, v: VarId) -> Option<&StateVar> {
+    ts.state_index.get(&v).map(|&i| &ts.states[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_expr::ExprPool;
+
+    /// Two independent counters; one bad on each.
+    fn two_counters(pool: &mut ExprPool) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("pair");
+        let ena = ts.add_input(pool, "ena", 1);
+        let enb = ts.add_input(pool, "enb", 1);
+        let a = ts.add_register(pool, "a", 4, 0);
+        let b = ts.add_register(pool, "b", 4, 0);
+        for (reg, en) in [(a, ena), (b, enb)] {
+            let re = pool.var_expr(reg);
+            let one = pool.lit(4, 1);
+            let inc = pool.add(re, one);
+            let ene = pool.var_expr(en);
+            let next = pool.ite(ene, inc, re);
+            ts.set_next(reg, next);
+        }
+        let ae = pool.var_expr(a);
+        let be = pool.var_expr(b);
+        let five = pool.lit(4, 5);
+        let a5 = pool.eq(ae, five);
+        let b5 = pool.eq(be, five);
+        ts.add_bad("a_reaches_5", a5);
+        ts.add_bad("b_reaches_5", b5);
+        ts.add_output("a_val", ae);
+        ts.add_output("b_val", be);
+        ts
+    }
+
+    #[test]
+    fn slices_independent_halves() {
+        let mut p = ExprPool::new();
+        let ts = two_counters(&mut p);
+        let slice = coi_slice(&ts, &p, &[1]);
+        assert_eq!(slice.latches_kept, 1);
+        assert_eq!(slice.latches_dropped, 1);
+        assert_eq!(slice.inputs_kept, 1);
+        assert_eq!(slice.inputs_dropped, 1);
+        assert_eq!(slice.bad_map, vec![1]);
+        assert_eq!(slice.system.bads().len(), 1);
+        assert_eq!(slice.system.bads()[0].0, "b_reaches_5");
+        // Only the output over the kept half survives.
+        assert_eq!(slice.system.outputs().len(), 1);
+        assert_eq!(slice.system.outputs()[0].0, "b_val");
+        slice.system.validate(&p).expect("slice is well-formed");
+    }
+
+    #[test]
+    fn all_bads_keep_everything() {
+        let mut p = ExprPool::new();
+        let ts = two_counters(&mut p);
+        let slice = coi_slice(&ts, &p, &[0, 1]);
+        assert_eq!(slice.latches_dropped, 0);
+        assert_eq!(slice.inputs_dropped, 0);
+        assert_eq!(slice.system.bads().len(), 2);
+        slice.system.validate(&p).expect("slice is well-formed");
+    }
+
+    #[test]
+    fn constraints_pull_their_support_into_the_cone() {
+        let mut p = ExprPool::new();
+        let mut ts = two_counters(&mut p);
+        // A constraint over the a-half: even a b-only obligation must
+        // keep it (and therefore the a-half it reads).
+        let ena = ts.inputs()[0];
+        let ene = p.var_expr(ena);
+        let nen = p.not(ene);
+        ts.add_constraint(nen);
+        let slice = coi_slice(&ts, &p, &[1]);
+        assert_eq!(slice.system.constraints().len(), 1);
+        assert!(slice.system.inputs().contains(&ena));
+        slice.system.validate(&p).expect("slice is well-formed");
+    }
+
+    #[test]
+    fn chained_state_dependencies_are_transitive() {
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("chain");
+        // s2 <- s1 <- s0 <- input; bad reads only s2, but the whole
+        // chain must stay.
+        let i = ts.add_input(&mut p, "i", 4);
+        let s0 = ts.add_register(&mut p, "s0", 4, 0);
+        let s1 = ts.add_register(&mut p, "s1", 4, 0);
+        let s2 = ts.add_register(&mut p, "s2", 4, 0);
+        let unrelated = ts.add_register(&mut p, "unrelated", 4, 0);
+        let ie = p.var_expr(i);
+        let s0e = p.var_expr(s0);
+        let s1e = p.var_expr(s1);
+        let ue = p.var_expr(unrelated);
+        let one = p.lit(4, 1);
+        let next_u = p.add(ue, one);
+        ts.set_next(s0, ie);
+        ts.set_next(s1, s0e);
+        ts.set_next(s2, s1e);
+        ts.set_next(unrelated, next_u);
+        let s2e = p.var_expr(s2);
+        let seven = p.lit(4, 7);
+        let hit = p.eq(s2e, seven);
+        ts.add_bad("s2_is_7", hit);
+        let slice = coi_slice(&ts, &p, &[0]);
+        assert_eq!(slice.latches_kept, 3);
+        assert_eq!(slice.latches_dropped, 1);
+        assert!(slice.system.is_state(s0));
+        assert!(!slice.system.is_state(unrelated));
+        slice.system.validate(&p).expect("slice is well-formed");
+    }
+}

@@ -50,6 +50,7 @@
 //! ```
 
 mod btor2;
+mod coi;
 mod mem;
 mod mutate;
 mod sim;
@@ -57,6 +58,7 @@ mod trace;
 mod vcd;
 
 pub use btor2::{btor2_check, btor2_stats, to_btor2, Btor2Stats};
+pub use coi::{coi_slice, CoiSlice};
 pub use mem::Mem;
 pub use mutate::{enumerate_mutants, Mutant, Mutator};
 pub use sim::{Simulator, StepRecord};

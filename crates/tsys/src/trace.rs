@@ -63,6 +63,21 @@ impl Trace {
         &self.frames[k]
     }
 
+    /// Adds `extra` assignments to every frame (skipping variables a
+    /// frame already records) and re-sorts each frame by variable. The
+    /// BMC engine uses this to widen a cone-of-influence counterexample
+    /// back to the full input set before simulator replay.
+    pub fn pad_frames(&mut self, extra: &[(VarId, Bv)]) {
+        for frame in &mut self.frames {
+            for &(v, val) in extra {
+                if !frame.iter().any(|&(fv, _)| fv == v) {
+                    frame.push((v, val));
+                }
+            }
+            frame.sort_by_key(|&(v, _)| v);
+        }
+    }
+
     /// The value of input `v` at cycle `k`, if recorded.
     #[must_use]
     pub fn value(&self, k: usize, v: VarId) -> Option<Bv> {

@@ -29,4 +29,32 @@ echo "== jobs-identity sweep under fail-fast cancellation"
 timeout --kill-after=30 "$CI_TEST_TIMEOUT" \
     env AQED_FAIL_FAST=1 cargo test -q -p aqed-cli --test jobs_identity
 
+echo "== simplification-pipeline identity (CLI, defaults vs --no-preprocess --no-coi)"
+# The in-process sweep (pipeline_identity test) already covers the whole
+# catalog; this phase additionally pins the *user-visible* contract: the
+# aqed binary must report the same exit code and verdict line with the
+# pipeline on (default) and fully off.
+cargo build --release -q -p aqed-cli
+# Extract the verdict line and strip the timing/clause parenthetical,
+# which legitimately differs between runs.
+verdict() {
+    grep -m1 -E '^(bug:|clean|inconclusive|error)' | sed 's/ (.*//'
+}
+for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
+    for variant in "" "--healthy"; do
+        on_rc=0
+        on_out=$(./target/release/aqed verify "$case" $variant --bound 8 | verdict) || on_rc=$?
+        off_rc=0
+        off_out=$(./target/release/aqed verify "$case" $variant --bound 8 \
+            --no-preprocess --no-coi | verdict) || off_rc=$?
+        if [ "$on_rc" != "$off_rc" ] || [ "$on_out" != "$off_out" ]; then
+            echo "pipeline identity violated on '$case $variant':" >&2
+            echo "  default:        rc=$on_rc  $on_out" >&2
+            echo "  pipeline off:   rc=$off_rc  $off_out" >&2
+            exit 1
+        fi
+        echo "  $case $variant: rc=$on_rc verdict '$on_out' identical"
+    done
+done
+
 echo "CI OK"
