@@ -1,0 +1,355 @@
+//! Renders an aqed trace (`verify --trace-out run.jsonl`) as a human
+//! digest: a per-phase summary table, a per-thread span timeline, and
+//! optionally a Chrome trace-event file loadable in `chrome://tracing`
+//! or Perfetto.
+//!
+//! ```text
+//! trace_report run.jsonl                  # summary table + timeline
+//! trace_report run.jsonl --check          # validate only (CI gate)
+//! trace_report run.jsonl --chrome out.json
+//! ```
+//!
+//! Exit codes: 0 on success, 1 when the trace fails validation
+//! (unparseable line, unknown phase, unbalanced or interleaved spans),
+//! 2 on usage or I/O errors.
+
+use aqed_obs::json::{parse, Json};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One parsed trace line.
+struct Event {
+    /// Nanoseconds since trace start.
+    ts: u64,
+    tid: u64,
+    /// `'B'` span begin, `'E'` span end, `'I'` instant.
+    ph: char,
+    name: String,
+    args: Vec<(String, String)>,
+}
+
+/// A reconstructed span: a matched Begin/End pair on one thread.
+struct Span {
+    tid: u64,
+    name: String,
+    start_ns: u64,
+    dur_ns: u64,
+    depth: usize,
+    /// Args merged from the Begin and End events (End wins on clashes).
+    args: Vec<(String, String)>,
+}
+
+fn render_arg(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn parse_line(n: usize, line: &str) -> Result<Event, String> {
+    let ev = parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+    let ts = ev
+        .get("ts")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {}: missing integer 'ts'", n + 1))?;
+    let tid = ev
+        .get("tid")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {}: missing integer 'tid'", n + 1))?;
+    let ph = match ev.get("ph").and_then(Json::as_str) {
+        Some("B") => 'B',
+        Some("E") => 'E',
+        Some("I") => 'I',
+        Some(other) => return Err(format!("line {}: unknown phase '{other}'", n + 1)),
+        None => return Err(format!("line {}: missing 'ph'", n + 1)),
+    };
+    let name = ev
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {}: missing 'name'", n + 1))?
+        .to_owned();
+    let args = match ev.get("args") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| (k.clone(), render_arg(v)))
+            .collect(),
+        Some(_) => return Err(format!("line {}: 'args' is not an object", n + 1)),
+        None => Vec::new(),
+    };
+    Ok(Event {
+        ts,
+        tid,
+        ph,
+        name,
+        args,
+    })
+}
+
+/// An open span awaiting its End: name, start timestamp, Begin args.
+type OpenSpan = (String, u64, Vec<(String, String)>);
+
+/// Matches Begin/End pairs per thread; fails on interleaved or
+/// unbalanced spans, which would mean the tracer itself is broken.
+fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
+    // Per-thread stack of open spans.
+    let mut open: HashMap<u64, Vec<OpenSpan>> = HashMap::new();
+    let mut spans = Vec::new();
+    for ev in events {
+        match ev.ph {
+            'B' => open
+                .entry(ev.tid)
+                .or_default()
+                .push((ev.name.clone(), ev.ts, ev.args.clone())),
+            'E' => {
+                let Some((name, start, mut args)) = open.get_mut(&ev.tid).and_then(Vec::pop) else {
+                    return Err(format!(
+                        "tid {}: End '{}' at {}ns with no open span",
+                        ev.tid, ev.name, ev.ts
+                    ));
+                };
+                if name != ev.name {
+                    return Err(format!(
+                        "tid {}: End '{}' closes open span '{name}' (interleaved spans)",
+                        ev.tid, ev.name
+                    ));
+                }
+                for (k, v) in &ev.args {
+                    if let Some(slot) = args.iter_mut().find(|(ak, _)| ak == k) {
+                        slot.1 = v.clone();
+                    } else {
+                        args.push((k.clone(), v.clone()));
+                    }
+                }
+                let depth = open.get(&ev.tid).map_or(0, Vec::len);
+                spans.push(Span {
+                    tid: ev.tid,
+                    name,
+                    start_ns: start,
+                    dur_ns: ev.ts.saturating_sub(start),
+                    depth,
+                    args,
+                });
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &open {
+        if !stack.is_empty() {
+            let names: Vec<&str> = stack.iter().map(|(n, _, _)| n.as_str()).collect();
+            return Err(format!("tid {tid}: unclosed spans at EOF: {names:?}"));
+        }
+    }
+    Ok(spans)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Per-phase rollup: count, total, and max duration per span name.
+fn phase_table(spans: &[Span]) -> String {
+    let mut rows: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for s in spans {
+        let e = rows.entry(&s.name).or_default();
+        e.0 += 1;
+        e.1 += s.dur_ns;
+        e.2 = e.2.max(s.dur_ns);
+    }
+    let mut ranked: Vec<_> = rows.into_iter().collect();
+    ranked.sort_by_key(|(_, (_, total, _))| std::cmp::Reverse(*total));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>12} {:>12}",
+        "phase", "count", "total ms", "mean ms", "max ms"
+    );
+    for (name, (count, total, max)) in ranked {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            count,
+            ms(total),
+            ms(total) / count as f64,
+            ms(max)
+        );
+    }
+    out
+}
+
+/// Per-thread indented timeline, truncated past `limit` rows per thread.
+fn timeline(spans: &[Span], events: &[Event], limit: usize) -> String {
+    let mut by_tid: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in spans {
+        by_tid.entry(s.tid).or_default().push(s);
+    }
+    let mut out = String::new();
+    for (tid, mut rows) in by_tid {
+        rows.sort_by_key(|s| s.start_ns);
+        let _ = writeln!(out, "thread {tid}:");
+        for s in rows.iter().take(limit) {
+            let args = if s.args.is_empty() {
+                String::new()
+            } else {
+                let rendered: Vec<String> =
+                    s.args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("  [{}]", rendered.join(" "))
+            };
+            let _ = writeln!(
+                out,
+                "  {:>12.3}ms {:>10.3}ms {}{}{}",
+                ms(s.start_ns),
+                ms(s.dur_ns),
+                "  ".repeat(s.depth),
+                s.name,
+                args
+            );
+        }
+        if rows.len() > limit {
+            let _ = writeln!(out, "  ... ({} more spans)", rows.len() - limit);
+        }
+        let marks = events
+            .iter()
+            .filter(|e| e.ph == 'I' && e.tid == tid)
+            .count();
+        if marks > 0 {
+            let _ = writeln!(out, "  ({marks} instant events)");
+        }
+    }
+    out
+}
+
+/// Rewrites the trace in Chrome trace-event format (`chrome://tracing`
+/// / Perfetto): same B/E/I phases, timestamps converted ns → µs.
+fn chrome_json(events: &[Event]) -> String {
+    let items: Vec<Json> = events
+        .iter()
+        .map(|ev| {
+            let mut fields = vec![
+                ("name", Json::from(ev.name.as_str())),
+                ("ph", Json::from(ev.ph.to_string())),
+                ("ts", Json::Num(ev.ts as f64 / 1e3)),
+                ("pid", Json::num(1)),
+                ("tid", Json::num(ev.tid)),
+            ];
+            if ev.ph == 'I' {
+                fields.push(("s", Json::from("t")));
+            }
+            if !ev.args.is_empty() {
+                fields.push((
+                    "args",
+                    Json::Obj(
+                        ev.args
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![("traceEvents", Json::Arr(items))]).to_string()
+}
+
+const USAGE: &str = "usage: trace_report <trace.jsonl> [--check] [--chrome FILE] [--limit N]";
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut check_only = false;
+    let mut chrome_out = None;
+    let mut limit = 100usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--chrome" => match argv.next() {
+                Some(f) => chrome_out = Some(f),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--limit" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) => limit = n,
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut events = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        match parse_line(n, line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace_report: invalid trace: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let spans = match build_spans(&events) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_report: invalid trace: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    let instant_count = events.iter().filter(|e| e.ph == 'I').count();
+
+    if check_only {
+        println!(
+            "OK: {} events ({} spans, {} instants) on {} thread(s), all spans balanced",
+            events.len(),
+            spans.len(),
+            instant_count,
+            threads.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} events ({} spans, {} instants) on {} thread(s)\n",
+        events.len(),
+        spans.len(),
+        instant_count,
+        threads.len()
+    );
+    println!("{}", phase_table(&spans));
+    print!("{}", timeline(&spans, &events, limit));
+
+    if let Some(out) = chrome_out {
+        match std::fs::write(&out, chrome_json(&events) + "\n") {
+            Ok(()) => println!("\nwrote Chrome trace to {out} (load in chrome://tracing)"),
+            Err(e) => {
+                eprintln!("trace_report: {out}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

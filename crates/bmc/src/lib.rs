@@ -58,10 +58,11 @@ use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
 use aqed_sat::{Lit, SatBackend, SolveResult, Solver, SolverStats};
-use aqed_tsys::{coi_slice, CoiSlice, Simulator, Trace, TransitionSystem};
+use aqed_tsys::{coi_slice_cached, CoiCache, CoiSlice, Simulator, Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for a BMC run.
@@ -268,8 +269,9 @@ pub struct BmcStats {
     /// Wall-clock time of the whole check.
     pub elapsed: Duration,
     /// Cumulative statistics of the underlying SAT solver (conflicts,
-    /// propagations, arena bytes, GC runs, …). For monolithic runs this
-    /// reflects the last per-depth solver only.
+    /// propagations, arena bytes, GC runs, …). Monolithic runs absorb
+    /// every per-depth solver, so counters cover the whole run (and
+    /// `arena_bytes` is the per-depth peak).
     pub solver: SolverStats,
     /// State variables kept by cone-of-influence reduction (all of them
     /// when COI is disabled).
@@ -304,6 +306,8 @@ pub struct Bmc<B: SatBackend = Solver> {
     stats: BmcStats,
     /// Selected bad indices; `None` = all bads of the system.
     bad_filter: Option<Vec<usize>>,
+    /// Shared COI support-fixpoint memo (see [`Bmc::set_coi_cache`]).
+    coi_cache: Option<Arc<CoiCache>>,
     backend: PhantomData<fn() -> B>,
 }
 
@@ -340,8 +344,18 @@ impl<B: SatBackend> Bmc<B> {
             options,
             stats: BmcStats::default(),
             bad_filter: None,
+            coi_cache: None,
             backend: PhantomData,
         }
+    }
+
+    /// Installs a shared [`CoiCache`] so repeated checks (and sibling
+    /// checkers of the same system — the obligation scheduler hands one
+    /// cache to every job of a run) reuse the COI support fixpoint
+    /// instead of re-slicing from scratch. The cache is bound to one
+    /// system; see [`CoiCache`] for the contract.
+    pub fn set_coi_cache(&mut self, cache: Arc<CoiCache>) {
+        self.coi_cache = Some(cache);
     }
 
     /// Restricts checking to the named properties (default: all).
@@ -443,11 +457,26 @@ impl<B: SatBackend + Default> Bmc<B> {
         ts.validate(pool).expect("system must be well-formed");
         self.stats = BmcStats::default();
         let bad_idx = self.bad_indices(ts);
+        let _check_span = aqed_obs::obs_span!(
+            "bmc.check",
+            system = ts.name(),
+            bads = bad_idx.len(),
+            incremental = self.options.incremental,
+            max_bound = self.options.max_bound,
+        );
         // Word-level stage of the simplification pipeline: slice the
         // system to the cone of influence of the selected bads before a
         // single frame is unrolled. The run below then works on the
         // slice, whose bads are re-indexed 0..n.
-        let slice: Option<CoiSlice> = self.options.coi.then(|| coi_slice(ts, pool, &bad_idx));
+        let slice: Option<CoiSlice> = self.options.coi.then(|| {
+            let mut sp = aqed_obs::span("pipeline.coi");
+            let s = coi_slice_cached(ts, pool, &bad_idx, self.coi_cache.as_deref());
+            sp.record("latches_kept", s.latches_kept);
+            sp.record("latches_dropped", s.latches_dropped);
+            sp.record("inputs_kept", s.inputs_kept);
+            sp.record("inputs_dropped", s.inputs_dropped);
+            s
+        });
         let (work_ts, work_idx): (&TransitionSystem, Vec<usize>) = match &slice {
             Some(s) => {
                 self.stats.coi_latches_kept = s.latches_kept;
@@ -509,8 +538,22 @@ impl<B: SatBackend + Default> Bmc<B> {
                     break 'run BmcResult::Unknown { bound: k, reason };
                 }
                 self.stats.frames_encoded = k;
-                session.encode_frame(ts, pool, k);
-                match self.check_frame(&mut session, ts, pool, k, bad_idx, prune) {
+                {
+                    let mut sp = aqed_obs::obs_span!("bmc.encode", depth = k);
+                    let pre = sp.is_active().then(|| session.sizes());
+                    session.encode_frame(ts, pool, k);
+                    record_growth(&mut sp, pre, &session);
+                }
+                let outcome = {
+                    let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
+                    let pre = sp.is_active().then(|| session.sizes());
+                    let o = self.check_frame(&mut session, ts, pool, k, bad_idx, prune);
+                    record_growth(&mut sp, pre, &session);
+                    sp.record("result", outcome_code(&o));
+                    o
+                };
+                aqed_obs::obs_event!("bmc.depth", depth = k, result = outcome_code(&outcome));
+                match outcome {
                     FrameOutcome::Clean => {}
                     FrameOutcome::Cex(cex) => break 'run BmcResult::Counterexample(cex),
                     FrameOutcome::Unknown(reason) => {
@@ -542,11 +585,24 @@ impl<B: SatBackend + Default> Bmc<B> {
             }
             let mut session: Session<B> = Session::new(ts, pool, &self.options, armed);
             self.stats.frames_encoded = k;
-            for j in 0..=k {
-                session.encode_frame(ts, pool, j);
+            {
+                let mut sp = aqed_obs::obs_span!("bmc.encode", depth = k);
+                let pre = sp.is_active().then(|| session.sizes());
+                for j in 0..=k {
+                    session.encode_frame(ts, pool, j);
+                }
+                record_growth(&mut sp, pre, &session);
             }
             // No pruning: the session is dropped after this one query.
-            let outcome = self.check_frame(&mut session, ts, pool, k, bad_idx, false);
+            let outcome = {
+                let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
+                let pre = sp.is_active().then(|| session.sizes());
+                let o = self.check_frame(&mut session, ts, pool, k, bad_idx, false);
+                record_growth(&mut sp, pre, &session);
+                sp.record("result", outcome_code(&o));
+                o
+            };
+            aqed_obs::obs_event!("bmc.depth", depth = k, result = outcome_code(&outcome));
             session.export_stats(&mut self.stats);
             match outcome {
                 FrameOutcome::Clean => {}
@@ -584,6 +640,30 @@ enum FrameOutcome {
     Cex(Counterexample),
     Clean,
     Unknown(StopReason),
+}
+
+/// Trace label for a frame outcome.
+fn outcome_code(o: &FrameOutcome) -> &'static str {
+    match o {
+        FrameOutcome::Cex(_) => "cex",
+        FrameOutcome::Clean => "clean",
+        FrameOutcome::Unknown(_) => "unknown",
+    }
+}
+
+/// Attaches the encoding growth (bit-blast output size) of a phase to
+/// its span: clause/variable deltas against `pre` (captured only when
+/// the span is live).
+fn record_growth<B: SatBackend>(
+    sp: &mut aqed_obs::SpanGuard,
+    pre: Option<(usize, usize)>,
+    session: &Session<B>,
+) {
+    if let Some((clauses, vars)) = pre {
+        let (now_c, now_v) = session.sizes();
+        sp.record("clauses_added", now_c.saturating_sub(clauses));
+        sp.record("vars_added", now_v.saturating_sub(vars));
+    }
 }
 
 /// One SAT encoding session: a backend plus the bit-blaster and unroller
@@ -721,10 +801,18 @@ impl<B: SatBackend> Session<B> {
         any
     }
 
+    /// `(clauses, variables)` currently in the backend.
+    fn sizes(&self) -> (usize, usize) {
+        (self.backend.num_clauses(), self.backend.num_vars())
+    }
+
     fn export_stats(&self, stats: &mut BmcStats) {
         stats.clauses = self.backend.num_clauses();
         stats.variables = self.backend.num_vars();
-        stats.solver = self.backend.stats();
+        // Absorb (sum) rather than overwrite: monolithic runs export one
+        // fresh session per depth, and every depth's effort must be
+        // accounted for in the final aggregate.
+        stats.solver.absorb(&self.backend.stats());
     }
 }
 
@@ -935,6 +1023,61 @@ mod tests {
             BmcResult::NoCounterexample { bound } => assert_eq!(bound, 5),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn monolithic_stats_absorb_every_depth() {
+        // A free-running tick register t (t' = t + 1, init 0) becomes a
+        // compile-time constant at every unrolled frame, so the bad
+        // (c == x) ∧ (t < 2) constant-folds to false for depths ≥ 2.
+        // With the constraint c ≠ x the early depths are UNSAT only
+        // after real solver work. A monolithic run at bound 5 therefore
+        // ends on a session that never called the solver — if
+        // `export_stats` kept only the last per-depth solver (the old
+        // footgun), the aggregate would report zero effort.
+        let mut p = ExprPool::new();
+        let mut ts = TransitionSystem::new("tick_gate");
+        let en = ts.add_input(&mut p, "en", 1);
+        let x = ts.add_input(&mut p, "x", 4);
+        let c = ts.add_register(&mut p, "c", 4, 0);
+        let t = ts.add_register(&mut p, "t", 4, 0);
+        let ce = p.var_expr(c);
+        let te = p.var_expr(t);
+        let one = p.lit(4, 1);
+        let inc = p.add(ce, one);
+        let ene = p.var_expr(en);
+        let cnext = p.ite(ene, inc, ce);
+        ts.set_next(c, cnext);
+        let tnext = p.add(te, one);
+        ts.set_next(t, tnext);
+        let xe = p.var_expr(x);
+        let c_eq_x = p.eq(ce, xe);
+        let two = p.lit(4, 2);
+        let t_lt_2 = p.ult(te, two);
+        let bad = p.and(c_eq_x, t_lt_2);
+        ts.add_bad("early_match", bad);
+        let neq = p.not(c_eq_x);
+        ts.add_constraint(neq);
+
+        let mut mono = Bmc::new(
+            &ts,
+            BmcOptions::default()
+                .with_max_bound(5)
+                .with_incremental(false),
+        );
+        let result = mono.check(&ts, &mut p);
+        assert!(result.is_clean());
+        let stats = mono.stats();
+        assert_eq!(
+            stats.solver_calls, 2,
+            "only depths 0 and 1 are not statically discharged"
+        );
+        assert!(
+            stats.solver.propagations + stats.solver.decisions > 0,
+            "absorbed stats must retain the early depths' effort even \
+             though the final per-depth session never solved: {:?}",
+            stats.solver
+        );
     }
 
     #[test]

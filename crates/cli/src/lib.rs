@@ -92,6 +92,11 @@ pub enum Command {
         preprocess: bool,
         /// Slice each obligation to the cone of influence of its bad.
         coi: bool,
+        /// Write a structured JSONL trace of the run to this path.
+        trace_out: Option<String>,
+        /// Write the full per-obligation report (plus the metrics
+        /// snapshot) as JSON to this path.
+        report_json: Option<String>,
     },
     /// `aqed conventional <case>`
     Conventional {
@@ -154,6 +159,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut fail_fast = false;
             let mut preprocess = true;
             let mut coi = true;
+            let mut trace_out = None;
+            let mut report_json = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -215,6 +222,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             })?);
                     }
                     "--fail-fast" => fail_fast = true,
+                    "--trace-out" => {
+                        i += 1;
+                        trace_out = Some(
+                            args.get(i)
+                                .ok_or_else(|| {
+                                    ParseCommandError("--trace-out needs a path".into())
+                                })?
+                                .clone(),
+                        );
+                    }
+                    "--report-json" => {
+                        i += 1;
+                        report_json = Some(
+                            args.get(i)
+                                .ok_or_else(|| {
+                                    ParseCommandError("--report-json needs a path".into())
+                                })?
+                                .clone(),
+                        );
+                    }
                     "--preprocess" => preprocess = true,
                     "--no-preprocess" => preprocess = false,
                     "--coi" => coi = true,
@@ -238,6 +265,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 fail_fast,
                 preprocess,
                 coi,
+                trace_out,
+                report_json,
             })
         }
         "conventional" => Ok(Command::Conventional {
@@ -273,6 +302,7 @@ USAGE:
                      [--jobs N] [--backend cdcl|dimacs]
                      [--timeout SECS] [--conflict-budget N] [--fail-fast]
                      [--no-preprocess] [--no-coi]
+                     [--trace-out FILE] [--report-json FILE]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
                                        checked on N worker threads (default 1).
@@ -285,6 +315,12 @@ USAGE:
                                        style CNF preprocessing) is on by
                                        default; --no-coi / --no-preprocess
                                        disable its two stages.
+                                       --trace-out streams span/event records
+                                       as JSONL (inspect with trace_report);
+                                       --report-json writes the full
+                                       per-obligation report plus the metrics
+                                       snapshot as JSON. Neither changes the
+                                       verdict or the exit code.
                                        exit codes: 0 clean, 1 bug found,
                                        2 inconclusive, degraded, or usage error
   aqed conventional <case>             run the conventional simulation flow
@@ -401,6 +437,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             fail_fast,
             preprocess,
             coi,
+            trace_out,
+            report_json,
         } => {
             let case = match find_case(case) {
                 Ok(c) => c,
@@ -440,6 +478,30 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             let sched = ScheduleOptions::default()
                 .with_jobs(*jobs)
                 .with_fail_fast(*fail_fast);
+            // Arm observability before the run so metrics and spans
+            // cover it end to end; torn down again below so one
+            // invocation never leaks state into the next (the gates are
+            // process-global).
+            let obs_on = trace_out.is_some() || report_json.is_some();
+            if obs_on {
+                aqed_obs::metrics::global().reset();
+                aqed_obs::set_enabled(true);
+            }
+            let trace_installed = if let Some(path) = trace_out {
+                match aqed_obs::sink::JsonlSink::create(path) {
+                    Ok(sink) => {
+                        aqed_obs::install_sink(std::sync::Arc::new(sink));
+                        true
+                    }
+                    Err(e) => {
+                        aqed_obs::set_enabled(false);
+                        writeln!(out, "error: cannot create trace file '{path}': {e}")?;
+                        return Ok(2);
+                    }
+                }
+            } else {
+                false
+            };
             let report = match backend {
                 BackendChoice::Cdcl => {
                     verify_obligations_scheduled::<Solver>(&composed, &pool, &options, &sched)
@@ -448,8 +510,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                     &composed, &pool, &options, &sched,
                 ),
             };
+            if trace_installed {
+                aqed_obs::uninstall_sink();
+            }
             print_obligation_stats(out, &report, *backend)?;
-            match &report.outcome {
+            let code = match &report.outcome {
                 CheckOutcome::Bug {
                     counterexample: cex,
                     ..
@@ -470,7 +535,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                         std::fs::write(path, dump)?;
                         writeln!(out, "wrote VCD to {path}")?;
                     }
-                    Ok(1) // bug found
+                    1 // bug found
                 }
                 CheckOutcome::Clean { bound } => {
                     writeln!(
@@ -480,17 +545,34 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                     )?;
                     // A degraded run cannot vouch for full coverage even
                     // when every surviving obligation came back clean.
-                    Ok(if report.degraded { 2 } else { 0 })
+                    if report.degraded {
+                        2
+                    } else {
+                        0
+                    }
                 }
                 CheckOutcome::Inconclusive { bound, reason } => {
                     writeln!(out, "inconclusive at bound {bound} ({reason})")?;
-                    Ok(2)
+                    2
                 }
                 CheckOutcome::Errored { message } => {
                     writeln!(out, "error: {message}")?;
-                    Ok(2)
+                    2
                 }
+            };
+            if let Some(path) = report_json {
+                let mut json = report.to_json();
+                let metrics = aqed_obs::metrics::global().snapshot();
+                if let aqed_obs::json::Json::Obj(fields) = &mut json {
+                    fields.push(("metrics".to_string(), metrics.to_json()));
+                }
+                std::fs::write(path, format!("{json}\n"))?;
+                writeln!(out, "wrote report JSON to {path}")?;
             }
+            if obs_on {
+                aqed_obs::set_enabled(false);
+            }
+            Ok(code)
         }
         Command::Conventional { case } => {
             let case = match find_case(case) {
@@ -627,7 +709,9 @@ mod tests {
                 conflict_budget: None,
                 fail_fast: false,
                 preprocess: true,
-                coi: true
+                coi: true,
+                trace_out: None,
+                report_json: None
             })
         );
         assert_eq!(
@@ -644,7 +728,9 @@ mod tests {
                 conflict_budget: None,
                 fail_fast: false,
                 preprocess: true,
-                coi: true
+                coi: true,
+                trace_out: None,
+                report_json: None
             })
         );
         assert_eq!(
@@ -661,7 +747,9 @@ mod tests {
                 conflict_budget: None,
                 fail_fast: false,
                 preprocess: true,
-                coi: true
+                coi: true,
+                trace_out: None,
+                report_json: None
             })
         );
     }
@@ -690,7 +778,9 @@ mod tests {
                 conflict_budget: Some(5000),
                 fail_fast: true,
                 preprocess: true,
-                coi: true
+                coi: true,
+                trace_out: None,
+                report_json: None
             })
         );
         assert!(parse(&["verify", "x", "--timeout"]).is_err());
@@ -769,6 +859,8 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                trace_out: None,
+                report_json: None,
             },
             &mut buf,
         )
@@ -794,6 +886,8 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                trace_out: None,
+                report_json: None,
             },
             &mut buf,
         )
@@ -825,6 +919,8 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                trace_out: None,
+                report_json: None,
             },
             &mut buf,
         )
@@ -852,6 +948,8 @@ mod tests {
                 fail_fast: true,
                 preprocess: true,
                 coi: true,
+                trace_out: None,
+                report_json: None,
             },
             &mut buf,
         )

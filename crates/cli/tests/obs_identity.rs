@@ -1,0 +1,211 @@
+//! Observability must be a pure observer: across the whole design
+//! catalog, running `verify` with `--trace-out` + `--report-json` must
+//! produce exactly the same verdict and exit code as running without
+//! them, and the artifacts themselves must be well-formed — every JSONL
+//! line parses, spans balance per thread, and the report JSON
+//! round-trips through the parser.
+//!
+//! These tests install the process-global trace sink, so they live in
+//! their own integration-test binary (one process per file under
+//! `tests/`) and serialize against each other with a local mutex.
+
+use aqed_cli::{parse_args, run};
+use aqed_obs::json::{parse, Json};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aqed_obs_test_{}_{name}", std::process::id()));
+    p
+}
+
+/// Runs `aqed <args>` in-process, returning (exit code, captured output).
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let cmd = parse_args(args.iter().map(|s| s.to_string())).expect("args must parse");
+    let mut buf = Vec::new();
+    let code = run(&cmd, &mut buf).expect("io");
+    (code, String::from_utf8(buf).expect("utf8"))
+}
+
+/// The verdict line is the first line after the per-obligation block
+/// that announces the merged outcome, with the trailing runtime
+/// parenthetical stripped (wall time legitimately varies run to run).
+fn verdict_line(output: &str) -> String {
+    let line = output
+        .lines()
+        .find(|l| {
+            l.starts_with("clean up to bound")
+                || l.starts_with("bug:")
+                || l.starts_with("inconclusive")
+                || l.starts_with("error:")
+        })
+        .unwrap_or_default();
+    line.split(" (").next().unwrap_or_default().to_string()
+}
+
+#[test]
+fn catalog_verdicts_identical_with_and_without_tracing() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for case in aqed_designs::all_cases() {
+        // Cap the bound: the invariant under test is observational
+        // purity, not bug depth, and the whole catalog runs twice.
+        let bound = case.bmc_bound.min(6).to_string();
+        let trace = tmp_path(&format!("{}.jsonl", case.id));
+        let report = tmp_path(&format!("{}.json", case.id));
+        let plain_args = ["verify", case.id, "--bound", &bound, "--jobs", "2"];
+        let (plain_code, plain_out) = run_cli(&plain_args);
+        let traced_args = [
+            "verify",
+            case.id,
+            "--bound",
+            &bound,
+            "--jobs",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--report-json",
+            report.to_str().unwrap(),
+        ];
+        let (traced_code, traced_out) = run_cli(&traced_args);
+        assert_eq!(
+            plain_code, traced_code,
+            "case {}: tracing changed the exit code",
+            case.id
+        );
+        assert_eq!(
+            verdict_line(&plain_out),
+            verdict_line(&traced_out),
+            "case {}: tracing changed the verdict",
+            case.id
+        );
+        // The report must round-trip through the parser and agree with
+        // the exit code.
+        let json = std::fs::read_to_string(&report).expect("report written");
+        let parsed = parse(&json).expect("report JSON parses");
+        let verdict = parsed
+            .get("outcome")
+            .and_then(|o| o.get("verdict"))
+            .and_then(Json::as_str)
+            .expect("outcome.verdict present");
+        let degraded = parsed
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .expect("degraded present");
+        let expected_code = match verdict {
+            "clean" if !degraded => 0,
+            "bug" => 1,
+            _ => 2,
+        };
+        assert_eq!(
+            traced_code, expected_code,
+            "case {}: exit code disagrees with report verdict '{verdict}'",
+            case.id
+        );
+        assert!(
+            !parsed
+                .get("obligations")
+                .and_then(Json::as_arr)
+                .expect("obligations array")
+                .is_empty(),
+            "case {}: report must list obligations",
+            case.id
+        );
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&report);
+    }
+}
+
+#[test]
+fn trace_is_wellformed_and_obligation_spans_cover_wall_time() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = tmp_path("coverage.jsonl");
+    let report = tmp_path("coverage.json");
+    let (code, _out) = run_cli(&[
+        "verify",
+        "dataflow_fifo_sizing",
+        "--bound",
+        "6",
+        "--healthy",
+        "--jobs",
+        "4",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--report-json",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+
+    // Every line is a self-contained JSON object with the schema keys.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let mut events = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let ev = parse(line).unwrap_or_else(|e| panic!("line {}: {e}", n + 1));
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        assert!(matches!(ph, "B" | "E" | "I"), "line {}: ph {ph}", n + 1);
+        assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        events.push(ev);
+    }
+    assert!(!events.is_empty(), "trace must not be empty");
+
+    // Spans balance per thread: every Begin is closed by a matching End.
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    // Per-obligation wall time reconstructed from the trace (ns).
+    let mut obligation_ns: HashMap<u64, u64> = HashMap::new();
+    let mut open_obligation: HashMap<(u64, String), u64> = HashMap::new();
+    for ev in &events {
+        let tid = ev.get("tid").and_then(Json::as_u64).unwrap();
+        let ts = ev.get("ts").and_then(Json::as_u64).unwrap();
+        let name = ev.get("name").and_then(Json::as_str).unwrap().to_string();
+        match ev.get("ph").and_then(Json::as_str).unwrap() {
+            "B" => {
+                if name == "obligation" {
+                    open_obligation.insert((tid, name.clone()), ts);
+                }
+                stacks.entry(tid).or_default().push(name);
+            }
+            "E" => {
+                let top = stacks
+                    .get_mut(&tid)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| panic!("tid {tid}: End '{name}' with empty stack"));
+                assert_eq!(top, name, "tid {tid}: interleaved span ends");
+                if name == "obligation" {
+                    let begin = open_obligation.remove(&(tid, name)).expect("open span");
+                    let index = ev
+                        .get("args")
+                        .and_then(|a| a.get("index"))
+                        .and_then(Json::as_u64)
+                        .expect("obligation span carries its index");
+                    *obligation_ns.entry(index).or_default() += ts - begin;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid}: unclosed spans {stack:?}");
+    }
+
+    // Acceptance criterion: the per-obligation spans account for ≥95% of
+    // each obligation's reported wall time.
+    let parsed = parse(&std::fs::read_to_string(&report).expect("report written")).unwrap();
+    let obligations = parsed.get("obligations").and_then(Json::as_arr).unwrap();
+    assert!(!obligations.is_empty());
+    for ob in obligations {
+        let index = ob.get("bad_index").and_then(Json::as_u64).unwrap();
+        let wall_ms = ob.get("wall_ms").and_then(Json::as_f64).unwrap();
+        let span_ms = obligation_ns.get(&index).copied().unwrap_or(0) as f64 / 1e6;
+        assert!(
+            span_ms >= wall_ms * 0.95,
+            "obligation {index}: span {span_ms:.3}ms < 95% of wall {wall_ms:.3}ms"
+        );
+    }
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&report);
+}

@@ -55,6 +55,7 @@
 mod hybrid;
 mod monitor;
 mod parallel;
+mod report_json;
 mod verify;
 
 pub use hybrid::{run_hybrid, HybridConfig, HybridOutcome};

@@ -48,13 +48,14 @@
 use crate::verify::{validated_bug, CheckOutcome, PropertyKind};
 use aqed_bmc::{ArmedBudget, Bmc, BmcOptions, BmcResult, BmcStats, Counterexample, StopReason};
 use aqed_expr::ExprPool;
+use aqed_obs::obs_event;
 use aqed_sat::{SatBackend, Solver, StopHandle};
-use aqed_tsys::TransitionSystem;
+use aqed_tsys::{CoiCache, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One independent proof obligation: a single bad property of the
@@ -153,6 +154,9 @@ pub struct ObligationReport {
     /// Solve attempts made (> 1 when conflict-budget retries escalated;
     /// 0 when the job was cancelled before it started).
     pub attempts: u32,
+    /// Wall-clock time this obligation spent on a worker, across all
+    /// attempts (zero when it was drained without running).
+    pub wall: Duration,
 }
 
 /// Aggregate report of an obligation-scheduled verification run.
@@ -315,14 +319,29 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
     );
     let total = obligations.len();
     let workers = sched.jobs.clamp(1, total);
+    let mut run_span = aqed_obs::span("verify.run");
+    if run_span.is_active() {
+        run_span.record("system", composed.name());
+        run_span.record("obligations", total as u64);
+        run_span.record("jobs", workers as u64);
+        for ob in &obligations {
+            obs_event!(
+                "obligation.queued",
+                index = ob.bad_index as u64,
+                name = ob.bad_name.as_str(),
+                property = ob.property.to_string()
+            );
+        }
+    }
+    // One COI cache per run: every obligation slices the same composed
+    // system, and the expensive half of the fixpoint (the per-state
+    // support index) is identical across all of them.
+    let coi_cache = Arc::new(CoiCache::new());
     let armed = ArmedBudget::arm(&options.budget);
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let watchdog_trips = AtomicU64::new(0);
     let results: Mutex<Vec<(usize, ObligationReport)>> = Mutex::new(Vec::with_capacity(total));
-    /// Watchdog bookkeeping: when each in-flight job started and the
-    /// private stop handle to trip if it overstays.
-    type ActiveJobs = Mutex<HashMap<usize, (Instant, StopHandle)>>;
     let active: ActiveJobs = Mutex::new(HashMap::new());
     std::thread::scope(|scope| {
         // The watchdog enforces wall-clock limits even against backends
@@ -350,49 +369,25 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
             });
         }
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(ob) = obligations.get(idx) else {
-                    break;
-                };
-                let report = if let Some(reason) = armed.poll() {
-                    // Deadline already passed or the run was cancelled:
-                    // drain the queue without solving so every obligation
-                    // still gets a report.
-                    ObligationReport {
-                        obligation: ob.clone(),
-                        outcome: CheckOutcome::Inconclusive { bound: 0, reason },
-                        stats: BmcStats::default(),
-                        attempts: 0,
-                    }
-                } else {
-                    let job = armed.child();
-                    lock_unpoisoned(&active)
-                        .insert(idx, (Instant::now(), job.stop_handle().clone()));
-                    let caught = catch_unwind(AssertUnwindSafe(|| {
-                        check_obligation::<B>(composed, pool, options, ob, &job, sched)
-                    }));
-                    lock_unpoisoned(&active).remove(&idx);
-                    match caught {
-                        Ok(r) => r,
-                        Err(payload) => ObligationReport {
-                            obligation: ob.clone(),
-                            outcome: CheckOutcome::Errored {
-                                message: format!(
-                                    "worker panicked: {}",
-                                    panic_message(payload.as_ref())
-                                ),
-                            },
-                            stats: BmcStats::default(),
-                            attempts: 1,
-                        },
-                    }
-                };
-                if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
-                    armed.cancel();
-                }
-                lock_unpoisoned(&results).push((idx, report));
-                completed.fetch_add(1, Ordering::Release);
+            scope.spawn(|| {
+                worker_loop::<B>(
+                    composed,
+                    pool,
+                    options,
+                    sched,
+                    &obligations,
+                    &next,
+                    &completed,
+                    &armed,
+                    &active,
+                    &results,
+                    &coi_cache,
+                );
+                // Scoped threads signal completion before their TLS
+                // destructors run, so the drop-flush of the trace buffer
+                // races against the caller uninstalling the sink. Flush
+                // here, while the scope (and thus the sink) is alive.
+                aqed_obs::flush_local();
             });
         }
     });
@@ -407,6 +402,12 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
     let degraded = reports
         .iter()
         .any(|r| matches!(r.outcome, CheckOutcome::Errored { .. }));
+    if run_span.is_active() {
+        run_span.record("outcome", outcome_code(&outcome));
+        run_span.record("degraded", degraded);
+        run_span.record("coi_cache_hits", coi_cache.hits());
+        run_span.record("coi_cache_misses", coi_cache.misses());
+    }
     ParallelVerifyReport {
         outcome,
         obligations: reports,
@@ -415,6 +416,94 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
         runtime: start.elapsed(),
         degraded,
         watchdog_trips: watchdog_trips.load(Ordering::Relaxed),
+    }
+}
+
+/// Watchdog bookkeeping: when each in-flight job started and the
+/// private stop handle to trip if it overstays.
+type ActiveJobs = Mutex<HashMap<usize, (Instant, StopHandle)>>;
+
+/// One worker's claim-check-report loop, extracted so the spawn closure
+/// can run a trace flush after it returns.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<B: SatBackend + Default>(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    sched: &ScheduleOptions,
+    obligations: &[Obligation],
+    next: &AtomicUsize,
+    completed: &AtomicUsize,
+    armed: &ArmedBudget,
+    active: &ActiveJobs,
+    results: &Mutex<Vec<(usize, ObligationReport)>>,
+    coi_cache: &Arc<CoiCache>,
+) {
+    loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        let Some(ob) = obligations.get(idx) else {
+            break;
+        };
+        let report = if let Some(reason) = armed.poll() {
+            // Deadline already passed or the run was cancelled: drain the
+            // queue without solving so every obligation still gets a
+            // report.
+            obs_event!(
+                "obligation.cancelled",
+                index = ob.bad_index as u64,
+                reason = reason.to_string()
+            );
+            ObligationReport {
+                obligation: ob.clone(),
+                outcome: CheckOutcome::Inconclusive { bound: 0, reason },
+                stats: BmcStats::default(),
+                attempts: 0,
+                wall: Duration::ZERO,
+            }
+        } else {
+            let job = armed.child();
+            let started = Instant::now();
+            lock_unpoisoned(active).insert(idx, (started, job.stop_handle().clone()));
+            let mut sp = aqed_obs::span("obligation");
+            if sp.is_active() {
+                sp.record("index", ob.bad_index as u64);
+                sp.record("name", ob.bad_name.as_str());
+                sp.record("property", ob.property.to_string());
+            }
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                check_obligation::<B>(composed, pool, options, ob, &job, sched, coi_cache)
+            }));
+            lock_unpoisoned(active).remove(&idx);
+            let report = match caught {
+                Ok(r) => r,
+                Err(payload) => {
+                    obs_event!("obligation.panicked", index = ob.bad_index as u64);
+                    ObligationReport {
+                        obligation: ob.clone(),
+                        outcome: CheckOutcome::Errored {
+                            message: format!(
+                                "worker panicked: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        },
+                        stats: BmcStats::default(),
+                        attempts: 1,
+                        wall: started.elapsed(),
+                    }
+                }
+            };
+            if sp.is_active() {
+                sp.record("outcome", outcome_code(&report.outcome));
+                sp.record("attempts", u64::from(report.attempts));
+            }
+            drop(sp);
+            report
+        };
+        if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
+            armed.cancel();
+        }
+        lock_unpoisoned(results).push((idx, report));
+        completed.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -439,6 +528,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 
 /// Runs one obligation to completion on its own pool clone and backend,
 /// retrying with doubled conflict budgets while the schedule allows.
+#[allow(clippy::too_many_arguments)]
 fn check_obligation<B: SatBackend + Default>(
     composed: &TransitionSystem,
     pool: &ExprPool,
@@ -446,7 +536,9 @@ fn check_obligation<B: SatBackend + Default>(
     ob: &Obligation,
     armed: &ArmedBudget,
     sched: &ScheduleOptions,
+    coi_cache: &Arc<CoiCache>,
 ) -> ObligationReport {
+    let started = Instant::now();
     let mut local_pool = pool.clone();
     let mut stats = BmcStats::default();
     let mut attempts = 0u32;
@@ -456,6 +548,7 @@ fn check_obligation<B: SatBackend + Default>(
         let mut attempt_options = options.clone();
         attempt_options.conflict_budget = conflict_budget;
         let mut bmc: Bmc<B> = Bmc::with_backend(composed, attempt_options);
+        bmc.set_coi_cache(Arc::clone(coi_cache));
         bmc.select_bad_indices(composed, &[ob.bad_index]);
         let result = bmc.check_under(composed, &mut local_pool, armed);
         stats.absorb(&bmc.stats());
@@ -474,17 +567,44 @@ fn check_obligation<B: SatBackend + Default>(
                     && armed.poll().is_none()
                 {
                     conflict_budget = conflict_budget.map(|b| b.saturating_mul(2));
+                    obs_event!(
+                        "obligation.retry",
+                        index = ob.bad_index as u64,
+                        attempt = u64::from(attempts),
+                        conflict_budget = conflict_budget.unwrap_or(0)
+                    );
                     continue;
                 }
                 CheckOutcome::Inconclusive { bound, reason }
             }
         };
+        obs_event!(
+            "obligation.done",
+            index = ob.bad_index as u64,
+            outcome = outcome_code(&outcome),
+            reason = match &outcome {
+                CheckOutcome::Inconclusive { reason, .. } => reason.to_string(),
+                _ => String::new(),
+            },
+            attempts = u64::from(attempts)
+        );
         return ObligationReport {
             obligation: ob.clone(),
             outcome,
             stats,
             attempts,
+            wall: started.elapsed(),
         };
+    }
+}
+
+/// Short machine-readable tag for an outcome, used in trace events.
+fn outcome_code(outcome: &CheckOutcome) -> &'static str {
+    match outcome {
+        CheckOutcome::Clean { .. } => "clean",
+        CheckOutcome::Bug { .. } => "bug",
+        CheckOutcome::Inconclusive { .. } => "inconclusive",
+        CheckOutcome::Errored { .. } => "errored",
     }
 }
 

@@ -1,0 +1,206 @@
+//! JSON serialization of verification reports.
+//!
+//! Hand-rolled over [`aqed_obs::json::Json`] (the workspace carries no
+//! serde); the schema is stable and consumed by `verify --report-json`
+//! and downstream tooling. Every duration is reported in milliseconds as
+//! a float to keep the numbers human-scaled.
+
+use crate::parallel::{ObligationReport, ParallelVerifyReport};
+use crate::verify::CheckOutcome;
+use aqed_bmc::BmcStats;
+use aqed_obs::json::Json;
+use aqed_sat::SolverStats;
+use std::time::Duration;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(v: u64) -> Json {
+    // u64 counters can exceed f64's exact-integer range in theory; in
+    // practice solver counters stay far below 2^53. Saturate rather
+    // than silently wrap.
+    Json::Num(v as f64)
+}
+
+fn ms(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e3)
+}
+
+fn solver_stats_json(s: &SolverStats) -> Json {
+    obj(vec![
+        ("decisions", num(s.decisions)),
+        ("propagations", num(s.propagations)),
+        ("conflicts", num(s.conflicts)),
+        ("restarts", num(s.restarts)),
+        ("learnts", num(s.learnts)),
+        ("deleted", num(s.deleted)),
+        ("binary_props", num(s.binary_props)),
+        ("gc_runs", num(s.gc_runs)),
+        ("arena_bytes", num(s.arena_bytes)),
+        ("subsumed", num(s.subsumed)),
+        ("eliminated_vars", num(s.eliminated_vars)),
+        ("preprocess_micros", num(s.preprocess_micros)),
+    ])
+}
+
+fn bmc_stats_json(s: &BmcStats) -> Json {
+    obj(vec![
+        ("frames_encoded", num(s.frames_encoded as u64)),
+        ("solver_calls", num(s.solver_calls)),
+        ("clauses", num(s.clauses as u64)),
+        ("variables", num(s.variables as u64)),
+        ("elapsed_ms", ms(s.elapsed)),
+        ("coi_latches_kept", num(s.coi_latches_kept as u64)),
+        ("coi_latches_dropped", num(s.coi_latches_dropped as u64)),
+        ("solver", solver_stats_json(&s.solver)),
+    ])
+}
+
+fn outcome_json(outcome: &CheckOutcome) -> Json {
+    match outcome {
+        CheckOutcome::Clean { bound } => obj(vec![
+            ("verdict", Json::Str("clean".into())),
+            ("bound", num(*bound as u64)),
+        ]),
+        CheckOutcome::Bug {
+            property,
+            counterexample,
+        } => obj(vec![
+            ("verdict", Json::Str("bug".into())),
+            ("property", Json::Str(property.to_string())),
+            ("bad_name", Json::Str(counterexample.bad_name.clone())),
+            ("bad_index", num(counterexample.bad_index as u64)),
+            ("depth", num(counterexample.depth as u64)),
+            ("cycles", num(counterexample.cycles() as u64)),
+        ]),
+        CheckOutcome::Inconclusive { bound, reason } => obj(vec![
+            ("verdict", Json::Str("inconclusive".into())),
+            ("bound", num(*bound as u64)),
+            ("reason", Json::Str(reason.to_string())),
+        ]),
+        CheckOutcome::Errored { message } => obj(vec![
+            ("verdict", Json::Str("errored".into())),
+            ("message", Json::Str(message.clone())),
+        ]),
+    }
+}
+
+fn obligation_json(r: &ObligationReport) -> Json {
+    obj(vec![
+        ("bad_index", num(r.obligation.bad_index as u64)),
+        ("bad_name", Json::Str(r.obligation.bad_name.clone())),
+        ("property", Json::Str(r.obligation.property.to_string())),
+        ("outcome", outcome_json(&r.outcome)),
+        ("attempts", num(u64::from(r.attempts))),
+        ("wall_ms", ms(r.wall)),
+        ("stats", bmc_stats_json(&r.stats)),
+    ])
+}
+
+impl ParallelVerifyReport {
+    /// Serializes the full report — merged verdict, every per-obligation
+    /// report with its statistics, and the aggregate — as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("outcome", outcome_json(&self.outcome)),
+            (
+                "obligations",
+                Json::Arr(self.obligations.iter().map(obligation_json).collect()),
+            ),
+            ("aggregate", bmc_stats_json(&self.aggregate)),
+            ("jobs", num(self.jobs as u64)),
+            ("runtime_ms", ms(self.runtime)),
+            ("degraded", Json::Bool(self.degraded)),
+            ("watchdog_trips", num(self.watchdog_trips)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::FcConfig;
+    use crate::AqedHarness;
+    use aqed_expr::ExprPool;
+    use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+
+    #[test]
+    fn report_json_round_trips_and_matches_the_report() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("ident", 2, 6, 6).with_latency(2);
+        let lca = synthesize(&spec, &mut p, SynthOptions::default(), |_pool, _a, d| d);
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify_parallel(&mut p, 6, 2);
+        let rendered = report.to_json().to_string();
+        let parsed = aqed_obs::json::parse(&rendered).expect("report JSON must parse");
+        assert_eq!(
+            parsed
+                .get("outcome")
+                .and_then(|o| o.get("verdict"))
+                .and_then(Json::as_str),
+            Some("clean")
+        );
+        let obs = parsed
+            .get("obligations")
+            .and_then(Json::as_arr)
+            .expect("obligations array");
+        assert_eq!(obs.len(), report.obligations.len());
+        for (j, r) in obs.iter().zip(&report.obligations) {
+            assert_eq!(
+                j.get("bad_name").and_then(Json::as_str),
+                Some(r.obligation.bad_name.as_str())
+            );
+            assert_eq!(
+                j.get("stats")
+                    .and_then(|s| s.get("solver_calls"))
+                    .and_then(Json::as_u64),
+                Some(r.stats.solver_calls)
+            );
+        }
+        assert_eq!(
+            parsed
+                .get("aggregate")
+                .and_then(|s| s.get("solver"))
+                .and_then(|s| s.get("conflicts"))
+                .and_then(Json::as_u64),
+            Some(report.aggregate.solver.conflicts)
+        );
+    }
+
+    #[test]
+    fn bug_outcome_serializes_the_witness_summary() {
+        let mut p = ExprPool::new();
+        let spec = AccelSpec::new("inc", 2, 6, 6);
+        let lca = synthesize(
+            &spec,
+            &mut p,
+            SynthOptions {
+                forwarding_bug: true,
+                ..SynthOptions::default()
+            },
+            |pool, _a, d| {
+                let one = pool.lit(6, 1);
+                pool.add(d, one)
+            },
+        );
+        let report = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .verify_parallel(&mut p, 8, 2);
+        assert!(report.found_bug());
+        let parsed = aqed_obs::json::parse(&report.to_json().to_string()).unwrap();
+        let outcome = parsed.get("outcome").unwrap();
+        assert_eq!(outcome.get("verdict").and_then(Json::as_str), Some("bug"));
+        assert_eq!(
+            outcome.get("cycles").and_then(Json::as_u64),
+            report.cex_cycles().map(|c| c as u64)
+        );
+    }
+}

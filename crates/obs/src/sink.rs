@@ -1,0 +1,221 @@
+//! Trace sinks: where batched [`TraceEvent`]s go.
+
+use crate::json::write_escaped;
+use crate::{FieldValue, TraceEvent};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+
+/// A destination for trace events.
+///
+/// Contract: `write_batch` receives events in per-thread timestamp
+/// order, but batches from different threads interleave arbitrarily —
+/// a sink must not assume global ordering. Implementations must be
+/// `Send + Sync` (worker threads flush concurrently) and must never
+/// panic into the tracer (I/O errors are swallowed or remembered, not
+/// thrown). `flush` is called on [`crate::uninstall_sink`] and
+/// [`crate::flush`].
+pub trait TraceSink: Send + Sync {
+    fn write_batch(&self, events: &[TraceEvent]);
+    fn flush(&self) {}
+}
+
+/// Serializes one event as a single JSONL line (no trailing newline).
+#[must_use]
+pub fn event_to_json(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(64);
+    let _ = write!(
+        s,
+        r#"{{"ts":{},"tid":{},"ph":"{}","name":"#,
+        ev.ts_ns,
+        ev.tid,
+        ev.phase.code()
+    );
+    let _ = write_escaped(&mut s, ev.name);
+    if !ev.fields.is_empty() {
+        s.push_str(",\"args\":{");
+        for (i, f) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write_escaped(&mut s, f.key);
+            s.push(':');
+            match &f.value {
+                FieldValue::U64(v) => {
+                    let _ = write!(s, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(s, "{v}");
+                }
+                FieldValue::F64(v) => {
+                    if v.is_finite() {
+                        let _ = write!(s, "{v}");
+                    } else {
+                        s.push_str("null");
+                    }
+                }
+                FieldValue::Bool(v) => s.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => {
+                    let _ = write_escaped(&mut s, v);
+                }
+            }
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Writes events as JSON Lines to a buffered file — the `--trace-out`
+/// sink. I/O errors after creation are silently dropped: tracing must
+/// never take down a verification run.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn write_batch(&self, events: &[TraceEvent]) {
+        let mut out = lock(&self.out);
+        for ev in events {
+            let mut line = event_to_json(ev);
+            line.push('\n');
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.out).flush();
+    }
+}
+
+/// Collects events in memory — for tests and in-process tooling.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything received so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        lock(&self.events).clone()
+    }
+
+    pub fn clear(&self) {
+        lock(&self.events).clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_batch(&self, events: &[TraceEvent]) {
+        lock(&self.events).extend_from_slice(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::Phase;
+
+    #[test]
+    fn event_json_is_well_formed_jsonl() {
+        let ev = TraceEvent {
+            ts_ns: 42,
+            tid: 3,
+            phase: Phase::Instant,
+            name: "weird \"name\"\n",
+            fields: crate::obs_fields!(
+                n = 7u64,
+                neg = -2i64,
+                f = 1.25,
+                b = true,
+                s = "multi\nline \"quoted\""
+            ),
+        };
+        let line = event_to_json(&ev);
+        assert!(!line.contains('\n'), "one event must stay on one line");
+        let v = parse(&line).expect("valid json");
+        assert_eq!(v.get("ts").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("tid").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("ph").and_then(Json::as_str), Some("I"));
+        assert_eq!(
+            v.get("name").and_then(Json::as_str),
+            Some("weird \"name\"\n")
+        );
+        let args = v.get("args").expect("args present");
+        assert_eq!(args.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(args.get("neg").and_then(Json::as_f64), Some(-2.0));
+        assert_eq!(args.get("f").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(args.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            args.get("s").and_then(Json::as_str),
+            Some("multi\nline \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn fieldless_event_omits_args() {
+        let ev = TraceEvent {
+            ts_ns: 1,
+            tid: 1,
+            phase: Phase::Begin,
+            name: "p",
+            fields: vec![],
+        };
+        let line = event_to_json(&ev);
+        assert_eq!(line, r#"{"ts":1,"tid":1,"ph":"B","name":"p"}"#);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("aqed_obs_sink_test_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create");
+        let evs: Vec<TraceEvent> = (0..3)
+            .map(|i| TraceEvent {
+                ts_ns: i,
+                tid: 1,
+                phase: Phase::Instant,
+                name: "tick",
+                fields: crate::obs_fields!(i = i),
+            })
+            .collect();
+        sink.write_batch(&evs);
+        TraceSink::flush(&sink);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, l) in lines.iter().enumerate() {
+            let v = parse(l).expect("each line parses");
+            assert_eq!(
+                v.get("args")
+                    .and_then(|a| a.get("i"))
+                    .and_then(Json::as_u64),
+                Some(i as u64)
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

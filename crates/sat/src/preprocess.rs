@@ -24,7 +24,8 @@
 
 use crate::budget::ArmedBudget;
 use crate::{Lit, Var};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A variable eliminated by resolution, with the clauses it was resolved
 /// out of (needed to extend a model of the reduced formula back to the
@@ -48,6 +49,10 @@ pub(crate) struct PreprocessOutcome {
     pub subsumed: u64,
     /// The empty clause was derived: the formula is unsatisfiable.
     pub unsat: bool,
+    /// Variables pushed back onto the elimination queue because a
+    /// neighbouring pivot's elimination changed their occurrence counts
+    /// (SatELite re-enqueue).
+    pub reenqueued: u64,
 }
 
 /// Skip variable elimination when either polarity occurs more often than
@@ -167,6 +172,7 @@ pub(crate) struct Preprocessor {
     subsumed: u64,
     unsat: bool,
     steps: u64,
+    reenqueued: u64,
 }
 
 impl Preprocessor {
@@ -182,6 +188,7 @@ impl Preprocessor {
             subsumed: 0,
             unsat: false,
             steps: 0,
+            reenqueued: 0,
         };
         for mut lits in cnf {
             lits.sort_unstable();
@@ -191,8 +198,9 @@ impl Preprocessor {
         pp
     }
 
-    /// Runs subsumption + self-subsuming resolution to fixpoint, then one
-    /// ordered bounded-variable-elimination pass (each elimination feeds
+    /// Runs subsumption + self-subsuming resolution to fixpoint, then
+    /// bounded variable elimination ordered by an occurrence-count
+    /// priority queue with neighbour re-enqueue (each elimination feeds
     /// its resolvents back through subsumption). Polls `armed` at a
     /// coarse interval; on a tripped budget the partial simplification is
     /// returned — every transformation is individually sound, so stopping
@@ -324,25 +332,54 @@ impl Preprocessor {
         self.enqueue(di);
     }
 
-    /// One bounded-variable-elimination pass in ascending occurrence
-    /// order, with a subsumption fixpoint after each elimination.
+    /// Estimated elimination cost of a variable: the product of its
+    /// positive and negative occurrence counts (the number of resolvent
+    /// candidates the elimination would have to inspect).
+    fn elim_cost(&self, var: Var) -> u64 {
+        self.occ[var.pos().index()].len() as u64 * self.occ[var.neg().index()].len() as u64
+    }
+
+    /// Bounded variable elimination driven by an occurrence-count
+    /// priority queue (the SatELite heuristic): always attack the
+    /// cheapest pivot first, and after each elimination re-enqueue the
+    /// pivot's neighbours, whose occurrence counts — and therefore
+    /// elimination costs — just changed. Variables whose elimination only
+    /// becomes profitable once a neighbour is gone are retried instead of
+    /// being lost to a single ordered pass. A subsumption fixpoint runs
+    /// after each elimination.
     fn eliminate_variables(&mut self, armed: &ArmedBudget) {
         let num_vars = self.frozen.len();
-        let mut order: Vec<u32> = (0..num_vars as u32)
-            .filter(|&v| !self.frozen[v as usize])
-            .collect();
-        order.sort_by_key(|&v| {
-            let var = Var(v);
-            self.occ[var.pos().index()].len() * self.occ[var.neg().index()].len()
-        });
-        for v in order {
-            if self.unsat || self.frozen[v as usize] {
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut queued = vec![false; num_vars];
+        for v in 0..num_vars as u32 {
+            if !self.frozen[v as usize] {
+                heap.push(Reverse((self.elim_cost(Var(v)), v)));
+                queued[v as usize] = true;
+            }
+        }
+        while let Some(Reverse((cost, v))) = heap.pop() {
+            queued[v as usize] = false;
+            if self.unsat {
+                return;
+            }
+            if self.frozen[v as usize] {
                 continue;
             }
             if !self.poll(armed) {
                 return;
             }
             let var = Var(v);
+            // Heap entries go stale when other eliminations touch this
+            // variable's clauses. If it became more expensive, defer it
+            // behind genuinely cheap pivots. (Costs only change through
+            // eliminations, so each variable is deferred at most once per
+            // elimination — this terminates.)
+            let current = self.elim_cost(var);
+            if current > cost {
+                queued[v as usize] = true;
+                heap.push(Reverse((current, v)));
+                continue;
+            }
             let pos = self.occ[var.pos().index()].clone();
             let neg = self.occ[var.neg().index()].clone();
             if pos.is_empty() && neg.is_empty() {
@@ -388,6 +425,15 @@ impl Preprocessor {
                 self.delete_clause(ci);
             }
             self.frozen[v as usize] = true; // pivot is gone for this run
+            let mut neighbours: Vec<u32> = record
+                .clauses
+                .iter()
+                .flat_map(|c| c.iter())
+                .map(|l| l.var().0)
+                .filter(|&u| u != v)
+                .collect();
+            neighbours.sort_unstable();
+            neighbours.dedup();
             self.records.push(record);
             for r in resolvents {
                 self.insert_clause(r);
@@ -397,6 +443,16 @@ impl Preprocessor {
             }
             if !self.subsumption_fixpoint(armed) {
                 return;
+            }
+            // Re-enqueue the neighbourhood with fresh costs: every
+            // variable that shared a clause with the pivot just had its
+            // occurrence counts rewritten by the resolvent swap.
+            for u in neighbours {
+                if !self.frozen[u as usize] && !queued[u as usize] {
+                    queued[u as usize] = true;
+                    self.reenqueued += 1;
+                    heap.push(Reverse((self.elim_cost(Var(u)), u)));
+                }
             }
         }
     }
@@ -421,6 +477,7 @@ impl Preprocessor {
             eliminated: self.records,
             subsumed: self.subsumed,
             unsat: self.unsat,
+            reenqueued: self.reenqueued,
         }
     }
 }
@@ -512,6 +569,50 @@ mod tests {
         assert_eq!(resolve(&a, &b, Var(1)), Some(lits(&[1, 3, 5])));
         let c = lits(&[-2, -1]);
         assert_eq!(resolve(&a, &c, Var(1)), None);
+    }
+
+    #[test]
+    fn elimination_reenqueues_neighbours_of_a_pivot() {
+        // Vars: A=1, B=2, frozen f1..f20 = 3..22, g = 23, h = 24, h2 = 25.
+        // Both pivots start with elimination cost 2 (pos·neg), so A (the
+        // lower index) is popped first; its only resolvent
+        // (c1 = (A ∨ f1..f20)) × (c2 = (¬A ∨ g)) has 21 literals
+        // > RESOLVENT_LEN_LIMIT, so A is skipped and leaves the queue.
+        // Eliminating B next rewrites (A ∨ B) into (A ∨ h)/(A ∨ h2) —
+        // touching A's occurrences — which must push A back onto the
+        // queue (where it is retried, skipped again, and counted).
+        let fs: Vec<i32> = (3..=22).collect();
+        let mut c1: Vec<i32> = vec![1];
+        c1.extend(&fs);
+        let c2 = [-1, 23];
+        let c3 = [1, 2];
+        let c4 = [-2, 24];
+        let c5 = [-2, 25];
+        let frozen: Vec<u32> = (3..=25).map(|v| v as u32).collect();
+        let out = run(25, &[&c1, &c2, &c3, &c4, &c5], &frozen);
+        assert!(!out.unsat);
+        let pivots: Vec<Var> = out.eliminated.iter().map(|r| r.var).collect();
+        assert_eq!(pivots, vec![Var(1)], "only B is eliminable");
+        assert_eq!(
+            out.reenqueued, 1,
+            "A must be re-enqueued by B's elimination"
+        );
+        // A survives with its rewritten occurrences present.
+        assert!(out.clauses.contains(&lits(&[1, 24])));
+        assert!(out.clauses.contains(&lits(&[1, 25])));
+    }
+
+    #[test]
+    fn queue_converges_on_chains() {
+        // A chain 1→2→3→4 with nothing frozen collapses completely; the
+        // re-enqueue logic must terminate and leave no eliminable pivot.
+        let out = run(4, &[&[1, 2], &[-2, 3], &[-3, 4]], &[]);
+        assert!(!out.unsat);
+        assert!(out.clauses.is_empty());
+        // Pure-literal cascades delete every clause; the last variable
+        // ends up unconstrained (no occurrences), which is skipped, not
+        // eliminated.
+        assert_eq!(out.eliminated.len(), 3);
     }
 
     #[test]

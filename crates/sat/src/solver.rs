@@ -206,6 +206,28 @@ pub struct Solver {
     /// Clause count right after the last preprocessor run; gates when the
     /// next run is worthwhile.
     last_simp_clauses: usize,
+    /// Observability sampling state; only touched at the coarse budget
+    /// tick, and only when `aqed_obs::enabled()`.
+    obs: ObsState,
+}
+
+/// CDCL progress sampling: resolved metric handles plus the previous
+/// sample point, so each tick records deltas (conflict rate,
+/// per-propagation latency) instead of cumulative totals.
+#[derive(Debug, Clone, Default)]
+struct ObsState {
+    handles: Option<ObsHandles>,
+    /// `(wall clock, conflicts, propagations)` at the previous sample.
+    last: Option<(std::time::Instant, u64, u64)>,
+    samples: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ObsHandles {
+    /// Conflicts per second between consecutive budget ticks.
+    conflict_rate: aqed_obs::metrics::Histogram,
+    /// Mean nanoseconds per propagation between consecutive ticks.
+    prop_latency: aqed_obs::metrics::Histogram,
 }
 
 /// How many search steps (conflicts + decisions) pass between armed
@@ -284,6 +306,7 @@ impl Solver {
             elim_index: Vec::new(),
             elim_stack: Vec::new(),
             last_simp_clauses: 0,
+            obs: ObsState::default(),
         }
     }
 
@@ -1062,6 +1085,53 @@ impl Solver {
         result
     }
 
+    /// CDCL progress sample, taken at the coarse budget tick (the one
+    /// place search already pays for `Instant::now`). Records the
+    /// conflict-rate and propagation-latency deltas since the previous
+    /// tick into log-bucketed histograms and emits a periodic
+    /// `sat.progress` trace event (conflicts, restarts, learnt-DB size).
+    /// A relaxed-load no-op when observability is off.
+    #[cold]
+    fn obs_sample(&mut self) {
+        if !aqed_obs::enabled() {
+            self.obs.last = None;
+            return;
+        }
+        let now = std::time::Instant::now();
+        let conflicts = self.stats.conflicts;
+        let props = self.stats.propagations;
+        if let Some((t0, c0, p0)) = self.obs.last {
+            let dt_ns = u64::try_from(now.duration_since(t0).as_nanos()).unwrap_or(u64::MAX);
+            let dc = conflicts.saturating_sub(c0);
+            let dp = props.saturating_sub(p0);
+            if let Some(rate) = dc.saturating_mul(1_000_000_000).checked_div(dt_ns) {
+                let h = self.obs.handles.get_or_insert_with(|| {
+                    let m = aqed_obs::metrics::global();
+                    ObsHandles {
+                        conflict_rate: m.histogram("sat.conflict_rate_per_s"),
+                        prop_latency: m.histogram("sat.prop_latency_ns"),
+                    }
+                });
+                h.conflict_rate.record(rate);
+                if let Some(lat) = dt_ns.checked_div(dp) {
+                    h.prop_latency.record(lat);
+                }
+            }
+        }
+        self.obs.last = Some((now, conflicts, props));
+        self.obs.samples += 1;
+        if self.obs.samples.is_multiple_of(16) {
+            aqed_obs::obs_event!(
+                "sat.progress",
+                conflicts = conflicts,
+                propagations = props,
+                restarts = self.stats.restarts,
+                learnts = self.num_learnts,
+                clauses = self.num_clauses(),
+            );
+        }
+    }
+
     fn search(
         &mut self,
         conflicts_allowed: u64,
@@ -1100,6 +1170,7 @@ impl Solver {
                 }
                 self.tick += 1;
                 if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+                    self.obs_sample();
                     if let Some(reason) = self.check_armed() {
                         self.backtrack_to(0);
                         return SearchOutcome::Interrupted(reason);
@@ -1108,6 +1179,7 @@ impl Solver {
             } else {
                 self.tick += 1;
                 if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
+                    self.obs_sample();
                     if let Some(reason) = self.check_armed() {
                         self.backtrack_to(0);
                         return SearchOutcome::Interrupted(reason);
@@ -1249,6 +1321,7 @@ impl Solver {
     /// irredundant set.
     fn preprocess(&mut self, assumptions: &[Lit]) {
         debug_assert_eq!(self.decision_level(), 0);
+        let mut obs_span = aqed_obs::span("sat.preprocess");
         let start = std::time::Instant::now();
         let mut frozen = self.frozen.clone();
         for &a in assumptions {
@@ -1302,7 +1375,22 @@ impl Solver {
             }
         }
         let armed = self.armed.clone();
+        let clauses_in = cnf.len();
         let outcome = Preprocessor::new(self.num_vars(), cnf, frozen).run(&armed);
+        if aqed_obs::enabled() {
+            let m = aqed_obs::metrics::global();
+            m.counter("pp.rounds").inc();
+            m.counter("pp.subsumed").add(outcome.subsumed);
+            m.counter("pp.reenqueues").add(outcome.reenqueued);
+            m.histogram("pp.elims_per_round")
+                .record(outcome.eliminated.len() as u64);
+            obs_span.record("clauses_in", clauses_in);
+            obs_span.record("clauses_out", outcome.clauses.len());
+            obs_span.record("subsumed", outcome.subsumed);
+            obs_span.record("eliminated", outcome.eliminated.len());
+            obs_span.record("reenqueued", outcome.reenqueued);
+            obs_span.record("unsat", outcome.unsat);
+        }
         self.rebuild(outcome, learnt_keep);
         self.stats.preprocess_micros += start.elapsed().as_micros() as u64;
         self.last_simp_clauses = self.num_clauses().max(1);

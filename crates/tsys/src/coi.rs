@@ -17,7 +17,9 @@
 
 use crate::{StateVar, TransitionSystem};
 use aqed_expr::{ExprPool, ExprRef, VarId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of [`coi_slice`]: the reduced system plus the bookkeeping
 /// needed to map a verdict on the slice back onto the original system.
@@ -51,6 +53,35 @@ pub struct CoiSlice {
 /// Panics if a bad index is out of range.
 #[must_use]
 pub fn coi_slice(ts: &TransitionSystem, pool: &ExprPool, bad_indices: &[usize]) -> CoiSlice {
+    coi_slice_cached(ts, pool, bad_indices, None)
+}
+
+/// [`coi_slice`] with an optional per-run [`CoiCache`]. With a cache,
+/// the expensive part — the support fixpoint over the whole system —
+/// runs once per `(system, bad-set)` key instead of once per BMC call;
+/// only the (cheap) construction of the sliced system repeats.
+///
+/// # Panics
+///
+/// Panics if a bad index is out of range, or if `cache` was previously
+/// used with a different system (see [`CoiCache`]).
+#[must_use]
+pub fn coi_slice_cached(
+    ts: &TransitionSystem,
+    pool: &ExprPool,
+    bad_indices: &[usize],
+    cache: Option<&CoiCache>,
+) -> CoiSlice {
+    let cone = match cache {
+        None => Arc::new(compute_cone(ts, pool, bad_indices)),
+        Some(cache) => cache.cone(ts, pool, bad_indices),
+    };
+    build_slice(ts, pool, bad_indices, &cone)
+}
+
+/// The least-fixpoint variable support of the selected bads plus every
+/// constraint, closed under `next`/`init` of in-cone state variables.
+fn compute_cone(ts: &TransitionSystem, pool: &ExprPool, bad_indices: &[usize]) -> HashSet<VarId> {
     let roots: Vec<ExprRef> = bad_indices
         .iter()
         .map(|&i| ts.bads()[i].1)
@@ -72,7 +103,15 @@ pub fn coi_slice(ts: &TransitionSystem, pool: &ExprPool, bad_indices: &[usize]) 
             }
         }
     }
+    cone
+}
 
+fn build_slice(
+    ts: &TransitionSystem,
+    pool: &ExprPool,
+    bad_indices: &[usize],
+    cone: &HashSet<VarId>,
+) -> CoiSlice {
     let mut sliced = TransitionSystem::new(format!("{}#coi", ts.name()));
     sliced.inputs = ts
         .inputs()
@@ -107,6 +146,161 @@ pub fn coi_slice(ts: &TransitionSystem, pool: &ExprPool, bad_indices: &[usize]) 
 
 fn state_of(ts: &TransitionSystem, v: VarId) -> Option<&StateVar> {
     ts.state_index.get(&v).map(|&i| &ts.states[i])
+}
+
+/// Per-run memo for the COI support fixpoint, shared (via `Arc`) by all
+/// obligations of one parallel verification run.
+///
+/// Two levels of reuse:
+///
+/// 1. A **support index** — per-bad and per-constraint variable
+///    supports plus each state variable's `next`/`init` dependencies —
+///    built once on first use. Every subsequent cone is a cheap BFS
+///    over precomputed lists instead of a fresh expression traversal.
+/// 2. A **cone memo** keyed by the sorted bad-index set, so retries and
+///    repeated checks of the same obligation skip even the BFS.
+///
+/// # One system per cache
+///
+/// `VarId`s and bad indices are only meaningful relative to one
+/// `(TransitionSystem, ExprPool)` pair. The cache fingerprints the
+/// first system it sees and panics if later queries disagree — create
+/// one cache per composed system per run, never a process-global one.
+#[derive(Debug, Default)]
+pub struct CoiCache {
+    index: OnceLock<SupportIndex>,
+    cones: Mutex<HashMap<Vec<usize>, Arc<HashSet<VarId>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SupportIndex {
+    /// `(name, #inputs, #states, #bads)` of the system the cache is
+    /// bound to.
+    fingerprint: (String, usize, usize, usize),
+    /// Support of each bad expression, by bad index.
+    bads: Vec<Vec<VarId>>,
+    /// Union of the supports of all constraints.
+    constraints: Vec<VarId>,
+    /// For each state variable, the support of its `next` and `init`.
+    state_deps: HashMap<VarId, Vec<VarId>>,
+}
+
+impl SupportIndex {
+    fn build(ts: &TransitionSystem, pool: &ExprPool) -> Self {
+        SupportIndex {
+            fingerprint: fingerprint(ts),
+            bads: ts.bads().iter().map(|(_, e)| pool.support(*e)).collect(),
+            constraints: pool.support_all(ts.constraints().iter().copied()),
+            state_deps: ts
+                .states()
+                .iter()
+                .map(|s| {
+                    (
+                        s.var,
+                        pool.support_all([s.next, s.init].into_iter().flatten()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Cone BFS over the precomputed supports; equivalent to
+    /// [`compute_cone`].
+    fn cone(&self, bad_indices: &[usize]) -> HashSet<VarId> {
+        let mut cone: HashSet<VarId> = HashSet::new();
+        let mut frontier: Vec<VarId> = Vec::new();
+        let seeds = bad_indices
+            .iter()
+            .flat_map(|&i| self.bads[i].iter())
+            .chain(self.constraints.iter());
+        for &v in seeds {
+            if cone.insert(v) {
+                frontier.push(v);
+            }
+        }
+        while let Some(v) = frontier.pop() {
+            let Some(deps) = self.state_deps.get(&v) else {
+                continue;
+            };
+            for &d in deps {
+                if cone.insert(d) {
+                    frontier.push(d);
+                }
+            }
+        }
+        cone
+    }
+}
+
+fn fingerprint(ts: &TransitionSystem) -> (String, usize, usize, usize) {
+    (
+        ts.name().to_owned(),
+        ts.inputs().len(),
+        ts.states().len(),
+        ts.bads().len(),
+    )
+}
+
+impl CoiCache {
+    #[must_use]
+    pub fn new() -> Self {
+        CoiCache::default()
+    }
+
+    /// Cone memo lookups that were served without recomputation.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cone memo lookups that had to run the BFS.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn cone(
+        &self,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+        bad_indices: &[usize],
+    ) -> Arc<HashSet<VarId>> {
+        let index = self.index.get_or_init(|| SupportIndex::build(ts, pool));
+        assert_eq!(
+            index.fingerprint,
+            fingerprint(ts),
+            "CoiCache reused across different systems"
+        );
+        let mut key: Vec<usize> = bad_indices.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(cone) = lock_cones(&self.cones).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                aqed_obs::metrics::global().counter("coi.cache.hits").inc();
+            }
+            return cone.clone();
+        }
+        // Compute outside the lock; concurrent misses on the same key do
+        // (identical) duplicate work and the last insert wins — benign.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if aqed_obs::enabled() {
+            aqed_obs::metrics::global()
+                .counter("coi.cache.misses")
+                .inc();
+        }
+        let cone = Arc::new(index.cone(&key));
+        lock_cones(&self.cones).insert(key, cone.clone());
+        cone
+    }
+}
+
+fn lock_cones(
+    m: &Mutex<HashMap<Vec<usize>, Arc<HashSet<VarId>>>>,
+) -> std::sync::MutexGuard<'_, HashMap<Vec<usize>, Arc<HashSet<VarId>>>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -184,6 +378,47 @@ mod tests {
         assert_eq!(slice.system.constraints().len(), 1);
         assert!(slice.system.inputs().contains(&ena));
         slice.system.validate(&p).expect("slice is well-formed");
+    }
+
+    #[test]
+    fn cached_slices_match_uncached_and_count_hits() {
+        let mut p = ExprPool::new();
+        let ts = two_counters(&mut p);
+        let cache = CoiCache::new();
+        for &bads in &[&[0usize][..], &[1], &[0, 1]] {
+            let plain = coi_slice(&ts, &p, bads);
+            let cached = coi_slice_cached(&ts, &p, bads, Some(&cache));
+            assert_eq!(plain.bad_map, cached.bad_map);
+            assert_eq!(plain.latches_kept, cached.latches_kept);
+            assert_eq!(plain.latches_dropped, cached.latches_dropped);
+            assert_eq!(plain.inputs_kept, cached.inputs_kept);
+            assert_eq!(plain.system.bads().len(), cached.system.bads().len());
+            assert_eq!(plain.system.states().len(), cached.system.states().len());
+            assert_eq!(plain.system.inputs(), cached.system.inputs());
+            cached
+                .system
+                .validate(&p)
+                .expect("cached slice is well-formed");
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        // Re-slicing any seen bad-set is a pure memo hit.
+        let _ = coi_slice_cached(&ts, &p, &[1], Some(&cache));
+        let _ = coi_slice_cached(&ts, &p, &[0, 1], Some(&cache));
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "CoiCache reused across different systems")]
+    fn cache_rejects_a_different_system() {
+        let mut p = ExprPool::new();
+        let ts = two_counters(&mut p);
+        let cache = CoiCache::new();
+        let _ = coi_slice_cached(&ts, &p, &[0], Some(&cache));
+        let mut other = two_counters(&mut p);
+        other.add_bad("extra", other.bads()[0].1);
+        let _ = coi_slice_cached(&other, &p, &[0], Some(&cache));
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod trace;
 mod vcd;
 
 pub use btor2::{btor2_check, btor2_stats, to_btor2, Btor2Stats};
-pub use coi::{coi_slice, CoiSlice};
+pub use coi::{coi_slice, coi_slice_cached, CoiCache, CoiSlice};
 pub use mem::Mem;
 pub use mutate::{enumerate_mutants, Mutant, Mutator};
 pub use sim::{Simulator, StepRecord};

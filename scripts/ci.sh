@@ -57,4 +57,34 @@ for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
     done
 done
 
+echo "== observability: traced catalog verify, trace validation, zero-cost-off"
+# Every catalog design runs once with tracing + report JSON on; the
+# resulting JSONL must pass trace_report's structural validation
+# (parseable lines, balanced per-thread spans) and the report JSON must
+# be non-empty. The obs_identity test already pins that tracing never
+# changes verdicts; this phase pins the shipped binaries end to end.
+cargo build --release -q -p aqed-bench --bin trace_report
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
+    rc=0
+    ./target/release/aqed verify "$case" --bound 8 --jobs 4 \
+        --trace-out "$obs_tmp/$case.jsonl" \
+        --report-json "$obs_tmp/$case.json" >/dev/null || rc=$?
+    if [ "$rc" -gt 1 ]; then
+        echo "traced verify of '$case' failed with rc=$rc" >&2
+        exit 1
+    fi
+    ./target/release/trace_report "$obs_tmp/$case.jsonl" --check
+    if ! [ -s "$obs_tmp/$case.json" ]; then
+        echo "empty report JSON for '$case'" >&2
+        exit 1
+    fi
+done
+# Tracing off must cost nothing: with no --trace-out/--report-json the
+# obs layer is disarmed and must never touch the clock or buffer an
+# event. That invariant is asserted structurally (not by flaky timing)
+# in the obs crate's disabled_records_nothing_and_reads_no_clock test.
+cargo test -q -p aqed-obs disabled_records_nothing_and_reads_no_clock
+
 echo "CI OK"
