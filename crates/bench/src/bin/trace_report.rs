@@ -10,8 +10,13 @@
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when the trace fails validation
-//! (unparseable line, unknown phase, unbalanced or interleaved spans),
-//! 2 on usage or I/O errors.
+//! (unparseable line, unknown phase, unbalanced or interleaved spans,
+//! unmatched async events), 2 on usage or I/O errors.
+//!
+//! Synchronous spans (`B`/`E`) pair by per-thread nesting. Async spans
+//! (`b`/`e`) carry an `id` and pair by `(name, id)` regardless of
+//! thread — this is how an obligation span is followed across portfolio
+//! workers and retries, where the work migrates between threads.
 
 use aqed_obs::json::{parse, Json};
 use std::collections::{BTreeMap, HashMap};
@@ -23,9 +28,12 @@ struct Event {
     /// Nanoseconds since trace start.
     ts: u64,
     tid: u64,
-    /// `'B'` span begin, `'E'` span end, `'I'` instant.
+    /// `'B'` span begin, `'E'` span end, `'I'` instant, `'b'`/`'e'`
+    /// async span begin/end (paired by `id`, not by thread).
     ph: char,
     name: String,
+    /// Async span id; present exactly on `'b'`/`'e'` events.
+    id: Option<u64>,
     args: Vec<(String, String)>,
 }
 
@@ -61,9 +69,18 @@ fn parse_line(n: usize, line: &str) -> Result<Event, String> {
         Some("B") => 'B',
         Some("E") => 'E',
         Some("I") => 'I',
+        Some("b") => 'b',
+        Some("e") => 'e',
         Some(other) => return Err(format!("line {}: unknown phase '{other}'", n + 1)),
         None => return Err(format!("line {}: missing 'ph'", n + 1)),
     };
+    let id = ev.get("id").and_then(Json::as_u64);
+    if matches!(ph, 'b' | 'e') && id.is_none() {
+        return Err(format!(
+            "line {}: async event '{ph}' missing integer 'id'",
+            n + 1
+        ));
+    }
     let name = ev
         .get("name")
         .and_then(Json::as_str)
@@ -82,6 +99,7 @@ fn parse_line(n: usize, line: &str) -> Result<Event, String> {
         tid,
         ph,
         name,
+        id,
         args,
     })
 }
@@ -89,11 +107,29 @@ fn parse_line(n: usize, line: &str) -> Result<Event, String> {
 /// An open span awaiting its End: name, start timestamp, Begin args.
 type OpenSpan = (String, u64, Vec<(String, String)>);
 
-/// Matches Begin/End pairs per thread; fails on interleaved or
-/// unbalanced spans, which would mean the tracer itself is broken.
+/// An open async span awaiting its `'e'`: begin tid, start timestamp,
+/// begin args.
+type OpenAsync = (u64, u64, Vec<(String, String)>);
+
+/// Merges End-event args over Begin-event args (End wins on clashes).
+fn merge_args(args: &mut Vec<(String, String)>, end: &[(String, String)]) {
+    for (k, v) in end {
+        if let Some(slot) = args.iter_mut().find(|(ak, _)| ak == k) {
+            slot.1.clone_from(v);
+        } else {
+            args.push((k.clone(), v.clone()));
+        }
+    }
+}
+
+/// Matches Begin/End pairs per thread and async pairs by `(name, id)`
+/// across threads; fails on interleaved or unbalanced spans, which
+/// would mean the tracer itself is broken.
 fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
     // Per-thread stack of open spans.
     let mut open: HashMap<u64, Vec<OpenSpan>> = HashMap::new();
+    // Open async spans, keyed by (name, id) — thread-independent.
+    let mut open_async: HashMap<(String, u64), OpenAsync> = HashMap::new();
     let mut spans = Vec::new();
     for ev in events {
         match ev.ph {
@@ -101,6 +137,36 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
                 .entry(ev.tid)
                 .or_default()
                 .push((ev.name.clone(), ev.ts, ev.args.clone())),
+            'b' => {
+                let id = ev.id.unwrap_or(0);
+                if open_async
+                    .insert((ev.name.clone(), id), (ev.tid, ev.ts, ev.args.clone()))
+                    .is_some()
+                {
+                    return Err(format!(
+                        "duplicate async begin '{}' id {id} at {}ns",
+                        ev.name, ev.ts
+                    ));
+                }
+            }
+            'e' => {
+                let id = ev.id.unwrap_or(0);
+                let Some((tid, start, mut args)) = open_async.remove(&(ev.name.clone(), id)) else {
+                    return Err(format!(
+                        "async end '{}' id {id} at {}ns with no matching begin",
+                        ev.name, ev.ts
+                    ));
+                };
+                merge_args(&mut args, &ev.args);
+                spans.push(Span {
+                    tid,
+                    name: ev.name.clone(),
+                    start_ns: start,
+                    dur_ns: ev.ts.saturating_sub(start),
+                    depth: 0,
+                    args,
+                });
+            }
             'E' => {
                 let Some((name, start, mut args)) = open.get_mut(&ev.tid).and_then(Vec::pop) else {
                     return Err(format!(
@@ -114,13 +180,7 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
                         ev.tid, ev.name
                     ));
                 }
-                for (k, v) in &ev.args {
-                    if let Some(slot) = args.iter_mut().find(|(ak, _)| ak == k) {
-                        slot.1 = v.clone();
-                    } else {
-                        args.push((k.clone(), v.clone()));
-                    }
-                }
+                merge_args(&mut args, &ev.args);
                 let depth = open.get(&ev.tid).map_or(0, Vec::len);
                 spans.push(Span {
                     tid: ev.tid,
@@ -139,6 +199,14 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
             let names: Vec<&str> = stack.iter().map(|(n, _, _)| n.as_str()).collect();
             return Err(format!("tid {tid}: unclosed spans at EOF: {names:?}"));
         }
+    }
+    if !open_async.is_empty() {
+        let mut names: Vec<String> = open_async
+            .keys()
+            .map(|(n, id)| format!("{n}#{id}"))
+            .collect();
+        names.sort();
+        return Err(format!("unclosed async spans at EOF: {names:?}"));
     }
     Ok(spans)
 }
@@ -236,6 +304,12 @@ fn chrome_json(events: &[Event]) -> String {
             if ev.ph == 'I' {
                 fields.push(("s", Json::from("t")));
             }
+            if let Some(id) = ev.id {
+                // Chrome requires both an id and a category on async
+                // ("b"/"e") events to group them into one track.
+                fields.push(("id", Json::num(id)));
+                fields.push(("cat", Json::from(ev.name.as_str())));
+            }
             if !ev.args.is_empty() {
                 fields.push((
                     "args",
@@ -320,12 +394,14 @@ fn main() -> ExitCode {
     };
     let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
     let instant_count = events.iter().filter(|e| e.ph == 'I').count();
+    let async_count = events.iter().filter(|e| e.ph == 'b').count();
 
     if check_only {
         println!(
-            "OK: {} events ({} spans, {} instants) on {} thread(s), all spans balanced",
+            "OK: {} events ({} spans, {} async, {} instants) on {} thread(s), all spans balanced",
             events.len(),
             spans.len(),
+            async_count,
             instant_count,
             threads.len()
         );
@@ -333,9 +409,10 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{} events ({} spans, {} instants) on {} thread(s)\n",
+        "{} events ({} spans, {} async, {} instants) on {} thread(s)\n",
         events.len(),
         spans.len(),
+        async_count,
         instant_count,
         threads.len()
     );

@@ -96,6 +96,17 @@ pub struct BmcOptions {
     /// variable elimination) before searching (default true). Backends
     /// without a preprocessor ignore the request.
     pub preprocess: bool,
+    /// Escalation hint forwarded to the backend via
+    /// [`SatBackend::set_escalation_level`]: how many budget-exhausted
+    /// retries preceded this run. `None` (default) leaves the backend's
+    /// own policy untouched — the portfolio backend then races at full
+    /// width on every solve. The obligation scheduler sets `Some(0)` on
+    /// first attempts so easy obligations stay on one solver.
+    pub escalation_level: Option<u32>,
+    /// Label forwarded to the backend via
+    /// [`SatBackend::set_metrics_scope`] (e.g. `"prop=fc"`), separating
+    /// the backend's metric histograms per obligation / property class.
+    pub metrics_scope: Option<String>,
 }
 
 impl Default for BmcOptions {
@@ -108,6 +119,8 @@ impl Default for BmcOptions {
             prune_checked_bads: false,
             coi: true,
             preprocess: true,
+            escalation_level: None,
+            metrics_scope: None,
         }
     }
 }
@@ -160,6 +173,20 @@ impl BmcOptions {
     #[must_use]
     pub fn with_preprocess(mut self, preprocess: bool) -> Self {
         self.preprocess = preprocess;
+        self
+    }
+
+    /// Returns the options with a backend escalation hint.
+    #[must_use]
+    pub fn with_escalation_level(mut self, level: Option<u32>) -> Self {
+        self.escalation_level = level;
+        self
+    }
+
+    /// Returns the options with a backend metrics scope label.
+    #[must_use]
+    pub fn with_metrics_scope(mut self, scope: Option<String>) -> Self {
+        self.metrics_scope = scope;
         self
     }
 }
@@ -689,6 +716,12 @@ impl<B: SatBackend + Default> Session<B> {
         backend.set_conflict_budget(options.conflict_budget);
         backend.set_budget(armed.clone());
         backend.set_preprocessing(options.preprocess);
+        if let Some(level) = options.escalation_level {
+            backend.set_escalation_level(level);
+        }
+        if let Some(scope) = &options.metrics_scope {
+            backend.set_metrics_scope(scope);
+        }
         Session {
             backend,
             blaster: BitBlaster::new(),

@@ -20,7 +20,7 @@ use aqed_core::{
 };
 use aqed_designs::{all_cases, BugCase};
 use aqed_expr::ExprPool;
-use aqed_sat::{DimacsBackend, Solver};
+use aqed_sat::{DimacsBackend, PortfolioBackend, Solver};
 use aqed_sim::Testbench;
 use aqed_tsys::{to_btor2, to_vcd};
 use std::fmt;
@@ -33,6 +33,9 @@ pub enum BackendChoice {
     Cdcl,
     /// The CDCL solver wrapped in an iCNF (incremental DIMACS) logger.
     Dimacs,
+    /// A portfolio of diversified CDCL solvers racing per solve call,
+    /// with clause sharing (`--portfolio-workers` sets the width).
+    Portfolio,
 }
 
 impl fmt::Display for BackendChoice {
@@ -40,6 +43,7 @@ impl fmt::Display for BackendChoice {
         f.write_str(match self {
             BackendChoice::Cdcl => "cdcl",
             BackendChoice::Dimacs => "dimacs",
+            BackendChoice::Portfolio => "portfolio",
         })
     }
 }
@@ -51,8 +55,9 @@ impl std::str::FromStr for BackendChoice {
         match s {
             "cdcl" => Ok(BackendChoice::Cdcl),
             "dimacs" => Ok(BackendChoice::Dimacs),
+            "portfolio" => Ok(BackendChoice::Portfolio),
             other => Err(ParseCommandError(format!(
-                "unknown backend '{other}' (expected 'cdcl' or 'dimacs')"
+                "unknown backend '{other}' (expected 'cdcl', 'dimacs' or 'portfolio')"
             ))),
         }
     }
@@ -81,6 +86,10 @@ pub enum Command {
         jobs: usize,
         /// SAT backend to drive.
         backend: BackendChoice,
+        /// Race width for `--backend portfolio` (ignored otherwise).
+        portfolio_workers: usize,
+        /// Whether portfolio workers exchange short learnt clauses.
+        clause_sharing: bool,
         /// Wall-clock deadline in seconds for the whole run.
         timeout: Option<u64>,
         /// Conflict budget per solver call (retried with doubled budget
@@ -154,6 +163,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut witness = false;
             let mut jobs = 1;
             let mut backend = BackendChoice::default();
+            let mut portfolio_workers = 4;
+            let mut clause_sharing = true;
             let mut timeout = None;
             let mut conflict_budget = None;
             let mut fail_fast = false;
@@ -201,6 +212,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             .ok_or_else(|| ParseCommandError("--backend needs a name".into()))?
                             .parse()?;
                     }
+                    "--portfolio-workers" => {
+                        i += 1;
+                        let v = args.get(i).ok_or_else(|| {
+                            ParseCommandError("--portfolio-workers needs a value".into())
+                        })?;
+                        portfolio_workers =
+                            v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                                ParseCommandError(format!("invalid worker count '{v}'"))
+                            })?;
+                    }
+                    "--no-clause-sharing" => clause_sharing = false,
                     "--timeout" => {
                         i += 1;
                         let v = args.get(i).ok_or_else(|| {
@@ -260,6 +282,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 witness,
                 jobs,
                 backend,
+                portfolio_workers,
+                clause_sharing,
                 timeout,
                 conflict_budget,
                 fail_fast,
@@ -299,16 +323,25 @@ pub fn usage() -> &'static str {
 USAGE:
   aqed list                            enumerate the catalogued bug cases
   aqed verify <case> [--bound N] [--healthy] [--vcd FILE] [--witness]
-                     [--jobs N] [--backend cdcl|dimacs]
+                     [--jobs N] [--backend cdcl|dimacs|portfolio]
+                     [--portfolio-workers N] [--no-clause-sharing]
                      [--timeout SECS] [--conflict-budget N] [--fail-fast]
                      [--no-preprocess] [--no-coi]
                      [--trace-out FILE] [--report-json FILE]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
                                        checked on N worker threads (default 1).
+                                       --backend portfolio races
+                                       --portfolio-workers (default 4)
+                                       diversified CDCL solvers per obligation,
+                                       first verdict wins; workers exchange
+                                       short learnt clauses unless
+                                       --no-clause-sharing is given.
                                        --timeout bounds the whole run's wall
                                        clock; --conflict-budget caps solver
-                                       effort per call (doubled on retry);
+                                       effort per call (doubled on retry, and
+                                       hard obligations escalate from one
+                                       solver to the full portfolio);
                                        --fail-fast cancels siblings after the
                                        first bug. The simplification pipeline
                                        (cone-of-influence slicing + SatELite-
@@ -432,6 +465,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             witness,
             jobs,
             backend,
+            portfolio_workers,
+            clause_sharing,
             timeout,
             conflict_budget,
             fail_fast,
@@ -509,6 +544,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                 BackendChoice::Dimacs => verify_obligations_scheduled::<DimacsBackend>(
                     &composed, &pool, &options, &sched,
                 ),
+                BackendChoice::Portfolio => {
+                    // The scheduler instantiates backends via
+                    // `B::default()`, so the width and sharing switch
+                    // travel through process globals.
+                    aqed_sat::portfolio::set_default_workers(*portfolio_workers);
+                    aqed_sat::portfolio::set_default_sharing(*clause_sharing);
+                    verify_obligations_scheduled::<PortfolioBackend>(
+                        &composed, &pool, &options, &sched,
+                    )
+                }
             };
             if trace_installed {
                 aqed_obs::uninstall_sink();
@@ -705,6 +750,8 @@ mod tests {
                 witness: true,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
@@ -724,6 +771,8 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
@@ -743,6 +792,8 @@ mod tests {
                 witness: false,
                 jobs: 4,
                 backend: BackendChoice::Dimacs,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
@@ -752,6 +803,37 @@ mod tests {
                 report_json: None
             })
         );
+    }
+
+    #[test]
+    fn parses_portfolio_flags() {
+        match parse(&[
+            "verify",
+            "x",
+            "--backend",
+            "portfolio",
+            "--portfolio-workers",
+            "8",
+            "--no-clause-sharing",
+        ])
+        .expect("parse")
+        {
+            Command::Verify {
+                backend,
+                portfolio_workers,
+                clause_sharing,
+                ..
+            } => {
+                assert_eq!(backend, BackendChoice::Portfolio);
+                assert_eq!(portfolio_workers, 8);
+                assert!(!clause_sharing);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(BackendChoice::Portfolio.to_string(), "portfolio");
+        assert!(parse(&["verify", "x", "--portfolio-workers"]).is_err());
+        assert!(parse(&["verify", "x", "--portfolio-workers", "0"]).is_err());
+        assert!(parse(&["verify", "x", "--portfolio-workers", "lots"]).is_err());
     }
 
     #[test]
@@ -774,6 +856,8 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: Some(30),
                 conflict_budget: Some(5000),
                 fail_fast: true,
@@ -854,6 +938,8 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
@@ -881,6 +967,8 @@ mod tests {
                 witness: false,
                 jobs: 1,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: None,
                 fail_fast: false,
@@ -899,6 +987,51 @@ mod tests {
     }
 
     #[test]
+    fn verify_portfolio_matches_cdcl_verdict() {
+        let run_with = |backend: BackendChoice| {
+            let mut buf = Vec::new();
+            let code = run(
+                &Command::Verify {
+                    case: "dataflow_fifo_sizing".into(),
+                    bound: Some(6),
+                    healthy: false,
+                    vcd: None,
+                    witness: false,
+                    jobs: 1,
+                    backend,
+                    portfolio_workers: 2,
+                    clause_sharing: true,
+                    timeout: None,
+                    conflict_budget: None,
+                    fail_fast: false,
+                    preprocess: true,
+                    coi: true,
+                    trace_out: None,
+                    report_json: None,
+                },
+                &mut buf,
+            )
+            .expect("io");
+            (code, String::from_utf8_lossy(&buf).to_string())
+        };
+        let (cdcl_code, cdcl_text) = run_with(BackendChoice::Cdcl);
+        let (port_code, port_text) = run_with(BackendChoice::Portfolio);
+        assert_eq!(
+            cdcl_code, port_code,
+            "cdcl:\n{cdcl_text}\nportfolio:\n{port_text}"
+        );
+        // Compare the verdict line up to the timing parenthetical.
+        let verdict = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("bug:") || l.starts_with("clean"))
+                .and_then(|l| l.split(" (").next())
+                .map(str::to_owned)
+        };
+        assert_eq!(verdict(&cdcl_text), verdict(&port_text));
+        assert!(port_text.contains("backend portfolio"), "{port_text}");
+    }
+
+    #[test]
     fn starved_conflict_budget_exits_inconclusive() {
         // Healthy AES at bound 8 needs >100k conflicts to close; a
         // budget of 1 (doubled to 4 by the scheduler's retries) cannot
@@ -914,6 +1047,8 @@ mod tests {
                 witness: false,
                 jobs: 2,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: None,
                 conflict_budget: Some(1),
                 fail_fast: false,
@@ -943,6 +1078,8 @@ mod tests {
                 witness: false,
                 jobs: 2,
                 backend: BackendChoice::Cdcl,
+                portfolio_workers: 4,
+                clause_sharing: true,
                 timeout: Some(600),
                 conflict_budget: None,
                 fail_fast: true,

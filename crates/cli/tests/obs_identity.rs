@@ -120,6 +120,61 @@ fn catalog_verdicts_identical_with_and_without_tracing() {
 }
 
 #[test]
+fn portfolio_backend_is_observationally_pure_and_emits_worker_spans() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = tmp_path("portfolio.jsonl");
+    let base = [
+        "verify",
+        "dataflow_fifo_sizing",
+        "--bound",
+        "6",
+        "--backend",
+        "portfolio",
+        "--portfolio-workers",
+        "2",
+    ];
+    let (plain_code, plain_out) = run_cli(&base);
+    let mut traced_args = base.to_vec();
+    traced_args.extend(["--trace-out", trace.to_str().unwrap()]);
+    let (traced_code, traced_out) = run_cli(&traced_args);
+    assert_eq!(plain_code, traced_code, "tracing changed the exit code");
+    assert_eq!(
+        verdict_line(&plain_out),
+        verdict_line(&traced_out),
+        "tracing changed the portfolio verdict"
+    );
+
+    // The race must show up as paired async worker spans: every
+    // portfolio.worker 'b' has a matching 'e' under the same id.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let mut open: HashMap<u64, ()> = HashMap::new();
+    let mut begins = 0usize;
+    for (n, line) in text.lines().enumerate() {
+        let ev = parse(line).unwrap_or_else(|e| panic!("line {}: {e}", n + 1));
+        if ev.get("name").and_then(Json::as_str) != Some("portfolio.worker") {
+            continue;
+        }
+        let id = ev
+            .get("id")
+            .and_then(Json::as_u64)
+            .expect("worker span carries an id");
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("b") => {
+                begins += 1;
+                assert!(open.insert(id, ()).is_none(), "duplicate worker begin");
+            }
+            Some("e") => {
+                assert!(open.remove(&id).is_some(), "worker end without begin");
+            }
+            other => panic!("portfolio.worker with ph {other:?}"),
+        }
+    }
+    assert!(begins > 0, "traced portfolio run emitted no worker spans");
+    assert!(open.is_empty(), "unclosed portfolio.worker spans");
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
 fn trace_is_wellformed_and_obligation_spans_cover_wall_time() {
     let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let trace = tmp_path("coverage.jsonl");
@@ -145,7 +200,18 @@ fn trace_is_wellformed_and_obligation_spans_cover_wall_time() {
     for (n, line) in text.lines().enumerate() {
         let ev = parse(line).unwrap_or_else(|e| panic!("line {}: {e}", n + 1));
         let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
-        assert!(matches!(ph, "B" | "E" | "I"), "line {}: ph {ph}", n + 1);
+        assert!(
+            matches!(ph, "B" | "E" | "I" | "b" | "e"),
+            "line {}: ph {ph}",
+            n + 1
+        );
+        if matches!(ph, "b" | "e") {
+            assert!(
+                ev.get("id").and_then(Json::as_u64).is_some(),
+                "line {}: async event without id",
+                n + 1
+            );
+        }
         assert!(ev.get("ts").and_then(Json::as_u64).is_some());
         assert!(ev.get("tid").and_then(Json::as_u64).is_some());
         assert!(ev.get("name").and_then(Json::as_str).is_some());
@@ -153,30 +219,37 @@ fn trace_is_wellformed_and_obligation_spans_cover_wall_time() {
     }
     assert!(!events.is_empty(), "trace must not be empty");
 
-    // Spans balance per thread: every Begin is closed by a matching End.
+    // Sync spans balance per thread (B/E stack); async spans — the
+    // obligation spans live here since they can hop threads on retry —
+    // balance per (name, id) pair.
     let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
     // Per-obligation wall time reconstructed from the trace (ns).
     let mut obligation_ns: HashMap<u64, u64> = HashMap::new();
-    let mut open_obligation: HashMap<(u64, String), u64> = HashMap::new();
+    let mut open_async: HashMap<(String, u64), u64> = HashMap::new();
     for ev in &events {
         let tid = ev.get("tid").and_then(Json::as_u64).unwrap();
         let ts = ev.get("ts").and_then(Json::as_u64).unwrap();
         let name = ev.get("name").and_then(Json::as_str).unwrap().to_string();
         match ev.get("ph").and_then(Json::as_str).unwrap() {
-            "B" => {
-                if name == "obligation" {
-                    open_obligation.insert((tid, name.clone()), ts);
-                }
-                stacks.entry(tid).or_default().push(name);
-            }
+            "B" => stacks.entry(tid).or_default().push(name),
             "E" => {
                 let top = stacks
                     .get_mut(&tid)
                     .and_then(Vec::pop)
                     .unwrap_or_else(|| panic!("tid {tid}: End '{name}' with empty stack"));
                 assert_eq!(top, name, "tid {tid}: interleaved span ends");
+            }
+            "b" => {
+                let id = ev.get("id").and_then(Json::as_u64).unwrap();
+                let prev = open_async.insert((name.clone(), id), ts);
+                assert!(prev.is_none(), "duplicate async begin for {name}#{id}");
+            }
+            "e" => {
+                let id = ev.get("id").and_then(Json::as_u64).unwrap();
+                let begin = open_async
+                    .remove(&(name.clone(), id))
+                    .unwrap_or_else(|| panic!("async end {name}#{id} with no begin"));
                 if name == "obligation" {
-                    let begin = open_obligation.remove(&(tid, name)).expect("open span");
                     let index = ev
                         .get("args")
                         .and_then(|a| a.get("index"))
@@ -191,6 +264,11 @@ fn trace_is_wellformed_and_obligation_spans_cover_wall_time() {
     for (tid, stack) in &stacks {
         assert!(stack.is_empty(), "tid {tid}: unclosed spans {stack:?}");
     }
+    assert!(
+        open_async.is_empty(),
+        "unclosed async spans: {:?}",
+        open_async.keys().collect::<Vec<_>>()
+    );
 
     // Acceptance criterion: the per-obligation spans account for ≥95% of
     // each obligation's reported wall time.

@@ -108,6 +108,52 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Strategy produced by [`prop_oneof!`]: each draw picks one of the
+/// alternatives uniformly at random and delegates to it.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty list of boxed alternatives.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`], guiding inference in [`prop_oneof!`].
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Picks uniformly among several strategies with the same value type.
+///
+/// Unlike upstream proptest, alternatives are unweighted: each draw
+/// selects one alternative with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($s)),+])
+    };
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -421,8 +467,8 @@ pub mod prelude {
     //! The aggregate import test files use.
 
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{any, prop, Just, Strategy, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{any, prop, Just, Strategy, TestCaseError, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 }
 
 #[cfg(test)]

@@ -464,7 +464,13 @@ fn worker_loop<B: SatBackend + Default>(
             let job = armed.child();
             let started = Instant::now();
             lock_unpoisoned(active).insert(idx, (started, job.stop_handle().clone()));
-            let mut sp = aqed_obs::span("obligation");
+            // Async span ("b"/"e" with an id): portfolio worker threads
+            // and retries attach to this id, so trace tooling can follow
+            // one obligation across threads instead of relying on
+            // per-thread begin/end nesting.
+            let span_id = aqed_obs::next_span_id();
+            let mut sp = aqed_obs::async_span("obligation", span_id, Vec::new());
+            aqed_obs::set_current_span_id(Some(span_id));
             if sp.is_active() {
                 sp.record("index", ob.bad_index as u64);
                 sp.record("name", ob.bad_name.as_str());
@@ -497,6 +503,7 @@ fn worker_loop<B: SatBackend + Default>(
                 sp.record("attempts", u64::from(report.attempts));
             }
             drop(sp);
+            aqed_obs::set_current_span_id(None);
             report
         };
         if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
@@ -526,6 +533,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// A budget-exhausted attempt whose sampled conflict rate reached this
+/// many conflicts per second graduates the obligation to the next
+/// escalation level — on the portfolio backend, from a single inline
+/// solver to the full diversified race. Below it the search is
+/// propagation- or memory-bound, where racing N copies of a similar
+/// search mostly divides throughput; such obligations retry on one
+/// solver with the doubled budget instead.
+const PORTFOLIO_ESCALATION_RATE: f64 = 500.0;
+
 /// Runs one obligation to completion on its own pool clone and backend,
 /// retrying with doubled conflict budgets while the schedule allows.
 #[allow(clippy::too_many_arguments)]
@@ -543,10 +559,23 @@ fn check_obligation<B: SatBackend + Default>(
     let mut stats = BmcStats::default();
     let mut attempts = 0u32;
     let mut conflict_budget = options.conflict_budget;
+    let mut escalation = 0u32;
     loop {
         attempts += 1;
         let mut attempt_options = options.clone();
         attempt_options.conflict_budget = conflict_budget;
+        // Only steer backend escalation when the retry ladder is live:
+        // without a conflict budget there is nothing to exhaust, so a
+        // portfolio backend should apply its own default (race at full
+        // width immediately) rather than being pinned to one solver.
+        if conflict_budget.is_some() && sched.max_attempts > 1 {
+            attempt_options.escalation_level = Some(escalation);
+        }
+        if attempt_options.metrics_scope.is_none() {
+            attempt_options.metrics_scope = Some(format!("prop={}", ob.property));
+        }
+        let attempt_started = Instant::now();
+        let conflicts_before = stats.solver.conflicts;
         let mut bmc: Bmc<B> = Bmc::with_backend(composed, attempt_options);
         bmc.set_coi_cache(Arc::clone(coi_cache));
         bmc.select_bad_indices(composed, &[ob.bad_index]);
@@ -567,6 +596,18 @@ fn check_obligation<B: SatBackend + Default>(
                     && armed.poll().is_none()
                 {
                     conflict_budget = conflict_budget.map(|b| b.saturating_mul(2));
+                    let delta = stats.solver.conflicts.saturating_sub(conflicts_before);
+                    #[allow(clippy::cast_precision_loss)]
+                    let rate = delta as f64 / attempt_started.elapsed().as_secs_f64().max(1e-6);
+                    if rate >= PORTFOLIO_ESCALATION_RATE {
+                        escalation += 1;
+                        obs_event!(
+                            "obligation.escalated",
+                            index = ob.bad_index as u64,
+                            level = u64::from(escalation),
+                            conflict_rate = rate
+                        );
+                    }
                     obs_event!(
                         "obligation.retry",
                         index = ob.bad_index as u64,

@@ -39,9 +39,14 @@
 //! - `ts` — nanoseconds since the process-local trace epoch (u64)
 //! - `tid` — small sequential id assigned per thread (u64, 1-based)
 //! - `ph` — `"B"` (span begin), `"E"` (span end, name repeated so
-//!   balance is checkable), `"I"` (instant event)
+//!   balance is checkable), `"I"` (instant event), `"b"`/`"e"` (async
+//!   span begin/end, paired by `id` rather than thread stack order)
 //! - `name` — static event name, dot-namespaced by layer
 //!   (`sat.*`, `pp.*`, `bmc.*`, `pipeline.*`, `obligation.*`, ...)
+//! - `id` — async span id (only on `"b"`/`"e"` events); process-unique,
+//!   so one logical operation can be followed across threads (an
+//!   obligation hopping between scheduler workers and portfolio solver
+//!   threads)
 //! - `args` — optional object of typed fields; numbers, strings, bools
 
 pub mod json;
@@ -63,6 +68,8 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static TRACING: AtomicBool = AtomicBool::new(false);
 /// Next per-thread trace id (1-based; 0 is never used).
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Next async span id (1-based; 0 is never used).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 fn sink_slot() -> &'static Mutex<Option<Arc<dyn TraceSink>>> {
     static SLOT: OnceLock<Mutex<Option<Arc<dyn TraceSink>>>> = OnceLock::new();
@@ -201,16 +208,24 @@ pub enum Phase {
     End,
     /// Instant event.
     Instant,
+    /// Async span begin — paired with [`Phase::AsyncEnd`] by `(name,
+    /// id)` rather than per-thread stack order, so the span may cross
+    /// threads.
+    AsyncBegin,
+    /// Async span end.
+    AsyncEnd,
 }
 
 impl Phase {
-    /// One-letter JSON code: `B`, `E`, or `I`.
+    /// One-letter JSON code: `B`, `E`, `I`, `b`, or `e`.
     #[must_use]
     pub fn code(self) -> &'static str {
         match self {
             Phase::Begin => "B",
             Phase::End => "E",
             Phase::Instant => "I",
+            Phase::AsyncBegin => "b",
+            Phase::AsyncEnd => "e",
         }
     }
 }
@@ -224,6 +239,9 @@ pub struct TraceEvent {
     pub tid: u64,
     pub phase: Phase,
     pub name: &'static str,
+    /// Async span id; present exactly on [`Phase::AsyncBegin`] and
+    /// [`Phase::AsyncEnd`] events.
+    pub id: Option<u64>,
     pub fields: Vec<Field>,
 }
 
@@ -271,6 +289,10 @@ thread_local! {
 }
 
 fn record(phase: Phase, name: &'static str, fields: Vec<Field>) {
+    record_with_id(phase, name, None, fields);
+}
+
+fn record_with_id(phase: Phase, name: &'static str, id: Option<u64>, fields: Vec<Field>) {
     if !tracing_enabled() {
         return;
     }
@@ -284,9 +306,35 @@ fn record(phase: Phase, name: &'static str, fields: Vec<Field>) {
             tid,
             phase,
             name,
+            id,
             fields,
         });
     });
+}
+
+/// Allocates a fresh, process-unique async span id.
+#[must_use]
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT_SPAN: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// The async span id most recently claimed by this thread (the
+/// obligation currently being processed), or `None`. Fan-out layers —
+/// the portfolio backend spawning solver threads — read this before
+/// spawning so child-thread events can link back to their obligation.
+#[must_use]
+pub fn current_span_id() -> Option<u64> {
+    CURRENT_SPAN.with(std::cell::Cell::get)
+}
+
+/// Marks `id` as the async span this thread is working under (`None`
+/// clears it). Callers should restore the previous value when done.
+pub fn set_current_span_id(id: Option<u64>) {
+    CURRENT_SPAN.with(|c| c.set(id));
 }
 
 /// Records an instant event. Prefer the [`obs_event!`] macro, which
@@ -347,6 +395,74 @@ impl Drop for SpanGuard {
         if let Some(name) = self.name.take() {
             record(Phase::End, name, mem::take(&mut self.end_fields));
         }
+    }
+}
+
+/// RAII guard for an *async* span: emits a `b` event on creation and the
+/// matching `e` (same name and id) on drop. Unlike [`SpanGuard`], async
+/// spans are paired by `(name, id)` rather than per-thread stack order,
+/// so one logical operation can be traced across retries and threads.
+#[must_use = "an async span ends when its guard is dropped"]
+#[derive(Debug)]
+pub struct AsyncSpanGuard {
+    name: Option<&'static str>,
+    id: u64,
+    end_fields: Vec<Field>,
+}
+
+impl AsyncSpanGuard {
+    /// The span's id (valid even when tracing is off, so callers can
+    /// propagate it unconditionally).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the span actually recorded a `b` event.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.name.is_some()
+    }
+
+    /// Attaches a field to the span's `e` event.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.name.is_some() {
+            self.end_fields.push(Field {
+                key,
+                value: value.into(),
+            });
+        }
+    }
+}
+
+impl Drop for AsyncSpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            record_with_id(
+                Phase::AsyncEnd,
+                name,
+                Some(self.id),
+                mem::take(&mut self.end_fields),
+            );
+        }
+    }
+}
+
+/// Opens an async span with the given id (allocate one with
+/// [`next_span_id`]) and entry fields on its `b` event.
+pub fn async_span(name: &'static str, id: u64, fields: Vec<Field>) -> AsyncSpanGuard {
+    if !tracing_enabled() {
+        return AsyncSpanGuard {
+            name: None,
+            id,
+            end_fields: Vec::new(),
+        };
+    }
+    record_with_id(Phase::AsyncBegin, name, Some(id), fields);
+    AsyncSpanGuard {
+        name: Some(name),
+        id,
+        end_fields: Vec::new(),
     }
 }
 

@@ -34,6 +34,9 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
         ev.phase.code()
     );
     let _ = write_escaped(&mut s, ev.name);
+    if let Some(id) = ev.id {
+        let _ = write!(s, ",\"id\":{id}");
+    }
     if !ev.fields.is_empty() {
         s.push_str(",\"args\":{");
         for (i, f) in ev.fields.iter().enumerate() {
@@ -146,6 +149,7 @@ mod tests {
             tid: 3,
             phase: Phase::Instant,
             name: "weird \"name\"\n",
+            id: None,
             fields: crate::obs_fields!(
                 n = 7u64,
                 neg = -2i64,
@@ -182,10 +186,30 @@ mod tests {
             tid: 1,
             phase: Phase::Begin,
             name: "p",
+            id: None,
             fields: vec![],
         };
         let line = event_to_json(&ev);
         assert_eq!(line, r#"{"ts":1,"tid":1,"ph":"B","name":"p"}"#);
+    }
+
+    #[test]
+    fn async_event_carries_id() {
+        let ev = TraceEvent {
+            ts_ns: 9,
+            tid: 2,
+            phase: Phase::AsyncBegin,
+            name: "obligation",
+            id: Some(17),
+            fields: vec![],
+        };
+        let line = event_to_json(&ev);
+        assert_eq!(
+            line,
+            r#"{"ts":9,"tid":2,"ph":"b","name":"obligation","id":17}"#
+        );
+        let v = parse(&line).expect("valid json");
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(17));
     }
 
     #[test]
@@ -199,6 +223,7 @@ mod tests {
                 tid: 1,
                 phase: Phase::Instant,
                 name: "tick",
+                id: None,
                 fields: crate::obs_fields!(i = i),
             })
             .collect();

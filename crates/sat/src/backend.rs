@@ -125,6 +125,21 @@ pub trait SatBackend {
     fn freeze_var(&mut self, v: Var) {
         let _ = v;
     }
+
+    /// Hints how hard this query has proven so far (0 = first attempt,
+    /// higher = repeated budget-exhausted retries). The portfolio
+    /// backend uses it to decide between a single inline solver and a
+    /// full diversified race; single-solver backends have no use for it.
+    fn set_escalation_level(&mut self, level: u32) {
+        let _ = level;
+    }
+
+    /// Labels metric samples emitted during following solve calls (e.g.
+    /// `"prop=fc"`), so per-obligation histograms can be separated by
+    /// property class. Backends that emit no metrics ignore it.
+    fn set_metrics_scope(&mut self, scope: &str) {
+        let _ = scope;
+    }
 }
 
 impl SatBackend for Solver {
@@ -186,6 +201,10 @@ impl SatBackend for Solver {
 
     fn freeze_var(&mut self, v: Var) {
         Solver::freeze_var(self, v);
+    }
+
+    fn set_metrics_scope(&mut self, scope: &str) {
+        Solver::set_metrics_scope(self, Some(scope.to_string()));
     }
 }
 
@@ -362,6 +381,10 @@ impl SatBackend for DimacsBackend {
 
     fn freeze_var(&mut self, v: Var) {
         self.inner.freeze_var(v);
+    }
+
+    fn set_metrics_scope(&mut self, scope: &str) {
+        SatBackend::set_metrics_scope(&mut self.inner, scope);
     }
 }
 

@@ -40,13 +40,19 @@ mod backend;
 mod budget;
 mod dimacs;
 mod heap;
+pub mod portfolio;
 mod preprocess;
+pub mod share;
 mod solver;
 
 pub use backend::{DimacsBackend, ReplayError, SatBackend};
 pub use budget::{ArmedBudget, Budget, StopHandle, StopReason};
 pub use dimacs::{parse_dimacs, ParseDimacsError};
-pub use solver::{PropagationReplay, SolveResult, Solver, SolverStats};
+pub use portfolio::PortfolioBackend;
+pub use share::ClausePool;
+pub use solver::{
+    PhaseMode, PropagationReplay, RestartStrategy, SolveResult, Solver, SolverConfig, SolverStats,
+};
 
 use std::fmt;
 use std::num::NonZeroU32;

@@ -1,0 +1,299 @@
+//! Lock-light learnt-clause sharing between portfolio workers.
+//!
+//! Each worker owns one [`ShareRing`]: a fixed-size, single-producer
+//! broadcast ring of short learnt clauses. The producer publishes
+//! clauses with a per-slot seqlock (stamp odd while writing, even when
+//! complete); any number of readers follow with private cursors and
+//! re-validate the stamp after copying, so a slot overwritten mid-read
+//! is discarded rather than delivered torn. A reader that falls more
+//! than one ring behind simply skips ahead — losing shared clauses is
+//! always sound, delivering a torn one never is.
+//!
+//! The protocol is deliberately lossy and wait-free on both sides:
+//! exporting is a handful of relaxed atomic stores bracketed by two
+//! stamp updates, and importing happens only at the solver's coarse
+//! budget tick, so sharing adds zero cost to hot propagation.
+//!
+//! Literal slots are `AtomicU32` (the transparent representation of
+//! [`Lit`]), so even a racy overlap is well-defined at the language
+//! level; the stamp re-check provides the logical atomicity.
+
+use crate::Lit;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum length of a shared clause. Longer learnts stay private:
+/// sharing targets the short, high-quality clauses whose import cost is
+/// trivially repaid.
+pub const MAX_SHARED_LITS: usize = 8;
+
+/// Maximum glue (literal-block distance) of a shared clause. Glue ≤ 2
+/// clauses are the classic "worth telling everyone" tier.
+pub const MAX_SHARED_GLUE: u32 = 2;
+
+/// Slots per ring. Power of two; at the import cadence of one drain per
+/// budget tick this is deep enough that losses are rare, and losses are
+/// harmless anyway.
+const RING_SLOTS: u64 = 256;
+
+/// A short clause copied out of a ring.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedClause {
+    lits: [Lit; MAX_SHARED_LITS],
+    len: u8,
+}
+
+impl SharedClause {
+    /// The clause literals.
+    #[must_use]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits[..self.len as usize]
+    }
+}
+
+/// One seqlock-protected clause slot.
+#[derive(Debug)]
+struct Slot {
+    /// `2·seq + 1` while publication `seq` is being written into this
+    /// slot, `2·seq + 2` once it is complete.
+    stamp: AtomicU64,
+    len: AtomicU32,
+    lits: [AtomicU32; MAX_SHARED_LITS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            len: AtomicU32::new(0),
+            lits: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+}
+
+/// A single-producer, multi-reader, lossy broadcast ring of short
+/// clauses.
+#[derive(Debug)]
+pub struct ShareRing {
+    /// Number of clauses ever published (the next publication number).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ShareRing {
+    fn new() -> Self {
+        ShareRing {
+            head: AtomicU64::new(0),
+            slots: (0..RING_SLOTS).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Publishes a clause. Must only be called by the ring's owning
+    /// worker (single-producer discipline); readers are unaffected by
+    /// concurrent pushes beyond losing overwritten entries.
+    pub fn push(&self, lits: &[Lit]) {
+        debug_assert!(!lits.is_empty() && lits.len() <= MAX_SHARED_LITS);
+        let seq = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(seq % RING_SLOTS) as usize];
+        // The swap's acquire ordering keeps the data stores below from
+        // floating above the "writing" mark (the crossbeam seqlock
+        // write-begin recipe).
+        slot.stamp.swap(2 * seq + 1, Ordering::Acquire);
+        for (cell, &l) in slot.lits.iter().zip(lits) {
+            cell.store(l.0, Ordering::Relaxed);
+        }
+        slot.len.store(lits.len() as u32, Ordering::Relaxed);
+        slot.stamp.store(2 * seq + 2, Ordering::Release);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Number of clauses ever published.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Copies every clause published since `*cursor` into `sink`,
+    /// advancing the cursor. Entries overwritten before or during the
+    /// copy are skipped. Returns how many clauses were delivered.
+    pub fn drain_from(&self, cursor: &mut u64, mut sink: impl FnMut(SharedClause)) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        // Fell a full ring behind: everything older is gone.
+        if head.saturating_sub(*cursor) > RING_SLOTS {
+            *cursor = head - RING_SLOTS;
+        }
+        let mut delivered = 0u64;
+        while *cursor < head {
+            let seq = *cursor;
+            *cursor += 1;
+            let slot = &self.slots[(seq % RING_SLOTS) as usize];
+            let expect = 2 * seq + 2;
+            if slot.stamp.load(Ordering::Acquire) != expect {
+                continue; // overwritten (or being overwritten)
+            }
+            let len = slot.len.load(Ordering::Relaxed).min(MAX_SHARED_LITS as u32);
+            let mut out = SharedClause {
+                lits: [Lit(0); MAX_SHARED_LITS],
+                len: len as u8,
+            };
+            for (dst, cell) in out.lits.iter_mut().zip(&slot.lits).take(len as usize) {
+                *dst = Lit(cell.load(Ordering::Relaxed));
+            }
+            // Re-validate: if the producer lapped us mid-copy, the stamp
+            // moved on and the copy may be torn — drop it.
+            fence(Ordering::Acquire);
+            if slot.stamp.load(Ordering::Relaxed) == expect && len > 0 {
+                sink(out);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+/// The shared clause pool of one portfolio race: one export ring per
+/// worker.
+#[derive(Debug)]
+pub struct ClausePool {
+    rings: Vec<ShareRing>,
+}
+
+impl ClausePool {
+    /// Creates a pool for `workers` participants.
+    #[must_use]
+    pub fn new(workers: usize) -> Arc<Self> {
+        Arc::new(ClausePool {
+            rings: (0..workers).map(|_| ShareRing::new()).collect(),
+        })
+    }
+
+    /// Number of participating workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Worker `i`'s export ring.
+    #[must_use]
+    pub fn ring(&self, i: usize) -> &ShareRing {
+        &self.rings[i]
+    }
+}
+
+/// A worker's view of the pool: its own ring for exporting plus one
+/// read cursor per peer. Held by [`crate::Solver`] when sharing is on.
+#[derive(Debug, Clone)]
+pub(crate) struct ShareCtx {
+    pool: Arc<ClausePool>,
+    id: usize,
+    cursors: Vec<u64>,
+}
+
+impl ShareCtx {
+    pub(crate) fn new(pool: Arc<ClausePool>, id: usize) -> Self {
+        assert!(id < pool.workers(), "worker id out of range");
+        let cursors = pool.rings.iter().map(ShareRing::published).collect();
+        ShareCtx { pool, id, cursors }
+    }
+
+    /// Exports a clause into this worker's ring.
+    pub(crate) fn export(&self, lits: &[Lit]) {
+        self.pool.rings[self.id].push(lits);
+    }
+
+    /// Drains every peer ring into `sink`; returns the number of
+    /// delivered clauses.
+    pub(crate) fn drain(&mut self, mut sink: impl FnMut(SharedClause)) -> u64 {
+        let mut n = 0;
+        for (i, ring) in self.pool.rings.iter().enumerate() {
+            if i == self.id {
+                continue;
+            }
+            n += ring.drain_from(&mut self.cursors[i], &mut sink);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lits(ids: &[i32]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&n| Var(n.unsigned_abs()).lit(n >= 0))
+            .collect()
+    }
+
+    #[test]
+    fn push_and_drain_roundtrip() {
+        let pool = ClausePool::new(2);
+        pool.ring(0).push(&lits(&[1, -2]));
+        pool.ring(0).push(&lits(&[3, 4, -5]));
+        let mut ctx1 = ShareCtx::new(pool.clone(), 1);
+        // Cursors start at creation time: nothing published after.
+        assert_eq!(ctx1.drain(|_| {}), 0);
+        pool.ring(0).push(&lits(&[-7]));
+        let mut got = Vec::new();
+        assert_eq!(ctx1.drain(|c| got.push(c.lits().to_vec())), 1);
+        assert_eq!(got, vec![lits(&[-7])]);
+        // Own ring is never drained.
+        pool.ring(1).push(&lits(&[9]));
+        assert_eq!(ctx1.drain(|_| {}), 0);
+    }
+
+    #[test]
+    fn overwritten_entries_are_skipped_not_torn() {
+        let pool = ClausePool::new(2);
+        let ring = pool.ring(0);
+        let mut cursor = 0u64;
+        // Publish more than a full ring; the reader must skip the lost
+        // prefix and deliver only intact suffix entries.
+        let total = RING_SLOTS + 37;
+        for i in 0..total {
+            ring.push(&lits(&[i as i32 + 1]));
+        }
+        let mut got = Vec::new();
+        let n = ring.drain_from(&mut cursor, |c| got.push(c.lits().to_vec()));
+        assert_eq!(n, RING_SLOTS);
+        assert_eq!(cursor, total);
+        // Every delivered clause is one that was actually published.
+        for (k, c) in got.iter().enumerate() {
+            let expect = total - RING_SLOTS + k as u64;
+            assert_eq!(c, &lits(&[expect as i32 + 1]));
+        }
+    }
+
+    #[test]
+    fn concurrent_producer_and_reader_never_tear() {
+        // Producer publishes clauses whose literals all encode the same
+        // sequence number; a torn read would mix two sequences.
+        let pool = ClausePool::new(2);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let pool2 = pool.clone();
+            let stop_ref = &stop;
+            s.spawn(move || {
+                for i in 0u32..60_000 {
+                    let v = (i % 1000) + 1;
+                    let c = [Var(v).pos(), Var(v + 1).pos(), Var(v + 2).pos()];
+                    pool2.ring(0).push(&c);
+                }
+                stop_ref.store(true, Ordering::Release);
+            });
+            let mut cursor = 0u64;
+            let mut seen = 0u64;
+            while !stop.load(Ordering::Acquire) || cursor < pool.ring(0).published() {
+                seen += pool.ring(0).drain_from(&mut cursor, |c| {
+                    let ls = c.lits();
+                    assert_eq!(ls.len(), 3);
+                    let base = ls[0].var().0;
+                    assert_eq!(ls[1].var().0, base + 1, "torn clause delivered");
+                    assert_eq!(ls[2].var().0, base + 2, "torn clause delivered");
+                });
+            }
+            assert!(seen > 0, "reader observed no clauses at all");
+        });
+    }
+}

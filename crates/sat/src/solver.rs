@@ -12,13 +12,215 @@ use crate::alloc::ClauseAllocator;
 use crate::budget::{ArmedBudget, StopReason};
 use crate::heap::ActivityHeap;
 use crate::preprocess::{ElimRecord, PreprocessOutcome, Preprocessor};
+use crate::share::{ClausePool, ShareCtx, SharedClause, MAX_SHARED_GLUE, MAX_SHARED_LITS};
 use crate::{ClauseRef, LBool, Lit, Var};
 use std::fmt;
+use std::sync::Arc;
 
 const VAR_RESCALE_LIMIT: f64 = 1e100;
 const VAR_RESCALE_FACTOR: f64 = 1e-100;
 const CLA_RESCALE_LIMIT: f64 = 1e20;
 const CLA_RESCALE_FACTOR: f64 = 1e-20;
+
+/// Imported peer clauses wait in a bounded buffer until the search is
+/// back at decision level 0; beyond this many pending clauses the drain
+/// stops picking up more (losing shared clauses is always sound).
+const MAX_PENDING_IMPORTS: usize = 4096;
+
+/// Smoothing factors of the fast/slow literal-block-distance averages
+/// behind glucose-style restarts.
+const LBD_EMA_FAST: f64 = 1.0 / 32.0;
+const LBD_EMA_SLOW: f64 = 1.0 / 4096.0;
+
+/// Restart schedule of the CDCL search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartStrategy {
+    /// Luby-sequence restarts: run `i` allows `unit · luby(base, i)`
+    /// conflicts. The classic default is `base = 2`, `unit = 100`.
+    Luby {
+        /// Growth base of the Luby sequence.
+        base: f64,
+        /// Conflicts multiplier applied to each sequence element.
+        unit: u64,
+    },
+    /// Glucose-style adaptive restarts: restart once the fast
+    /// literal-block-distance average exceeds the slow average by
+    /// `margin`, but never before `min_conflicts` conflicts into the
+    /// current run.
+    Glucose {
+        /// Fast-over-slow LBD ratio that triggers a restart.
+        margin: f64,
+        /// Minimum conflicts per run before the trigger is consulted.
+        min_conflicts: u64,
+    },
+    /// Never restart.
+    Never,
+}
+
+/// Decision-polarity policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseMode {
+    /// Branch to the polarity the variable last held (phase saving).
+    Saved,
+    /// Always branch negative (the pre-phase-saving MiniSat default).
+    AlwaysFalse,
+    /// Always branch positive.
+    AlwaysTrue,
+}
+
+/// Tunable search parameters — the diversification surface raced by the
+/// portfolio backend. [`SolverConfig::default`] reproduces the solver's
+/// historical hard-coded behaviour exactly (same restart schedule, same
+/// decay, no randomization), so a default-configured solver is
+/// search-identical to every earlier release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Restart schedule.
+    pub restart: RestartStrategy,
+    /// EVSIDS activity decay: the activity increment grows by
+    /// `1 / var_decay` per conflict. Closer to 1 = longer memory.
+    pub var_decay: f64,
+    /// Decision-polarity policy.
+    pub phase: PhaseMode,
+    /// Probability of overriding the polarity policy with a random
+    /// polarity at a decision. 0 never consults the RNG.
+    pub random_polarity_freq: f64,
+    /// Probability of branching on a uniformly random unassigned
+    /// variable instead of the activity-heap maximum. 0 never consults
+    /// the RNG.
+    pub random_var_freq: f64,
+    /// Seed of the deterministic xorshift RNG behind the two
+    /// frequencies above (runs are reproducible for a fixed config).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart: RestartStrategy::Luby {
+                base: 2.0,
+                unit: 100,
+            },
+            var_decay: 0.95,
+            phase: PhaseMode::Saved,
+            random_polarity_freq: 0.0,
+            random_var_freq: 0.0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The deterministic diversification palette of portfolio worker
+    /// `i`.
+    ///
+    /// Worker 0 always runs the default configuration, so a one-worker
+    /// portfolio searches identically to the plain CDCL backend.
+    /// Workers 1–7 vary the restart schedule, activity decay, polarity
+    /// policy, and randomization; beyond 8 the palette repeats with
+    /// fresh RNG seeds, which still diverges its randomized members.
+    #[must_use]
+    pub fn diversified(i: usize) -> Self {
+        let seed = splitmix64(0x00A0_9EED ^ i as u64);
+        let base = SolverConfig {
+            seed,
+            ..SolverConfig::default()
+        };
+        match i % 8 {
+            1 => SolverConfig {
+                restart: RestartStrategy::Glucose {
+                    margin: 1.25,
+                    min_conflicts: 100,
+                },
+                var_decay: 0.85,
+                ..base
+            },
+            2 => SolverConfig {
+                restart: RestartStrategy::Luby {
+                    base: 2.0,
+                    unit: 512,
+                },
+                phase: PhaseMode::AlwaysTrue,
+                ..base
+            },
+            3 => SolverConfig {
+                var_decay: 0.99,
+                random_polarity_freq: 0.02,
+                ..base
+            },
+            4 => SolverConfig {
+                restart: RestartStrategy::Luby {
+                    base: 3.0,
+                    unit: 100,
+                },
+                random_var_freq: 0.02,
+                ..base
+            },
+            5 => SolverConfig {
+                restart: RestartStrategy::Glucose {
+                    margin: 1.4,
+                    min_conflicts: 50,
+                },
+                var_decay: 0.75,
+                phase: PhaseMode::AlwaysFalse,
+                ..base
+            },
+            6 => SolverConfig {
+                restart: RestartStrategy::Luby {
+                    base: 2.0,
+                    unit: 32,
+                },
+                var_decay: 0.9,
+                random_polarity_freq: 0.05,
+                ..base
+            },
+            7 => SolverConfig {
+                restart: RestartStrategy::Luby {
+                    base: 2.0,
+                    unit: 1024,
+                },
+                phase: PhaseMode::AlwaysTrue,
+                random_var_freq: 0.05,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+/// SplitMix64: seeds the per-config RNG streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic xorshift64* PRNG behind the randomized decision
+/// policies (no external dependency, reproducible across platforms).
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[allow(clippy::cast_precision_loss)]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +266,16 @@ pub struct SolverStats {
     pub eliminated_vars: u64,
     /// Total time spent inside the CNF preprocessor, in microseconds.
     pub preprocess_micros: u64,
+    /// Learnt clauses exported to portfolio peers (clause sharing).
+    pub shared_exported: u64,
+    /// Peer clauses imported and installed (clause sharing).
+    pub shared_imported: u64,
+    /// Conflicts spent by losing portfolio workers — search effort that
+    /// did not produce the verdict.
+    pub wasted_conflicts: u64,
+    /// Worker index that produced the verdict of the most recent
+    /// portfolio race, or `None` outside portfolio solving.
+    pub portfolio_winner: Option<u32>,
 }
 
 impl SolverStats {
@@ -83,6 +295,12 @@ impl SolverStats {
         self.subsumed += other.subsumed;
         self.eliminated_vars += other.eliminated_vars;
         self.preprocess_micros += other.preprocess_micros;
+        self.shared_exported += other.shared_exported;
+        self.shared_imported += other.shared_imported;
+        self.wasted_conflicts += other.wasted_conflicts;
+        if other.portfolio_winner.is_some() {
+            self.portfolio_winner = other.portfolio_winner;
+        }
     }
 }
 
@@ -92,7 +310,8 @@ impl fmt::Display for SolverStats {
             f,
             "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={} \
              binary_props={} gc_runs={} arena_bytes={} subsumed={} eliminated_vars={} \
-             preprocess_micros={}",
+             preprocess_micros={} shared_exported={} shared_imported={} wasted_conflicts={} \
+             portfolio_winner={}",
             self.decisions,
             self.propagations,
             self.conflicts,
@@ -104,7 +323,12 @@ impl fmt::Display for SolverStats {
             self.arena_bytes,
             self.subsumed,
             self.eliminated_vars,
-            self.preprocess_micros
+            self.preprocess_micros,
+            self.shared_exported,
+            self.shared_imported,
+            self.wasted_conflicts,
+            self.portfolio_winner
+                .map_or_else(|| "-".to_string(), |w| w.to_string()),
         )
     }
 }
@@ -164,7 +388,6 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    var_decay: f64,
     heap: ActivityHeap,
     phase: Vec<bool>,
     cla_inc: f64,
@@ -184,7 +407,28 @@ pub struct Solver {
     /// `(conflicts, propagations)` at the start of the current solve
     /// call; effort caps are enforced per call, not cumulatively.
     solve_base: (u64, u64),
-    restarts_enabled: bool,
+    /// Tunable search parameters (restart schedule, activity decay,
+    /// polarity policy, randomization); see [`SolverConfig`].
+    config: SolverConfig,
+    /// Deterministic RNG behind the randomized decision policies; never
+    /// consulted while both `config` frequencies are zero.
+    rng: XorShift64,
+    /// Fast/slow exponential moving averages of learnt-clause glue,
+    /// driving glucose-style restarts (and the clause-sharing filter).
+    lbd_fast: f64,
+    lbd_slow: f64,
+    /// Per-decision-level stamps for O(|clause|) glue computation.
+    glue_stamp: Vec<u64>,
+    glue_tick: u64,
+    /// Clause-sharing pool membership (portfolio workers only).
+    share: Option<ShareCtx>,
+    /// Peer clauses picked up at the budget tick, waiting for decision
+    /// level 0 to be installed.
+    pending_import: Vec<SharedClause>,
+    /// Scope label baked into this solver's metric names (portfolio
+    /// worker id, property class); `None` records into the
+    /// process-global series.
+    metrics_scope: Option<String>,
     decision_heuristic: bool,
     stats: SolverStats,
     num_learnts: u64,
@@ -264,9 +508,16 @@ fn lit_value(assigns: &[LBool], l: Lit) -> LBool {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default configuration.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given search configuration.
+    #[must_use]
+    pub fn with_config(config: SolverConfig) -> Self {
+        let rng = XorShift64::new(config.seed);
         Solver {
             ca: ClauseAllocator::new(),
             clauses: Vec::new(),
@@ -281,7 +532,6 @@ impl Solver {
             qhead: 0,
             activity: Vec::new(),
             var_inc: 1.0,
-            var_decay: 0.95,
             heap: ActivityHeap::new(),
             phase: Vec::new(),
             cla_inc: 1.0,
@@ -296,7 +546,17 @@ impl Solver {
             stop_reason: None,
             tick: 0,
             solve_base: (0, 0),
-            restarts_enabled: true,
+            config,
+            rng,
+            lbd_fast: 0.0,
+            lbd_slow: 0.0,
+            // Index 0 covers decision level 0; `new_var` keeps the vector
+            // one entry ahead of the deepest possible level.
+            glue_stamp: vec![0],
+            glue_tick: 0,
+            share: None,
+            pending_import: Vec::new(),
+            metrics_scope: None,
             decision_heuristic: true,
             stats: SolverStats::default(),
             num_learnts: 0,
@@ -307,6 +567,45 @@ impl Solver {
             elim_stack: Vec::new(),
             last_simp_clauses: 0,
             obs: ObsState::default(),
+        }
+    }
+
+    /// The active search configuration.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Replaces the search configuration (reseeding the decision RNG).
+    /// Applies to subsequent solve calls.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.rng = XorShift64::new(config.seed);
+        self.config = config;
+    }
+
+    /// Joins a clause-sharing pool as worker `id`: short, low-glue learnt
+    /// clauses are exported to the pool and peer clauses are picked up at
+    /// the coarse budget tick, then installed at decision level 0. All
+    /// participants must share one variable numbering (the portfolio
+    /// backend keeps workers variable-synchronized before each solve).
+    pub fn set_sharing(&mut self, pool: Arc<ClausePool>, id: usize) {
+        self.share = Some(ShareCtx::new(pool, id));
+    }
+
+    /// Leaves the clause-sharing pool. Already-imported clauses remain
+    /// (they are implied, so keeping them is always sound).
+    pub fn clear_sharing(&mut self) {
+        self.share = None;
+    }
+
+    /// Sets the scope label baked into this solver's metric names
+    /// (recorded as `name{scope}`), so portfolio workers and property
+    /// classes get separate histogram series. `None` restores the
+    /// process-global series.
+    pub fn set_metrics_scope(&mut self, scope: Option<String>) {
+        if self.metrics_scope != scope {
+            self.metrics_scope = scope;
+            self.obs.handles = None;
         }
     }
 
@@ -361,10 +660,15 @@ impl Solver {
             .check(conflicts, propagations, self.ca.bytes() as u64)
     }
 
-    /// Enables or disables Luby restarts (ablation hook; enabled by
-    /// default).
+    /// Enables or disables restarts (ablation hook; enabled by default).
+    /// Shorthand for setting [`SolverConfig::restart`] to the default
+    /// Luby schedule or [`RestartStrategy::Never`].
     pub fn set_restarts_enabled(&mut self, enabled: bool) {
-        self.restarts_enabled = enabled;
+        self.config.restart = if enabled {
+            SolverConfig::default().restart
+        } else {
+            RestartStrategy::Never
+        };
     }
 
     /// Enables or disables the VSIDS decision heuristic (ablation hook;
@@ -389,6 +693,7 @@ impl Solver {
         self.frozen.push(false);
         self.eliminated.push(false);
         self.elim_index.push(u32::MAX);
+        self.glue_stamp.push(0);
         self.heap.grow(self.assigns.len());
         self.heap.insert(v.index(), &self.activity);
         v
@@ -730,7 +1035,7 @@ impl Solver {
     }
 
     fn decay_var_activity(&mut self) {
-        self.var_inc /= self.var_decay;
+        self.var_inc /= self.config.var_decay;
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
@@ -885,6 +1190,15 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         if self.decision_heuristic {
+            if self.config.random_var_freq > 0.0
+                && self.rng.next_f64() < self.config.random_var_freq
+            {
+                // Leaving the picked variable in the heap is fine: an
+                // assigned entry is skipped on a later pop.
+                if let Some(v) = self.random_free_var() {
+                    return Some(v);
+                }
+            }
             while let Some(v) = self.heap.pop_max(&self.activity) {
                 if self.assigns[v] == LBool::Undef {
                     return Some(Var(v as u32));
@@ -896,6 +1210,99 @@ impl Solver {
                 .find(|&v| self.assigns[v] == LBool::Undef)
                 .map(|v| Var(v as u32))
         }
+    }
+
+    /// A uniformly random unassigned, non-eliminated variable. Bounded
+    /// probing: after a few misses the caller falls back to the
+    /// activity heap.
+    fn random_free_var(&mut self) -> Option<Var> {
+        let n = self.num_vars();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..10 {
+            let v = (self.rng.next_u64() % n as u64) as usize;
+            if self.assigns[v] == LBool::Undef && !self.eliminated[v] {
+                return Some(Var(v as u32));
+            }
+        }
+        None
+    }
+
+    /// Decision polarity for `v` under the configured policy.
+    fn decide_polarity(&mut self, v: Var) -> bool {
+        let f = self.config.random_polarity_freq;
+        if f > 0.0 && self.rng.next_f64() < f {
+            return self.rng.next_u64() & 1 == 0;
+        }
+        match self.config.phase {
+            PhaseMode::Saved => self.phase[v.index()],
+            PhaseMode::AlwaysFalse => false,
+            PhaseMode::AlwaysTrue => true,
+        }
+    }
+
+    /// Glue (literal-block distance) of a clause: the number of distinct
+    /// decision levels among its literals. Must run while the literals
+    /// are still assigned, i.e. before backtracking away from the
+    /// conflict that produced them.
+    fn clause_glue(&mut self, lits: &[Lit]) -> u32 {
+        self.glue_tick += 1;
+        let stamp = self.glue_tick;
+        let mut glue = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.glue_stamp[lvl] != stamp {
+                self.glue_stamp[lvl] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
+    /// Coarse-tick bookkeeping: progress sampling, peer-clause pickup,
+    /// and the armed-budget check.
+    fn tick_poll(&mut self) -> Option<StopReason> {
+        self.obs_sample();
+        if self.share.is_some() {
+            self.drain_shared();
+        }
+        self.check_armed()
+    }
+
+    /// Copies freshly published peer clauses into the pending-import
+    /// buffer (bounded; overflow is dropped, which is always sound).
+    #[cold]
+    fn drain_shared(&mut self) {
+        if let Some(ctx) = self.share.as_mut() {
+            let pending = &mut self.pending_import;
+            ctx.drain(|c| {
+                if pending.len() < MAX_PENDING_IMPORTS {
+                    pending.push(c);
+                }
+            });
+        }
+    }
+
+    /// Installs pending peer clauses. Only called at decision level 0.
+    /// Returns `false` if an import revealed top-level unsatisfiability.
+    ///
+    /// Peer learnts are implied by the shared original formula, so
+    /// installing them preserves both verdicts and models — even when
+    /// they mention variables this worker's preprocessor eliminated
+    /// (every model of the originals satisfies every implied clause, so
+    /// model reconstruction stays valid without reactivation).
+    fn install_imports(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        while let Some(c) = self.pending_import.pop() {
+            if !self.ok {
+                self.pending_import.clear();
+                return false;
+            }
+            self.stats.shared_imported += 1;
+            self.add_learnt_vec(c.lits().to_vec());
+        }
+        self.ok
     }
 
     /// Whether the clause is the reason of its first literal's
@@ -1056,10 +1463,16 @@ impl Solver {
         let budget_start = self.stats.conflicts;
         let mut restart_count = 0u64;
         let result = loop {
-            let conflicts_allowed = if self.restarts_enabled {
-                100 * luby(2.0, restart_count) as u64
-            } else {
-                u64::MAX
+            // Between runs the solver sits at level 0: the natural point
+            // to install clauses imported from portfolio peers.
+            if !self.pending_import.is_empty() && !self.install_imports() {
+                break SolveResult::Unsat;
+            }
+            let conflicts_allowed = match self.config.restart {
+                RestartStrategy::Luby { base, unit } => {
+                    unit.saturating_mul(luby(base, restart_count) as u64)
+                }
+                RestartStrategy::Glucose { .. } | RestartStrategy::Never => u64::MAX,
             };
             match self.search(conflicts_allowed, assumptions, budget_start) {
                 SearchOutcome::Sat => break SolveResult::Sat,
@@ -1071,6 +1484,9 @@ impl Solver {
                 SearchOutcome::Restart => {
                     restart_count += 1;
                     self.stats.restarts += 1;
+                    // Damp glucose's fast average so one trigger doesn't
+                    // immediately re-fire after the restart.
+                    self.lbd_fast = self.lbd_slow;
                 }
             }
         };
@@ -1105,13 +1521,24 @@ impl Solver {
             let dc = conflicts.saturating_sub(c0);
             let dp = props.saturating_sub(p0);
             if let Some(rate) = dc.saturating_mul(1_000_000_000).checked_div(dt_ns) {
-                let h = self.obs.handles.get_or_insert_with(|| {
+                if self.obs.handles.is_none() {
                     let m = aqed_obs::metrics::global();
-                    ObsHandles {
-                        conflict_rate: m.histogram("sat.conflict_rate_per_s"),
-                        prop_latency: m.histogram("sat.prop_latency_ns"),
-                    }
-                });
+                    let (conflict_rate, prop_latency) = match self.metrics_scope.as_deref() {
+                        Some(scope) => (
+                            m.histogram_scoped("sat.conflict_rate_per_s", scope),
+                            m.histogram_scoped("sat.prop_latency_ns", scope),
+                        ),
+                        None => (
+                            m.histogram("sat.conflict_rate_per_s"),
+                            m.histogram("sat.prop_latency_ns"),
+                        ),
+                    };
+                    self.obs.handles = Some(ObsHandles {
+                        conflict_rate,
+                        prop_latency,
+                    });
+                }
+                let h = self.obs.handles.as_ref().expect("handles just resolved");
                 h.conflict_rate.record(rate);
                 if let Some(lat) = dt_ns.checked_div(dp) {
                     h.prop_latency.record(lat);
@@ -1148,6 +1575,22 @@ impl Solver {
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(conflict);
+                // Glue is only needed for glucose restarts and the
+                // sharing filter; the default Luby-without-sharing path
+                // skips the computation entirely.
+                if self.share.is_some()
+                    || matches!(self.config.restart, RestartStrategy::Glucose { .. })
+                {
+                    let glue = self.clause_glue(&learnt);
+                    self.lbd_fast += LBD_EMA_FAST * (f64::from(glue) - self.lbd_fast);
+                    self.lbd_slow += LBD_EMA_SLOW * (f64::from(glue) - self.lbd_slow);
+                    if glue <= MAX_SHARED_GLUE && learnt.len() <= MAX_SHARED_LITS {
+                        if let Some(share) = &self.share {
+                            share.export(&learnt);
+                            self.stats.shared_exported += 1;
+                        }
+                    }
+                }
                 self.backtrack_to(bt_level);
                 match learnt.len() {
                     1 => self.unchecked_enqueue(learnt[0], None),
@@ -1170,8 +1613,7 @@ impl Solver {
                 }
                 self.tick += 1;
                 if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
-                    self.obs_sample();
-                    if let Some(reason) = self.check_armed() {
+                    if let Some(reason) = self.tick_poll() {
                         self.backtrack_to(0);
                         return SearchOutcome::Interrupted(reason);
                     }
@@ -1179,13 +1621,26 @@ impl Solver {
             } else {
                 self.tick += 1;
                 if self.tick.is_multiple_of(BUDGET_CHECK_INTERVAL) {
-                    self.obs_sample();
-                    if let Some(reason) = self.check_armed() {
+                    if let Some(reason) = self.tick_poll() {
                         self.backtrack_to(0);
                         return SearchOutcome::Interrupted(reason);
                     }
                 }
-                if conflicts_here >= conflicts_allowed {
+                if !self.pending_import.is_empty()
+                    && self.decision_level() == 0
+                    && !self.install_imports()
+                {
+                    return SearchOutcome::Unsat;
+                }
+                let restart_now = match self.config.restart {
+                    RestartStrategy::Luby { .. } => conflicts_here >= conflicts_allowed,
+                    RestartStrategy::Glucose {
+                        margin,
+                        min_conflicts,
+                    } => conflicts_here >= min_conflicts && self.lbd_fast > margin * self.lbd_slow,
+                    RestartStrategy::Never => false,
+                };
+                if restart_now {
                     self.backtrack_to(0);
                     return SearchOutcome::Restart;
                 }
@@ -1215,7 +1670,10 @@ impl Solver {
                 let decision = match next_decision {
                     Some(a) => a,
                     None => match self.pick_branch_var() {
-                        Some(v) => v.lit(self.phase[v.index()]),
+                        Some(v) => {
+                            let polarity = self.decide_polarity(v);
+                            v.lit(polarity)
+                        }
                         None => return SearchOutcome::Sat,
                     },
                 };
@@ -2105,6 +2563,85 @@ mod tests {
         assert_eq!(s.solve_with(&[v[0].pos()]), SolveResult::Sat);
         for &x in &v {
             assert_eq!(s.model_value(x), Some(true));
+        }
+    }
+
+    /// Pins [`SolverStats::absorb`] field by field. The struct literals
+    /// are deliberately exhaustive (no `..Default::default()`): adding a
+    /// stats field without deciding its aggregation semantics — and
+    /// updating both `absorb` and this test — must fail to compile.
+    /// Multi-worker portfolio runs fold every worker's stats through
+    /// `absorb`, so a forgotten field silently vanishes from reports.
+    #[test]
+    fn absorb_covers_every_stats_field() {
+        let mut a = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            learnts: 5,
+            deleted: 6,
+            binary_props: 7,
+            gc_runs: 8,
+            arena_bytes: 9,
+            subsumed: 10,
+            eliminated_vars: 11,
+            preprocess_micros: 12,
+            shared_exported: 13,
+            shared_imported: 14,
+            wasted_conflicts: 15,
+            portfolio_winner: None,
+        };
+        let b = SolverStats {
+            decisions: 100,
+            propagations: 200,
+            conflicts: 300,
+            restarts: 400,
+            learnts: 500,
+            deleted: 600,
+            binary_props: 700,
+            gc_runs: 800,
+            arena_bytes: 4, // below a's gauge: max must keep 9
+            subsumed: 1000,
+            eliminated_vars: 1100,
+            preprocess_micros: 1200,
+            shared_exported: 1300,
+            shared_imported: 1400,
+            wasted_conflicts: 1500,
+            portfolio_winner: Some(2),
+        };
+        a.absorb(&b);
+        assert_eq!(a.decisions, 101);
+        assert_eq!(a.propagations, 202);
+        assert_eq!(a.conflicts, 303);
+        assert_eq!(a.restarts, 404);
+        assert_eq!(a.learnts, 505);
+        assert_eq!(a.deleted, 606);
+        assert_eq!(a.binary_props, 707);
+        assert_eq!(a.gc_runs, 808);
+        assert_eq!(a.arena_bytes, 9, "arena_bytes is a gauge: max, not sum");
+        assert_eq!(a.subsumed, 1010);
+        assert_eq!(a.eliminated_vars, 1111);
+        assert_eq!(a.preprocess_micros, 1212);
+        assert_eq!(a.shared_exported, 1313);
+        assert_eq!(a.shared_imported, 1414);
+        assert_eq!(a.wasted_conflicts, 1515);
+        assert_eq!(
+            a.portfolio_winner,
+            Some(2),
+            "a later race's winner overwrites; absorbing a non-portfolio \
+             run must not erase it"
+        );
+        a.absorb(&SolverStats::default());
+        assert_eq!(a.portfolio_winner, Some(2));
+        let shown = a.to_string();
+        for needle in [
+            "shared_exported=1313",
+            "shared_imported=1414",
+            "wasted_conflicts=1515",
+            "portfolio_winner=2",
+        ] {
+            assert!(shown.contains(needle), "{needle} missing from {shown}");
         }
     }
 }

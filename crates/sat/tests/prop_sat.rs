@@ -2,7 +2,8 @@
 //! small formulas, plus model checking on satisfiable instances.
 
 use aqed_sat::{
-    ArmedBudget, Budget, DimacsBackend, SatBackend, SolveResult, Solver, StopReason, Var,
+    ArmedBudget, Budget, DimacsBackend, PhaseMode, PortfolioBackend, RestartStrategy, SatBackend,
+    SolveResult, Solver, SolverConfig, StopReason, Var,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -430,6 +431,224 @@ proptest! {
                     "model must satisfy all clauses and assumptions so far"
                 );
             }
+        }
+    }
+}
+
+/// Arbitrary solver configurations, covering the whole diversification
+/// space the portfolio draws from (and then some): restart strategy,
+/// decay, phase policy, randomization frequencies, RNG seed.
+fn config_strategy() -> impl Strategy<Value = SolverConfig> {
+    (
+        prop_oneof![
+            (15u64..40, 1u64..64).prop_map(|(b, u)| RestartStrategy::Luby {
+                base: b as f64 / 10.0,
+                unit: u * 16,
+            }),
+            (105u64..150, 1u64..200).prop_map(|(m, c)| RestartStrategy::Glucose {
+                margin: m as f64 / 100.0,
+                min_conflicts: c,
+            }),
+            Just(RestartStrategy::Never),
+        ],
+        500u64..999,
+        prop_oneof![
+            Just(PhaseMode::Saved),
+            Just(PhaseMode::AlwaysFalse),
+            Just(PhaseMode::AlwaysTrue),
+        ],
+        0u64..300,
+        0u64..300,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(restart, decay, phase, rand_pol, rand_var, seed)| SolverConfig {
+                restart,
+                var_decay: decay as f64 / 1000.0,
+                phase,
+                random_polarity_freq: rand_pol as f64 / 1000.0,
+                random_var_freq: rand_var as f64 / 1000.0,
+                seed,
+            },
+        )
+}
+
+/// Runs `clauses` through a [`PortfolioBackend`] of the given width.
+fn run_portfolio(
+    workers: usize,
+    sharing: bool,
+    n: usize,
+    clauses: &[Vec<i32>],
+    assumptions: &[i32],
+) -> (SolveResult, Vec<bool>) {
+    let mut backend = PortfolioBackend::new(workers);
+    backend.set_sharing_enabled(sharing);
+    let vars: Vec<Var> = (0..n).map(|_| backend.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<_> = c
+            .iter()
+            .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+            .collect();
+        backend.add_clause(&lits);
+    }
+    let assumed: Vec<_> = assumptions
+        .iter()
+        .map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+        .collect();
+    let r = backend.solve_under(&assumed);
+    let model = vars
+        .iter()
+        .map(|&v| backend.value(v.pos()).unwrap_or(false))
+        .collect();
+    (r, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Every point in the configuration space is a *complete* solver:
+    /// whatever the restart strategy, phase policy, decay, or
+    /// randomization, the verdict must equal brute force and Sat models
+    /// must check out. This is what makes portfolio diversification
+    /// sound — workers differ only in search order, never in semantics.
+    #[test]
+    fn any_solver_config_agrees_with_brute_force(
+        n in 2usize..9,
+        clauses in prop::collection::vec(clause_strategy(8), 1..25),
+        config in config_strategy(),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let expect = brute_force_sat(n, &clauses);
+        let mut s = Solver::with_config(config);
+        let vars = s.new_vars(n);
+        for c in &clauses {
+            s.add_clause(
+                c.iter().map(|&l| vars[(l.unsigned_abs() - 1) as usize].lit(l > 0)),
+            );
+        }
+        let got = s.solve();
+        prop_assert_eq!(got, if expect { SolveResult::Sat } else { SolveResult::Unsat });
+        if got == SolveResult::Sat {
+            let model: Vec<bool> = vars
+                .iter()
+                .map(|&v| s.model_value(v).unwrap_or(false))
+                .collect();
+            prop_assert!(model_satisfies(&clauses, &model));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `portfolio(N) ≡ cdcl` on verdicts, for any width and either
+    /// sharing mode; Sat models from the winning worker must satisfy
+    /// the formula plus assumptions.
+    #[test]
+    fn portfolio_any_width_matches_cdcl_verdicts(
+        n in 2usize..9,
+        clauses in prop::collection::vec(clause_strategy(8), 1..25),
+        raw_assumptions in prop::collection::vec((1..=8i32, any::<bool>()), 0..3),
+        workers in 1usize..5,
+        sharing in any::<bool>(),
+    ) {
+        let clauses: Vec<Vec<i32>> = clauses
+            .into_iter()
+            .map(|c| c.into_iter().filter(|l| l.unsigned_abs() as usize <= n).collect::<Vec<_>>())
+            .filter(|c: &Vec<i32>| !c.is_empty())
+            .collect();
+        let assumptions: Vec<i32> = raw_assumptions
+            .into_iter()
+            .filter(|&(v, _)| v as usize <= n)
+            .map(|(v, s)| if s { v } else { -v })
+            .collect();
+        let (cdcl, _) = run_backend::<Solver>(n, &clauses, &assumptions);
+        let (port, model) = run_portfolio(workers, sharing, n, &clauses, &assumptions);
+        prop_assert_eq!(cdcl, port, "workers={} sharing={}", workers, sharing);
+        if port == SolveResult::Sat {
+            let mut check = clauses.clone();
+            check.extend(assumptions.iter().map(|&l| vec![l]));
+            prop_assert!(model_satisfies(&check, &model), "portfolio model must satisfy");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Clause sharing is invisible in verdicts: two portfolios driven
+    /// through the same incremental session — sharing on vs. off — must
+    /// agree with brute force at every step. Imported clauses are
+    /// implied by the formula, so they may only steer search, never
+    /// change answers (a torn or unsound import would surface here as a
+    /// wrong Unsat).
+    #[test]
+    fn clause_sharing_never_changes_verdicts(
+        n in 4usize..9,
+        batches in prop::collection::vec(
+            prop::collection::vec(clause_strategy(8), 1..6),
+            2..4,
+        ),
+        assumption_seed in any::<u64>(),
+    ) {
+        let mut with_sharing = PortfolioBackend::new(3);
+        with_sharing.set_sharing_enabled(true);
+        let mut without_sharing = PortfolioBackend::new(3);
+        without_sharing.set_sharing_enabled(false);
+        let vars_on: Vec<Var> = (0..n).map(|_| with_sharing.new_var()).collect();
+        let vars_off: Vec<Var> = (0..n).map(|_| without_sharing.new_var()).collect();
+        let mut rng = StdRng::seed_from_u64(assumption_seed);
+        let mut so_far: Vec<Vec<i32>> = Vec::new();
+        for batch in batches {
+            for c in batch {
+                let c: Vec<i32> = c
+                    .into_iter()
+                    .filter(|l| l.unsigned_abs() as usize <= n)
+                    .collect();
+                if c.is_empty() {
+                    continue;
+                }
+                let lits_on: Vec<_> = c
+                    .iter()
+                    .map(|&l| vars_on[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                    .collect();
+                let lits_off: Vec<_> = c
+                    .iter()
+                    .map(|&l| vars_off[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                    .collect();
+                with_sharing.add_clause(&lits_on);
+                without_sharing.add_clause(&lits_off);
+                so_far.push(c);
+            }
+            let assumed: Vec<i32> = (0..rng.gen_range(0..3usize))
+                .map(|_| {
+                    let v = rng.gen_range(1..=n as i32);
+                    if rng.gen() { v } else { -v }
+                })
+                .collect();
+            let on_lits: Vec<_> = assumed
+                .iter()
+                .map(|&l| vars_on[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                .collect();
+            let off_lits: Vec<_> = assumed
+                .iter()
+                .map(|&l| vars_off[(l.unsigned_abs() - 1) as usize].lit(l > 0))
+                .collect();
+            let got_on = with_sharing.solve_under(&on_lits);
+            let got_off = without_sharing.solve_under(&off_lits);
+            let mut check = so_far.clone();
+            check.extend(assumed.iter().map(|&l| vec![l]));
+            let expect = if brute_force_sat(n, &check) {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            prop_assert_eq!(got_on, expect, "sharing-on verdict");
+            prop_assert_eq!(got_off, expect, "sharing-off verdict");
         }
     }
 }

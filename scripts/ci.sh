@@ -57,6 +57,31 @@ for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
     done
 done
 
+echo "== portfolio identity (CLI, --backend portfolio vs cdcl, whole catalog)"
+# The portfolio backend races diversified solvers and shares learned
+# clauses, but it is still a decision procedure: on every catalog design
+# it must report the same exit code and verdict line as the single
+# cdcl backend, with sharing on and off.
+for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
+    for variant in "" "--healthy"; do
+        cdcl_rc=0
+        cdcl_out=$(./target/release/aqed verify "$case" $variant --bound 8 \
+            --backend cdcl | verdict) || cdcl_rc=$?
+        for extra in "" "--no-clause-sharing"; do
+            port_rc=0
+            port_out=$(./target/release/aqed verify "$case" $variant --bound 8 \
+                --backend portfolio --portfolio-workers 2 $extra | verdict) || port_rc=$?
+            if [ "$cdcl_rc" != "$port_rc" ] || [ "$cdcl_out" != "$port_out" ]; then
+                echo "portfolio identity violated on '$case $variant $extra':" >&2
+                echo "  cdcl:      rc=$cdcl_rc  $cdcl_out" >&2
+                echo "  portfolio: rc=$port_rc  $port_out" >&2
+                exit 1
+            fi
+        done
+        echo "  $case $variant: rc=$cdcl_rc verdict '$cdcl_out' identical"
+    done
+done
+
 echo "== observability: traced catalog verify, trace validation, zero-cost-off"
 # Every catalog design runs once with tracing + report JSON on; the
 # resulting JSONL must pass trace_report's structural validation
@@ -81,6 +106,23 @@ for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
         exit 1
     fi
 done
+# The portfolio path emits async (b/e) obligation and worker spans that
+# cross threads; a traced portfolio run must still pass structural
+# validation (balanced spans, paired async begin/end), and an untraced
+# portfolio run keeps the obs layer fully disarmed.
+rc=0
+./target/release/aqed verify dataflow_fifo_sizing --bound 8 \
+    --backend portfolio --portfolio-workers 2 \
+    --trace-out "$obs_tmp/portfolio.jsonl" >/dev/null || rc=$?
+if [ "$rc" -gt 1 ]; then
+    echo "traced portfolio verify failed with rc=$rc" >&2
+    exit 1
+fi
+./target/release/trace_report "$obs_tmp/portfolio.jsonl" --check
+if ! grep -q '"ph":"b"' "$obs_tmp/portfolio.jsonl"; then
+    echo "portfolio trace contains no async spans" >&2
+    exit 1
+fi
 # Tracing off must cost nothing: with no --trace-out/--report-json the
 # obs layer is disarmed and must never touch the clock or buffer an
 # event. That invariant is asserted structurally (not by flaky timing)
