@@ -1,0 +1,151 @@
+//! Load generator for the `aqed-serve` daemon: drives N concurrent
+//! clients against an in-process server and reports the saturation
+//! curve plus the cold-vs-warm artifact-cache latency split (see
+//! EXPERIMENTS.md, "Service throughput").
+//!
+//! ```text
+//! cargo run --release -p aqed-bench --bin load_gen
+//!   [--workers N] [--requests N] [--clients 1,2,4,8]
+//! ```
+
+use aqed_engine::VerifyRequest;
+use aqed_serve::{submit, ServeOptions, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The request mix: quick catalog cases with distinct designs, so the
+/// cache is exercised across several keys rather than one hot entry.
+fn workload() -> Vec<(&'static str, VerifyRequest)> {
+    let mut mix = Vec::new();
+    for (label, case, healthy, bound) in [
+        ("dataflow buggy", "dataflow_fifo_sizing", false, 16),
+        ("dataflow healthy", "dataflow_fifo_sizing", true, 8),
+        ("motivating buggy", "motivating_clock_enable", false, 14),
+        ("optflow buggy", "optflow_pushpop", false, 15),
+    ] {
+        let mut req = VerifyRequest::new(case);
+        req.healthy = healthy;
+        req.bound = Some(bound);
+        req.jobs = 1;
+        mix.push((label, req));
+    }
+    mix
+}
+
+fn run_one(addr: SocketAddr, req: &VerifyRequest) -> (Duration, u64) {
+    let start = Instant::now();
+    let outcome = submit(addr, req).expect("request must complete");
+    assert!(
+        !outcome.rejected,
+        "load request rejected: {}",
+        outcome.verdict
+    );
+    let hits = outcome
+        .report
+        .as_ref()
+        .and_then(|r| r.get("cache_hits"))
+        .and_then(aqed_obs::json::Json::as_u64)
+        .unwrap_or(0);
+    (start.elapsed(), hits)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut workers = 4usize;
+    let mut requests = 32usize;
+    let mut client_counts = vec![1usize, 2, 4, 8];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).expect("--workers N"),
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests N");
+            }
+            "--clients" => {
+                client_counts = it
+                    .next()
+                    .expect("--clients LIST")
+                    .split(',')
+                    .map(|c| c.parse().expect("client count"))
+                    .collect();
+            }
+            other => panic!("unknown flag '{other}'"),
+        }
+    }
+    let server = Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 256,
+    })
+    .expect("bind in-process server");
+    let addr = server.addr();
+    let mix = workload();
+    println!("# load_gen: {workers} workers, {requests} requests per level\n");
+
+    // Cold vs warm: the first submission of each case pays design
+    // build + COI + preprocessing + solving; the repeat is answered
+    // from the artifact store.
+    println!("## cold vs warm cache latency\n");
+    println!("| case | cold ms | warm ms | speedup | warm cache hits |");
+    println!("|---|---|---|---|---|");
+    for (label, req) in &mix {
+        let (cold, _) = run_one(addr, req);
+        let (warm, hits) = run_one(addr, req);
+        println!(
+            "| {label} | {:.1} | {:.1} | {:.1}x | {hits} |",
+            ms(cold),
+            ms(warm),
+            ms(cold) / ms(warm).max(0.001),
+        );
+    }
+
+    // Saturation: the cache is warm for the whole mix now, so this
+    // curve measures the service path (queueing, scheduling, report
+    // assembly), not the solver.
+    println!("\n## saturation curve (warm cache)\n");
+    println!("| clients | total s | req/s | mean ms | p95 ms |");
+    println!("|---|---|---|---|---|");
+    for &clients in &client_counts {
+        let started = Instant::now();
+        let latencies: Vec<Duration> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let mix = &mix;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut i = client;
+                        while i < requests {
+                            let (_, req) = &mix[i % mix.len()];
+                            mine.push(run_one(addr, req).0);
+                            i += clients;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let total = started.elapsed();
+        let mut sorted = latencies.clone();
+        sorted.sort();
+        let mean = ms(latencies.iter().sum::<Duration>()) / latencies.len() as f64;
+        let p95 = ms(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)]);
+        println!(
+            "| {clients} | {:.2} | {:.1} | {mean:.1} | {p95:.1} |",
+            total.as_secs_f64(),
+            requests as f64 / total.as_secs_f64(),
+        );
+    }
+    server.begin_shutdown();
+    server.join();
+}

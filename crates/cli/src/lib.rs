@@ -13,14 +13,13 @@
 //! Argument parsing is by hand (no external dependencies); the library
 //! portion is testable without spawning a process.
 
-use aqed_bmc::{to_btor2_witness, BmcOptions};
+use aqed_bmc::to_btor2_witness;
 use aqed_core::{
-    run_hybrid, verify_obligations_scheduled, AqedHarness, Budget, CheckOutcome, HybridConfig,
-    ParallelVerifyReport, ScheduleOptions,
+    run_hybrid, AqedHarness, CheckOutcome, HybridConfig, ParallelVerifyReport, StopHandle,
 };
 use aqed_designs::{all_cases, BugCase};
+use aqed_engine::{BackendKind, Engine, VerifyRequest};
 use aqed_expr::ExprPool;
-use aqed_sat::{DimacsBackend, PortfolioBackend, Solver};
 use aqed_sim::Testbench;
 use aqed_tsys::{to_btor2, to_vcd};
 use std::fmt;
@@ -45,6 +44,16 @@ impl fmt::Display for BackendChoice {
             BackendChoice::Dimacs => "dimacs",
             BackendChoice::Portfolio => "portfolio",
         })
+    }
+}
+
+impl From<BackendChoice> for BackendKind {
+    fn from(choice: BackendChoice) -> Self {
+        match choice {
+            BackendChoice::Cdcl => BackendKind::Cdcl,
+            BackendChoice::Dimacs => BackendKind::Dimacs,
+            BackendChoice::Portfolio => BackendKind::Portfolio,
+        }
     }
 }
 
@@ -428,6 +437,22 @@ fn find_case(id: &str) -> Result<BugCase, String> {
 ///
 /// I/O errors from the output sink are returned verbatim.
 pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    run_with_stop(cmd, out, None)
+}
+
+/// [`run`] under an external cancellation handle: tripping `stop`
+/// (the Ctrl-C handler) drains a `verify` run through the ordinary
+/// `Inconclusive (cancelled)` taxonomy, so the process exits 2 with a
+/// truthful verdict instead of dying mid-solve.
+///
+/// # Errors
+///
+/// I/O errors from the output sink are returned verbatim.
+pub fn run_with_stop(
+    cmd: &Command,
+    out: &mut dyn std::io::Write,
+    stop: Option<&StopHandle>,
+) -> std::io::Result<i32> {
     match cmd {
         Command::Help => {
             write!(out, "{}", usage())?;
@@ -475,44 +500,23 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             trace_out,
             report_json,
         } => {
-            let case = match find_case(case) {
-                Ok(c) => c,
-                Err(e) => {
-                    writeln!(out, "error: {e}")?;
-                    return Ok(2);
-                }
+            // The engine owns the whole run — catalog lookup, monitor
+            // composition, budgets, backend dispatch, the governed
+            // scheduler. The CLI's job is flags in, text out.
+            let request = VerifyRequest {
+                case: case.clone(),
+                healthy: *healthy,
+                bound: *bound,
+                jobs: *jobs,
+                backend: (*backend).into(),
+                portfolio_workers: *portfolio_workers,
+                clause_sharing: *clause_sharing,
+                timeout: timeout.map(std::time::Duration::from_secs),
+                conflict_budget: *conflict_budget,
+                fail_fast: *fail_fast,
+                preprocess: *preprocess,
+                coi: *coi,
             };
-            let mut pool = ExprPool::new();
-            let lca = if *healthy {
-                (case.build_healthy)(&mut pool)
-            } else {
-                (case.build_buggy)(&mut pool)
-            };
-            let mut harness = AqedHarness::new(&lca);
-            if let Some(fc) = &case.fc {
-                harness = harness.with_fc(fc.clone());
-            }
-            if let Some(rb) = &case.rb {
-                harness = harness.with_rb(*rb);
-            }
-            // Build once so the counterexample and the exported model
-            // share one variable space, then run the obligation
-            // scheduler against the composed system.
-            let (composed, _) = harness.build(&mut pool);
-            let b = bound.unwrap_or(case.bmc_bound);
-            let mut budget = Budget::unlimited();
-            if let Some(secs) = timeout {
-                budget = budget.with_timeout(std::time::Duration::from_secs(*secs));
-            }
-            let mut options = BmcOptions::default()
-                .with_max_bound(b)
-                .with_budget(budget)
-                .with_preprocess(*preprocess)
-                .with_coi(*coi);
-            options.conflict_budget = *conflict_budget;
-            let sched = ScheduleOptions::default()
-                .with_jobs(*jobs)
-                .with_fail_fast(*fail_fast);
             // Arm observability before the run so metrics and spans
             // cover it end to end; torn down again below so one
             // invocation never leaks state into the next (the gates are
@@ -537,29 +541,28 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             } else {
                 false
             };
-            let report = match backend {
-                BackendChoice::Cdcl => {
-                    verify_obligations_scheduled::<Solver>(&composed, &pool, &options, &sched)
-                }
-                BackendChoice::Dimacs => verify_obligations_scheduled::<DimacsBackend>(
-                    &composed, &pool, &options, &sched,
-                ),
-                BackendChoice::Portfolio => {
-                    // The scheduler instantiates backends via
-                    // `B::default()`, so the width and sharing switch
-                    // travel through process globals.
-                    aqed_sat::portfolio::set_default_workers(*portfolio_workers);
-                    aqed_sat::portfolio::set_default_sharing(*clause_sharing);
-                    verify_obligations_scheduled::<PortfolioBackend>(
-                        &composed, &pool, &options, &sched,
-                    )
-                }
+            let engine = Engine::new();
+            let result = match stop {
+                Some(handle) => engine.verify_cancellable(&request, handle),
+                None => engine.verify(&request),
             };
             if trace_installed {
                 aqed_obs::uninstall_sink();
             }
-            print_obligation_stats(out, &report, *backend)?;
-            let code = match &report.outcome {
+            let outcome = match result {
+                Ok(o) => o,
+                Err(e) => {
+                    if obs_on {
+                        aqed_obs::set_enabled(false);
+                    }
+                    writeln!(out, "error: {e}")?;
+                    return Ok(2);
+                }
+            };
+            let (report, composed, pool) = (&outcome.report, &outcome.composed, &outcome.pool);
+            print_obligation_stats(out, report, *backend)?;
+            let code = outcome.exit_code();
+            match &report.outcome {
                 CheckOutcome::Bug {
                     counterexample: cex,
                     ..
@@ -570,17 +573,16 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                         report.runtime, report.aggregate.clauses
                     )?;
                     writeln!(out, "\ninput trace:")?;
-                    writeln!(out, "{}", cex.trace.to_table(&pool))?;
+                    writeln!(out, "{}", cex.trace.to_table(pool))?;
                     if *witness {
                         writeln!(out, "BTOR2 witness:")?;
-                        write!(out, "{}", to_btor2_witness(cex, &composed, &pool))?;
+                        write!(out, "{}", to_btor2_witness(cex, composed, pool))?;
                     }
                     if let Some(path) = vcd {
-                        let dump = to_vcd(&composed, &pool, &cex.trace, &cex.initial_state);
+                        let dump = to_vcd(composed, pool, &cex.trace, &cex.initial_state);
                         std::fs::write(path, dump)?;
                         writeln!(out, "wrote VCD to {path}")?;
                     }
-                    1 // bug found
                 }
                 CheckOutcome::Clean { bound } => {
                     writeln!(
@@ -588,23 +590,14 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
                         "clean up to bound {bound} ({:?}, {} clauses)",
                         report.runtime, report.aggregate.clauses
                     )?;
-                    // A degraded run cannot vouch for full coverage even
-                    // when every surviving obligation came back clean.
-                    if report.degraded {
-                        2
-                    } else {
-                        0
-                    }
                 }
                 CheckOutcome::Inconclusive { bound, reason } => {
                     writeln!(out, "inconclusive at bound {bound} ({reason})")?;
-                    2
                 }
                 CheckOutcome::Errored { message } => {
                     writeln!(out, "error: {message}")?;
-                    2
                 }
-            };
+            }
             if let Some(path) = report_json {
                 let mut json = report.to_json();
                 let metrics = aqed_obs::metrics::global().snapshot();

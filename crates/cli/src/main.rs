@@ -13,7 +13,10 @@ fn main() -> ExitCode {
         }
     };
     let mut stdout = std::io::stdout().lock();
-    match aqed_cli::run(&cmd, &mut stdout) {
+    // First Ctrl-C asks the run to drain (exit 2, `inconclusive
+    // (cancelled)`); a second one terminates the process the usual way.
+    let stop = aqed_sat::stop_on_sigint();
+    match aqed_cli::run_with_stop(&cmd, &mut stdout, Some(&stop)) {
         Ok(code) => ExitCode::from(u8::try_from(code.clamp(0, 255)).unwrap_or(255)),
         Err(e) => {
             eprintln!("io error: {e}");

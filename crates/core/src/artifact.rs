@@ -1,0 +1,431 @@
+//! Cross-request artifact cache for verification runs.
+//!
+//! A long-lived process (the `aqed-serve` daemon, a warm CI loop) sees
+//! the same composed design over and over. [`ArtifactStore`] is the
+//! content-addressed memory shared by those runs: artifacts are keyed by
+//! a 64-bit hash of the composed system's canonical BTOR2 export (see
+//! [`design_hash`]), so "the same design" means *textually the same
+//! model*, independent of which request built it.
+//!
+//! Two artifact kinds are stored:
+//!
+//! * **COI cones** — the per-(design, bad-set) support fixpoints that
+//!   the per-run [`CoiCache`] memoizes. Cones are encoded positionally
+//!   (indices into the system's `inputs ++ states` declaration order,
+//!   never raw `VarId`s) so they stay valid across requests that rebuild
+//!   the design in a fresh [`ExprPool`]. A run seeds its `CoiCache` from
+//!   the store before solving and donates new cones back afterwards.
+//! * **Obligation verdicts** — per-(design, bad) facts merged across
+//!   runs: the deepest bound known clean and the shallowest known
+//!   counterexample. Only *definitive* outcomes are recorded (`Clean`,
+//!   validated `Bug`); `Inconclusive`/`Errored` depend on budgets and
+//!   are never cached. Because BMC explores depth by depth, a stored
+//!   bug's depth is minimal, so a warm hit reproduces exactly the
+//!   verdict a cold run would compute — a bug at depth `d` answers any
+//!   request with bound ≥ `d`, and a design clean to bound `k` answers
+//!   any request with bound ≤ `k`.
+//!
+//! Soundness guards: a 64-bit content hash plus a bad-name check gate
+//! every lookup, and a cached counterexample is **replayed on the
+//! concrete simulator against the requesting run's system** before
+//! being served — a hash collision or stale entry degrades to a cache
+//! miss, never to a wrong verdict.
+
+use crate::verify::CheckOutcome;
+use aqed_bmc::Counterexample;
+use aqed_expr::{ExprPool, VarId};
+use aqed_obs::metrics;
+use aqed_tsys::{to_btor2, CoiCache, TransitionSystem};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Content hash of a composed system: FNV-1a 64 over its canonical
+/// BTOR2 export. Two requests share artifacts exactly when their
+/// composed design+monitor systems print identically.
+#[must_use]
+pub fn design_hash(ts: &TransitionSystem, pool: &ExprPool) -> u64 {
+    let text = to_btor2(ts, pool);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything known about one (design, bad-index) obligation, merged
+/// over every run that touched it.
+#[derive(Debug, Clone)]
+struct ObligationFact {
+    /// Bad-property name, checked on lookup (hash-collision guard).
+    bad_name: String,
+    /// No counterexample exists at any depth `<= clean_to`.
+    clean_to: Option<usize>,
+    /// The shallowest known counterexample, with the property it
+    /// violates. BMC's depth-by-depth search makes this depth minimal.
+    bug: Option<(crate::verify::PropertyKind, Counterexample)>,
+}
+
+/// Cone table key: (design hash, sorted bad-index set).
+type ConeKey = (u64, Vec<usize>);
+
+/// Thread-safe, content-hash-keyed artifact cache shared across
+/// verification requests (see the module docs for keying and soundness).
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    /// Cone key → positional cone encoding.
+    cones: Mutex<HashMap<ConeKey, Vec<u32>>>,
+    /// (design hash, bad index) → merged obligation facts.
+    outcomes: Mutex<HashMap<(u64, usize), ObligationFact>>,
+    outcome_hits: AtomicU64,
+    outcome_misses: AtomicU64,
+    cones_seeded: AtomicU64,
+    cones_absorbed: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Position of every input and state variable in declaration order —
+/// the `VarId`-independent coordinate system cones are stored in.
+fn var_positions(ts: &TransitionSystem) -> HashMap<VarId, u32> {
+    ts.inputs()
+        .iter()
+        .copied()
+        .chain(ts.states().iter().map(|s| s.var))
+        .enumerate()
+        .map(|(i, v)| (v, u32::try_from(i).expect("system with > u32::MAX vars")))
+        .collect()
+}
+
+fn position_vars(ts: &TransitionSystem) -> Vec<VarId> {
+    ts.inputs()
+        .iter()
+        .copied()
+        .chain(ts.states().iter().map(|s| s.var))
+        .collect()
+}
+
+impl ArtifactStore {
+    #[must_use]
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// Obligation lookups answered from the store.
+    #[must_use]
+    pub fn outcome_hits(&self) -> u64 {
+        self.outcome_hits.load(Ordering::Relaxed)
+    }
+
+    /// Obligation lookups that had to solve.
+    #[must_use]
+    pub fn outcome_misses(&self) -> u64 {
+        self.outcome_misses.load(Ordering::Relaxed)
+    }
+
+    /// Cones transplanted into per-run caches so far.
+    #[must_use]
+    pub fn cones_seeded(&self) -> u64 {
+        self.cones_seeded.load(Ordering::Relaxed)
+    }
+
+    /// Cones harvested from per-run caches so far.
+    #[must_use]
+    pub fn cones_absorbed(&self) -> u64 {
+        self.cones_absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Transplants every stored cone for `design` into a fresh per-run
+    /// [`CoiCache`], translating positions back to the run's `VarId`s.
+    /// Returns how many cones were seeded.
+    pub fn seed_coi_cache(&self, design: u64, ts: &TransitionSystem, cache: &CoiCache) -> usize {
+        let vars = position_vars(ts);
+        let mut seeded = 0usize;
+        for ((_, bads), positions) in lock(&self.cones).iter().filter(|((d, _), _)| *d == design) {
+            let cone: Option<HashSet<VarId>> = positions
+                .iter()
+                .map(|&p| vars.get(p as usize).copied())
+                .collect();
+            // An out-of-range position means the entry does not belong
+            // to this system (hash collision); skip it.
+            let Some(cone) = cone else { continue };
+            cache.seed_cone(bads, cone);
+            seeded += 1;
+        }
+        if seeded > 0 {
+            self.cones_seeded
+                .fetch_add(seeded as u64, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global()
+                    .counter("artifact.cone.seeded")
+                    .add(seeded as u64);
+            }
+        }
+        seeded
+    }
+
+    /// Harvests every cone a finished run memoized into the store,
+    /// encoded positionally. Returns how many entries were new.
+    pub fn absorb_cones(&self, design: u64, ts: &TransitionSystem, cache: &CoiCache) -> usize {
+        let positions = var_positions(ts);
+        let mut added = 0usize;
+        let mut cones = lock(&self.cones);
+        for (bads, cone) in cache.cones() {
+            cones.entry((design, bads)).or_insert_with(|| {
+                added += 1;
+                let mut enc: Vec<u32> = cone
+                    .iter()
+                    // Cone sets may mention vars that are neither inputs
+                    // nor states; slicing only ever tests membership of
+                    // input/state vars, so dropping the rest is safe.
+                    .filter_map(|v| positions.get(v).copied())
+                    .collect();
+                enc.sort_unstable();
+                enc
+            });
+        }
+        drop(cones);
+        if added > 0 {
+            self.cones_absorbed
+                .fetch_add(added as u64, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global()
+                    .counter("artifact.cone.absorbed")
+                    .add(added as u64);
+            }
+        }
+        added
+    }
+
+    /// Answers one obligation from the store if a definitive fact
+    /// covers the requested bound, else `None`. A served bug has been
+    /// replayed against `ts`/`pool`; a served clean relies on the
+    /// content hash plus the bad-name check.
+    #[must_use]
+    pub fn lookup_outcome(
+        &self,
+        design: u64,
+        bad_index: usize,
+        bad_name: &str,
+        bound: usize,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+    ) -> Option<CheckOutcome> {
+        let served = self.try_serve(design, bad_index, bad_name, bound, ts, pool);
+        if aqed_obs::enabled() {
+            let name = if served.is_some() {
+                "artifact.outcome.hits"
+            } else {
+                "artifact.outcome.misses"
+            };
+            metrics::global().counter(name).inc();
+        }
+        match &served {
+            Some(_) => self.outcome_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.outcome_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        served
+    }
+
+    fn try_serve(
+        &self,
+        design: u64,
+        bad_index: usize,
+        bad_name: &str,
+        bound: usize,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+    ) -> Option<CheckOutcome> {
+        let key = (design, bad_index);
+        let fact = lock(&self.outcomes).get(&key).cloned()?;
+        if fact.bad_name != bad_name {
+            return None;
+        }
+        if let Some((property, cex)) = &fact.bug {
+            if cex.depth > bound {
+                // The known bug is deeper than this request's horizon,
+                // and BMC found nothing shallower — the request's
+                // answer is clean at its own bound.
+                return Some(CheckOutcome::Clean { bound });
+            }
+            if cex.replay(ts, pool) {
+                return Some(CheckOutcome::Bug {
+                    property: *property,
+                    counterexample: cex.clone(),
+                });
+            }
+            // The witness does not replay on this run's system: the
+            // entry is stale or collided. Drop it so it cannot keep
+            // degrading every lookup.
+            lock(&self.outcomes).remove(&key);
+            return None;
+        }
+        match fact.clean_to {
+            Some(k) if k >= bound => Some(CheckOutcome::Clean { bound }),
+            _ => None,
+        }
+    }
+
+    /// Merges one freshly computed obligation outcome into the store.
+    /// Non-definitive outcomes (`Inconclusive`, `Errored`) are ignored:
+    /// they describe the budget, not the design.
+    pub fn record_outcome(
+        &self,
+        design: u64,
+        bad_index: usize,
+        bad_name: &str,
+        outcome: &CheckOutcome,
+    ) {
+        let mut outcomes = lock(&self.outcomes);
+        let fact = outcomes
+            .entry((design, bad_index))
+            .or_insert_with(|| ObligationFact {
+                bad_name: bad_name.to_string(),
+                clean_to: None,
+                bug: None,
+            });
+        if fact.bad_name != bad_name {
+            // Collision between two designs with the same hash but
+            // different monitors; keep the first owner.
+            return;
+        }
+        match outcome {
+            CheckOutcome::Clean { bound } => {
+                fact.clean_to = Some(fact.clean_to.map_or(*bound, |k| k.max(*bound)));
+            }
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                let shallower = fact
+                    .bug
+                    .as_ref()
+                    .is_none_or(|(_, old)| counterexample.depth < old.depth);
+                if shallower {
+                    fact.bug = Some((*property, counterexample.clone()));
+                }
+                // Depth-by-depth search: a cex at depth d proves depths
+                // < d clean.
+                if counterexample.depth > 0 {
+                    let below = counterexample.depth - 1;
+                    fact.clean_to = Some(fact.clean_to.map_or(below, |k| k.max(below)));
+                }
+            }
+            CheckOutcome::Inconclusive { .. } | CheckOutcome::Errored { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqed_sat::StopReason;
+
+    fn toy_system(pool: &mut ExprPool, bug_at: u64) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("toy");
+        let en = ts.add_input(pool, "en", 1);
+        let c = ts.add_register(pool, "c", 4, 0);
+        let ce = pool.var_expr(c);
+        let one = pool.lit(4, 1);
+        let inc = pool.add(ce, one);
+        let ene = pool.var_expr(en);
+        let next = pool.ite(ene, inc, ce);
+        ts.set_next(c, next);
+        let tgt = pool.lit(4, bug_at);
+        let hit = pool.eq(ce, tgt);
+        ts.add_bad("counter_hits_target", hit);
+        ts
+    }
+
+    #[test]
+    fn hashes_separate_different_designs() {
+        let mut p = ExprPool::new();
+        let a = toy_system(&mut p, 5);
+        let b = toy_system(&mut p, 6);
+        assert_ne!(design_hash(&a, &p), design_hash(&b, &p));
+        assert_eq!(design_hash(&a, &p), design_hash(&a, &p));
+    }
+
+    #[test]
+    fn clean_facts_cover_smaller_bounds_only() {
+        let mut p = ExprPool::new();
+        let ts = toy_system(&mut p, 9);
+        let h = design_hash(&ts, &p);
+        let store = ArtifactStore::new();
+        let name = "counter_hits_target";
+        assert!(store.lookup_outcome(h, 0, name, 4, &ts, &p).is_none());
+        store.record_outcome(h, 0, name, &CheckOutcome::Clean { bound: 6 });
+        // Covered bound: served, re-bounded to the request.
+        assert!(matches!(
+            store.lookup_outcome(h, 0, name, 4, &ts, &p),
+            Some(CheckOutcome::Clean { bound: 4 })
+        ));
+        // Deeper than anything known: miss.
+        assert!(store.lookup_outcome(h, 0, name, 8, &ts, &p).is_none());
+        // Wrong bad name (collision guard): miss.
+        assert!(store.lookup_outcome(h, 0, "other", 4, &ts, &p).is_none());
+        assert_eq!(store.outcome_hits(), 1);
+        assert_eq!(store.outcome_misses(), 3);
+    }
+
+    #[test]
+    fn budget_limited_outcomes_are_never_recorded() {
+        let mut p = ExprPool::new();
+        let ts = toy_system(&mut p, 9);
+        let h = design_hash(&ts, &p);
+        let store = ArtifactStore::new();
+        store.record_outcome(
+            h,
+            0,
+            "counter_hits_target",
+            &CheckOutcome::Inconclusive {
+                bound: 3,
+                reason: StopReason::Conflicts,
+            },
+        );
+        store.record_outcome(
+            h,
+            0,
+            "counter_hits_target",
+            &CheckOutcome::Errored {
+                message: "worker panicked".into(),
+            },
+        );
+        assert!(store
+            .lookup_outcome(h, 0, "counter_hits_target", 1, &ts, &p)
+            .is_none());
+    }
+
+    #[test]
+    fn cones_round_trip_through_positional_encoding() {
+        let mut p = ExprPool::new();
+        let ts = toy_system(&mut p, 5);
+        let h = design_hash(&ts, &p);
+        let store = ArtifactStore::new();
+        // Run one cached slice, donate its cone...
+        let donor = CoiCache::new();
+        let _ = aqed_tsys::coi_slice_cached(&ts, &p, &[0], Some(&donor));
+        assert_eq!(store.absorb_cones(h, &ts, &donor), 1);
+        // Absorbing the same cones again adds nothing.
+        assert_eq!(store.absorb_cones(h, &ts, &donor), 0);
+        // ...and a "second request" (fresh pool, same construction)
+        // gets it back as a pure memo hit with an identical slice.
+        let mut p2 = ExprPool::new();
+        let ts2 = toy_system(&mut p2, 5);
+        assert_eq!(design_hash(&ts2, &p2), h);
+        let warm = CoiCache::new();
+        assert_eq!(store.seed_coi_cache(h, &ts2, &warm), 1);
+        let cold = aqed_tsys::coi_slice(&ts2, &p2, &[0]);
+        let cached = aqed_tsys::coi_slice_cached(&ts2, &p2, &[0], Some(&warm));
+        assert_eq!(warm.hits(), 1);
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(cold.system.inputs(), cached.system.inputs());
+        assert_eq!(cold.latches_kept, cached.latches_kept);
+        // A different design's hash sees nothing.
+        let other = CoiCache::new();
+        assert_eq!(store.seed_coi_cache(h ^ 1, &ts2, &other), 0);
+    }
+}

@@ -52,20 +52,23 @@
 //! }
 //! ```
 
+mod artifact;
 mod hybrid;
 mod monitor;
 mod parallel;
 mod report_json;
 mod verify;
 
+pub use artifact::{design_hash, ArtifactStore};
 pub use hybrid::{run_hybrid, HybridConfig, HybridOutcome};
 pub use monitor::{
     FcConfig, MonitorHandles, RbConfig, SacConfig, BAD_FC, BAD_FC_EARLY, BAD_RB_NO_OUTPUT,
     BAD_RB_STARVATION, BAD_SAC,
 };
 pub use parallel::{
-    verify_obligations, verify_obligations_scheduled, verify_obligations_with, Obligation,
-    ObligationReport, ParallelVerifyReport, ScheduleOptions,
+    verify_obligations, verify_obligations_governed, verify_obligations_scheduled,
+    verify_obligations_with, Obligation, ObligationReport, ParallelVerifyReport, RunContext,
+    ScheduleOptions,
 };
 pub use verify::{AqedHarness, CheckOutcome, PropertyKind, VerifyReport};
 

@@ -45,6 +45,7 @@
 //!   concrete simulator before being reported; a mismatch becomes a loud
 //!   `UnsoundWitness` error, never a silently trusted bug report.
 
+use crate::artifact::{design_hash, ArtifactStore};
 use crate::verify::{validated_bug, CheckOutcome, PropertyKind};
 use aqed_bmc::{ArmedBudget, Bmc, BmcOptions, BmcResult, BmcStats, Counterexample, StopReason};
 use aqed_expr::ExprPool;
@@ -142,6 +143,34 @@ impl ScheduleOptions {
     }
 }
 
+/// Cross-request context for a governed run: what
+/// [`verify_obligations_governed`] adds over the per-run
+/// [`ScheduleOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct RunContext {
+    /// Cross-request artifact cache. When set, the run seeds its
+    /// per-run COI cache from the store, answers obligations with
+    /// definitive cached verdicts without solving, and donates new
+    /// cones and verdicts back afterwards.
+    pub artifacts: Option<Arc<ArtifactStore>>,
+    /// External cancellation: the run's budget is armed with a child of
+    /// this handle, so tripping it (Ctrl-C, a client cancel request)
+    /// drains the run as `Inconclusive {reason: Cancelled}` without
+    /// affecting sibling runs under the same parent.
+    pub stop: Option<StopHandle>,
+}
+
+impl RunContext {
+    /// A context that only attaches an artifact store.
+    #[must_use]
+    pub fn with_artifacts(store: Arc<ArtifactStore>) -> Self {
+        RunContext {
+            artifacts: Some(store),
+            stop: None,
+        }
+    }
+}
+
 /// Verdict and statistics of one obligation's BMC run.
 #[derive(Debug, Clone)]
 pub struct ObligationReport {
@@ -152,11 +181,15 @@ pub struct ObligationReport {
     /// Solver statistics of this job's run (summed over retries).
     pub stats: BmcStats,
     /// Solve attempts made (> 1 when conflict-budget retries escalated;
-    /// 0 when the job was cancelled before it started).
+    /// 0 when the job was cancelled before it started or answered from
+    /// the artifact cache).
     pub attempts: u32,
     /// Wall-clock time this obligation spent on a worker, across all
     /// attempts (zero when it was drained without running).
     pub wall: Duration,
+    /// Whether the verdict was served from the cross-request artifact
+    /// store instead of being solved.
+    pub cache_hit: bool,
 }
 
 /// Aggregate report of an obligation-scheduled verification run.
@@ -181,6 +214,9 @@ pub struct ParallelVerifyReport {
     pub degraded: bool,
     /// How many stuck jobs the watchdog cancelled.
     pub watchdog_trips: u64,
+    /// Obligations answered from the cross-request artifact store
+    /// without solving (always 0 without a [`RunContext`] store).
+    pub cache_hits: u64,
 }
 
 impl ParallelVerifyReport {
@@ -203,6 +239,25 @@ impl ParallelVerifyReport {
     #[must_use]
     pub fn cex_cycles(&self) -> Option<usize> {
         self.counterexample().map(Counterexample::cycles)
+    }
+
+    /// The process exit code the CLI taxonomy assigns this report:
+    /// 0 clean, 1 bug, 2 inconclusive / errored / degraded-clean.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match &self.outcome {
+            CheckOutcome::Bug { .. } => 1,
+            // A degraded run cannot vouch for full coverage even when
+            // every surviving obligation came back clean.
+            CheckOutcome::Clean { .. } => {
+                if self.degraded {
+                    2
+                } else {
+                    0
+                }
+            }
+            CheckOutcome::Inconclusive { .. } | CheckOutcome::Errored { .. } => 2,
+        }
     }
 }
 
@@ -301,6 +356,36 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
     options: &BmcOptions,
     sched: &ScheduleOptions,
 ) -> ParallelVerifyReport {
+    verify_obligations_governed::<B>(composed, pool, options, sched, &RunContext::default())
+}
+
+/// [`verify_obligations_scheduled`] plus cross-request context: an
+/// optional [`ArtifactStore`] (cone reuse + definitive-verdict cache)
+/// and an optional external [`StopHandle`] for cancellation from
+/// outside the run (signal handlers, a server's per-job cancel).
+///
+/// With a store, the run computes the composed system's content hash
+/// once, seeds its per-run COI cache from the store, serves obligations
+/// whose definitive verdict (clean to a covering bound, or a replaying
+/// counterexample within bound) is already known — marked `cache_hit`
+/// in their reports — and donates new cones and verdicts back when the
+/// run completes. Verdicts are identical with and without the store; a
+/// stale or colliding entry degrades to a miss via witness replay,
+/// never to a wrong verdict.
+///
+/// # Panics
+///
+/// Panics if `composed` has no bad properties or a bad name is not one
+/// of the A-QED monitor's. Worker panics degrade their obligation
+/// instead of propagating.
+#[must_use]
+pub fn verify_obligations_governed<B: SatBackend + Default>(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    options: &BmcOptions,
+    sched: &ScheduleOptions,
+    ctx: &RunContext,
+) -> ParallelVerifyReport {
     let start = Instant::now();
     let obligations: Vec<Obligation> = composed
         .bads()
@@ -335,9 +420,24 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
     }
     // One COI cache per run: every obligation slices the same composed
     // system, and the expensive half of the fixpoint (the per-state
-    // support index) is identical across all of them.
+    // support index) is identical across all of them. With an artifact
+    // store, cones memoized by earlier runs of the same design are
+    // transplanted in before any obligation runs.
     let coi_cache = Arc::new(CoiCache::new());
-    let armed = ArmedBudget::arm(&options.budget);
+    let store: Option<(&ArtifactStore, u64)> = ctx
+        .artifacts
+        .as_deref()
+        .map(|s| (s, design_hash(composed, pool)));
+    if let Some((s, h)) = store {
+        let seeded = s.seed_coi_cache(h, composed, &coi_cache);
+        if run_span.is_active() {
+            run_span.record("cones_seeded", seeded as u64);
+        }
+    }
+    let armed = match &ctx.stop {
+        Some(stop) => ArmedBudget::arm_with(&options.budget, stop.child()),
+        None => ArmedBudget::arm(&options.budget),
+    };
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let watchdog_trips = AtomicU64::new(0);
@@ -382,6 +482,7 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
                     &active,
                     &results,
                     &coi_cache,
+                    store,
                 );
                 // Scoped threads signal completion before their TLS
                 // destructors run, so the drop-flush of the trace buffer
@@ -402,11 +503,18 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
     let degraded = reports
         .iter()
         .any(|r| matches!(r.outcome, CheckOutcome::Errored { .. }));
+    let cache_hits = reports.iter().filter(|r| r.cache_hit).count() as u64;
+    // Donate this run's freshly computed cones to the store so later
+    // requests on the same design skip the support fixpoint entirely.
+    if let Some((s, h)) = store {
+        s.absorb_cones(h, composed, &coi_cache);
+    }
     if run_span.is_active() {
         run_span.record("outcome", outcome_code(&outcome));
         run_span.record("degraded", degraded);
         run_span.record("coi_cache_hits", coi_cache.hits());
         run_span.record("coi_cache_misses", coi_cache.misses());
+        run_span.record("artifact_cache_hits", cache_hits);
     }
     ParallelVerifyReport {
         outcome,
@@ -416,6 +524,7 @@ pub fn verify_obligations_scheduled<B: SatBackend + Default>(
         runtime: start.elapsed(),
         degraded,
         watchdog_trips: watchdog_trips.load(Ordering::Relaxed),
+        cache_hits,
     }
 }
 
@@ -438,6 +547,7 @@ fn worker_loop<B: SatBackend + Default>(
     active: &ActiveJobs,
     results: &Mutex<Vec<(usize, ObligationReport)>>,
     coi_cache: &Arc<CoiCache>,
+    store: Option<(&ArtifactStore, u64)>,
 ) {
     loop {
         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -459,6 +569,32 @@ fn worker_loop<B: SatBackend + Default>(
                 stats: BmcStats::default(),
                 attempts: 0,
                 wall: Duration::ZERO,
+                cache_hit: false,
+            }
+        } else if let Some(cached) = store.and_then(|(s, h)| {
+            s.lookup_outcome(
+                h,
+                ob.bad_index,
+                &ob.bad_name,
+                options.max_bound,
+                composed,
+                pool,
+            )
+        }) {
+            // A definitive verdict for this (design, bad, bound) is
+            // already known; serve it without touching a solver.
+            obs_event!(
+                "obligation.cached",
+                index = ob.bad_index as u64,
+                outcome = outcome_code(&cached)
+            );
+            ObligationReport {
+                obligation: ob.clone(),
+                outcome: cached,
+                stats: BmcStats::default(),
+                attempts: 0,
+                wall: Duration::ZERO,
+                cache_hit: true,
             }
         } else {
             let job = armed.child();
@@ -495,9 +631,16 @@ fn worker_loop<B: SatBackend + Default>(
                         stats: BmcStats::default(),
                         attempts: 1,
                         wall: started.elapsed(),
+                        cache_hit: false,
                     }
                 }
             };
+            // Donate a freshly computed definitive verdict (the store
+            // ignores budget-limited outcomes) so repeat requests on
+            // this design skip the solve.
+            if let Some((s, h)) = store {
+                s.record_outcome(h, ob.bad_index, &ob.bad_name, &report.outcome);
+            }
             if sp.is_active() {
                 sp.record("outcome", outcome_code(&report.outcome));
                 sp.record("attempts", u64::from(report.attempts));
@@ -635,6 +778,7 @@ fn check_obligation<B: SatBackend + Default>(
             stats,
             attempts,
             wall: started.elapsed(),
+            cache_hit: false,
         };
     }
 }

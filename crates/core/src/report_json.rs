@@ -12,79 +12,66 @@ use aqed_obs::json::Json;
 use aqed_sat::SolverStats;
 use std::time::Duration;
 
-fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-fn num(v: u64) -> Json {
-    // u64 counters can exceed f64's exact-integer range in theory; in
-    // practice solver counters stay far below 2^53. Saturate rather
-    // than silently wrap.
-    Json::Num(v as f64)
-}
-
 fn ms(d: Duration) -> Json {
     Json::Num(d.as_secs_f64() * 1e3)
 }
 
 fn solver_stats_json(s: &SolverStats) -> Json {
-    obj(vec![
-        ("decisions", num(s.decisions)),
-        ("propagations", num(s.propagations)),
-        ("conflicts", num(s.conflicts)),
-        ("restarts", num(s.restarts)),
-        ("learnts", num(s.learnts)),
-        ("deleted", num(s.deleted)),
-        ("binary_props", num(s.binary_props)),
-        ("gc_runs", num(s.gc_runs)),
-        ("arena_bytes", num(s.arena_bytes)),
-        ("subsumed", num(s.subsumed)),
-        ("eliminated_vars", num(s.eliminated_vars)),
-        ("preprocess_micros", num(s.preprocess_micros)),
+    Json::obj(vec![
+        ("decisions", Json::num(s.decisions)),
+        ("propagations", Json::num(s.propagations)),
+        ("conflicts", Json::num(s.conflicts)),
+        ("restarts", Json::num(s.restarts)),
+        ("learnts", Json::num(s.learnts)),
+        ("deleted", Json::num(s.deleted)),
+        ("binary_props", Json::num(s.binary_props)),
+        ("gc_runs", Json::num(s.gc_runs)),
+        ("arena_bytes", Json::num(s.arena_bytes)),
+        ("subsumed", Json::num(s.subsumed)),
+        ("eliminated_vars", Json::num(s.eliminated_vars)),
+        ("preprocess_micros", Json::num(s.preprocess_micros)),
     ])
 }
 
 fn bmc_stats_json(s: &BmcStats) -> Json {
-    obj(vec![
-        ("frames_encoded", num(s.frames_encoded as u64)),
-        ("solver_calls", num(s.solver_calls)),
-        ("clauses", num(s.clauses as u64)),
-        ("variables", num(s.variables as u64)),
+    Json::obj(vec![
+        ("frames_encoded", Json::num(s.frames_encoded as u64)),
+        ("solver_calls", Json::num(s.solver_calls)),
+        ("clauses", Json::num(s.clauses as u64)),
+        ("variables", Json::num(s.variables as u64)),
         ("elapsed_ms", ms(s.elapsed)),
-        ("coi_latches_kept", num(s.coi_latches_kept as u64)),
-        ("coi_latches_dropped", num(s.coi_latches_dropped as u64)),
+        ("coi_latches_kept", Json::num(s.coi_latches_kept as u64)),
+        (
+            "coi_latches_dropped",
+            Json::num(s.coi_latches_dropped as u64),
+        ),
         ("solver", solver_stats_json(&s.solver)),
     ])
 }
 
 fn outcome_json(outcome: &CheckOutcome) -> Json {
     match outcome {
-        CheckOutcome::Clean { bound } => obj(vec![
+        CheckOutcome::Clean { bound } => Json::obj(vec![
             ("verdict", Json::Str("clean".into())),
-            ("bound", num(*bound as u64)),
+            ("bound", Json::num(*bound as u64)),
         ]),
         CheckOutcome::Bug {
             property,
             counterexample,
-        } => obj(vec![
+        } => Json::obj(vec![
             ("verdict", Json::Str("bug".into())),
             ("property", Json::Str(property.to_string())),
             ("bad_name", Json::Str(counterexample.bad_name.clone())),
-            ("bad_index", num(counterexample.bad_index as u64)),
-            ("depth", num(counterexample.depth as u64)),
-            ("cycles", num(counterexample.cycles() as u64)),
+            ("bad_index", Json::num(counterexample.bad_index as u64)),
+            ("depth", Json::num(counterexample.depth as u64)),
+            ("cycles", Json::num(counterexample.cycles() as u64)),
         ]),
-        CheckOutcome::Inconclusive { bound, reason } => obj(vec![
+        CheckOutcome::Inconclusive { bound, reason } => Json::obj(vec![
             ("verdict", Json::Str("inconclusive".into())),
-            ("bound", num(*bound as u64)),
+            ("bound", Json::num(*bound as u64)),
             ("reason", Json::Str(reason.to_string())),
         ]),
-        CheckOutcome::Errored { message } => obj(vec![
+        CheckOutcome::Errored { message } => Json::obj(vec![
             ("verdict", Json::Str("errored".into())),
             ("message", Json::Str(message.clone())),
         ]),
@@ -92,13 +79,14 @@ fn outcome_json(outcome: &CheckOutcome) -> Json {
 }
 
 fn obligation_json(r: &ObligationReport) -> Json {
-    obj(vec![
-        ("bad_index", num(r.obligation.bad_index as u64)),
+    Json::obj(vec![
+        ("bad_index", Json::num(r.obligation.bad_index as u64)),
         ("bad_name", Json::Str(r.obligation.bad_name.clone())),
         ("property", Json::Str(r.obligation.property.to_string())),
         ("outcome", outcome_json(&r.outcome)),
-        ("attempts", num(u64::from(r.attempts))),
+        ("attempts", Json::num(u64::from(r.attempts))),
         ("wall_ms", ms(r.wall)),
+        ("cache_hit", Json::Bool(r.cache_hit)),
         ("stats", bmc_stats_json(&r.stats)),
     ])
 }
@@ -108,17 +96,18 @@ impl ParallelVerifyReport {
     /// report with its statistics, and the aggregate — as a JSON value.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        obj(vec![
+        Json::obj(vec![
             ("outcome", outcome_json(&self.outcome)),
             (
                 "obligations",
                 Json::Arr(self.obligations.iter().map(obligation_json).collect()),
             ),
             ("aggregate", bmc_stats_json(&self.aggregate)),
-            ("jobs", num(self.jobs as u64)),
+            ("jobs", Json::num(self.jobs as u64)),
             ("runtime_ms", ms(self.runtime)),
             ("degraded", Json::Bool(self.degraded)),
-            ("watchdog_trips", num(self.watchdog_trips)),
+            ("watchdog_trips", Json::num(self.watchdog_trips)),
+            ("cache_hits", Json::num(self.cache_hits)),
         ])
     }
 }

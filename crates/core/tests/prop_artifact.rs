@@ -1,0 +1,108 @@
+//! Property test of the cross-request artifact cache: over randomized
+//! synthesized accelerators (latency, FIFO depth, bug on/off, bound),
+//! a run backed by an [`ArtifactStore`] — cold or warm — must produce
+//! exactly the per-obligation verdicts of a cache-off run, and a fully
+//! warm run must be served without solving.
+
+use aqed_bmc::BmcOptions;
+use aqed_core::{
+    verify_obligations_governed, AqedHarness, ArtifactStore, CheckOutcome, FcConfig,
+    ParallelVerifyReport, RunContext, ScheduleOptions,
+};
+use aqed_expr::ExprPool;
+use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+use aqed_sat::Solver;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Comparable summary of one obligation verdict: (rank, label, depth, bound).
+type VerdictKey = (u8, Option<String>, Option<usize>, Option<usize>);
+
+fn verdict_key(outcome: &CheckOutcome) -> VerdictKey {
+    match outcome {
+        CheckOutcome::Clean { bound } => (0, None, None, Some(*bound)),
+        CheckOutcome::Bug { counterexample, .. } => (
+            1,
+            Some(counterexample.bad_name.clone()),
+            Some(counterexample.depth),
+            None,
+        ),
+        CheckOutcome::Inconclusive { bound, reason } => {
+            (2, Some(reason.to_string()), None, Some(*bound))
+        }
+        CheckOutcome::Errored { message } => (3, Some(message.clone()), None, None),
+    }
+}
+
+fn keys(report: &ParallelVerifyReport) -> Vec<(String, VerdictKey)> {
+    report
+        .obligations
+        .iter()
+        .map(|r| (r.obligation.bad_name.clone(), verdict_key(&r.outcome)))
+        .collect()
+}
+
+/// One full run of a synthesized accelerator, optionally through a
+/// shared store. The design construction is deterministic, so repeat
+/// calls hash to the same artifact key.
+fn run_once(
+    latency: usize,
+    fifo_depth: usize,
+    bug: bool,
+    bound: usize,
+    store: Option<&Arc<ArtifactStore>>,
+) -> ParallelVerifyReport {
+    let mut pool = ExprPool::new();
+    let spec = AccelSpec::new("prop_cache", 2, 6, 6)
+        .with_latency(latency)
+        .with_fifo_depth(fifo_depth);
+    let lca = synthesize(
+        &spec,
+        &mut pool,
+        SynthOptions {
+            forwarding_bug: bug,
+            ..SynthOptions::default()
+        },
+        |p, _a, d| {
+            let c = p.lit(6, 0x15);
+            let x = p.xor(d, c);
+            let one = p.lit(6, 1);
+            p.add(x, one)
+        },
+    );
+    let (composed, _) = AqedHarness::new(&lca)
+        .with_fc(FcConfig::default())
+        .build(&mut pool);
+    let options = BmcOptions::default().with_max_bound(bound);
+    let sched = ScheduleOptions::default().with_jobs(2);
+    let ctx = match store {
+        Some(s) => RunContext::with_artifacts(Arc::clone(s)),
+        None => RunContext::default(),
+    };
+    verify_obligations_governed::<Solver>(&composed, &pool, &options, &sched, &ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn a_cache_hit_never_changes_an_obligations_verdict(
+        latency in 1usize..4,
+        fifo_depth in 1usize..3,
+        bug in any::<bool>(),
+        bound in 4usize..9,
+    ) {
+        let baseline = run_once(latency, fifo_depth, bug, bound, None);
+        let store = Arc::new(ArtifactStore::new());
+        let cold = run_once(latency, fifo_depth, bug, bound, Some(&store));
+        let warm = run_once(latency, fifo_depth, bug, bound, Some(&store));
+        let expected = keys(&baseline);
+        prop_assert_eq!(&expected, &keys(&cold), "cold store run drifted");
+        prop_assert_eq!(&expected, &keys(&warm), "warm store run drifted");
+        prop_assert_eq!(baseline.exit_code(), warm.exit_code());
+        // Unlimited budgets make every verdict definitive, so the warm
+        // run must be answered entirely from the store.
+        prop_assert_eq!(warm.cache_hits, warm.obligations.len() as u64);
+        prop_assert_eq!(warm.aggregate.solver_calls, 0);
+    }
+}

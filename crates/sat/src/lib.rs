@@ -43,6 +43,7 @@ mod heap;
 pub mod portfolio;
 mod preprocess;
 pub mod share;
+mod signal;
 mod solver;
 
 pub use backend::{DimacsBackend, ReplayError, SatBackend};
@@ -50,6 +51,7 @@ pub use budget::{ArmedBudget, Budget, StopHandle, StopReason};
 pub use dimacs::{parse_dimacs, ParseDimacsError};
 pub use portfolio::PortfolioBackend;
 pub use share::ClausePool;
+pub use signal::stop_on_sigint;
 pub use solver::{
     PhaseMode, PropagationReplay, RestartStrategy, SolveResult, Solver, SolverConfig, SolverStats,
 };

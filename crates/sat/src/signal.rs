@@ -1,0 +1,84 @@
+//! Wiring OS signals into the [`StopHandle`](crate::StopHandle)
+//! cancellation chain.
+//!
+//! Frontends (the CLI, the `aqed-serve` daemon) want Ctrl-C to drain a
+//! run through the normal `Cancelled` taxonomy instead of killing the
+//! process mid-solve. The workspace carries no `libc`/`signal-hook`
+//! dependency, so this module declares the one C symbol it needs —
+//! `signal(2)`, which the Rust standard library already links — and
+//! keeps the handler async-signal-safe: it only stores into an atomic
+//! that a process-global [`StopHandle`](crate::StopHandle) reads.
+//!
+//! The handler is one-shot by design: the first SIGINT requests a
+//! graceful stop and re-installs the default disposition, so a second
+//! Ctrl-C terminates the process the ordinary way if draining hangs.
+
+use crate::budget::StopHandle;
+use std::sync::OnceLock;
+
+static SIGINT_STOP: OnceLock<StopHandle> = OnceLock::new();
+
+/// Returns a process-global [`StopHandle`] that trips on the first
+/// SIGINT, installing the handler on first call. Subsequent calls
+/// return the same handle without touching signal dispositions.
+///
+/// A second SIGINT falls through to the default disposition
+/// (terminate), so an operator is never locked out of killing a hung
+/// drain. On non-Unix targets the returned handle simply never trips.
+#[must_use]
+pub fn stop_on_sigint() -> StopHandle {
+    let handle = SIGINT_STOP.get_or_init(StopHandle::new).clone();
+    #[cfg(unix)]
+    unix::install();
+    handle
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SIGINT_STOP;
+    use std::os::raw::c_int;
+    use std::sync::Once;
+
+    const SIGINT: c_int = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // `signal(2)` from the platform libc, which std already links.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: c_int) {
+        // Async-signal-safe: a relaxed atomic store (request_stop) and a
+        // `signal` call restoring the default disposition. No locks, no
+        // allocation.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+        if let Some(handle) = SIGINT_STOP.get() {
+            handle.request_stop();
+        }
+    }
+
+    pub(super) fn install() {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_calls_share_one_handle() {
+        let a = stop_on_sigint();
+        let b = stop_on_sigint();
+        // Tripping one clone is visible through the other: they are the
+        // same process-global handle.
+        assert!(!b.is_requested());
+        a.request_stop();
+        assert!(b.is_requested());
+    }
+}

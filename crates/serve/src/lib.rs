@@ -1,0 +1,672 @@
+//! `aqed-serve`: a long-lived verification daemon over [`aqed_engine`].
+//!
+//! The engine made a verification run a value ([`VerifyRequest`] in,
+//! outcome out); this crate makes it a *service*: a TCP listener feeds a
+//! bounded job queue drained by a persistent worker pool, every worker
+//! drives the same [`Engine`] so the cross-request
+//! [`aqed_core::ArtifactStore`] stays warm, and each
+//! connection streams its job's lifecycle as JSON-lines events.
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line in both directions. The client speaks
+//! commands:
+//!
+//! ```text
+//! {"cmd":"verify","request":{"case":"aes_v1","bound":12,...}}
+//! {"cmd":"cancel"}          cancel this connection's job
+//! {"cmd":"ping"}            liveness probe
+//! {"cmd":"shutdown"}        drain the queue and stop the daemon
+//! ```
+//!
+//! The server answers with *events* in exactly the shape the
+//! observability JSONL sink writes (`{"ts":..,"tid":..,"ph":"I",
+//! "name":..,"args":{..}}`, see `aqed-obs`), so the existing
+//! `trace_report` tooling can digest a captured session stream
+//! unchanged. Lifecycle names: `job.queued`, `job.started`,
+//! `job.heartbeat`, `job.cancel_requested`, `job.done`, `job.error`,
+//! `job.rejected`, `server.pong`, `server.shutdown`,
+//! `protocol.error`. A `job.done` event carries the exit code, the
+//! CLI-identical verdict line and the full report JSON.
+//!
+//! # Cancellation and drain
+//!
+//! Every job gets a [`StopHandle`] chained off the server root; a
+//! client `cancel` (or dropping the connection mid-flight) trips the
+//! job's handle and the run drains through the ordinary
+//! `Inconclusive {reason: Cancelled}` taxonomy — exit code 2, same as
+//! Ctrl-C on the one-shot CLI. Shutdown is graceful: the listener stops
+//! accepting, queued jobs still run, workers exit when the queue is
+//! empty, and [`Server::join`] returns once they have.
+
+use aqed_core::{ArtifactStore, CheckOutcome, ParallelVerifyReport};
+use aqed_engine::{Engine, VerifyRequest};
+use aqed_obs::json::{self, Json};
+use aqed_obs::metrics;
+use aqed_sat::StopHandle;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Address to listen on. Port 0 picks an ephemeral port; read the
+    /// bound address back from [`Server::addr`].
+    pub addr: String,
+    /// Persistent worker threads draining the job queue. Each runs one
+    /// job at a time through the shared engine.
+    pub workers: usize,
+    /// Maximum number of *queued* (not yet started) jobs before new
+    /// submissions are rejected with `job.rejected`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Writes JSONL events for one connection. Cloned freely: the worker,
+/// the heartbeat thread and the connection handler all emit through the
+/// same shared stream.
+#[derive(Debug, Clone)]
+struct Emitter {
+    stream: Arc<Mutex<TcpStream>>,
+    epoch: Instant,
+}
+
+impl Emitter {
+    fn emit(&self, name: &str, args: Vec<(&'static str, Json)>) {
+        let event = Json::obj(vec![
+            ("ts", Json::num(self.epoch.elapsed().as_nanos() as u64)),
+            ("tid", Json::num(0)),
+            ("ph", Json::Str("I".into())),
+            ("name", Json::Str(name.into())),
+            ("args", Json::obj(args)),
+        ]);
+        let mut s = lock(&self.stream);
+        // A dead client is not the server's problem: the job still runs
+        // to completion (or cancellation via the EOF path) and the event
+        // is simply dropped.
+        let _ = writeln!(&mut *s, "{event}");
+        let _ = s.flush();
+    }
+}
+
+/// One queued verification job.
+struct Job {
+    id: u64,
+    request: VerifyRequest,
+    stop: StopHandle,
+    done: Arc<AtomicBool>,
+    emitter: Emitter,
+}
+
+struct ServerState {
+    engine: Engine,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    job_seq: AtomicU64,
+    root_stop: StopHandle,
+    epoch: Instant,
+}
+
+impl ServerState {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// A running verification daemon. Construct with [`Server::start`];
+/// stop with [`Server::begin_shutdown`] (or a client `shutdown`
+/// command) followed by [`Server::join`].
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the accept loop and the worker pool,
+    /// and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure if the address is unavailable.
+    pub fn start(opts: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            engine: Engine::with_artifacts(Arc::new(ArtifactStore::new())),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: opts.queue_capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            job_seq: AtomicU64::new(0),
+            root_stop: StopHandle::new(),
+            epoch: Instant::now(),
+        });
+        let mut threads = Vec::with_capacity(opts.workers.max(1) + 1);
+        {
+            let state = Arc::clone(&state);
+            threads.push(
+                thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(&state, &listener))
+                    .expect("spawn accept loop"),
+            );
+        }
+        for i in 0..opts.workers.max(1) {
+            let state = Arc::clone(&state);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, i))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(Server {
+            state,
+            addr,
+            threads,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cross-request artifact store every worker shares.
+    #[must_use]
+    pub fn artifacts(&self) -> &Arc<ArtifactStore> {
+        self.state
+            .engine
+            .artifacts()
+            .expect("server engine always carries a store")
+    }
+
+    /// Starts a graceful drain: stop accepting, run everything already
+    /// queued, let workers exit. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Whether a shutdown (client command, [`Server::begin_shutdown`])
+    /// has started.
+    #[must_use]
+    pub fn shutdown_started(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Cancels every queued and in-flight job through the root
+    /// [`StopHandle`] chain, then starts the drain. In-flight runs
+    /// return `Inconclusive (cancelled)` to their clients.
+    pub fn cancel_all(&self) {
+        self.state.root_stop.request_stop();
+        self.state.begin_shutdown();
+    }
+
+    /// Waits for the accept loop and every worker to exit. Returns once
+    /// the queue has fully drained after [`Server::begin_shutdown`].
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener) {
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let state = Arc::clone(state);
+                // Handlers are detached: they exit when the client
+                // closes its end (and cancel their job if it is still
+                // running at that point).
+                let _ = thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(&state, stream);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads commands off one connection. Returns on EOF, protocol error or
+/// `shutdown`.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let emitter = Emitter {
+        stream: writer,
+        epoch: state.epoch,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // The one job this connection may own: its stop handle and done
+    // flag, so EOF-with-job-in-flight cancels it (nobody is listening
+    // for the result any more).
+    let mut job: Option<(u64, StopHandle, Arc<AtomicBool>)> = None;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let Ok(msg) = json::parse(text) else {
+            emitter.emit(
+                "protocol.error",
+                vec![("message", Json::Str("malformed JSON command".into()))],
+            );
+            break;
+        };
+        match msg.get("cmd").and_then(Json::as_str) {
+            Some("verify") => {
+                if job.is_some() {
+                    emitter.emit(
+                        "protocol.error",
+                        vec![("message", Json::Str("one verify per connection".into()))],
+                    );
+                    break;
+                }
+                match submit_job(state, &emitter, &msg) {
+                    Ok(accepted) => job = Some(accepted),
+                    // Rejected (queue full / draining / bad request):
+                    // the reject event has been emitted; close.
+                    Err(()) => break,
+                }
+            }
+            Some("cancel") => {
+                if let Some((id, stop, _)) = &job {
+                    stop.request_stop();
+                    metrics::global().counter("serve.jobs.cancelled").inc();
+                    emitter.emit("job.cancel_requested", vec![("job", Json::num(*id))]);
+                }
+            }
+            Some("ping") => emitter.emit("server.pong", vec![]),
+            Some("shutdown") => {
+                state.begin_shutdown();
+                emitter.emit("server.shutdown", vec![]);
+                break;
+            }
+            _ => {
+                emitter.emit(
+                    "protocol.error",
+                    vec![("message", Json::Str("unknown command".into()))],
+                );
+                break;
+            }
+        }
+    }
+    // Client hung up. A job nobody is waiting for should not burn a
+    // worker: cancel it if it has not completed.
+    if let Some((_, stop, done)) = job {
+        if !done.load(Ordering::Acquire) {
+            stop.request_stop();
+        }
+    }
+    Ok(())
+}
+
+/// Parses and enqueues a verify command; emits `job.queued` or
+/// `job.rejected`.
+fn submit_job(
+    state: &Arc<ServerState>,
+    emitter: &Emitter,
+    msg: &Json,
+) -> Result<(u64, StopHandle, Arc<AtomicBool>), ()> {
+    let reject = |reason: String| {
+        metrics::global().counter("serve.jobs.rejected").inc();
+        emitter.emit("job.rejected", vec![("reason", Json::Str(reason))]);
+        Err(())
+    };
+    let request = match msg.get("request") {
+        Some(r) => match VerifyRequest::from_json(r) {
+            Ok(req) => req,
+            Err(e) => return reject(e),
+        },
+        None => return reject("verify needs a 'request' object".into()),
+    };
+    let id = state.job_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let stop = state.root_stop.child();
+    let done = Arc::new(AtomicBool::new(false));
+    let case = request.case.clone();
+    let job = Job {
+        id,
+        request,
+        stop: stop.clone(),
+        done: Arc::clone(&done),
+        emitter: emitter.clone(),
+    };
+    let depth = {
+        let mut q = lock(&state.queue);
+        if state.shutdown.load(Ordering::Acquire) {
+            drop(q);
+            return reject("server is draining".into());
+        }
+        if q.len() >= state.queue_capacity {
+            drop(q);
+            return reject(format!("queue full ({} queued jobs)", state.queue_capacity));
+        }
+        q.push_back(job);
+        q.len()
+    };
+    state.queue_cv.notify_one();
+    metrics::global().counter("serve.jobs.accepted").inc();
+    emitter.emit(
+        "job.queued",
+        vec![
+            ("job", Json::num(id)),
+            ("case", Json::Str(case)),
+            ("queue_depth", Json::num(depth as u64)),
+        ],
+    );
+    Ok((id, stop, done))
+}
+
+fn worker_loop(state: &Arc<ServerState>, worker: usize) {
+    loop {
+        let job = {
+            let mut q = lock(&state.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                // Drain semantics: exit only once the queue is empty.
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = state
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        run_job(state, worker, job);
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, worker: usize, job: Job) {
+    job.emitter.emit(
+        "job.started",
+        vec![
+            ("job", Json::num(job.id)),
+            ("case", Json::Str(job.request.case.clone())),
+            ("worker", Json::num(worker as u64)),
+        ],
+    );
+    // Progress heartbeat: proof of life while the solver grinds, so a
+    // client can distinguish "queued behind others" from "running".
+    let beat = {
+        let emitter = job.emitter.clone();
+        let done = Arc::clone(&job.done);
+        let id = job.id;
+        let started = Instant::now();
+        thread::spawn(move || loop {
+            // Sleep in short steps so job completion is observed within
+            // ~10ms — the heartbeat must never add latency to the job.
+            for _ in 0..100 {
+                thread::sleep(Duration::from_millis(10));
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            emitter.emit(
+                "job.heartbeat",
+                vec![
+                    ("job", Json::num(id)),
+                    (
+                        "elapsed_ms",
+                        Json::num(started.elapsed().as_millis() as u64),
+                    ),
+                ],
+            );
+        })
+    };
+    let result = state.engine.verify_cancellable(&job.request, &job.stop);
+    job.done.store(true, Ordering::Release);
+    let _ = beat.join();
+    match result {
+        Ok(outcome) => {
+            metrics::global().counter("serve.jobs.completed").inc();
+            job.emitter.emit(
+                "job.done",
+                vec![
+                    ("job", Json::num(job.id)),
+                    ("exit_code", Json::num(outcome.exit_code() as u64)),
+                    ("verdict", Json::Str(verdict_line(&outcome.report))),
+                    ("cache_hits", Json::num(outcome.report.cache_hits)),
+                    ("report", outcome.report.to_json()),
+                ],
+            );
+        }
+        Err(e) => {
+            metrics::global().counter("serve.jobs.failed").inc();
+            job.emitter.emit(
+                "job.error",
+                vec![
+                    ("job", Json::num(job.id)),
+                    ("exit_code", Json::num(2)),
+                    ("message", Json::Str(e.to_string())),
+                ],
+            );
+        }
+    }
+}
+
+/// The verdict line for a report, character-identical to what
+/// `aqed verify` prints, so service and one-shot outputs diff clean
+/// (modulo the timing parenthetical).
+#[must_use]
+pub fn verdict_line(report: &ParallelVerifyReport) -> String {
+    match &report.outcome {
+        CheckOutcome::Bug { counterexample, .. } => format!(
+            "bug: {counterexample} ({:?}, {} clauses)",
+            report.runtime, report.aggregate.clauses
+        ),
+        CheckOutcome::Clean { bound } => format!(
+            "clean up to bound {bound} ({:?}, {} clauses)",
+            report.runtime, report.aggregate.clauses
+        ),
+        CheckOutcome::Inconclusive { bound, reason } => {
+            format!("inconclusive at bound {bound} ({reason})")
+        }
+        CheckOutcome::Errored { message } => format!("error: {message}"),
+    }
+}
+
+/// What a client learned from one submitted job.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The run's exit taxonomy (0 clean, 1 bug, 2 inconclusive /
+    /// errored / rejected).
+    pub exit_code: i32,
+    /// The CLI-identical verdict line (or `error: ...` for
+    /// rejections/failures).
+    pub verdict: String,
+    /// The full report JSON from `job.done`, when the job ran.
+    pub report: Option<Json>,
+    /// True when the server refused to queue the job.
+    pub rejected: bool,
+}
+
+/// Submits `req` and blocks until the job completes. See
+/// [`submit_with`] for cancellation and event streaming.
+///
+/// # Errors
+///
+/// Propagates connection failures and protocol violations as
+/// [`io::Error`].
+pub fn submit(addr: impl ToSocketAddrs, req: &VerifyRequest) -> io::Result<SubmitOutcome> {
+    submit_with(addr, req, None, |_| {})
+}
+
+/// Submits `req`, optionally sending a `cancel` after `cancel_after`,
+/// invoking `on_event` for every event line the server streams, and
+/// blocking until the job reaches a terminal event.
+///
+/// # Errors
+///
+/// Propagates connection failures; a server that closes the stream
+/// before the job completes surfaces as [`io::ErrorKind::UnexpectedEof`].
+pub fn submit_with(
+    addr: impl ToSocketAddrs,
+    req: &VerifyRequest,
+    cancel_after: Option<Duration>,
+    mut on_event: impl FnMut(&Json),
+) -> io::Result<SubmitOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let cmd = Json::obj(vec![
+        ("cmd", Json::Str("verify".into())),
+        ("request", req.to_json()),
+    ]);
+    writeln!(writer, "{cmd}")?;
+    writer.flush()?;
+    if let Some(delay) = cancel_after {
+        let mut w = stream.try_clone()?;
+        // Fire-and-forget: if the job finishes first the extra command
+        // lands on a connection whose job is already done and the
+        // server ignores it (or the write fails — equally fine).
+        thread::spawn(move || {
+            thread::sleep(delay);
+            let _ = writeln!(w, r#"{{"cmd":"cancel"}}"#);
+            let _ = w.flush();
+        });
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the stream before the job completed",
+            ));
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let event = json::parse(text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed event from server: {e}"),
+            )
+        })?;
+        on_event(&event);
+        let args = event.get("args");
+        let arg = |k: &str| args.and_then(|a| a.get(k));
+        match event.get("name").and_then(Json::as_str) {
+            Some("job.done") => {
+                return Ok(SubmitOutcome {
+                    exit_code: arg("exit_code").and_then(Json::as_u64).unwrap_or(2) as i32,
+                    verdict: arg("verdict")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    report: arg("report").cloned(),
+                    rejected: false,
+                });
+            }
+            Some("job.error") => {
+                let message = arg("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("job failed");
+                return Ok(SubmitOutcome {
+                    exit_code: 2,
+                    verdict: format!("error: {message}"),
+                    report: None,
+                    rejected: false,
+                });
+            }
+            Some("job.rejected") => {
+                let reason = arg("reason").and_then(Json::as_str).unwrap_or("rejected");
+                return Ok(SubmitOutcome {
+                    exit_code: 2,
+                    verdict: format!("error: {reason}"),
+                    report: None,
+                    rejected: true,
+                });
+            }
+            Some("protocol.error") => {
+                let message = arg("message").and_then(Json::as_str).unwrap_or("protocol");
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    message.to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Asks the daemon at `addr` to drain and exit.
+///
+/// # Errors
+///
+/// Propagates connection failures.
+pub fn request_shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#)?;
+    writer.flush()?;
+    // Wait for the acknowledgement (or EOF) so callers can race-freely
+    // observe that the drain has started.
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    Ok(())
+}
+
+/// Whether a daemon answers at `addr`.
+#[must_use]
+pub fn ping(addr: impl ToSocketAddrs) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let Ok(mut writer) = stream.try_clone() else {
+        return false;
+    };
+    if writeln!(writer, r#"{{"cmd":"ping"}}"#).is_err() || writer.flush().is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    matches!(reader.read_line(&mut line), Ok(n) if n > 0 && line.contains("server.pong"))
+}

@@ -1,0 +1,250 @@
+//! End-to-end tests of the daemon: identity with direct engine runs,
+//! concurrency, cancellation, back-pressure and graceful drain.
+
+use aqed_engine::{Engine, VerifyRequest};
+use aqed_obs::json::Json;
+use aqed_serve::{ping, request_shutdown, submit, submit_with, verdict_line, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn options(workers: usize, queue: usize) -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+    }
+}
+
+/// The verdict up to the timing parenthetical — stable across runs.
+fn stem(verdict: &str) -> &str {
+    verdict.split(" (").next().unwrap_or(verdict)
+}
+
+/// A slow-but-bounded request: healthy AES at bound 8 needs >100k
+/// conflicts, far longer than any test step here, while the timeout
+/// keeps a logic bug from hanging the suite.
+fn slow_request() -> VerifyRequest {
+    let mut req = VerifyRequest::new("aes_v1");
+    req.healthy = true;
+    req.bound = Some(8);
+    req.timeout = Some(Duration::from_secs(120));
+    req
+}
+
+#[test]
+fn served_verdicts_match_direct_engine_runs() {
+    let server = Server::start(&options(2, 8)).expect("bind");
+    let addr = server.addr();
+    assert!(ping(addr));
+    let engine = Engine::new();
+    for (case, healthy, bound) in [
+        ("dataflow_fifo_sizing", true, Some(6)),
+        ("dataflow_fifo_sizing", false, None),
+        ("motivating_clock_enable", false, None),
+    ] {
+        let mut req = VerifyRequest::new(case);
+        req.healthy = healthy;
+        req.bound = bound;
+        req.jobs = 2;
+        let direct = engine.verify(&req).expect("direct run");
+        let served = submit(addr, &req).expect("served run");
+        assert!(!served.rejected);
+        assert_eq!(
+            served.exit_code,
+            direct.exit_code(),
+            "exit codes must agree for {case} (served: {})",
+            served.verdict
+        );
+        assert_eq!(
+            stem(&served.verdict),
+            stem(&verdict_line(&direct.report)),
+            "verdicts must agree for {case}"
+        );
+        // The report rides along and matches the verdict.
+        let report = served.report.expect("report JSON");
+        assert!(report.get("outcome").is_some(), "{report}");
+    }
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn concurrent_submissions_agree_and_later_runs_hit_the_cache() {
+    let server = Server::start(&options(4, 16)).expect("bind");
+    let addr = server.addr();
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(6);
+    let baseline = Engine::new().verify(&req).expect("cache-off baseline");
+    let outcomes: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let req = req.clone();
+                s.spawn(move || submit(addr, &req).expect("served run"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    for outcome in &outcomes {
+        assert_eq!(outcome.exit_code, baseline.exit_code());
+        assert_eq!(
+            stem(&outcome.verdict),
+            stem(&verdict_line(&baseline.report))
+        );
+    }
+    // The store is warm now: a repeat request is served from cached
+    // verdicts without touching the solver.
+    let warm = submit(addr, &req).expect("warm run");
+    assert_eq!(warm.exit_code, baseline.exit_code());
+    let report = warm.report.expect("report JSON");
+    let obligations = report
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .expect("obligations");
+    assert_eq!(
+        report.get("cache_hits").and_then(Json::as_u64),
+        Some(obligations.len() as u64),
+        "{report}"
+    );
+    assert_eq!(
+        report
+            .get("aggregate")
+            .and_then(|a| a.get("solver_calls"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "warm run must not call the solver"
+    );
+    assert!(server.artifacts().outcome_hits() > 0);
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn cancelled_job_drains_through_the_cancelled_taxonomy() {
+    let server = Server::start(&options(1, 4)).expect("bind");
+    let addr = server.addr();
+    let mut saw_started = false;
+    let mut saw_cancel_ack = false;
+    let outcome = submit_with(
+        addr,
+        &slow_request(),
+        Some(Duration::from_millis(300)),
+        |event| match event.get("name").and_then(Json::as_str) {
+            Some("job.started") => saw_started = true,
+            Some("job.cancel_requested") => saw_cancel_ack = true,
+            _ => {}
+        },
+    )
+    .expect("served run");
+    assert!(saw_started, "job must have started before the cancel");
+    assert!(saw_cancel_ack, "server must acknowledge the cancel");
+    assert_eq!(outcome.exit_code, 2, "verdict: {}", outcome.verdict);
+    assert!(
+        outcome.verdict.starts_with("inconclusive") && outcome.verdict.contains("cancelled"),
+        "expected a cancelled-inconclusive verdict, got: {}",
+        outcome.verdict
+    );
+    server.begin_shutdown();
+    server.join();
+}
+
+/// A raw protocol client for back-pressure tests: submit a job and hold
+/// the connection open without waiting for completion.
+struct RawClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn submit(addr: std::net::SocketAddr, req: &VerifyRequest) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let cmd = Json::obj(vec![
+            ("cmd", Json::Str("verify".into())),
+            ("request", req.to_json()),
+        ]);
+        writeln!(writer, "{cmd}").expect("send");
+        writer.flush().expect("flush");
+        RawClient {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Reads events until `name` appears.
+    fn wait_for(&mut self, name: &str) {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).expect("read event");
+            assert!(n > 0, "server closed before '{name}' arrived");
+            if line.contains(&format!("\"name\":\"{name}\"")) {
+                return;
+            }
+        }
+    }
+
+    fn cancel(&mut self) {
+        writeln!(self.writer, r#"{{"cmd":"cancel"}}"#).expect("send cancel");
+        self.writer.flush().expect("flush");
+    }
+}
+
+#[test]
+fn full_queue_rejects_further_submissions() {
+    // One worker, one queue slot: A runs, B waits, C must bounce.
+    let server = Server::start(&options(1, 1)).expect("bind");
+    let addr = server.addr();
+    let mut job_a = RawClient::submit(addr, &slow_request());
+    job_a.wait_for("job.started");
+    let mut job_b = RawClient::submit(addr, &slow_request());
+    job_b.wait_for("job.queued");
+    let rejected = submit(addr, &slow_request()).expect("protocol round trip");
+    assert!(rejected.rejected, "{}", rejected.verdict);
+    assert_eq!(rejected.exit_code, 2);
+    assert!(
+        rejected.verdict.contains("queue full"),
+        "{}",
+        rejected.verdict
+    );
+    // Unblock the server so shutdown drains quickly.
+    job_a.cancel();
+    job_b.cancel();
+    job_a.wait_for("job.done");
+    job_b.wait_for("job.done");
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_queued_work_and_stops_accepting() {
+    let server = Server::start(&options(1, 4)).expect("bind");
+    let addr = server.addr();
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(4);
+    // Submit from a thread and shut down once the job is queued: the
+    // drain must finish it rather than drop it.
+    let (queued_tx, queued_rx) = std::sync::mpsc::channel();
+    let client = std::thread::spawn(move || {
+        submit_with(addr, &req, None, |event| {
+            if event.get("name").and_then(Json::as_str) == Some("job.queued") {
+                let _ = queued_tx.send(());
+            }
+        })
+        .expect("drained job")
+    });
+    queued_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("job must reach the queue");
+    request_shutdown(addr).expect("shutdown command");
+    let outcome = client.join().expect("client thread");
+    assert_eq!(outcome.exit_code, 0, "{}", outcome.verdict);
+    server.join();
+    // The listener is gone: new connections fail outright.
+    assert!(TcpStream::connect(addr).is_err() || !ping(addr));
+}

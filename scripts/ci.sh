@@ -129,4 +129,60 @@ fi
 # in the obs crate's disabled_records_nothing_and_reads_no_clock test.
 cargo test -q -p aqed-obs disabled_records_nothing_and_reads_no_clock
 
+echo "== aqed-serve: daemon verdict/exit identity with one-shot CLI"
+# The service must be a transparent transport: for every probed case the
+# daemon-routed run must report the same exit code and verdict line as
+# the one-shot CLI, a warm repeat must be served from the artifact
+# cache, and a cancelled-mid-flight job must drain through the same
+# exit-2 taxonomy as Ctrl-C.
+cargo build --release -q -p aqed-serve
+serve_pid=""
+trap 'rm -rf "$obs_tmp"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+./target/release/aqed-serve serve --workers 2 --port-file "$obs_tmp/port" \
+    >"$obs_tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$obs_tmp/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$obs_tmp/port")
+for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
+    cli_rc=0
+    cli_out=$(./target/release/aqed verify "$case" --bound 8 | verdict) || cli_rc=$?
+    srv_rc=0
+    srv_out=$(./target/release/aqed-serve submit --addr "$addr" "$case" --bound 8 \
+        | verdict) || srv_rc=$?
+    if [ "$cli_rc" != "$srv_rc" ] || [ "$cli_out" != "$srv_out" ]; then
+        echo "serve identity violated on '$case':" >&2
+        echo "  one-shot: rc=$cli_rc  $cli_out" >&2
+        echo "  served:   rc=$srv_rc  $srv_out" >&2
+        exit 1
+    fi
+    echo "  $case: rc=$cli_rc verdict '$cli_out' identical"
+done
+# Warm repeat: the second daemon run of a case must be answered from the
+# cross-request artifact cache (cache_hits > 0 in the job.done event).
+warm_hits=$(./target/release/aqed-serve submit --addr "$addr" \
+    dataflow_fifo_sizing --bound 8 --events \
+    | grep -m1 '"name":"job.done"' \
+    | grep -o '"cache_hits":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$warm_hits" ] || [ "$warm_hits" -eq 0 ]; then
+    echo "warm repeat was not served from the artifact cache" >&2
+    exit 1
+fi
+echo "  warm repeat served from cache ($warm_hits obligation hits)"
+# Cancellation: a slow healthy run cancelled mid-flight must exit 2
+# with a cancelled-inconclusive verdict, like Ctrl-C on the CLI.
+cancel_rc=0
+cancel_out=$(./target/release/aqed-serve submit --addr "$addr" aes_v1 \
+    --healthy --bound 8 --timeout-secs 120 --cancel-after-ms 500) || cancel_rc=$?
+if [ "$cancel_rc" != 2 ] || ! echo "$cancel_out" | grep -q 'cancelled'; then
+    echo "cancelled job did not drain through exit 2 (rc=$cancel_rc): $cancel_out" >&2
+    exit 1
+fi
+echo "  cancelled-mid-flight job drained with rc=2"
+./target/release/aqed-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
+
 echo "CI OK"
