@@ -1,16 +1,19 @@
 //! Load generator for the `aqed-serve` daemon: drives N concurrent
 //! clients against an in-process server and reports the saturation
-//! curve plus the cold-vs-warm artifact-cache latency split (see
-//! EXPERIMENTS.md, "Service throughput").
+//! curve plus the artifact-cache latency split (see EXPERIMENTS.md,
+//! "Service throughput"). With `--store-dir` the warm measurements are
+//! split further: warm-in-memory (same server instance) versus
+//! warm-from-disk (a restarted server that recovered the journal).
 //!
 //! ```text
 //! cargo run --release -p aqed-bench --bin load_gen
-//!   [--workers N] [--requests N] [--clients 1,2,4,8]
+//!   [--workers N] [--requests N] [--clients 1,2,4,8] [--store-dir DIR]
 //! ```
 
 use aqed_engine::VerifyRequest;
 use aqed_serve::{submit, ServeOptions, Server};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// The request mix: quick catalog cases with distinct designs, so the
@@ -53,10 +56,22 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+fn start_server(workers: usize, store_dir: Option<&PathBuf>) -> Server {
+    Server::start(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 256,
+        store_dir: store_dir.cloned(),
+        ..ServeOptions::default()
+    })
+    .expect("bind in-process server")
+}
+
 fn main() {
     let mut workers = 4usize;
     let mut requests = 32usize;
     let mut client_counts = vec![1usize, 2, 4, 8];
+    let mut store_dir: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -76,34 +91,73 @@ fn main() {
                     .map(|c| c.parse().expect("client count"))
                     .collect();
             }
+            "--store-dir" => store_dir = Some(PathBuf::from(it.next().expect("--store-dir DIR"))),
             other => panic!("unknown flag '{other}'"),
         }
     }
-    let server = Server::start(&ServeOptions {
-        addr: "127.0.0.1:0".into(),
-        workers,
-        queue_capacity: 256,
-    })
-    .expect("bind in-process server");
-    let addr = server.addr();
+    if let Some(dir) = &store_dir {
+        // A stale journal would turn "cold" into "warm"; start clean.
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let mut server = start_server(workers, store_dir.as_ref());
+    let mut addr = server.addr();
     let mix = workload();
     println!("# load_gen: {workers} workers, {requests} requests per level\n");
 
     // Cold vs warm: the first submission of each case pays design
     // build + COI + preprocessing + solving; the repeat is answered
-    // from the artifact store.
-    println!("## cold vs warm cache latency\n");
-    println!("| case | cold ms | warm ms | speedup | warm cache hits |");
-    println!("|---|---|---|---|---|");
-    for (label, req) in &mix {
-        let (cold, _) = run_one(addr, req);
-        let (warm, hits) = run_one(addr, req);
-        println!(
-            "| {label} | {:.1} | {:.1} | {:.1}x | {hits} |",
-            ms(cold),
-            ms(warm),
-            ms(cold) / ms(warm).max(0.001),
-        );
+    // from the artifact store. With --store-dir the server is then
+    // restarted on the same directory, so the third column measures a
+    // cache warmed purely by journal recovery (disk read + checksum
+    // verification + positional decode), not by prior in-memory use.
+    match &store_dir {
+        None => {
+            println!("## cold vs warm cache latency\n");
+            println!("| case | cold ms | warm ms | speedup | warm cache hits |");
+            println!("|---|---|---|---|---|");
+            for (label, req) in &mix {
+                let (cold, _) = run_one(addr, req);
+                let (warm, hits) = run_one(addr, req);
+                println!(
+                    "| {label} | {:.1} | {:.1} | {:.1}x | {hits} |",
+                    ms(cold),
+                    ms(warm),
+                    ms(cold) / ms(warm).max(0.001),
+                );
+            }
+        }
+        Some(dir) => {
+            println!("## cold vs warm-from-disk vs warm-in-memory latency\n");
+            let cold_mem: Vec<(Duration, Duration, u64)> = mix
+                .iter()
+                .map(|(_, req)| {
+                    let (cold, _) = run_one(addr, req);
+                    let (warm_mem, hits) = run_one(addr, req);
+                    (cold, warm_mem, hits)
+                })
+                .collect();
+            server.begin_shutdown();
+            server.join();
+            server = start_server(workers, Some(dir));
+            addr = server.addr();
+            println!("| case | cold ms | warm disk ms | warm mem ms | disk speedup | mem speedup | warm hits |");
+            println!("|---|---|---|---|---|---|---|");
+            for ((label, req), (cold, warm_mem, hits)) in mix.iter().zip(&cold_mem) {
+                let (warm_disk, disk_hits) = run_one(addr, req);
+                assert_eq!(
+                    *hits, disk_hits,
+                    "{label}: recovery must warm exactly the in-memory hit set"
+                );
+                println!(
+                    "| {label} | {:.1} | {:.1} | {:.1} | {:.1}x | {:.1}x | {hits} |",
+                    ms(*cold),
+                    ms(warm_disk),
+                    ms(*warm_mem),
+                    ms(*cold) / ms(warm_disk).max(0.001),
+                    ms(*cold) / ms(*warm_mem).max(0.001),
+                );
+            }
+        }
     }
 
     // Saturation: the cache is warm for the whole mix now, so this

@@ -115,6 +115,9 @@ pub enum Command {
         /// Write the full per-obligation report (plus the metrics
         /// snapshot) as JSON to this path.
         report_json: Option<String>,
+        /// Root a durable artifact store here: verdicts and cones from
+        /// earlier runs warm this one, and this run's are flushed back.
+        store_dir: Option<String>,
     },
     /// `aqed conventional <case>`
     Conventional {
@@ -181,6 +184,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut coi = true;
             let mut trace_out = None;
             let mut report_json = None;
+            let mut store_dir = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -273,6 +277,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                                 .clone(),
                         );
                     }
+                    "--store-dir" => {
+                        i += 1;
+                        store_dir = Some(
+                            args.get(i)
+                                .ok_or_else(|| {
+                                    ParseCommandError("--store-dir needs a path".into())
+                                })?
+                                .clone(),
+                        );
+                    }
                     "--preprocess" => preprocess = true,
                     "--no-preprocess" => preprocess = false,
                     "--coi" => coi = true,
@@ -300,6 +314,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 coi,
                 trace_out,
                 report_json,
+                store_dir,
             })
         }
         "conventional" => Ok(Command::Conventional {
@@ -335,7 +350,7 @@ USAGE:
                      [--jobs N] [--backend cdcl|dimacs|portfolio]
                      [--portfolio-workers N] [--no-clause-sharing]
                      [--timeout SECS] [--conflict-budget N] [--fail-fast]
-                     [--no-preprocess] [--no-coi]
+                     [--no-preprocess] [--no-coi] [--store-dir DIR]
                      [--trace-out FILE] [--report-json FILE]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
@@ -363,6 +378,11 @@ USAGE:
                                        per-obligation report plus the metrics
                                        snapshot as JSON. Neither changes the
                                        verdict or the exit code.
+                                       --store-dir roots a durable artifact
+                                       store: verdicts and COI cones persist
+                                       across runs (and survive crashes), so
+                                       repeat verification of an unchanged
+                                       design is answered from disk.
                                        exit codes: 0 clean, 1 bug found,
                                        2 inconclusive, degraded, or usage error
   aqed conventional <case>             run the conventional simulation flow
@@ -499,6 +519,7 @@ pub fn run_with_stop(
             coi,
             trace_out,
             report_json,
+            store_dir,
         } => {
             // The engine owns the whole run — catalog lookup, monitor
             // composition, budgets, backend dispatch, the governed
@@ -541,7 +562,25 @@ pub fn run_with_stop(
             } else {
                 false
             };
-            let engine = Engine::new();
+            // A store directory turns the one-shot run into a warm CI
+            // step: recovered verdicts answer repeat obligations, and
+            // the store's Drop flushes this run's facts back to disk.
+            let engine = match store_dir {
+                Some(dir) => match Engine::with_persistent_store(dir) {
+                    Ok(engine) => engine,
+                    Err(e) => {
+                        if trace_installed {
+                            aqed_obs::uninstall_sink();
+                        }
+                        if obs_on {
+                            aqed_obs::set_enabled(false);
+                        }
+                        writeln!(out, "error: cannot open store '{dir}': {e}")?;
+                        return Ok(2);
+                    }
+                },
+                None => Engine::new(),
+            };
             let result = match stop {
                 Some(handle) => engine.verify_cancellable(&request, handle),
                 None => engine.verify(&request),
@@ -751,7 +790,8 @@ mod tests {
                 preprocess: true,
                 coi: true,
                 trace_out: None,
-                report_json: None
+                report_json: None,
+                store_dir: None
             })
         );
         assert_eq!(
@@ -772,7 +812,8 @@ mod tests {
                 preprocess: true,
                 coi: true,
                 trace_out: None,
-                report_json: None
+                report_json: None,
+                store_dir: None
             })
         );
         assert_eq!(
@@ -793,7 +834,8 @@ mod tests {
                 preprocess: true,
                 coi: true,
                 trace_out: None,
-                report_json: None
+                report_json: None,
+                store_dir: None
             })
         );
     }
@@ -857,7 +899,8 @@ mod tests {
                 preprocess: true,
                 coi: true,
                 trace_out: None,
-                report_json: None
+                report_json: None,
+                store_dir: None
             })
         );
         assert!(parse(&["verify", "x", "--timeout"]).is_err());
@@ -940,6 +983,7 @@ mod tests {
                 coi: true,
                 trace_out: None,
                 report_json: None,
+                store_dir: None,
             },
             &mut buf,
         )
@@ -969,6 +1013,7 @@ mod tests {
                 coi: true,
                 trace_out: None,
                 report_json: None,
+                store_dir: None,
             },
             &mut buf,
         )
@@ -1001,6 +1046,7 @@ mod tests {
                     coi: true,
                     trace_out: None,
                     report_json: None,
+                    store_dir: None,
                 },
                 &mut buf,
             )
@@ -1049,6 +1095,7 @@ mod tests {
                 coi: true,
                 trace_out: None,
                 report_json: None,
+                store_dir: None,
             },
             &mut buf,
         )
@@ -1080,6 +1127,7 @@ mod tests {
                 coi: true,
                 trace_out: None,
                 report_json: None,
+                store_dir: None,
             },
             &mut buf,
         )

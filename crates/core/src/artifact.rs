@@ -30,13 +30,28 @@
 //! concrete simulator against the requesting run's system** before
 //! being served — a hash collision or stale entry degrades to a cache
 //! miss, never to a wrong verdict.
+//!
+//! # Durability
+//!
+//! A store opened with [`ArtifactStore::open`] additionally journals
+//! every definitive verdict and cone to disk (append-only, checksummed,
+//! snapshot-compacted — see [`crate::persist`]) and recovers them on
+//! the next open, so a daemon restart — graceful or SIGKILL — starts
+//! warm. Counterexamples are persisted positionally and re-validated by
+//! simulator replay before being served, exactly like in-memory
+//! entries: recovery can only lose records (corruption truncates at the
+//! first bad record), never serve a wrong verdict.
 
-use crate::verify::CheckOutcome;
+use crate::persist::{DiskJournal, PersistedCex, Record, StoreOptions};
+use crate::verify::{CheckOutcome, PropertyKind};
 use aqed_bmc::Counterexample;
 use aqed_expr::{ExprPool, VarId};
+use aqed_obs::json::Json;
 use aqed_obs::metrics;
 use aqed_tsys::{to_btor2, CoiCache, TransitionSystem};
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -45,13 +60,24 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// composed design+monitor systems print identically.
 #[must_use]
 pub fn design_hash(ts: &TransitionSystem, pool: &ExprPool) -> u64 {
-    let text = to_btor2(ts, pool);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in text.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    crate::persist::fnv1a(to_btor2(ts, pool).as_bytes())
+}
+
+/// A known counterexample for one obligation, in whichever forms are
+/// available: `decoded` (live `VarId`s, from this process) and/or
+/// `encoded` (positional, from disk or ready for disk). Either form is
+/// replay-validated before being served.
+#[derive(Debug, Clone)]
+struct BugFact {
+    property: PropertyKind,
+    /// The witness depth — minimal, because BMC searches depth by depth.
+    depth: usize,
+    /// Positional, pool-independent form (present whenever encodable;
+    /// always present for disk-recovered facts).
+    encoded: Option<PersistedCex>,
+    /// Live form; filled lazily for recovered facts on first
+    /// successful replay.
+    decoded: Option<Counterexample>,
 }
 
 /// Everything known about one (design, bad-index) obligation, merged
@@ -62,26 +88,35 @@ struct ObligationFact {
     bad_name: String,
     /// No counterexample exists at any depth `<= clean_to`.
     clean_to: Option<usize>,
-    /// The shallowest known counterexample, with the property it
-    /// violates. BMC's depth-by-depth search makes this depth minimal.
-    bug: Option<(crate::verify::PropertyKind, Counterexample)>,
+    /// The shallowest known counterexample.
+    bug: Option<BugFact>,
 }
 
 /// Cone table key: (design hash, sorted bad-index set).
 type ConeKey = (u64, Vec<usize>);
 
 /// Thread-safe, content-hash-keyed artifact cache shared across
-/// verification requests (see the module docs for keying and soundness).
+/// verification requests (see the module docs for keying, soundness and
+/// durability).
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
     /// Cone key → positional cone encoding.
     cones: Mutex<HashMap<ConeKey, Vec<u32>>>,
     /// (design hash, bad index) → merged obligation facts.
     outcomes: Mutex<HashMap<(u64, usize), ObligationFact>>,
+    /// Disk journal for persistent stores. Lock ordering: this lock is
+    /// never acquired while holding a map lock *except* transiently
+    /// inside [`ArtifactStore::flush`], which takes it first — so map
+    /// locks are never held while waiting on it.
+    disk: Option<Mutex<DiskJournal>>,
     outcome_hits: AtomicU64,
     outcome_misses: AtomicU64,
     cones_seeded: AtomicU64,
     cones_absorbed: AtomicU64,
+    recovered: AtomicU64,
+    truncated: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -89,7 +124,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Position of every input and state variable in declaration order —
-/// the `VarId`-independent coordinate system cones are stored in.
+/// the `VarId`-independent coordinate system cones and persisted
+/// counterexamples are stored in.
 fn var_positions(ts: &TransitionSystem) -> HashMap<VarId, u32> {
     ts.inputs()
         .iter()
@@ -109,9 +145,97 @@ fn position_vars(ts: &TransitionSystem) -> Vec<VarId> {
 }
 
 impl ArtifactStore {
+    /// An in-memory store: warm within the process, gone with it.
     #[must_use]
     pub fn new() -> Self {
         ArtifactStore::default()
+    }
+
+    /// Opens (creating if needed) a persistent store rooted at `dir`
+    /// with default [`StoreOptions`], recovering every record the
+    /// previous process managed to flush. Corruption — a torn tail
+    /// from a mid-write kill, a flipped bit — truncates recovery at the
+    /// first bad record and is reported through
+    /// [`ArtifactStore::truncated_records`]; it never fails the open.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures (permissions, full disk, `dir` is a file) are
+    /// propagated.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        ArtifactStore::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`ArtifactStore::open`] with explicit tuning knobs.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures are propagated; corruption is not an error.
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> io::Result<ArtifactStore> {
+        let (disk, records, stats) = DiskJournal::open(dir.as_ref(), opts)?;
+        let mut store = ArtifactStore::default();
+        store.disk = Some(Mutex::new(disk));
+        for record in &records {
+            store.apply_record(record);
+        }
+        store.recovered.store(stats.recovered, Ordering::Relaxed);
+        store.truncated.store(stats.truncated, Ordering::Relaxed);
+        if aqed_obs::enabled() {
+            metrics::global()
+                .counter("artifact.recovered")
+                .add(stats.recovered);
+            metrics::global()
+                .counter("artifact.truncated")
+                .add(stats.truncated);
+        }
+        Ok(store)
+    }
+
+    /// Whether this store journals to disk.
+    #[must_use]
+    pub fn is_persistent(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Replays one recovered record into the in-memory maps (no
+    /// re-journaling). Shared by recovery and nothing else; merging is
+    /// idempotent, so a record present in both snapshot and journal is
+    /// harmless.
+    fn apply_record(&self, record: &Record) {
+        match record {
+            Record::Meta { .. } => {}
+            Record::Clean {
+                design,
+                bad_index,
+                bad_name,
+                bound,
+            } => {
+                self.merge_clean(*design, *bad_index, bad_name, *bound);
+            }
+            Record::Bug {
+                design,
+                bad_index,
+                bad_name,
+                cex,
+            } => {
+                self.merge_bug(
+                    *design,
+                    *bad_index,
+                    bad_name,
+                    BugFact {
+                        property: cex.property,
+                        depth: cex.depth,
+                        encoded: Some(cex.clone()),
+                        decoded: None,
+                    },
+                );
+            }
+            Record::Cone { design, bads, cone } => {
+                lock(&self.cones)
+                    .entry((*design, bads.clone()))
+                    .or_insert_with(|| cone.clone());
+            }
+        }
     }
 
     /// Obligation lookups answered from the store.
@@ -136,6 +260,138 @@ impl ArtifactStore {
     #[must_use]
     pub fn cones_absorbed(&self) -> u64 {
         self.cones_absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Records recovered from disk at open (0 for in-memory stores).
+    #[must_use]
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
+    }
+
+    /// Damaged records discarded during recovery (0 = clean store).
+    #[must_use]
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    /// Journal flushes that actually wrote data.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot compactions performed.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Obligation facts currently held.
+    #[must_use]
+    pub fn outcome_count(&self) -> usize {
+        lock(&self.outcomes).len()
+    }
+
+    /// COI cones currently held.
+    #[must_use]
+    pub fn cone_count(&self) -> usize {
+        lock(&self.cones).len()
+    }
+
+    /// A point-in-time JSON summary of the store, for health endpoints.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        Json::obj(vec![
+            ("persistent", Json::Bool(self.is_persistent())),
+            ("outcomes", Json::num(self.outcome_count() as u64)),
+            ("cones", Json::num(self.cone_count() as u64)),
+            ("outcome_hits", Json::num(self.outcome_hits())),
+            ("outcome_misses", Json::num(self.outcome_misses())),
+            ("cones_seeded", Json::num(self.cones_seeded())),
+            ("cones_absorbed", Json::num(self.cones_absorbed())),
+            ("recovered", Json::num(self.recovered_records())),
+            ("truncated", Json::num(self.truncated_records())),
+            ("flushes", Json::num(self.flushes())),
+            ("compactions", Json::num(self.compactions())),
+        ])
+    }
+
+    /// Writes every record journaled since the last flush to disk
+    /// (fsynced per [`StoreOptions::fsync`]) and compacts the journal
+    /// into a fresh snapshot when it has grown past the threshold.
+    /// A no-op for in-memory stores and for persistent stores with
+    /// nothing pending, so callers may flush liberally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/rename failures; the store stays usable (the
+    /// failed records remain pending for the next flush).
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(disk) = &self.disk else {
+            return Ok(());
+        };
+        let mut d = lock(disk);
+        let wrote = d.dirty();
+        d.flush()?;
+        if wrote {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global().counter("artifact.flush").inc();
+            }
+        }
+        if d.wants_compaction() {
+            // Map locks are taken briefly *inside* the disk lock; see
+            // the ordering note on the `disk` field.
+            let records = self.snapshot_records();
+            d.compact(&records)?;
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global().counter("artifact.compacted").inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the full live state as records, for compaction.
+    fn snapshot_records(&self) -> Vec<Record> {
+        let mut records = Vec::new();
+        for (&(design, bad_index), fact) in lock(&self.outcomes).iter() {
+            if let Some(bound) = fact.clean_to {
+                records.push(Record::Clean {
+                    design,
+                    bad_index,
+                    bad_name: fact.bad_name.clone(),
+                    bound,
+                });
+            }
+            if let Some(cex) = fact.bug.as_ref().and_then(|b| b.encoded.clone()) {
+                records.push(Record::Bug {
+                    design,
+                    bad_index,
+                    bad_name: fact.bad_name.clone(),
+                    cex,
+                });
+            }
+        }
+        for ((design, bads), cone) in lock(&self.cones).iter() {
+            records.push(Record::Cone {
+                design: *design,
+                bads: bads.clone(),
+                cone: cone.clone(),
+            });
+        }
+        records
+    }
+
+    /// Queues records for the journal. Must be called with **no map
+    /// lock held** (see the ordering note on the `disk` field).
+    fn journal(&self, records: impl IntoIterator<Item = Record>) {
+        if let Some(disk) = &self.disk {
+            let mut d = lock(disk);
+            for r in records {
+                d.append(&r);
+            }
+        }
     }
 
     /// Transplants every stored cone for `design` into a fresh per-run
@@ -171,23 +427,30 @@ impl ArtifactStore {
     /// encoded positionally. Returns how many entries were new.
     pub fn absorb_cones(&self, design: u64, ts: &TransitionSystem, cache: &CoiCache) -> usize {
         let positions = var_positions(ts);
-        let mut added = 0usize;
-        let mut cones = lock(&self.cones);
-        for (bads, cone) in cache.cones() {
-            cones.entry((design, bads)).or_insert_with(|| {
-                added += 1;
-                let mut enc: Vec<u32> = cone
-                    .iter()
-                    // Cone sets may mention vars that are neither inputs
-                    // nor states; slicing only ever tests membership of
-                    // input/state vars, so dropping the rest is safe.
-                    .filter_map(|v| positions.get(v).copied())
-                    .collect();
-                enc.sort_unstable();
-                enc
-            });
+        let mut fresh: Vec<Record> = Vec::new();
+        {
+            let mut cones = lock(&self.cones);
+            for (bads, cone) in cache.cones() {
+                cones.entry((design, bads)).or_insert_with_key(|(_, bads)| {
+                    let mut enc: Vec<u32> = cone
+                        .iter()
+                        // Cone sets may mention vars that are neither inputs
+                        // nor states; slicing only ever tests membership of
+                        // input/state vars, so dropping the rest is safe.
+                        .filter_map(|v| positions.get(v).copied())
+                        .collect();
+                    enc.sort_unstable();
+                    fresh.push(Record::Cone {
+                        design,
+                        bads: bads.clone(),
+                        cone: enc.clone(),
+                    });
+                    enc
+                });
+            }
         }
-        drop(cones);
+        let added = fresh.len();
+        self.journal(fresh);
         if added > 0 {
             self.cones_absorbed
                 .fetch_add(added as u64, Ordering::Relaxed);
@@ -244,21 +507,44 @@ impl ArtifactStore {
         if fact.bad_name != bad_name {
             return None;
         }
-        if let Some((property, cex)) = &fact.bug {
-            if cex.depth > bound {
+        if let Some(bug) = &fact.bug {
+            if bug.depth > bound {
                 // The known bug is deeper than this request's horizon,
                 // and BMC found nothing shallower — the request's
                 // answer is clean at its own bound.
                 return Some(CheckOutcome::Clean { bound });
             }
-            if cex.replay(ts, pool) {
-                return Some(CheckOutcome::Bug {
-                    property: *property,
-                    counterexample: cex.clone(),
-                });
+            // Serve the live witness if present, else decode the
+            // positional one against this run's system. Either way
+            // simulator replay validates before anything is served.
+            let decoded = match &bug.decoded {
+                Some(cex) => Some(cex.clone()),
+                None => bug
+                    .encoded
+                    .as_ref()
+                    .and_then(|enc| enc.decode(&fact.bad_name, bad_index, &position_vars(ts))),
+            };
+            if let Some(cex) = decoded {
+                if cex.replay(ts, pool) {
+                    if bug.decoded.is_none() {
+                        // Promote the freshly validated decode so later
+                        // lookups skip decode + replay bookkeeping.
+                        if let Some(f) = lock(&self.outcomes).get_mut(&key) {
+                            if let Some(b) = &mut f.bug {
+                                if b.depth == bug.depth && b.decoded.is_none() {
+                                    b.decoded = Some(cex.clone());
+                                }
+                            }
+                        }
+                    }
+                    return Some(CheckOutcome::Bug {
+                        property: bug.property,
+                        counterexample: cex,
+                    });
+                }
             }
-            // The witness does not replay on this run's system: the
-            // entry is stale or collided. Drop it so it cannot keep
+            // The witness does not decode/replay on this run's system:
+            // the entry is stale or collided. Drop it so it cannot keep
             // degrading every lookup.
             lock(&self.outcomes).remove(&key);
             return None;
@@ -269,16 +555,9 @@ impl ArtifactStore {
         }
     }
 
-    /// Merges one freshly computed obligation outcome into the store.
-    /// Non-definitive outcomes (`Inconclusive`, `Errored`) are ignored:
-    /// they describe the budget, not the design.
-    pub fn record_outcome(
-        &self,
-        design: u64,
-        bad_index: usize,
-        bad_name: &str,
-        outcome: &CheckOutcome,
-    ) {
+    /// Merges "clean to `bound`" into the fact table. Returns whether
+    /// the fact grew (i.e. is worth journaling).
+    fn merge_clean(&self, design: u64, bad_index: usize, bad_name: &str, bound: usize) -> bool {
         let mut outcomes = lock(&self.outcomes);
         let fact = outcomes
             .entry((design, bad_index))
@@ -290,32 +569,102 @@ impl ArtifactStore {
         if fact.bad_name != bad_name {
             // Collision between two designs with the same hash but
             // different monitors; keep the first owner.
-            return;
+            return false;
         }
+        let grew = fact.clean_to.is_none_or(|k| bound > k);
+        if grew {
+            fact.clean_to = Some(bound);
+        }
+        grew
+    }
+
+    /// Merges a bug fact (new or recovered). Returns whether it
+    /// replaced a deeper (or absent) witness.
+    fn merge_bug(&self, design: u64, bad_index: usize, bad_name: &str, bug: BugFact) -> bool {
+        let mut outcomes = lock(&self.outcomes);
+        let fact = outcomes
+            .entry((design, bad_index))
+            .or_insert_with(|| ObligationFact {
+                bad_name: bad_name.to_string(),
+                clean_to: None,
+                bug: None,
+            });
+        if fact.bad_name != bad_name {
+            return false;
+        }
+        // Depth-by-depth search: a cex at depth d proves depths < d
+        // clean.
+        if bug.depth > 0 {
+            let below = bug.depth - 1;
+            if fact.clean_to.is_none_or(|k| below > k) {
+                fact.clean_to = Some(below);
+            }
+        }
+        let shallower = fact.bug.as_ref().is_none_or(|old| bug.depth < old.depth);
+        if shallower {
+            fact.bug = Some(bug);
+        }
+        shallower
+    }
+
+    /// Merges one freshly computed obligation outcome into the store
+    /// (and, for persistent stores, the journal). `ts` is the composed
+    /// system the outcome was computed against, used to encode
+    /// counterexamples positionally for disk. Non-definitive outcomes
+    /// (`Inconclusive`, `Errored`) are ignored: they describe the
+    /// budget, not the design.
+    pub fn record_outcome(
+        &self,
+        design: u64,
+        bad_index: usize,
+        bad_name: &str,
+        outcome: &CheckOutcome,
+        ts: &TransitionSystem,
+    ) {
         match outcome {
             CheckOutcome::Clean { bound } => {
-                fact.clean_to = Some(fact.clean_to.map_or(*bound, |k| k.max(*bound)));
+                if self.merge_clean(design, bad_index, bad_name, *bound) {
+                    self.journal([Record::Clean {
+                        design,
+                        bad_index,
+                        bad_name: bad_name.to_string(),
+                        bound: *bound,
+                    }]);
+                }
             }
             CheckOutcome::Bug {
                 property,
                 counterexample,
             } => {
-                let shallower = fact
-                    .bug
-                    .as_ref()
-                    .is_none_or(|(_, old)| counterexample.depth < old.depth);
-                if shallower {
-                    fact.bug = Some((*property, counterexample.clone()));
-                }
-                // Depth-by-depth search: a cex at depth d proves depths
-                // < d clean.
-                if counterexample.depth > 0 {
-                    let below = counterexample.depth - 1;
-                    fact.clean_to = Some(fact.clean_to.map_or(below, |k| k.max(below)));
+                let encoded = PersistedCex::encode(*property, counterexample, &var_positions(ts));
+                let bug = BugFact {
+                    property: *property,
+                    depth: counterexample.depth,
+                    encoded: encoded.clone(),
+                    decoded: Some(counterexample.clone()),
+                };
+                if self.merge_bug(design, bad_index, bad_name, bug) {
+                    if let Some(cex) = encoded {
+                        self.journal([Record::Bug {
+                            design,
+                            bad_index,
+                            bad_name: bad_name.to_string(),
+                            cex,
+                        }]);
+                    }
                 }
             }
             CheckOutcome::Inconclusive { .. } | CheckOutcome::Errored { .. } => {}
         }
+    }
+}
+
+impl Drop for ArtifactStore {
+    /// Best-effort final flush, so a one-shot CLI run with `--store-dir`
+    /// persists without explicit plumbing. Errors are ignored — anyone
+    /// needing a durability guarantee calls [`ArtifactStore::flush`].
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -357,7 +706,7 @@ mod tests {
         let store = ArtifactStore::new();
         let name = "counter_hits_target";
         assert!(store.lookup_outcome(h, 0, name, 4, &ts, &p).is_none());
-        store.record_outcome(h, 0, name, &CheckOutcome::Clean { bound: 6 });
+        store.record_outcome(h, 0, name, &CheckOutcome::Clean { bound: 6 }, &ts);
         // Covered bound: served, re-bounded to the request.
         assert!(matches!(
             store.lookup_outcome(h, 0, name, 4, &ts, &p),
@@ -385,6 +734,7 @@ mod tests {
                 bound: 3,
                 reason: StopReason::Conflicts,
             },
+            &ts,
         );
         store.record_outcome(
             h,
@@ -393,6 +743,7 @@ mod tests {
             &CheckOutcome::Errored {
                 message: "worker panicked".into(),
             },
+            &ts,
         );
         assert!(store
             .lookup_outcome(h, 0, "counter_hits_target", 1, &ts, &p)

@@ -56,6 +56,7 @@ mod artifact;
 mod hybrid;
 mod monitor;
 mod parallel;
+mod persist;
 mod report_json;
 mod verify;
 
@@ -70,6 +71,7 @@ pub use parallel::{
     verify_obligations_with, Obligation, ObligationReport, ParallelVerifyReport, RunContext,
     ScheduleOptions,
 };
+pub use persist::{StoreOptions, JOURNAL_FILE, SNAPSHOT_FILE};
 pub use verify::{AqedHarness, CheckOutcome, PropertyKind, VerifyReport};
 
 pub use aqed_sat::{ArmedBudget, Budget, StopHandle, StopReason};

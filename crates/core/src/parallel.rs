@@ -639,7 +639,7 @@ fn worker_loop<B: SatBackend + Default>(
             // ignores budget-limited outcomes) so repeat requests on
             // this design skip the solve.
             if let Some((s, h)) = store {
-                s.record_outcome(h, ob.bad_index, &ob.bad_name, &report.outcome);
+                s.record_outcome(h, ob.bad_index, &ob.bad_name, &report.outcome, composed);
             }
             if sp.is_active() {
                 sp.record("outcome", outcome_code(&report.outcome));

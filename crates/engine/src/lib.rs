@@ -277,6 +277,19 @@ impl Engine {
         }
     }
 
+    /// An engine backed by a durable [`ArtifactStore`] rooted at `dir`:
+    /// verdicts and cones recovered from previous processes warm this
+    /// one, and each run's new facts are flushed to disk when it ends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O failures from opening the store directory;
+    /// on-disk corruption is tolerated (recovery truncates), not an
+    /// error.
+    pub fn with_persistent_store(dir: impl AsRef<std::path::Path>) -> std::io::Result<Engine> {
+        Ok(Engine::with_artifacts(Arc::new(ArtifactStore::open(dir)?)))
+    }
+
     /// The shared artifact store, if this engine carries one.
     #[must_use]
     pub fn artifacts(&self) -> Option<&Arc<ArtifactStore>> {
@@ -366,6 +379,13 @@ impl Engine {
                 )
             }
         };
+        // Make this run's freshly donated facts durable before the
+        // verdict is reported: a persistent store then loses at most
+        // the window of a run killed mid-flight. Flush failure must not
+        // invalidate a computed verdict — it only costs warmth.
+        if let Some(store) = &self.artifacts {
+            let _ = store.flush();
+        }
         Ok(VerifyOutcome {
             report,
             composed,

@@ -102,6 +102,25 @@ impl Json {
     pub fn num(n: u64) -> Json {
         Json::Num(n as f64)
     }
+
+    /// Encodes a `u64` losslessly as a fixed-width lowercase hex string.
+    ///
+    /// [`Json::Num`] carries `f64`, which is only exact up to 2^53 —
+    /// not enough for content hashes and checksums. Values that must
+    /// survive a round trip bit-for-bit travel as strings instead.
+    #[must_use]
+    pub fn hex(n: u64) -> Json {
+        Json::Str(format!("{n:016x}"))
+    }
+
+    /// Decodes a value written by [`Json::hex`] back to the exact `u64`.
+    #[must_use]
+    pub fn as_hex_u64(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok(),
+            _ => None,
+        }
+    }
 }
 
 impl From<&str> for Json {

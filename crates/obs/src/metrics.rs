@@ -199,6 +199,15 @@ impl MetricsRegistry {
         map.entry(name.to_owned()).or_default().clone()
     }
 
+    /// The current value of the counter named `name`, without creating
+    /// it as a side effect. Health endpoints and CI assertions use this
+    /// to probe "has X happened?" — an absent counter answers `None`
+    /// rather than materialising a zero that then pollutes snapshots.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        lock(&self.counters).get(name).map(Counter::get)
+    }
+
     /// Returns (creating on first use) the gauge named `name`.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {

@@ -16,6 +16,7 @@
 //! {"cmd":"verify","request":{"case":"aes_v1","bound":12,...}}
 //! {"cmd":"cancel"}          cancel this connection's job
 //! {"cmd":"ping"}            liveness probe
+//! {"cmd":"health"}          queue/worker/store snapshot
 //! {"cmd":"shutdown"}        drain the queue and stop the daemon
 //! ```
 //!
@@ -25,9 +26,14 @@
 //! `trace_report` tooling can digest a captured session stream
 //! unchanged. Lifecycle names: `job.queued`, `job.started`,
 //! `job.heartbeat`, `job.cancel_requested`, `job.done`, `job.error`,
-//! `job.rejected`, `server.pong`, `server.shutdown`,
+//! `job.rejected`, `server.pong`, `server.health`, `server.shutdown`,
 //! `protocol.error`. A `job.done` event carries the exit code, the
 //! CLI-identical verdict line and the full report JSON.
+//!
+//! Input is treated as hostile: reads are bounded by
+//! [`ServeOptions::max_line_bytes`], and an oversized line, truncated
+//! JSON or unknown command earns a structured `job.rejected` event and a
+//! closed connection — never an unbounded buffer, never a worker death.
 //!
 //! # Cancellation and drain
 //!
@@ -38,6 +44,23 @@
 //! Ctrl-C on the one-shot CLI. Shutdown is graceful: the listener stops
 //! accepting, queued jobs still run, workers exit when the queue is
 //! empty, and [`Server::join`] returns once they have.
+//!
+//! # Durability and self-healing
+//!
+//! With [`ServeOptions::store_dir`] set, the artifact store journals
+//! every definitive verdict and cone to disk ([`aqed_core`]'s
+//! append-only checksummed journal): a flush runs after every job, on a
+//! periodic timer ([`ServeOptions::flush_interval`], covering
+//! long multi-obligation runs), and once more when the drain completes —
+//! a SIGKILL at any instant loses at most the unflushed window, and the
+//! next daemon on the same directory starts warm.
+//!
+//! Workers are supervised: a worker that dies (panic, chaos injection)
+//! has its in-flight job failed to the waiting client through the
+//! ordinary `job.error` taxonomy — never silently dropped — and is
+//! respawned while the server is accepting work. Queue saturation and
+//! connection floods shed load with `job.rejected` instead of queueing
+//! unboundedly.
 
 use aqed_core::{ArtifactStore, CheckOutcome, ParallelVerifyReport};
 use aqed_engine::{Engine, VerifyRequest};
@@ -45,12 +68,13 @@ use aqed_obs::json::{self, Json};
 use aqed_obs::metrics;
 use aqed_sat::StopHandle;
 use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// How a [`Server`] is configured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +88,22 @@ pub struct ServeOptions {
     /// Maximum number of *queued* (not yet started) jobs before new
     /// submissions are rejected with `job.rejected`.
     pub queue_capacity: usize,
+    /// Directory for the durable artifact store. `None` keeps the store
+    /// in memory (warm within the process, gone with it).
+    pub store_dir: Option<PathBuf>,
+    /// How often the periodic flusher persists journal records written
+    /// mid-run. Ignored for in-memory stores.
+    pub flush_interval: Duration,
+    /// Longest accepted protocol line; longer input is shed with
+    /// `job.rejected` instead of buffered.
+    pub max_line_bytes: usize,
+    /// Concurrent connections before new ones are shed with
+    /// `job.rejected`.
+    pub max_connections: usize,
+    /// Chaos hook: a worker picking up a job for this case id panics
+    /// after `job.started`. Exercises the supervisor in tests; keep
+    /// `None` in production.
+    pub panic_on_case: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +112,11 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue_capacity: 16,
+            store_dir: None,
+            flush_interval: Duration::from_millis(500),
+            max_line_bytes: 1 << 20,
+            max_connections: 64,
+            panic_on_case: None,
         }
     }
 }
@@ -116,21 +161,89 @@ struct Job {
     emitter: Emitter,
 }
 
+/// What the supervisor needs to fail a job whose worker died: enough to
+/// emit the terminal `job.error` to the waiting client.
+struct InFlight {
+    id: u64,
+    case: String,
+    emitter: Emitter,
+    done: Arc<AtomicBool>,
+}
+
+/// The supervisor's view of one worker: a liveness flag flipped by the
+/// worker's drop guard (normal exit *and* panic unwind both flip it)
+/// and the job it was running when last seen.
+struct WorkerSlot {
+    alive: Arc<AtomicBool>,
+    inflight: Arc<Mutex<Option<InFlight>>>,
+}
+
+/// Flips the worker's liveness flag on the way out, however the worker
+/// leaves — clean drain or panic unwind.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
 struct ServerState {
     engine: Engine,
+    artifacts: Arc<ArtifactStore>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     queue_capacity: usize,
     shutdown: AtomicBool,
+    /// Set by the supervisor once every worker has exited and the final
+    /// flush has run; releases the periodic flusher.
+    drained: AtomicBool,
     job_seq: AtomicU64,
     root_stop: StopHandle,
     epoch: Instant,
+    slots: Mutex<Vec<WorkerSlot>>,
+    connections: AtomicUsize,
+    max_connections: usize,
+    max_line_bytes: usize,
+    flush_interval: Duration,
+    panic_on_case: Option<String>,
 }
 
 impl ServerState {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         self.queue_cv.notify_all();
+    }
+
+    fn health_args(&self) -> Vec<(&'static str, Json)> {
+        let (alive, total, active) = {
+            let slots = lock(&self.slots);
+            let alive = slots
+                .iter()
+                .filter(|s| s.alive.load(Ordering::Acquire))
+                .count();
+            let active = slots.iter().filter(|s| lock(&s.inflight).is_some()).count();
+            (alive, slots.len(), active)
+        };
+        vec![
+            ("queue_depth", Json::num(lock(&self.queue).len() as u64)),
+            ("active_jobs", Json::num(active as u64)),
+            ("workers_alive", Json::num(alive as u64)),
+            ("workers_total", Json::num(total as u64)),
+            (
+                "connections",
+                Json::num(self.connections.load(Ordering::Acquire) as u64),
+            ),
+            (
+                "draining",
+                Json::Bool(self.shutdown.load(Ordering::Acquire)),
+            ),
+            (
+                "uptime_ms",
+                Json::num(self.epoch.elapsed().as_millis() as u64),
+            ),
+            ("store", self.artifacts.stats_json()),
+        ]
     }
 }
 
@@ -144,43 +257,73 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener, spawns the accept loop and the worker pool,
-    /// and returns immediately.
+    /// Binds the listener, opens (and recovers) the artifact store,
+    /// spawns the accept loop, the worker pool, its supervisor and the
+    /// periodic flusher, and returns immediately.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure if the address is unavailable.
+    /// Propagates bind failures, store-directory I/O failures (on-disk
+    /// *corruption* is recovered from, not an error) and thread-spawn
+    /// failures.
     pub fn start(opts: &ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let artifacts = Arc::new(match &opts.store_dir {
+            Some(dir) => ArtifactStore::open(dir)?,
+            None => ArtifactStore::new(),
+        });
         let state = Arc::new(ServerState {
-            engine: Engine::with_artifacts(Arc::new(ArtifactStore::new())),
+            engine: Engine::with_artifacts(Arc::clone(&artifacts)),
+            artifacts,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             queue_capacity: opts.queue_capacity.max(1),
             shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
             job_seq: AtomicU64::new(0),
             root_stop: StopHandle::new(),
             epoch: Instant::now(),
+            slots: Mutex::new(Vec::new()),
+            connections: AtomicUsize::new(0),
+            max_connections: opts.max_connections.max(1),
+            max_line_bytes: opts.max_line_bytes.max(64),
+            flush_interval: opts.flush_interval.max(Duration::from_millis(10)),
+            panic_on_case: opts.panic_on_case.clone(),
         });
-        let mut threads = Vec::with_capacity(opts.workers.max(1) + 1);
+        let mut worker_handles = Vec::with_capacity(opts.workers.max(1));
+        {
+            let mut slots = lock(&state.slots);
+            for i in 0..opts.workers.max(1) {
+                let (slot, handle) = spawn_worker(&state, i)?;
+                slots.push(slot);
+                worker_handles.push(handle);
+            }
+        }
+        let mut threads = Vec::with_capacity(3);
         {
             let state = Arc::clone(&state);
             threads.push(
                 thread::Builder::new()
                     .name("serve-accept".into())
-                    .spawn(move || accept_loop(&state, &listener))
-                    .expect("spawn accept loop"),
+                    .spawn(move || accept_loop(&state, &listener))?,
             );
         }
-        for i in 0..opts.workers.max(1) {
+        {
             let state = Arc::clone(&state);
             threads.push(
                 thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state, i))
-                    .expect("spawn worker"),
+                    .name("serve-supervisor".into())
+                    .spawn(move || supervisor_loop(&state, worker_handles))?,
+            );
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(
+                thread::Builder::new()
+                    .name("serve-flusher".into())
+                    .spawn(move || flusher_loop(&state))?,
             );
         }
         Ok(Server {
@@ -199,10 +342,7 @@ impl Server {
     /// The cross-request artifact store every worker shares.
     #[must_use]
     pub fn artifacts(&self) -> &Arc<ArtifactStore> {
-        self.state
-            .engine
-            .artifacts()
-            .expect("server engine always carries a store")
+        &self.state.artifacts
     }
 
     /// Starts a graceful drain: stop accepting, run everything already
@@ -226,12 +366,132 @@ impl Server {
         self.state.begin_shutdown();
     }
 
-    /// Waits for the accept loop and every worker to exit. Returns once
-    /// the queue has fully drained after [`Server::begin_shutdown`].
+    /// Waits for the accept loop, the supervisor (which in turn joins
+    /// every worker, including respawned ones) and the flusher. Returns
+    /// once the queue has fully drained — and, for persistent stores,
+    /// the final flush has run — after [`Server::begin_shutdown`].
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
         }
+    }
+}
+
+/// Spawns one worker thread and returns the supervisor's view of it.
+fn spawn_worker(
+    state: &Arc<ServerState>,
+    index: usize,
+) -> io::Result<(WorkerSlot, thread::JoinHandle<()>)> {
+    let alive = Arc::new(AtomicBool::new(true));
+    let inflight: Arc<Mutex<Option<InFlight>>> = Arc::new(Mutex::new(None));
+    let slot = WorkerSlot {
+        alive: Arc::clone(&alive),
+        inflight: Arc::clone(&inflight),
+    };
+    let handle = thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn({
+            let state = Arc::clone(state);
+            move || {
+                let _guard = AliveGuard(alive);
+                worker_loop(&state, index, &inflight);
+            }
+        })?;
+    Ok((slot, handle))
+}
+
+/// Watches worker liveness: a dead worker's in-flight job is failed to
+/// its client (`job.error`, never a silent drop) and the worker is
+/// respawned unless the server is draining an empty queue. Exits once
+/// shutdown has fully drained, then joins every worker it has ever
+/// owned and runs the final flush.
+fn supervisor_loop(state: &Arc<ServerState>, mut handles: Vec<thread::JoinHandle<()>>) {
+    loop {
+        thread::sleep(Duration::from_millis(20));
+        let shutdown = state.shutdown.load(Ordering::Acquire);
+        let queue_empty = lock(&state.queue).is_empty();
+        let mut all_dead = true;
+        {
+            let mut slots = lock(&state.slots);
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.alive.load(Ordering::Acquire) {
+                    all_dead = false;
+                    continue;
+                }
+                if let Some(job) = lock(&slot.inflight).take() {
+                    // `done` may already be set if the worker died in
+                    // the narrow window after reporting; swap so the
+                    // client gets exactly one terminal event.
+                    if !job.done.swap(true, Ordering::AcqRel) {
+                        metrics::global().counter("serve.jobs.failed").inc();
+                        job.emitter.emit(
+                            "job.error",
+                            vec![
+                                ("job", Json::num(job.id)),
+                                ("exit_code", Json::num(2)),
+                                ("case", Json::Str(job.case)),
+                                (
+                                    "message",
+                                    Json::Str(
+                                        "worker died while running this job; resubmit to retry"
+                                            .into(),
+                                    ),
+                                ),
+                            ],
+                        );
+                    }
+                }
+                if shutdown && queue_empty {
+                    // Normal drain exit; leave the slot dead.
+                    continue;
+                }
+                // A spawn failure (resource exhaustion) leaves the
+                // slot dead; it is retried on the next tick.
+                if let Ok((fresh, handle)) = spawn_worker(state, i) {
+                    *slot = fresh;
+                    handles.push(handle);
+                    all_dead = false;
+                    metrics::global().counter("serve.workers.respawned").inc();
+                }
+            }
+        }
+        if shutdown && queue_empty && all_dead {
+            break;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    // Flush-on-drain: after the last worker reported its last job,
+    // nothing else will journal; make it all durable before `join`
+    // returns.
+    let _ = state.artifacts.flush();
+    state.drained.store(true, Ordering::Release);
+}
+
+/// Persists journal records written mid-run (each obligation's verdict
+/// is journaled as it completes, not only at job end) every
+/// [`ServeOptions::flush_interval`], so a SIGKILL during a long run
+/// loses at most one interval of finished obligations.
+fn flusher_loop(state: &Arc<ServerState>) {
+    while !state.drained.load(Ordering::Acquire) {
+        let mut slept = Duration::ZERO;
+        while slept < state.flush_interval && !state.drained.load(Ordering::Acquire) {
+            let step = Duration::from_millis(20).min(state.flush_interval - slept);
+            thread::sleep(step);
+            slept += step;
+        }
+        let _ = state.artifacts.flush();
+    }
+}
+
+/// Decrements the live-connection count when a handler exits, however
+/// it exits.
+struct ConnGuard(Arc<ServerState>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -245,15 +505,43 @@ fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener) {
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
-                let state = Arc::clone(state);
+                // Load shedding: past the connection cap, answer with a
+                // structured rejection instead of queueing the socket.
+                let active = state.connections.fetch_add(1, Ordering::AcqRel) + 1;
+                if active > state.max_connections {
+                    state.connections.fetch_sub(1, Ordering::AcqRel);
+                    metrics::global().counter("serve.connections.shed").inc();
+                    let emitter = Emitter {
+                        stream: Arc::new(Mutex::new(stream)),
+                        epoch: state.epoch,
+                    };
+                    emitter.emit(
+                        "job.rejected",
+                        vec![(
+                            "reason",
+                            Json::Str(format!(
+                                "server overloaded ({} concurrent connections)",
+                                state.max_connections
+                            )),
+                        )],
+                    );
+                    continue;
+                }
+                let conn_state = Arc::clone(state);
                 // Handlers are detached: they exit when the client
                 // closes its end (and cancel their job if it is still
                 // running at that point).
-                let _ = thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name("serve-conn".into())
                     .spawn(move || {
-                        let _ = handle_connection(&state, stream);
+                        let guard = ConnGuard(Arc::clone(&conn_state));
+                        let _ = handle_connection(&conn_state, stream);
+                        drop(guard);
                     });
+                if spawned.is_err() {
+                    // The guard never ran; undo the reservation.
+                    state.connections.fetch_sub(1, Ordering::AcqRel);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
@@ -263,8 +551,34 @@ fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener) {
     }
 }
 
-/// Reads commands off one connection. Returns on EOF, protocol error or
-/// `shutdown`.
+/// One bounded protocol read.
+enum LineRead {
+    /// A complete line within the limit (possibly empty).
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the limit; the connection should be shed.
+    Oversized,
+    /// Undecodable bytes or a transport error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than `max`
+/// bytes — a malicious client cannot balloon server memory.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String, max: usize) -> LineRead {
+    line.clear();
+    // `take` caps this read at max+1 bytes: seeing max+1 without a
+    // newline proves the line is oversized without buffering it.
+    match reader.by_ref().take(max as u64 + 1).read_line(line) {
+        Ok(0) => LineRead::Eof,
+        Ok(n) if n > max && !line.ends_with('\n') => LineRead::Oversized,
+        Ok(_) => LineRead::Line,
+        Err(_) => LineRead::Failed,
+    }
+}
+
+/// Reads commands off one connection. Returns on EOF, a rejected or
+/// malformed command, or `shutdown`.
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let emitter = Emitter {
@@ -277,21 +591,28 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<
     // flag, so EOF-with-job-in-flight cancels it (nobody is listening
     // for the result any more).
     let mut job: Option<(u64, StopHandle, Arc<AtomicBool>)> = None;
+    let reject = |reason: String| {
+        metrics::global().counter("serve.jobs.rejected").inc();
+        emitter.emit("job.rejected", vec![("reason", Json::Str(reason))]);
+    };
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+        match read_bounded_line(&mut reader, &mut line, state.max_line_bytes) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Failed => break,
+            LineRead::Oversized => {
+                reject(format!(
+                    "command line exceeds {} bytes",
+                    state.max_line_bytes
+                ));
+                break;
+            }
         }
         let text = line.trim();
         if text.is_empty() {
             continue;
         }
         let Ok(msg) = json::parse(text) else {
-            emitter.emit(
-                "protocol.error",
-                vec![("message", Json::Str("malformed JSON command".into()))],
-            );
+            reject("malformed JSON command".into());
             break;
         };
         match msg.get("cmd").and_then(Json::as_str) {
@@ -318,16 +639,18 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<
                 }
             }
             Some("ping") => emitter.emit("server.pong", vec![]),
+            Some("health") => emitter.emit("server.health", state.health_args()),
             Some("shutdown") => {
                 state.begin_shutdown();
                 emitter.emit("server.shutdown", vec![]);
                 break;
             }
-            _ => {
-                emitter.emit(
-                    "protocol.error",
-                    vec![("message", Json::Str("unknown command".into()))],
-                );
+            Some(other) => {
+                reject(format!("unknown command '{other}'"));
+                break;
+            }
+            None => {
+                reject("command must carry a string 'cmd' field".into());
                 break;
             }
         }
@@ -398,7 +721,7 @@ fn submit_job(
     Ok((id, stop, done))
 }
 
-fn worker_loop(state: &Arc<ServerState>, worker: usize) {
+fn worker_loop(state: &Arc<ServerState>, worker: usize, inflight: &Mutex<Option<InFlight>>) {
     loop {
         let job = {
             let mut q = lock(&state.queue);
@@ -417,11 +740,20 @@ fn worker_loop(state: &Arc<ServerState>, worker: usize) {
                     .0;
             }
         };
-        run_job(state, worker, job);
+        run_job(state, worker, job, inflight);
     }
 }
 
-fn run_job(state: &Arc<ServerState>, worker: usize, job: Job) {
+fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<Option<InFlight>>) {
+    // Register with the supervisor *before* anything can go wrong, so a
+    // worker death at any later point fails this job instead of
+    // dropping it.
+    *lock(inflight) = Some(InFlight {
+        id: job.id,
+        case: job.request.case.clone(),
+        emitter: job.emitter.clone(),
+        done: Arc::clone(&job.done),
+    });
     job.emitter.emit(
         "job.started",
         vec![
@@ -430,6 +762,16 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job) {
             ("worker", Json::num(worker as u64)),
         ],
     );
+    if state
+        .panic_on_case
+        .as_deref()
+        .is_some_and(|c| c == job.request.case)
+    {
+        panic!(
+            "chaos: injected worker panic for case '{}'",
+            job.request.case
+        );
+    }
     // Progress heartbeat: proof of life while the solver grinds, so a
     // client can distinguish "queued behind others" from "running".
     let beat = {
@@ -459,34 +801,42 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job) {
         })
     };
     let result = state.engine.verify_cancellable(&job.request, &job.stop);
-    job.done.store(true, Ordering::Release);
+    // `swap` so the supervisor and this worker agree on who reports the
+    // terminal event if the worker dies in the reporting window.
+    let already_reported = job.done.swap(true, Ordering::AcqRel);
     let _ = beat.join();
-    match result {
-        Ok(outcome) => {
-            metrics::global().counter("serve.jobs.completed").inc();
-            job.emitter.emit(
-                "job.done",
-                vec![
-                    ("job", Json::num(job.id)),
-                    ("exit_code", Json::num(outcome.exit_code() as u64)),
-                    ("verdict", Json::Str(verdict_line(&outcome.report))),
-                    ("cache_hits", Json::num(outcome.report.cache_hits)),
-                    ("report", outcome.report.to_json()),
-                ],
-            );
-        }
-        Err(e) => {
-            metrics::global().counter("serve.jobs.failed").inc();
-            job.emitter.emit(
-                "job.error",
-                vec![
-                    ("job", Json::num(job.id)),
-                    ("exit_code", Json::num(2)),
-                    ("message", Json::Str(e.to_string())),
-                ],
-            );
+    if !already_reported {
+        match result {
+            Ok(outcome) => {
+                metrics::global().counter("serve.jobs.completed").inc();
+                job.emitter.emit(
+                    "job.done",
+                    vec![
+                        ("job", Json::num(job.id)),
+                        ("exit_code", Json::num(outcome.exit_code() as u64)),
+                        ("verdict", Json::Str(verdict_line(&outcome.report))),
+                        ("cache_hits", Json::num(outcome.report.cache_hits)),
+                        ("report", outcome.report.to_json()),
+                    ],
+                );
+            }
+            Err(e) => {
+                metrics::global().counter("serve.jobs.failed").inc();
+                job.emitter.emit(
+                    "job.error",
+                    vec![
+                        ("job", Json::num(job.id)),
+                        ("exit_code", Json::num(2)),
+                        ("message", Json::Str(e.to_string())),
+                    ],
+                );
+            }
         }
     }
+    *lock(inflight) = None;
+    // Per-job flush: the engine already flushed after the run; this
+    // covers the rejected/errored paths and keeps the guarantee local.
+    let _ = state.artifacts.flush();
 }
 
 /// The verdict line for a report, character-identical to what
@@ -526,7 +876,8 @@ pub struct SubmitOutcome {
 }
 
 /// Submits `req` and blocks until the job completes. See
-/// [`submit_with`] for cancellation and event streaming.
+/// [`submit_with`] for cancellation and event streaming, and
+/// [`submit_retrying`] for resilience to daemon restarts.
 ///
 /// # Errors
 ///
@@ -634,6 +985,133 @@ pub fn submit_with(
             _ => {}
         }
     }
+}
+
+/// Whether this failure is worth retrying: the daemon may be
+/// restarting (refused/reset), mid-crash (EOF before a terminal event,
+/// a worker-death `job.error`) or briefly saturated.
+fn transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::NotConnected
+    )
+}
+
+fn transient_outcome(outcome: &SubmitOutcome) -> bool {
+    if outcome.rejected {
+        // Saturation and drain rejections clear with time; malformed
+        // requests never do.
+        let v = &outcome.verdict;
+        return v.contains("queue full") || v.contains("draining") || v.contains("overloaded");
+    }
+    outcome.verdict.contains("worker died")
+}
+
+/// Small deterministic-enough jitter so a fleet of retrying clients
+/// does not thunder back in lockstep. Not cryptographic; wall-clock
+/// nanoseconds are plenty of spread.
+fn jitter_ms(cap: u64) -> u64 {
+    if cap == 0 {
+        return 0;
+    }
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos());
+    u64::from(nanos) % cap
+}
+
+/// [`submit`] with resilience: transient failures — connection refused
+/// or reset while the daemon restarts, a stream cut mid-job by a crash,
+/// a saturated queue, a died worker — are retried up to `retries` times
+/// with exponential backoff plus jitter. Re-submitting is **idempotent
+/// by construction**: results are keyed by the design's content hash in
+/// the artifact store, so a retry of work the daemon already finished
+/// (or recovered from disk) is answered from the store, not re-solved.
+///
+/// `on_event` sees every server event of every attempt, plus a
+/// synthetic `client.retry` event (same JSONL shape) before each
+/// re-attempt.
+///
+/// # Errors
+///
+/// Returns the final attempt's error once retries are exhausted;
+/// non-transient errors (unknown case, malformed request, protocol
+/// violations) fail immediately.
+pub fn submit_retrying(
+    addr: impl ToSocketAddrs + Copy,
+    req: &VerifyRequest,
+    retries: u32,
+    base_backoff: Duration,
+    mut on_event: impl FnMut(&Json),
+) -> io::Result<SubmitOutcome> {
+    let mut attempt = 0u32;
+    loop {
+        let result = submit_with(addr, req, None, &mut on_event);
+        let (retry, describe) = match &result {
+            Ok(outcome) => (transient_outcome(outcome), outcome.verdict.clone()),
+            Err(e) => (transient_io(e), e.to_string()),
+        };
+        if !retry || attempt >= retries {
+            return result;
+        }
+        attempt += 1;
+        // Exponential backoff, capped at 64x base, plus up to half a
+        // step of jitter.
+        let base_ms = base_backoff.as_millis() as u64;
+        let step = base_ms.saturating_mul(1 << attempt.min(6));
+        let delay = Duration::from_millis(step + jitter_ms(step / 2 + 1));
+        metrics::global().counter("client.retries").inc();
+        on_event(&Json::obj(vec![
+            ("name", Json::Str("client.retry".into())),
+            (
+                "args",
+                Json::obj(vec![
+                    ("attempt", Json::num(u64::from(attempt))),
+                    ("delay_ms", Json::num(delay.as_millis() as u64)),
+                    ("cause", Json::Str(describe)),
+                ]),
+            ),
+        ]));
+        thread::sleep(delay);
+    }
+}
+
+/// Asks the daemon at `addr` for a health snapshot: queue depth, worker
+/// liveness, connection count and artifact-store statistics (including
+/// `recovered`/`truncated` from the last store open).
+///
+/// # Errors
+///
+/// Propagates connection failures; a non-health reply surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn query_health(addr: impl ToSocketAddrs) -> io::Result<Json> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, r#"{{"cmd":"health"}}"#)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the stream before answering health",
+        ));
+    }
+    let event = json::parse(line.trim())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed event: {e}")))?;
+    if event.get("name").and_then(Json::as_str) != Some("server.health") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected server.health, got: {event}"),
+        ));
+    }
+    Ok(event.get("args").cloned().unwrap_or(Json::Null))
 }
 
 /// Asks the daemon at `addr` to drain and exit.

@@ -1,5 +1,5 @@
 //! The `aqed-serve` binary: daemon (`serve`), client (`submit`) and
-//! admin (`shutdown`, `ping`) front ends over the library.
+//! admin (`shutdown`, `ping`, `health`) front ends over the library.
 //!
 //! `submit` prints the same verdict line as `aqed verify` and exits
 //! with the same taxonomy (0 clean, 1 bug, 2 inconclusive / errored /
@@ -7,16 +7,22 @@
 //! service-routed run and a one-shot run interchangeably.
 
 use aqed_engine::VerifyRequest;
-use aqed_serve::{ping, request_shutdown, submit_with, ServeOptions, Server};
+use aqed_serve::{
+    ping, query_health, request_shutdown, submit_retrying, submit_with, ServeOptions, Server,
+};
 use std::io::{self, Write};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage:
   aqed-serve serve [--listen ADDR] [--workers N] [--queue N] [--port-file PATH]
+                   [--store-dir DIR] [--flush-ms N] [--max-line-bytes N]
+                   [--max-connections N]
   aqed-serve submit --addr ADDR CASE [verify flags] [--cancel-after-ms N] [--events]
+                    [--retries N] [--retry-backoff-ms N]
   aqed-serve shutdown --addr ADDR
   aqed-serve ping --addr ADDR
+  aqed-serve health --addr ADDR
 
 verify flags (mirroring `aqed verify`):
   --healthy --bound N --jobs N --backend cdcl|dimacs|portfolio
@@ -53,6 +59,11 @@ fn run(args: &[String]) -> io::Result<u8> {
                 println!("no answer");
                 Ok(2)
             }
+        }
+        Some("health") => {
+            let addr = required_addr(&args[1..])?;
+            println!("{}", query_health(addr.as_str())?);
+            Ok(0)
         }
         _ => {
             eprintln!("{USAGE}");
@@ -99,6 +110,25 @@ fn serve(args: &[String]) -> io::Result<u8> {
             "--workers" => opts.workers = parse_num("--workers", it.next())?,
             "--queue" => opts.queue_capacity = parse_num("--queue", it.next())?,
             "--port-file" => port_file = it.next().cloned(),
+            "--store-dir" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| usage_err("--store-dir needs a value"))?;
+                opts.store_dir = Some(dir.into());
+            }
+            "--flush-ms" => {
+                let ms: u64 = parse_num("--flush-ms", it.next())?;
+                opts.flush_interval = Duration::from_millis(ms.max(1));
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes = parse_num("--max-line-bytes", it.next())?;
+            }
+            "--max-connections" => {
+                opts.max_connections = parse_num("--max-connections", it.next())?;
+            }
+            // Chaos hook for the crash-recovery test suite; deliberately
+            // undocumented in USAGE.
+            "--chaos-panic-case" => opts.panic_on_case = it.next().cloned(),
             other => return Err(usage_err(format!("unknown serve flag '{other}'"))),
         }
     }
@@ -132,6 +162,8 @@ fn submit_cmd(args: &[String]) -> io::Result<u8> {
     let mut case: Option<String> = None;
     let mut cancel_after: Option<Duration> = None;
     let mut events = false;
+    let mut retries: u32 = 0;
+    let mut retry_backoff = Duration::from_millis(100);
     let mut edits: Vec<RequestEdit> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +212,11 @@ fn submit_cmd(args: &[String]) -> io::Result<u8> {
                 cancel_after = Some(Duration::from_millis(ms));
             }
             "--events" => events = true,
+            "--retries" => retries = parse_num("--retries", it.next())?,
+            "--retry-backoff-ms" => {
+                let ms: u64 = parse_num("--retry-backoff-ms", it.next())?;
+                retry_backoff = Duration::from_millis(ms.max(1));
+            }
             other if !other.starts_with('-') && case.is_none() => {
                 case = Some(other.to_string());
             }
@@ -192,11 +229,19 @@ fn submit_cmd(args: &[String]) -> io::Result<u8> {
     for edit in edits {
         edit(&mut req);
     }
-    let outcome = submit_with(addr.as_str(), &req, cancel_after, |event| {
+    let on_event = |event: &aqed_obs::json::Json| {
         if events {
             println!("{event}");
         }
-    })?;
+    };
+    // Cancellation is interactive (one attempt by definition); plain
+    // submits may ride the retrying path, which is idempotent because
+    // results are keyed by design hash in the daemon's artifact store.
+    let outcome = if retries > 0 && cancel_after.is_none() {
+        submit_retrying(addr.as_str(), &req, retries, retry_backoff, on_event)?
+    } else {
+        submit_with(addr.as_str(), &req, cancel_after, on_event)?
+    };
     println!("{}", outcome.verdict);
     Ok(u8::try_from(outcome.exit_code).unwrap_or(2))
 }

@@ -3,9 +3,13 @@
 
 use aqed_engine::{Engine, VerifyRequest};
 use aqed_obs::json::Json;
-use aqed_serve::{ping, request_shutdown, submit, submit_with, verdict_line, ServeOptions, Server};
+use aqed_serve::{
+    ping, query_health, request_shutdown, submit, submit_retrying, submit_with, verdict_line,
+    ServeOptions, Server,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn options(workers: usize, queue: usize) -> ServeOptions {
@@ -13,7 +17,15 @@ fn options(workers: usize, queue: usize) -> ServeOptions {
         addr: "127.0.0.1:0".into(),
         workers,
         queue_capacity: queue,
+        ..ServeOptions::default()
     }
+}
+
+/// A fresh per-test store directory under the system temp dir.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aqed-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// The verdict up to the timing parenthetical — stable across runs.
@@ -247,4 +259,187 @@ fn shutdown_drains_queued_work_and_stops_accepting() {
     server.join();
     // The listener is gone: new connections fail outright.
     assert!(TcpStream::connect(addr).is_err() || !ping(addr));
+}
+
+#[test]
+fn health_reports_queue_workers_and_store() {
+    let server = Server::start(&options(3, 8)).expect("bind");
+    let health = query_health(server.addr()).expect("health round trip");
+    assert_eq!(health.get("workers_total").and_then(Json::as_u64), Some(3));
+    assert_eq!(health.get("workers_alive").and_then(Json::as_u64), Some(3));
+    assert_eq!(health.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        health.get("draining").and_then(Json::as_bool),
+        Some(false),
+        "{health}"
+    );
+    let store = health.get("store").expect("store stats");
+    assert_eq!(store.get("persistent").and_then(Json::as_bool), Some(false));
+    assert_eq!(store.get("recovered").and_then(Json::as_u64), Some(0));
+    server.begin_shutdown();
+    server.join();
+}
+
+/// Sends raw bytes on a fresh connection and returns the first reply
+/// line.
+fn raw_roundtrip(addr: std::net::SocketAddr, payload: &[u8]) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(payload).expect("send");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    line
+}
+
+#[test]
+fn garbage_input_earns_structured_rejections_not_dead_workers() {
+    let mut opts = options(1, 4);
+    opts.max_line_bytes = 256;
+    let server = Server::start(&opts).expect("bind");
+    let addr = server.addr();
+    // Truncated JSON.
+    let reply = raw_roundtrip(addr, b"{\"cmd\":\"ver\n");
+    assert!(
+        reply.contains("job.rejected") && reply.contains("malformed"),
+        "{reply}"
+    );
+    // Unknown command.
+    let reply = raw_roundtrip(addr, b"{\"cmd\":\"frobnicate\"}\n");
+    assert!(
+        reply.contains("job.rejected") && reply.contains("unknown command"),
+        "{reply}"
+    );
+    // No cmd field at all.
+    let reply = raw_roundtrip(addr, b"{\"x\":1}\n");
+    assert!(reply.contains("job.rejected"), "{reply}");
+    // An oversized line is shed without being buffered.
+    let mut big = vec![b'{'; 4096];
+    big.push(b'\n');
+    let reply = raw_roundtrip(addr, &big);
+    assert!(
+        reply.contains("job.rejected") && reply.contains("exceeds"),
+        "{reply}"
+    );
+    // The worker pool is untouched: a real job still runs.
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(4);
+    let outcome = submit(addr, &req).expect("served run");
+    assert_eq!(outcome.exit_code, 0, "{}", outcome.verdict);
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn dead_worker_fails_its_job_and_is_respawned() {
+    let mut opts = options(1, 4);
+    // Chaos: any job for this case panics its worker mid-run.
+    opts.panic_on_case = Some("motivating_clock_enable".into());
+    let server = Server::start(&opts).expect("bind");
+    let addr = server.addr();
+    let doomed = submit(addr, &VerifyRequest::new("motivating_clock_enable"))
+        .expect("the job must fail, not hang");
+    assert_eq!(doomed.exit_code, 2);
+    assert!(
+        doomed.verdict.contains("worker died"),
+        "expected the supervisor's job.error, got: {}",
+        doomed.verdict
+    );
+    // The supervisor respawned the (sole) worker: a different case runs
+    // to completion on it.
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(4);
+    let outcome = submit(addr, &req).expect("served run after respawn");
+    assert_eq!(outcome.exit_code, 0, "{}", outcome.verdict);
+    let health = query_health(addr).expect("health");
+    assert_eq!(health.get("workers_alive").and_then(Json::as_u64), Some(1));
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn persistent_store_warms_a_restarted_server() {
+    let dir = store_dir("restart");
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(6);
+    let mut opts = options(2, 8);
+    opts.store_dir = Some(dir.clone());
+    // First daemon: cold run, verdicts journaled to disk on flush.
+    let cold = {
+        let server = Server::start(&opts).expect("bind");
+        let outcome = submit(server.addr(), &req).expect("cold run");
+        server.begin_shutdown();
+        server.join();
+        outcome
+    };
+    assert_eq!(cold.exit_code, 0, "{}", cold.verdict);
+    // Second daemon on the same directory: starts warm from recovery.
+    let server = Server::start(&opts).expect("rebind");
+    assert!(
+        server.artifacts().recovered_records() > 0,
+        "restart must recover journaled records"
+    );
+    assert_eq!(server.artifacts().truncated_records(), 0);
+    let warm = submit(server.addr(), &req).expect("warm run");
+    assert_eq!(warm.exit_code, cold.exit_code);
+    assert_eq!(stem(&warm.verdict), stem(&cold.verdict));
+    let report = warm.report.expect("report JSON");
+    let obligations = report
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .expect("obligations");
+    assert_eq!(
+        report.get("cache_hits").and_then(Json::as_u64),
+        Some(obligations.len() as u64),
+        "every obligation must be served from the recovered store: {report}"
+    );
+    assert_eq!(
+        report
+            .get("aggregate")
+            .and_then(|a| a.get("solver_calls"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+    server.begin_shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn submit_retrying_rides_out_a_daemon_restart() {
+    // Bind, learn the port, then shut the first daemon down so the
+    // client's first attempts see connection-refused.
+    let first = Server::start(&options(1, 4)).expect("bind");
+    let addr = first.addr();
+    first.begin_shutdown();
+    first.join();
+    let addr_str = addr.to_string();
+    let restarter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let mut opts = options(1, 4);
+        opts.addr = addr_str;
+        Server::start(&opts).expect("rebind on the same port")
+    });
+    let mut req = VerifyRequest::new("dataflow_fifo_sizing");
+    req.healthy = true;
+    req.bound = Some(4);
+    let mut retries_seen = 0u32;
+    let outcome = submit_retrying(addr, &req, 8, Duration::from_millis(50), |event| {
+        if event.get("name").and_then(Json::as_str) == Some("client.retry") {
+            retries_seen += 1;
+        }
+    })
+    .expect("retrying submit must outlast the restart");
+    assert_eq!(outcome.exit_code, 0, "{}", outcome.verdict);
+    assert!(
+        retries_seen > 0,
+        "the first attempts must have been retried"
+    );
+    let server = restarter.join().expect("restarter");
+    server.begin_shutdown();
+    server.join();
 }

@@ -185,4 +185,122 @@ echo "  cancelled-mid-flight job drained with rc=2"
 wait "$serve_pid"
 serve_pid=""
 
+echo "== durability: kill -9, restart, warm identity from the recovered store"
+# The daemon must survive the harshest crash (SIGKILL — no drain, no
+# flush handler) without losing completed verdicts: a restart on the
+# same --store-dir must recover the journal, report it via `health`,
+# and answer re-submitted cases from the store with verdicts identical
+# to the pre-kill runs.
+store_dir="$obs_tmp/store"
+json_field() { # json_field NAME < json-on-stdin -> bare integer
+    grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2
+}
+start_daemon() {
+    rm -f "$obs_tmp/port"
+    ./target/release/aqed-serve serve --workers 2 --store-dir "$store_dir" \
+        --flush-ms 50 --port-file "$obs_tmp/port" >>"$obs_tmp/serve.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$obs_tmp/port" ] && break
+        sleep 0.1
+    done
+    addr=$(cat "$obs_tmp/port")
+}
+start_daemon
+cold_rcs=""
+cold_outs=""
+for case in motivating_clock_enable dataflow_fifo_sizing; do
+    rc=0
+    out=$(./target/release/aqed-serve submit --addr "$addr" "$case" --bound 8 \
+        | verdict) || rc=$?
+    cold_rcs="$cold_rcs $rc"
+    cold_outs="$cold_outs|$out"
+done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+start_daemon
+health=$(./target/release/aqed-serve health --addr "$addr")
+recovered=$(echo "$health" | json_field recovered)
+truncated=$(echo "$health" | json_field truncated)
+if [ -z "$recovered" ] || [ "$recovered" -eq 0 ]; then
+    echo "restart after kill -9 recovered no records: $health" >&2
+    exit 1
+fi
+if [ "$truncated" != "0" ]; then
+    echo "flushed journal must recover without damage: $health" >&2
+    exit 1
+fi
+echo "  restart recovered $recovered records, 0 truncated"
+warm_rcs=""
+warm_outs=""
+for case in motivating_clock_enable dataflow_fifo_sizing; do
+    rc=0
+    out=$(./target/release/aqed-serve submit --addr "$addr" "$case" --bound 8 \
+        --retries 5 | verdict) || rc=$?
+    warm_rcs="$warm_rcs $rc"
+    warm_outs="$warm_outs|$out"
+done
+if [ "$cold_rcs" != "$warm_rcs" ] || [ "$cold_outs" != "$warm_outs" ]; then
+    echo "warm-after-kill verdicts diverged from pre-kill runs:" >&2
+    echo "  pre-kill:  rcs=$cold_rcs  $cold_outs" >&2
+    echo "  post-kill: rcs=$warm_rcs  $warm_outs" >&2
+    exit 1
+fi
+health=$(./target/release/aqed-serve health --addr "$addr")
+hits=$(echo "$health" | json_field outcome_hits)
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "post-kill re-submits were not served from the store: $health" >&2
+    exit 1
+fi
+echo "  post-kill verdicts identical, $hits obligation hits from the store"
+./target/release/aqed-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
+
+echo "== durability: corrupted-store (bit-flip) recovery"
+# Flip one bit mid-journal: the next open must truncate the damaged
+# tail (reported as truncated > 0 in health), keep serving, and still
+# agree with the pre-corruption verdicts — missing facts are re-solved,
+# never guessed.
+journal="$store_dir/journal.aqed"
+if ! [ -s "$journal" ]; then
+    echo "expected a journal at $journal after the kill-restart phase" >&2
+    exit 1
+fi
+python3 - "$journal" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0x40
+open(path, "wb").write(bytes(data))
+EOF
+start_daemon
+health=$(./target/release/aqed-serve health --addr "$addr")
+truncated=$(echo "$health" | json_field truncated)
+if [ -z "$truncated" ] || [ "$truncated" -eq 0 ]; then
+    echo "bit-flipped journal must report truncated records: $health" >&2
+    exit 1
+fi
+echo "  corrupted open truncated $truncated damaged records and kept serving"
+post_rcs=""
+post_outs=""
+for case in motivating_clock_enable dataflow_fifo_sizing; do
+    rc=0
+    out=$(./target/release/aqed-serve submit --addr "$addr" "$case" --bound 8 \
+        --retries 5 | verdict) || rc=$?
+    post_rcs="$post_rcs $rc"
+    post_outs="$post_outs|$out"
+done
+if [ "$cold_rcs" != "$post_rcs" ] || [ "$cold_outs" != "$post_outs" ]; then
+    echo "post-corruption verdicts diverged:" >&2
+    echo "  pre-corruption:  rcs=$cold_rcs  $cold_outs" >&2
+    echo "  post-corruption: rcs=$post_rcs  $post_outs" >&2
+    exit 1
+fi
+echo "  post-corruption verdicts identical to the pre-kill runs"
+./target/release/aqed-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
+
 echo "CI OK"
