@@ -74,6 +74,7 @@ fn main() {
     // Run depth by depth so per-depth cost is visible.
     let t0 = Instant::now();
     let mut cex_depth = None;
+    let mut last_solver = None;
     for k in 0..=max_bound {
         let mut bmc = Bmc::new(&composed, options().with_max_bound(k));
         let t = Instant::now();
@@ -98,12 +99,19 @@ fn main() {
             format!("{}/{}", stats.coi_latches_kept, stats.coi_latches_dropped),
             verdict
         );
+        last_solver = Some(stats.solver);
         if let BmcResult::Counterexample(c) = &result {
             cex_depth = Some(c.depth);
             break;
         }
     }
     println!("total: {:.2}s", t0.elapsed().as_secs_f64());
+    // The full solver-stats line includes the warm-start counters
+    // (learnt_imported / learnt_discarded) — zero on this cold sweep,
+    // nonzero when a learnt pack was injected.
+    if let Some(solver) = last_solver {
+        println!("final solver stats: {solver}");
+    }
     println!("note: depth k re-runs 0..=k (cumulative per line; incremental inside one run).");
 
     // Trail-replay harness: re-run the CEX bound on one live session and

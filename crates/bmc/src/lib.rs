@@ -57,7 +57,7 @@ pub use aqed_sat::{ArmedBudget, Budget, StopHandle, StopReason};
 use aqed_bitblast::BitBlaster;
 use aqed_bitvec::Bv;
 use aqed_expr::{ExprPool, ExprRef, VarId};
-use aqed_sat::{Lit, SatBackend, SolveResult, Solver, SolverStats};
+use aqed_sat::{Lit, SatBackend, SolveResult, Solver, SolverStats, Var};
 use aqed_tsys::{coi_slice_cached, CoiCache, CoiSlice, Simulator, Trace, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
@@ -191,6 +191,144 @@ impl BmcOptions {
     }
 }
 
+/// Clauses longer than this stay out of the exported learnt core: their
+/// import cost outweighs their pruning value.
+const MAX_PACK_LITS: usize = 32;
+
+/// At most this many learnt clauses are exported per run (the
+/// highest-activity survivors).
+const MAX_PACK_CLAUSES: usize = 2048;
+
+/// A learnt-clause core exported by one incremental BMC run, keyed to
+/// the exact frame-by-frame CNF the run built.
+///
+/// The unroller, bit-blaster, and per-frame disjunction encoding are
+/// deterministic functions of the (sliced) transition system, so two
+/// runs over an identical slice allocate identical solver variables in
+/// identical order. `frame_vars` records the variable count after each
+/// frame's query encoding; a future run may inject `clauses` only once
+/// its own counts have matched the donor's through the donor's final
+/// frame — any mismatch means the CNF differs and the whole pack is
+/// discarded. Injected clauses are then implied by the (identical)
+/// formula, so they are redundant by construction and cannot change a
+/// verdict or a model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LearntPack {
+    /// Backend variable count observed after frame `k`'s query encoding.
+    pub frame_vars: Vec<u32>,
+    /// Learnt clauses, each literal encoded as `(var << 1) | positive`.
+    pub clauses: Vec<Vec<u32>>,
+}
+
+impl LearntPack {
+    /// Whether the pack carries no clauses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+/// Warm-start inputs for one incremental run (see
+/// [`Bmc::set_warm_start`]).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Frames `0..=skip_to` are already proven clean for the selected
+    /// bads by a reused persisted verdict: they are still encoded — so
+    /// the CNF reproduces the donor run's variable numbering exactly —
+    /// but their queries are not solved. The caller owns the soundness
+    /// of the reused fact (content-addressed cone identity).
+    pub skip_to: Option<usize>,
+    /// Learnt core from a previous run over an identical sliced system,
+    /// injected once the frame fingerprints prove the CNF identical.
+    pub pack: Option<LearntPack>,
+}
+
+/// Per-run warm-start bookkeeping threaded through the frame loop.
+struct WarmCtl {
+    /// Whether warm mode is on (fingerprints recorded, core exported).
+    enabled: bool,
+    skip_to: Option<usize>,
+    /// Pending pack; taken on injection or on the first mismatch.
+    pack: Option<LearntPack>,
+    /// This run's own frame fingerprints (becomes the exported pack's).
+    frame_vars: Vec<u32>,
+    /// Clauses dropped without injection (fingerprint mismatch, or the
+    /// run ended before reaching the pack's final frame).
+    discarded: u64,
+    /// Whether at least one frame query was skipped via `skip_to`.
+    skipped: bool,
+}
+
+impl WarmCtl {
+    fn off() -> Self {
+        WarmCtl {
+            enabled: false,
+            skip_to: None,
+            pack: None,
+            frame_vars: Vec::new(),
+            discarded: 0,
+            skipped: false,
+        }
+    }
+
+    fn from_warm(warm: Option<WarmStart>) -> Self {
+        let Some(w) = warm else { return WarmCtl::off() };
+        let mut ctl = WarmCtl {
+            enabled: true,
+            skip_to: w.skip_to,
+            pack: None,
+            frame_vars: Vec::new(),
+            discarded: 0,
+            skipped: false,
+        };
+        match w.pack {
+            // A pack with clauses but no fingerprints can never be
+            // validated: discard it up front.
+            Some(p) if p.frame_vars.is_empty() => ctl.discarded = p.clauses.len() as u64,
+            Some(p) if !p.is_empty() => ctl.pack = Some(p),
+            _ => {}
+        }
+        ctl
+    }
+
+    /// Whether frame `k`'s query is covered by a reused clean verdict.
+    fn skips(&self, k: usize) -> bool {
+        self.skip_to.is_some_and(|c| k <= c)
+    }
+
+    /// Records frame `k`'s completed encoding and injects the pack when
+    /// the donor's final frame is reached with every fingerprint
+    /// matched. Called after the frame's query CNF (bad literals plus
+    /// disjunction) is fully built and before it is solved, so injected
+    /// clauses help the very next query.
+    fn observe_frame<B: SatBackend>(&mut self, k: usize, backend: &mut B) {
+        if !self.enabled {
+            return;
+        }
+        let nv = backend.num_vars() as u32;
+        self.frame_vars.push(nv);
+        let Some(pack) = &self.pack else { return };
+        if pack.frame_vars[k] != nv {
+            let p = self.pack.take().expect("checked above");
+            self.discarded += p.clauses.len() as u64;
+            return;
+        }
+        if k + 1 == pack.frame_vars.len() {
+            let p = self.pack.take().expect("checked above");
+            let clauses: Vec<Vec<Lit>> = p
+                .clauses
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|&code| Var::from_index((code >> 1) as usize).lit(code & 1 == 1))
+                        .collect()
+                })
+                .collect();
+            backend.import_learnts(&clauses);
+        }
+    }
+}
+
 /// A concrete witness violating a bad property.
 #[derive(Debug, Clone)]
 pub struct Counterexample {
@@ -305,6 +443,10 @@ pub struct BmcStats {
     pub coi_latches_kept: usize,
     /// State variables sliced away by cone-of-influence reduction.
     pub coi_latches_dropped: usize,
+    /// Persisted verdicts reused verbatim instead of being re-proven:
+    /// counts whole-obligation cache hits and warm-start runs whose
+    /// frame prefix was covered by a reused clean fact.
+    pub verdicts_reused: u64,
 }
 
 impl BmcStats {
@@ -321,6 +463,7 @@ impl BmcStats {
         self.solver.absorb(&other.solver);
         self.coi_latches_kept += other.coi_latches_kept;
         self.coi_latches_dropped += other.coi_latches_dropped;
+        self.verdicts_reused += other.verdicts_reused;
     }
 }
 
@@ -335,6 +478,10 @@ pub struct Bmc<B: SatBackend = Solver> {
     bad_filter: Option<Vec<usize>>,
     /// Shared COI support-fixpoint memo (see [`Bmc::set_coi_cache`]).
     coi_cache: Option<Arc<CoiCache>>,
+    /// Warm-start inputs for the next incremental check, if any.
+    warm: Option<WarmStart>,
+    /// Learnt core captured by the most recent warm-mode run.
+    export: Option<LearntPack>,
     backend: PhantomData<fn() -> B>,
 }
 
@@ -372,8 +519,27 @@ impl<B: SatBackend> Bmc<B> {
             stats: BmcStats::default(),
             bad_filter: None,
             coi_cache: None,
+            warm: None,
+            export: None,
             backend: PhantomData,
         }
+    }
+
+    /// Enables warm-start mode for the next incremental check: frames
+    /// covered by `warm.skip_to` are encoded but not solved, the learnt
+    /// pack is injected once the frame fingerprints prove the CNF
+    /// identical to the donor's (see [`LearntPack`]), and on completion
+    /// the run's own surviving learnt core is captured for
+    /// [`Bmc::take_learnt_export`]. Monolithic mode ignores warm-start
+    /// (its per-depth sessions never match an incremental donor).
+    pub fn set_warm_start(&mut self, warm: WarmStart) {
+        self.warm = Some(warm);
+    }
+
+    /// The learnt core captured by the most recent warm-mode incremental
+    /// run, or `None` when warm mode was off (or the run was monolithic).
+    pub fn take_learnt_export(&mut self) -> Option<LearntPack> {
+        self.export.take()
     }
 
     /// Installs a shared [`CoiCache`] so repeated checks (and sibling
@@ -483,6 +649,7 @@ impl<B: SatBackend + Default> Bmc<B> {
         let start = Instant::now();
         ts.validate(pool).expect("system must be well-formed");
         self.stats = BmcStats::default();
+        self.export = None;
         let bad_idx = self.bad_indices(ts);
         let _check_span = aqed_obs::obs_span!(
             "bmc.check",
@@ -559,6 +726,7 @@ impl<B: SatBackend + Default> Bmc<B> {
     ) -> BmcResult {
         let mut session: Session<B> = Session::new(ts, pool, &self.options, armed);
         let prune = self.options.prune_checked_bads;
+        let mut warm = WarmCtl::from_warm(self.warm.take());
         let result = 'run: {
             for k in 0..=self.options.max_bound {
                 if let Some(reason) = armed.poll() {
@@ -574,7 +742,7 @@ impl<B: SatBackend + Default> Bmc<B> {
                 let outcome = {
                     let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
                     let pre = sp.is_active().then(|| session.sizes());
-                    let o = self.check_frame(&mut session, ts, pool, k, bad_idx, prune);
+                    let o = self.check_frame(&mut session, ts, pool, k, bad_idx, prune, &mut warm);
                     record_growth(&mut sp, pre, &session);
                     sp.record("result", outcome_code(&o));
                     o
@@ -592,6 +760,31 @@ impl<B: SatBackend + Default> Bmc<B> {
                 bound: self.options.max_bound,
             }
         };
+        if warm.enabled {
+            // A pack the run never validated (ended early, or diverged)
+            // counts as discarded rather than silently vanishing.
+            if let Some(p) = warm.pack.take() {
+                warm.discarded += p.clauses.len() as u64;
+            }
+            self.stats.solver.learnt_discarded += warm.discarded;
+            if warm.skipped {
+                self.stats.verdicts_reused += 1;
+            }
+            let clauses: Vec<Vec<u32>> = session
+                .backend
+                .export_learnts(MAX_PACK_LITS, MAX_PACK_CLAUSES)
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .map(|&l| ((l.var().index() as u32) << 1) | u32::from(l.is_positive()))
+                        .collect()
+                })
+                .collect();
+            self.export = Some(LearntPack {
+                frame_vars: warm.frame_vars,
+                clauses,
+            });
+        }
         inspect(&mut session.backend);
         session.export_stats(&mut self.stats);
         result
@@ -624,7 +817,15 @@ impl<B: SatBackend + Default> Bmc<B> {
             let outcome = {
                 let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
                 let pre = sp.is_active().then(|| session.sizes());
-                let o = self.check_frame(&mut session, ts, pool, k, bad_idx, false);
+                let o = self.check_frame(
+                    &mut session,
+                    ts,
+                    pool,
+                    k,
+                    bad_idx,
+                    false,
+                    &mut WarmCtl::off(),
+                );
                 record_growth(&mut sp, pre, &session);
                 sp.record("result", outcome_code(&o));
                 o
@@ -643,7 +844,10 @@ impl<B: SatBackend + Default> Bmc<B> {
     }
 
     /// Encodes and solves the "any selected bad fires at frame `k`"
-    /// query, counting the solver call.
+    /// query, counting the solver call. In warm mode the completed frame
+    /// encoding is fingerprinted first (injecting the learnt pack when
+    /// due), and frames covered by a reused clean verdict skip the solve.
+    #[allow(clippy::too_many_arguments)]
     fn check_frame(
         &mut self,
         session: &mut Session<B>,
@@ -652,13 +856,31 @@ impl<B: SatBackend + Default> Bmc<B> {
         k: usize,
         bad_idx: &[usize],
         prune: bool,
+        warm: &mut WarmCtl,
     ) -> FrameOutcome {
         let frame_bad_lits = session.frame_bad_lits(pool, k, bad_idx);
         if frame_bad_lits.is_empty() {
+            warm.observe_frame(k, &mut session.backend);
             return FrameOutcome::Clean; // every bad statically false here
         }
+        let any = session.arm_query(&frame_bad_lits);
+        // The frame's query CNF (bad literals + disjunction) is complete:
+        // fingerprint it, and inject the pack before the next solve.
+        warm.observe_frame(k, &mut session.backend);
+        if warm.skips(k) {
+            // Covered by a reused clean fact: mirror the prune side
+            // effect (the fact proves these bads unreachable) but spend
+            // no solver call.
+            if prune {
+                for &(_, lit) in &frame_bad_lits {
+                    session.backend.add_clause(&[!lit]);
+                }
+            }
+            warm.skipped = true;
+            return FrameOutcome::Clean;
+        }
         self.stats.solver_calls += 1;
-        session.solve_frame(ts, pool, k, &frame_bad_lits, prune)
+        session.solve_armed(ts, pool, k, &frame_bad_lits, any, prune)
     }
 }
 
@@ -760,19 +982,29 @@ impl<B: SatBackend> Session<B> {
         lits
     }
 
-    /// Solves "any of this frame's bads" under a single assumption.
-    fn solve_frame(
+    /// Prepares frame `k`'s query: freezes the live interface (when the
+    /// backend preprocesses) and encodes the bad disjunction, returning
+    /// the assumption literal. Splitting this from [`Session::solve_armed`]
+    /// gives warm-start a point where the frame's CNF is complete but the
+    /// query has not yet run.
+    fn arm_query(&mut self, frame_bad_lits: &[(usize, Lit)]) -> Lit {
+        if self.preprocess {
+            self.freeze_interface(frame_bad_lits);
+        }
+        self.encode_disjunction(frame_bad_lits)
+    }
+
+    /// Solves "any of this frame's bads" under the assumption prepared by
+    /// [`Session::arm_query`].
+    fn solve_armed(
         &mut self,
         ts: &TransitionSystem,
         pool: &ExprPool,
         k: usize,
         frame_bad_lits: &[(usize, Lit)],
+        any: Lit,
         prune: bool,
     ) -> FrameOutcome {
-        if self.preprocess {
-            self.freeze_interface(frame_bad_lits);
-        }
-        let any = self.encode_disjunction(frame_bad_lits);
         match self.backend.solve_under(&[any]) {
             SolveResult::Sat => FrameOutcome::Cex(self.unroller.extract_cex(
                 ts,
@@ -1473,5 +1705,112 @@ mod tests {
         let text = cex.to_string();
         assert!(text.contains("reach_target"));
         assert!(!result.is_clean());
+    }
+
+    /// Runs `counter_system(target)` at `bound` in warm mode and returns
+    /// (result, stats, exported pack).
+    fn warm_run(target: u64, bound: usize, warm: WarmStart) -> (BmcResult, BmcStats, LearntPack) {
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, target);
+        let mut bmc = Bmc::new(&ts, BmcOptions::default().with_max_bound(bound));
+        bmc.set_warm_start(warm);
+        let result = bmc.check(&ts, &mut p);
+        let pack = bmc.take_learnt_export().expect("warm mode exports a pack");
+        (result, bmc.stats(), pack)
+    }
+
+    #[test]
+    fn warm_start_fingerprints_are_deterministic_and_pack_reimports() {
+        let (r1, _, pack1) = warm_run(12, 5, WarmStart::default());
+        assert!(r1.is_clean());
+        assert_eq!(pack1.frame_vars.len(), 6, "one fingerprint per frame");
+
+        // A second run over the identical system reproduces the exact
+        // frame fingerprints, so the whole pack validates and is
+        // installed (nothing discarded).
+        let imported = pack1.clauses.len() as u64;
+        let warm = WarmStart {
+            skip_to: None,
+            pack: Some(pack1.clone()),
+        };
+        let (r2, stats, pack2) = warm_run(12, 5, warm);
+        assert!(r2.is_clean());
+        assert_eq!(pack2.frame_vars, pack1.frame_vars);
+        assert_eq!(stats.solver.learnt_discarded, 0);
+        assert_eq!(stats.solver.learnt_imported, imported);
+    }
+
+    #[test]
+    fn warm_start_skips_reused_clean_prefix() {
+        let (r1, cold, pack) = warm_run(12, 5, WarmStart::default());
+        assert!(r1.is_clean());
+        assert!(cold.solver_calls > 2);
+
+        // Deeper re-run with frames 0..=5 covered by the reused verdict:
+        // only the new frames are solved, and the verdict matches a cold
+        // run at the same bound.
+        let warm = WarmStart {
+            skip_to: Some(5),
+            pack: Some(pack),
+        };
+        let (r2, stats, _) = warm_run(12, 7, warm);
+        let (r_cold, _, _) = warm_run(12, 7, WarmStart::default());
+        assert_eq!(r2.is_clean(), r_cold.is_clean());
+        assert!(r2.is_clean());
+        assert_eq!(stats.solver_calls, 2, "only frames 6 and 7 are solved");
+        assert_eq!(stats.verdicts_reused, 1);
+    }
+
+    #[test]
+    fn warm_start_with_pack_preserves_counterexamples() {
+        let (r1, _, pack) = warm_run(3, 10, WarmStart::default());
+        let d1 = r1.counterexample().expect("bug").depth;
+        let warm = WarmStart {
+            skip_to: None,
+            pack: Some(pack),
+        };
+        let (r2, stats, _) = warm_run(3, 10, warm);
+        let cex = r2.counterexample().expect("warm run must find the bug");
+        assert_eq!(cex.depth, d1);
+        let mut p = ExprPool::new();
+        let ts = counter_system(&mut p, 3);
+        assert!(cex.replay(&ts, &p), "warm-found witness must replay");
+        assert_eq!(stats.solver.learnt_discarded, 0);
+    }
+
+    #[test]
+    fn warm_start_discards_mismatched_pack() {
+        let (_, _, mut pack) = warm_run(12, 5, WarmStart::default());
+        // Tamper with a mid-run fingerprint and make sure the pack has
+        // something to discard even if the toy run learnt nothing.
+        pack.frame_vars[2] += 1;
+        pack.clauses.push(vec![0, 2]);
+        pack.clauses.push(vec![1, 3, 5]);
+        let expected = pack.clauses.len() as u64;
+        let warm = WarmStart {
+            skip_to: None,
+            pack: Some(pack),
+        };
+        let (r, stats, _) = warm_run(12, 5, warm);
+        assert!(r.is_clean(), "a discarded pack never changes the verdict");
+        assert_eq!(stats.solver.learnt_imported, 0);
+        assert_eq!(stats.solver.learnt_discarded, expected);
+    }
+
+    #[test]
+    fn warm_start_discards_pack_from_a_shallower_run() {
+        // The donor stopped at frame 3; a bound-2 re-run never reaches
+        // the pack's final frame, so the pack is dropped, not injected.
+        let (_, _, mut pack) = warm_run(12, 3, WarmStart::default());
+        pack.clauses.push(vec![0, 2]);
+        let expected = pack.clauses.len() as u64;
+        let warm = WarmStart {
+            skip_to: None,
+            pack: Some(pack),
+        };
+        let (r, stats, _) = warm_run(12, 2, warm);
+        assert!(r.is_clean());
+        assert_eq!(stats.solver.learnt_imported, 0);
+        assert_eq!(stats.solver.learnt_discarded, expected);
     }
 }

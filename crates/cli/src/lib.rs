@@ -79,7 +79,8 @@ pub enum Command {
     List,
     /// `aqed verify <case> [--bound N] [--healthy] [--vcd FILE]
     /// [--witness] [--jobs N] [--backend NAME] [--timeout SECS]
-    /// [--conflict-budget N] [--fail-fast] [--no-preprocess] [--no-coi]`
+    /// [--conflict-budget N] [--fail-fast] [--no-preprocess] [--no-coi]
+    /// [--no-warm-start]`
     Verify {
         /// Case id.
         case: String,
@@ -110,6 +111,9 @@ pub enum Command {
         preprocess: bool,
         /// Slice each obligation to the cone of influence of its bad.
         coi: bool,
+        /// Reuse cone-keyed verdicts and learnt-clause packs from the
+        /// artifact store (inert without `--store-dir`; requires COI).
+        warm_start: bool,
         /// Write a structured JSONL trace of the run to this path.
         trace_out: Option<String>,
         /// Write the full per-obligation report (plus the metrics
@@ -182,6 +186,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut fail_fast = false;
             let mut preprocess = true;
             let mut coi = true;
+            let mut warm_start = true;
             let mut trace_out = None;
             let mut report_json = None;
             let mut store_dir = None;
@@ -291,6 +296,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--no-preprocess" => preprocess = false,
                     "--coi" => coi = true,
                     "--no-coi" => coi = false,
+                    "--warm-start" => warm_start = true,
+                    "--no-warm-start" => warm_start = false,
                     other => {
                         return Err(ParseCommandError(format!("unknown flag '{other}'")));
                     }
@@ -312,6 +319,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 fail_fast,
                 preprocess,
                 coi,
+                warm_start,
                 trace_out,
                 report_json,
                 store_dir,
@@ -351,6 +359,7 @@ USAGE:
                      [--portfolio-workers N] [--no-clause-sharing]
                      [--timeout SECS] [--conflict-budget N] [--fail-fast]
                      [--no-preprocess] [--no-coi] [--store-dir DIR]
+                     [--no-warm-start]
                      [--trace-out FILE] [--report-json FILE]
                                        run A-QED (BMC) on a case; each FC/RB/SAC
                                        property is an independent obligation,
@@ -382,7 +391,15 @@ USAGE:
                                        store: verdicts and COI cones persist
                                        across runs (and survive crashes), so
                                        repeat verification of an unchanged
-                                       design is answered from disk.
+                                       design is answered from disk. With a
+                                       store, warm-start is on by default:
+                                       after an edit, obligations whose COI
+                                       cone is untouched reuse their persisted
+                                       verdicts (bugs replay-validated against
+                                       the new design), and changed cones
+                                       import learnt-clause packs from the
+                                       previous run; --no-warm-start forces a
+                                       cold re-verification.
                                        exit codes: 0 clean, 1 bug found,
                                        2 inconclusive, degraded, or usage error
   aqed conventional <case>             run the conventional simulation flow
@@ -517,6 +534,7 @@ pub fn run_with_stop(
             fail_fast,
             preprocess,
             coi,
+            warm_start,
             trace_out,
             report_json,
             store_dir,
@@ -537,6 +555,7 @@ pub fn run_with_stop(
                 fail_fast: *fail_fast,
                 preprocess: *preprocess,
                 coi: *coi,
+                warm_start: *warm_start,
             };
             // Arm observability before the run so metrics and spans
             // cover it end to end; torn down again below so one
@@ -789,6 +808,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None
@@ -811,6 +831,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None
@@ -833,6 +854,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None
@@ -898,6 +920,7 @@ mod tests {
                 fail_fast: true,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None
@@ -934,6 +957,25 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_warm_start_flags() {
+        // Warm-start defaults on; --no-warm-start disables it and the
+        // positive spelling re-enables it, mirroring the other toggles.
+        match parse(&["verify", "x"]).expect("parse") {
+            Command::Verify { warm_start, .. } => assert!(warm_start),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["verify", "x", "--no-warm-start"]).expect("parse") {
+            Command::Verify { warm_start, .. } => assert!(!warm_start),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["verify", "x", "--no-warm-start", "--warm-start"]).expect("parse") {
+            Command::Verify { warm_start, .. } => assert!(warm_start),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(usage().contains("--no-warm-start"));
     }
 
     #[test]
@@ -981,6 +1023,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None,
@@ -1011,6 +1054,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None,
@@ -1044,6 +1088,7 @@ mod tests {
                     fail_fast: false,
                     preprocess: true,
                     coi: true,
+                    warm_start: true,
                     trace_out: None,
                     report_json: None,
                     store_dir: None,
@@ -1093,6 +1138,7 @@ mod tests {
                 fail_fast: false,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None,
@@ -1125,6 +1171,7 @@ mod tests {
                 fail_fast: true,
                 preprocess: true,
                 coi: true,
+                warm_start: true,
                 trace_out: None,
                 report_json: None,
                 store_dir: None,

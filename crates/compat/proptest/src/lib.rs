@@ -43,11 +43,7 @@ pub trait Strategy {
     }
 
     /// Keeps only values for which `f` returns true (retry on reject).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -468,7 +464,9 @@ pub mod prelude {
 
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{any, prop, Just, Strategy, TestCaseError, Union};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[cfg(test)]

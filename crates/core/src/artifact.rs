@@ -7,7 +7,7 @@
 //! [`design_hash`]), so "the same design" means *textually the same
 //! model*, independent of which request built it.
 //!
-//! Two artifact kinds are stored:
+//! Four artifact kinds are stored:
 //!
 //! * **COI cones** — the per-(design, bad-set) support fixpoints that
 //!   the per-run [`CoiCache`] memoizes. Cones are encoded positionally
@@ -24,6 +24,20 @@
 //!   verdict a cold run would compute — a bug at depth `d` answers any
 //!   request with bound ≥ `d`, and a design clean to bound `k` answers
 //!   any request with bound ≤ `k`.
+//! * **Cone-keyed verdicts** — the same facts keyed by
+//!   [`cone_hash`]: the content hash of the obligation's COI *slice*
+//!   rather than the whole design. Because the slice keeps every
+//!   constraint and is exactly what BMC solves, an obligation's verdict
+//!   is fully determined by its slice — so after an edit that leaves a
+//!   cone untouched, the cone-keyed fact still applies even though the
+//!   whole-design hash changed. This is what makes warm-start
+//!   re-verification ("CI mode") skip untouched obligations entirely.
+//! * **Learnt-clause packs** — per-(cone, bad) clause cores exported
+//!   from a finished BMC run, re-injected on the next run over the
+//!   identical slice. Packs are hints, never facts: injection re-checks
+//!   per-frame variable fingerprints and discards on any mismatch, and
+//!   an injected clause is redundant with respect to the (identical)
+//!   CNF, so a wrong pack can cost time but not a verdict.
 //!
 //! Soundness guards: a 64-bit content hash plus a bad-name check gate
 //! every lookup, and a cached counterexample is **replayed on the
@@ -44,11 +58,12 @@
 
 use crate::persist::{DiskJournal, PersistedCex, Record, StoreOptions};
 use crate::verify::{CheckOutcome, PropertyKind};
-use aqed_bmc::Counterexample;
+use aqed_bitvec::Bv;
+use aqed_bmc::{Counterexample, LearntPack};
 use aqed_expr::{ExprPool, VarId};
 use aqed_obs::json::Json;
 use aqed_obs::metrics;
-use aqed_tsys::{to_btor2, CoiCache, TransitionSystem};
+use aqed_tsys::{to_btor2, CoiCache, CoiSlice, Trace, TransitionSystem};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::Path;
@@ -61,6 +76,18 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 #[must_use]
 pub fn design_hash(ts: &TransitionSystem, pool: &ExprPool) -> u64 {
     crate::persist::fnv1a(to_btor2(ts, pool).as_bytes())
+}
+
+/// Derived warm-start key for one obligation: the content hash of its
+/// COI slice's canonical BTOR2 export. Obligations whose cone a design
+/// edit does not touch keep their cone hash even though the
+/// whole-design hash changed — this, plus the bad-name guard, is the
+/// primary soundness gate for every cone-keyed artifact (two
+/// obligations share a key exactly when BMC would solve the same
+/// sliced model).
+#[must_use]
+pub fn cone_hash(slice: &CoiSlice, pool: &ExprPool) -> u64 {
+    design_hash(&slice.system, pool)
 }
 
 /// A known counterexample for one obligation, in whichever forms are
@@ -104,6 +131,13 @@ pub struct ArtifactStore {
     cones: Mutex<HashMap<ConeKey, Vec<u32>>>,
     /// (design hash, bad index) → merged obligation facts.
     outcomes: Mutex<HashMap<(u64, usize), ObligationFact>>,
+    /// (cone hash, bad name) → merged obligation facts, keyed by the
+    /// obligation's slice content instead of the whole design.
+    /// Counterexamples here are positional against the *slice's*
+    /// `inputs ++ states` order.
+    cone_outcomes: Mutex<HashMap<(u64, String), ObligationFact>>,
+    /// (cone hash, bad name) → exported learnt-clause core.
+    packs: Mutex<HashMap<(u64, String), LearntPack>>,
     /// Disk journal for persistent stores. Lock ordering: this lock is
     /// never acquired while holding a map lock *except* transiently
     /// inside [`ArtifactStore::flush`], which takes it first — so map
@@ -111,6 +145,10 @@ pub struct ArtifactStore {
     disk: Option<Mutex<DiskJournal>>,
     outcome_hits: AtomicU64,
     outcome_misses: AtomicU64,
+    cone_hits: AtomicU64,
+    cone_misses: AtomicU64,
+    packs_served: AtomicU64,
+    packs_recorded: AtomicU64,
     cones_seeded: AtomicU64,
     cones_absorbed: AtomicU64,
     recovered: AtomicU64,
@@ -142,6 +180,32 @@ fn position_vars(ts: &TransitionSystem) -> Vec<VarId> {
         .copied()
         .chain(ts.states().iter().map(|s| s.var))
         .collect()
+}
+
+/// Merges "clean to `bound`" into one fact; returns whether it grew.
+fn fact_merge_clean(fact: &mut ObligationFact, bound: usize) -> bool {
+    let grew = fact.clean_to.is_none_or(|k| bound > k);
+    if grew {
+        fact.clean_to = Some(bound);
+    }
+    grew
+}
+
+/// Merges a bug into one fact; returns whether it replaced a deeper
+/// (or absent) witness.
+fn fact_merge_bug(fact: &mut ObligationFact, bug: BugFact) -> bool {
+    // Depth-by-depth search: a cex at depth d proves depths < d clean.
+    if bug.depth > 0 {
+        let below = bug.depth - 1;
+        if fact.clean_to.is_none_or(|k| below > k) {
+            fact.clean_to = Some(below);
+        }
+    }
+    let shallower = fact.bug.as_ref().is_none_or(|old| bug.depth < old.depth);
+    if shallower {
+        fact.bug = Some(bug);
+    }
+    shallower
 }
 
 impl ArtifactStore {
@@ -235,6 +299,44 @@ impl ArtifactStore {
                     .entry((*design, bads.clone()))
                     .or_insert_with(|| cone.clone());
             }
+            Record::ConeClean {
+                cone,
+                bad_name,
+                bound,
+            } => {
+                self.merge_cone_clean(*cone, bad_name, *bound);
+            }
+            Record::ConeBug {
+                cone,
+                bad_name,
+                cex,
+            } => {
+                self.merge_cone_bug(
+                    *cone,
+                    bad_name,
+                    BugFact {
+                        property: cex.property,
+                        depth: cex.depth,
+                        encoded: Some(cex.clone()),
+                        decoded: None,
+                    },
+                );
+            }
+            Record::Learnts {
+                cone,
+                bad_name,
+                frame_vars,
+                clauses,
+            } => {
+                self.merge_pack(
+                    *cone,
+                    bad_name,
+                    LearntPack {
+                        frame_vars: frame_vars.clone(),
+                        clauses: clauses.clone(),
+                    },
+                );
+            }
         }
     }
 
@@ -248,6 +350,31 @@ impl ArtifactStore {
     #[must_use]
     pub fn outcome_misses(&self) -> u64 {
         self.outcome_misses.load(Ordering::Relaxed)
+    }
+
+    /// Cone-keyed obligation lookups answered from the store (verdicts
+    /// reused across a design edit).
+    #[must_use]
+    pub fn cone_hits(&self) -> u64 {
+        self.cone_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cone-keyed obligation lookups that found nothing reusable.
+    #[must_use]
+    pub fn cone_misses(&self) -> u64 {
+        self.cone_misses.load(Ordering::Relaxed)
+    }
+
+    /// Learnt-clause packs handed to warm-starting runs so far.
+    #[must_use]
+    pub fn packs_served(&self) -> u64 {
+        self.packs_served.load(Ordering::Relaxed)
+    }
+
+    /// Learnt-clause packs donated by finished runs so far.
+    #[must_use]
+    pub fn packs_recorded(&self) -> u64 {
+        self.packs_recorded.load(Ordering::Relaxed)
     }
 
     /// Cones transplanted into per-run caches so far.
@@ -298,22 +425,49 @@ impl ArtifactStore {
         lock(&self.cones).len()
     }
 
+    /// Cone-keyed obligation facts currently held.
+    #[must_use]
+    pub fn cone_outcome_count(&self) -> usize {
+        lock(&self.cone_outcomes).len()
+    }
+
+    /// Learnt-clause packs currently held.
+    #[must_use]
+    pub fn pack_count(&self) -> usize {
+        lock(&self.packs).len()
+    }
+
     /// A point-in-time JSON summary of the store, for health endpoints.
+    /// Persistent stores additionally report their on-disk footprint
+    /// (journal/snapshot bytes and journal record count).
     #[must_use]
     pub fn stats_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("persistent", Json::Bool(self.is_persistent())),
             ("outcomes", Json::num(self.outcome_count() as u64)),
             ("cones", Json::num(self.cone_count() as u64)),
+            ("cone_outcomes", Json::num(self.cone_outcome_count() as u64)),
+            ("learnt_packs", Json::num(self.pack_count() as u64)),
             ("outcome_hits", Json::num(self.outcome_hits())),
             ("outcome_misses", Json::num(self.outcome_misses())),
+            ("cone_hits", Json::num(self.cone_hits())),
+            ("cone_misses", Json::num(self.cone_misses())),
+            ("packs_served", Json::num(self.packs_served())),
+            ("packs_recorded", Json::num(self.packs_recorded())),
             ("cones_seeded", Json::num(self.cones_seeded())),
             ("cones_absorbed", Json::num(self.cones_absorbed())),
             ("recovered", Json::num(self.recovered_records())),
             ("truncated", Json::num(self.truncated_records())),
             ("flushes", Json::num(self.flushes())),
             ("compactions", Json::num(self.compactions())),
-        ])
+        ];
+        if let Some(disk) = &self.disk {
+            let fp = lock(disk).footprint();
+            fields.push(("journal_bytes", Json::num(fp.journal_bytes)));
+            fields.push(("snapshot_bytes", Json::num(fp.snapshot_bytes)));
+            fields.push(("journal_records", Json::num(fp.journal_records)));
+        }
+        Json::obj(fields)
     }
 
     /// Writes every record journaled since the last flush to disk
@@ -378,6 +532,30 @@ impl ArtifactStore {
                 design: *design,
                 bads: bads.clone(),
                 cone: cone.clone(),
+            });
+        }
+        for ((cone, bad_name), fact) in lock(&self.cone_outcomes).iter() {
+            if let Some(bound) = fact.clean_to {
+                records.push(Record::ConeClean {
+                    cone: *cone,
+                    bad_name: bad_name.clone(),
+                    bound,
+                });
+            }
+            if let Some(cex) = fact.bug.as_ref().and_then(|b| b.encoded.clone()) {
+                records.push(Record::ConeBug {
+                    cone: *cone,
+                    bad_name: bad_name.clone(),
+                    cex,
+                });
+            }
+        }
+        for ((cone, bad_name), pack) in lock(&self.packs).iter() {
+            records.push(Record::Learnts {
+                cone: *cone,
+                bad_name: bad_name.clone(),
+                frame_vars: pack.frame_vars.clone(),
+                clauses: pack.clauses.clone(),
             });
         }
         records
@@ -571,11 +749,7 @@ impl ArtifactStore {
             // different monitors; keep the first owner.
             return false;
         }
-        let grew = fact.clean_to.is_none_or(|k| bound > k);
-        if grew {
-            fact.clean_to = Some(bound);
-        }
-        grew
+        fact_merge_clean(fact, bound)
     }
 
     /// Merges a bug fact (new or recovered). Returns whether it
@@ -592,19 +766,59 @@ impl ArtifactStore {
         if fact.bad_name != bad_name {
             return false;
         }
-        // Depth-by-depth search: a cex at depth d proves depths < d
-        // clean.
-        if bug.depth > 0 {
-            let below = bug.depth - 1;
-            if fact.clean_to.is_none_or(|k| below > k) {
-                fact.clean_to = Some(below);
+        fact_merge_bug(fact, bug)
+    }
+
+    /// [`ArtifactStore::merge_clean`] for the cone-keyed table (the
+    /// bad name is part of the key, so no collision guard is needed).
+    fn merge_cone_clean(&self, cone: u64, bad_name: &str, bound: usize) -> bool {
+        let mut outcomes = lock(&self.cone_outcomes);
+        let fact = outcomes
+            .entry((cone, bad_name.to_string()))
+            .or_insert_with(|| ObligationFact {
+                bad_name: bad_name.to_string(),
+                clean_to: None,
+                bug: None,
+            });
+        fact_merge_clean(fact, bound)
+    }
+
+    /// [`ArtifactStore::merge_bug`] for the cone-keyed table.
+    fn merge_cone_bug(&self, cone: u64, bad_name: &str, bug: BugFact) -> bool {
+        let mut outcomes = lock(&self.cone_outcomes);
+        let fact = outcomes
+            .entry((cone, bad_name.to_string()))
+            .or_insert_with(|| ObligationFact {
+                bad_name: bad_name.to_string(),
+                clean_to: None,
+                bug: None,
+            });
+        fact_merge_bug(fact, bug)
+    }
+
+    /// Merges a learnt-clause pack. A pack with more frames replaces a
+    /// shallower one (deeper knowledge); at equal depth the newer pack
+    /// wins (fresher activity ordering). Returns whether the table
+    /// changed.
+    fn merge_pack(&self, cone: u64, bad_name: &str, pack: LearntPack) -> bool {
+        if pack.is_empty() {
+            return false;
+        }
+        let mut packs = lock(&self.packs);
+        match packs.entry((cone, bad_name.to_string())) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(pack);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if pack.frame_vars.len() >= e.get().frame_vars.len() {
+                    e.insert(pack);
+                    true
+                } else {
+                    false
+                }
             }
         }
-        let shallower = fact.bug.as_ref().is_none_or(|old| bug.depth < old.depth);
-        if shallower {
-            fact.bug = Some(bug);
-        }
-        shallower
     }
 
     /// Merges one freshly computed obligation outcome into the store
@@ -655,6 +869,224 @@ impl ArtifactStore {
                 }
             }
             CheckOutcome::Inconclusive { .. } | CheckOutcome::Errored { .. } => {}
+        }
+    }
+
+    /// Answers one obligation from the cone-keyed table if a definitive
+    /// fact for its slice covers the requested bound, else `None`.
+    /// `slice` is the obligation's COI slice of `ts` (the system being
+    /// verified *now*); a served bug is decoded against the slice,
+    /// widened to the full system exactly as BMC widens its own sliced
+    /// witnesses, and **replayed against `ts`** before being served —
+    /// the soundness gate that turns any stale or collided entry into a
+    /// miss.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn lookup_cone_outcome(
+        &self,
+        cone: u64,
+        bad_index: usize,
+        bad_name: &str,
+        bound: usize,
+        slice: &CoiSlice,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+    ) -> Option<CheckOutcome> {
+        let served = self.try_serve_cone(cone, bad_index, bad_name, bound, slice, ts, pool);
+        if aqed_obs::enabled() {
+            let name = if served.is_some() {
+                "artifact.verdict.reused"
+            } else {
+                "artifact.cone.misses"
+            };
+            metrics::global().counter(name).inc();
+        }
+        match &served {
+            Some(_) => self.cone_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.cone_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        served
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_serve_cone(
+        &self,
+        cone: u64,
+        bad_index: usize,
+        bad_name: &str,
+        bound: usize,
+        slice: &CoiSlice,
+        ts: &TransitionSystem,
+        pool: &ExprPool,
+    ) -> Option<CheckOutcome> {
+        let key = (cone, bad_name.to_string());
+        let fact = lock(&self.cone_outcomes).get(&key).cloned()?;
+        if let Some(bug) = &fact.bug {
+            if bug.depth > bound {
+                // Known bug deeper than this request's horizon, nothing
+                // shallower exists: clean at the requested bound.
+                return Some(CheckOutcome::Clean { bound });
+            }
+            let decoded = bug
+                .encoded
+                .as_ref()
+                .and_then(|enc| enc.decode(bad_name, bad_index, &position_vars(&slice.system)));
+            if let Some(mut cex) = decoded {
+                // Widen the slice-local witness to the full system the
+                // same way BMC widens its own sliced counterexamples:
+                // zero values for sliced-away inputs and uninitialised
+                // registers (sound: they lie outside the cone).
+                let extra: Vec<(VarId, Bv)> = ts
+                    .inputs()
+                    .iter()
+                    .filter(|v| !slice.system.inputs().contains(v))
+                    .map(|&v| (v, Bv::zero(pool.var_width(v))))
+                    .collect();
+                cex.trace.pad_frames(&extra);
+                for st in ts.states() {
+                    if st.init.is_none() && !slice.system.is_state(st.var) {
+                        cex.initial_state
+                            .insert(st.var, Bv::zero(pool.var_width(st.var)));
+                    }
+                }
+                if cex.replay(ts, pool) {
+                    return Some(CheckOutcome::Bug {
+                        property: bug.property,
+                        counterexample: cex,
+                    });
+                }
+            }
+            // Decode or replay failed: the entry cannot belong to this
+            // slice. Drop it so it stops degrading lookups.
+            lock(&self.cone_outcomes).remove(&key);
+            return None;
+        }
+        match fact.clean_to {
+            Some(k) if k >= bound => Some(CheckOutcome::Clean { bound }),
+            _ => None,
+        }
+    }
+
+    /// The deepest bound known clean for a cone-keyed obligation — the
+    /// warm-start frame-skipping hint when the fact does not cover the
+    /// whole requested bound. The caller may skip solving frames
+    /// `0..=prefix` over the identical slice: slice-content identity
+    /// implies the frame CNFs are identical, so those queries were
+    /// already proven UNSAT.
+    #[must_use]
+    pub fn cone_clean_prefix(&self, cone: u64, bad_name: &str) -> Option<usize> {
+        lock(&self.cone_outcomes)
+            .get(&(cone, bad_name.to_string()))
+            .and_then(|f| f.clean_to)
+    }
+
+    /// Merges one freshly computed obligation outcome into the
+    /// cone-keyed table (and journal). `slice` is the COI slice the
+    /// obligation was solved over; the counterexample (computed against
+    /// the full system) is restricted to the slice's variables before
+    /// positional encoding — the dropped assignments are the zero
+    /// padding BMC added outside the cone, which decode re-creates.
+    pub fn record_cone_outcome(
+        &self,
+        cone: u64,
+        bad_name: &str,
+        outcome: &CheckOutcome,
+        slice: &CoiSlice,
+    ) {
+        match outcome {
+            CheckOutcome::Clean { bound } => {
+                if self.merge_cone_clean(cone, bad_name, *bound) {
+                    self.journal([Record::ConeClean {
+                        cone,
+                        bad_name: bad_name.to_string(),
+                        bound: *bound,
+                    }]);
+                }
+            }
+            CheckOutcome::Bug {
+                property,
+                counterexample,
+            } => {
+                let positions = var_positions(&slice.system);
+                let mut trace = Trace::new();
+                for k in 0..counterexample.trace.len() {
+                    trace.push_frame(
+                        counterexample
+                            .trace
+                            .frame(k)
+                            .iter()
+                            .filter(|(v, _)| positions.contains_key(v))
+                            .cloned()
+                            .collect(),
+                    );
+                }
+                let restricted = Counterexample {
+                    bad_name: counterexample.bad_name.clone(),
+                    bad_index: counterexample.bad_index,
+                    depth: counterexample.depth,
+                    trace,
+                    initial_state: counterexample
+                        .initial_state
+                        .iter()
+                        .filter(|(v, _)| positions.contains_key(*v))
+                        .map(|(v, bv)| (*v, *bv))
+                        .collect(),
+                };
+                let Some(encoded) = PersistedCex::encode(*property, &restricted, &positions) else {
+                    return;
+                };
+                let bug = BugFact {
+                    property: *property,
+                    depth: counterexample.depth,
+                    encoded: Some(encoded.clone()),
+                    decoded: None,
+                };
+                if self.merge_cone_bug(cone, bad_name, bug) {
+                    self.journal([Record::ConeBug {
+                        cone,
+                        bad_name: bad_name.to_string(),
+                        cex: encoded,
+                    }]);
+                }
+            }
+            CheckOutcome::Inconclusive { .. } | CheckOutcome::Errored { .. } => {}
+        }
+    }
+
+    /// The learnt-clause pack for `(cone, bad)`, if one is stored.
+    /// Purely a warm-start hint: the consumer re-validates per-frame
+    /// fingerprints and variable bounds at injection time.
+    #[must_use]
+    pub fn lookup_learnt_pack(&self, cone: u64, bad_name: &str) -> Option<LearntPack> {
+        let pack = lock(&self.packs)
+            .get(&(cone, bad_name.to_string()))
+            .cloned();
+        if pack.is_some() {
+            self.packs_served.fetch_add(1, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global().counter("artifact.pack.served").inc();
+            }
+        }
+        pack
+    }
+
+    /// Donates a finished run's exported learnt-clause pack (and
+    /// journals it). Empty packs are dropped; a pack covering fewer
+    /// frames than the stored one never replaces it.
+    pub fn record_learnt_pack(&self, cone: u64, bad_name: &str, pack: LearntPack) {
+        let frame_vars = pack.frame_vars.clone();
+        let clauses = pack.clauses.clone();
+        if self.merge_pack(cone, bad_name, pack) {
+            self.packs_recorded.fetch_add(1, Ordering::Relaxed);
+            if aqed_obs::enabled() {
+                metrics::global().counter("artifact.pack.recorded").inc();
+            }
+            self.journal([Record::Learnts {
+                cone,
+                bad_name: bad_name.to_string(),
+                frame_vars,
+                clauses,
+            }]);
         }
     }
 }
@@ -778,5 +1210,207 @@ mod tests {
         // A different design's hash sees nothing.
         let other = CoiCache::new();
         assert_eq!(store.seed_coi_cache(h ^ 1, &ts2, &other), 0);
+    }
+
+    /// The toy counter plus an independent "noise" counter that no bad
+    /// property observes — editing its step constant changes the design
+    /// hash but not the bad's cone hash.
+    fn split_system(pool: &mut ExprPool, bug_at: u64, noise_inc: u64) -> TransitionSystem {
+        let mut ts = toy_system(pool, bug_at);
+        let d = ts.add_register(pool, "d", 8, 0);
+        let de = pool.var_expr(d);
+        let step = pool.lit(8, noise_inc);
+        let dnext = pool.add(de, step);
+        ts.set_next(d, dnext);
+        ts
+    }
+
+    #[test]
+    fn cone_keyed_clean_facts_survive_edits_outside_the_cone() {
+        let name = "counter_hits_target";
+        let mut p1 = ExprPool::new();
+        let a = split_system(&mut p1, 9, 1);
+        let sa = aqed_tsys::coi_slice(&a, &p1, &[0]);
+        let key = cone_hash(&sa, &p1);
+        // The "edited" design: same cone, different noise constant.
+        let mut p2 = ExprPool::new();
+        let b = split_system(&mut p2, 9, 3);
+        let sb = aqed_tsys::coi_slice(&b, &p2, &[0]);
+        assert_ne!(design_hash(&a, &p1), design_hash(&b, &p2));
+        assert_eq!(key, cone_hash(&sb, &p2));
+        let store = ArtifactStore::new();
+        store.record_cone_outcome(key, name, &CheckOutcome::Clean { bound: 6 }, &sa);
+        assert!(matches!(
+            store.lookup_cone_outcome(key, 0, name, 4, &sb, &b, &p2),
+            Some(CheckOutcome::Clean { bound: 4 })
+        ));
+        // Deeper than the fact: miss, but the clean prefix still feeds
+        // warm-start frame skipping.
+        assert!(store
+            .lookup_cone_outcome(key, 0, name, 8, &sb, &b, &p2)
+            .is_none());
+        assert_eq!(store.cone_clean_prefix(key, name), Some(6));
+        assert_eq!(store.cone_clean_prefix(key, "other"), None);
+        assert_eq!(store.cone_hits(), 1);
+        assert_eq!(store.cone_misses(), 1);
+    }
+
+    /// A valid counterexample for `split_system(_, bug_at, _)`: drive
+    /// `en` high every cycle so the counter hits `bug_at` at depth
+    /// `bug_at`.
+    fn counter_cex(ts: &TransitionSystem, pool: &ExprPool, bug_at: usize) -> Counterexample {
+        let en = ts.inputs()[0];
+        let mut trace = Trace::new();
+        for _ in 0..=bug_at {
+            trace.push_frame(vec![(en, Bv::new(1, 1))]);
+        }
+        let cex = Counterexample {
+            bad_name: "counter_hits_target".into(),
+            bad_index: 0,
+            depth: bug_at,
+            trace,
+            initial_state: HashMap::new(),
+        };
+        assert!(cex.replay(ts, pool), "hand-built witness must replay");
+        cex
+    }
+
+    #[test]
+    fn cone_keyed_bugs_replay_after_an_edit_outside_the_cone() {
+        let name = "counter_hits_target";
+        let mut p1 = ExprPool::new();
+        let a = split_system(&mut p1, 2, 1);
+        let sa = aqed_tsys::coi_slice(&a, &p1, &[0]);
+        let key = cone_hash(&sa, &p1);
+        let store = ArtifactStore::new();
+        let outcome = CheckOutcome::Bug {
+            property: PropertyKind::Fc,
+            counterexample: counter_cex(&a, &p1, 2),
+        };
+        store.record_cone_outcome(key, name, &outcome, &sa);
+        // Same cone, edited noise constant: the bug is served after
+        // decode + widen + replay against the *new* full design.
+        let mut p2 = ExprPool::new();
+        let b = split_system(&mut p2, 2, 7);
+        let sb = aqed_tsys::coi_slice(&b, &p2, &[0]);
+        assert_eq!(key, cone_hash(&sb, &p2));
+        match store.lookup_cone_outcome(key, 0, name, 6, &sb, &b, &p2) {
+            Some(CheckOutcome::Bug { counterexample, .. }) => {
+                assert_eq!(counterexample.depth, 2);
+                assert!(counterexample.replay(&b, &p2));
+            }
+            other => panic!("expected served bug, got {other:?}"),
+        }
+        // A bug deeper than the horizon answers clean at the horizon.
+        assert!(matches!(
+            store.lookup_cone_outcome(key, 0, name, 1, &sb, &b, &p2),
+            Some(CheckOutcome::Clean { bound: 1 })
+        ));
+    }
+
+    #[test]
+    fn cone_keyed_bug_that_fails_replay_is_dropped_not_served() {
+        let name = "counter_hits_target";
+        let mut p1 = ExprPool::new();
+        let a = split_system(&mut p1, 2, 1);
+        let sa = aqed_tsys::coi_slice(&a, &p1, &[0]);
+        // Simulate a 64-bit key collision: file the depth-2 witness
+        // under the key of a *different* cone (bug at 5).
+        let mut p2 = ExprPool::new();
+        let b = split_system(&mut p2, 5, 1);
+        let sb = aqed_tsys::coi_slice(&b, &p2, &[0]);
+        let wrong_key = cone_hash(&sb, &p2);
+        let store = ArtifactStore::new();
+        let outcome = CheckOutcome::Bug {
+            property: PropertyKind::Fc,
+            counterexample: counter_cex(&a, &p1, 2),
+        };
+        store.record_cone_outcome(wrong_key, name, &outcome, &sa);
+        // The witness decodes against b's slice but does not replay on
+        // b (its counter hits 5, not 2): the gate turns the collision
+        // into a miss and evicts the poisoned entry.
+        assert!(store
+            .lookup_cone_outcome(wrong_key, 0, name, 6, &sb, &b, &p2)
+            .is_none());
+        assert_eq!(store.cone_outcome_count(), 0, "poisoned entry evicted");
+    }
+
+    #[test]
+    fn learnt_packs_merge_by_depth_and_ignore_empties() {
+        let store = ArtifactStore::new();
+        let name = "BAD_FC";
+        let deep = LearntPack {
+            frame_vars: vec![10, 20, 30],
+            clauses: vec![vec![0, 3], vec![5]],
+        };
+        store.record_learnt_pack(7, name, deep.clone());
+        assert_eq!(store.lookup_learnt_pack(7, name), Some(deep.clone()));
+        assert_eq!(store.lookup_learnt_pack(7, "other"), None);
+        assert_eq!(store.lookup_learnt_pack(8, name), None);
+        // A shallower pack never replaces a deeper one.
+        let shallow = LearntPack {
+            frame_vars: vec![10, 20],
+            clauses: vec![vec![1]],
+        };
+        store.record_learnt_pack(7, name, shallow);
+        assert_eq!(store.lookup_learnt_pack(7, name), Some(deep));
+        // Same depth: the fresher pack wins.
+        let fresh = LearntPack {
+            frame_vars: vec![10, 20, 30],
+            clauses: vec![vec![9]],
+        };
+        store.record_learnt_pack(7, name, fresh.clone());
+        assert_eq!(store.lookup_learnt_pack(7, name), Some(fresh));
+        // Empty packs are dropped on the floor.
+        store.record_learnt_pack(9, name, LearntPack::default());
+        assert_eq!(store.lookup_learnt_pack(9, name), None);
+        assert_eq!(store.pack_count(), 1);
+        assert_eq!(store.packs_recorded(), 2);
+    }
+
+    #[test]
+    fn cone_facts_and_packs_persist_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("aqed-artifact-cone-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let name = "counter_hits_target";
+        let mut p1 = ExprPool::new();
+        let a = split_system(&mut p1, 2, 1);
+        let sa = aqed_tsys::coi_slice(&a, &p1, &[0]);
+        let key = cone_hash(&sa, &p1);
+        let pack = LearntPack {
+            frame_vars: vec![4, 9],
+            clauses: vec![vec![2, 4]],
+        };
+        {
+            let store = ArtifactStore::open(&dir).expect("open fresh store");
+            store.record_cone_outcome(key, name, &CheckOutcome::Clean { bound: 1 }, &sa);
+            let bug = CheckOutcome::Bug {
+                property: PropertyKind::Fc,
+                counterexample: counter_cex(&a, &p1, 2),
+            };
+            store.record_cone_outcome(key, name, &bug, &sa);
+            store.record_learnt_pack(key, name, pack.clone());
+            // Drop flushes the journal.
+        }
+        let store = ArtifactStore::open(&dir).expect("reopen store");
+        assert_eq!(store.truncated_records(), 0);
+        assert_eq!(store.lookup_learnt_pack(key, name), Some(pack));
+        // The recovered bug still passes the replay gate on an edited
+        // design with the same cone.
+        let mut p2 = ExprPool::new();
+        let b = split_system(&mut p2, 2, 9);
+        let sb = aqed_tsys::coi_slice(&b, &p2, &[0]);
+        match store.lookup_cone_outcome(key, 0, name, 6, &sb, &b, &p2) {
+            Some(CheckOutcome::Bug { counterexample, .. }) => {
+                assert_eq!(counterexample.depth, 2);
+            }
+            other => panic!("expected recovered bug, got {other:?}"),
+        }
+        let stats = store.stats_json().to_string();
+        assert!(
+            stats.contains("\"journal_bytes\""),
+            "footprint in stats: {stats}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

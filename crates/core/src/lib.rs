@@ -60,7 +60,7 @@ mod persist;
 mod report_json;
 mod verify;
 
-pub use artifact::{design_hash, ArtifactStore};
+pub use artifact::{cone_hash, design_hash, ArtifactStore};
 pub use hybrid::{run_hybrid, HybridConfig, HybridOutcome};
 pub use monitor::{
     FcConfig, MonitorHandles, RbConfig, SacConfig, BAD_FC, BAD_FC_EARLY, BAD_RB_NO_OUTPUT,

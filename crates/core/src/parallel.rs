@@ -45,13 +45,16 @@
 //!   concrete simulator before being reported; a mismatch becomes a loud
 //!   `UnsoundWitness` error, never a silently trusted bug report.
 
-use crate::artifact::{design_hash, ArtifactStore};
+use crate::artifact::{cone_hash, design_hash, ArtifactStore};
 use crate::verify::{validated_bug, CheckOutcome, PropertyKind};
-use aqed_bmc::{ArmedBudget, Bmc, BmcOptions, BmcResult, BmcStats, Counterexample, StopReason};
+use aqed_bmc::{
+    ArmedBudget, Bmc, BmcOptions, BmcResult, BmcStats, Counterexample, LearntPack, StopReason,
+    WarmStart,
+};
 use aqed_expr::ExprPool;
 use aqed_obs::obs_event;
 use aqed_sat::{SatBackend, Solver, StopHandle};
-use aqed_tsys::{CoiCache, TransitionSystem};
+use aqed_tsys::{coi_slice_cached, CoiCache, CoiSlice, TransitionSystem};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -99,6 +102,16 @@ pub struct ScheduleOptions {
     /// a job running longer has its private stop handle tripped and
     /// reports `Inconclusive {reason: Cancelled}`.
     pub obligation_timeout: Option<Duration>,
+    /// Warm-start incremental re-verification (default on; inert
+    /// without an artifact store or with COI slicing disabled). Each
+    /// obligation derives a *cone key* — the content hash of its COI
+    /// slice — and (a) reuses a stored definitive verdict under that
+    /// key verbatim (bugs replay-validated against the current design
+    /// first), (b) skips re-solving frames a stored clean fact already
+    /// covers, and (c) injects the stored learnt-clause pack before the
+    /// first unsolved frame. Verdicts are identical with and without
+    /// warm-start; see `ArtifactStore` for the soundness gates.
+    pub warm_start: bool,
 }
 
 impl Default for ScheduleOptions {
@@ -108,6 +121,7 @@ impl Default for ScheduleOptions {
             fail_fast: false,
             max_attempts: 3,
             obligation_timeout: None,
+            warm_start: true,
         }
     }
 }
@@ -139,6 +153,13 @@ impl ScheduleOptions {
     #[must_use]
     pub fn with_obligation_timeout(mut self, timeout: Duration) -> Self {
         self.obligation_timeout = Some(timeout);
+        self
+    }
+
+    /// Returns the options with warm-start reuse enabled or disabled.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
         self
     }
 }
@@ -597,57 +618,126 @@ fn worker_loop<B: SatBackend + Default>(
                 cache_hit: true,
             }
         } else {
-            let job = armed.child();
-            let started = Instant::now();
-            lock_unpoisoned(active).insert(idx, (started, job.stop_handle().clone()));
-            // Async span ("b"/"e" with an id): portfolio worker threads
-            // and retries attach to this id, so trace tooling can follow
-            // one obligation across threads instead of relying on
-            // per-thread begin/end nesting.
-            let span_id = aqed_obs::next_span_id();
-            let mut sp = aqed_obs::async_span("obligation", span_id, Vec::new());
-            aqed_obs::set_current_span_id(Some(span_id));
-            if sp.is_active() {
-                sp.record("index", ob.bad_index as u64);
-                sp.record("name", ob.bad_name.as_str());
-                sp.record("property", ob.property.to_string());
-            }
-            let caught = catch_unwind(AssertUnwindSafe(|| {
-                check_obligation::<B>(composed, pool, options, ob, &job, sched, coi_cache)
-            }));
-            lock_unpoisoned(active).remove(&idx);
-            let report = match caught {
-                Ok(r) => r,
-                Err(payload) => {
-                    obs_event!("obligation.panicked", index = ob.bad_index as u64);
-                    ObligationReport {
-                        obligation: ob.clone(),
-                        outcome: CheckOutcome::Errored {
-                            message: format!(
-                                "worker panicked: {}",
-                                panic_message(payload.as_ref())
-                            ),
-                        },
-                        stats: BmcStats::default(),
-                        attempts: 1,
-                        wall: started.elapsed(),
-                        cache_hit: false,
+            // Warm-start: derive the obligation's cone key (content
+            // hash of its COI slice). Facts keyed by the cone survive
+            // design edits that leave the cone untouched, which the
+            // whole-design key above cannot see past. The slice
+            // fixpoint is memoized in the shared per-run cache, so this
+            // costs one slice build + BTOR2 print per obligation.
+            let warm_info: Option<(&ArtifactStore, u64, CoiSlice)> = if sched.warm_start
+                && options.coi
+            {
+                store.map(|(s, _)| {
+                    let slice =
+                        coi_slice_cached(composed, pool, &[ob.bad_index], Some(coi_cache.as_ref()));
+                    let cone = cone_hash(&slice, pool);
+                    (s, cone, slice)
+                })
+            } else {
+                None
+            };
+            let reused = warm_info.as_ref().and_then(|(s, cone, slice)| {
+                s.lookup_cone_outcome(
+                    *cone,
+                    ob.bad_index,
+                    &ob.bad_name,
+                    options.max_bound,
+                    slice,
+                    composed,
+                    pool,
+                )
+            });
+            if let Some(outcome) = reused {
+                // A cone-keyed verdict applies verbatim (bugs were just
+                // replayed against *this* design). Re-file it under the
+                // current design hash so the next identical request
+                // hits the cheaper whole-design path.
+                if let Some((s, h)) = store {
+                    s.record_outcome(h, ob.bad_index, &ob.bad_name, &outcome, composed);
+                }
+                obs_event!(
+                    "obligation.reused",
+                    index = ob.bad_index as u64,
+                    outcome = outcome_code(&outcome)
+                );
+                let stats = BmcStats {
+                    verdicts_reused: 1,
+                    ..BmcStats::default()
+                };
+                ObligationReport {
+                    obligation: ob.clone(),
+                    outcome,
+                    stats,
+                    attempts: 0,
+                    wall: Duration::ZERO,
+                    cache_hit: true,
+                }
+            } else {
+                let warm = warm_info.as_ref().map(|(s, cone, _)| WarmStart {
+                    skip_to: s.cone_clean_prefix(*cone, &ob.bad_name),
+                    pack: s.lookup_learnt_pack(*cone, &ob.bad_name),
+                });
+                let job = armed.child();
+                let started = Instant::now();
+                lock_unpoisoned(active).insert(idx, (started, job.stop_handle().clone()));
+                // Async span ("b"/"e" with an id): portfolio worker threads
+                // and retries attach to this id, so trace tooling can follow
+                // one obligation across threads instead of relying on
+                // per-thread begin/end nesting.
+                let span_id = aqed_obs::next_span_id();
+                let mut sp = aqed_obs::async_span("obligation", span_id, Vec::new());
+                aqed_obs::set_current_span_id(Some(span_id));
+                if sp.is_active() {
+                    sp.record("index", ob.bad_index as u64);
+                    sp.record("name", ob.bad_name.as_str());
+                    sp.record("property", ob.property.to_string());
+                }
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    check_obligation::<B>(composed, pool, options, ob, &job, sched, coi_cache, warm)
+                }));
+                lock_unpoisoned(active).remove(&idx);
+                let (report, export) = match caught {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        obs_event!("obligation.panicked", index = ob.bad_index as u64);
+                        let report = ObligationReport {
+                            obligation: ob.clone(),
+                            outcome: CheckOutcome::Errored {
+                                message: format!(
+                                    "worker panicked: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            },
+                            stats: BmcStats::default(),
+                            attempts: 1,
+                            wall: started.elapsed(),
+                            cache_hit: false,
+                        };
+                        (report, None)
+                    }
+                };
+                // Donate a freshly computed definitive verdict (the store
+                // ignores budget-limited outcomes) so repeat requests on
+                // this design skip the solve.
+                if let Some((s, h)) = store {
+                    s.record_outcome(h, ob.bad_index, &ob.bad_name, &report.outcome, composed);
+                }
+                // Donate the cone-keyed fact and the exported learnt
+                // pack, so the *next* edit outside this cone reuses both.
+                if let Some((s, cone, slice)) = &warm_info {
+                    s.record_cone_outcome(*cone, &ob.bad_name, &report.outcome, slice);
+                    if let Some(pack) = export {
+                        s.record_learnt_pack(*cone, &ob.bad_name, pack);
                     }
                 }
-            };
-            // Donate a freshly computed definitive verdict (the store
-            // ignores budget-limited outcomes) so repeat requests on
-            // this design skip the solve.
-            if let Some((s, h)) = store {
-                s.record_outcome(h, ob.bad_index, &ob.bad_name, &report.outcome, composed);
+                if sp.is_active() {
+                    sp.record("outcome", outcome_code(&report.outcome));
+                    sp.record("attempts", u64::from(report.attempts));
+                }
+                drop(sp);
+                aqed_obs::set_current_span_id(None);
+                report
             }
-            if sp.is_active() {
-                sp.record("outcome", outcome_code(&report.outcome));
-                sp.record("attempts", u64::from(report.attempts));
-            }
-            drop(sp);
-            aqed_obs::set_current_span_id(None);
-            report
         };
         if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
             armed.cancel();
@@ -687,6 +777,11 @@ const PORTFOLIO_ESCALATION_RATE: f64 = 500.0;
 
 /// Runs one obligation to completion on its own pool clone and backend,
 /// retrying with doubled conflict budgets while the schedule allows.
+/// `warm` seeds the first attempt's frame skipping and learnt-clause
+/// injection; retries re-warm themselves from the previous attempt
+/// (its proven-clean prefix and exported learnts), since every attempt
+/// encodes the identical CNF. Returns the report plus the final
+/// attempt's learnt-clause export for donation to the artifact store.
 #[allow(clippy::too_many_arguments)]
 fn check_obligation<B: SatBackend + Default>(
     composed: &TransitionSystem,
@@ -696,7 +791,8 @@ fn check_obligation<B: SatBackend + Default>(
     armed: &ArmedBudget,
     sched: &ScheduleOptions,
     coi_cache: &Arc<CoiCache>,
-) -> ObligationReport {
+    mut warm: Option<WarmStart>,
+) -> (ObligationReport, Option<LearntPack>) {
     let started = Instant::now();
     let mut local_pool = pool.clone();
     let mut stats = BmcStats::default();
@@ -722,8 +818,12 @@ fn check_obligation<B: SatBackend + Default>(
         let mut bmc: Bmc<B> = Bmc::with_backend(composed, attempt_options);
         bmc.set_coi_cache(Arc::clone(coi_cache));
         bmc.select_bad_indices(composed, &[ob.bad_index]);
+        if let Some(w) = warm.take() {
+            bmc.set_warm_start(w);
+        }
         let result = bmc.check_under(composed, &mut local_pool, armed);
         stats.absorb(&bmc.stats());
+        let export = bmc.take_learnt_export();
         let outcome = match result {
             BmcResult::Counterexample(cex) => {
                 validated_bug(composed, &local_pool, ob.property, cex)
@@ -739,6 +839,13 @@ fn check_obligation<B: SatBackend + Default>(
                     && armed.poll().is_none()
                 {
                     conflict_budget = conflict_budget.map(|b| b.saturating_mul(2));
+                    // Self-warm the retry: frames below the stall point
+                    // are proven clean, and the identical re-encoding
+                    // can absorb the learnts this attempt derived.
+                    warm = Some(WarmStart {
+                        skip_to: bound.checked_sub(1),
+                        pack: export.clone().filter(|p| !p.is_empty()),
+                    });
                     let delta = stats.solver.conflicts.saturating_sub(conflicts_before);
                     #[allow(clippy::cast_precision_loss)]
                     let rate = delta as f64 / attempt_started.elapsed().as_secs_f64().max(1e-6);
@@ -772,7 +879,7 @@ fn check_obligation<B: SatBackend + Default>(
             },
             attempts = u64::from(attempts)
         );
-        return ObligationReport {
+        let report = ObligationReport {
             obligation: ob.clone(),
             outcome,
             stats,
@@ -780,6 +887,7 @@ fn check_obligation<B: SatBackend + Default>(
             wall: started.elapsed(),
             cache_hit: false,
         };
+        return (report, export.filter(|p| !p.is_empty()));
     }
 }
 

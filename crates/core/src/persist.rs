@@ -43,11 +43,20 @@
 //! # What is deliberately not persisted
 //!
 //! `Inconclusive`/`Errored` outcomes (they describe the budget, not
-//! the design), learnt clauses and preprocessed CNF (see DESIGN.md),
-//! and raw `VarId`s: counterexamples are stored *positionally* —
-//! indices into the system's `inputs ++ states` declaration order —
-//! so a record written by one process replays in any process that
-//! rebuilds the same design, regardless of pool layout.
+//! the design), preprocessing outcomes (`ElimRecord`s are deterministic
+//! consequences of the CNF and cheap to recompute; see DESIGN.md), and
+//! raw `VarId`s: counterexamples are stored *positionally* — indices
+//! into the system's `inputs ++ states` declaration order — so a record
+//! written by one process replays in any process that rebuilds the same
+//! design, regardless of pool layout. Learnt-clause cores *are*
+//! persisted ([`Record::Learnts`]), but only as redundant warm-start
+//! hints gated by cone-content identity plus frame fingerprints; losing
+//! one costs a cold solve, never a verdict.
+//!
+//! Readers older than a record kind stop recovering at its first
+//! occurrence (unknown `"k"` values are damage by construction). That
+//! trades mixed-version sharing of one store directory — which nothing
+//! supports anyway — for a format without version sniffing.
 
 use crate::verify::PropertyKind;
 use aqed_bitvec::Bv;
@@ -287,6 +296,33 @@ pub(crate) enum Record {
         bads: Vec<usize>,
         cone: Vec<u32>,
     },
+    /// `(cone, bad)` proven clean to `bound` — keyed by the content
+    /// hash of the obligation's COI *slice*, not the whole design, so
+    /// the fact survives edits outside the cone.
+    ConeClean {
+        cone: u64,
+        bad_name: String,
+        bound: usize,
+    },
+    /// A counterexample for `(cone, bad)`, positionally encoded against
+    /// the *slice's* `inputs ++ states` order (a strict subsequence of
+    /// the full design's). Serve-time replay against the full design is
+    /// still the soundness gate.
+    ConeBug {
+        cone: u64,
+        bad_name: String,
+        cex: PersistedCex,
+    },
+    /// A learnt-clause core exported after solving `(cone, bad)`:
+    /// per-frame variable-count fingerprints plus clauses over packed
+    /// literal codes (`var << 1 | polarity`). Purely a warm-start hint;
+    /// injection re-checks the fingerprints and bounds every variable.
+    Learnts {
+        cone: u64,
+        bad_name: String,
+        frame_vars: Vec<u32>,
+        clauses: Vec<Vec<u32>>,
+    },
 }
 
 impl Record {
@@ -335,6 +371,59 @@ impl Record {
                     Json::Arr(cone.iter().map(|&p| Json::num(u64::from(p))).collect()),
                 ),
             ]),
+            Record::ConeClean {
+                cone,
+                bad_name,
+                bound,
+            } => Json::obj(vec![
+                ("k", Json::Str("cclean".into())),
+                ("d", Json::hex(*cone)),
+                ("n", Json::Str(bad_name.clone())),
+                ("b", Json::num(*bound as u64)),
+            ]),
+            Record::ConeBug {
+                cone,
+                bad_name,
+                cex,
+            } => {
+                let mut fields = vec![
+                    ("k", Json::Str("cbug".into())),
+                    ("d", Json::hex(*cone)),
+                    ("n", Json::Str(bad_name.clone())),
+                ];
+                fields.extend(cex.to_json());
+                Json::obj(fields)
+            }
+            Record::Learnts {
+                cone,
+                bad_name,
+                frame_vars,
+                clauses,
+            } => Json::obj(vec![
+                ("k", Json::Str("learnts".into())),
+                ("d", Json::hex(*cone)),
+                ("n", Json::Str(bad_name.clone())),
+                (
+                    "fv",
+                    Json::Arr(
+                        frame_vars
+                            .iter()
+                            .map(|&v| Json::num(u64::from(v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cl",
+                    Json::Arr(
+                        clauses
+                            .iter()
+                            .map(|c| {
+                                Json::Arr(c.iter().map(|&l| Json::num(u64::from(l))).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         }
     }
 
@@ -368,6 +457,37 @@ impl Record {
                     .as_arr()?
                     .iter()
                     .map(|p| u32::try_from(p.as_u64()?).ok())
+                    .collect::<Option<_>>()?,
+            }),
+            "cclean" => Some(Record::ConeClean {
+                cone: v.get("d")?.as_hex_u64()?,
+                bad_name: v.get("n")?.as_str()?.to_string(),
+                bound: v.get("b")?.as_u64()? as usize,
+            }),
+            "cbug" => Some(Record::ConeBug {
+                cone: v.get("d")?.as_hex_u64()?,
+                bad_name: v.get("n")?.as_str()?.to_string(),
+                cex: PersistedCex::from_json(v)?,
+            }),
+            "learnts" => Some(Record::Learnts {
+                cone: v.get("d")?.as_hex_u64()?,
+                bad_name: v.get("n")?.as_str()?.to_string(),
+                frame_vars: v
+                    .get("fv")?
+                    .as_arr()?
+                    .iter()
+                    .map(|p| u32::try_from(p.as_u64()?).ok())
+                    .collect::<Option<_>>()?,
+                clauses: v
+                    .get("cl")?
+                    .as_arr()?
+                    .iter()
+                    .map(|c| {
+                        c.as_arr()?
+                            .iter()
+                            .map(|l| u32::try_from(l.as_u64()?).ok())
+                            .collect::<Option<_>>()
+                    })
                     .collect::<Option<_>>()?,
             }),
             _ => None,
@@ -605,6 +725,31 @@ impl DiskJournal {
         }
         Ok(())
     }
+
+    /// Current on-disk size of the store. Bytes queued but not yet
+    /// flushed count toward the journal (they are bytes the store owes
+    /// the disk).
+    pub fn footprint(&self) -> DiskFootprint {
+        let journal_bytes = self.journal.metadata().map_or(0, |m| m.len());
+        let snapshot_bytes = fs::metadata(self.dir.join(SNAPSHOT_FILE)).map_or(0, |m| m.len());
+        DiskFootprint {
+            journal_bytes: journal_bytes + self.pending.len() as u64,
+            snapshot_bytes,
+            journal_records: (self.journal_records + self.pending_records) as u64,
+        }
+    }
+}
+
+/// On-disk size of a persistent store, for health reporting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DiskFootprint {
+    /// Bytes in `journal.aqed`, including records queued for the next
+    /// flush.
+    pub journal_bytes: u64,
+    /// Bytes in `snapshot.aqed` (0 before the first compaction).
+    pub snapshot_bytes: u64,
+    /// Records in the journal (loaded + appended + queued).
+    pub journal_records: u64,
 }
 
 #[cfg(test)]
@@ -640,6 +785,27 @@ mod tests {
                 design: 7,
                 bads: vec![0, 3],
                 cone: vec![1, 2, 9],
+            },
+            Record::ConeClean {
+                cone: 0x0123_4567_89ab_cdef,
+                bad_name: "BAD_RB_STARVATION".into(),
+                bound: 9,
+            },
+            Record::ConeBug {
+                cone: 11,
+                bad_name: "BAD_FC".into(),
+                cex: PersistedCex {
+                    property: PropertyKind::Fc,
+                    depth: 1,
+                    init: vec![],
+                    trace: vec![vec![(2, 4, 0xa)]],
+                },
+            },
+            Record::Learnts {
+                cone: u64::MAX,
+                bad_name: "BAD_SAC".into(),
+                frame_vars: vec![10, 25, 41],
+                clauses: vec![vec![0, 3, 5], vec![7]],
             },
         ];
         for r in &records {

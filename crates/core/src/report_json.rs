@@ -30,6 +30,8 @@ fn solver_stats_json(s: &SolverStats) -> Json {
         ("subsumed", Json::num(s.subsumed)),
         ("eliminated_vars", Json::num(s.eliminated_vars)),
         ("preprocess_micros", Json::num(s.preprocess_micros)),
+        ("learnt_imported", Json::num(s.learnt_imported)),
+        ("learnt_discarded", Json::num(s.learnt_discarded)),
     ])
 }
 
@@ -45,6 +47,7 @@ fn bmc_stats_json(s: &BmcStats) -> Json {
             "coi_latches_dropped",
             Json::num(s.coi_latches_dropped as u64),
         ),
+        ("verdicts_reused", Json::num(s.verdicts_reused)),
         ("solver", solver_stats_json(&s.solver)),
     ])
 }
@@ -161,6 +164,22 @@ mod tests {
                 .and_then(|s| s.get("conflicts"))
                 .and_then(Json::as_u64),
             Some(report.aggregate.solver.conflicts)
+        );
+        // The warm-start counters are part of the stable schema even on
+        // a cold run (they report zero).
+        let aggregate = parsed.get("aggregate").expect("aggregate");
+        assert_eq!(
+            aggregate.get("verdicts_reused").and_then(Json::as_u64),
+            Some(report.aggregate.verdicts_reused)
+        );
+        let solver = aggregate.get("solver").expect("solver");
+        assert_eq!(
+            solver.get("learnt_imported").and_then(Json::as_u64),
+            Some(report.aggregate.solver.learnt_imported)
+        );
+        assert_eq!(
+            solver.get("learnt_discarded").and_then(Json::as_u64),
+            Some(report.aggregate.solver.learnt_discarded)
         );
     }
 

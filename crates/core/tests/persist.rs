@@ -147,6 +147,38 @@ fn corrupted_journal_degrades_to_a_partial_cache() {
 }
 
 #[test]
+fn corrupted_learnt_record_falls_back_to_cold() {
+    let dir = store_dir("learnt-corrupt");
+    let baseline = run_once(true, None);
+    {
+        let store = Arc::new(ArtifactStore::open(&dir).expect("open fresh store"));
+        let _ = run_once(true, Some(&store));
+    }
+    // Corrupt the first learnt-pack record specifically: the checksum
+    // mismatch truncates the journal there, so the learnt hints (and any
+    // facts after them) are lost — but never served corrupted.
+    let journal = dir.join(JOURNAL_FILE);
+    let text = std::fs::read_to_string(&journal).expect("read journal");
+    let pos = text
+        .find("\"k\":\"learnts\"")
+        .expect("a cold run at this bound must journal at least one learnt pack");
+    let mut bytes = text.into_bytes();
+    bytes[pos + 6] = b'X';
+    std::fs::write(&journal, &bytes).expect("write damage");
+    let store = Arc::new(ArtifactStore::open(&dir).expect("corrupted open must not fail"));
+    assert!(
+        store.truncated_records() > 0,
+        "the damaged learnt record must be counted as truncated"
+    );
+    // Graceful fallback: whatever the store lost is re-solved cold, and
+    // the verdicts are exactly the cold run's.
+    let after = run_once(true, Some(&store));
+    assert_eq!(keys(&baseline), keys(&after));
+    assert!(!after.degraded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn compaction_folds_the_journal_into_a_snapshot_losslessly() {
     let dir = store_dir("compact");
     let baseline = run_once(false, None);

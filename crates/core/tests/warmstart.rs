@@ -1,0 +1,262 @@
+//! Warm-start soundness: reusing cone-keyed verdicts and learnt-clause
+//! packs across design edits must never change a verdict. The tests
+//! inject paper-style bugs with [`aqed_tsys::enumerate_mutants`] and
+//! check that a warm-started run of the edited design is verdict-
+//! identical to a cold run — including the case where the edit lands
+//! inside the cone of a previously-clean obligation, which must be
+//! re-solved rather than served stale.
+
+use aqed_bmc::BmcOptions;
+use aqed_core::{
+    verify_obligations_governed, AqedHarness, ArtifactStore, CheckOutcome, FcConfig,
+    ParallelVerifyReport, RunContext, ScheduleOptions,
+};
+use aqed_designs::all_cases;
+use aqed_expr::ExprPool;
+use aqed_hls::{synthesize, AccelSpec, SynthOptions};
+use aqed_sat::Solver;
+use aqed_tsys::{enumerate_mutants, Mutant, Mutator, TransitionSystem};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Comparable summary of one obligation verdict: (rank, label, depth, bound).
+type VerdictKey = (u8, Option<String>, Option<usize>, Option<usize>);
+
+fn verdict_key(outcome: &CheckOutcome) -> VerdictKey {
+    match outcome {
+        CheckOutcome::Clean { bound } => (0, None, None, Some(*bound)),
+        CheckOutcome::Bug { counterexample, .. } => (
+            1,
+            Some(counterexample.bad_name.clone()),
+            Some(counterexample.depth),
+            None,
+        ),
+        CheckOutcome::Inconclusive { bound, reason } => {
+            (2, Some(reason.to_string()), None, Some(*bound))
+        }
+        CheckOutcome::Errored { message } => (3, Some(message.clone()), None, None),
+    }
+}
+
+fn keys(report: &ParallelVerifyReport) -> Vec<(String, VerdictKey)> {
+    report
+        .obligations
+        .iter()
+        .map(|r| (r.obligation.bad_name.clone(), verdict_key(&r.outcome)))
+        .collect()
+}
+
+/// Governed run of an already-composed system, optionally through a
+/// shared store (warm-start is on by default in [`ScheduleOptions`]).
+fn run_composed(
+    composed: &TransitionSystem,
+    pool: &ExprPool,
+    bound: usize,
+    store: Option<&Arc<ArtifactStore>>,
+) -> ParallelVerifyReport {
+    let options = BmcOptions::default().with_max_bound(bound);
+    let sched = ScheduleOptions::default().with_jobs(2);
+    let ctx = match store {
+        Some(s) => RunContext::with_artifacts(Arc::clone(s)),
+        None => RunContext::default(),
+    };
+    verify_obligations_governed::<Solver>(composed, pool, &options, &sched, &ctx)
+}
+
+/// The first applicable mutant of `ts`, preferring the one-constant
+/// edit the CI-mode workflow is built around.
+fn first_mutant(ts: &TransitionSystem, pool: &mut ExprPool) -> Option<Mutant> {
+    for mutator in [
+        Mutator::OffByOneConstant,
+        Mutator::OperandSwap,
+        Mutator::DroppedLatchUpdate,
+    ] {
+        if let Some(m) = enumerate_mutants(ts, pool, mutator).into_iter().next() {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Every catalogued design, seeded with a one-site edit: a warm-started
+/// run of the mutant against a store populated by the *original* design
+/// must be verdict-identical to a cold run of the mutant. Obligations
+/// whose cones the edit missed are served from the store; obligations
+/// whose cones it hit are re-solved — either way the verdicts match.
+#[test]
+fn catalog_warm_start_after_edit_matches_cold() {
+    let mut total_reused = 0u64;
+    for case in all_cases() {
+        // Cap the bound: soundness of reuse is about cone keys, not
+        // depth, and the full catalog runs three times in this test.
+        let bound = case.bmc_bound.min(6);
+        let mut pool = ExprPool::new();
+        let lca = (case.build_buggy)(&mut pool);
+        let mut harness = AqedHarness::new(&lca);
+        if let Some(fc) = &case.fc {
+            harness = harness.with_fc(fc.clone());
+        }
+        if let Some(rb) = &case.rb {
+            harness = harness.with_rb(*rb);
+        }
+        let (composed, _) = harness.build(&mut pool);
+        let Some(mutant) = first_mutant(&composed, &mut pool) else {
+            continue;
+        };
+        let store = Arc::new(ArtifactStore::new());
+        let _seed = run_composed(&composed, &pool, bound, Some(&store));
+        let cold = run_composed(&mutant.ts, &pool, bound, None);
+        let warm = run_composed(&mutant.ts, &pool, bound, Some(&store));
+        assert_eq!(
+            keys(&cold),
+            keys(&warm),
+            "case {}: warm-start after '{}' changed a verdict",
+            case.id,
+            mutant.description
+        );
+        assert_eq!(cold.exit_code(), warm.exit_code(), "case {}", case.id);
+        total_reused += warm.aggregate.verdicts_reused
+            + warm.obligations.iter().filter(|r| r.cache_hit).count() as u64;
+    }
+    // Any single edit may land in every cone of a small design, but
+    // across the whole catalog warm-start must pay off somewhere.
+    assert!(
+        total_reused > 0,
+        "no obligation in the entire catalog was reused after a one-site edit"
+    );
+}
+
+/// The negative case the cone key exists for: an obligation that was
+/// clean on the healthy design must NOT reuse that verdict once the
+/// edit lands inside its cone — the warm run must re-find the bug.
+#[test]
+fn edited_cone_is_resolved_not_served_stale() {
+    let build = |bug: bool, pool: &mut ExprPool| {
+        let spec = AccelSpec::new("warm_neg", 2, 6, 6)
+            .with_latency(2)
+            .with_fifo_depth(2);
+        let lca = synthesize(
+            &spec,
+            pool,
+            SynthOptions {
+                forwarding_bug: bug,
+                ..SynthOptions::default()
+            },
+            |p, _a, d| {
+                let c = p.lit(6, 0x2a);
+                p.xor(d, c)
+            },
+        );
+        AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .build(pool)
+            .0
+    };
+    let store = Arc::new(ArtifactStore::new());
+    let mut pool = ExprPool::new();
+    let healthy = build(false, &mut pool);
+    let clean = run_composed(&healthy, &pool, 6, Some(&store));
+    assert!(
+        matches!(clean.outcome, CheckOutcome::Clean { .. }),
+        "healthy design must be clean: {:?}",
+        clean.outcome
+    );
+    // The forwarding bug rewires the datapath, so the affected cones
+    // hash differently; their clean facts must not transfer.
+    let mut pool = ExprPool::new();
+    let buggy = build(true, &mut pool);
+    let cold = run_composed(&buggy, &pool, 6, None);
+    assert!(
+        matches!(cold.outcome, CheckOutcome::Bug { .. }),
+        "buggy design must produce a counterexample: {:?}",
+        cold.outcome
+    );
+    let warm = run_composed(&buggy, &pool, 6, Some(&store));
+    assert_eq!(
+        keys(&cold),
+        keys(&warm),
+        "warm-start must re-find the bug, not serve the stale clean"
+    );
+    assert_eq!(warm.exit_code(), 1);
+}
+
+/// Deepening a clean run reuses the proven prefix: clean@6 in the store
+/// lets the bound-8 re-run skip frames 0..=5 (counted in
+/// `verdicts_reused`) instead of re-proving them.
+#[test]
+fn deepening_a_clean_run_skips_the_proven_prefix() {
+    let store = Arc::new(ArtifactStore::new());
+    let mut pool = ExprPool::new();
+    let spec = AccelSpec::new("warm_deepen", 2, 6, 6).with_latency(2);
+    let lca = synthesize(&spec, &mut pool, SynthOptions::default(), |p, _a, d| {
+        let one = p.lit(6, 1);
+        p.add(d, one)
+    });
+    let (composed, _) = AqedHarness::new(&lca)
+        .with_fc(FcConfig::default())
+        .build(&mut pool);
+    let shallow = run_composed(&composed, &pool, 6, Some(&store));
+    assert!(matches!(shallow.outcome, CheckOutcome::Clean { .. }));
+    let cold = run_composed(&composed, &pool, 8, None);
+    let deep = run_composed(&composed, &pool, 8, Some(&store));
+    assert_eq!(keys(&cold), keys(&deep), "deepened verdicts must match");
+    assert!(
+        deep.aggregate.verdicts_reused > 0,
+        "the bound-8 run must skip frames proven clean at bound 6: {:?}",
+        deep.aggregate
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized edits: for a random synthesized accelerator and a
+    /// random injection site, warm-start after the edit is verdict-
+    /// identical to cold. The store is populated by the *original*
+    /// design, so reuse decisions are made entirely by the cone keys
+    /// and the counterexample replay gate.
+    #[test]
+    fn warm_start_after_random_edit_matches_cold(
+        latency in 1usize..4,
+        bug in any::<bool>(),
+        mutator_idx in 0usize..3,
+        site in 0usize..16,
+        bound in 4usize..8,
+    ) {
+        let mut pool = ExprPool::new();
+        let spec = AccelSpec::new("warm_prop", 2, 6, 6).with_latency(latency);
+        let lca = synthesize(
+            &spec,
+            &mut pool,
+            SynthOptions { forwarding_bug: bug, ..SynthOptions::default() },
+            |p, _a, d| {
+                let c = p.lit(6, 0x0d);
+                let x = p.xor(d, c);
+                let one = p.lit(6, 1);
+                p.add(x, one)
+            },
+        );
+        let (composed, _) = AqedHarness::new(&lca)
+            .with_fc(FcConfig::default())
+            .build(&mut pool);
+        let mutator = [
+            Mutator::OffByOneConstant,
+            Mutator::OperandSwap,
+            Mutator::DroppedLatchUpdate,
+        ][mutator_idx];
+        let mutants = enumerate_mutants(&composed, &mut pool, mutator);
+        prop_assume!(!mutants.is_empty());
+        let mutant = &mutants[site % mutants.len()];
+        let store = Arc::new(ArtifactStore::new());
+        let _seed = run_composed(&composed, &pool, bound, Some(&store));
+        let cold = run_composed(&mutant.ts, &pool, bound, None);
+        let warm = run_composed(&mutant.ts, &pool, bound, Some(&store));
+        prop_assert_eq!(
+            keys(&cold),
+            keys(&warm),
+            "warm-start after '{}' drifted",
+            mutant.description
+        );
+        prop_assert_eq!(cold.exit_code(), warm.exit_code());
+    }
+}

@@ -99,6 +99,11 @@ pub struct VerifyRequest {
     pub preprocess: bool,
     /// Slice each obligation to the cone of influence of its bad.
     pub coi: bool,
+    /// Warm-start incremental re-verification (default true; inert
+    /// without an artifact store or with `coi` off): reuse cone-keyed
+    /// verdicts across design edits, skip re-proven frame prefixes, and
+    /// inject stored learnt-clause packs. Never changes a verdict.
+    pub warm_start: bool,
 }
 
 impl VerifyRequest {
@@ -118,6 +123,7 @@ impl VerifyRequest {
             fail_fast: false,
             preprocess: true,
             coi: true,
+            warm_start: true,
         }
     }
 
@@ -145,6 +151,7 @@ impl VerifyRequest {
             ("fail_fast", Json::Bool(self.fail_fast)),
             ("preprocess", Json::Bool(self.preprocess)),
             ("coi", Json::Bool(self.coi)),
+            ("warm_start", Json::Bool(self.warm_start)),
         ])
     }
 
@@ -206,6 +213,9 @@ impl VerifyRequest {
         }
         if let Some(c) = v.get("coi") {
             req.coi = c.as_bool().ok_or("'coi' must be a bool")?;
+        }
+        if let Some(w) = v.get("warm_start") {
+            req.warm_start = w.as_bool().ok_or("'warm_start' must be a bool")?;
         }
         Ok(req)
     }
@@ -356,7 +366,8 @@ impl Engine {
         options.conflict_budget = req.conflict_budget;
         let sched = ScheduleOptions::default()
             .with_jobs(req.jobs)
-            .with_fail_fast(req.fail_fast);
+            .with_fail_fast(req.fail_fast)
+            .with_warm_start(req.warm_start);
         let ctx = RunContext {
             artifacts: self.artifacts.clone(),
             stop: stop.cloned(),
@@ -437,6 +448,7 @@ mod tests {
         req.fail_fast = true;
         req.preprocess = false;
         req.coi = false;
+        req.warm_start = false;
         let back = VerifyRequest::from_json(&req.to_json()).expect("round trip");
         assert_eq!(back, req);
         // Defaults: a minimal object is a default request.

@@ -273,6 +273,12 @@ pub struct SolverStats {
     /// Conflicts spent by losing portfolio workers — search effort that
     /// did not produce the verdict.
     pub wasted_conflicts: u64,
+    /// Learnt clauses imported from a persisted warm-start pack and
+    /// installed as redundant clauses.
+    pub learnt_imported: u64,
+    /// Warm-start learnt clauses rejected instead of installed (variable
+    /// out of range, or the whole pack's frame fingerprint mismatched).
+    pub learnt_discarded: u64,
     /// Worker index that produced the verdict of the most recent
     /// portfolio race, or `None` outside portfolio solving.
     pub portfolio_winner: Option<u32>,
@@ -298,6 +304,8 @@ impl SolverStats {
         self.shared_exported += other.shared_exported;
         self.shared_imported += other.shared_imported;
         self.wasted_conflicts += other.wasted_conflicts;
+        self.learnt_imported += other.learnt_imported;
+        self.learnt_discarded += other.learnt_discarded;
         if other.portfolio_winner.is_some() {
             self.portfolio_winner = other.portfolio_winner;
         }
@@ -311,7 +319,7 @@ impl fmt::Display for SolverStats {
             "decisions={} propagations={} conflicts={} restarts={} learnts={} deleted={} \
              binary_props={} gc_runs={} arena_bytes={} subsumed={} eliminated_vars={} \
              preprocess_micros={} shared_exported={} shared_imported={} wasted_conflicts={} \
-             portfolio_winner={}",
+             learnt_imported={} learnt_discarded={} portfolio_winner={}",
             self.decisions,
             self.propagations,
             self.conflicts,
@@ -327,6 +335,8 @@ impl fmt::Display for SolverStats {
             self.shared_exported,
             self.shared_imported,
             self.wasted_conflicts,
+            self.learnt_imported,
+            self.learnt_discarded,
             self.portfolio_winner
                 .map_or_else(|| "-".to_string(), |w| w.to_string()),
         )
@@ -596,6 +606,67 @@ impl Solver {
     /// (they are implied, so keeping them is always sound).
     pub fn clear_sharing(&mut self) {
         self.share = None;
+    }
+
+    /// Snapshots the surviving learnt-clause core for warm-starting a
+    /// future solver over an *identical* CNF: the live (non-deleted)
+    /// arena learnts, highest-activity first, capped at `max_len`
+    /// literals per clause and `max_count` clauses. Binary learnts live
+    /// inlined in the watch lists rather than the arena and are not
+    /// exported; unit learnts are level-0 trail facts, likewise skipped.
+    ///
+    /// The returned clauses are implied by the clauses added so far, so
+    /// they are only sound to re-add to a solver holding an identical
+    /// clause set (see [`Solver::import_learnts`]).
+    #[must_use]
+    pub fn export_learnts(&self, max_len: usize, max_count: usize) -> Vec<Vec<Lit>> {
+        let mut refs: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| !self.ca.is_deleted(c) && self.ca.size(c) <= max_len)
+            .collect();
+        refs.sort_by(|&a, &b| {
+            self.ca
+                .activity(b)
+                .partial_cmp(&self.ca.activity(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        refs.truncate(max_count);
+        refs.iter().map(|&c| self.ca.lits(c).to_vec()).collect()
+    }
+
+    /// Installs warm-start learnt clauses exported by a previous run
+    /// over an identical CNF (see [`Solver::export_learnts`]). Each
+    /// clause is re-simplified against the level-0 trail exactly like a
+    /// portfolio import; because it is implied by the (identical) clause
+    /// set, installation preserves both verdicts and models — even for
+    /// clauses mentioning variables this solver's preprocessor
+    /// eliminated. A clause naming a variable this solver has not
+    /// created is discarded instead: the caller's CNF-identity guarantee
+    /// failed for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (the public API only reaches decision
+    /// level 0 between solves).
+    pub fn import_learnts(&mut self, clauses: &[Vec<Lit>]) {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "import_learnts must run between solves"
+        );
+        for c in clauses {
+            if !self.ok {
+                return;
+            }
+            if c.is_empty() || c.iter().any(|l| l.var().index() >= self.num_vars()) {
+                self.stats.learnt_discarded += 1;
+                continue;
+            }
+            self.stats.learnt_imported += 1;
+            self.add_learnt_vec(c.clone());
+        }
     }
 
     /// Sets the scope label baked into this solver's metric names
@@ -2590,6 +2661,8 @@ mod tests {
             shared_exported: 13,
             shared_imported: 14,
             wasted_conflicts: 15,
+            learnt_imported: 16,
+            learnt_discarded: 17,
             portfolio_winner: None,
         };
         let b = SolverStats {
@@ -2608,6 +2681,8 @@ mod tests {
             shared_exported: 1300,
             shared_imported: 1400,
             wasted_conflicts: 1500,
+            learnt_imported: 1600,
+            learnt_discarded: 1700,
             portfolio_winner: Some(2),
         };
         a.absorb(&b);
@@ -2626,6 +2701,8 @@ mod tests {
         assert_eq!(a.shared_exported, 1313);
         assert_eq!(a.shared_imported, 1414);
         assert_eq!(a.wasted_conflicts, 1515);
+        assert_eq!(a.learnt_imported, 1616);
+        assert_eq!(a.learnt_discarded, 1717);
         assert_eq!(
             a.portfolio_winner,
             Some(2),
@@ -2639,6 +2716,8 @@ mod tests {
             "shared_exported=1313",
             "shared_imported=1414",
             "wasted_conflicts=1515",
+            "learnt_imported=1616",
+            "learnt_discarded=1717",
             "portfolio_winner=2",
         ] {
             assert!(shown.contains(needle), "{needle} missing from {shown}");

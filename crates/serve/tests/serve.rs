@@ -296,7 +296,9 @@ fn raw_roundtrip(addr: std::net::SocketAddr, payload: &[u8]) -> String {
 #[test]
 fn garbage_input_earns_structured_rejections_not_dead_workers() {
     let mut opts = options(1, 4);
-    opts.max_line_bytes = 256;
+    // Small enough to shed the 4 KiB probe below, with headroom over a
+    // real request line (which grows as VerifyRequest gains fields).
+    opts.max_line_bytes = 512;
     let server = Server::start(&opts).expect("bind");
     let addr = server.addr();
     // Truncated JSON.
@@ -403,6 +405,32 @@ fn persistent_store_warms_a_restarted_server() {
             .and_then(|a| a.get("solver_calls"))
             .and_then(Json::as_u64),
         Some(0)
+    );
+    // Health reports the on-disk footprint of a persistent store: the
+    // recovered journal has bytes and records, and the snapshot size is
+    // present (zero until the first compaction).
+    let health = query_health(server.addr()).expect("health");
+    let store = health.get("store").expect("store stats");
+    assert_eq!(store.get("persistent").and_then(Json::as_bool), Some(true));
+    assert!(
+        store
+            .get("journal_bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{health}"
+    );
+    assert!(
+        store
+            .get("journal_records")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{health}"
+    );
+    assert!(
+        store.get("snapshot_bytes").and_then(Json::as_u64).is_some(),
+        "{health}"
     );
     server.begin_shutdown();
     server.join();

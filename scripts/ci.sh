@@ -303,4 +303,83 @@ echo "  post-corruption verdicts identical to the pre-kill runs"
 wait "$serve_pid"
 serve_pid=""
 
+echo "== warm-start: re-verify after a one-constant edit (CI mode)"
+# The incremental loop end-to-end: verify a suite cold into a store,
+# apply a one-constant edit to one design, re-verify warm. The bench
+# binary asserts verdict identity between every warm phase and the
+# cold run internally; the gate additionally pins that obligations
+# whose cones the edit missed were actually reused, not re-solved.
+cargo build --release -q -p aqed-bench --bin bench_reverify
+ws_out=$(AQED_SUITE="dataflow_fifo_sizing,optflow_pushpop" \
+    ./target/release/bench_reverify dataflow_fifo_sizing 6 1)
+echo "$ws_out" | grep -q "verdict identity: OK" || {
+    echo "bench_reverify did not confirm verdict identity:" >&2
+    echo "$ws_out" >&2
+    exit 1
+}
+echo "$ws_out" | grep -qE "reused [1-9][0-9]* verdict" || {
+    echo "edited design reused no cone-keyed verdicts:" >&2
+    echo "$ws_out" >&2
+    exit 1
+}
+echo "  warm-after-edit verdicts identical; untouched cones reused"
+# CLI deepening reuse: clean@8 in the store lets the bound-12 re-run
+# skip the proven prefix (verdicts_reused > 0 in the report JSON)
+# while agreeing with a cold bound-12 run.
+ws_store="$obs_tmp/ws-store"
+deep_cold_rc=0
+deep_cold=$(./target/release/aqed verify dataflow_fifo_sizing --healthy \
+    --bound 12 | verdict) || deep_cold_rc=$?
+./target/release/aqed verify dataflow_fifo_sizing --healthy --bound 8 \
+    --store-dir "$ws_store" >/dev/null
+deep_warm_rc=0
+deep_warm=$(./target/release/aqed verify dataflow_fifo_sizing --healthy \
+    --bound 12 --store-dir "$ws_store" \
+    --report-json "$obs_tmp/ws-report.json" | verdict) || deep_warm_rc=$?
+if [ "$deep_cold_rc" != "$deep_warm_rc" ] || [ "$deep_cold" != "$deep_warm" ]; then
+    echo "deepening re-verify diverged from cold:" >&2
+    echo "  cold: rc=$deep_cold_rc  $deep_cold" >&2
+    echo "  warm: rc=$deep_warm_rc  $deep_warm" >&2
+    exit 1
+fi
+grep -qE '"verdicts_reused":[1-9]' "$obs_tmp/ws-report.json" || {
+    echo "bound-12 re-run did not reuse the bound-8 proven prefix:" >&2
+    cat "$obs_tmp/ws-report.json" >&2
+    exit 1
+}
+echo "  deepening 8 -> 12: verdict '$deep_warm' identical, proven prefix reused"
+
+echo "== warm-start: corrupted learnt-clause artifact falls back to cold"
+# Damage the learnt-pack record specifically: the checksummed journal
+# truncates at the corruption, the learnt hints are lost, and the
+# re-verify must quietly re-solve — identical verdict, never a crash
+# or a stale answer.
+lc_store="$obs_tmp/lc-store"
+lc_cold_rc=0
+lc_cold=$(./target/release/aqed verify dataflow_fifo_sizing --bound 16 \
+    --store-dir "$lc_store" | verdict) || lc_cold_rc=$?
+grep -q '"k":"learnts"' "$lc_store/journal.aqed" || {
+    echo "cold run journaled no learnt pack at $lc_store/journal.aqed" >&2
+    exit 1
+}
+python3 - "$lc_store/journal.aqed" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+pos = data.find(b'"k":"learnts"')
+assert pos >= 0, "no learnts record to corrupt"
+data[pos + 6] = ord("X")
+open(path, "wb").write(bytes(data))
+EOF
+lc_warm_rc=0
+lc_warm=$(./target/release/aqed verify dataflow_fifo_sizing --bound 16 \
+    --store-dir "$lc_store" | verdict) || lc_warm_rc=$?
+if [ "$lc_cold_rc" != "$lc_warm_rc" ] || [ "$lc_cold" != "$lc_warm" ]; then
+    echo "corrupted learnt artifact changed the verdict:" >&2
+    echo "  cold:           rc=$lc_cold_rc  $lc_cold" >&2
+    echo "  post-corruption: rc=$lc_warm_rc  $lc_warm" >&2
+    exit 1
+fi
+echo "  corrupted learnt pack discarded; verdict '$lc_warm' unchanged"
+
 echo "CI OK"
