@@ -25,6 +25,7 @@
 //! disables the cone layer in the re-verify phases, reproducing the
 //! design-keys-only behaviour the store had before warm-start existed.
 
+use aqed_bench::write_bench_json;
 use aqed_bmc::BmcOptions;
 use aqed_core::{
     cone_hash, verify_obligations_governed, AqedHarness, ArtifactStore, CheckOutcome,
@@ -33,6 +34,7 @@ use aqed_core::{
 use aqed_designs::{all_cases, BugCase};
 use aqed_expr::ExprPool;
 use aqed_hls::Lca;
+use aqed_obs::json::Json;
 use aqed_sat::Solver;
 use aqed_tsys::{coi_slice_cached, enumerate_mutants, Mutator, TransitionSystem};
 use std::sync::Arc;
@@ -141,7 +143,7 @@ impl Sweep {
     }
 }
 
-fn row(label: &str, s: &Sweep, cold: Duration) {
+fn row(label: &str, s: &Sweep, cold: Duration) -> Json {
     println!(
         "{label:<18} {:>9.3} {:>8.1}x {:>6} {:>10} {:>7} {:>7} {:>9}",
         s.time.as_secs_f64(),
@@ -152,6 +154,19 @@ fn row(label: &str, s: &Sweep, cold: Duration) {
         s.reused,
         s.imported,
     );
+    Json::obj(vec![
+        ("phase", Json::from(label.trim())),
+        ("time_s", Json::Num(s.time.as_secs_f64())),
+        (
+            "speedup",
+            Json::Num(cold.as_secs_f64() / s.time.as_secs_f64().max(1e-9)),
+        ),
+        ("solver_calls", Json::num(s.calls)),
+        ("conflicts", Json::num(s.conflicts)),
+        ("cache_hits", Json::num(s.hits)),
+        ("verdicts_reused", Json::num(s.reused)),
+        ("learnt_imported", Json::num(s.imported)),
+    ])
 }
 
 fn main() {
@@ -226,12 +241,13 @@ fn main() {
         m.edited.as_ref().unwrap_or(&m.composed)
     }
 
+    let mut phase_rows: Vec<Json> = Vec::new();
     let mut cold = Sweep::default();
     for m in &members {
         let (r, t) = run(&m.composed, &m.pool, bound, jobs, Some(&store), true);
         cold.absorb(m.id, &r, t);
     }
-    row("cold suite", &cold, cold.time);
+    phase_rows.push(row("cold suite", &cold, cold.time));
 
     // Freeze a copy of the nightly store for the ablation below, so it
     // sees exactly the pre-edit facts the warm run saw.
@@ -251,7 +267,7 @@ fn main() {
         let (r, t) = run(&m.composed, &m.pool, bound, jobs, Some(&store), warm_start);
         warm_id.absorb(m.id, &r, t);
     }
-    row("warm identical", &warm_id, cold.time);
+    phase_rows.push(row("warm identical", &warm_id, cold.time));
     assert_eq!(cold.keys, warm_id.keys, "identical re-run drifted");
 
     let mut cold_edit = Sweep::default();
@@ -259,7 +275,7 @@ fn main() {
         let (r, t) = run(post(m), &m.pool, bound, jobs, None, true);
         cold_edit.absorb(m.id, &r, t);
     }
-    row("cold after edit", &cold_edit, cold_edit.time);
+    phase_rows.push(row("cold after edit", &cold_edit, cold_edit.time));
 
     let mut warm_edit = Sweep::default();
     let mut edited_reused = 0u64;
@@ -270,7 +286,7 @@ fn main() {
         }
         warm_edit.absorb(m.id, &r, t);
     }
-    row("warm after edit", &warm_edit, cold_edit.time);
+    phase_rows.push(row("warm after edit", &warm_edit, cold_edit.time));
     assert_eq!(
         cold_edit.keys, warm_edit.keys,
         "warm-after-edit verdicts diverged from cold — unsound reuse"
@@ -288,7 +304,7 @@ fn main() {
             let (r, t) = run(post(m), &m.pool, bound, jobs, Some(&store2), false);
             ablate.absorb(m.id, &r, t);
         }
-        row("  no cone reuse", &ablate, cold_edit.time);
+        phase_rows.push(row("  no cone reuse", &ablate, cold_edit.time));
         assert_eq!(cold_edit.keys, ablate.keys, "ablated re-run drifted");
     }
     let _ = std::fs::remove_dir_all(&dir2);
@@ -306,6 +322,33 @@ fn main() {
         warm_edit.time.as_secs_f64(),
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    match write_bench_json(
+        "reverify",
+        vec![
+            (
+                "suite",
+                Json::Arr(suite_ids.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+            ("edited_case", Json::from(edited_id.as_str())),
+            (
+                "edit",
+                Json::from(edited.edit_description.clone().unwrap_or_default()),
+            ),
+            ("bound", Json::num(bound as u64)),
+            ("jobs", Json::num(jobs as u64)),
+            ("warm_start", Json::from(warm_start)),
+            ("cones_untouched", Json::num(edited.cones_untouched as u64)),
+            ("cones_total", Json::num(edited.cones_total as u64)),
+            ("verdict_identity", Json::from(true)),
+            ("obligations", Json::num(warm_edit.keys.len() as u64)),
+            ("edited_verdicts_reused", Json::num(edited_reused)),
+            ("phases", Json::Arr(phase_rows)),
+        ],
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("bench_reverify: cannot write bench JSON: {e}"),
+    }
 }
 
 /// Chooses the one-constant edit of `lca`'s next-state logic that

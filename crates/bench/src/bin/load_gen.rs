@@ -10,7 +10,9 @@
 //!   [--workers N] [--requests N] [--clients 1,2,4,8] [--store-dir DIR]
 //! ```
 
+use aqed_bench::write_bench_json;
 use aqed_engine::VerifyRequest;
+use aqed_obs::json::Json;
 use aqed_serve::{submit, ServeOptions, Server};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -103,6 +105,10 @@ fn main() {
     let mut addr = server.addr();
     let mix = workload();
     println!("# load_gen: {workers} workers, {requests} requests per level\n");
+    // Machine-readable mirror of everything printed below, written to
+    // results/bench_load_gen.json at the end of the run.
+    let mut cache_rows: Vec<Json> = Vec::new();
+    let mut saturation_rows: Vec<Json> = Vec::new();
 
     // Cold vs warm: the first submission of each case pays design
     // build + COI + preprocessing + solving; the repeat is answered
@@ -124,6 +130,12 @@ fn main() {
                     ms(warm),
                     ms(cold) / ms(warm).max(0.001),
                 );
+                cache_rows.push(Json::obj(vec![
+                    ("case", Json::from(*label)),
+                    ("cold_ms", Json::Num(ms(cold))),
+                    ("warm_ms", Json::Num(ms(warm))),
+                    ("warm_cache_hits", Json::num(hits)),
+                ]));
             }
         }
         Some(dir) => {
@@ -156,6 +168,13 @@ fn main() {
                     ms(*cold) / ms(warm_disk).max(0.001),
                     ms(*cold) / ms(*warm_mem).max(0.001),
                 );
+                cache_rows.push(Json::obj(vec![
+                    ("case", Json::from(*label)),
+                    ("cold_ms", Json::Num(ms(*cold))),
+                    ("warm_disk_ms", Json::Num(ms(warm_disk))),
+                    ("warm_mem_ms", Json::Num(ms(*warm_mem))),
+                    ("warm_cache_hits", Json::num(*hits)),
+                ]));
             }
         }
     }
@@ -199,7 +218,31 @@ fn main() {
             total.as_secs_f64(),
             requests as f64 / total.as_secs_f64(),
         );
+        saturation_rows.push(Json::obj(vec![
+            ("clients", Json::num(clients as u64)),
+            ("total_s", Json::Num(total.as_secs_f64())),
+            (
+                "req_per_s",
+                Json::Num(requests as f64 / total.as_secs_f64()),
+            ),
+            ("mean_ms", Json::Num(mean)),
+            ("p95_ms", Json::Num(p95)),
+        ]));
     }
     server.begin_shutdown();
     server.join();
+
+    match write_bench_json(
+        "load_gen",
+        vec![
+            ("workers", Json::num(workers as u64)),
+            ("requests_per_level", Json::num(requests as u64)),
+            ("persistent_store", Json::from(store_dir.is_some())),
+            ("cache_latency", Json::Arr(cache_rows)),
+            ("saturation", Json::Arr(saturation_rows)),
+        ],
+    ) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("load_gen: cannot write bench JSON: {e}"),
+    }
 }

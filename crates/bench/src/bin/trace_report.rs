@@ -7,16 +7,28 @@
 //! trace_report run.jsonl                  # summary table + timeline
 //! trace_report run.jsonl --check          # validate only (CI gate)
 //! trace_report run.jsonl --chrome out.json
+//! trace_report --postmortem bundle.json   # inspect a service postmortem
 //! ```
 //!
 //! Exit codes: 0 on success, 1 when the trace fails validation
-//! (unparseable line, unknown phase, unbalanced or interleaved spans,
-//! unmatched async events), 2 on usage or I/O errors.
+//! (unparseable line, unknown phase, unbalanced or interleaved sync
+//! spans), 2 on usage or I/O errors.
 //!
 //! Synchronous spans (`B`/`E`) pair by per-thread nesting. Async spans
 //! (`b`/`e`) carry an `id` and pair by `(name, id)` regardless of
 //! thread — this is how an obligation span is followed across portfolio
 //! workers and retries, where the work migrates between threads.
+//! Unbalanced async pairs are *warnings*, not errors: a job cancelled
+//! or killed mid-flight legitimately leaves its async span open, and a
+//! duplicate begin can appear when a retry reuses an obligation id.
+//!
+//! `--postmortem` reads a bundle written by `aqed-serve` (under
+//! `<store-dir>/postmortem/`) instead of a raw JSONL trace: it prints
+//! the bundle header (reason, job, verdict, recorder occupancy) and
+//! then reports on the embedded flight-recorder events. Because the
+//! recorder is a bounded ring, the oldest `B`/`b` events may have been
+//! evicted — in postmortem mode *all* pairing problems downgrade to
+//! warnings.
 
 use aqed_obs::json::{parse, Json};
 use std::collections::{BTreeMap, HashMap};
@@ -55,43 +67,41 @@ fn render_arg(v: &Json) -> String {
     }
 }
 
-fn parse_line(n: usize, line: &str) -> Result<Event, String> {
-    let ev = parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+/// Decodes one trace event from its JSON form; `at` names the source
+/// position ("line 3" / "events\[7\]") for error messages.
+fn event_from_json(at: &str, ev: &Json) -> Result<Event, String> {
     let ts = ev
         .get("ts")
         .and_then(Json::as_u64)
-        .ok_or_else(|| format!("line {}: missing integer 'ts'", n + 1))?;
+        .ok_or_else(|| format!("{at}: missing integer 'ts'"))?;
     let tid = ev
         .get("tid")
         .and_then(Json::as_u64)
-        .ok_or_else(|| format!("line {}: missing integer 'tid'", n + 1))?;
+        .ok_or_else(|| format!("{at}: missing integer 'tid'"))?;
     let ph = match ev.get("ph").and_then(Json::as_str) {
         Some("B") => 'B',
         Some("E") => 'E',
         Some("I") => 'I',
         Some("b") => 'b',
         Some("e") => 'e',
-        Some(other) => return Err(format!("line {}: unknown phase '{other}'", n + 1)),
-        None => return Err(format!("line {}: missing 'ph'", n + 1)),
+        Some(other) => return Err(format!("{at}: unknown phase '{other}'")),
+        None => return Err(format!("{at}: missing 'ph'")),
     };
     let id = ev.get("id").and_then(Json::as_u64);
     if matches!(ph, 'b' | 'e') && id.is_none() {
-        return Err(format!(
-            "line {}: async event '{ph}' missing integer 'id'",
-            n + 1
-        ));
+        return Err(format!("{at}: async event '{ph}' missing integer 'id'"));
     }
     let name = ev
         .get("name")
         .and_then(Json::as_str)
-        .ok_or_else(|| format!("line {}: missing 'name'", n + 1))?
+        .ok_or_else(|| format!("{at}: missing 'name'"))?
         .to_owned();
     let args = match ev.get("args") {
         Some(Json::Obj(fields)) => fields
             .iter()
             .map(|(k, v)| (k.clone(), render_arg(v)))
             .collect(),
-        Some(_) => return Err(format!("line {}: 'args' is not an object", n + 1)),
+        Some(_) => return Err(format!("{at}: 'args' is not an object")),
         None => Vec::new(),
     };
     Ok(Event {
@@ -102,6 +112,12 @@ fn parse_line(n: usize, line: &str) -> Result<Event, String> {
         id,
         args,
     })
+}
+
+fn parse_line(n: usize, line: &str) -> Result<Event, String> {
+    let at = format!("line {}", n + 1);
+    let ev = parse(line).map_err(|e| format!("{at}: {e}"))?;
+    event_from_json(&at, &ev)
 }
 
 /// An open span awaiting its End: name, start timestamp, Begin args.
@@ -123,14 +139,24 @@ fn merge_args(args: &mut Vec<(String, String)>, end: &[(String, String)]) {
 }
 
 /// Matches Begin/End pairs per thread and async pairs by `(name, id)`
-/// across threads; fails on interleaved or unbalanced spans, which
-/// would mean the tracer itself is broken.
-fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
+/// across threads.
+///
+/// Sync imbalance (an `E` with no open span, interleaved spans,
+/// unclosed spans at EOF) fails hard — the tracer emits those pairs
+/// from RAII guards on one thread, so imbalance means the tracer
+/// itself is broken. Unless `lenient_sync` is set (postmortem mode),
+/// where the flight recorder's ring may have evicted the older `B`s.
+///
+/// Async imbalance is only ever a *warning*: async spans outlive
+/// threads and jobs, and cancellation or a worker death legitimately
+/// truncates them.
+fn build_spans(events: &[Event], lenient_sync: bool) -> Result<(Vec<Span>, Vec<String>), String> {
     // Per-thread stack of open spans.
     let mut open: HashMap<u64, Vec<OpenSpan>> = HashMap::new();
     // Open async spans, keyed by (name, id) — thread-independent.
     let mut open_async: HashMap<(String, u64), OpenAsync> = HashMap::new();
     let mut spans = Vec::new();
+    let mut warnings = Vec::new();
     for ev in events {
         match ev.ph {
             'B' => open
@@ -143,8 +169,8 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
                     .insert((ev.name.clone(), id), (ev.tid, ev.ts, ev.args.clone()))
                     .is_some()
                 {
-                    return Err(format!(
-                        "duplicate async begin '{}' id {id} at {}ns",
+                    warnings.push(format!(
+                        "duplicate async begin '{}' id {id} at {}ns (retry reusing the id?)",
                         ev.name, ev.ts
                     ));
                 }
@@ -152,10 +178,11 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
             'e' => {
                 let id = ev.id.unwrap_or(0);
                 let Some((tid, start, mut args)) = open_async.remove(&(ev.name.clone(), id)) else {
-                    return Err(format!(
+                    warnings.push(format!(
                         "async end '{}' id {id} at {}ns with no matching begin",
                         ev.name, ev.ts
                     ));
+                    continue;
                 };
                 merge_args(&mut args, &ev.args);
                 spans.push(Span {
@@ -169,16 +196,29 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
             }
             'E' => {
                 let Some((name, start, mut args)) = open.get_mut(&ev.tid).and_then(Vec::pop) else {
-                    return Err(format!(
+                    let msg = format!(
                         "tid {}: End '{}' at {}ns with no open span",
                         ev.tid, ev.name, ev.ts
-                    ));
+                    );
+                    if lenient_sync {
+                        warnings.push(msg);
+                        continue;
+                    }
+                    return Err(msg);
                 };
                 if name != ev.name {
-                    return Err(format!(
+                    let msg = format!(
                         "tid {}: End '{}' closes open span '{name}' (interleaved spans)",
                         ev.tid, ev.name
-                    ));
+                    );
+                    if lenient_sync {
+                        warnings.push(msg);
+                        // Put the mismatched span back; this End is an
+                        // orphan whose Begin the ring evicted.
+                        open.entry(ev.tid).or_default().push((name, start, args));
+                        continue;
+                    }
+                    return Err(msg);
                 }
                 merge_args(&mut args, &ev.args);
                 let depth = open.get(&ev.tid).map_or(0, Vec::len);
@@ -197,7 +237,12 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
     for (tid, stack) in &open {
         if !stack.is_empty() {
             let names: Vec<&str> = stack.iter().map(|(n, _, _)| n.as_str()).collect();
-            return Err(format!("tid {tid}: unclosed spans at EOF: {names:?}"));
+            let msg = format!("tid {tid}: unclosed spans at EOF: {names:?}");
+            if lenient_sync {
+                warnings.push(msg);
+            } else {
+                return Err(msg);
+            }
         }
     }
     if !open_async.is_empty() {
@@ -206,9 +251,9 @@ fn build_spans(events: &[Event]) -> Result<Vec<Span>, String> {
             .map(|(n, id)| format!("{n}#{id}"))
             .collect();
         names.sort();
-        return Err(format!("unclosed async spans at EOF: {names:?}"));
+        warnings.push(format!("unclosed async spans at EOF: {names:?}"));
     }
-    Ok(spans)
+    Ok((spans, warnings))
 }
 
 fn ms(ns: u64) -> f64 {
@@ -327,17 +372,60 @@ fn chrome_json(events: &[Event]) -> String {
     Json::obj(vec![("traceEvents", Json::Arr(items))]).to_string()
 }
 
-const USAGE: &str = "usage: trace_report <trace.jsonl> [--check] [--chrome FILE] [--limit N]";
+/// Prints a human header for a postmortem bundle and returns its
+/// embedded flight-recorder events.
+fn load_postmortem(text: &str) -> Result<Vec<Event>, String> {
+    let bundle = parse(text).map_err(|e| format!("bundle is not valid JSON: {e}"))?;
+    if bundle.get("kind").and_then(Json::as_str) != Some("aqed-postmortem") {
+        return Err("not a postmortem bundle (missing kind=aqed-postmortem)".into());
+    }
+    let field = |k: &str| bundle.get(k).map(render_arg);
+    println!(
+        "postmortem: reason={} uptime_ms={}",
+        field("reason").unwrap_or_else(|| "?".into()),
+        field("uptime_ms").unwrap_or_else(|| "?".into()),
+    );
+    if let Some(job) = field("job") {
+        println!(
+            "  job {job} case={} exit_code={} verdict={}",
+            field("case").unwrap_or_else(|| "?".into()),
+            field("exit_code").unwrap_or_else(|| "?".into()),
+            field("verdict").unwrap_or_else(|| "?".into()),
+        );
+    }
+    if let Some(rec) = bundle.get("recorder") {
+        println!(
+            "  recorder: {} events, ~{} bytes (budget {}), {} evicted",
+            rec.get("events").map(render_arg).unwrap_or_default(),
+            rec.get("approx_bytes").map(render_arg).unwrap_or_default(),
+            rec.get("max_bytes").map(render_arg).unwrap_or_default(),
+            rec.get("dropped").map(render_arg).unwrap_or_default(),
+        );
+    }
+    let Some(Json::Arr(items)) = bundle.get("events") else {
+        return Err("bundle has no 'events' array".into());
+    };
+    let mut events = Vec::with_capacity(items.len());
+    for (n, item) in items.iter().enumerate() {
+        events.push(event_from_json(&format!("events[{n}]"), item)?);
+    }
+    Ok(events)
+}
+
+const USAGE: &str = "usage: trace_report <trace.jsonl> [--check] [--chrome FILE] [--limit N]
+       trace_report --postmortem <bundle.json> [--check] [--chrome FILE] [--limit N]";
 
 fn main() -> ExitCode {
     let mut path = None;
     let mut check_only = false;
+    let mut postmortem = false;
     let mut chrome_out = None;
     let mut limit = 100usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--check" => check_only = true,
+            "--postmortem" => postmortem = true,
             "--chrome" => match argv.next() {
                 Some(f) => chrome_out = Some(f),
                 None => {
@@ -375,35 +463,56 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut events = Vec::new();
-    for (n, line) in text.lines().enumerate() {
-        match parse_line(n, line) {
-            Ok(ev) => events.push(ev),
+    let events = if postmortem {
+        match load_postmortem(&text) {
+            Ok(evs) => evs,
             Err(e) => {
-                eprintln!("trace_report: invalid trace: {e}");
+                eprintln!("trace_report: invalid bundle: {e}");
                 return ExitCode::from(1);
             }
         }
-    }
-    let spans = match build_spans(&events) {
-        Ok(s) => s,
+    } else {
+        let mut events = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            match parse_line(n, line) {
+                Ok(ev) => events.push(ev),
+                Err(e) => {
+                    eprintln!("trace_report: invalid trace: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        events
+    };
+    // A postmortem's ring may have evicted the Begin halves of sync
+    // spans; a live trace has no such excuse.
+    let (spans, warnings) = match build_spans(&events, postmortem) {
+        Ok(sw) => sw,
         Err(e) => {
             eprintln!("trace_report: invalid trace: {e}");
             return ExitCode::from(1);
         }
     };
+    for w in &warnings {
+        eprintln!("trace_report: warning: {w}");
+    }
     let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
     let instant_count = events.iter().filter(|e| e.ph == 'I').count();
     let async_count = events.iter().filter(|e| e.ph == 'b').count();
 
     if check_only {
         println!(
-            "OK: {} events ({} spans, {} async, {} instants) on {} thread(s), all spans balanced",
+            "OK: {} events ({} spans, {} async, {} instants) on {} thread(s), {}",
             events.len(),
             spans.len(),
             async_count,
             instant_count,
-            threads.len()
+            threads.len(),
+            if warnings.is_empty() {
+                "all spans balanced".to_string()
+            } else {
+                format!("{} warning(s)", warnings.len())
+            }
         );
         return ExitCode::SUCCESS;
     }

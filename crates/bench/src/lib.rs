@@ -78,6 +78,33 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Writes a machine-readable bench summary to
+/// `results/bench_<name>.json` (creating `results/`), wrapped in a
+/// stable envelope so CI diffs and dashboards can consume every bench
+/// the same way. Returns the path written. `AQED_BENCH_DIR` overrides
+/// the `results/` directory.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_bench_json(
+    bench: &str,
+    fields: Vec<(&str, aqed_obs::json::Json)>,
+) -> std::io::Result<std::path::PathBuf> {
+    use aqed_obs::json::Json;
+    let dir = std::env::var("AQED_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let mut envelope = vec![
+        ("kind", Json::from("aqed-bench")),
+        ("bench", Json::from(bench)),
+    ];
+    envelope.extend(fields);
+    let path = dir.join(format!("bench_{bench}.json"));
+    std::fs::write(&path, format!("{}\n", Json::obj(envelope)))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -447,6 +447,13 @@ pub struct BmcStats {
     /// counts whole-obligation cache hits and warm-start runs whose
     /// frame prefix was covered by a reused clean fact.
     pub verdicts_reused: u64,
+    /// Wall-clock microseconds spent in cone-of-influence slicing.
+    pub coi_micros: u64,
+    /// Wall-clock microseconds spent unrolling frames into CNF.
+    pub encode_micros: u64,
+    /// Wall-clock microseconds spent in the per-depth SAT queries
+    /// (including warm fingerprinting and witness extraction).
+    pub solve_micros: u64,
 }
 
 impl BmcStats {
@@ -464,6 +471,9 @@ impl BmcStats {
         self.coi_latches_kept += other.coi_latches_kept;
         self.coi_latches_dropped += other.coi_latches_dropped;
         self.verdicts_reused += other.verdicts_reused;
+        self.coi_micros += other.coi_micros;
+        self.encode_micros += other.encode_micros;
+        self.solve_micros += other.solve_micros;
     }
 }
 
@@ -662,6 +672,7 @@ impl<B: SatBackend + Default> Bmc<B> {
         // system to the cone of influence of the selected bads before a
         // single frame is unrolled. The run below then works on the
         // slice, whose bads are re-indexed 0..n.
+        let coi_start = Instant::now();
         let slice: Option<CoiSlice> = self.options.coi.then(|| {
             let mut sp = aqed_obs::span("pipeline.coi");
             let s = coi_slice_cached(ts, pool, &bad_idx, self.coi_cache.as_deref());
@@ -671,6 +682,7 @@ impl<B: SatBackend + Default> Bmc<B> {
             sp.record("inputs_dropped", s.inputs_dropped);
             s
         });
+        self.stats.coi_micros = duration_micros(coi_start.elapsed());
         let (work_ts, work_idx): (&TransitionSystem, Vec<usize>) = match &slice {
             Some(s) => {
                 self.stats.coi_latches_kept = s.latches_kept;
@@ -734,17 +746,21 @@ impl<B: SatBackend + Default> Bmc<B> {
                 }
                 self.stats.frames_encoded = k;
                 {
+                    let encode_start = Instant::now();
                     let mut sp = aqed_obs::obs_span!("bmc.encode", depth = k);
                     let pre = sp.is_active().then(|| session.sizes());
                     session.encode_frame(ts, pool, k);
                     record_growth(&mut sp, pre, &session);
+                    self.stats.encode_micros += duration_micros(encode_start.elapsed());
                 }
                 let outcome = {
+                    let solve_start = Instant::now();
                     let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
                     let pre = sp.is_active().then(|| session.sizes());
                     let o = self.check_frame(&mut session, ts, pool, k, bad_idx, prune, &mut warm);
                     record_growth(&mut sp, pre, &session);
                     sp.record("result", outcome_code(&o));
+                    self.stats.solve_micros += duration_micros(solve_start.elapsed());
                     o
                 };
                 aqed_obs::obs_event!("bmc.depth", depth = k, result = outcome_code(&outcome));
@@ -806,15 +822,18 @@ impl<B: SatBackend + Default> Bmc<B> {
             let mut session: Session<B> = Session::new(ts, pool, &self.options, armed);
             self.stats.frames_encoded = k;
             {
+                let encode_start = Instant::now();
                 let mut sp = aqed_obs::obs_span!("bmc.encode", depth = k);
                 let pre = sp.is_active().then(|| session.sizes());
                 for j in 0..=k {
                     session.encode_frame(ts, pool, j);
                 }
                 record_growth(&mut sp, pre, &session);
+                self.stats.encode_micros += duration_micros(encode_start.elapsed());
             }
             // No pruning: the session is dropped after this one query.
             let outcome = {
+                let solve_start = Instant::now();
                 let mut sp = aqed_obs::obs_span!("bmc.solve", depth = k);
                 let pre = sp.is_active().then(|| session.sizes());
                 let o = self.check_frame(
@@ -828,6 +847,7 @@ impl<B: SatBackend + Default> Bmc<B> {
                 );
                 record_growth(&mut sp, pre, &session);
                 sp.record("result", outcome_code(&o));
+                self.stats.solve_micros += duration_micros(solve_start.elapsed());
                 o
             };
             aqed_obs::obs_event!("bmc.depth", depth = k, result = outcome_code(&outcome));
@@ -892,6 +912,11 @@ enum FrameOutcome {
 }
 
 /// Trace label for a frame outcome.
+/// Saturating microsecond count for the phase-timing stats.
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 fn outcome_code(o: &FrameOutcome) -> &'static str {
     match o {
         FrameOutcome::Cex(_) => "cex",

@@ -119,6 +119,88 @@ fn catalog_verdicts_identical_with_and_without_tracing() {
     }
 }
 
+/// Recursively drops the fields observability legitimately adds or
+/// perturbs: wall-clock timings (`*_ms`, `*_micros`) and the
+/// obs-plane-only `metrics`/`attribution` sections. Everything left —
+/// verdicts, obligation outcomes, solver work counters, cache
+/// attribution — must be bit-identical across obs configurations.
+fn strip_volatile(json: &Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| {
+                    !k.ends_with("_ms")
+                        && !k.ends_with("_micros")
+                        && k != "metrics"
+                        && k != "attribution"
+                })
+                .map(|(k, v)| (k.clone(), strip_volatile(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_volatile).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn catalog_report_json_identical_minus_attribution_across_obs_configs() {
+    // Report JSON only exists when `--report-json` arms the plane, so
+    // the widest on/off delta that still yields two reports is "report
+    // only" (no sink, metrics armed) vs "report + trace sink" (the
+    // full plane: JSONL sink, span emission, live meter sampling).
+    // `--jobs 1` keeps solver work counters deterministic so the
+    // stripped reports can be compared byte for byte.
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for case in aqed_designs::all_cases() {
+        let bound = case.bmc_bound.min(6).to_string();
+        let trace = tmp_path(&format!("rj_{}.jsonl", case.id));
+        let report_off = tmp_path(&format!("rj_off_{}.json", case.id));
+        let report_on = tmp_path(&format!("rj_on_{}.json", case.id));
+        let (code_off, _) = run_cli(&[
+            "verify",
+            case.id,
+            "--bound",
+            &bound,
+            "--jobs",
+            "1",
+            "--report-json",
+            report_off.to_str().unwrap(),
+        ]);
+        let (code_on, _) = run_cli(&[
+            "verify",
+            case.id,
+            "--bound",
+            &bound,
+            "--jobs",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--report-json",
+            report_on.to_str().unwrap(),
+        ]);
+        assert_eq!(code_off, code_on, "case {}: exit code diverged", case.id);
+        let off = parse(&std::fs::read_to_string(&report_off).expect("off report")).unwrap();
+        let on = parse(&std::fs::read_to_string(&report_on).expect("on report")).unwrap();
+        // The full plane must actually have added its sections before
+        // we strip them, or the comparison proves nothing.
+        assert!(
+            on.get("attribution").is_some() && on.get("metrics").is_some(),
+            "case {}: traced report must carry metrics + attribution",
+            case.id
+        );
+        assert_eq!(
+            strip_volatile(&off).to_string(),
+            strip_volatile(&on).to_string(),
+            "case {}: report JSON diverged beyond attribution/timing",
+            case.id
+        );
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&report_off);
+        let _ = std::fs::remove_file(&report_on);
+    }
+}
+
 #[test]
 fn portfolio_backend_is_observationally_pure_and_emits_worker_spans() {
     let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -179,6 +179,11 @@ pub struct RunContext {
     /// drains the run as `Inconclusive {reason: Cancelled}` without
     /// affecting sibling runs under the same parent.
     pub stop: Option<StopHandle>,
+    /// Per-job resource attribution. When set, workers fold each
+    /// obligation's terminal stats into the meter as they finish, so a
+    /// concurrent reader (heartbeat thread, `stats` scrape) sees the
+    /// job's phase breakdown and solver totals while it runs.
+    pub meter: Option<Arc<aqed_obs::JobMeter>>,
 }
 
 impl RunContext {
@@ -188,6 +193,7 @@ impl RunContext {
         RunContext {
             artifacts: Some(store),
             stop: None,
+            meter: None,
         }
     }
 }
@@ -459,6 +465,11 @@ pub fn verify_obligations_governed<B: SatBackend + Default>(
         Some(stop) => ArmedBudget::arm_with(&options.budget, stop.child()),
         None => ArmedBudget::arm(&options.budget),
     };
+    let meter = ctx.meter.as_deref();
+    if let Some(m) = meter {
+        m.set_obligations_total(total as u64);
+        m.set_phase(aqed_obs::MeterPhase::Running);
+    }
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let watchdog_trips = AtomicU64::new(0);
@@ -491,6 +502,9 @@ pub fn verify_obligations_governed<B: SatBackend + Default>(
         }
         for _ in 0..workers {
             scope.spawn(|| {
+                // Route the solver's mid-solve progress samples to this
+                // job's meter for live heartbeat attribution.
+                aqed_obs::meter::set_thread_meter(ctx.meter.clone());
                 worker_loop::<B>(
                     composed,
                     pool,
@@ -504,11 +518,13 @@ pub fn verify_obligations_governed<B: SatBackend + Default>(
                     &results,
                     &coi_cache,
                     store,
+                    meter,
                 );
                 // Scoped threads signal completion before their TLS
                 // destructors run, so the drop-flush of the trace buffer
                 // races against the caller uninstalling the sink. Flush
                 // here, while the scope (and thus the sink) is alive.
+                aqed_obs::meter::set_thread_meter(None);
                 aqed_obs::flush_local();
             });
         }
@@ -569,6 +585,7 @@ fn worker_loop<B: SatBackend + Default>(
     results: &Mutex<Vec<(usize, ObligationReport)>>,
     coi_cache: &Arc<CoiCache>,
     store: Option<(&ArtifactStore, u64)>,
+    meter: Option<&aqed_obs::JobMeter>,
 ) {
     loop {
         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -742,9 +759,40 @@ fn worker_loop<B: SatBackend + Default>(
         if sched.fail_fast && matches!(report.outcome, CheckOutcome::Bug { .. }) {
             armed.cancel();
         }
+        if let Some(m) = meter {
+            absorb_into_meter(m, &report);
+        }
         lock_unpoisoned(results).push((idx, report));
         completed.fetch_add(1, Ordering::Release);
     }
+}
+
+/// Folds one terminal obligation report into the job's shared meter.
+/// Called once per obligation on whichever path ended it (solved,
+/// cached, reused, cancelled, panicked), so the meter's view converges
+/// on the final report's aggregate.
+fn absorb_into_meter(m: &aqed_obs::JobMeter, r: &ObligationReport) {
+    if r.cache_hit {
+        m.note_cache_hit();
+    }
+    m.add_verdicts_reused(r.stats.verdicts_reused);
+    m.add_solver(
+        r.stats.solver_calls,
+        r.stats.solver.conflicts,
+        r.stats.solver.propagations,
+    );
+    m.add_learnts(
+        r.stats.solver.learnt_imported,
+        r.stats.solver.learnt_discarded,
+    );
+    m.note_arena_bytes(r.stats.solver.arena_bytes);
+    m.add_phase_ns(
+        r.stats.coi_micros.saturating_mul(1_000),
+        r.stats.solver.preprocess_micros.saturating_mul(1_000),
+        r.stats.encode_micros.saturating_mul(1_000),
+        r.stats.solve_micros.saturating_mul(1_000),
+    );
+    m.note_obligation_done();
 }
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.

@@ -48,6 +48,9 @@ fn bmc_stats_json(s: &BmcStats) -> Json {
             Json::num(s.coi_latches_dropped as u64),
         ),
         ("verdicts_reused", Json::num(s.verdicts_reused)),
+        ("coi_micros", Json::num(s.coi_micros)),
+        ("encode_micros", Json::num(s.encode_micros)),
+        ("solve_micros", Json::num(s.solve_micros)),
         ("solver", solver_stats_json(&s.solver)),
     ])
 }

@@ -312,7 +312,7 @@ impl Engine {
     ///
     /// [`EngineError::UnknownCase`] when the case id is not catalogued.
     pub fn verify(&self, req: &VerifyRequest) -> Result<VerifyOutcome, EngineError> {
-        self.verify_inner(req, None)
+        self.verify_inner(req, None, None)
     }
 
     /// [`Engine::verify`] under an external stop handle: tripping
@@ -327,13 +327,32 @@ impl Engine {
         req: &VerifyRequest,
         stop: &StopHandle,
     ) -> Result<VerifyOutcome, EngineError> {
-        self.verify_inner(req, Some(stop))
+        self.verify_inner(req, Some(stop), None)
+    }
+
+    /// [`Engine::verify`] with optional cancellation and a shared
+    /// [`JobMeter`](aqed_obs::JobMeter): the scheduler folds each
+    /// obligation's terminal stats into the meter as it finishes, so a
+    /// concurrent reader (heartbeat thread, `stats` scrape) can
+    /// attribute the job's resource use while it runs.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownCase`] when the case id is not catalogued.
+    pub fn verify_metered(
+        &self,
+        req: &VerifyRequest,
+        stop: Option<&StopHandle>,
+        meter: Option<Arc<aqed_obs::JobMeter>>,
+    ) -> Result<VerifyOutcome, EngineError> {
+        self.verify_inner(req, stop, meter)
     }
 
     fn verify_inner(
         &self,
         req: &VerifyRequest,
         stop: Option<&StopHandle>,
+        meter: Option<Arc<aqed_obs::JobMeter>>,
     ) -> Result<VerifyOutcome, EngineError> {
         let case = find_case(&req.case)?;
         let mut pool = ExprPool::new();
@@ -371,6 +390,7 @@ impl Engine {
         let ctx = RunContext {
             artifacts: self.artifacts.clone(),
             stop: stop.cloned(),
+            meter,
         };
         let report = match req.backend {
             BackendKind::Cdcl => {

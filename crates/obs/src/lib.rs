@@ -49,10 +49,15 @@
 //!   threads)
 //! - `args` — optional object of typed fields; numbers, strings, bools
 
+pub mod aggregate;
 pub mod json;
+pub mod meter;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 
+pub use meter::{JobMeter, MeterPhase};
+pub use recorder::FlightRecorder;
 pub use sink::{JsonlSink, MemorySink, TraceSink};
 
 use std::cell::RefCell;

@@ -1,0 +1,220 @@
+//! Always-on bounded flight recorder.
+//!
+//! A [`FlightRecorder`] is a [`TraceSink`] that keeps the most recent
+//! trace events in a fixed-budget in-memory ring instead of writing
+//! them anywhere. Per-thread batches drain into the global ring in
+//! arrival order; once the ring's approximate byte footprint exceeds
+//! its budget, the oldest events are evicted (and counted) to make
+//! room. When a job dies — panic, worker kill, unsound witness — the
+//! host dumps [`recent`](FlightRecorder::recent) into a postmortem
+//! bundle, giving the operator the trace they would have wished they
+//! had recorded, without the unbounded cost of always tracing to disk.
+//!
+//! Sizing: the budget bounds *memory*, not event count, because event
+//! size varies wildly with field payloads (a case id vs. a verdict
+//! string). The per-event estimate is deliberately conservative
+//! (struct overhead + name + field keys/values); the ring's true heap
+//! use tracks the estimate within small constants, so a 1 MiB budget
+//! holds roughly 4–10k recent events — minutes of service traffic,
+//! plenty for a postmortem window.
+
+use crate::sink::TraceSink;
+use crate::{FieldValue, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bounded in-memory ring of recent trace events; oldest evicted.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    max_bytes: usize,
+    dropped: AtomicU64,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<(TraceEvent, usize)>,
+    bytes: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most ~`max_bytes` of recent events
+    /// (approximate accounting; at least one event is always kept).
+    #[must_use]
+    pub fn new(max_bytes: usize) -> Self {
+        FlightRecorder {
+            max_bytes,
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// The configured byte budget.
+    #[must_use]
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Approximate bytes currently held — never exceeds the budget by
+    /// more than one event.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        lock(&self.inner).bytes
+    }
+
+    /// Events evicted so far to stay inside the budget.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.inner).events.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).events.is_empty()
+    }
+
+    /// The retained events, oldest first. Call
+    /// [`flush`](crate::flush) first so the calling thread's pending
+    /// batch is included.
+    #[must_use]
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        lock(&self.inner)
+            .events
+            .iter()
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+
+    /// Drops every retained event (the eviction counter is kept).
+    pub fn clear(&self) {
+        let mut ring = lock(&self.inner);
+        ring.events.clear();
+        ring.bytes = 0;
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn write_batch(&self, events: &[TraceEvent]) {
+        let mut dropped = 0u64;
+        let mut ring = lock(&self.inner);
+        for ev in events {
+            let size = approx_event_bytes(ev);
+            ring.events.push_back((ev.clone(), size));
+            ring.bytes += size;
+            while ring.bytes > self.max_bytes && ring.events.len() > 1 {
+                if let Some((_, old)) = ring.events.pop_front() {
+                    ring.bytes -= old;
+                    dropped += 1;
+                }
+            }
+        }
+        drop(ring);
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Conservative per-event footprint: fixed struct overhead plus the
+/// name and every field's key and payload.
+fn approx_event_bytes(ev: &TraceEvent) -> usize {
+    let mut size = 64 + ev.name.len();
+    for f in &ev.fields {
+        size += 24 + f.key.len();
+        size += match &f.value {
+            FieldValue::Str(s) => s.len(),
+            _ => 8,
+        };
+    }
+    size
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Phase};
+
+    fn event(name: &'static str, payload: &str) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 1,
+            tid: 1,
+            phase: Phase::Instant,
+            name,
+            id: None,
+            fields: vec![Field {
+                key: "payload",
+                value: FieldValue::Str(payload.to_owned()),
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_stays_within_budget() {
+        let rec = FlightRecorder::new(4096);
+        let payload = "x".repeat(200);
+        for _ in 0..100 {
+            rec.write_batch(&[event("spam", &payload)]);
+        }
+        assert!(
+            rec.approx_bytes() <= rec.max_bytes(),
+            "ring at {} bytes exceeds budget {}",
+            rec.approx_bytes(),
+            rec.max_bytes()
+        );
+        assert!(rec.dropped() > 0, "eviction must have kicked in");
+        let recent = rec.recent();
+        assert!(!recent.is_empty());
+        // Everything retained is from the newest writes.
+        assert!(recent.iter().all(|e| e.name == "spam"));
+        assert!(recent.len() < 100);
+    }
+
+    #[test]
+    fn oldest_events_are_evicted_first() {
+        let rec = FlightRecorder::new(2048);
+        rec.write_batch(&[event("first", &"a".repeat(100))]);
+        for _ in 0..50 {
+            rec.write_batch(&[event("later", &"b".repeat(100))]);
+        }
+        assert!(
+            rec.recent().iter().all(|e| e.name == "later"),
+            "the oldest event must be gone"
+        );
+    }
+
+    #[test]
+    fn an_oversized_event_still_lands_alone() {
+        let rec = FlightRecorder::new(64);
+        rec.write_batch(&[event("huge", &"z".repeat(10_000))]);
+        // Budget is blown but the ring never goes empty on insert.
+        assert_eq!(rec.recent().len(), 1);
+        rec.write_batch(&[event("next", "small")]);
+        let names: Vec<&str> = rec.recent().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["next"], "oversized predecessor evicted");
+    }
+
+    #[test]
+    fn clear_empties_the_ring_but_keeps_the_drop_counter() {
+        let rec = FlightRecorder::new(256);
+        for _ in 0..20 {
+            rec.write_batch(&[event("e", &"p".repeat(50))]);
+        }
+        let dropped = rec.dropped();
+        assert!(dropped > 0);
+        rec.clear();
+        assert_eq!(rec.approx_bytes(), 0);
+        assert!(rec.recent().is_empty());
+        assert_eq!(rec.dropped(), dropped);
+    }
+}

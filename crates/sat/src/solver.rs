@@ -1591,6 +1591,9 @@ impl Solver {
             let dt_ns = u64::try_from(now.duration_since(t0).as_nanos()).unwrap_or(u64::MAX);
             let dc = conflicts.saturating_sub(c0);
             let dp = props.saturating_sub(p0);
+            // Live per-job attribution: heartbeats see conflicts move
+            // *during* a long solve, not just at obligation boundaries.
+            aqed_obs::meter::add_live_conflicts(dc);
             if let Some(rate) = dc.saturating_mul(1_000_000_000).checked_div(dt_ns) {
                 if self.obs.handles.is_none() {
                     let m = aqed_obs::metrics::global();

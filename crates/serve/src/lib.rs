@@ -64,8 +64,10 @@
 
 use aqed_core::{ArtifactStore, CheckOutcome, ParallelVerifyReport};
 use aqed_engine::{Engine, VerifyRequest};
+use aqed_obs::aggregate::Aggregator;
 use aqed_obs::json::{self, Json};
 use aqed_obs::metrics;
+use aqed_obs::{FlightRecorder, JobMeter, MeterPhase};
 use aqed_sat::StopHandle;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -104,6 +106,14 @@ pub struct ServeOptions {
     /// after `job.started`. Exercises the supervisor in tests; keep
     /// `None` in production.
     pub panic_on_case: Option<String>,
+    /// Cadence of `job.heartbeat` events while a job runs. Each
+    /// heartbeat carries the job's attribution-so-far (phase, elapsed,
+    /// conflicts, obligations done).
+    pub heartbeat_interval: Duration,
+    /// Byte budget of the in-memory flight recorder (oldest events
+    /// evicted past it). The recorder is always on; this only bounds
+    /// its memory.
+    pub recorder_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -117,6 +127,8 @@ impl Default for ServeOptions {
             max_line_bytes: 1 << 20,
             max_connections: 64,
             panic_on_case: None,
+            heartbeat_interval: Duration::from_secs(1),
+            recorder_bytes: 1 << 20,
         }
     }
 }
@@ -136,6 +148,18 @@ struct Emitter {
 
 impl Emitter {
     fn emit(&self, name: &str, args: Vec<(&'static str, Json)>) {
+        // Mirror the protocol event into the trace stream so the
+        // flight recorder sees job lifecycle transitions even when a
+        // job dies before any solver activity; the job id (when
+        // present) keeps postmortem timelines attributable.
+        if aqed_obs::enabled() {
+            let job = args
+                .iter()
+                .find(|(k, _)| *k == "job")
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or(0);
+            aqed_obs::obs_event!("serve.emit", event = name.to_string(), job = job);
+        }
         let event = Json::obj(vec![
             ("ts", Json::num(self.epoch.elapsed().as_nanos() as u64)),
             ("tid", Json::num(0)),
@@ -159,15 +183,22 @@ struct Job {
     stop: StopHandle,
     done: Arc<AtomicBool>,
     emitter: Emitter,
+    /// Shared attribution: the scheduler writes, the heartbeat thread
+    /// and the terminal `job.done` event read.
+    meter: Arc<JobMeter>,
+    /// When the job entered the queue; queue-wait attribution.
+    queued_at: Instant,
 }
 
 /// What the supervisor needs to fail a job whose worker died: enough to
-/// emit the terminal `job.error` to the waiting client.
+/// emit the terminal `job.error` to the waiting client, and enough
+/// context (the request) to write a useful postmortem bundle.
 struct InFlight {
     id: u64,
     case: String,
     emitter: Emitter,
     done: Arc<AtomicBool>,
+    request: Json,
 }
 
 /// The supervisor's view of one worker: a liveness flag flipped by the
@@ -207,6 +238,16 @@ struct ServerState {
     max_line_bytes: usize,
     flush_interval: Duration,
     panic_on_case: Option<String>,
+    heartbeat_interval: Duration,
+    /// The always-on flight recorder; also installed as the process
+    /// trace sink while this server lives.
+    recorder: Arc<FlightRecorder>,
+    /// Rolling-window rate/quantile aggregation, advanced by the
+    /// flusher tick, exposed by the `stats` command.
+    aggregator: Aggregator,
+    /// `<store_dir>/postmortem`; `None` (in-memory store) disables
+    /// bundle writing.
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl ServerState {
@@ -245,6 +286,99 @@ impl ServerState {
             ("store", self.artifacts.stats_json()),
         ]
     }
+
+    /// Payload of the `stats` admin command: the full metrics
+    /// exposition (counters, gauges, histogram quantiles, windowed
+    /// rates) in both Prometheus text and JSON form, plus flight
+    /// recorder occupancy.
+    fn stats_args(&self) -> Vec<(&'static str, Json)> {
+        let snap = metrics::global().snapshot();
+        vec![
+            (
+                "prometheus",
+                Json::Str(self.aggregator.expose_prometheus(&snap)),
+            ),
+            ("metrics", self.aggregator.expose_json(&snap)),
+            ("recorder", self.recorder_json()),
+        ]
+    }
+
+    fn recorder_json(&self) -> Json {
+        Json::obj(vec![
+            ("events", Json::num(self.recorder.len() as u64)),
+            (
+                "approx_bytes",
+                Json::num(self.recorder.approx_bytes() as u64),
+            ),
+            ("max_bytes", Json::num(self.recorder.max_bytes() as u64)),
+            ("dropped", Json::num(self.recorder.dropped())),
+        ])
+    }
+}
+
+/// Writes a postmortem bundle — recent flight-recorder events, the
+/// metrics exposition, server health, and whatever job context is
+/// known — into `<store_dir>/postmortem/`. Returns the bundle path,
+/// or `None` when the server runs without a store directory. Bundle
+/// writing must never take the server down: all I/O errors are
+/// swallowed (the failure is still visible as a missing bundle and an
+/// unchanged `serve.postmortems.written` counter).
+fn write_postmortem(
+    state: &ServerState,
+    reason: &str,
+    job: Option<(u64, &str)>,
+    request: Option<Json>,
+    verdict: Option<(u64, String)>,
+) -> Option<PathBuf> {
+    let dir = state.postmortem_dir.as_ref()?;
+    // Drain this thread's pending trace batch into the recorder so the
+    // bundle sees the freshest events (other threads flush their own
+    // batches at batch boundaries and on exit).
+    aqed_obs::flush();
+    let events: Vec<Json> = state
+        .recorder
+        .recent()
+        .iter()
+        .map(|ev| json::parse(&aqed_obs::sink::event_to_json(ev)).unwrap_or(Json::Null))
+        .collect();
+    let snap = metrics::global().snapshot();
+    let mut fields = vec![
+        ("kind", Json::Str("aqed-postmortem".into())),
+        ("version", Json::num(1)),
+        ("reason", Json::Str(reason.into())),
+        (
+            "uptime_ms",
+            Json::num(state.epoch.elapsed().as_millis() as u64),
+        ),
+    ];
+    if let Some((id, case)) = job {
+        fields.push(("job", Json::num(id)));
+        fields.push(("case", Json::Str(case.into())));
+    }
+    if let Some(req) = request {
+        fields.push(("request", req));
+    }
+    if let Some((exit_code, line)) = verdict {
+        fields.push(("exit_code", Json::num(exit_code)));
+        fields.push(("verdict", Json::Str(line)));
+    }
+    fields.push(("health", Json::obj(state.health_args())));
+    fields.push(("stats", state.aggregator.expose_json(&snap)));
+    fields.push(("recorder", state.recorder_json()));
+    fields.push(("events", Json::Arr(events)));
+    let bundle = Json::obj(fields);
+    std::fs::create_dir_all(dir).ok()?;
+    let name = match job {
+        Some((id, _)) => format!(
+            "job{id}-{reason}-{}.json",
+            state.epoch.elapsed().as_millis()
+        ),
+        None => format!("{reason}-{}.json", state.epoch.elapsed().as_millis()),
+    };
+    let path = dir.join(name);
+    std::fs::write(&path, format!("{bundle}\n")).ok()?;
+    metrics::global().counter("serve.postmortems.written").inc();
+    Some(path)
 }
 
 /// A running verification daemon. Construct with [`Server::start`];
@@ -274,6 +408,14 @@ impl Server {
             Some(dir) => ArtifactStore::open(dir)?,
             None => ArtifactStore::new(),
         });
+        // Always-on flight recorder: install it as the process trace
+        // sink and enable observability so every job leaves a bounded
+        // in-memory trail for postmortems. The recorder is process
+        // global (the obs sink slot is); the last started server owns
+        // it, which is exactly one server in a real daemon process.
+        let recorder = Arc::new(FlightRecorder::new(opts.recorder_bytes.max(1 << 12)));
+        aqed_obs::install_sink(Arc::clone(&recorder) as Arc<dyn aqed_obs::TraceSink>);
+        aqed_obs::set_enabled(true);
         let state = Arc::new(ServerState {
             engine: Engine::with_artifacts(Arc::clone(&artifacts)),
             artifacts,
@@ -291,6 +433,10 @@ impl Server {
             max_line_bytes: opts.max_line_bytes.max(64),
             flush_interval: opts.flush_interval.max(Duration::from_millis(10)),
             panic_on_case: opts.panic_on_case.clone(),
+            heartbeat_interval: opts.heartbeat_interval.max(Duration::from_millis(10)),
+            recorder,
+            aggregator: Aggregator::standard(),
+            postmortem_dir: opts.store_dir.as_ref().map(|d| d.join("postmortem")),
         });
         let mut worker_handles = Vec::with_capacity(opts.workers.max(1));
         {
@@ -343,6 +489,12 @@ impl Server {
     #[must_use]
     pub fn artifacts(&self) -> &Arc<ArtifactStore> {
         &self.state.artifacts
+    }
+
+    /// The always-on flight recorder backing postmortem bundles.
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.state.recorder
     }
 
     /// Starts a graceful drain: stop accepting, run everything already
@@ -411,6 +563,10 @@ fn supervisor_loop(state: &Arc<ServerState>, mut handles: Vec<thread::JoinHandle
         let shutdown = state.shutdown.load(Ordering::Acquire);
         let queue_empty = lock(&state.queue).is_empty();
         let mut all_dead = true;
+        // Jobs orphaned by dead workers; reported *after* the slots
+        // lock is released, because write_postmortem snapshots health
+        // (which takes the same lock).
+        let mut orphaned = Vec::new();
         {
             let mut slots = lock(&state.slots);
             for (i, slot) in slots.iter_mut().enumerate() {
@@ -423,22 +579,7 @@ fn supervisor_loop(state: &Arc<ServerState>, mut handles: Vec<thread::JoinHandle
                     // the narrow window after reporting; swap so the
                     // client gets exactly one terminal event.
                     if !job.done.swap(true, Ordering::AcqRel) {
-                        metrics::global().counter("serve.jobs.failed").inc();
-                        job.emitter.emit(
-                            "job.error",
-                            vec![
-                                ("job", Json::num(job.id)),
-                                ("exit_code", Json::num(2)),
-                                ("case", Json::Str(job.case)),
-                                (
-                                    "message",
-                                    Json::Str(
-                                        "worker died while running this job; resubmit to retry"
-                                            .into(),
-                                    ),
-                                ),
-                            ],
-                        );
+                        orphaned.push(job);
                     }
                 }
                 if shutdown && queue_empty {
@@ -454,6 +595,28 @@ fn supervisor_loop(state: &Arc<ServerState>, mut handles: Vec<thread::JoinHandle
                     metrics::global().counter("serve.workers.respawned").inc();
                 }
             }
+        }
+        for job in orphaned {
+            metrics::global().counter("serve.jobs.failed").inc();
+            job.emitter.emit(
+                "job.error",
+                vec![
+                    ("job", Json::num(job.id)),
+                    ("exit_code", Json::num(2)),
+                    ("case", Json::Str(job.case.clone())),
+                    (
+                        "message",
+                        Json::Str("worker died while running this job; resubmit to retry".into()),
+                    ),
+                ],
+            );
+            write_postmortem(
+                state,
+                "worker-died",
+                Some((job.id, &job.case)),
+                Some(job.request),
+                Some((2, "worker died while running this job".into())),
+            );
         }
         if shutdown && queue_empty && all_dead {
             break;
@@ -482,6 +645,10 @@ fn flusher_loop(state: &Arc<ServerState>) {
             slept += step;
         }
         let _ = state.artifacts.flush();
+        // Advance the rolling-window aggregation on the same cadence:
+        // one counter snapshot per flush interval is what the `stats`
+        // command's windowed rates diff against.
+        state.aggregator.tick(metrics::global());
     }
 }
 
@@ -640,6 +807,17 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<
             }
             Some("ping") => emitter.emit("server.pong", vec![]),
             Some("health") => emitter.emit("server.health", state.health_args()),
+            Some("stats") => emitter.emit("server.stats", state.stats_args()),
+            Some("dump") => {
+                let args = match write_postmortem(state, "manual-dump", None, None, None) {
+                    Some(path) => vec![("path", Json::Str(path.display().to_string()))],
+                    None => vec![(
+                        "error",
+                        Json::Str("postmortem bundles need --store-dir".into()),
+                    )],
+                };
+                emitter.emit("server.dump", args);
+            }
             Some("shutdown") => {
                 state.begin_shutdown();
                 emitter.emit("server.shutdown", vec![]);
@@ -694,6 +872,8 @@ fn submit_job(
         stop: stop.clone(),
         done: Arc::clone(&done),
         emitter: emitter.clone(),
+        meter: Arc::new(JobMeter::new()),
+        queued_at: Instant::now(),
     };
     let depth = {
         let mut q = lock(&state.queue);
@@ -753,7 +933,9 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<O
         case: job.request.case.clone(),
         emitter: job.emitter.clone(),
         done: Arc::clone(&job.done),
+        request: job.request.to_json(),
     });
+    job.meter.set_queue_wait(job.queued_at.elapsed());
     job.emitter.emit(
         "job.started",
         vec![
@@ -774,16 +956,22 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<O
     }
     // Progress heartbeat: proof of life while the solver grinds, so a
     // client can distinguish "queued behind others" from "running".
+    // Each beat carries the attribution-so-far off the shared meter.
     let beat = {
         let emitter = job.emitter.clone();
         let done = Arc::clone(&job.done);
+        let meter = Arc::clone(&job.meter);
+        let interval = state.heartbeat_interval;
         let id = job.id;
         let started = Instant::now();
         thread::spawn(move || loop {
             // Sleep in short steps so job completion is observed within
             // ~10ms — the heartbeat must never add latency to the job.
-            for _ in 0..100 {
-                thread::sleep(Duration::from_millis(10));
+            let mut slept = Duration::ZERO;
+            while slept < interval {
+                let step = Duration::from_millis(10).min(interval - slept);
+                thread::sleep(step);
+                slept += step;
                 if done.load(Ordering::Acquire) {
                     return;
                 }
@@ -796,11 +984,19 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<O
                         "elapsed_ms",
                         Json::num(started.elapsed().as_millis() as u64),
                     ),
+                    ("phase", Json::Str(meter.phase().as_str().into())),
+                    ("conflicts", Json::num(meter.conflicts())),
+                    ("obligations_done", Json::num(meter.obligations_done())),
+                    ("obligations_total", Json::num(meter.obligations_total())),
                 ],
             );
         })
     };
-    let result = state.engine.verify_cancellable(&job.request, &job.stop);
+    let result =
+        state
+            .engine
+            .verify_metered(&job.request, Some(&job.stop), Some(Arc::clone(&job.meter)));
+    job.meter.set_phase(MeterPhase::Done);
     // `swap` so the supervisor and this worker agree on who reports the
     // terminal event if the worker dies in the reporting window.
     let already_reported = job.done.swap(true, Ordering::AcqRel);
@@ -809,16 +1005,32 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<O
         match result {
             Ok(outcome) => {
                 metrics::global().counter("serve.jobs.completed").inc();
+                let exit_code = outcome.exit_code() as u64;
+                let verdict = verdict_line(&outcome.report);
                 job.emitter.emit(
                     "job.done",
                     vec![
                         ("job", Json::num(job.id)),
-                        ("exit_code", Json::num(outcome.exit_code() as u64)),
-                        ("verdict", Json::Str(verdict_line(&outcome.report))),
+                        ("exit_code", Json::num(exit_code)),
+                        ("verdict", Json::Str(verdict.clone())),
                         ("cache_hits", Json::num(outcome.report.cache_hits)),
+                        ("attribution", job.meter.to_json()),
                         ("report", outcome.report.to_json()),
                     ],
                 );
+                // Errored or degraded runs (obligation panic, unsound
+                // witness, engine-level failure) leave a postmortem
+                // bundle behind for offline triage.
+                let errored = matches!(outcome.report.outcome, CheckOutcome::Errored { .. });
+                if errored || outcome.report.degraded {
+                    write_postmortem(
+                        state,
+                        "job-errored",
+                        Some((job.id, &job.request.case)),
+                        Some(job.request.to_json()),
+                        Some((exit_code, verdict)),
+                    );
+                }
             }
             Err(e) => {
                 metrics::global().counter("serve.jobs.failed").inc();
@@ -829,6 +1041,13 @@ fn run_job(state: &Arc<ServerState>, worker: usize, job: Job, inflight: &Mutex<O
                         ("exit_code", Json::num(2)),
                         ("message", Json::Str(e.to_string())),
                     ],
+                );
+                write_postmortem(
+                    state,
+                    "engine-error",
+                    Some((job.id, &job.request.case)),
+                    Some(job.request.to_json()),
+                    Some((2, format!("error: {e}"))),
                 );
             }
         }
@@ -1091,24 +1310,55 @@ pub fn submit_retrying(
 /// Propagates connection failures; a non-health reply surfaces as
 /// [`io::ErrorKind::InvalidData`].
 pub fn query_health(addr: impl ToSocketAddrs) -> io::Result<Json> {
+    query_event(addr, r#"{"cmd":"health"}"#, "server.health")
+}
+
+/// Asks the daemon at `addr` for its observability snapshot: Prometheus
+/// exposition text, the structured metrics/rates JSON, and flight
+/// recorder occupancy.
+///
+/// # Errors
+///
+/// Propagates connection failures; a non-stats reply surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn query_stats(addr: impl ToSocketAddrs) -> io::Result<Json> {
+    query_event(addr, r#"{"cmd":"stats"}"#, "server.stats")
+}
+
+/// Asks the daemon at `addr` to write an on-demand postmortem bundle
+/// and returns the `server.dump` reply (`path` on success, `error`
+/// when the daemon has no `--store-dir`).
+///
+/// # Errors
+///
+/// Propagates connection failures; a non-dump reply surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn request_dump(addr: impl ToSocketAddrs) -> io::Result<Json> {
+    query_event(addr, r#"{"cmd":"dump"}"#, "server.dump")
+}
+
+/// One-shot request/reply helper: connects, sends `cmd` as a JSONL
+/// line, and returns the `args` of the first event iff its name is
+/// `expected`.
+fn query_event(addr: impl ToSocketAddrs, cmd: &str, expected: &str) -> io::Result<Json> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
-    writeln!(writer, r#"{{"cmd":"health"}}"#)?;
+    writeln!(writer, "{cmd}")?;
     writer.flush()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            "server closed the stream before answering health",
+            format!("server closed the stream before answering {expected}"),
         ));
     }
     let event = json::parse(line.trim())
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("malformed event: {e}")))?;
-    if event.get("name").and_then(Json::as_str) != Some("server.health") {
+    if event.get("name").and_then(Json::as_str) != Some(expected) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("expected server.health, got: {event}"),
+            format!("expected {expected}, got: {event}"),
         ));
     }
     Ok(event.get("args").cloned().unwrap_or(Json::Null))

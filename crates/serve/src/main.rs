@@ -7,8 +7,10 @@
 //! service-routed run and a one-shot run interchangeably.
 
 use aqed_engine::VerifyRequest;
+use aqed_obs::json::Json;
 use aqed_serve::{
-    ping, query_health, request_shutdown, submit_retrying, submit_with, ServeOptions, Server,
+    ping, query_health, query_stats, request_dump, request_shutdown, submit_retrying, submit_with,
+    ServeOptions, Server,
 };
 use std::io::{self, Write};
 use std::process::ExitCode;
@@ -17,12 +19,14 @@ use std::time::Duration;
 const USAGE: &str = "usage:
   aqed-serve serve [--listen ADDR] [--workers N] [--queue N] [--port-file PATH]
                    [--store-dir DIR] [--flush-ms N] [--max-line-bytes N]
-                   [--max-connections N]
+                   [--max-connections N] [--heartbeat-ms N] [--recorder-bytes N]
   aqed-serve submit --addr ADDR CASE [verify flags] [--cancel-after-ms N] [--events]
                     [--retries N] [--retry-backoff-ms N]
   aqed-serve shutdown --addr ADDR
   aqed-serve ping --addr ADDR
   aqed-serve health --addr ADDR
+  aqed-serve stats --addr ADDR [--json]
+  aqed-serve dump --addr ADDR
 
 verify flags (mirroring `aqed verify`):
   --healthy --bound N --jobs N --backend cdcl|dimacs|portfolio
@@ -64,6 +68,38 @@ fn run(args: &[String]) -> io::Result<u8> {
             let addr = required_addr(&args[1..])?;
             println!("{}", query_health(addr.as_str())?);
             Ok(0)
+        }
+        Some("stats") => {
+            let addr = required_addr(&args[1..])?;
+            let stats = query_stats(addr.as_str())?;
+            if args[1..].iter().any(|a| a == "--json") {
+                println!("{stats}");
+            } else {
+                // Default to the Prometheus text form — that is what a
+                // scraper (or a grep in ci.sh) wants to see.
+                let text = stats
+                    .get("prometheus")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default();
+                print!("{text}");
+                io::stdout().flush()?;
+            }
+            Ok(0)
+        }
+        Some("dump") => {
+            let addr = required_addr(&args[1..])?;
+            let reply = request_dump(addr.as_str())?;
+            if let Some(path) = reply.get("path").and_then(Json::as_str) {
+                println!("{path}");
+                Ok(0)
+            } else {
+                let msg = reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("dump failed");
+                eprintln!("error: {msg}");
+                Ok(2)
+            }
         }
         _ => {
             eprintln!("{USAGE}");
@@ -125,6 +161,13 @@ fn serve(args: &[String]) -> io::Result<u8> {
             }
             "--max-connections" => {
                 opts.max_connections = parse_num("--max-connections", it.next())?;
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num("--heartbeat-ms", it.next())?;
+                opts.heartbeat_interval = Duration::from_millis(ms.max(10));
+            }
+            "--recorder-bytes" => {
+                opts.recorder_bytes = parse_num("--recorder-bytes", it.next())?;
             }
             // Chaos hook for the crash-recovery test suite; deliberately
             // undocumented in USAGE.

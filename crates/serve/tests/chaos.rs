@@ -273,5 +273,57 @@ fn chaos_worker_panic_in_the_real_binary_is_survived() {
         .expect("served after respawn");
     assert_eq!(outcome.exit_code, 0, "{}", outcome.verdict);
     daemon.shutdown();
+
+    // The dead worker must have left a postmortem bundle behind: the
+    // flight recorder's recent events plus the job, request and stats
+    // context, self-describing enough for offline triage.
+    let bundles: Vec<PathBuf> = std::fs::read_dir(store.join("postmortem"))
+        .expect("postmortem dir must exist after a worker death")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains("worker-died"))
+        })
+        .collect();
+    assert_eq!(
+        bundles.len(),
+        1,
+        "exactly one worker-died bundle: {bundles:?}"
+    );
+    let text = std::fs::read_to_string(&bundles[0]).expect("read bundle");
+    let bundle = aqed_obs::json::parse(&text).expect("bundle parses");
+    assert_eq!(
+        bundle.get("kind").and_then(Json::as_str),
+        Some("aqed-postmortem")
+    );
+    assert_eq!(
+        bundle.get("reason").and_then(Json::as_str),
+        Some("worker-died")
+    );
+    assert_eq!(
+        bundle.get("case").and_then(Json::as_str),
+        Some("motivating_clock_enable"),
+        "bundle must name the doomed case"
+    );
+    assert!(
+        bundle.get("request").is_some(),
+        "bundle must carry the request for replay"
+    );
+    let events = match bundle.get("events") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("bundle events must be an array, got {other:?}"),
+    };
+    assert!(
+        !events.is_empty(),
+        "the flight recorder must have captured pre-death events"
+    );
+    for ev in &events {
+        assert!(
+            ev.get("ts").and_then(Json::as_u64).is_some()
+                && ev.get("name").and_then(Json::as_str).is_some(),
+            "malformed recorded event: {ev}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&store);
 }

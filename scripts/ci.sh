@@ -36,9 +36,13 @@ echo "== simplification-pipeline identity (CLI, defaults vs --no-preprocess --no
 # pipeline on (default) and fully off.
 cargo build --release -q -p aqed-cli
 # Extract the verdict line and strip the timing/clause parenthetical,
-# which legitimately differs between runs.
+# which legitimately differs between runs. Must consume ALL of stdin:
+# an early-exiting extractor (grep -m1) closes the pipe while aqed is
+# still printing ("wrote report JSON to ..."), turning the run into an
+# EPIPE io-error exit and racing the phase's rc checks.
 verdict() {
-    grep -m1 -E '^(bug:|clean|inconclusive|error)' | sed 's/ (.*//'
+    awk '!found && /^(bug:|clean|inconclusive|error)/ { found = 1; line = $0 }
+         END { sub(/ \(.*/, "", line); print line }'
 }
 for case in motivating_clock_enable dataflow_fifo_sizing aes_v1; do
     for variant in "" "--healthy"; do
@@ -195,10 +199,11 @@ store_dir="$obs_tmp/store"
 json_field() { # json_field NAME < json-on-stdin -> bare integer
     grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2
 }
-start_daemon() {
+start_daemon() { # start_daemon [extra aqed-serve flags...]
     rm -f "$obs_tmp/port"
     ./target/release/aqed-serve serve --workers 2 --store-dir "$store_dir" \
-        --flush-ms 50 --port-file "$obs_tmp/port" >>"$obs_tmp/serve.log" 2>&1 &
+        --flush-ms 50 --port-file "$obs_tmp/port" "$@" \
+        >>"$obs_tmp/serve.log" 2>&1 &
     serve_pid=$!
     for _ in $(seq 1 100); do
         [ -s "$obs_tmp/port" ] && break
@@ -381,5 +386,61 @@ if [ "$lc_cold_rc" != "$lc_warm_rc" ] || [ "$lc_cold" != "$lc_warm" ]; then
     exit 1
 fi
 echo "  corrupted learnt pack discarded; verdict '$lc_warm' unchanged"
+
+echo "== observability plane: stats scrape, monotone counters, postmortem bundle"
+# A live daemon must serve a well-formed Prometheus exposition whose
+# counters are monotone across scrapes, and a worker death must leave a
+# postmortem bundle under --store-dir/postmortem/ that trace_report can
+# open and validate.
+store_dir="$obs_tmp/obs-store"
+start_daemon --chaos-panic-case motivating_clock_enable
+./target/release/aqed-serve submit --addr "$addr" dataflow_fifo_sizing \
+    --bound 6 >/dev/null
+scrape1=$(./target/release/aqed-serve stats --addr "$addr")
+bad_lines=$(echo "$scrape1" | grep -v '^#' \
+    | grep -cvE '^aqed_[a-zA-Z0-9_]+(\{[^{}]*\})? (-?[0-9][0-9.eE+-]*|\+Inf)$' \
+    || true)
+if [ "$bad_lines" != "0" ]; then
+    echo "malformed Prometheus exposition ($bad_lines bad lines):" >&2
+    echo "$scrape1" | grep -v '^#' \
+        | grep -vE '^aqed_[a-zA-Z0-9_]+(\{[^{}]*\})? (-?[0-9][0-9.eE+-]*|\+Inf)$' >&2
+    exit 1
+fi
+./target/release/aqed-serve submit --addr "$addr" dataflow_fifo_sizing \
+    --healthy --bound 6 >/dev/null
+scrape2=$(./target/release/aqed-serve stats --addr "$addr")
+done1=$(echo "$scrape1" | grep '^aqed_serve_jobs_completed_total ' | awk '{print $2}')
+done2=$(echo "$scrape2" | grep '^aqed_serve_jobs_completed_total ' | awk '{print $2}')
+if [ -z "$done1" ] || [ -z "$done2" ] \
+    || [ "${done1%%.*}" -lt 1 ] || [ "${done2%%.*}" -lt "${done1%%.*}" ]; then
+    echo "jobs_completed_total not monotone across scrapes: '$done1' -> '$done2'" >&2
+    exit 1
+fi
+echo "  exposition well-formed; jobs_completed_total $done1 -> $done2 monotone"
+# Kill a worker mid-job via the chaos hook; the supervisor must write a
+# worker-died postmortem bundle that trace_report validates.
+chaos_rc=0
+./target/release/aqed-serve submit --addr "$addr" motivating_clock_enable \
+    >/dev/null 2>&1 || chaos_rc=$?
+if [ "$chaos_rc" != 2 ]; then
+    echo "chaos-panic job must fail with rc=2, got rc=$chaos_rc" >&2
+    exit 1
+fi
+bundle=""
+for _ in $(seq 1 50); do
+    bundle=$(ls "$store_dir"/postmortem/*worker-died*.json 2>/dev/null | head -1)
+    [ -n "$bundle" ] && break
+    sleep 0.1
+done
+if [ -z "$bundle" ]; then
+    echo "no worker-died postmortem bundle under $store_dir/postmortem" >&2
+    ls -la "$store_dir/postmortem" 2>&1 >&2 || true
+    exit 1
+fi
+./target/release/trace_report --postmortem "$bundle" --check
+echo "  postmortem bundle $(basename "$bundle") validated by trace_report"
+./target/release/aqed-serve shutdown --addr "$addr" >/dev/null
+wait "$serve_pid"
+serve_pid=""
 
 echo "CI OK"
